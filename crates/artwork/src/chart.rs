@@ -1,0 +1,199 @@
+//! Simple SVG line charts for optimization traces.
+//!
+//! The placement engine reports an overflow trace per run
+//! (`PlacementReport::overflow_trace`); rendering it makes the penalty
+//! schedule's behaviour visible — the paper's "seamless shift from
+//! prioritizing area minimization to … constraint optimization" is a
+//! decaying overflow curve.
+
+use std::fmt::Write as _;
+
+/// Renders one or more named `(x, y)` series as an SVG line chart.
+///
+/// Axes are linear, auto-scaled to the data's bounding box with a small
+/// margin; each series gets a distinct hue and a legend entry. Returns a
+/// self-contained SVG document.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_artwork::render_line_chart;
+/// let series = vec![(
+///     "overflow".to_string(),
+///     vec![(0.0, 0.9), (50.0, 0.4), (100.0, 0.1)],
+/// )];
+/// let svg = render_line_chart("convergence", "iteration", "overflow", &series);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("overflow"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if every series is empty.
+#[must_use]
+pub fn render_line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    assert!(!points.is_empty(), "chart needs at least one data point");
+
+    let (mut x0, mut x1, mut y0, mut y1) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &(x, y) in &points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    const W: f64 = 640.0;
+    const H: f64 = 400.0;
+    const ML: f64 = 60.0; // margins
+    const MR: f64 = 20.0;
+    const MT: f64 = 40.0;
+    const MB: f64 = 50.0;
+    let px = |x: f64| ML + (x - x0) / (x1 - x0) * (W - ML - MR);
+    let py = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{W}" height="{H}" fill="#ffffff"/>"##
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="#333"/>"##,
+        H - MB
+    );
+    let _ = write!(
+        svg,
+        r##"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="#333"/>"##,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    // Labels and extremes.
+    let _ = write!(
+        svg,
+        r##"<text x="{}" y="24" font-size="16" text-anchor="middle">{title}</text>"##,
+        W / 2.0
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{}" y="{}" font-size="12" text-anchor="middle">{x_label}</text>"##,
+        W / 2.0,
+        H - 12.0
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="16" y="{}" font-size="12" transform="rotate(-90 16 {})">{y_label}</text>"##,
+        H / 2.0,
+        H / 2.0
+    );
+    for (v, at) in [(y0, py(y0)), (y1, py(y1))] {
+        let _ = write!(
+            svg,
+            r##"<text x="{}" y="{:.1}" font-size="10" text-anchor="end">{v:.3}</text>"##,
+            ML - 6.0,
+            at + 3.0
+        );
+    }
+    for (v, at) in [(x0, px(x0)), (x1, px(x1))] {
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{}" font-size="10" text-anchor="middle">{v:.0}</text>"##,
+            at,
+            H - MB + 16.0
+        );
+    }
+
+    for (k, (name, data)) in series.iter().enumerate() {
+        if data.is_empty() {
+            continue;
+        }
+        let hue = (k as f64 * 137.0) % 360.0;
+        let pts: Vec<String> = data
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="hsl({hue:.0},70%,45%)" stroke-width="2"/>"##,
+            pts.join(" ")
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="11" fill="hsl({hue:.0},70%,40%)">{name}</text>"##,
+            W - MR - 150.0,
+            MT + 16.0 * (k as f64 + 1.0)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, Vec<(f64, f64)>)> {
+        vec![
+            (
+                "a".to_string(),
+                (0..20).map(|i| (i as f64, 1.0 / (1.0 + i as f64))).collect(),
+            ),
+            (
+                "b".to_string(),
+                (0..20).map(|i| (i as f64, 0.5)).collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn chart_structure() {
+        let svg = render_line_chart("t", "x", "y", &sample());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let series = vec![("flat".to_string(), vec![(0.0, 1.0), (1.0, 1.0)])];
+        let svg = render_line_chart("t", "x", "y", &series);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn single_point_chart_is_finite() {
+        let series = vec![("dot".to_string(), vec![(3.0, 7.0)])];
+        let svg = render_line_chart("t", "x", "y", &series);
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data point")]
+    fn empty_chart_panics() {
+        let series: Vec<(String, Vec<(f64, f64)>)> = vec![("e".to_string(), vec![])];
+        let _ = render_line_chart("t", "x", "y", &series);
+    }
+}

@@ -1,0 +1,122 @@
+//! GDS-lite text export (the Fig. 14-c GDSII substitute).
+//!
+//! Emits a human-readable stream mirroring GDSII's record structure
+//! (`HEADER`/`BGNSTR`/`BOUNDARY`/`LAYER`/`XY`/`ENDEL`/…) with integer
+//! database units of 1 µm. Layer 1 carries qubit pockets, layer 2
+//! resonator segment blocks, layer 10 the meander center-lines as `PATH`
+//! records. Downstream tooling (or a trivial converter) can lift this to
+//! binary GDSII; for the reproduction it documents the exact physical
+//! artwork the layout implies.
+
+use std::fmt::Write as _;
+
+use qplacer_netlist::{InstanceKind, QuantumNetlist};
+
+use crate::meander::meander_paths;
+
+/// Database units per millimeter (1 unit = 1 µm).
+const UNITS_PER_MM: f64 = 1000.0;
+
+/// Serializes the layout as a GDS-lite text stream.
+#[must_use]
+pub fn write_gds_lite(netlist: &QuantumNetlist, structure_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HEADER 600");
+    let _ = writeln!(out, "BGNLIB");
+    let _ = writeln!(out, "LIBNAME QPLACER.DB");
+    let _ = writeln!(out, "UNITS 0.001 1e-09");
+    let _ = writeln!(out, "BGNSTR");
+    let _ = writeln!(out, "STRNAME {structure_name}");
+
+    for inst in netlist.instances() {
+        let layer = match inst.kind() {
+            InstanceKind::Qubit(_) => 1,
+            InstanceKind::ResonatorSegment { .. } => 2,
+        };
+        let r = netlist.core_rect(inst.id());
+        let x0 = (r.min.x * UNITS_PER_MM).round() as i64;
+        let y0 = (r.min.y * UNITS_PER_MM).round() as i64;
+        let x1 = (r.max.x * UNITS_PER_MM).round() as i64;
+        let y1 = (r.max.y * UNITS_PER_MM).round() as i64;
+        let _ = writeln!(out, "BOUNDARY");
+        let _ = writeln!(out, "LAYER {layer}");
+        let _ = writeln!(out, "DATATYPE 0");
+        let _ = writeln!(
+            out,
+            "XY {x0} {y0} {x1} {y0} {x1} {y1} {x0} {y1} {x0} {y0}"
+        );
+        let _ = writeln!(out, "ENDEL");
+    }
+
+    for path in meander_paths(netlist) {
+        let _ = writeln!(out, "PATH");
+        let _ = writeln!(out, "LAYER 10");
+        let _ = writeln!(out, "DATATYPE 0");
+        let _ = writeln!(out, "WIDTH 20");
+        let pts: Vec<String> = path
+            .iter()
+            .map(|p| {
+                format!(
+                    "{} {}",
+                    (p.x * UNITS_PER_MM).round() as i64,
+                    (p.y * UNITS_PER_MM).round() as i64
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "XY {}", pts.join(" "));
+        let _ = writeln!(out, "ENDEL");
+    }
+
+    let _ = writeln!(out, "ENDSTR");
+    let _ = writeln!(out, "ENDLIB");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn stream_structure() {
+        let nl = netlist();
+        let gds = write_gds_lite(&nl, "FALCON_TOP");
+        assert!(gds.starts_with("HEADER 600"));
+        assert!(gds.contains("STRNAME FALCON_TOP"));
+        assert!(gds.trim_end().ends_with("ENDLIB"));
+        assert_eq!(gds.matches("BOUNDARY").count(), nl.num_instances());
+        assert_eq!(gds.matches("PATH").count(), nl.num_resonators());
+        // Every element closed.
+        assert_eq!(
+            gds.matches("ENDEL").count(),
+            nl.num_instances() + nl.num_resonators()
+        );
+    }
+
+    #[test]
+    fn qubits_and_segments_on_separate_layers() {
+        let nl = netlist();
+        let gds = write_gds_lite(&nl, "S");
+        let l1 = gds.matches("LAYER 1\n").count();
+        let l2 = gds.matches("LAYER 2\n").count();
+        assert_eq!(l1, nl.num_qubits());
+        assert_eq!(l2, nl.num_instances() - nl.num_qubits());
+    }
+
+    #[test]
+    fn coordinates_are_micrometers() {
+        let mut nl = netlist();
+        nl.set_position(nl.qubit_instance(0), qplacer_geometry::Point::new(1.0, 2.0));
+        let gds = write_gds_lite(&nl, "S");
+        // Qubit core is 0.4 mm: corner at (0.8, 1.8) mm = (800, 1800) µm.
+        assert!(gds.contains("800 1800"), "missing µm coordinates");
+    }
+}

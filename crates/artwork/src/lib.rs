@@ -1,0 +1,41 @@
+//! Layout artwork: SVG rendering, meander paths, GDS-lite export.
+//!
+//! The paper closes the loop from optimized placement to physical chip
+//! artwork by generating resonator routing and a GDSII file with Qiskit
+//! Metal (Fig. 8-e, Fig. 14-c). This crate is the substituted artifact:
+//!
+//! * [`meander_paths`] — per-resonator polylines threading the legalized
+//!   segment chain (the meander's reserved route).
+//! * [`render_svg`] — a color-coded SVG of the layout (hue = frequency
+//!   slot; squares = qubits; small blocks = resonator segments).
+//! * [`write_gds_lite`] — a text GDS-like stream (`BGNSTR`/`BOUNDARY`
+//!   records) with one layer per component class, sufficient for
+//!   inspection and downstream conversion.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_artwork::render_svg;
+//! use qplacer_freq::FrequencyAssigner;
+//! use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::grid(2, 2);
+//! let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+//! let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+//! let svg = render_svg(&netlist);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod gds;
+mod meander;
+mod svg;
+
+pub use chart::render_line_chart;
+pub use gds::write_gds_lite;
+pub use meander::{meander_paths, path_length};
+pub use svg::render_svg;

@@ -1,0 +1,126 @@
+//! Resonator meander paths through legalized segment chains.
+
+use qplacer_geometry::Point;
+use qplacer_netlist::QuantumNetlist;
+
+/// Builds one polyline per resonator: qubit pad → each segment center in
+/// nearest-neighbor chain order → other qubit pad. After integration the
+/// segments form a contiguous cluster, so the polyline is a valid meander
+/// route through the reserved blocks (the Fig. 8-e routing substitute).
+///
+/// The traversal greedily walks the segment cluster starting from the
+/// segment nearest to the first qubit, always hopping to the nearest
+/// unvisited segment — for a legal chain this recovers the snake.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_artwork::meander_paths;
+/// use qplacer_freq::FrequencyAssigner;
+/// use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+/// use qplacer_topology::Topology;
+///
+/// let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+/// let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+/// let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+/// let paths = meander_paths(&netlist);
+/// assert_eq!(paths.len(), 1);
+/// // Path visits both qubits and every segment.
+/// assert_eq!(paths[0].len(), 2 + netlist.resonator_segments(0).len());
+/// ```
+#[must_use]
+pub fn meander_paths(netlist: &QuantumNetlist) -> Vec<Vec<Point>> {
+    (0..netlist.num_resonators())
+        .map(|r| {
+            let (qa, qb) = netlist.resonator_endpoints(r);
+            let start = netlist.position(netlist.qubit_instance(qa));
+            let end = netlist.position(netlist.qubit_instance(qb));
+            let mut remaining: Vec<usize> = netlist.resonator_segments(r).to_vec();
+            let mut path = vec![start];
+            let mut cursor = start;
+            while !remaining.is_empty() {
+                let (idx, _) = remaining
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (i, netlist.position(id).distance(cursor)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("remaining is non-empty");
+                let id = remaining.swap_remove(idx);
+                cursor = netlist.position(id);
+                path.push(cursor);
+            }
+            path.push(end);
+            path
+        })
+        .collect()
+}
+
+/// Total polyline length of a path (mm) — the physical meander length a
+/// route implies, comparable against the resonator's designed length.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_artwork::path_length;
+/// use qplacer_geometry::Point;
+/// let path = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+/// assert_eq!(path_length(&path), 5.0);
+/// ```
+#[must_use]
+pub fn path_length(path: &[Point]) -> f64 {
+    path.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn one_path_per_resonator() {
+        let nl = netlist();
+        let paths = meander_paths(&nl);
+        assert_eq!(paths.len(), nl.num_resonators());
+        for (r, p) in paths.iter().enumerate() {
+            assert_eq!(p.len(), nl.resonator_segments(r).len() + 2);
+        }
+    }
+
+    #[test]
+    fn paths_start_and_end_at_qubits() {
+        let nl = netlist();
+        for (r, p) in meander_paths(&nl).iter().enumerate() {
+            let (qa, qb) = nl.resonator_endpoints(r);
+            assert_eq!(p[0], nl.position(nl.qubit_instance(qa)));
+            assert_eq!(*p.last().unwrap(), nl.position(nl.qubit_instance(qb)));
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_walk_on_a_line_is_monotone() {
+        let mut nl = netlist();
+        // Lay resonator 0's segments on a line between its qubits.
+        let (qa, qb) = nl.resonator_endpoints(0);
+        nl.set_position(nl.qubit_instance(qa), Point::new(0.0, 0.0));
+        nl.set_position(nl.qubit_instance(qb), Point::new(10.0, 0.0));
+        let segs: Vec<usize> = nl.resonator_segments(0).to_vec();
+        let k = segs.len();
+        for (s, id) in segs.iter().enumerate() {
+            nl.set_position(*id, Point::new(1.0 + 8.0 * s as f64 / k as f64, 0.0));
+        }
+        let path = &meander_paths(&nl)[0];
+        for w in path.windows(2) {
+            assert!(w[1].x >= w[0].x - 1e-9, "walk backtracked");
+        }
+        // Path length equals the straight distance.
+        assert!((path_length(path) - 10.0).abs() < 1e-6);
+    }
+}

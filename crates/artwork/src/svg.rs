@@ -1,0 +1,144 @@
+//! SVG rendering of placed layouts (the Fig. 14-b visualization).
+
+use std::fmt::Write as _;
+
+use qplacer_netlist::QuantumNetlist;
+
+use crate::meander::meander_paths;
+
+/// Renders the layout as an SVG document string.
+///
+/// Instances are color-coded by frequency (hue sweeps the band), qubits
+/// drawn as large squares with their core pocket inset, resonator
+/// segments as small blocks, and each resonator's meander polyline
+/// overlaid. Coordinates are flipped so +y points up.
+#[must_use]
+pub fn render_svg(netlist: &QuantumNetlist) -> String {
+    let region = netlist.region().inflated(0.5);
+    let scale = 60.0; // px per mm
+    let w = region.width() * scale;
+    let h = region.height() * scale;
+    let tx = |x: f64| (x - region.min.x) * scale;
+    let ty = |y: f64| (region.max.y - y) * scale;
+
+    let (fmin, fmax) = netlist.instances().iter().fold(
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |(lo, hi), inst| {
+            let f = inst.frequency().ghz();
+            (lo.min(f), hi.max(f))
+        },
+    );
+    let hue = |ghz: f64| {
+        if fmax > fmin {
+            240.0 * (ghz - fmin) / (fmax - fmin)
+        } else {
+            120.0
+        }
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.1} {h:.1}">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="#fafafa"/>"##
+    );
+
+    // Region border.
+    let rb = netlist.region();
+    let _ = write!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#999" stroke-dasharray="6,4"/>"##,
+        tx(rb.min.x),
+        ty(rb.max.y),
+        rb.width() * scale,
+        rb.height() * scale
+    );
+
+    // Meander polylines underneath the blocks.
+    for path in meander_paths(netlist) {
+        let pts: Vec<String> = path
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", tx(p.x), ty(p.y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="#bbb" stroke-width="1"/>"##,
+            pts.join(" ")
+        );
+    }
+
+    for inst in netlist.instances() {
+        let id = inst.id();
+        let padded = netlist.padded_rect(id);
+        let core = netlist.core_rect(id);
+        let h360 = hue(inst.frequency().ghz());
+        let (halo_op, core_op) = if inst.kind().is_qubit() {
+            (0.25, 0.9)
+        } else {
+            (0.18, 0.7)
+        };
+        let _ = write!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="hsl({h360:.0},70%,60%)" fill-opacity="{halo_op}"/>"##,
+            tx(padded.min.x),
+            ty(padded.max.y),
+            padded.width() * scale,
+            padded.height() * scale
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="hsl({h360:.0},70%,45%)" fill-opacity="{core_op}"/>"##,
+            tx(core.min.x),
+            ty(core.max.y),
+            core.width() * scale,
+            core.height() * scale
+        );
+        if let qplacer_netlist::InstanceKind::Qubit(q) = inst.kind() {
+            let c = netlist.position(id);
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle" fill="#222">q{q}</text>"##,
+                tx(c.x),
+                ty(c.y) + 3.0
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = render_svg(&netlist());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One labeled text node per qubit.
+        assert_eq!(svg.matches("<text").count(), 4);
+        // Rects: background + border + 2 per instance.
+        let nl = netlist();
+        assert_eq!(svg.matches("<rect").count(), 2 + 2 * nl.num_instances());
+    }
+
+    #[test]
+    fn every_resonator_gets_a_polyline() {
+        let nl = netlist();
+        let svg = render_svg(&nl);
+        assert_eq!(svg.matches("<polyline").count(), nl.num_resonators());
+    }
+}

@@ -1,0 +1,32 @@
+//! Comparison baselines (paper §V-B).
+//!
+//! * **Human** ([`HumanLayout`]) — the manually optimized, crosstalk-free
+//!   design: qubits on a regular 2-D grid following the device's canonical
+//!   arrangement, with inter-qubit pitch reserving a full resonator
+//!   channel (`D = L·d_r / (L_q + 2d_q)`), and each resonator's segments
+//!   laid along the straight channel between its qubits. Crosstalk-free by
+//!   construction, at the cost of substrate area (Fig. 13's ≈2× gap).
+//! * **Classic** — the DREAMPlace-like engine without the frequency
+//!   force; this is just `qplacer_place::PlacerConfig::classic` applied
+//!   to the same netlist, so it lives in the `qplacer-place` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_baselines::HumanLayout;
+//! use qplacer_freq::FrequencyAssigner;
+//! use qplacer_netlist::NetlistConfig;
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::falcon27();
+//! let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+//! let layout = HumanLayout::place(&device, &freqs, &NetlistConfig::default());
+//! assert_eq!(layout.num_qubits(), 27);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod human;
+
+pub use human::HumanLayout;

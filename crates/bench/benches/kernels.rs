@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the numerical kernels behind the
+//! placement engine: FFT/DCT transforms, the spectral Poisson solve, and
+//! the per-iteration gradient models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qplacer_freq::FrequencyAssigner;
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_numeric::{dct2, fft, idxst, Array2, Complex64, PoissonSolver};
+use qplacer_place::{DensityModel, FrequencyForce, WirelengthModel};
+use qplacer_topology::Topology;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms");
+    for &n in &[128usize, 256, 1024] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("dct2", n), &signal, |b, s| {
+            b.iter(|| dct2(black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("idxst", n), &signal, |b, s| {
+            b.iter(|| idxst(black_box(s)))
+        });
+        let complex: Vec<Complex64> = signal.iter().map(|&v| v.into()).collect();
+        group.bench_with_input(BenchmarkId::new("fft", n), &complex, |b, s| {
+            b.iter(|| {
+                let mut x = s.clone();
+                fft(&mut x);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson");
+    for &m in &[64usize, 128, 256] {
+        let solver = PoissonSolver::new(m, m);
+        let mut rho = Array2::zeros(m, m);
+        for iy in 0..m {
+            for ix in 0..m {
+                rho[(ix, iy)] = ((ix * 7 + iy * 3) % 13) as f64 * 0.1;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("solve", m), &rho, |b, r| {
+            b.iter(|| solver.solve(black_box(r)))
+        });
+    }
+    group.finish();
+}
+
+fn falcon_netlist() -> QuantumNetlist {
+    let device = Topology::falcon27();
+    let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+    QuantumNetlist::build(&device, &freqs, &NetlistConfig::default())
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let netlist = falcon_netlist();
+    let positions = netlist.positions().to_vec();
+    let mut group = c.benchmark_group("gradients_falcon");
+
+    let wl = WirelengthModel::new(0.1);
+    group.bench_function("wirelength", |b| {
+        b.iter(|| wl.energy_grad(black_box(&netlist), black_box(&positions)))
+    });
+
+    let density = DensityModel::for_netlist(&netlist);
+    group.bench_function("density", |b| {
+        b.iter(|| density.energy_grad(black_box(&netlist), black_box(&positions)))
+    });
+
+    let force = FrequencyForce::new(&netlist);
+    group.bench_function("frequency_force", |b| {
+        b.iter(|| force.energy_grad(black_box(&positions)))
+    });
+
+    group.bench_function("collision_map_build", |b| {
+        b.iter(|| black_box(&netlist).collision_map())
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_transforms, bench_poisson, bench_gradients);
+criterion_main!(kernels);

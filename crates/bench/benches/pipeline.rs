@@ -1,0 +1,142 @@
+//! Criterion benchmarks for the pipeline stages: global placement,
+//! legalization, frequency assignment, routing, and fidelity evaluation.
+//!
+//! Reduced iteration budgets keep wall-clock sane; the relative stage
+//! costs are what these benches track (Table II's runtime column is
+//! regenerated separately by `tab02_runtime` at full budgets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qplacer::{FidelityParams, Legalizer};
+use qplacer_circuits::{generators, Router, Schedule};
+use qplacer_freq::FrequencyAssigner;
+use qplacer_metrics::{evaluate_benchmark, AreaMetrics, HotspotConfig, HotspotReport};
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_place::{GlobalPlacer, PlacerConfig};
+use qplacer_topology::Topology;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequency_assignment");
+    for device in [Topology::falcon27(), Topology::eagle127()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name().to_string()),
+            &device,
+            |b, d| {
+                let assigner = FrequencyAssigner::paper_defaults();
+                b.iter(|| assigner.assign(black_box(d)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_global_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_placement_100iters");
+    group.sample_size(10);
+    for device in [Topology::grid(5, 5), Topology::falcon27()] {
+        let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+        let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+        let mut cfg = PlacerConfig::paper();
+        cfg.max_iterations = 100;
+        cfg.min_iterations = 100;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name().to_string()),
+            &netlist,
+            |b, nl| {
+                b.iter(|| {
+                    let mut work = nl.clone();
+                    GlobalPlacer::new(cfg).run(&mut work)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_legalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalization");
+    group.sample_size(10);
+    for device in [Topology::grid(5, 5), Topology::falcon27()] {
+        let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+        let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+        let mut cfg = PlacerConfig::paper();
+        cfg.max_iterations = 150;
+        GlobalPlacer::new(cfg).run(&mut netlist);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name().to_string()),
+            &netlist,
+            |b, nl| {
+                b.iter(|| {
+                    let mut work = nl.clone();
+                    Legalizer::default().run(&mut work)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let device = Topology::falcon27();
+    let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+    let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+    let mut cfg = PlacerConfig::paper();
+    cfg.max_iterations = 150;
+    GlobalPlacer::new(cfg).run(&mut netlist);
+    Legalizer::default().run(&mut netlist);
+
+    let mut group = c.benchmark_group("metrics_falcon");
+    group.bench_function("hotspot_scan", |b| {
+        b.iter(|| HotspotReport::scan(black_box(&netlist), &HotspotConfig::paper()))
+    });
+    group.bench_function("area", |b| {
+        b.iter(|| AreaMetrics::of(black_box(&netlist)))
+    });
+    group.bench_function("evaluate_bv4_5subsets", |b| {
+        b.iter(|| {
+            evaluate_benchmark(
+                black_box(&netlist),
+                &device,
+                &generators::bv(4),
+                5,
+                0xB,
+                &FidelityParams::paper(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let device = Topology::falcon27();
+    let router = Router::new(&device);
+    let subset: Vec<usize> = (0..16).collect();
+    let mut group = c.benchmark_group("routing_falcon");
+    for bench in qplacer::paper_suite() {
+        if bench.circuit.num_qubits() > subset.len() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name.clone()),
+            &bench.circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let routed = router.route(black_box(circuit), &subset).unwrap();
+                    Schedule::asap(&routed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_assignment,
+    bench_global_placement,
+    bench_legalization,
+    bench_metrics,
+    bench_routing
+);
+criterion_main!(pipeline);

@@ -1,0 +1,28 @@
+//! Figure 1 (concept): system infidelity from crosstalk versus the area
+//! needed for the same qubit count, per placement strategy.
+
+use qplacer::{PipelineConfig, Topology};
+use qplacer_bench::run_all_strategies;
+use qplacer_circuits::generators;
+
+fn main() {
+    let device = Topology::falcon27();
+    println!("# Figure 1: infidelity vs area on {}", device.name());
+    println!("{:<9} {:>10} {:>12}", "strategy", "area mm²", "infidelity");
+    for o in run_all_strategies(&device, PipelineConfig::paper()) {
+        let area = o.layout.area().mer_area;
+        let eval = o
+            .layout
+            .evaluate(&device, &generators::bv(9), 30, 0x01);
+        println!(
+            "{:<9} {:>10.1} {:>12.4e}",
+            o.strategy.to_string(),
+            area,
+            1.0 - eval.mean_fidelity
+        );
+    }
+    println!();
+    println!("Expected shape (paper Fig. 1): the frequency-aware placer sits");
+    println!("in the low-infidelity / low-area corner; Human is low-infidelity");
+    println!("but large; Classic is compact but high-infidelity.");
+}

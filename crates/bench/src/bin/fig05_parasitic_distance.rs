@@ -1,0 +1,32 @@
+//! Figure 5: parasitic capacitance C_p, coupling g, and effective
+//! coupling g² /Δ between two transmons versus their separation d.
+
+use qplacer_physics::{capacitance, coupling, Frequency};
+
+fn main() {
+    let w = Frequency::from_ghz(5.0);
+    let detuned = Frequency::from_ghz(0.1);
+    println!("# Figure 5-b: parasitics vs distance");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "d (mm)", "Cp (fF)", "g (MHz)", "geff (MHz)"
+    );
+    for i in 0..=30 {
+        let d = i as f64 * 0.05;
+        let cp = capacitance::qubit_parasitic(d);
+        let g = capacitance::parasitic_qubit_coupling(d, w, w);
+        let geff = coupling::effective_coupling(g, detuned);
+        println!(
+            "{:>8.2} {:>10.4} {:>10.4} {:>14.6}",
+            d,
+            cp.ff(),
+            g.mhz(),
+            geff.mhz()
+        );
+    }
+    println!();
+    println!("Expected shape: all three curves decay monotonically with d;");
+    println!("g sits in the MHz range below the qubit padding distance");
+    println!("(0.4 mm) and becomes negligible past ~1 mm, matching the");
+    println!("Qiskit-Metal extraction the paper plots.");
+}

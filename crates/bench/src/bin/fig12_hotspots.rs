@@ -1,0 +1,94 @@
+//! Figure 12: mean program fidelity, impacted qubits, and hotspot
+//! proportion P_h per topology for QPlacer / Classic / Human.
+
+use qplacer::{paper_suite, PipelineConfig, Strategy};
+use qplacer_bench::run_all_strategies;
+use qplacer_topology::Topology;
+
+fn main() {
+    let subsets: usize = std::env::var("QPLACER_SUBSETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let benches = paper_suite();
+
+    println!("# Figure 12: fidelity / impacted qubits / P_h per topology");
+    println!(
+        "{:<10} {:>9} | {:>12} {:>8} {:>7} | per-strategy",
+        "topology", "strategy", "meanFidelity", "impacted", "Ph%"
+    );
+
+    let mut mean_rows: Vec<(String, Vec<(Strategy, f64, usize, f64)>)> = Vec::new();
+    for device in Topology::paper_suite() {
+        let outcomes = run_all_strategies(&device, PipelineConfig::paper());
+        let mut rows = Vec::new();
+        for o in &outcomes {
+            let hs = o.layout.hotspots();
+            // Mean fidelity over the whole benchmark suite (Fig. 12 top).
+            let mut fid = Vec::new();
+            for b in &benches {
+                if b.circuit.num_qubits() > device.num_qubits() {
+                    continue;
+                }
+                let e = o.layout.evaluate(&device, &b.circuit, subsets, 0xF1D0);
+                if !e.fidelities.is_empty() {
+                    fid.push(e.mean_fidelity);
+                }
+            }
+            let mean_f = if fid.is_empty() {
+                0.0
+            } else {
+                fid.iter().sum::<f64>() / fid.len() as f64
+            };
+            println!(
+                "{:<10} {:>9} | {:>12.4e} {:>8} {:>7.2}",
+                device.name(),
+                o.strategy.to_string(),
+                mean_f,
+                hs.impacted_qubits.len(),
+                hs.ph * 100.0
+            );
+            rows.push((o.strategy, mean_f, hs.impacted_qubits.len(), hs.ph * 100.0));
+        }
+        mean_rows.push((device.name().to_string(), rows));
+    }
+
+    // The paper's Fig. 12 claim: fidelity is inversely related to P_h.
+    let (mut phs, mut fids) = (Vec::new(), Vec::new());
+    for (_, rows) in &mean_rows {
+        for &(_, mf, _, ph) in rows {
+            if mf > 0.0 {
+                phs.push(ph);
+                fids.push(mf.ln());
+            }
+        }
+    }
+    if let Some(r) = qplacer_numeric::pearson(&phs, &fids) {
+        println!("---");
+        println!("Pearson corr(P_h, log fidelity) = {r:.3} (paper: strongly negative)");
+    }
+
+    // Mean row (the paper's "Mean" column).
+    println!("---");
+    for strategy in [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human] {
+        let (mut f, mut imp, mut ph, mut n) = (0.0, 0.0, 0.0, 0.0);
+        for (_, rows) in &mean_rows {
+            for &(s, mf, im, p) in rows {
+                if s == strategy {
+                    f += mf;
+                    imp += im as f64;
+                    ph += p;
+                    n += 1.0;
+                }
+            }
+        }
+        println!(
+            "{:<10} {:>9} | {:>12.4e} {:>8.1} {:>7.2}",
+            "Mean",
+            strategy.to_string(),
+            f / n,
+            imp / n,
+            ph / n
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 13: minimum enclosing rectangle area ratios relative to QPlacer.
+
+use qplacer::PipelineConfig;
+use qplacer_bench::run_all_strategies;
+use qplacer_topology::Topology;
+
+fn main() {
+    println!("# Figure 13: A_mer ratios vs Qplacer (smaller is better)");
+    println!(
+        "{:<10} {:>10} {:>9} {:>9}",
+        "topology", "Qplacer", "Classic", "Human"
+    );
+    let mut human_ratios = Vec::new();
+    for device in Topology::paper_suite() {
+        let outcomes = run_all_strategies(&device, PipelineConfig::paper());
+        let base = outcomes[0].layout.area().mer_area;
+        let ratios: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.layout.area().mer_area / base)
+            .collect();
+        println!(
+            "{:<10} {:>10.3} {:>9.3} {:>9.3}",
+            device.name(),
+            ratios[0],
+            ratios[1],
+            ratios[2]
+        );
+        human_ratios.push(ratios[2]);
+    }
+    let mean = human_ratios.iter().sum::<f64>() / human_ratios.len() as f64;
+    println!("{:<10} {:>10.3} {:>9} {:>9.3}", "Mean", 1.0, "~1", mean);
+    println!();
+    println!("(paper: Human/Qplacer mean 2.137x; Classic ~1x since it shares");
+    println!(" the engine hyper-parameters)");
+}

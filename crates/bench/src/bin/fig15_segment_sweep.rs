@@ -1,0 +1,38 @@
+//! Figure 15: substrate utilization and hotspot proportion P_h for
+//! segment sizes l_b ∈ {0.2, 0.3, 0.4} mm on every topology.
+
+use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy};
+use qplacer_topology::Topology;
+
+fn main() {
+    println!("# Figure 15: utilization / P_h per segment size");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "topology", "lb=0.2", "lb=0.3", "lb=0.4"
+    );
+    let mut sums = [(0.0, 0.0); 3];
+    let mut count = 0.0;
+    for device in Topology::paper_suite() {
+        print!("{:<10}", device.name());
+        for (i, lb) in [0.2, 0.3, 0.4].into_iter().enumerate() {
+            let mut cfg = PipelineConfig::paper();
+            cfg.netlist = NetlistConfig::with_segment_size(lb);
+            let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+            let util = layout.area().utilization;
+            let ph = layout.hotspots().ph * 100.0;
+            print!("  util={:.3} Ph={:4.2}", util, ph);
+            sums[i].0 += util;
+            sums[i].1 += ph;
+        }
+        println!();
+        count += 1.0;
+    }
+    print!("{:<10}", "Mean");
+    for (u, p) in sums {
+        print!("  util={:.3} Ph={:4.2}", u / count, p / count);
+    }
+    println!();
+    println!();
+    println!("(paper: lb=0.3 is the sweet spot — within 1% of the best");
+    println!(" utilization while cutting hotspots ~16% vs lb=0.2/0.4)");
+}

@@ -1,0 +1,40 @@
+//! Table I: the topology and benchmark inventory.
+
+use qplacer::paper_suite;
+use qplacer_topology::Topology;
+
+fn main() {
+    println!("# Table I: topologies");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>9}  class",
+        "name", "qubits", "edges", "maxdeg", "diameter"
+    );
+    for t in Topology::paper_suite() {
+        println!(
+            "{:<10} {:>7} {:>7} {:>7} {:>9}  {}",
+            t.name(),
+            t.num_qubits(),
+            t.num_edges(),
+            t.max_degree(),
+            t.diameter().map_or("-".into(), |d| d.to_string()),
+            t.class()
+        );
+    }
+
+    println!();
+    println!("# Table I: benchmarks");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7}",
+        "name", "qubits", "gates", "2q", "depth"
+    );
+    for b in paper_suite() {
+        println!(
+            "{:<10} {:>7} {:>7} {:>7} {:>7}",
+            b.name,
+            b.circuit.num_qubits(),
+            b.circuit.len(),
+            b.circuit.two_qubit_count(),
+            b.circuit.depth()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Table II: cell counts, placement runtime, and per-iteration runtime
+//! for l_b ∈ {0.2, 0.3, 0.4} on every topology.
+//!
+//! Absolute seconds differ from the paper's Xeon/Python testbed; the
+//! shape to check is the scaling: #cells roughly 2.1x / 3.5x between
+//! sizes, runtime growing with #cells, Eagle the slowest.
+
+use qplacer::{FrequencyAssigner, GlobalPlacer, NetlistConfig, PlacerConfig, QuantumNetlist};
+use qplacer_topology::Topology;
+
+fn main() {
+    println!("# Table II: placement runtime vs segment size");
+    println!(
+        "{:<10} | {:>6} {:>7} {:>8} | {:>6} {:>7} {:>8} | {:>6} {:>7} {:>8}",
+        "topology", "#cells", "RT(s)", "avg(s)", "#cells", "RT(s)", "avg(s)", "#cells", "RT(s)",
+        "avg(s)"
+    );
+    let mut totals = [(0.0f64, 0.0f64, 0.0f64); 3];
+    let devices = Topology::paper_suite();
+    for device in &devices {
+        print!("{:<10}", device.name());
+        for (i, lb) in [0.2, 0.3, 0.4].into_iter().enumerate() {
+            let freqs = FrequencyAssigner::paper_defaults().assign(device);
+            let mut netlist =
+                QuantumNetlist::build(device, &freqs, &NetlistConfig::with_segment_size(lb));
+            let report = GlobalPlacer::new(PlacerConfig::paper()).run(&mut netlist);
+            print!(
+                " | {:>6} {:>7.2} {:>8.4}",
+                netlist.num_instances(),
+                report.elapsed_seconds,
+                report.seconds_per_iteration
+            );
+            totals[i].0 += netlist.num_instances() as f64;
+            totals[i].1 += report.elapsed_seconds;
+            totals[i].2 += report.seconds_per_iteration;
+        }
+        println!();
+    }
+    let n = devices.len() as f64;
+    print!("{:<10}", "Mean");
+    for (cells, rt, avg) in totals {
+        print!(" | {:>6.0} {:>7.2} {:>8.4}", cells / n, rt / n, avg / n);
+    }
+    println!();
+}

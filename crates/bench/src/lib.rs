@@ -1,0 +1,13 @@
+//! Experiment harness shared by the benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§VI); this library hosts the shared experiment
+//! drivers so binaries stay thin. See `DESIGN.md` §4 for the
+//! experiment-to-binary index and `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{run_all_strategies, StrategyOutcome};

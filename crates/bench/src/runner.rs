@@ -1,0 +1,34 @@
+//! Shared experiment driver: run all three placement strategies on one
+//! topology and collect layouts + reports.
+
+use qplacer::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+use qplacer_topology::Topology;
+
+/// One strategy's placed layout plus its runtime.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// The placed layout.
+    pub layout: PlacedLayout,
+    /// Wall-clock seconds for the whole pipeline run.
+    pub seconds: f64,
+}
+
+/// Runs QPlacer, Classic, and Human on `device` with `config`.
+#[must_use]
+pub fn run_all_strategies(device: &Topology, config: PipelineConfig) -> Vec<StrategyOutcome> {
+    let engine = Qplacer::new(config);
+    [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human]
+        .into_iter()
+        .map(|strategy| {
+            let start = std::time::Instant::now();
+            let layout = engine.place(device, strategy);
+            StrategyOutcome {
+                strategy,
+                layout,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,160 @@
+//! Circuit container.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Gate;
+
+/// An ordered list of gates over `num_qubits` logical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_circuits::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cx(0, 1));
+/// assert_eq!(c.two_qubit_count(), 1);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    #[must_use]
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "a circuit needs at least one qubit");
+        Self {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of logical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate sequence.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the register.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "gate {gate} references qubit {q} outside 0..{}",
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends all gates from an iterator.
+    pub fn extend<I: IntoIterator<Item = Gate>>(&mut self, gates: I) {
+        for g in gates {
+            self.push(g);
+        }
+    }
+
+    /// Total gate count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when the circuit has no gates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates.
+    #[must_use]
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Circuit depth under ASAP layering (each gate occupies one layer on
+    /// each of its qubits).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            let start = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+            for q in qs {
+                level[q] = start + 1;
+            }
+            depth = depth.max(start + 1);
+        }
+        depth
+    }
+
+    /// Replaces the gate list (used by the optimizer).
+    pub(crate) fn set_gates(&mut self, gates: Vec<Gate>) {
+        self.gates = gates;
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        // Layer 1: H on all; layer 2: CX(0,1) & CX(2,3); layer 3: CX(1,2).
+        for q in 0..4 {
+            c.push(Gate::H(q));
+        }
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(2, 3));
+        c.push(Gate::Cx(1, 2));
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.two_qubit_count(), 3);
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(1);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_gate_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 2));
+    }
+}

@@ -1,0 +1,106 @@
+//! The gate set.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A quantum gate over abstract qubit indices (logical before routing,
+/// physical after).
+///
+/// The set matches what the fidelity model distinguishes: single-qubit
+/// rotations/Cliffords (35 ns class) and two-qubit entanglers (300 ns RIP
+/// class). `Swap` exists only transiently inside the router, which
+/// decomposes it into three `Cx`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// √X (the IBM basis `sx`).
+    Sx(usize),
+    /// Z-rotation by an angle in radians.
+    Rz(usize, f64),
+    /// Controlled-X.
+    Cx(usize, usize),
+    /// Controlled-Z (the native RIP two-qubit gate).
+    Cz(usize, usize),
+}
+
+impl Gate {
+    /// The qubits the gate touches (one or two entries).
+    #[must_use]
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::Sx(q) | Gate::Rz(q, _) => vec![q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) => vec![a, b],
+        }
+    }
+
+    /// `true` for two-qubit gates.
+    #[must_use]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cx(..) | Gate::Cz(..))
+    }
+
+    /// The same gate with qubit indices remapped through `f`.
+    #[must_use]
+    pub fn remap<F: Fn(usize) -> usize>(&self, f: F) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Sx(q) => Gate::Sx(f(q)),
+            Gate::Rz(q, a) => Gate::Rz(f(q), a),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+        }
+    }
+
+    /// Whether `self` is its own inverse and cancels against an identical
+    /// neighbor (H, X, CX, CZ).
+    #[must_use]
+    pub fn is_self_inverse(&self) -> bool {
+        matches!(self, Gate::H(_) | Gate::X(_) | Gate::Cx(..) | Gate::Cz(..))
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::Sx(q) => write!(f, "sx q{q}"),
+            Gate::Rz(q, a) => write!(f, "rz({a:.3}) q{q}"),
+            Gate::Cx(a, b) => write!(f, "cx q{a}, q{b}"),
+            Gate::Cz(a, b) => write!(f, "cz q{a}, q{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::Cx(1, 2).qubits(), vec![1, 2]);
+        assert!(Gate::Cz(0, 1).is_two_qubit());
+        assert!(!Gate::Rz(0, 1.0).is_two_qubit());
+    }
+
+    #[test]
+    fn remapping() {
+        let g = Gate::Cx(0, 1).remap(|q| q + 10);
+        assert_eq!(g, Gate::Cx(10, 11));
+        assert_eq!(Gate::Rz(2, 0.5).remap(|q| q * 2), Gate::Rz(4, 0.5));
+    }
+
+    #[test]
+    fn self_inverse_classification() {
+        assert!(Gate::H(0).is_self_inverse());
+        assert!(Gate::Cx(0, 1).is_self_inverse());
+        assert!(!Gate::Rz(0, 0.3).is_self_inverse());
+        assert!(!Gate::Sx(0).is_self_inverse());
+    }
+}

@@ -1,0 +1,209 @@
+//! Benchmark circuit generators (Table I).
+//!
+//! Each generator produces the canonical structure of its algorithm at the
+//! paper's qubit counts. Angles are deterministic (seeded) so that the
+//! whole evaluation is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Circuit, Gate};
+
+/// Bernstein–Vazirani over `n` qubits: `n−1` data qubits plus one ancilla
+/// (Table I: BV-4/9/16). The hidden string alternates bits, giving the
+/// densest CX pattern of the standard construction.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qplacer_circuits::generators::bv(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// // CX from every set secret bit to the ancilla.
+/// assert!(c.two_qubit_count() >= 1);
+/// ```
+#[must_use]
+pub fn bv(n: usize) -> Circuit {
+    assert!(n >= 2, "BV needs a data qubit and an ancilla");
+    let data = n - 1;
+    let ancilla = n - 1;
+    let mut c = Circuit::new(n);
+    // Ancilla in |−⟩, data in superposition.
+    c.push(Gate::X(ancilla));
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    // Oracle: CX from each secret-1 data qubit to the ancilla.
+    for q in (0..data).step_by(2) {
+        c.push(Gate::Cx(q, ancilla));
+    }
+    // Uncompute superposition on data.
+    for q in 0..data {
+        c.push(Gate::H(q));
+    }
+    c
+}
+
+/// QAOA on a ring of `n` vertices with `layers` (γ, β) rounds
+/// (Table I: QAOA-4/9). Ring MaxCut is the standard hardware-efficient
+/// QAOA benchmark; each layer contributes one ZZ interaction per ring
+/// edge (2 CX + RZ) and an RX mixer per qubit.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `layers == 0`.
+#[must_use]
+pub fn qaoa(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n >= 3, "QAOA ring needs at least 3 vertices");
+    assert!(layers > 0, "QAOA needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    for _ in 0..layers {
+        let gamma: f64 = rng.random_range(0.1..std::f64::consts::PI);
+        let beta: f64 = rng.random_range(0.1..std::f64::consts::PI);
+        for q in 0..n {
+            let r = (q + 1) % n;
+            // exp(-iγ Z⊗Z) = CX · RZ(2γ) · CX.
+            c.push(Gate::Cx(q, r));
+            c.push(Gate::Rz(r, 2.0 * gamma));
+            c.push(Gate::Cx(q, r));
+        }
+        for q in 0..n {
+            // RX(2β) = H · RZ(2β) · H in the restricted gate set.
+            c.push(Gate::H(q));
+            c.push(Gate::Rz(q, 2.0 * beta));
+            c.push(Gate::H(q));
+        }
+    }
+    c
+}
+
+/// First-order Trotterized linear Ising spin chain over `n` spins for
+/// `steps` Trotter steps (Table I: Ising-4, citing the digitized adiabatic
+/// simulation of Barends et al.).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `steps == 0`.
+#[must_use]
+pub fn ising(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2, "a spin chain needs at least 2 spins");
+    assert!(steps > 0, "need at least one Trotter step");
+    let dt = 0.35;
+    let j = 1.0; // coupling
+    let h = 0.8; // transverse field
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    for _ in 0..steps {
+        // ZZ couplings along the chain.
+        for q in 0..n - 1 {
+            c.push(Gate::Cx(q, q + 1));
+            c.push(Gate::Rz(q + 1, 2.0 * j * dt));
+            c.push(Gate::Cx(q, q + 1));
+        }
+        // Transverse field.
+        for q in 0..n {
+            c.push(Gate::H(q));
+            c.push(Gate::Rz(q, 2.0 * h * dt));
+            c.push(Gate::H(q));
+        }
+    }
+    c
+}
+
+/// QGAN generator ansatz: `layers` of a hardware-efficient layered
+/// entangler (RY-equivalent rotations + CX ladder), the circuit family of
+/// quantum GAN generators (Table I: QGAN-4/9).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `layers == 0`.
+#[must_use]
+pub fn qgan(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2, "QGAN ansatz needs at least 2 qubits");
+    assert!(layers > 0, "QGAN needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(QGAN_SEED);
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            // RY(θ) ≡ Sx-Rz-Sx sandwich in the restricted set.
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            c.push(Gate::Sx(q));
+            c.push(Gate::Rz(q, theta));
+            c.push(Gate::Sx(q));
+        }
+        // Linear entangling ladder; alternate direction per layer to
+        // spread connectivity demand.
+        if layer % 2 == 0 {
+            for q in 0..n - 1 {
+                c.push(Gate::Cx(q, q + 1));
+            }
+        } else {
+            for q in (1..n).rev() {
+                c.push(Gate::Cx(q, q - 1));
+            }
+        }
+    }
+    c
+}
+
+/// Fixed seed for the QGAN ansatz angles (0x47414E = "GAN").
+const QGAN_SEED: u64 = 0x47_41_4e;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_sizes_match_table_i() {
+        for n in [4usize, 9, 16] {
+            let c = bv(n);
+            assert_eq!(c.num_qubits(), n);
+            // Oracle CX count = ceil((n-1)/2) with the alternating secret.
+            assert_eq!(c.two_qubit_count(), n.div_ceil(2) - if n % 2 == 0 { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn qaoa_structure() {
+        let c = qaoa(4, 2, 11);
+        assert_eq!(c.num_qubits(), 4);
+        // 2 layers × 4 ring edges × 2 CX each.
+        assert_eq!(c.two_qubit_count(), 16);
+        assert!(c.depth() > 4);
+    }
+
+    #[test]
+    fn qaoa_is_deterministic_per_seed() {
+        assert_eq!(qaoa(9, 2, 13), qaoa(9, 2, 13));
+        assert_ne!(qaoa(9, 2, 13), qaoa(9, 2, 14));
+    }
+
+    #[test]
+    fn ising_chain_counts() {
+        let c = ising(4, 3);
+        // 3 steps × 3 chain edges × 2 CX.
+        assert_eq!(c.two_qubit_count(), 18);
+    }
+
+    #[test]
+    fn qgan_layer_scaling() {
+        let one = qgan(4, 1).two_qubit_count();
+        let two = qgan(4, 2).two_qubit_count();
+        assert_eq!(two, 2 * one);
+    }
+
+    #[test]
+    #[should_panic(expected = "ancilla")]
+    fn bv_too_small_panics() {
+        let _ = bv(1);
+    }
+}

@@ -1,0 +1,84 @@
+//! NISQ benchmark circuits, routing, and scheduling (paper §V-A, Table I).
+//!
+//! The fidelity metric (Eq. 15) evaluates *programs*, not bare layouts:
+//! each benchmark is generated as a logical circuit, mapped onto a
+//! connected subset of physical qubits, routed to respect the device
+//! coupling graph, lightly optimized (the paper uses Qiskit's L3 preset;
+//! we substitute a peephole pass — see `DESIGN.md`), and scheduled so the
+//! error model knows how long each qubit is busy and idle.
+//!
+//! * [`Gate`] / [`Circuit`] — the gate set and circuit container.
+//! * [`generators`] — BV, QAOA, Ising, QGAN (Table I benchmarks).
+//! * [`Router`] — greedy shortest-path swap insertion (SABRE-flavored
+//!   lookahead) producing a physical-qubit circuit.
+//! * [`optimize_peephole`] — gate cancellation/merging.
+//! * [`Schedule`] — ASAP schedule with per-qubit busy/idle accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_circuits::{generators, Router, Schedule};
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::falcon27();
+//! let circuit = generators::bv(4);
+//! let subset: Vec<usize> = vec![0, 1, 2, 4];
+//! let routed = Router::new(&device).route(&circuit, &subset).unwrap();
+//! let schedule = Schedule::asap(&routed);
+//! assert!(schedule.total_duration().ns() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod gate;
+pub mod generators;
+mod optimizer;
+mod router;
+mod sabre;
+mod schedule;
+
+pub use circuit::Circuit;
+pub use gate::Gate;
+pub use optimizer::optimize_peephole;
+pub use router::{RoutedCircuit, Router, RoutingError};
+pub use sabre::SabreRouter;
+pub use schedule::Schedule;
+
+/// A named benchmark: its Table-I label and generated circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (e.g. `"bv-9"`).
+    pub name: String,
+    /// The logical circuit.
+    pub circuit: Circuit,
+}
+
+/// The paper's benchmark suite (Table I): BV-4/9/16, QAOA-4/9, Ising-4,
+/// QGAN-4/9, in Fig. 11's column order.
+///
+/// # Examples
+///
+/// ```
+/// let suite = qplacer_circuits::paper_suite();
+/// assert_eq!(suite.len(), 8);
+/// assert_eq!(suite[0].name, "bv-4");
+/// ```
+#[must_use]
+pub fn paper_suite() -> Vec<Benchmark> {
+    let mk = |name: &str, circuit: Circuit| Benchmark {
+        name: name.to_string(),
+        circuit,
+    };
+    vec![
+        mk("bv-4", generators::bv(4)),
+        mk("bv-9", generators::bv(9)),
+        mk("bv-16", generators::bv(16)),
+        mk("qaoa-4", generators::qaoa(4, 2, 11)),
+        mk("qaoa-9", generators::qaoa(9, 2, 13)),
+        mk("ising-4", generators::ising(4, 3)),
+        mk("qgan-4", generators::qgan(4, 2)),
+        mk("qgan-9", generators::qgan(9, 2)),
+    ]
+}

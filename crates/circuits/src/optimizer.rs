@@ -1,0 +1,207 @@
+//! Peephole circuit optimization (the Qiskit-L3 substitute).
+//!
+//! Two passes run to a fixed point:
+//!
+//! 1. **Self-inverse cancellation** — adjacent identical H/X/CX/CZ pairs
+//!    on the same qubit(s) with nothing touching those qubits in between
+//!    annihilate (this removes most of the router's swap padding around
+//!    cancelled entanglers).
+//! 2. **Rotation merging** — consecutive `Rz` on the same qubit merge;
+//!    rotations that reduce to the identity (mod 2π) are dropped.
+
+use crate::{Circuit, Gate};
+
+/// Optimizes `circuit` in place; returns the number of gates removed.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_circuits::{optimize_peephole, Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cx(0, 1));
+/// let removed = optimize_peephole(&mut c);
+/// assert_eq!(removed, 2);
+/// assert_eq!(c.len(), 1);
+/// ```
+pub fn optimize_peephole(circuit: &mut Circuit) -> usize {
+    let before = circuit.len();
+    loop {
+        let cancelled = cancel_self_inverse(circuit);
+        let merged = merge_rotations(circuit);
+        if cancelled + merged == 0 {
+            break;
+        }
+    }
+    before - circuit.len()
+}
+
+/// One sweep of self-inverse cancellation; returns removed-gate count.
+fn cancel_self_inverse(circuit: &mut Circuit) -> usize {
+    let gates = circuit.gates();
+    let n = gates.len();
+    let mut keep = vec![true; n];
+    // last_open[q] = index of a pending self-inverse gate whose window on
+    // qubit q is still clean.
+    let mut pending: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for i in 0..n {
+        let g = gates[i];
+        let qs = g.qubits();
+        if g.is_self_inverse() {
+            // A pending identical gate on exactly the same qubits cancels.
+            let candidate = pending[qs[0]];
+            let matches = candidate
+                .map(|j| gates[j] == g && qs.iter().all(|&q| pending[q] == candidate))
+                .unwrap_or(false);
+            if matches {
+                let j = candidate.expect("checked above");
+                keep[i] = false;
+                keep[j] = false;
+                for &q in &qs {
+                    pending[q] = None;
+                }
+                continue;
+            }
+            for &q in &qs {
+                pending[q] = Some(i);
+            }
+        } else {
+            for &q in &qs {
+                pending[q] = None;
+            }
+        }
+    }
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed > 0 {
+        let new_gates: Vec<Gate> = gates
+            .iter()
+            .zip(&keep)
+            .filter_map(|(g, &k)| k.then_some(*g))
+            .collect();
+        circuit.set_gates(new_gates);
+    }
+    removed
+}
+
+/// One sweep of Rz merging; returns removed-gate count.
+fn merge_rotations(circuit: &mut Circuit) -> usize {
+    let gates = circuit.gates().to_vec();
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    // Index into `out` of a trailing Rz per qubit, still mergeable.
+    let mut open_rz: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for g in gates {
+        match g {
+            Gate::Rz(q, a) => {
+                if let Some(j) = open_rz[q] {
+                    if let Gate::Rz(_, prev) = out[j] {
+                        out[j] = Gate::Rz(q, prev + a);
+                        continue;
+                    }
+                }
+                out.push(g);
+                open_rz[q] = Some(out.len() - 1);
+            }
+            other => {
+                for q in other.qubits() {
+                    open_rz[q] = None;
+                }
+                out.push(other);
+            }
+        }
+    }
+    // Drop identity rotations.
+    out.retain(|g| match g {
+        Gate::Rz(_, a) => {
+            let r = a.rem_euclid(std::f64::consts::TAU);
+            r.min(std::f64::consts::TAU - r) > 1e-12
+        }
+        _ => true,
+    });
+    let removed = circuit.len() - out.len();
+    if removed > 0 {
+        circuit.set_gates(out);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_adjacent_cx_pairs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 1));
+        assert_eq!(optimize_peephole(&mut c), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn does_not_cancel_across_interference() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::H(1)); // touches qubit 1 -> blocks cancellation
+        c.push(Gate::Cx(0, 1));
+        assert_eq!(optimize_peephole(&mut c), 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn does_not_cancel_reversed_cx() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(1, 0));
+        assert_eq!(optimize_peephole(&mut c), 0);
+    }
+
+    #[test]
+    fn merges_rz_chains() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.4));
+        c.push(Gate::Rz(0, 0.6));
+        optimize_peephole(&mut c);
+        assert_eq!(c.len(), 1);
+        match c.gates()[0] {
+            Gate::Rz(0, a) => assert!((a - 1.0).abs() < 1e-12),
+            ref g => panic!("unexpected {g}"),
+        }
+    }
+
+    #[test]
+    fn drops_identity_rotation() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, std::f64::consts::TAU));
+        optimize_peephole(&mut c);
+        assert!(c.is_empty());
+        // And merged-to-identity chains vanish entirely.
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 1.0));
+        c.push(Gate::Rz(0, -1.0));
+        optimize_peephole(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fixed_point_cascades() {
+        // H X X H -> H H -> empty (needs two sweeps).
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::X(0));
+        c.push(Gate::X(0));
+        c.push(Gate::H(0));
+        assert_eq!(optimize_peephole(&mut c), 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn preserves_non_trivial_circuits() {
+        let mut c = crate::generators::qaoa(4, 1, 5);
+        let before_2q = c.two_qubit_count();
+        optimize_peephole(&mut c);
+        // QAOA's CX-RZ-CX blocks must survive (RZ in the middle blocks
+        // cancellation).
+        assert_eq!(c.two_qubit_count(), before_2q);
+    }
+}

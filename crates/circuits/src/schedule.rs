@@ -1,0 +1,224 @@
+//! ASAP scheduling and busy/idle accounting for the fidelity model.
+
+use std::collections::HashMap;
+
+use qplacer_physics::{constants, Duration};
+
+use crate::{Gate, RoutedCircuit};
+
+/// One scheduled operation: a physical gate with its start time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledOp {
+    /// The gate (physical qubit indices).
+    pub gate: Gate,
+    /// Start time from circuit begin.
+    pub start: Duration,
+    /// Gate duration.
+    pub duration: Duration,
+}
+
+/// An ASAP schedule of a routed circuit with per-qubit busy time and the
+/// total makespan — the exposure windows the crosstalk/decoherence error
+/// model integrates over.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_circuits::{generators, Router, Schedule};
+/// use qplacer_topology::Topology;
+///
+/// let device = Topology::grid(3, 3);
+/// let routed = Router::new(&device)
+///     .route(&generators::bv(4), &[0, 1, 2, 4])
+///     .unwrap();
+/// let s = Schedule::asap(&routed);
+/// assert!(s.total_duration() >= s.busy_time(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+    total: Duration,
+    busy: HashMap<usize, Duration>,
+    two_qubit_busy: HashMap<usize, Duration>,
+}
+
+impl Schedule {
+    /// Builds the as-soon-as-possible schedule of `routed` using the
+    /// architecture's gate durations (35 ns single-qubit, 300 ns RIP CZ).
+    #[must_use]
+    pub fn asap(routed: &RoutedCircuit) -> Self {
+        let mut available: HashMap<usize, Duration> = HashMap::new();
+        let mut busy: HashMap<usize, Duration> = HashMap::new();
+        let mut two_qubit_busy: HashMap<usize, Duration> = HashMap::new();
+        let mut ops = Vec::with_capacity(routed.gates.len());
+        let mut total = Duration::ZERO;
+
+        for &gate in &routed.gates {
+            let qs = gate.qubits();
+            let duration = if gate.is_two_qubit() {
+                constants::TWO_QUBIT_GATE_TIME
+            } else {
+                constants::SINGLE_QUBIT_GATE_TIME
+            };
+            let start = qs
+                .iter()
+                .map(|q| available.get(q).copied().unwrap_or(Duration::ZERO))
+                .fold(Duration::ZERO, |a, b| if b > a { b } else { a });
+            let end = start + duration;
+            for &q in &qs {
+                available.insert(q, end);
+                *busy.entry(q).or_insert(Duration::ZERO) = busy
+                    .get(&q)
+                    .copied()
+                    .unwrap_or(Duration::ZERO)
+                    + duration;
+                if gate.is_two_qubit() {
+                    *two_qubit_busy.entry(q).or_insert(Duration::ZERO) = two_qubit_busy
+                        .get(&q)
+                        .copied()
+                        .unwrap_or(Duration::ZERO)
+                        + duration;
+                }
+            }
+            if end > total {
+                total = end;
+            }
+            ops.push(ScheduledOp {
+                gate,
+                start,
+                duration,
+            });
+        }
+
+        Self {
+            ops,
+            total,
+            busy,
+            two_qubit_busy,
+        }
+    }
+
+    /// The scheduled operations in order.
+    #[must_use]
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Total circuit duration (makespan).
+    #[must_use]
+    pub fn total_duration(&self) -> Duration {
+        self.total
+    }
+
+    /// Time physical qubit `q` spends executing gates.
+    #[must_use]
+    pub fn busy_time(&self, q: usize) -> Duration {
+        self.busy.get(&q).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Time physical qubit `q` spends inside two-qubit gates.
+    #[must_use]
+    pub fn two_qubit_time(&self, q: usize) -> Duration {
+        self.two_qubit_busy
+            .get(&q)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Idle exposure of qubit `q`: makespan minus busy time. This is the
+    /// window during which spatial crosstalk acts on an otherwise inactive
+    /// qubit (Eq. 16's idle-qubit error).
+    #[must_use]
+    pub fn idle_time(&self, q: usize) -> Duration {
+        let b = self.busy_time(q);
+        if self.total > b {
+            self.total - b
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, Router};
+    use qplacer_topology::Topology;
+
+    fn routed_bv4() -> RoutedCircuit {
+        let device = Topology::grid(3, 3);
+        Router::new(&device)
+            .route(&generators::bv(4), &[0, 1, 2, 4])
+            .unwrap()
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let r = routed_bv4();
+        let s = Schedule::asap(&r);
+        // Serial lower bound: longest single-qubit chain; upper bound: sum
+        // of all gate durations.
+        let total_work: f64 = r
+            .gates
+            .iter()
+            .map(|g| {
+                if g.is_two_qubit() {
+                    constants::TWO_QUBIT_GATE_TIME.ns()
+                } else {
+                    constants::SINGLE_QUBIT_GATE_TIME.ns()
+                }
+            })
+            .sum();
+        assert!(s.total_duration().ns() <= total_work);
+        assert!(s.total_duration().ns() > 0.0);
+    }
+
+    #[test]
+    fn busy_plus_idle_equals_makespan() {
+        let r = routed_bv4();
+        let s = Schedule::asap(&r);
+        for &q in &r.active_qubits {
+            let sum = s.busy_time(q) + s.idle_time(q);
+            assert!((sum.ns() - s.total_duration().ns()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn untouched_qubits_are_fully_idle() {
+        let r = routed_bv4();
+        let s = Schedule::asap(&r);
+        assert_eq!(s.busy_time(99).ns(), 0.0);
+        assert_eq!(s.idle_time(99), s.total_duration());
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let device = Topology::grid(2, 2);
+        let mut c = crate::Circuit::new(4);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(2, 3));
+        let routed = Router::new(&device).route(&c, &[0, 1, 2, 3]).unwrap();
+        let s = Schedule::asap(&routed);
+        // Disjoint CXs run in parallel (plus any routing overhead on this
+        // trivially-adjacent mapping there is none).
+        assert_eq!(s.total_duration(), constants::TWO_QUBIT_GATE_TIME);
+    }
+
+    #[test]
+    fn dependent_gates_serialize() {
+        // Both gates share logical qubit 0, which the BFS mapping pins to
+        // the path center — adjacent to both partners, so no swaps and the
+        // two gates must strictly serialize.
+        let device = Topology::grid(3, 1);
+        let mut c = crate::Circuit::new(3);
+        c.push(Gate::Cx(0, 1));
+        c.push(Gate::Cx(0, 2));
+        let routed = Router::new(&device).route(&c, &[0, 1, 2]).unwrap();
+        assert_eq!(routed.swap_count, 0);
+        let s = Schedule::asap(&routed);
+        assert_eq!(
+            s.total_duration().ns(),
+            2.0 * constants::TWO_QUBIT_GATE_TIME.ns()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for circuit generation, routing, optimization,
+//! and scheduling.
+
+use proptest::prelude::*;
+use qplacer_circuits::{
+    generators, optimize_peephole, Circuit, Gate, RoutedCircuit, Router, SabreRouter, Schedule,
+};
+use qplacer_topology::{random_connected_subset, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..8).prop_flat_map(|n| {
+        prop::collection::vec(
+            prop_oneof![
+                (0..n).prop_map(Gate::H),
+                (0..n).prop_map(Gate::X),
+                (0..n).prop_map(Gate::Sx),
+                ((0..n), -3.0f64..3.0).prop_map(|(q, a)| Gate::Rz(q, a)),
+                ((0..n), (0..n)).prop_filter_map("distinct", |(a, b)| {
+                    (a != b).then_some(Gate::Cx(a, b))
+                }),
+            ],
+            0..40,
+        )
+        .prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            c.extend(gates);
+            c
+        })
+    })
+}
+
+fn routed_is_valid(device: &Topology, routed: &RoutedCircuit, original: &Circuit) -> bool {
+    let on_edges = routed.gates.iter().all(|g| match *g {
+        Gate::Cx(a, b) | Gate::Cz(a, b) => device.are_coupled(a, b),
+        _ => true,
+    });
+    let count_ok = routed.gates.len() == original.len() + 3 * routed.swap_count;
+    let usage_total: usize = routed.edge_usage.iter().map(|&(_, n)| n).sum();
+    let two_q = routed.gates.iter().filter(|g| g.is_two_qubit()).count();
+    on_edges && count_ok && usage_total == two_q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn greedy_router_output_is_always_valid(c in arb_circuit(), seed in 0u64..100) {
+        let device = Topology::falcon27();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = random_connected_subset(&device, c.num_qubits().max(2), &mut rng).unwrap();
+        let routed = Router::new(&device).route(&c, &subset).unwrap();
+        prop_assert!(routed_is_valid(&device, &routed, &c));
+    }
+
+    #[test]
+    fn sabre_router_output_is_always_valid(c in arb_circuit(), seed in 0u64..100) {
+        let device = Topology::falcon27();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = random_connected_subset(&device, c.num_qubits().max(2), &mut rng).unwrap();
+        let routed = SabreRouter::new(&device).route(&c, &subset).unwrap();
+        prop_assert!(routed_is_valid(&device, &routed, &c));
+    }
+
+    #[test]
+    fn peephole_never_grows_and_preserves_qubits(c in arb_circuit()) {
+        let mut optimized = c.clone();
+        let removed = optimize_peephole(&mut optimized);
+        prop_assert_eq!(optimized.len() + removed, c.len());
+        // Optimization must not invent gates on untouched qubits.
+        let touched = |circ: &Circuit| -> std::collections::HashSet<usize> {
+            circ.gates().iter().flat_map(Gate::qubits).collect()
+        };
+        prop_assert!(touched(&optimized).is_subset(&touched(&c)));
+        // Idempotent.
+        let mut again = optimized.clone();
+        prop_assert_eq!(optimize_peephole(&mut again), 0);
+    }
+
+    #[test]
+    fn schedule_invariants(c in arb_circuit(), seed in 0u64..50) {
+        let device = Topology::eagle127();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = random_connected_subset(&device, c.num_qubits().max(2), &mut rng).unwrap();
+        let routed = Router::new(&device).route(&c, &subset).unwrap();
+        let s = Schedule::asap(&routed);
+        // Ops never overlap on a qubit.
+        let mut timeline: std::collections::HashMap<usize, f64> = Default::default();
+        for op in s.ops() {
+            for q in op.gate.qubits() {
+                let ready = timeline.get(&q).copied().unwrap_or(0.0);
+                prop_assert!(op.start.ns() >= ready - 1e-9, "op starts before qubit free");
+                timeline.insert(q, op.start.ns() + op.duration.ns());
+            }
+        }
+        // Makespan = max end.
+        let max_end = timeline.values().fold(0.0_f64, |a, &b| a.max(b));
+        prop_assert!((s.total_duration().ns() - max_end).abs() < 1e-9);
+        // busy + idle = makespan per active qubit.
+        for &q in &routed.active_qubits {
+            let sum = s.busy_time(q).ns() + s.idle_time(q).ns();
+            prop_assert!((sum - s.total_duration().ns()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generators_scale_sanely(n in 4usize..12) {
+        let bv = generators::bv(n);
+        prop_assert_eq!(bv.num_qubits(), n);
+        let qaoa = generators::qaoa(n, 1, 3);
+        prop_assert_eq!(qaoa.two_qubit_count(), 2 * n); // ring edges × 2 CX
+        let ising = generators::ising(n, 2);
+        prop_assert_eq!(ising.two_qubit_count(), 2 * 2 * (n - 1));
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end frequency assignment over a device topology.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_physics::Frequency;
+use qplacer_topology::Topology;
+
+use crate::coloring::dsatur_coloring;
+use crate::Spectrum;
+
+/// Frequencies chosen for every qubit and every resonator of a device.
+///
+/// Indices follow the topology: `qubits[q]` for qubit `q`,
+/// `resonators[e]` for the resonator on edge `e` (see
+/// [`Topology::edges`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyAssignment {
+    qubits: Vec<Frequency>,
+    resonators: Vec<Frequency>,
+    detuning_threshold: Frequency,
+}
+
+impl FrequencyAssignment {
+    /// Frequency of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn qubit(&self, q: usize) -> Frequency {
+        self.qubits[q]
+    }
+
+    /// Frequency of the resonator on edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn resonator(&self, e: usize) -> Frequency {
+        self.resonators[e]
+    }
+
+    /// All qubit frequencies.
+    #[must_use]
+    pub fn qubit_frequencies(&self) -> &[Frequency] {
+        &self.qubits
+    }
+
+    /// All resonator frequencies (indexed by edge).
+    #[must_use]
+    pub fn resonator_frequencies(&self) -> &[Frequency] {
+        &self.resonators
+    }
+
+    /// The detuning threshold Δc the assignment was built for.
+    #[must_use]
+    pub fn detuning_threshold(&self) -> Frequency {
+        self.detuning_threshold
+    }
+
+    /// Directly coupled qubit pairs whose detuning is below Δc — the
+    /// frequency-domain isolation failures. Empty whenever the conflict
+    /// chromatic number fits the spectrum.
+    #[must_use]
+    pub fn qubit_conflicts(&self, topology: &Topology) -> Vec<(usize, usize)> {
+        topology
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                self.qubits[a].is_resonant_with(self.qubits[b], self.detuning_threshold * 0.999)
+            })
+            .collect()
+    }
+
+    /// Resonator pairs sharing a qubit whose detuning is below Δc.
+    #[must_use]
+    pub fn resonator_conflicts(&self, topology: &Topology) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let edges = topology.edges();
+        for q in 0..topology.num_qubits() {
+            let incident: Vec<usize> = (0..edges.len())
+                .filter(|&e| edges[e].0 == q || edges[e].1 == q)
+                .collect();
+            for i in 0..incident.len() {
+                for j in i + 1..incident.len() {
+                    let (a, b) = (incident[i], incident[j]);
+                    if self.resonators[a]
+                        .is_resonant_with(self.resonators[b], self.detuning_threshold * 0.999)
+                        && !out.contains(&(a, b))
+                    {
+                        out.push((a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Configurable frequency assigner (paper §IV-A).
+///
+/// Qubits are colored on their *radius-2* conflict graph (direct neighbors
+/// and neighbors-of-neighbors — the spatial-crosstalk-relevant pairs) and
+/// mapped to spectrum slots; colors beyond the slot count wrap, after
+/// which a repair pass re-slots any directly-coupled collision (always
+/// possible while the direct degree is below the slot count). Resonators
+/// are colored on the line graph (resonators sharing a qubit conflict).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyAssigner {
+    qubit_band: Spectrum,
+    resonator_band: Spectrum,
+    /// Conflict radius for qubit coloring (1 = direct neighbors only).
+    qubit_conflict_radius: usize,
+}
+
+impl FrequencyAssigner {
+    /// Assigner with the paper's spectra (4.8–5.2 GHz qubits, 6–7 GHz
+    /// resonators, Δc = 0.1 GHz) and radius-2 qubit conflicts.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            qubit_band: Spectrum::paper_qubit_band(),
+            resonator_band: Spectrum::paper_resonator_band(),
+            qubit_conflict_radius: 2,
+        }
+    }
+
+    /// Assigner with custom spectra.
+    #[must_use]
+    pub fn new(qubit_band: Spectrum, resonator_band: Spectrum, qubit_conflict_radius: usize) -> Self {
+        Self {
+            qubit_band,
+            resonator_band,
+            qubit_conflict_radius,
+        }
+    }
+
+    /// The qubit spectrum.
+    #[must_use]
+    pub fn qubit_band(&self) -> Spectrum {
+        self.qubit_band
+    }
+
+    /// The resonator spectrum.
+    #[must_use]
+    pub fn resonator_band(&self) -> Spectrum {
+        self.resonator_band
+    }
+
+    /// Assigns frequencies to every qubit and resonator of `topology`.
+    #[must_use]
+    pub fn assign(&self, topology: &Topology) -> FrequencyAssignment {
+        let qubit_slots = self.color_and_slot(
+            &radius_conflicts(topology, self.qubit_conflict_radius),
+            &direct_adjacency(topology),
+            self.qubit_band.num_slots(),
+        );
+        let qubits = qubit_slots
+            .iter()
+            .map(|&s| self.qubit_band.slot(s))
+            .collect();
+
+        let line = line_graph(topology);
+        let res_slots = self.color_and_slot(&line, &line, self.resonator_band.num_slots());
+        let resonators = res_slots
+            .iter()
+            .map(|&s| self.resonator_band.slot(s))
+            .collect();
+
+        FrequencyAssignment {
+            qubits,
+            resonators,
+            detuning_threshold: self.qubit_band.step(),
+        }
+    }
+
+    /// Colors `conflicts`, wraps colors into `num_slots`, then repairs any
+    /// collision on the *hard* conflict graph (`must_differ`) greedily.
+    fn color_and_slot(
+        &self,
+        conflicts: &[Vec<usize>],
+        must_differ: &[Vec<usize>],
+        num_slots: usize,
+    ) -> Vec<usize> {
+        let colors = dsatur_coloring(conflicts);
+        let num_colors = colors.iter().copied().max().map_or(1, |m| m + 1);
+        // Spread colors evenly across the whole band instead of packing
+        // them at the low end: distinct colors stay on distinct slots while
+        // the average frequency matches the band center (this also keeps
+        // resonator lengths — hence segment counts — at the paper's scale).
+        let mut slots: Vec<usize> = colors
+            .iter()
+            .map(|&c| {
+                if num_colors <= num_slots {
+                    (c as f64 * (num_slots - 1) as f64 / (num_colors.max(2) - 1) as f64).round()
+                        as usize
+                } else {
+                    c % num_slots
+                }
+            })
+            .collect();
+        // Repair pass: direct conflicts must never share a slot.
+        for v in 0..slots.len() {
+            let taken: std::collections::HashSet<usize> =
+                must_differ[v].iter().map(|&u| slots[u]).collect();
+            if taken.contains(&slots[v]) {
+                if let Some(free) = (0..num_slots).find(|s| !taken.contains(s)) {
+                    slots[v] = free;
+                }
+                // If the direct degree exceeds the slot count the collision
+                // is unavoidable; the spatial force handles it downstream.
+            }
+        }
+        slots
+    }
+}
+
+impl Default for FrequencyAssigner {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+fn direct_adjacency(topology: &Topology) -> Vec<Vec<usize>> {
+    (0..topology.num_qubits())
+        .map(|q| topology.neighbors(q).to_vec())
+        .collect()
+}
+
+/// Conflict graph containing every pair within `radius` hops.
+fn radius_conflicts(topology: &Topology, radius: usize) -> Vec<Vec<usize>> {
+    let n = topology.num_qubits();
+    let mut out = vec![Vec::new(); n];
+    for v in 0..n {
+        let dist = topology.bfs_distances(v);
+        for (u, &d) in dist.iter().enumerate() {
+            if u != v && d <= radius {
+                out[v].push(u);
+            }
+        }
+    }
+    out
+}
+
+/// Line graph of the device: vertices are edges (resonators); two conflict
+/// when they share a qubit.
+fn line_graph(topology: &Topology) -> Vec<Vec<usize>> {
+    let edges = topology.edges();
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); topology.num_qubits()];
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        incident[a].push(e);
+        incident[b].push(e);
+    }
+    let mut out = vec![Vec::new(); edges.len()];
+    for inc in &incident {
+        for i in 0..inc.len() {
+            for j in 0..inc.len() {
+                if i != j && !out[inc[i]].contains(&inc[j]) {
+                    out[inc[i]].push(inc[j]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_frequencies_within_bands() {
+        let a = FrequencyAssigner::paper_defaults().assign(&Topology::eagle127());
+        for &f in a.qubit_frequencies() {
+            assert!(f >= Frequency::from_ghz(4.8) && f <= Frequency::from_ghz(5.2));
+        }
+        for &f in a.resonator_frequencies() {
+            assert!(f >= Frequency::from_ghz(6.0) && f <= Frequency::from_ghz(7.0));
+        }
+    }
+
+    #[test]
+    fn no_direct_conflicts_on_paper_suite() {
+        let assigner = FrequencyAssigner::paper_defaults();
+        for t in Topology::paper_suite() {
+            let a = assigner.assign(&t);
+            assert!(
+                a.qubit_conflicts(&t).is_empty(),
+                "{}: coupled qubits share a slot",
+                t.name()
+            );
+            assert!(
+                a.resonator_conflicts(&t).is_empty(),
+                "{}: incident resonators share a slot",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn radius_two_isolation_on_heavy_hex() {
+        // Heavy-hex has low degree; 5 slots cover the radius-2 chromatic
+        // number, so even second neighbors should be detuned.
+        let t = Topology::falcon27();
+        let a = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut violations = 0;
+        for q in 0..t.num_qubits() {
+            let dist = t.bfs_distances(q);
+            for (u, &d) in dist.iter().enumerate() {
+                if u > q && d == 2 && a.qubit(q) == a.qubit(u) {
+                    violations += 1;
+                }
+            }
+        }
+        assert_eq!(violations, 0, "radius-2 slot collisions on Falcon");
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let t = Topology::aspen(2, 5);
+        let a1 = FrequencyAssigner::paper_defaults().assign(&t);
+        let a2 = FrequencyAssigner::paper_defaults().assign(&t);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let t = Topology::from_edges("star", 4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let lg = line_graph(&t);
+        for (e, nbrs) in lg.iter().enumerate() {
+            assert_eq!(nbrs.len(), 2, "edge {e} conflicts with the other two");
+        }
+    }
+
+    #[test]
+    fn grid_resonator_count_matches_edges() {
+        let t = Topology::grid(5, 5);
+        let a = FrequencyAssigner::paper_defaults().assign(&t);
+        assert_eq!(a.resonator_frequencies().len(), 40);
+        assert_eq!(a.qubit_frequencies().len(), 25);
+    }
+}
+
+#[cfg(test)]
+mod wrap_tests {
+    use super::*;
+    use crate::Spectrum;
+    use qplacer_physics::Frequency;
+
+    /// A clique bigger than the slot count forces color wrapping; the
+    /// repair pass must still keep directly-coupled vertices apart while
+    /// staying inside the band.
+    #[test]
+    fn wrapping_repair_keeps_direct_isolation_when_possible() {
+        // K4 on a 3-slot band: chromatic number 4 > 3 slots, so one direct
+        // collision is unavoidable — but never more than necessary, and
+        // all frequencies stay in-band.
+        let t = Topology::from_edges(
+            "k4",
+            4,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let narrow = Spectrum::new(
+            Frequency::from_ghz(5.0),
+            Frequency::from_ghz(5.2),
+            Frequency::from_ghz(0.1),
+        );
+        let assigner = FrequencyAssigner::new(narrow, Spectrum::paper_resonator_band(), 1);
+        let a = assigner.assign(&t);
+        for &f in a.qubit_frequencies() {
+            assert!(f >= Frequency::from_ghz(5.0) && f <= Frequency::from_ghz(5.2));
+        }
+        // K4 over 3 slots admits at best one colliding pair.
+        assert!(a.qubit_conflicts(&t).len() <= 2, "{:?}", a.qubit_conflicts(&t));
+    }
+
+    /// Degree below the slot count: the repair pass guarantees zero direct
+    /// conflicts regardless of how many colors DSATUR used.
+    #[test]
+    fn repair_is_complete_below_slot_degree() {
+        let t = Topology::aspen(2, 5);
+        let a = FrequencyAssigner::paper_defaults().assign(&t);
+        assert!(a.qubit_conflicts(&t).is_empty());
+    }
+}

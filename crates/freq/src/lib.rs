@@ -1,0 +1,36 @@
+//! Frequency assignment for qubits and resonators (paper §IV-A).
+//!
+//! QPlacer's first stage allocates frequencies from the available spectra
+//! so that *interconnected* components are detuned by at least the
+//! threshold Δc — frequency-domain isolation. Components that end up
+//! sharing a frequency slot anyway (spectra are narrow: 5 qubit slots,
+//! 11 resonator slots) are exactly the pairs the spatial frequency force
+//! must separate during placement.
+//!
+//! * [`Spectrum`] — a discretized frequency band.
+//! * [`dsatur_coloring`] — saturation-degree greedy graph coloring.
+//! * [`FrequencyAssigner`] / [`FrequencyAssignment`] — end-to-end
+//!   assignment over a device [`qplacer_topology::Topology`].
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_freq::FrequencyAssigner;
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::falcon27();
+//! let assignment = FrequencyAssigner::paper_defaults().assign(&device);
+//! // Directly coupled qubits never share a slot on heavy-hex.
+//! assert_eq!(assignment.qubit_conflicts(&device).len(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assigner;
+mod coloring;
+mod spectrum;
+
+pub use assigner::{FrequencyAssigner, FrequencyAssignment};
+pub use coloring::{color_count, dsatur_coloring};
+pub use spectrum::Spectrum;

@@ -1,0 +1,150 @@
+//! Discretized frequency bands.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_physics::{constants, Frequency};
+
+/// A frequency band `[min, max]` discretized into slots at pitch `step`
+/// (the detuning threshold Δc): slot `k` sits at `min + k·step`.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_freq::Spectrum;
+/// let s = Spectrum::paper_qubit_band();
+/// assert_eq!(s.num_slots(), 5);
+/// assert!((s.slot(0).ghz() - 4.8).abs() < 1e-12);
+/// assert!((s.slot(4).ghz() - 5.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    min: Frequency,
+    max: Frequency,
+    step: Frequency,
+}
+
+impl Spectrum {
+    /// Creates a spectrum from band edges and slot pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < min` or `step` is not positive.
+    #[must_use]
+    pub fn new(min: Frequency, max: Frequency, step: Frequency) -> Self {
+        assert!(max >= min, "spectrum band inverted");
+        assert!(step.ghz() > 0.0, "slot pitch must be positive");
+        Self { min, max, step }
+    }
+
+    /// The paper's qubit band: 4.8–5.2 GHz at Δc = 0.1 GHz (5 slots).
+    #[must_use]
+    pub fn paper_qubit_band() -> Self {
+        Self::new(
+            constants::QUBIT_FREQ_MIN,
+            constants::QUBIT_FREQ_MAX,
+            constants::DETUNING_THRESHOLD,
+        )
+    }
+
+    /// The paper's resonator band: 6.0–7.0 GHz at Δc = 0.1 GHz (11 slots).
+    #[must_use]
+    pub fn paper_resonator_band() -> Self {
+        Self::new(
+            constants::RESONATOR_FREQ_MIN,
+            constants::RESONATOR_FREQ_MAX,
+            constants::DETUNING_THRESHOLD,
+        )
+    }
+
+    /// Lower band edge.
+    #[must_use]
+    pub fn min(&self) -> Frequency {
+        self.min
+    }
+
+    /// Upper band edge.
+    #[must_use]
+    pub fn max(&self) -> Frequency {
+        self.max
+    }
+
+    /// Slot pitch (the detuning threshold).
+    #[must_use]
+    pub fn step(&self) -> Frequency {
+        self.step
+    }
+
+    /// Number of slots in the band (inclusive of both edges).
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        ((self.max - self.min) / self.step).floor() as usize + 1
+    }
+
+    /// Center frequency of slot `k` (slots wrap: `k` is taken modulo the
+    /// slot count, mirroring the assigner's behaviour when the conflict
+    /// chromatic number exceeds the spectrum).
+    #[must_use]
+    pub fn slot(&self, k: usize) -> Frequency {
+        let k = k % self.num_slots();
+        self.min + self.step * k as f64
+    }
+
+    /// The slot index whose center is closest to `f`, if `f` lies within
+    /// half a step of the band.
+    #[must_use]
+    pub fn slot_of(&self, f: Frequency) -> Option<usize> {
+        let rel = (f - self.min) / self.step;
+        let k = rel.round();
+        if k < -0.5 || (f - self.slot(k.max(0.0) as usize)).abs() > self.step * 0.5 + Frequency::from_ghz(1e-12) {
+            return None;
+        }
+        let k = k as usize;
+        (k < self.num_slots()).then_some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bands_have_expected_slots() {
+        assert_eq!(Spectrum::paper_qubit_band().num_slots(), 5);
+        assert_eq!(Spectrum::paper_resonator_band().num_slots(), 11);
+    }
+
+    #[test]
+    fn slots_are_spaced_by_step() {
+        let s = Spectrum::paper_resonator_band();
+        for k in 1..s.num_slots() {
+            let gap = s.slot(k) - s.slot(k - 1);
+            assert!((gap.ghz() - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slot_wraps_beyond_band() {
+        let s = Spectrum::paper_qubit_band();
+        assert_eq!(s.slot(5), s.slot(0));
+        assert_eq!(s.slot(12), s.slot(2));
+    }
+
+    #[test]
+    fn slot_of_roundtrips() {
+        let s = Spectrum::paper_qubit_band();
+        for k in 0..s.num_slots() {
+            assert_eq!(s.slot_of(s.slot(k)), Some(k));
+        }
+        assert_eq!(s.slot_of(Frequency::from_ghz(6.5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch")]
+    fn zero_step_panics() {
+        let _ = Spectrum::new(
+            Frequency::from_ghz(1.0),
+            Frequency::from_ghz(2.0),
+            Frequency::ZERO,
+        );
+    }
+}

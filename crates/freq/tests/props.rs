@@ -1,0 +1,78 @@
+//! Property-based tests for frequency assignment.
+
+use proptest::prelude::*;
+use qplacer_freq::{color_count, dsatur_coloring, FrequencyAssigner, Spectrum};
+use qplacer_physics::Frequency;
+use qplacer_topology::Topology;
+
+fn arb_graph() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (2usize..30).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..60).prop_map(move |pairs| {
+            let mut adj = vec![std::collections::BTreeSet::new(); n];
+            for (a, b) in pairs {
+                if a != b {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+            adj.into_iter().map(|s| s.into_iter().collect()).collect()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dsatur_always_proper(adj in arb_graph()) {
+        let colors = dsatur_coloring(&adj);
+        for (v, nbrs) in adj.iter().enumerate() {
+            for &u in nbrs {
+                prop_assert_ne!(colors[v], colors[u], "edge ({}, {}) monochrome", v, u);
+            }
+        }
+        // Colors are consecutive from 0 and bounded by max degree + 1.
+        let k = color_count(&colors);
+        let maxdeg = adj.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert!(k <= maxdeg + 1, "used {} colors on degree {}", k, maxdeg);
+        for &c in &colors {
+            prop_assert!(c < k);
+        }
+    }
+
+    #[test]
+    fn spectrum_slots_stay_in_band(
+        min_ghz in 1.0f64..8.0,
+        width in 0.2f64..2.0,
+        step in 0.05f64..0.3,
+    ) {
+        let s = Spectrum::new(
+            Frequency::from_ghz(min_ghz),
+            Frequency::from_ghz(min_ghz + width),
+            Frequency::from_ghz(step),
+        );
+        prop_assert!(s.num_slots() >= 1);
+        for k in 0..s.num_slots() * 2 {
+            let f = s.slot(k);
+            prop_assert!(f >= s.min() && f <= s.max(), "slot {} at {} escapes band", k, f);
+        }
+    }
+
+    #[test]
+    fn assignments_respect_direct_isolation(w in 2usize..6, h in 2usize..6, radius in 1usize..3) {
+        let device = Topology::grid(w, h);
+        let assigner = FrequencyAssigner::new(
+            Spectrum::paper_qubit_band(),
+            Spectrum::paper_resonator_band(),
+            radius,
+        );
+        let a = assigner.assign(&device);
+        // Degree ≤ 4 < 5 slots: the repair pass always succeeds, so there
+        // must be zero direct conflicts whatever the radius.
+        prop_assert!(a.qubit_conflicts(&device).is_empty());
+        prop_assert!(a.resonator_conflicts(&device).is_empty());
+        // All frequencies in-band.
+        for q in 0..device.num_qubits() {
+            let f = a.qubit(q);
+            prop_assert!(f >= Frequency::from_ghz(4.8) && f <= Frequency::from_ghz(5.2));
+        }
+    }
+}

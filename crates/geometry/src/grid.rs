@@ -1,0 +1,179 @@
+//! Uniform spatial hash grid for neighbor queries.
+
+use crate::{Point, Rect};
+
+/// A uniform grid over a rectangular region that buckets item ids by cell,
+/// supporting fast "who is near this rectangle?" queries.
+///
+/// Used by the violation scanner (hotspot metric) and the legalizers, where
+/// all-pairs scans over thousands of instances would otherwise dominate.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{Point, Rect, SpatialGrid};
+/// let region = Rect::from_origin_size(Point::ORIGIN, 10.0, 10.0);
+/// let mut grid = SpatialGrid::new(region, 1.0);
+/// grid.insert(7, &Rect::from_center(Point::new(2.0, 2.0), 1.0, 1.0));
+/// let near = grid.query(&Rect::from_center(Point::new(2.4, 2.4), 0.5, 0.5));
+/// assert_eq!(near, vec![7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    region: Rect,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid over `region` with square cells of side
+    /// `cell_size` (clamped so the grid has at least one cell per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive or `region` has zero area.
+    #[must_use]
+    pub fn new(region: Rect, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        assert!(region.area() > 0.0, "region must have positive area");
+        let nx = (region.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (region.height() / cell_size).ceil().max(1.0) as usize;
+        Self {
+            region,
+            cell: cell_size,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+        }
+    }
+
+    /// The grid's region.
+    #[must_use]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of cells along x and y.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn cell_index(&self, p: Point) -> (usize, usize) {
+        let ix = ((p.x - self.region.min.x) / self.cell).floor();
+        let iy = ((p.y - self.region.min.y) / self.cell).floor();
+        (
+            (ix.max(0.0) as usize).min(self.nx - 1),
+            (iy.max(0.0) as usize).min(self.ny - 1),
+        )
+    }
+
+    fn cell_range(&self, rect: &Rect) -> (usize, usize, usize, usize) {
+        let (x0, y0) = self.cell_index(rect.min);
+        let (x1, y1) = self.cell_index(rect.max);
+        (x0, y0, x1, y1)
+    }
+
+    /// Registers `id` as occupying `rect`. Items larger than a cell are
+    /// registered in every cell they touch.
+    pub fn insert(&mut self, id: usize, rect: &Rect) {
+        let (x0, y0, x1, y1) = self.cell_range(rect);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                self.buckets[iy * self.nx + ix].push(id);
+            }
+        }
+    }
+
+    /// Removes every registration of `id` within the cells touched by
+    /// `rect` (the same rect used at insertion).
+    pub fn remove(&mut self, id: usize, rect: &Rect) {
+        let (x0, y0, x1, y1) = self.cell_range(rect);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                self.buckets[iy * self.nx + ix].retain(|&other| other != id);
+            }
+        }
+    }
+
+    /// Ids of items whose registered cells intersect `rect`, deduplicated
+    /// and sorted. Callers still need an exact overlap test on the result.
+    #[must_use]
+    pub fn query(&self, rect: &Rect) -> Vec<usize> {
+        let (x0, y0, x1, y1) = self.cell_range(rect);
+        let mut out = Vec::new();
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                out.extend_from_slice(&self.buckets[iy * self.nx + ix]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Clears all registrations, keeping the grid shape.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, 10.0, 10.0)
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut g = SpatialGrid::new(region(), 1.0);
+        let r1 = Rect::from_center(Point::new(1.0, 1.0), 0.5, 0.5);
+        let r2 = Rect::from_center(Point::new(8.0, 8.0), 0.5, 0.5);
+        g.insert(1, &r1);
+        g.insert(2, &r2);
+        assert_eq!(g.query(&r1), vec![1]);
+        assert_eq!(g.query(&r2), vec![2]);
+        assert_eq!(g.query(&region()), vec![1, 2]);
+    }
+
+    #[test]
+    fn large_items_span_multiple_cells() {
+        let mut g = SpatialGrid::new(region(), 1.0);
+        let big = Rect::from_origin_size(Point::new(2.0, 2.0), 3.5, 0.5);
+        g.insert(9, &big);
+        // Query a cell in the middle of the item.
+        let probe = Rect::from_center(Point::new(4.0, 2.25), 0.1, 0.1);
+        assert_eq!(g.query(&probe), vec![9]);
+    }
+
+    #[test]
+    fn remove_clears_all_cells() {
+        let mut g = SpatialGrid::new(region(), 1.0);
+        let big = Rect::from_origin_size(Point::new(0.0, 0.0), 5.0, 5.0);
+        g.insert(3, &big);
+        g.remove(3, &big);
+        assert!(g.query(&region()).is_empty());
+    }
+
+    #[test]
+    fn out_of_region_queries_clamp() {
+        let mut g = SpatialGrid::new(region(), 1.0);
+        let r = Rect::from_center(Point::new(9.9, 9.9), 0.5, 0.5);
+        g.insert(4, &r);
+        let probe = Rect::from_center(Point::new(20.0, 20.0), 1.0, 1.0);
+        // Clamped to the far corner cell, which contains item 4.
+        assert_eq!(g.query(&probe), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        let _ = SpatialGrid::new(region(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Geometry primitives for quantum-chip placement.
+//!
+//! All coordinates are in **millimeters** (`f64`). The crate provides the
+//! small computational-geometry toolbox the rest of QPlacer builds on:
+//!
+//! * [`Point`] and [`Vector`] — 2-D coordinates and displacements.
+//! * [`Rect`] — axis-aligned rectangles (component footprints, bins, the
+//!   placement region) with overlap/intersection math.
+//! * [`Polygon`] — simple polygons (shoelace area, centroid) used by the
+//!   area metrics.
+//! * [`SpiralIter`] — the ring-ordered spiral walk used by the greedy qubit
+//!   legalizer.
+//! * [`SpatialGrid`] — a uniform hash grid for neighbor queries during
+//!   violation scans and legalization.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_geometry::{Point, Rect};
+//!
+//! let a = Rect::from_center(Point::new(0.0, 0.0), 1.2, 1.2);
+//! let b = Rect::from_center(Point::new(1.0, 0.0), 1.2, 1.2);
+//! let overlap = a.intersection(&b).expect("they overlap");
+//! assert!((overlap.width() - 0.2).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod point;
+mod polygon;
+mod rect;
+mod spiral;
+
+pub use grid::SpatialGrid;
+pub use point::{Point, Vector};
+pub use polygon::Polygon;
+pub use rect::{enclosing_rect, Rect};
+pub use spiral::SpiralIter;
+
+/// Tolerance used throughout the placement geometry when comparing
+/// coordinates in millimeters (≈ 1 nanometer).
+pub const GEOM_EPS: f64 = 1e-6;
+
+/// Returns `true` when two lengths/coordinates are equal within [`GEOM_EPS`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(qplacer_geometry::approx_eq(1.0, 1.0 + 1e-9));
+/// assert!(!qplacer_geometry::approx_eq(1.0, 1.1));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= GEOM_EPS
+}

@@ -1,0 +1,317 @@
+//! Points and displacement vectors in the chip plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A location on the substrate, in millimeters.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::Point;
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(p.distance(Point::ORIGIN), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (mm).
+    pub x: f64,
+    /// Vertical coordinate (mm).
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in millimeters.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{Point, Vector};
+/// let v = Point::new(1.0, 2.0) - Point::new(0.0, 0.0);
+/// assert_eq!(v, Vector::new(1.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    /// Horizontal component (mm).
+    pub x: f64,
+    /// Vertical component (mm).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_geometry::Point;
+    /// assert_eq!(Point::new(0.0, 3.0).distance(Point::new(4.0, 0.0)), 5.0);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Componentwise linear interpolation: `t = 0` gives `self`, `t = 1`
+    /// gives `other`.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` if either coordinate is NaN or infinite.
+    #[must_use]
+    pub fn is_degenerate(self) -> bool {
+        !(self.x.is_finite() && self.y.is_finite())
+    }
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed parallelogram area).
+    #[must_use]
+    pub fn cross(self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the vector scaled to unit length, or `None` when shorter
+    /// than `eps`.
+    #[must_use]
+    pub fn normalized(self, eps: f64) -> Option<Vector> {
+        let n = self.norm();
+        (n > eps).then(|| self / n)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.4}, {:.4}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vector> for f64 {
+    type Output = Vector;
+    fn mul(self, rhs: Vector) -> Vector {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl AddAssign for Vector {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign for Vector {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn manhattan_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 3.0);
+        assert_eq!(a.manhattan(b), 5.0);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vector::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vector::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Vector::new(1.0, 0.0)), -4.0);
+        assert_eq!(-v, Vector::new(-3.0, -4.0));
+        assert_eq!(v * 2.0, Vector::new(6.0, 8.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vector::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vector::ZERO.normalized(1e-12).is_none());
+        let u = Vector::new(0.0, 2.0).normalized(1e-12).unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_vector_roundtrip() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vector::new(0.5, -0.25);
+        assert_eq!((p + v) - v, p);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Point::new(f64::NAN, 0.0).is_degenerate());
+        assert!(Point::new(0.0, f64::INFINITY).is_degenerate());
+        assert!(!Point::new(1.0, 1.0).is_degenerate());
+    }
+}

@@ -1,0 +1,188 @@
+//! Simple polygons for the area metrics (`A_poly`, Eq. 17).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Rect};
+
+/// A simple polygon given by its vertices in order (either winding).
+///
+/// QPlacer's instances are rectangles, but the union outline of a legalized
+/// resonator (a snake of square segments) is a rectilinear polygon; the area
+/// metrics operate on this type.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{Point, Polygon};
+/// let tri = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 3.0),
+/// ]);
+/// assert_eq!(tri.area(), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertex loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 vertices are supplied.
+    #[must_use]
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "a polygon needs at least 3 vertices, got {}",
+            vertices.len()
+        );
+        Self { vertices }
+    }
+
+    /// The vertex loop.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Signed shoelace area: positive for counter-clockwise winding.
+    #[must_use]
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        0.5 * acc
+    }
+
+    /// Absolute enclosed area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid. For degenerate (zero-area) polygons this falls back to
+    /// the vertex average.
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let a = self.signed_area();
+        if a.abs() < 1e-15 {
+            let (sx, sy) = self
+                .vertices
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n as f64, sy / n as f64);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box.
+    #[must_use]
+    pub fn bbox(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for p in &self.vertices[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Rect { min, max }
+    }
+
+    /// Point-in-polygon test (even-odd rule); boundary points may report
+    /// either side and should not be relied upon.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[j];
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Self {
+        Polygon::new(r.corners().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_roundtrip_area() {
+        let r = Rect::from_origin_size(Point::new(1.0, 1.0), 3.0, 2.0);
+        let poly = Polygon::from(r);
+        assert!((poly.area() - 6.0).abs() < 1e-12);
+        assert_eq!(poly.centroid(), r.center());
+        assert_eq!(poly.bbox(), r);
+    }
+
+    #[test]
+    fn winding_does_not_change_area() {
+        let ccw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        let mut rev = ccw.vertices().to_vec();
+        rev.reverse();
+        let cw = Polygon::new(rev);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+        assert_eq!(ccw.area(), cw.area());
+    }
+
+    #[test]
+    fn l_shape_area_and_containment() {
+        // An L formed by two 1x2 / 2x1 arms.
+        let poly = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!((poly.area() - 3.0).abs() < 1e-12);
+        assert!(poly.contains(Point::new(0.5, 1.5)));
+        assert!(poly.contains(Point::new(1.5, 0.5)));
+        assert!(!poly.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Axis-aligned rectangles: component footprints, padded halos, bins.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Point, Vector, GEOM_EPS};
+
+/// An axis-aligned rectangle described by its lower-left and upper-right
+/// corners, in millimeters.
+///
+/// Rectangles are the footprint model for every placement instance: a qubit
+/// pocket, a resonator segment block, a density bin, or the whole substrate.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{Point, Rect};
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+/// assert_eq!(r.area(), 2.0);
+/// assert_eq!(r.center(), Point::new(1.0, 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, normalizing the order.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from its center and dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_center(center: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "rect dimensions must be non-negative: {width} x {height}"
+        );
+        let half = Vector::new(0.5 * width, 0.5 * height);
+        Self {
+            min: center - half,
+            max: center + half,
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_origin_size(origin: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "rect dimensions must be non-negative: {width} x {height}"
+        );
+        Self {
+            min: origin,
+            max: origin + Vector::new(width, height),
+        }
+    }
+
+    /// Width along x.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Enclosed area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter length (the half-perimeter is the classical HPWL bin).
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Geometric center.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns this rectangle translated by `v`.
+    #[must_use]
+    pub fn translated(&self, v: Vector) -> Rect {
+        Rect {
+            min: self.min + v,
+            max: self.max + v,
+        }
+    }
+
+    /// Returns this rectangle re-centered at `c`, keeping its dimensions.
+    #[must_use]
+    pub fn centered_at(&self, c: Point) -> Rect {
+        Rect::from_center(c, self.width(), self.height())
+    }
+
+    /// Returns the rectangle grown outward by `pad` on every side (the
+    /// padding halo of §IV-B1). Negative `pad` shrinks; the result is
+    /// clamped so it never inverts.
+    #[must_use]
+    pub fn inflated(&self, pad: f64) -> Rect {
+        let cx = self.center();
+        let w = (self.width() + 2.0 * pad).max(0.0);
+        let h = (self.height() + 2.0 * pad).max(0.0);
+        Rect::from_center(cx, w, h)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x - GEOM_EPS
+            && p.x <= self.max.x + GEOM_EPS
+            && p.y >= self.min.y - GEOM_EPS
+            && p.y <= self.max.y + GEOM_EPS
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (boundaries
+    /// may touch).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Returns `true` if the interiors of the two rectangles overlap
+    /// (touching edges do **not** count as overlap).
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.min.x < other.max.x - GEOM_EPS
+            && other.min.x < self.max.x - GEOM_EPS
+            && self.min.y < other.max.y - GEOM_EPS
+            && other.min.y < self.max.y - GEOM_EPS
+    }
+
+    /// Intersection rectangle, or `None` when interiors do not overlap.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Area of the intersection with `other` (0 when disjoint).
+    #[must_use]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        self.intersection(other).map_or(0.0, |r| r.area())
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    #[must_use]
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Minimum gap between the two rectangles' boundaries along the axes:
+    /// 0 when they overlap or touch, otherwise the Euclidean clearance.
+    #[must_use]
+    pub fn clearance(&self, other: &Rect) -> f64 {
+        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
+        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Length over which the two rectangles are adjacent: the longer side of
+    /// the intersection of their footprints (used by the hotspot metric
+    /// `P_h`, Eq. 18). Returns 0 when the interiors are disjoint.
+    #[must_use]
+    pub fn adjacency_length(&self, other: &Rect) -> f64 {
+        self.intersection(other)
+            .map_or(0.0, |r| r.width().max(r.height()))
+    }
+
+    /// Clamps a candidate center position so that a rectangle of this size
+    /// stays inside `region`.
+    #[must_use]
+    pub fn clamp_center_into(&self, region: &Rect, c: Point) -> Point {
+        let hw = 0.5 * self.width();
+        let hh = 0.5 * self.height();
+        let lo_x = region.min.x + hw;
+        let hi_x = (region.max.x - hw).max(lo_x);
+        let lo_y = region.min.y + hh;
+        let hi_y = (region.max.y - hh).max(lo_y);
+        Point::new(c.x.clamp(lo_x, hi_x), c.y.clamp(lo_y, hi_y))
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    #[must_use]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+/// The minimum enclosing axis-aligned rectangle of a set of rectangles
+/// (`A_mer` in the paper's area metric, Eq. 17). Returns `None` on an empty
+/// iterator.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{enclosing_rect, Point, Rect};
+/// let rects = [
+///     Rect::from_center(Point::new(0.0, 0.0), 1.0, 1.0),
+///     Rect::from_center(Point::new(5.0, 1.0), 1.0, 1.0),
+/// ];
+/// let mer = enclosing_rect(rects.iter()).unwrap();
+/// assert_eq!(mer.width(), 6.0);
+/// assert_eq!(mer.height(), 2.0);
+/// ```
+#[must_use]
+pub fn enclosing_rect<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
+    let mut it = rects.into_iter();
+    let first = *it.next()?;
+    Some(it.fold(first, |acc, r| acc.union_bbox(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_at(x: f64, y: f64) -> Rect {
+        Rect::from_center(Point::new(x, y), 1.0, 1.0)
+    }
+
+    #[test]
+    fn dimensions_and_area() {
+        let r = Rect::from_origin_size(Point::new(1.0, 2.0), 3.0, 4.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.perimeter(), 14.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn corner_normalization() {
+        let r = Rect::new(Point::new(2.0, 3.0), Point::new(-1.0, 1.0));
+        assert_eq!(r.min, Point::new(-1.0, 1.0));
+        assert_eq!(r.max, Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_touching_does_not_count() {
+        let a = unit_at(0.0, 0.0);
+        let b = unit_at(1.0, 0.0); // shares an edge
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        let c = unit_at(0.9, 0.0);
+        assert!(a.overlaps(&c) && c.overlaps(&a));
+    }
+
+    #[test]
+    fn intersection_math() {
+        let a = unit_at(0.0, 0.0);
+        let c = unit_at(0.6, 0.2);
+        let i = a.intersection(&c).unwrap();
+        assert!((i.width() - 0.4).abs() < 1e-12);
+        assert!((i.height() - 0.8).abs() < 1e-12);
+        assert!((a.overlap_area(&c) - 0.32).abs() < 1e-12);
+        assert_eq!(a.overlap_area(&unit_at(5.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn inflation_adds_padding_halo() {
+        let q = Rect::from_center(Point::ORIGIN, 0.4, 0.4);
+        let padded = q.inflated(0.4);
+        assert!((padded.width() - 1.2).abs() < 1e-12);
+        assert_eq!(padded.center(), Point::ORIGIN);
+        // Negative padding clamps rather than inverting.
+        assert_eq!(q.inflated(-1.0).area(), 0.0);
+    }
+
+    #[test]
+    fn clearance_between_rects() {
+        let a = unit_at(0.0, 0.0);
+        let b = unit_at(4.0, 3.0);
+        // Gaps: 3 along x, 2 along y -> sqrt(13).
+        assert!((a.clearance(&b) - 13f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.clearance(&unit_at(0.5, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn adjacency_length_takes_longer_side() {
+        let a = Rect::from_origin_size(Point::ORIGIN, 2.0, 1.0);
+        let b = Rect::from_origin_size(Point::new(1.5, 0.5), 2.0, 1.0);
+        // Intersection is 0.5 wide x 0.5 tall.
+        assert!((a.adjacency_length(&b) - 0.5).abs() < 1e-12);
+        let c = Rect::from_origin_size(Point::new(0.0, 0.9), 2.0, 1.0);
+        // Intersection is 2.0 wide x 0.1 tall -> adjacency 2.0.
+        assert!((a.adjacency_length(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_center_keeps_rect_inside() {
+        let region = Rect::from_origin_size(Point::ORIGIN, 10.0, 10.0);
+        let inst = Rect::from_center(Point::ORIGIN, 2.0, 2.0);
+        let c = inst.clamp_center_into(&region, Point::new(-5.0, 20.0));
+        assert_eq!(c, Point::new(1.0, 9.0));
+        let inside = inst.centered_at(c);
+        assert!(region.contains_rect(&inside));
+    }
+
+    #[test]
+    fn enclosing_rect_of_set() {
+        assert!(enclosing_rect(std::iter::empty::<&Rect>().collect::<Vec<_>>()).is_none());
+        let rects = vec![unit_at(0.0, 0.0), unit_at(3.0, -2.0), unit_at(-1.0, 4.0)];
+        let mer = enclosing_rect(&rects).unwrap();
+        assert_eq!(mer.min, Point::new(-1.5, -2.5));
+        assert_eq!(mer.max, Point::new(3.5, 4.5));
+    }
+
+    #[test]
+    fn union_bbox_contains_both() {
+        let a = unit_at(0.0, 0.0);
+        let b = unit_at(7.0, -3.0);
+        let u = a.union_bbox(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dims_panic() {
+        let _ = Rect::from_center(Point::ORIGIN, -1.0, 1.0);
+    }
+}

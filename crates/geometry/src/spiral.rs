@@ -1,0 +1,134 @@
+//! Ring-ordered spiral walk over integer grid offsets.
+//!
+//! The greedy qubit legalizer (§IV-C2) probes candidate sites outward from
+//! an instance's global-placement location; this iterator yields grid
+//! offsets in order of increasing Chebyshev ring so the first legal site
+//! found is (near-)closest.
+
+/// Iterator over `(dx, dy)` integer offsets spiraling outward from `(0, 0)`.
+///
+/// Ring `r` contains all offsets with Chebyshev norm exactly `r`, visited
+/// clockwise starting from the east position. Ring 0 is the origin itself.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::SpiralIter;
+/// let first: Vec<_> = SpiralIter::new(1).collect();
+/// assert_eq!(first[0], (0, 0));
+/// assert_eq!(first.len(), 9); // origin + 8 ring-1 offsets
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpiralIter {
+    max_radius: i64,
+    ring: i64,
+    idx: i64,
+    ring_len: i64,
+}
+
+impl SpiralIter {
+    /// Creates a spiral covering rings `0..=max_radius`.
+    #[must_use]
+    pub fn new(max_radius: i64) -> Self {
+        Self {
+            max_radius,
+            ring: 0,
+            idx: 0,
+            ring_len: 1,
+        }
+    }
+
+    /// Total number of offsets the spiral will yield: `(2r+1)^2`.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        let side = 2 * self.max_radius + 1;
+        (side * side) as usize
+    }
+
+    fn offset_on_ring(ring: i64, idx: i64) -> (i64, i64) {
+        debug_assert!(ring >= 1);
+        let side = 2 * ring;
+        // Walk the ring perimeter: right edge (going up), top edge (going
+        // left), left edge (going down), bottom edge (going right).
+        match idx / side {
+            0 => (ring, -ring + 1 + (idx % side)),
+            1 => (ring - 1 - (idx % side), ring),
+            2 => (-ring, ring - 1 - (idx % side)),
+            _ => (-ring + 1 + (idx % side), -ring),
+        }
+    }
+}
+
+impl Iterator for SpiralIter {
+    type Item = (i64, i64);
+
+    fn next(&mut self) -> Option<(i64, i64)> {
+        if self.ring > self.max_radius {
+            return None;
+        }
+        if self.ring == 0 {
+            self.ring = 1;
+            self.idx = 0;
+            self.ring_len = 8;
+            return Some((0, 0));
+        }
+        let out = Self::offset_on_ring(self.ring, self.idx);
+        self.idx += 1;
+        if self.idx == self.ring_len {
+            self.ring += 1;
+            self.idx = 0;
+            self.ring_len = 8 * self.ring;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_offset_exactly_once() {
+        for r in 0..5 {
+            let it = SpiralIter::new(r);
+            let expected = it.total_len();
+            let seen: Vec<_> = SpiralIter::new(r).collect();
+            assert_eq!(seen.len(), expected, "radius {r}");
+            let unique: HashSet<_> = seen.iter().copied().collect();
+            assert_eq!(unique.len(), expected, "radius {r} has duplicates");
+            for (dx, dy) in seen {
+                assert!(dx.abs() <= r && dy.abs() <= r);
+            }
+        }
+    }
+
+    #[test]
+    fn rings_are_visited_in_order() {
+        let mut last_ring = 0;
+        for (dx, dy) in SpiralIter::new(4) {
+            let ring = dx.abs().max(dy.abs());
+            assert!(ring >= last_ring, "ring regressed: {ring} < {last_ring}");
+            last_ring = ring;
+        }
+        assert_eq!(last_ring, 4);
+    }
+
+    #[test]
+    fn ring_one_is_the_eight_neighbors() {
+        let ring1: HashSet<_> = SpiralIter::new(1).skip(1).collect();
+        let expected: HashSet<_> = [
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (-1, 1),
+            (-1, 0),
+            (-1, -1),
+            (0, -1),
+            (1, -1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ring1, expected);
+    }
+}

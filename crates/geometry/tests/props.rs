@@ -1,0 +1,127 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+use qplacer_geometry::{enclosing_rect, Point, Polygon, Rect, SpatialGrid, Vector};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0.01f64..20.0, 0.01f64..20.0)
+        .prop_map(|(c, w, h)| Rect::from_center(c, w, h))
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area() + 1e-9);
+            prop_assert!(i.area() <= b.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn clearance_zero_iff_close(a in arb_rect(), b in arb_rect()) {
+        let c = a.clearance(&b);
+        prop_assert!(c >= 0.0);
+        if a.overlaps(&b) {
+            prop_assert_eq!(c, 0.0);
+        }
+        if c > 1e-6 {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn inflate_then_deflate_roundtrips(r in arb_rect(), pad in 0.0f64..5.0) {
+        let back = r.inflated(pad).inflated(-pad);
+        prop_assert!((back.width() - r.width()).abs() < 1e-9);
+        prop_assert!((back.height() - r.height()).abs() < 1e-9);
+        prop_assert!(back.center().distance(r.center()) < 1e-9);
+    }
+
+    #[test]
+    fn enclosing_rect_contains_all(rects in prop::collection::vec(arb_rect(), 1..20)) {
+        let mer = enclosing_rect(&rects).unwrap();
+        for r in &rects {
+            prop_assert!(mer.contains_rect(r));
+            prop_assert!(mer.area() + 1e-9 >= r.area());
+        }
+    }
+
+    #[test]
+    fn polygon_from_rect_matches_area(r in arb_rect()) {
+        let p = Polygon::from(r);
+        prop_assert!((p.area() - r.area()).abs() < 1e-6);
+        prop_assert!(p.centroid().distance(r.center()) < 1e-6);
+    }
+
+    #[test]
+    fn vector_norm_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn clamped_center_keeps_instance_inside(
+        c in arb_point(),
+        w in 0.1f64..5.0,
+        h in 0.1f64..5.0,
+    ) {
+        let region = Rect::from_origin_size(Point::new(-50.0, -50.0), 100.0, 100.0);
+        let inst = Rect::from_center(Point::ORIGIN, w, h);
+        let clamped = inst.clamp_center_into(&region, c);
+        prop_assert!(region.contains_rect(&inst.centered_at(clamped)));
+    }
+
+    #[test]
+    fn spatial_grid_finds_overlapping_items(
+        rects in prop::collection::vec(
+            ((0.5f64..19.5), (0.5f64..19.5), (0.1f64..2.0), (0.1f64..2.0)),
+            1..30,
+        ),
+        probe in ((0.5f64..19.5), (0.5f64..19.5), (0.1f64..3.0), (0.1f64..3.0)),
+    ) {
+        let region = Rect::from_origin_size(Point::ORIGIN, 22.0, 22.0);
+        let mut grid = SpatialGrid::new(region, 1.0);
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::from_center(Point::new(x, y), w, h))
+            .collect();
+        for (i, r) in rects.iter().enumerate() {
+            grid.insert(i, r);
+        }
+        let (px, py, pw, ph) = probe;
+        let probe = Rect::from_center(Point::new(px, py), pw, ph);
+        let candidates = grid.query(&probe);
+        // Every true overlap must be among the candidates (no false negatives).
+        for (i, r) in rects.iter().enumerate() {
+            if r.overlaps(&probe) {
+                prop_assert!(candidates.contains(&i), "missed overlap id {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn translation_preserves_shape(r in arb_rect(), dx in -10.0f64..10.0, dy in -10.0f64..10.0) {
+        let t = r.translated(Vector::new(dx, dy));
+        prop_assert!((t.width() - r.width()).abs() < 1e-12);
+        prop_assert!((t.height() - r.height()).abs() < 1e-12);
+        prop_assert!((t.area() - r.area()).abs() < 1e-9);
+    }
+}

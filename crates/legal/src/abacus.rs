@@ -1,0 +1,290 @@
+//! Abacus row-based qubit legalization (Spindler et al., ISPD'08 — the
+//! classical standard-cell legalizer the paper cites in §VII).
+//!
+//! Qubits are uniform-height cells, so the region slices into rows of the
+//! padded qubit height. Cells are processed in x order; each cell tries
+//! nearby rows, and within a row the classic *PlaceRow* clustering places
+//! it with provably minimal total quadratic displacement for that row's
+//! cells: overlapping cells merge into clusters whose optimal position is
+//! the weighted mean of their desired positions, clamped into the row.
+//!
+//! This is an alternative to the paper's spiral + min-cost-flow qubit
+//! legalizer, exposed for the ablation study (the `ablation`
+//! experiment binary): Abacus yields lower displacement on row-friendly layouts but
+//! ignores resonance; the default legalizer's strict pass trades a little
+//! displacement for frequency isolation.
+
+use qplacer_geometry::Point;
+use qplacer_netlist::QuantumNetlist;
+
+use crate::OccupancyBitmap;
+
+/// One cell being legalized into rows.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// Device qubit index.
+    qubit: usize,
+    /// Desired (global placement) x of the cell's *left edge*.
+    desired_left: f64,
+    /// Cell width.
+    width: f64,
+}
+
+/// A cluster of abutting cells within one row (the Abacus invariant:
+/// clusters never overlap and sit at their clamped optimal positions).
+#[derive(Debug, Clone)]
+struct Cluster {
+    /// Indices into the row's cell list.
+    cells: Vec<usize>,
+    /// Sum of desired left-edge positions minus intra-cluster offsets.
+    q: f64,
+    /// Total width.
+    width: f64,
+    /// Current left edge.
+    x: f64,
+}
+
+/// Legalizes all qubits with Abacus rows, marking final footprints into
+/// `bitmap`. Returns per-qubit displacement (mm), indexed by device
+/// qubit.
+///
+/// # Panics
+///
+/// Panics if the qubits cannot fit in the region's rows (over-utilized
+/// configuration).
+pub fn legalize_qubits_abacus(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+) -> Vec<f64> {
+    let num_qubits = netlist.num_qubits();
+    if num_qubits == 0 {
+        return Vec::new();
+    }
+    let region = netlist.region();
+    let cell_h = netlist
+        .instance(netlist.qubit_instance(0))
+        .padded_mm();
+    let num_rows = ((region.height() / cell_h).floor() as usize).max(1);
+
+    // Cells in x order.
+    let mut cells: Vec<Cell> = (0..num_qubits)
+        .map(|q| {
+            let id = netlist.qubit_instance(q);
+            let inst = netlist.instance(id);
+            Cell {
+                qubit: q,
+                desired_left: netlist.position(id).x - 0.5 * inst.padded_mm(),
+                width: inst.padded_mm(),
+            }
+        })
+        .collect();
+    cells.sort_by(|a, b| a.desired_left.total_cmp(&b.desired_left));
+
+    // Row state: cells assigned so far (in placement order).
+    let mut rows: Vec<Vec<Cell>> = vec![Vec::new(); num_rows];
+    let row_y = |r: usize| region.min.y + (r as f64 + 0.5) * cell_h;
+    let row_capacity = region.width();
+
+    for cell in cells {
+        let id = netlist.qubit_instance(cell.qubit);
+        let desired_y = netlist.position(id).y;
+        // Rows ordered by vertical distance from the desired position.
+        let mut row_order: Vec<usize> = (0..num_rows).collect();
+        row_order.sort_by(|&a, &b| {
+            (row_y(a) - desired_y)
+                .abs()
+                .total_cmp(&(row_y(b) - desired_y).abs())
+        });
+        let mut best: Option<(usize, f64, Vec<f64>)> = None;
+        for &r in row_order.iter().take(4.max(num_rows / 2)) {
+            let used: f64 = rows[r].iter().map(|c| c.width).sum();
+            if used + cell.width > row_capacity + 1e-9 {
+                continue;
+            }
+            let mut trial = rows[r].clone();
+            trial.push(cell);
+            let xs = place_row(&trial, region.min.x, region.max.x);
+            let cost: f64 = trial
+                .iter()
+                .zip(&xs)
+                .map(|(c, &x)| {
+                    let dy = if c.qubit == cell.qubit {
+                        (row_y(r) - desired_y).abs()
+                    } else {
+                        0.0
+                    };
+                    (x - c.desired_left).abs() + dy
+                })
+                .sum();
+            if best.as_ref().map_or(true, |(_, b, _)| cost < *b) {
+                best = Some((r, cost, xs));
+            }
+            // A nearby row with near-zero marginal cost is good enough.
+            if best.as_ref().is_some_and(|(_, b, _)| *b < 0.25) {
+                break;
+            }
+        }
+        let (r, _, _) = best.unwrap_or_else(|| {
+            panic!("abacus: no row can host qubit {}", cell.qubit)
+        });
+        rows[r].push(cell);
+    }
+
+    // Final positions.
+    let mut displacement = vec![0.0; num_qubits];
+    for (r, row_cells) in rows.iter().enumerate() {
+        if row_cells.is_empty() {
+            continue;
+        }
+        let xs = place_row(row_cells, region.min.x, region.max.x);
+        for (c, &left) in row_cells.iter().zip(&xs) {
+            let id = netlist.qubit_instance(c.qubit);
+            let before = netlist.position(id);
+            let center = Point::new(left + 0.5 * c.width, row_y(r));
+            netlist.set_position(id, center);
+            bitmap.mark(&netlist.instance(id).padded_rect(center));
+            displacement[c.qubit] = before.distance(center);
+        }
+    }
+    displacement
+}
+
+/// The Abacus PlaceRow kernel: optimal non-overlapping left-edge
+/// positions for `cells` (in insertion order) within `[row_min, row_max]`,
+/// minimizing Σ|x − desired|² by cluster merging.
+fn place_row(cells: &[Cell], row_min: f64, row_max: f64) -> Vec<f64> {
+    // Process cells sorted by desired position for the classic invariant.
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by(|&a, &b| cells[a].desired_left.total_cmp(&cells[b].desired_left));
+
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for &ci in &order {
+        let c = &cells[ci];
+        let mut cluster = Cluster {
+            cells: vec![ci],
+            q: c.desired_left,
+            width: c.width,
+            x: c.desired_left,
+        };
+        clamp(&mut cluster, row_min, row_max);
+        // Merge while overlapping the previous cluster.
+        while let Some(prev) = clusters.last() {
+            if prev.x + prev.width > cluster.x + 1e-12 {
+                let prev = clusters.pop().expect("checked non-empty");
+                // New cluster = prev ⧺ cluster; desired aggregate adjusts
+                // for the offset of the appended cells.
+                let mut merged = Cluster {
+                    q: prev.q + cluster.q - prev.width * cluster.cells.len() as f64,
+                    width: prev.width + cluster.width,
+                    cells: prev.cells,
+                    x: 0.0,
+                };
+                merged.cells.extend(cluster.cells);
+                merged.x = merged.q / merged.cells.len() as f64;
+                clamp(&mut merged, row_min, row_max);
+                cluster = merged;
+            } else {
+                break;
+            }
+        }
+        clusters.push(cluster);
+    }
+
+    let mut xs = vec![0.0; cells.len()];
+    for cl in &clusters {
+        let mut cursor = cl.x;
+        for &ci in &cl.cells {
+            xs[ci] = cursor;
+            cursor += cells[ci].width;
+        }
+    }
+    xs
+}
+
+fn clamp(cl: &mut Cluster, row_min: f64, row_max: f64) {
+    cl.x = cl.x.clamp(row_min, (row_max - cl.width).max(row_min));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist(t: &Topology) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(t);
+        QuantumNetlist::build(t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn place_row_respects_order_and_bounds() {
+        let cells = vec![
+            Cell { qubit: 0, desired_left: -1.0, width: 1.0 },
+            Cell { qubit: 1, desired_left: -0.5, width: 1.0 },
+            Cell { qubit: 2, desired_left: 3.0, width: 1.0 },
+        ];
+        let xs = place_row(&cells, 0.0, 10.0);
+        // First two clamp + cluster at the left edge, third stays put.
+        assert!((xs[0] - 0.0).abs() < 1e-9);
+        assert!((xs[1] - 1.0).abs() < 1e-9);
+        assert!((xs[2] - 3.0).abs() < 1e-9);
+        // Non-overlap.
+        assert!(xs[1] >= xs[0] + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn place_row_merges_overlapping_desires() {
+        let cells = vec![
+            Cell { qubit: 0, desired_left: 2.0, width: 1.0 },
+            Cell { qubit: 1, desired_left: 2.2, width: 1.0 },
+            Cell { qubit: 2, desired_left: 2.4, width: 1.0 },
+        ];
+        let xs = place_row(&cells, 0.0, 10.0);
+        // Cluster centers on the mean of desires: left edge ≈ 1.2.
+        assert!((xs[0] - 1.2).abs() < 1e-9, "{xs:?}");
+        assert!((xs[1] - 2.2).abs() < 1e-9);
+        assert!((xs[2] - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qubits_are_disjoint_after_abacus() {
+        let t = Topology::grid(3, 3);
+        let mut nl = netlist(&t);
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let disp = legalize_qubits_abacus(&mut nl, &mut bm);
+        assert_eq!(disp.len(), 9);
+        for a in 0..9 {
+            for b in a + 1..9 {
+                let ra = nl.padded_rect(nl.qubit_instance(a));
+                let rb = nl.padded_rect(nl.qubit_instance(b));
+                assert!(!ra.overlaps(&rb), "qubits {a}/{b} overlap");
+            }
+        }
+        let region = nl.region().inflated(1e-6);
+        for q in 0..9 {
+            assert!(region.contains_rect(&nl.padded_rect(nl.qubit_instance(q))));
+        }
+    }
+
+    #[test]
+    fn near_legal_input_moves_little() {
+        let t = Topology::grid(2, 2);
+        let mut nl = netlist(&t);
+        let cell = nl.instance(nl.qubit_instance(0)).padded_mm();
+        for q in 0..4 {
+            nl.set_position(
+                nl.qubit_instance(q),
+                Point::new(
+                    (q % 2) as f64 * (cell + 0.1) - 0.6,
+                    (q / 2) as f64 * (cell + 0.1) - 0.6,
+                ),
+            );
+        }
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let disp = legalize_qubits_abacus(&mut nl, &mut bm);
+        for (q, d) in disp.iter().enumerate() {
+            assert!(*d < cell, "qubit {q} moved {d}");
+        }
+    }
+}

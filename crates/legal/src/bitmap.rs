@@ -1,0 +1,258 @@
+//! Fine-grained occupancy bitmap for legalization.
+
+use qplacer_geometry::{Point, Rect};
+
+/// A boolean occupancy grid over the placement region at a fine, fixed
+/// resolution. Marking is conservative (every touched cell becomes
+/// occupied) and queries demand all touched cells free, so "query says
+/// free" implies "no marked rectangle overlaps".
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::{Point, Rect};
+/// use qplacer_legal::OccupancyBitmap;
+///
+/// let region = Rect::from_center(Point::ORIGIN, 10.0, 10.0);
+/// let mut bm = OccupancyBitmap::new(region, 0.1);
+/// let r = Rect::from_center(Point::ORIGIN, 1.0, 1.0);
+/// assert!(bm.is_free(&r));
+/// bm.mark(&r);
+/// assert!(!bm.is_free(&r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OccupancyBitmap {
+    region: Rect,
+    res: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<bool>,
+}
+
+impl OccupancyBitmap {
+    /// Creates an empty bitmap over `region` with square cells of side
+    /// `resolution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive or the region degenerate.
+    #[must_use]
+    pub fn new(region: Rect, resolution: f64) -> Self {
+        assert!(resolution > 0.0, "resolution must be positive");
+        assert!(region.area() > 0.0, "region must have positive area");
+        let nx = (region.width() / resolution).ceil() as usize + 1;
+        let ny = (region.height() / resolution).ceil() as usize + 1;
+        Self {
+            region,
+            res: resolution,
+            nx,
+            ny,
+            cells: vec![false; nx * ny],
+        }
+    }
+
+    /// The covered region.
+    #[must_use]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Cell resolution.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        self.res
+    }
+
+    /// Snaps a point to the cell lattice (cell centers).
+    #[must_use]
+    pub fn snap(&self, p: Point) -> Point {
+        let sx = ((p.x - self.region.min.x) / self.res).round() * self.res + self.region.min.x;
+        let sy = ((p.y - self.region.min.y) / self.res).round() * self.res + self.region.min.y;
+        Point::new(sx, sy)
+    }
+
+    /// Snaps the center of a `size × size` footprint onto the *site
+    /// lattice* of the given pitch: the footprint's lower-left corner
+    /// lands on a multiple of `pitch` from the region origin. When every
+    /// instance uses a pitch that divides its footprint (segments = 1
+    /// site, qubits = 2 sites), placements brick-pack and free space
+    /// never fragments below one site.
+    #[must_use]
+    pub fn snap_to_sites(&self, p: Point, size: f64, pitch: f64) -> Point {
+        let half = 0.5 * size;
+        let sx = ((p.x - half - self.region.min.x) / pitch).round() * pitch
+            + self.region.min.x
+            + half;
+        let sy = ((p.y - half - self.region.min.y) / pitch).round() * pitch
+            + self.region.min.y
+            + half;
+        Point::new(sx, sy)
+    }
+
+    fn cell_span(&self, rect: &Rect) -> Option<(usize, usize, usize, usize)> {
+        // A hair of tolerance so rects flush with the region boundary pass.
+        let eps = 1e-9;
+        if rect.min.x < self.region.min.x - eps
+            || rect.min.y < self.region.min.y - eps
+            || rect.max.x > self.region.max.x + eps
+            || rect.max.y > self.region.max.y + eps
+        {
+            return None;
+        }
+        // Shrink slightly so exactly-abutting rects do not contend for the
+        // shared boundary cell.
+        let shrink = 1e-6;
+        let x0 = (((rect.min.x + shrink - self.region.min.x) / self.res).floor()).max(0.0) as usize;
+        let y0 = (((rect.min.y + shrink - self.region.min.y) / self.res).floor()).max(0.0) as usize;
+        let x1 = (((rect.max.x - shrink - self.region.min.x) / self.res).ceil()) as usize;
+        let y1 = (((rect.max.y - shrink - self.region.min.y) / self.res).ceil()) as usize;
+        Some((x0, y0, x1.min(self.nx), y1.min(self.ny)))
+    }
+
+    /// `true` when `rect` lies inside the region and touches no occupied
+    /// cell.
+    #[must_use]
+    pub fn is_free(&self, rect: &Rect) -> bool {
+        match self.cell_span(rect) {
+            None => false,
+            Some((x0, y0, x1, y1)) => {
+                for iy in y0..y1 {
+                    for ix in x0..x1 {
+                        if self.cells[iy * self.nx + ix] {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Marks every cell touched by `rect` as occupied.
+    pub fn mark(&mut self, rect: &Rect) {
+        if let Some((x0, y0, x1, y1)) = self.cell_span(rect) {
+            for iy in y0..y1 {
+                for ix in x0..x1 {
+                    self.cells[iy * self.nx + ix] = true;
+                }
+            }
+        }
+    }
+
+    /// Clears every cell touched by `rect`.
+    ///
+    /// Note: clearing is exact on the same rect that was marked; clearing
+    /// a different overlapping rect may free cells still claimed by
+    /// another instance — callers must unmark exactly what they marked.
+    pub fn unmark(&mut self, rect: &Rect) {
+        if let Some((x0, y0, x1, y1)) = self.cell_span(rect) {
+            for iy in y0..y1 {
+                for ix in x0..x1 {
+                    self.cells[iy * self.nx + ix] = false;
+                }
+            }
+        }
+    }
+
+    /// Exhaustive search for the free `w × h` rectangle whose center is
+    /// nearest to `desired`, scanning positions on a lattice of the given
+    /// `step` (lower-left corners at multiples of `step`). This is the
+    /// fallback when spiral probing misses free space; O(cells) per call,
+    /// used only for stragglers.
+    #[must_use]
+    pub fn find_nearest_free(&self, w: f64, h: f64, desired: Point, step: f64) -> Option<Point> {
+        let step = step.max(self.res);
+        let hw = 0.5 * w;
+        let hh = 0.5 * h;
+        let mut best: Option<(f64, Point)> = None;
+        let nx_max = ((self.region.width() - w) / step).floor() as i64;
+        let ny_max = ((self.region.height() - h) / step).floor() as i64;
+        if nx_max < 0 || ny_max < 0 {
+            return None;
+        }
+        for iy in 0..=ny_max {
+            let cy = self.region.min.y + hh + iy as f64 * step;
+            for ix in 0..=nx_max {
+                let cx = self.region.min.x + hw + ix as f64 * step;
+                let c = Point::new(cx, cy);
+                let d2 = c.distance_sq(desired);
+                if best.map_or(true, |(bd, _)| d2 < bd) {
+                    let rect = Rect::from_center(c, w, h);
+                    if self.is_free(&rect) {
+                        best = Some((d2, c));
+                    }
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Fraction of cells occupied (diagnostics).
+    #[must_use]
+    pub fn fill_fraction(&self) -> f64 {
+        self.cells.iter().filter(|&&c| c).count() as f64 / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitmap() -> OccupancyBitmap {
+        OccupancyBitmap::new(Rect::from_center(Point::ORIGIN, 10.0, 10.0), 0.1)
+    }
+
+    #[test]
+    fn mark_unmark_roundtrip() {
+        let mut bm = bitmap();
+        let r = Rect::from_center(Point::new(1.0, 1.0), 0.5, 0.5);
+        bm.mark(&r);
+        assert!(!bm.is_free(&r));
+        bm.unmark(&r);
+        assert!(bm.is_free(&r));
+    }
+
+    #[test]
+    fn outside_region_is_never_free() {
+        let bm = bitmap();
+        let r = Rect::from_center(Point::new(5.5, 0.0), 1.0, 1.0);
+        assert!(!bm.is_free(&r));
+    }
+
+    #[test]
+    fn abutting_rects_coexist() {
+        let mut bm = bitmap();
+        let a = Rect::from_origin_size(Point::new(0.0, 0.0), 0.5, 0.5);
+        let b = Rect::from_origin_size(Point::new(0.5, 0.0), 0.5, 0.5);
+        bm.mark(&a);
+        assert!(bm.is_free(&b), "sharing an edge must be legal");
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut bm = bitmap();
+        let a = Rect::from_center(Point::ORIGIN, 1.0, 1.0);
+        bm.mark(&a);
+        let b = Rect::from_center(Point::new(0.4, 0.0), 1.0, 1.0);
+        assert!(!bm.is_free(&b));
+    }
+
+    #[test]
+    fn snapping_lands_on_lattice() {
+        let bm = bitmap();
+        let s = bm.snap(Point::new(0.234, -1.387));
+        let dx = (s.x - bm.region().min.x) / bm.resolution();
+        let dy = (s.y - bm.region().min.y) / bm.resolution();
+        assert!((dx - dx.round()).abs() < 1e-9);
+        assert!((dy - dy.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_fraction_tracks_marks() {
+        let mut bm = bitmap();
+        assert_eq!(bm.fill_fraction(), 0.0);
+        bm.mark(&Rect::from_center(Point::ORIGIN, 5.0, 5.0));
+        let f = bm.fill_fraction();
+        assert!(f > 0.2 && f < 0.3, "quarter of the area marked: {f}");
+    }
+}

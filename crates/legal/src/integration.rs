@@ -1,0 +1,411 @@
+//! Phase 3: resonator integration (Algorithm 1).
+//!
+//! A resonator is *integrated* when its segments form one contiguous
+//! cluster, so the physical meander can be re-routed through the reserved
+//! blocks (§IV-B2). For each failing resonator the algorithm grows the
+//! largest segment cluster by (a) relocating scattered segments into free
+//! spots adjacent to the cluster, or failing that (b) swapping them with
+//! neighboring segments of *other* resonators, gated by the resonance
+//! checker τ so a swap never parks a segment next to near-resonant
+//! neighbors.
+
+use qplacer_geometry::{Point, Rect, SpatialGrid};
+use qplacer_netlist::QuantumNetlist;
+
+use crate::OccupancyBitmap;
+
+/// Two same-resonator segments count as connected when their centers are
+/// within this factor of the padded footprint side.
+pub(crate) const ADJACENCY_FACTOR: f64 = 1.45;
+
+/// Outcome of the integration phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrationStats {
+    /// Resonators already integrated after Tetris.
+    pub integrated_before: usize,
+    /// Resonators integrated when the phase finished.
+    pub integrated_after: usize,
+    /// Segments relocated into free space.
+    pub moved: usize,
+    /// Segment pairs swapped.
+    pub swapped: usize,
+    /// Resonator indices that remain fragmented.
+    pub unintegrated: Vec<usize>,
+}
+
+/// Union-find cluster decomposition of one resonator's segments; returns
+/// segment-id clusters, largest first.
+pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec<usize>> {
+    let segs = netlist.resonator_segments(resonator);
+    let k = segs.len();
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for i in 0..k {
+        let pi = netlist.position(segs[i]);
+        let reach = ADJACENCY_FACTOR * netlist.instance(segs[i]).padded_mm();
+        for j in i + 1..k {
+            if pi.distance(netlist.position(segs[j])) <= reach {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for i in 0..k {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(segs[i]);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for cluster in &mut out {
+        cluster.sort_unstable();
+    }
+    // Deterministic order: largest first, ties by smallest member id
+    // (HashMap iteration order must never leak into placement decisions).
+    out.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
+    out
+}
+
+/// `rilc(·)` of Algorithm 1: is the resonator one contiguous cluster?
+pub(crate) fn is_integrated(netlist: &QuantumNetlist, resonator: usize) -> bool {
+    clusters_of(netlist, resonator).len() <= 1
+}
+
+/// Runs Algorithm 1 over every resonator. `bitmap` must reflect the
+/// current (legalized) footprints.
+pub fn integrate_resonators(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+) -> IntegrationStats {
+    let site_pitch = crate::legalizer::site_pitch(netlist);
+    let num_res = netlist.num_resonators();
+    let integrated_before = (0..num_res)
+        .filter(|&r| is_integrated(netlist, r))
+        .count();
+
+    // Spatial index of all instances for neighbor/occupancy queries.
+    let region = netlist.region();
+    let mut grid = SpatialGrid::new(
+        region.inflated(netlist.max_padded_side()),
+        netlist.max_padded_side().max(0.1),
+    );
+    for inst in netlist.instances() {
+        grid.insert(inst.id(), &netlist.padded_rect(inst.id()));
+    }
+
+    let mut moved = 0usize;
+    let mut swapped = 0usize;
+    let mut unintegrated = Vec::new();
+
+    for r in 0..num_res {
+        // A few growth passes per resonator; each pass merges at least one
+        // scattered segment or gives up.
+        for _pass in 0..netlist.resonator_segments(r).len() {
+            let clusters = clusters_of(netlist, r);
+            if clusters.len() <= 1 {
+                break;
+            }
+            let cluster = clusters[0].clone();
+            let scattered: Vec<usize> = clusters[1..].iter().flatten().copied().collect();
+            if !grow_cluster(
+                netlist,
+                bitmap,
+                &mut grid,
+                site_pitch,
+                &cluster,
+                &scattered,
+                &mut moved,
+                &mut swapped,
+            ) {
+                break; // no progress possible
+            }
+        }
+        if !is_integrated(netlist, r) {
+            unintegrated.push(r);
+        }
+    }
+
+    let integrated_after = num_res - unintegrated.len();
+    IntegrationStats {
+        integrated_before,
+        integrated_after,
+        moved,
+        swapped,
+        unintegrated,
+    }
+}
+
+/// Attempts to merge one scattered segment into the cluster. Returns
+/// `true` when progress was made.
+#[allow(clippy::too_many_arguments)]
+fn grow_cluster(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    grid: &mut SpatialGrid,
+    site_pitch: f64,
+    cluster: &[usize],
+    scattered: &[usize],
+    moved: &mut usize,
+    swapped: &mut usize,
+) -> bool {
+    // Cluster centroid for ordering.
+    let centroid = {
+        let (sx, sy) = cluster.iter().fold((0.0, 0.0), |(sx, sy), &id| {
+            let p = netlist.position(id);
+            (sx + p.x, sy + p.y)
+        });
+        Point::new(sx / cluster.len() as f64, sy / cluster.len() as f64)
+    };
+    let mut by_distance: Vec<usize> = scattered.to_vec();
+    by_distance.sort_by(|&a, &b| {
+        netlist
+            .position(a)
+            .distance(centroid)
+            .total_cmp(&netlist.position(b).distance(centroid))
+    });
+
+    for &s in &by_distance {
+        // Candidate anchor cells: cluster members nearest to s first.
+        let mut anchors: Vec<usize> = cluster.to_vec();
+        let sp = netlist.position(s);
+        anchors.sort_by(|&a, &b| {
+            netlist
+                .position(a)
+                .distance(sp)
+                .total_cmp(&netlist.position(b).distance(sp))
+        });
+        let pitch = netlist.instance(s).padded_mm();
+        let offsets = [
+            (pitch, 0.0),
+            (-pitch, 0.0),
+            (0.0, pitch),
+            (0.0, -pitch),
+            (pitch, pitch),
+            (pitch, -pitch),
+            (-pitch, pitch),
+            (-pitch, -pitch),
+        ];
+        let old_rect = netlist.padded_rect(s);
+        // Two relocation passes: strict (τ-clean destinations only), then
+        // relaxed — integration must not quietly undo the isolation the
+        // global placement and strict legalization bought.
+        for strict in [true, false] {
+            for &anchor in anchors.iter().take(8) {
+                let base = netlist.position(anchor);
+                for &(dx, dy) in &offsets {
+                    let inst = *netlist.instance(s);
+                    let cand = bitmap.snap_to_sites(
+                        Point::new(base.x + dx, base.y + dy),
+                        inst.padded_mm(),
+                        site_pitch,
+                    );
+                    let rect = inst.padded_rect(cand);
+                    if !bitmap.region().inflated(1e-9).contains_rect(&rect) {
+                        continue;
+                    }
+                    if strict && !relocation_is_clean(netlist, grid, s, cand) {
+                        continue;
+                    }
+                    // (a) Free relocation.
+                    bitmap.unmark(&old_rect);
+                    if bitmap.is_free(&rect) {
+                        bitmap.mark(&rect);
+                        grid.remove(s, &old_rect);
+                        grid.insert(s, &rect);
+                        netlist.set_position(s, cand);
+                        *moved += 1;
+                        return true;
+                    }
+                    bitmap.mark(&old_rect);
+                    // (b) Swap with the occupant, τ-checked.
+                    if let Some(n) = occupant_at(netlist, grid, &rect, s) {
+                        if can_swap(netlist, grid, s, n) {
+                            perform_swap(netlist, bitmap, grid, s, n);
+                            *swapped += 1;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// τ check for a relocation: moving instance `s` to `at` must not park it
+/// within resonant reach (half a footprint of margin) of a near-resonant
+/// foreign instance.
+fn relocation_is_clean(
+    netlist: &QuantumNetlist,
+    grid: &SpatialGrid,
+    s: usize,
+    at: Point,
+) -> bool {
+    let inst = netlist.instance(s);
+    let probe = inst.padded_rect(at).inflated(0.5 * inst.padded_mm());
+    let dc = netlist.detuning_threshold() * 0.999;
+    grid.query(&probe).into_iter().all(|other| {
+        if other == s {
+            return true;
+        }
+        let o = netlist.instance(other);
+        o.same_resonator(inst)
+            || !o.frequency().is_resonant_with(inst.frequency(), dc)
+            || !netlist.padded_rect(other).overlaps(&probe)
+    })
+}
+
+/// The single same-size segment instance whose footprint overlaps `rect`,
+/// if exactly one exists and it is a segment of another resonator.
+fn occupant_at(
+    netlist: &QuantumNetlist,
+    grid: &SpatialGrid,
+    rect: &Rect,
+    moving: usize,
+) -> Option<usize> {
+    let hits: Vec<usize> = grid
+        .query(rect)
+        .into_iter()
+        .filter(|&id| id != moving && netlist.padded_rect(id).overlaps(rect))
+        .collect();
+    match hits.as_slice() {
+        [one] => {
+            let inst = netlist.instance(*one);
+            let mv = netlist.instance(moving);
+            let different_resonator = match (inst.kind().resonator(), mv.kind().resonator()) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            };
+            (different_resonator
+                && (inst.padded_mm() - mv.padded_mm()).abs() < 1e-9)
+                .then_some(*one)
+        }
+        _ => None,
+    }
+}
+
+/// τ check of Algorithm 1: after swapping, neither relocated segment may
+/// sit within resonant reach of a near-resonant foreign instance.
+fn can_swap(netlist: &QuantumNetlist, grid: &SpatialGrid, s: usize, n: usize) -> bool {
+    let dc = netlist.detuning_threshold();
+    let ok_at = |inst_id: usize, at: Point, ignore: usize| {
+        let inst = netlist.instance(inst_id);
+        let probe = inst.padded_rect(at).inflated(0.5 * inst.padded_mm());
+        grid.query(&probe).into_iter().all(|other| {
+            if other == inst_id || other == ignore {
+                return true;
+            }
+            let o = netlist.instance(other);
+            if !netlist.padded_rect(other).overlaps(&probe) {
+                return true;
+            }
+            o.same_resonator(inst)
+                || !o.frequency().is_resonant_with(inst.frequency(), dc * 0.999)
+        })
+    };
+    // n moves to s's spot; s moves to n's spot (joining its own cluster —
+    // only n's new neighborhood needs the resonance check, plus s's).
+    ok_at(n, netlist.position(s), s) && ok_at(s, netlist.position(n), n)
+}
+
+fn perform_swap(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    grid: &mut SpatialGrid,
+    s: usize,
+    n: usize,
+) {
+    let rs = netlist.padded_rect(s);
+    let rn = netlist.padded_rect(n);
+    let ps = netlist.position(s);
+    let pn = netlist.position(n);
+    bitmap.unmark(&rs);
+    bitmap.unmark(&rn);
+    grid.remove(s, &rs);
+    grid.remove(n, &rn);
+    netlist.set_position(s, pn);
+    netlist.set_position(n, ps);
+    let rs2 = netlist.padded_rect(s);
+    let rn2 = netlist.padded_rect(n);
+    bitmap.mark(&rs2);
+    bitmap.mark(&rn2);
+    grid.insert(s, &rs2);
+    grid.insert(n, &rn2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubits::legalize_qubits;
+    use crate::tetris::legalize_segments;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn pipeline(t: &Topology) -> (QuantumNetlist, IntegrationStats) {
+        let freqs = FrequencyAssigner::paper_defaults().assign(t);
+        let mut nl = QuantumNetlist::build(t, &freqs, &NetlistConfig::with_segment_size(0.4));
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let mut tracker = crate::resonance::ResonanceTracker::new(&nl, 0.3);
+        legalize_qubits(&mut nl, &mut bm, &mut tracker, 0.5);
+        legalize_segments(&mut nl, &mut bm, &mut tracker, 0.5);
+        let stats = integrate_resonators(&mut nl, &mut bm);
+        (nl, stats)
+    }
+
+    #[test]
+    fn integration_never_reduces_cluster_count() {
+        let t = Topology::grid(2, 2);
+        let (nl, stats) = pipeline(&t);
+        assert!(stats.integrated_after >= stats.integrated_before);
+        assert_eq!(
+            stats.integrated_after + stats.unintegrated.len(),
+            nl.num_resonators()
+        );
+    }
+
+    #[test]
+    fn layout_stays_overlap_free_after_integration() {
+        let t = Topology::grid(2, 2);
+        let (nl, _) = pipeline(&t);
+        assert!(
+            nl.overlapping_pairs().is_empty(),
+            "integration broke legality"
+        );
+    }
+
+    #[test]
+    fn most_resonators_integrate_on_small_devices() {
+        let t = Topology::falcon27();
+        let (nl, stats) = pipeline(&t);
+        let frac = stats.integrated_after as f64 / nl.num_resonators() as f64;
+        assert!(
+            frac > 0.7,
+            "only {}/{} resonators integrated",
+            stats.integrated_after,
+            nl.num_resonators()
+        );
+    }
+
+    #[test]
+    fn cluster_decomposition_is_a_partition() {
+        let t = Topology::grid(2, 2);
+        let (nl, _) = pipeline(&t);
+        for r in 0..nl.num_resonators() {
+            let clusters = clusters_of(&nl, r);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            assert_eq!(total, nl.resonator_segments(r).len());
+            // Largest first.
+            for w in clusters.windows(2) {
+                assert!(w[0].len() >= w[1].len());
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The orchestrating legalizer (all three phases).
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_netlist::QuantumNetlist;
+
+use crate::abacus::legalize_qubits_abacus;
+use crate::integration::integrate_resonators;
+use crate::qubits::legalize_qubits;
+use crate::resonance::ResonanceTracker;
+use crate::tetris::legalize_segments;
+use crate::OccupancyBitmap;
+
+/// Summary of a legalization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LegalReport {
+    /// Mean qubit displacement (mm).
+    pub mean_qubit_displacement: f64,
+    /// Maximum qubit displacement (mm).
+    pub max_qubit_displacement: f64,
+    /// Mean segment displacement (mm).
+    pub mean_segment_displacement: f64,
+    /// Maximum segment displacement (mm).
+    pub max_segment_displacement: f64,
+    /// Resonators forming one cluster immediately after Tetris.
+    pub integrated_before: usize,
+    /// Resonators forming one cluster after Algorithm 1.
+    pub integrated_after: usize,
+    /// Total resonators.
+    pub resonator_count: usize,
+    /// Segments relocated during integration.
+    pub segments_moved: usize,
+    /// Segment swaps during integration.
+    pub segments_swapped: usize,
+    /// Padded-footprint overlaps remaining (0 for a legal layout).
+    pub remaining_overlaps: usize,
+}
+
+/// Integration-aware legalizer configuration + entry point.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Legalizer {
+    /// Occupancy bitmap resolution (mm).
+    pub resolution_mm: f64,
+    /// Resonant safety margin (mm) enforced by the strict legalization
+    /// passes (the legalization-side τ check); 0 disables it.
+    pub resonant_margin_mm: f64,
+    /// Which qubit-legalization algorithm phase 1 uses.
+    pub qubit_legalizer: QubitLegalizerKind,
+}
+
+/// Selectable qubit-legalization algorithm (phase 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QubitLegalizerKind {
+    /// The paper's greedy spiral search + min-cost-flow refinement, with
+    /// resonance-aware strict passes (default).
+    SpiralMcmf,
+    /// Classical Abacus row legalization (§VII related work) — lower
+    /// displacement on row-friendly layouts, resonance-oblivious.
+    Abacus,
+}
+
+impl Legalizer {
+    /// Creates a legalizer with the given bitmap resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_mm` is not positive.
+    #[must_use]
+    pub fn new(resolution_mm: f64) -> Self {
+        assert!(resolution_mm > 0.0, "resolution must be positive");
+        Self {
+            resolution_mm,
+            resonant_margin_mm: 0.3,
+            qubit_legalizer: QubitLegalizerKind::SpiralMcmf,
+        }
+    }
+
+    /// Selects the qubit-legalization algorithm.
+    #[must_use]
+    pub fn with_qubit_legalizer(mut self, kind: QubitLegalizerKind) -> Self {
+        self.qubit_legalizer = kind;
+        self
+    }
+
+    /// Sets the resonant safety margin used by the strict passes.
+    #[must_use]
+    pub fn with_resonant_margin(mut self, margin_mm: f64) -> Self {
+        self.resonant_margin_mm = margin_mm;
+        self
+    }
+
+    /// Runs qubit legalization, segment Tetris, and resonator integration
+    /// on `netlist`, mutating positions in place.
+    pub fn run(&self, netlist: &mut QuantumNetlist) -> LegalReport {
+        // The bitmap workspace extends slightly beyond the sized region:
+        // mixing incommensurate footprints (e.g. 0.5 mm segments among
+        // 0.8 mm qubits) can fragment the last few percent of free space,
+        // and a bounded spill ring guarantees feasibility. Spill spots are
+        // distance-penalized, so they are used only as a last resort; the
+        // area metrics measure the layout actually produced.
+        let workspace = netlist
+            .region()
+            .inflated(2.0 * netlist.max_padded_side());
+        let mut bitmap = OccupancyBitmap::new(workspace, self.resolution_mm);
+        let mut tracker = ResonanceTracker::new(netlist, self.resonant_margin_mm);
+        let pitch = site_pitch(netlist);
+        let qubit_disp = match self.qubit_legalizer {
+            QubitLegalizerKind::SpiralMcmf => {
+                legalize_qubits(netlist, &mut bitmap, &mut tracker, pitch)
+            }
+            QubitLegalizerKind::Abacus => {
+                let disp = legalize_qubits_abacus(netlist, &mut bitmap);
+                for q in 0..netlist.num_qubits() {
+                    let id = netlist.qubit_instance(q);
+                    tracker.place(netlist, id, netlist.position(id));
+                }
+                disp
+            }
+        };
+        let seg_disp = legalize_segments(netlist, &mut bitmap, &mut tracker, pitch);
+        let stats = integrate_resonators(netlist, &mut bitmap);
+        let remaining_overlaps = netlist.overlapping_pairs().len();
+
+        let stats_of = |xs: &[f64]| {
+            if xs.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (
+                    xs.iter().sum::<f64>() / xs.len() as f64,
+                    xs.iter().copied().fold(0.0, f64::max),
+                )
+            }
+        };
+        let (mean_q, max_q) = stats_of(&qubit_disp);
+        let seg_only: Vec<f64> = seg_disp.iter().map(|&(_, d)| d).collect();
+        let (mean_s, max_s) = stats_of(&seg_only);
+
+        LegalReport {
+            mean_qubit_displacement: mean_q,
+            max_qubit_displacement: max_q,
+            mean_segment_displacement: mean_s,
+            max_segment_displacement: max_s,
+            integrated_before: stats.integrated_before,
+            integrated_after: stats.integrated_after,
+            resonator_count: netlist.num_resonators(),
+            segments_moved: stats.moved,
+            segments_swapped: stats.swapped,
+            remaining_overlaps,
+        }
+    }
+}
+
+/// The site-lattice pitch for a netlist: the largest pitch that divides
+/// every distinct padded footprint side (within tolerance), searched among
+/// integer fractions of the smallest footprint. When all footprints are
+/// multiples of the pitch, placements brick-pack and free space never
+/// fragments below one site.
+pub(crate) fn site_pitch(netlist: &QuantumNetlist) -> f64 {
+    let mut sizes: Vec<f64> = netlist
+        .instances()
+        .iter()
+        .map(|inst| inst.padded_mm())
+        .collect();
+    sizes.sort_by(f64::total_cmp);
+    sizes.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let Some(&smallest) = sizes.first() else {
+        return 0.1;
+    };
+    let divides_all = |p: f64| {
+        sizes.iter().all(|&s| {
+            let ratio = s / p;
+            (ratio - ratio.round()).abs() < 1e-6
+        })
+    };
+    for k in 1..=64 {
+        let p = smallest / k as f64;
+        if p < 0.05 {
+            break;
+        }
+        if divides_all(p) {
+            return p;
+        }
+    }
+    0.05
+}
+
+impl Default for Legalizer {
+    fn default() -> Self {
+        Self::new(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_place::{GlobalPlacer, PlacerConfig};
+    use qplacer_topology::Topology;
+
+    #[test]
+    fn full_legalization_after_global_placement() {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let report = Legalizer::default().run(&mut nl);
+        assert_eq!(report.remaining_overlaps, 0);
+        assert_eq!(report.resonator_count, 12);
+        assert!(report.integrated_after >= report.integrated_before);
+        assert!(report.mean_qubit_displacement <= report.max_qubit_displacement);
+        assert!(report.mean_segment_displacement <= report.max_segment_displacement);
+    }
+
+    #[test]
+    fn legalization_is_deterministic() {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut a = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut a);
+        let mut b = a.clone();
+        let ra = Legalizer::default().run(&mut a);
+        let rb = Legalizer::default().run(&mut b);
+        assert_eq!(ra, rb);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let _ = Legalizer::new(0.0);
+    }
+}

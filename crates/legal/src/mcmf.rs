@@ -1,0 +1,296 @@
+//! Min-cost max-flow via successive shortest paths.
+//!
+//! Used by the qubit legalizer's displacement-refinement step (§IV-C2,
+//! citing Tang et al.'s min-cost-flow white-space redistribution): after
+//! the greedy spiral pass finds *feasible* sites, an assignment problem —
+//! qubits to sites, cost = displacement — is solved exactly with this
+//! solver.
+//!
+//! The implementation is the classic successive-shortest-path algorithm
+//! with SPFA (Bellman–Ford queue) distances, which handles the zero/
+//! positive integer costs produced by the legalizer. Sizes are tiny
+//! (≤ 127 qubits), so asymptotics are irrelevant; correctness is
+//! property-tested against brute force.
+
+/// A directed flow network with costs.
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<usize>>, // adjacency: node -> edge ids
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    cost: Vec<i64>,
+}
+
+impl MinCostFlow {
+    /// Creates a network with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` and unit cost
+    /// `cost`; a residual reverse edge is added automatically. Returns the
+    /// edge id (use `edge_flow` after solving).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes or negative capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
+        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let id = self.to.len();
+        self.graph[from].push(id);
+        self.to.push(to);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.graph[to].push(id + 1);
+        self.to.push(from);
+        self.cap.push(0);
+        self.cost.push(-cost);
+        id
+    }
+
+    /// Flow currently routed through edge `id` (forward edges only).
+    #[must_use]
+    pub fn edge_flow(&self, id: usize) -> i64 {
+        // Flow on the forward edge equals residual capacity of its twin.
+        self.cap[id ^ 1]
+    }
+
+    /// Sends up to `limit` units from `source` to `sink` at minimum cost.
+    /// Returns `(flow, cost)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints.
+    pub fn solve(&mut self, source: usize, sink: usize, limit: i64) -> (i64, i64) {
+        assert!(source < self.graph.len() && sink < self.graph.len());
+        let n = self.graph.len();
+        let mut flow = 0i64;
+        let mut total_cost = 0i64;
+        while flow < limit {
+            // SPFA shortest path on residual graph.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[source] = 0;
+            let mut queue = std::collections::VecDeque::from([source]);
+            in_queue[source] = true;
+            while let Some(v) = queue.pop_front() {
+                in_queue[v] = false;
+                for &e in &self.graph[v] {
+                    if self.cap[e] > 0 && dist[v] != i64::MAX {
+                        let u = self.to[e];
+                        let nd = dist[v] + self.cost[e];
+                        if nd < dist[u] {
+                            dist[u] = nd;
+                            prev_edge[u] = e;
+                            if !in_queue[u] {
+                                queue.push_back(u);
+                                in_queue[u] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if dist[sink] == i64::MAX {
+                break; // no augmenting path
+            }
+            // Bottleneck along the path.
+            let mut push = limit - flow;
+            let mut v = sink;
+            while v != source {
+                let e = prev_edge[v];
+                push = push.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            // Apply.
+            let mut v = sink;
+            while v != source {
+                let e = prev_edge[v];
+                self.cap[e] -= push;
+                self.cap[e ^ 1] += push;
+                v = self.to[e ^ 1];
+            }
+            flow += push;
+            total_cost += push * dist[sink];
+        }
+        (flow, total_cost)
+    }
+}
+
+/// Solves the assignment of `n` agents to `m ≥ n` sites with the given
+/// cost matrix (`costs[agent][site]`), returning for each agent its
+/// assigned site, minimizing total cost.
+///
+/// # Panics
+///
+/// Panics if `m < n` or the cost matrix is ragged.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_legal::mcmf::solve_assignment;
+/// let costs = vec![vec![10, 1], vec![1, 10]];
+/// assert_eq!(solve_assignment(&costs), vec![1, 0]);
+/// ```
+#[must_use]
+pub fn solve_assignment(costs: &[Vec<i64>]) -> Vec<usize> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = costs[0].len();
+    assert!(m >= n, "need at least as many sites as agents");
+    for row in costs {
+        assert_eq!(row.len(), m, "ragged cost matrix");
+    }
+    // Nodes: 0 = source, 1..=n agents, n+1..=n+m sites, n+m+1 sink.
+    let source = 0;
+    let sink = n + m + 1;
+    let mut net = MinCostFlow::new(n + m + 2);
+    let mut agent_edges = vec![Vec::with_capacity(m); n];
+    for a in 0..n {
+        net.add_edge(source, 1 + a, 1, 0);
+        for s in 0..m {
+            let e = net.add_edge(1 + a, 1 + n + s, 1, costs[a][s]);
+            agent_edges[a].push(e);
+        }
+    }
+    for s in 0..m {
+        net.add_edge(1 + n + s, sink, 1, 0);
+    }
+    let (flow, _) = net.solve(source, sink, n as i64);
+    assert_eq!(flow, n as i64, "assignment must saturate all agents");
+    agent_edges
+        .iter()
+        .map(|edges| {
+            edges
+                .iter()
+                .position(|&e| net.edge_flow(e) > 0)
+                .expect("every agent is assigned")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_flow() {
+        let mut net = MinCostFlow::new(4);
+        net.add_edge(0, 1, 2, 1);
+        net.add_edge(0, 2, 1, 2);
+        net.add_edge(1, 3, 1, 1);
+        net.add_edge(2, 3, 2, 1);
+        let (flow, cost) = net.solve(0, 3, 10);
+        assert_eq!(flow, 2);
+        // Paths: 0-1-3 (cost 2) and 0-2-3 (cost 3).
+        assert_eq!(cost, 5);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut net = MinCostFlow::new(2);
+        net.add_edge(0, 1, 100, 1);
+        let (flow, cost) = net.solve(0, 1, 3);
+        assert_eq!((flow, cost), (3, 3));
+    }
+
+    #[test]
+    fn picks_cheap_path_first() {
+        let mut net = MinCostFlow::new(3);
+        net.add_edge(0, 1, 1, 10);
+        net.add_edge(0, 2, 1, 1);
+        net.add_edge(2, 1, 1, 1);
+        let (flow, cost) = net.solve(0, 1, 1);
+        assert_eq!((flow, cost), (1, 2));
+    }
+
+    #[test]
+    fn assignment_identity_when_diagonal_cheap() {
+        let costs = vec![
+            vec![0, 5, 5],
+            vec![5, 0, 5],
+            vec![5, 5, 0],
+        ];
+        assert_eq!(solve_assignment(&costs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn assignment_uses_spare_sites() {
+        // 2 agents, 3 sites; middle site is expensive for both.
+        let costs = vec![vec![1, 50, 9], vec![9, 50, 1]];
+        assert_eq!(solve_assignment(&costs), vec![0, 2]);
+    }
+
+    fn brute_force(costs: &[Vec<i64>]) -> i64 {
+        // Try all site permutations of size n (small cases only).
+        fn rec(costs: &[Vec<i64>], used: &mut Vec<bool>, a: usize) -> i64 {
+            if a == costs.len() {
+                return 0;
+            }
+            let mut best = i64::MAX;
+            for s in 0..used.len() {
+                if !used[s] {
+                    used[s] = true;
+                    let rest = rec(costs, used, a + 1);
+                    if rest != i64::MAX {
+                        best = best.min(costs[a][s] + rest);
+                    }
+                    used[s] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; costs[0].len()];
+        rec(costs, &mut used, 0)
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_instances() {
+        // Deterministic pseudo-random costs.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as i64
+        };
+        for trial in 0..20 {
+            let n = 2 + (trial % 4);
+            let m = n + (trial % 3);
+            let costs: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..m).map(|_| next()).collect())
+                .collect();
+            let assignment = solve_assignment(&costs);
+            let got: i64 = assignment
+                .iter()
+                .enumerate()
+                .map(|(a, &s)| costs[a][s])
+                .sum();
+            // All sites distinct.
+            let distinct: std::collections::HashSet<_> = assignment.iter().collect();
+            assert_eq!(distinct.len(), n);
+            assert_eq!(got, brute_force(&costs), "trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many sites")]
+    fn too_few_sites_panics() {
+        let _ = solve_assignment(&[vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Phase 1: qubit legalization (greedy spiral + min-cost-flow refinement).
+
+use qplacer_geometry::{Point, SpiralIter};
+use qplacer_netlist::QuantumNetlist;
+
+use crate::mcmf::solve_assignment;
+use crate::resonance::ResonanceTracker;
+use crate::OccupancyBitmap;
+
+/// Legalizes all qubits: finds non-overlapping, in-region positions near
+/// their global-placement locations, then reassigns qubits to the found
+/// site set with minimum total displacement. Marks the final footprints
+/// into `bitmap` and registers them with `tracker`. Returns per-qubit
+/// displacement (mm), indexed by device qubit.
+///
+/// Candidates live on the global site lattice (`site_pitch`), so qubit
+/// and segment placements brick-pack without sub-site fragmentation. A
+/// *strict* spiral pass skips spots that violate the resonant margin
+/// against already-placed qubits (the legalization-side τ check); a
+/// relaxed pass and an exhaustive scan guarantee feasibility.
+///
+/// # Panics
+///
+/// Panics if some qubit cannot be placed anywhere in the region (the
+/// region is sized for ≤ 100 % utilization upstream, so this indicates a
+/// configuration error).
+pub fn legalize_qubits(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    tracker: &mut ResonanceTracker,
+    site_pitch: f64,
+) -> Vec<f64> {
+    let num_qubits = netlist.num_qubits();
+    if num_qubits == 0 {
+        return Vec::new();
+    }
+    let region = netlist.region();
+    let workspace = bitmap.region();
+
+    // Process left-to-right for a deterministic, low-conflict order.
+    let mut order: Vec<usize> = (0..num_qubits).collect();
+    order.sort_by(|&a, &b| {
+        let pa = netlist.position(netlist.qubit_instance(a));
+        let pb = netlist.position(netlist.qubit_instance(b));
+        (pa.x, pa.y).partial_cmp(&(pb.x, pb.y)).expect("finite positions")
+    });
+
+    // Greedy spiral: collect one feasible site per qubit (strict pass
+    // first, then relaxed).
+    let mut sites: Vec<Point> = Vec::with_capacity(num_qubits);
+    for &q in &order {
+        let id = netlist.qubit_instance(q);
+        let inst = *netlist.instance(id);
+        let desired = inst
+            .padded_rect(Point::ORIGIN)
+            .clamp_center_into(&region, netlist.position(id));
+        let max_radius =
+            ((region.width().max(region.height()) / site_pitch).ceil() as i64).max(1) * 2;
+        let spiral = |strict: bool,
+                      bitmap: &OccupancyBitmap,
+                      tracker: &ResonanceTracker,
+                      netlist: &QuantumNetlist|
+         -> Option<Point> {
+            for (dx, dy) in SpiralIter::new(max_radius) {
+                let cand = bitmap.snap_to_sites(
+                    Point::new(
+                        desired.x + dx as f64 * site_pitch,
+                        desired.y + dy as f64 * site_pitch,
+                    ),
+                    inst.padded_mm(),
+                    site_pitch,
+                );
+                let rect = inst.padded_rect(cand);
+                // The strict pass must stay inside the sized region —
+                // isolation is not allowed to grow the substrate; only the
+                // relaxed pass may use the feasibility spill ring.
+                let bound = if strict { &region } else { &workspace };
+                if bound.inflated(1e-9).contains_rect(&rect)
+                    && bitmap.is_free(&rect)
+                    && (!strict || tracker.is_clean(netlist, id, cand))
+                {
+                    return Some(cand);
+                }
+            }
+            None
+        };
+        let site = spiral(true, bitmap, tracker, netlist)
+            .or_else(|| spiral(false, bitmap, tracker, netlist))
+            .or_else(|| {
+                bitmap.find_nearest_free(inst.padded_mm(), inst.padded_mm(), desired, site_pitch)
+            })
+            .unwrap_or_else(|| panic!("no legal site for qubit {q}; region too small"));
+        bitmap.mark(&inst.padded_rect(site));
+        tracker.place(netlist, id, site);
+        sites.push(site);
+    }
+
+    // Min-cost-flow refinement: optimally re-match qubits to the site set
+    // (§IV-C2's displacement minimization). Costs are Manhattan
+    // displacements in micrometers.
+    let costs: Vec<Vec<i64>> = order
+        .iter()
+        .map(|&q| {
+            let want = netlist.position(netlist.qubit_instance(q));
+            sites
+                .iter()
+                .map(|s| (want.manhattan(*s) * 1000.0).round() as i64)
+                .collect()
+        })
+        .collect();
+    let assignment = solve_assignment(&costs);
+
+    // The permutation could undo the strict pass's isolation; accept it
+    // only if it does not increase resonant-margin violations among
+    // qubits.
+    let violations_of = |mapping: &dyn Fn(usize) -> Point| -> usize {
+        let mut count = 0;
+        let dc = netlist.detuning_threshold() * 0.999;
+        let margin = tracker.margin();
+        for (ra, &qa) in order.iter().enumerate() {
+            for (rb, &qb) in order.iter().enumerate().skip(ra + 1) {
+                let ia = netlist.qubit_instance(qa);
+                let ib = netlist.qubit_instance(qb);
+                let fa = netlist.instance(ia).frequency();
+                let fb = netlist.instance(ib).frequency();
+                if !fa.is_resonant_with(fb, dc) {
+                    continue;
+                }
+                let a = netlist
+                    .instance(ia)
+                    .padded_rect(mapping(ra))
+                    .inflated(0.5 * margin);
+                let b = netlist
+                    .instance(ib)
+                    .padded_rect(mapping(rb))
+                    .inflated(0.5 * margin);
+                if a.overlaps(&b) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    };
+    let greedy_viol = violations_of(&|rank| sites[rank]);
+    let mcmf_viol = violations_of(&|rank| sites[assignment[rank]]);
+    let use_mcmf = mcmf_viol <= greedy_viol;
+
+    let mut displacement = vec![0.0; num_qubits];
+    for (rank, &q) in order.iter().enumerate() {
+        let id = netlist.qubit_instance(q);
+        let before = netlist.position(id);
+        let site = if use_mcmf {
+            sites[assignment[rank]]
+        } else {
+            sites[rank]
+        };
+        // Re-register at the final spot.
+        tracker.unplace(netlist, id, sites[rank]);
+        netlist.set_position(id, site);
+        tracker.place(netlist, id, site);
+        displacement[q] = before.distance(site);
+    }
+    displacement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist(t: &Topology) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(t);
+        QuantumNetlist::build(t, &freqs, &NetlistConfig::default())
+    }
+
+    fn run(nl: &mut QuantumNetlist) -> Vec<f64> {
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let mut tracker = ResonanceTracker::new(nl, 0.3);
+        legalize_qubits(nl, &mut bm, &mut tracker, 0.4)
+    }
+
+    #[test]
+    fn qubits_end_up_disjoint_and_inside() {
+        let t = Topology::grid(3, 3);
+        let mut nl = netlist(&t);
+        let disp = run(&mut nl);
+        assert_eq!(disp.len(), 9);
+        for a in 0..9 {
+            let ra = nl.padded_rect(nl.qubit_instance(a));
+            assert!(nl.region().inflated(1e-6).contains_rect(&ra));
+            for b in a + 1..9 {
+                let rb = nl.padded_rect(nl.qubit_instance(b));
+                assert!(!ra.overlaps(&rb), "qubits {a} and {b} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn already_legal_layout_barely_moves() {
+        let t = Topology::grid(2, 2);
+        let mut nl = netlist(&t);
+        // Hand-place the 4 qubits on a legal lattice.
+        let pitch = 1.3;
+        for q in 0..4 {
+            let id = nl.qubit_instance(q);
+            nl.set_position(
+                id,
+                Point::new(
+                    (q % 2) as f64 * pitch - 0.65,
+                    (q / 2) as f64 * pitch - 0.65,
+                ),
+            );
+        }
+        let disp = run(&mut nl);
+        for (q, d) in disp.iter().enumerate() {
+            assert!(*d < 0.6, "qubit {q} moved {d} mm from a legal spot");
+        }
+    }
+
+    #[test]
+    fn stacked_qubits_get_separated() {
+        let t = Topology::grid(3, 3);
+        let mut nl = netlist(&t);
+        for q in 0..9 {
+            let id = nl.qubit_instance(q);
+            nl.set_position(id, Point::ORIGIN);
+        }
+        let _ = run(&mut nl);
+        let mut positions: Vec<Point> = (0..9)
+            .map(|q| nl.position(nl.qubit_instance(q)))
+            .collect();
+        positions.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        positions.dedup_by(|a, b| a.distance(*b) < 1e-9);
+        assert_eq!(positions.len(), 9, "all qubits at distinct positions");
+    }
+
+    #[test]
+    fn strict_pass_isolates_resonant_qubits_when_space_allows() {
+        // Stack everything; with ample region space the strict pass should
+        // keep same-slot qubits at least margin apart.
+        let t = Topology::grid(3, 3);
+        let mut nl = netlist(&t);
+        for q in 0..9 {
+            nl.set_position(nl.qubit_instance(q), Point::ORIGIN);
+        }
+        let _ = run(&mut nl);
+        let dc = nl.detuning_threshold() * 0.999;
+        let mut violations = 0;
+        for a in 0..9 {
+            for b in a + 1..9 {
+                let ia = nl.qubit_instance(a);
+                let ib = nl.qubit_instance(b);
+                if nl
+                    .instance(ia)
+                    .frequency()
+                    .is_resonant_with(nl.instance(ib).frequency(), dc)
+                {
+                    let ra = nl.padded_rect(ia).inflated(0.15);
+                    let rb = nl.padded_rect(ib).inflated(0.15);
+                    if ra.overlaps(&rb) {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(violations, 0, "resonant qubits legalized adjacently");
+    }
+}

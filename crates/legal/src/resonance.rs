@@ -1,0 +1,177 @@
+//! Resonance checking during legalization (the τ(·) of Algorithm 1).
+//!
+//! While the legalizers place instances one by one, this tracker answers
+//! "would parking instance `i` at `p` violate the resonant safety margin
+//! against anything already placed?". The strict legalization passes
+//! consult it so candidate spots next to near-resonant neighbors are
+//! skipped whenever an alternative exists; relaxed passes ignore it
+//! (feasibility beats isolation as a last resort, exactly like the paper's
+//! Classic arm, which shares this legalizer but has nothing to protect).
+
+use qplacer_geometry::{Point, Rect, SpatialGrid};
+use qplacer_netlist::QuantumNetlist;
+
+/// Tracks placed instances and checks candidate positions for resonant
+/// proximity violations.
+#[derive(Debug, Clone)]
+pub struct ResonanceTracker {
+    grid: SpatialGrid,
+    margin: f64,
+}
+
+impl ResonanceTracker {
+    /// Creates a tracker for `netlist` with the given resonant safety
+    /// margin (mm); a margin of 0 disables all checks.
+    #[must_use]
+    pub fn new(netlist: &QuantumNetlist, margin: f64) -> Self {
+        let pad = netlist.max_padded_side() + margin + 0.1;
+        Self {
+            grid: SpatialGrid::new(netlist.region().inflated(pad), pad),
+            margin,
+        }
+    }
+
+    /// The resonant safety margin.
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    fn inflated(&self, netlist: &QuantumNetlist, id: usize, at: Point) -> Rect {
+        netlist
+            .instance(id)
+            .padded_rect(at)
+            .inflated(0.5 * self.margin)
+    }
+
+    /// Registers instance `id` as placed at `at`.
+    pub fn place(&mut self, netlist: &QuantumNetlist, id: usize, at: Point) {
+        let r = self.inflated(netlist, id, at);
+        self.grid.insert(id, &r);
+    }
+
+    /// Removes a previous registration of `id` at `at`.
+    pub fn unplace(&mut self, netlist: &QuantumNetlist, id: usize, at: Point) {
+        let r = self.inflated(netlist, id, at);
+        self.grid.remove(id, &r);
+    }
+
+    /// `true` when placing `id` at `cand` keeps the resonant margin to
+    /// every already-placed near-resonant foreign instance.
+    #[must_use]
+    pub fn is_clean(&self, netlist: &QuantumNetlist, id: usize, cand: Point) -> bool {
+        if self.margin <= 0.0 {
+            return true;
+        }
+        let inst = netlist.instance(id);
+        let probe = self.inflated(netlist, id, cand);
+        let dc = netlist.detuning_threshold() * 0.999;
+        self.grid.query(&probe).into_iter().all(|other| {
+            if other == id {
+                return true;
+            }
+            let o = netlist.instance(other);
+            if o.same_resonator(inst)
+                || !o.frequency().is_resonant_with(inst.frequency(), dc)
+            {
+                return true;
+            }
+            // Exact test: margin-inflated footprints must not overlap.
+            !self
+                .inflated(netlist, other, netlist.position(other))
+                .overlaps(&probe)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    fn same_slot_qubits(nl: &QuantumNetlist) -> (usize, usize) {
+        for a in 0..nl.num_qubits() {
+            for b in a + 1..nl.num_qubits() {
+                let ia = nl.qubit_instance(a);
+                let ib = nl.qubit_instance(b);
+                if nl
+                    .instance(ia)
+                    .frequency()
+                    .is_resonant_with(nl.instance(ib).frequency(), nl.detuning_threshold() * 0.5)
+                {
+                    return (ia, ib);
+                }
+            }
+        }
+        panic!("no same-slot qubit pair");
+    }
+
+    #[test]
+    fn clean_when_far_dirty_when_close() {
+        let mut nl = netlist();
+        let (ia, ib) = same_slot_qubits(&nl);
+        let mut tracker = ResonanceTracker::new(&nl, 0.3);
+        nl.set_position(ia, Point::new(0.0, 0.0));
+        tracker.place(&nl, ia, Point::new(0.0, 0.0));
+        // Far: clean.
+        assert!(tracker.is_clean(&nl, ib, Point::new(3.0, 0.0)));
+        // Within padded+margin: dirty.
+        assert!(!tracker.is_clean(&nl, ib, Point::new(0.9, 0.0)));
+    }
+
+    #[test]
+    fn detuned_neighbors_are_always_clean() {
+        let mut nl = netlist();
+        // Find two qubits in *different* slots.
+        let mut pair = None;
+        'outer: for a in 0..nl.num_qubits() {
+            for b in a + 1..nl.num_qubits() {
+                let ia = nl.qubit_instance(a);
+                let ib = nl.qubit_instance(b);
+                if !nl
+                    .instance(ia)
+                    .frequency()
+                    .is_resonant_with(nl.instance(ib).frequency(), nl.detuning_threshold() * 0.999)
+                {
+                    pair = Some((ia, ib));
+                    break 'outer;
+                }
+            }
+        }
+        let (ia, ib) = pair.unwrap();
+        let mut tracker = ResonanceTracker::new(&nl, 0.3);
+        nl.set_position(ia, Point::new(0.0, 0.0));
+        tracker.place(&nl, ia, Point::new(0.0, 0.0));
+        assert!(tracker.is_clean(&nl, ib, Point::new(0.85, 0.0)));
+    }
+
+    #[test]
+    fn zero_margin_disables_checks() {
+        let mut nl = netlist();
+        let (ia, ib) = same_slot_qubits(&nl);
+        let mut tracker = ResonanceTracker::new(&nl, 0.0);
+        nl.set_position(ia, Point::ORIGIN);
+        tracker.place(&nl, ia, Point::ORIGIN);
+        assert!(tracker.is_clean(&nl, ib, Point::ORIGIN));
+    }
+
+    #[test]
+    fn unplace_restores_cleanliness() {
+        let mut nl = netlist();
+        let (ia, ib) = same_slot_qubits(&nl);
+        let mut tracker = ResonanceTracker::new(&nl, 0.3);
+        nl.set_position(ia, Point::ORIGIN);
+        tracker.place(&nl, ia, Point::ORIGIN);
+        assert!(!tracker.is_clean(&nl, ib, Point::new(0.9, 0.0)));
+        tracker.unplace(&nl, ia, Point::ORIGIN);
+        assert!(tracker.is_clean(&nl, ib, Point::new(0.9, 0.0)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Phase 2: Tetris-style segment legalization.
+//!
+//! Segments are placed resonator by resonator (resonators ordered
+//! left-to-right by their segments' mean global x — the Tetris sweep),
+//! and in *chain order* within each resonator — the paper's "adherence to
+//! established orders". Each segment first tries the eight lattice
+//! neighbors of its predecessor in the chain, which keeps the reserved
+//! blocks contiguous for the integration phase, then spirals around its
+//! own global-placement position, and as a last resort takes the nearest
+//! free cell anywhere in the region.
+//!
+//! Every stage runs *strict* first — candidate spots that would violate
+//! the resonant margin against already-placed instances are skipped — and
+//! falls back to a relaxed pass so legalization always completes.
+
+use qplacer_geometry::{Point, SpiralIter};
+use qplacer_netlist::QuantumNetlist;
+
+use crate::resonance::ResonanceTracker;
+use crate::OccupancyBitmap;
+
+/// Legalizes all resonator segments. Qubits must already be marked in
+/// `bitmap` and registered with `tracker`. Returns
+/// `(instance_id, displacement_mm)` per segment.
+///
+/// # Panics
+///
+/// Panics if a segment cannot be placed anywhere in the region, which
+/// indicates the region was sized above 100 % utilization.
+pub fn legalize_segments(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    tracker: &mut ResonanceTracker,
+    site_pitch: f64,
+) -> Vec<(usize, f64)> {
+    let region = netlist.region();
+    let workspace = bitmap.region();
+
+    // Resonators sorted by mean global x of their segments (sweep order).
+    let mut res_order: Vec<usize> = (0..netlist.num_resonators()).collect();
+    let mean_x = |r: usize| -> f64 {
+        let segs = netlist.resonator_segments(r);
+        segs.iter().map(|&id| netlist.position(id).x).sum::<f64>() / segs.len().max(1) as f64
+    };
+    res_order.sort_by(|&a, &b| mean_x(a).total_cmp(&mean_x(b)));
+
+    let mut displacements = Vec::new();
+    for r in res_order {
+        let chain: Vec<usize> = netlist.resonator_segments(r).to_vec();
+        let mut prev: Option<Point> = None;
+        for id in chain {
+            let inst = *netlist.instance(id);
+            let pitch = inst.padded_mm();
+            let desired = inst
+                .padded_rect(Point::ORIGIN)
+                .clamp_center_into(&region, netlist.position(id));
+
+            let acceptable = |cand: Point,
+                              strict: bool,
+                              bitmap: &OccupancyBitmap,
+                              tracker: &ResonanceTracker,
+                              netlist: &QuantumNetlist|
+             -> bool {
+                let rect = inst.padded_rect(cand);
+                // Strict placements stay inside the sized region (compact
+                // substrate first); only relaxed ones may spill.
+                let bound = if strict { &region } else { &workspace };
+                bound.inflated(1e-9).contains_rect(&rect)
+                    && bitmap.is_free(&rect)
+                    && (!strict || tracker.is_clean(netlist, id, cand))
+            };
+
+            // (a) Hug the previous chain segment: its 8 lattice neighbors,
+            // nearest-to-desired first.
+            let chain_candidates: Vec<Point> = prev
+                .map(|p| {
+                    let mut cands: Vec<Point> = [
+                        (pitch, 0.0),
+                        (-pitch, 0.0),
+                        (0.0, pitch),
+                        (0.0, -pitch),
+                        (pitch, pitch),
+                        (pitch, -pitch),
+                        (-pitch, pitch),
+                        (-pitch, -pitch),
+                    ]
+                    .iter()
+                    .map(|&(dx, dy)| {
+                        bitmap.snap_to_sites(
+                            Point::new(p.x + dx, p.y + dy),
+                            inst.padded_mm(),
+                            site_pitch,
+                        )
+                    })
+                    .collect();
+                    cands.sort_by(|a, b| {
+                        a.distance_sq(desired).total_cmp(&b.distance_sq(desired))
+                    });
+                    cands
+                })
+                .unwrap_or_default();
+
+            let max_radius = ((region.width().max(region.height()) / site_pitch).ceil()
+                as i64)
+                .max(1)
+                * 2;
+
+            let mut placed: Option<Point> = None;
+            'passes: for strict in [true, false] {
+                for &cand in &chain_candidates {
+                    if acceptable(cand, strict, bitmap, tracker, netlist) {
+                        placed = Some(cand);
+                        break 'passes;
+                    }
+                }
+                // (b) Spiral around the segment's own desired position.
+                for (dx, dy) in SpiralIter::new(max_radius) {
+                    let cand = bitmap.snap_to_sites(
+                        Point::new(
+                            desired.x + dx as f64 * site_pitch,
+                            desired.y + dy as f64 * site_pitch,
+                        ),
+                        inst.padded_mm(),
+                        site_pitch,
+                    );
+                    if acceptable(cand, strict, bitmap, tracker, netlist) {
+                        placed = Some(cand);
+                        break 'passes;
+                    }
+                }
+            }
+
+            // (c) Exhaustive nearest-free fallback (fragmented free
+            // space): first on the site lattice, then — as the true last
+            // resort — at full bitmap resolution.
+            if placed.is_none() {
+                placed = bitmap
+                    .find_nearest_free(inst.padded_mm(), inst.padded_mm(), desired, site_pitch)
+                    .or_else(|| {
+                        bitmap.find_nearest_free(
+                            inst.padded_mm(),
+                            inst.padded_mm(),
+                            desired,
+                            bitmap.resolution(),
+                        )
+                    });
+            }
+
+            let site = placed.unwrap_or_else(|| {
+                panic!(
+                    "no legal site for segment instance {id}: desired {desired}, \
+                     footprint {:.2} mm, bitmap fill {:.3}, region {}",
+                    inst.padded_mm(),
+                    bitmap.fill_fraction(),
+                    region
+                )
+            });
+            bitmap.mark(&inst.padded_rect(site));
+            tracker.place(netlist, id, site);
+            let before = netlist.position(id);
+            netlist.set_position(id, site);
+            displacements.push((id, before.distance(site)));
+            prev = Some(site);
+        }
+    }
+    displacements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integration::{clusters_of, is_integrated};
+    use crate::qubits::legalize_qubits;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn legalized_netlist(t: &Topology) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(t);
+        let mut nl = QuantumNetlist::build(t, &freqs, &NetlistConfig::default());
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let mut tracker = ResonanceTracker::new(&nl, 0.3);
+        legalize_qubits(&mut nl, &mut bm, &mut tracker, 0.4);
+        legalize_segments(&mut nl, &mut bm, &mut tracker, 0.4);
+        nl
+    }
+
+    #[test]
+    fn no_overlaps_after_tetris() {
+        let t = Topology::grid(2, 2);
+        let nl = legalized_netlist(&t);
+        assert!(
+            nl.overlapping_pairs().is_empty(),
+            "overlaps remain: {:?}",
+            nl.overlapping_pairs()
+        );
+    }
+
+    #[test]
+    fn everything_inside_region() {
+        let t = Topology::falcon27();
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
+        let mut bm = OccupancyBitmap::new(nl.region(), 0.05);
+        let mut tracker = ResonanceTracker::new(&nl, 0.3);
+        legalize_qubits(&mut nl, &mut bm, &mut tracker, 0.1);
+        let disp = legalize_segments(&mut nl, &mut bm, &mut tracker, 0.1);
+        assert_eq!(
+            disp.len(),
+            nl.num_instances() - nl.num_qubits(),
+            "every segment was processed"
+        );
+        let region = nl.region().inflated(1e-6);
+        for inst in nl.instances() {
+            assert!(region.contains_rect(&nl.padded_rect(inst.id())));
+        }
+        assert!(nl.overlapping_pairs().is_empty());
+    }
+
+    #[test]
+    fn chain_following_keeps_most_resonators_whole() {
+        let t = Topology::grid(3, 3);
+        let nl = legalized_netlist(&t);
+        let whole = (0..nl.num_resonators())
+            .filter(|&r| is_integrated(&nl, r))
+            .count();
+        // Even before Algorithm 1, chain-aware Tetris should keep the bulk
+        // of the resonators contiguous (global placement seeds chains).
+        assert!(
+            whole * 2 >= nl.num_resonators(),
+            "only {whole}/{} resonators contiguous after Tetris",
+            nl.num_resonators()
+        );
+        // And the fragments that exist are few per resonator.
+        for r in 0..nl.num_resonators() {
+            assert!(clusters_of(&nl, r).len() <= 5, "resonator {r} shattered");
+        }
+    }
+}

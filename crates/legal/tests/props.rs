@@ -1,0 +1,107 @@
+//! Property-based tests for legalization: any global-placement state must
+//! legalize into an overlap-free, in-region layout.
+
+use proptest::prelude::*;
+use qplacer_freq::FrequencyAssigner;
+use qplacer_geometry::Point;
+use qplacer_legal::{Legalizer, QubitLegalizerKind};
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_topology::Topology;
+
+fn arb_device() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..4, 2usize..4).prop_map(|(w, h)| Topology::grid(w, h)),
+        Just(Topology::xtree(3, 2, 2)),
+        Just(Topology::aspen(1, 2)),
+    ]
+}
+
+fn scrambled_netlist(device: &Topology, seed: u64, lb: f64) -> QuantumNetlist {
+    let freqs = FrequencyAssigner::paper_defaults().assign(device);
+    let mut nl = QuantumNetlist::build(device, &freqs, &NetlistConfig::with_segment_size(lb));
+    // Scramble positions deterministically within the region.
+    let region = nl.region();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..nl.num_instances() {
+        let p = Point::new(
+            region.min.x + next() * region.width(),
+            region.min.y + next() * region.height(),
+        );
+        let inst = *nl.instance(i);
+        nl.set_position(i, inst.padded_rect(Point::ORIGIN).clamp_center_into(&region, p));
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn legalization_always_produces_legal_layouts(
+        device in arb_device(),
+        seed in 0u64..1000,
+        lb in prop_oneof![Just(0.3), Just(0.4)],
+    ) {
+        let mut nl = scrambled_netlist(&device, seed, lb);
+        let report = Legalizer::default().run(&mut nl);
+        prop_assert_eq!(report.remaining_overlaps, 0, "overlaps survive");
+        // Legalization may spill into a bounded ring beyond the sized
+        // region (see Legalizer::run), never further.
+        let workspace = nl
+            .region()
+            .inflated(2.0 * nl.max_padded_side() + 1e-6);
+        for inst in nl.instances() {
+            prop_assert!(
+                workspace.contains_rect(&nl.padded_rect(inst.id())),
+                "instance {} escaped the workspace",
+                inst.id()
+            );
+        }
+        prop_assert!(report.integrated_after >= report.integrated_before);
+        prop_assert_eq!(
+            report.integrated_after + report.resonator_count
+                - report.integrated_after,
+            report.resonator_count
+        );
+    }
+
+    #[test]
+    fn abacus_variant_is_also_legal(device in arb_device(), seed in 0u64..500) {
+        let mut nl = scrambled_netlist(&device, seed, 0.4);
+        let report = Legalizer::default()
+            .with_qubit_legalizer(QubitLegalizerKind::Abacus)
+            .run(&mut nl);
+        prop_assert_eq!(report.remaining_overlaps, 0);
+    }
+
+    #[test]
+    fn displacement_reported_matches_actual_maximum(
+        device in arb_device(),
+        seed in 0u64..500,
+    ) {
+        let nl0 = scrambled_netlist(&device, seed, 0.4);
+        let before: Vec<Point> = nl0.positions().to_vec();
+        let mut nl = nl0;
+        let report = Legalizer::default().run(&mut nl);
+        // Reported max qubit displacement bounds every observed qubit move
+        // made by phase 1 (integration may move segments afterwards, so
+        // only qubits are cross-checked).
+        for q in 0..nl.num_qubits() {
+            let id = nl.qubit_instance(q);
+            let moved = before[id].distance(nl.position(id));
+            prop_assert!(
+                moved <= report.max_qubit_displacement + 1e-9,
+                "qubit {} moved {} > reported max {}",
+                q,
+                moved,
+                report.max_qubit_displacement
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Area metrics (Eq. 17).
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_geometry::{enclosing_rect, Rect};
+use qplacer_netlist::QuantumNetlist;
+
+/// Area accounting for a placed layout.
+///
+/// * `A_mer` — the minimum enclosing rectangle of all (padded) instance
+///   footprints: the substrate the chip actually needs.
+/// * `A_poly` — the summed footprint area of the instances themselves.
+/// * utilization — `A_poly / A_mer` (Eq. 17).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_freq::FrequencyAssigner;
+/// use qplacer_metrics::AreaMetrics;
+/// use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+/// use qplacer_topology::Topology;
+///
+/// let t = Topology::grid(2, 2);
+/// let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+/// let nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+/// let area = AreaMetrics::of(&nl);
+/// // Freshly built netlists overlap at the center, so utilization can
+/// // exceed 1; after legalization it lands in (0, 1].
+/// assert!(area.utilization > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaMetrics {
+    /// The minimum enclosing rectangle.
+    pub mer: Rect,
+    /// Area of the minimum enclosing rectangle (mm²).
+    pub mer_area: f64,
+    /// Summed padded footprint area (mm²).
+    pub poly_area: f64,
+    /// `poly_area / mer_area`.
+    pub utilization: f64,
+}
+
+impl AreaMetrics {
+    /// Computes the metrics at the netlist's current positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty netlist.
+    #[must_use]
+    pub fn of(netlist: &QuantumNetlist) -> Self {
+        let rects: Vec<Rect> = netlist
+            .instances()
+            .iter()
+            .map(|inst| netlist.padded_rect(inst.id()))
+            .collect();
+        let mer = enclosing_rect(&rects).expect("netlist has instances");
+        let mer_area = mer.area();
+        let poly_area = netlist.total_padded_area();
+        Self {
+            mer,
+            mer_area,
+            poly_area,
+            utilization: poly_area / mer_area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_geometry::Point;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn poly_area_is_position_independent() {
+        let mut nl = netlist();
+        let a = AreaMetrics::of(&nl);
+        for i in 0..nl.num_instances() {
+            nl.set_position(i, Point::new(i as f64 * 2.0, 0.0));
+        }
+        let b = AreaMetrics::of(&nl);
+        assert_eq!(a.poly_area, b.poly_area);
+        assert!(b.mer_area > a.mer_area, "spreading inflates the MER");
+        assert!(b.utilization < a.utilization);
+    }
+
+    #[test]
+    fn clustered_layout_can_exceed_unit_utilization_check() {
+        // Overlapping instances can push utilization above 1 — the metric
+        // itself is just a ratio; legality is checked elsewhere.
+        let nl = netlist(); // everything near center
+        let m = AreaMetrics::of(&nl);
+        assert!(m.utilization > 0.5);
+    }
+
+    #[test]
+    fn mer_contains_all_instances() {
+        let mut nl = netlist();
+        for i in 0..nl.num_instances() {
+            nl.set_position(
+                i,
+                Point::new((i as f64 * 1.7).sin() * 3.0, (i as f64 * 0.9).cos() * 3.0),
+            );
+        }
+        let m = AreaMetrics::of(&nl);
+        for inst in nl.instances() {
+            assert!(m.mer.contains_rect(&nl.padded_rect(inst.id())));
+        }
+    }
+}

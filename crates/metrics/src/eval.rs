@@ -1,0 +1,177 @@
+//! Benchmark-level evaluation: many random subsets, averaged fidelity
+//! (the Fig. 11 protocol).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use qplacer_circuits::{optimize_peephole, Circuit, Router, Schedule};
+use qplacer_netlist::QuantumNetlist;
+use qplacer_topology::{random_connected_subset, Topology};
+
+use crate::fidelity::{FidelityModel, FidelityParams};
+
+/// Aggregated evaluation of one benchmark on one placed layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkEvaluation {
+    /// Fidelity per evaluated subset.
+    pub fidelities: Vec<f64>,
+    /// Arithmetic mean fidelity (the Fig. 11 bar value).
+    pub mean_fidelity: f64,
+    /// Worst subset fidelity.
+    pub min_fidelity: f64,
+    /// Mean number of crosstalk-contributing violations per subset.
+    pub mean_active_violations: f64,
+}
+
+/// Evaluates `circuit` on `num_subsets` random connected subsets of the
+/// device (the paper uses 50), with routing, peephole optimization (the
+/// Qiskit-L3 substitute), ASAP scheduling, and the Eq. 15 fidelity model.
+/// Subsets are drawn from `seed` so that all placers can be compared on
+/// identical mappings, exactly as §VI-A requires.
+///
+/// Subsets that fail to route (e.g. the circuit needs more qubits than
+/// the device has) are skipped; the evaluation reports whatever remains.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_circuits::generators;
+/// use qplacer_freq::FrequencyAssigner;
+/// use qplacer_metrics::{evaluate_benchmark, FidelityParams};
+/// use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+/// use qplacer_topology::Topology;
+///
+/// let device = Topology::falcon27();
+/// let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+/// let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+/// let eval = evaluate_benchmark(
+///     &netlist,
+///     &device,
+///     &generators::bv(4),
+///     5,
+///     42,
+///     &FidelityParams::paper(),
+/// );
+/// assert_eq!(eval.fidelities.len(), 5);
+/// ```
+#[must_use]
+pub fn evaluate_benchmark(
+    netlist: &QuantumNetlist,
+    device: &Topology,
+    circuit: &Circuit,
+    num_subsets: usize,
+    seed: u64,
+    params: &FidelityParams,
+) -> BenchmarkEvaluation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let router = Router::new(device);
+    let model = FidelityModel::new(*params);
+
+    let mut fidelities = Vec::with_capacity(num_subsets);
+    let mut violations = Vec::with_capacity(num_subsets);
+    for _ in 0..num_subsets {
+        let Some(subset) = random_connected_subset(device, circuit.num_qubits(), &mut rng)
+        else {
+            continue;
+        };
+        let Ok(mut routed) = router.route(circuit, &subset) else {
+            continue;
+        };
+        // L3 substitute: peephole over the physical gate list.
+        let mut as_circuit = Circuit::new(device.num_qubits());
+        as_circuit.extend(routed.gates.iter().copied());
+        optimize_peephole(&mut as_circuit);
+        routed.gates = as_circuit.gates().to_vec();
+        let schedule = Schedule::asap(&routed);
+        let f = model.evaluate(netlist, &routed, &schedule);
+        fidelities.push(f.total);
+        violations.push(f.active_violations as f64);
+    }
+
+    let mean = if fidelities.is_empty() {
+        0.0
+    } else {
+        fidelities.iter().sum::<f64>() / fidelities.len() as f64
+    };
+    let min = fidelities.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_viol = if violations.is_empty() {
+        0.0
+    } else {
+        violations.iter().sum::<f64>() / violations.len() as f64
+    };
+    BenchmarkEvaluation {
+        mean_fidelity: mean,
+        min_fidelity: if min.is_finite() { min } else { 0.0 },
+        mean_active_violations: mean_viol,
+        fidelities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_circuits::generators;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_geometry::Point;
+    use qplacer_netlist::NetlistConfig;
+
+    fn spread_netlist(device: &Topology) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(device);
+        let mut nl = QuantumNetlist::build(device, &freqs, &NetlistConfig::default());
+        let n = nl.num_instances();
+        let side = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            nl.set_position(
+                i,
+                Point::new((i % side) as f64 * 5.0, (i / side) as f64 * 5.0),
+            );
+        }
+        nl
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let device = Topology::falcon27();
+        let nl = spread_netlist(&device);
+        let p = FidelityParams::paper();
+        let a = evaluate_benchmark(&nl, &device, &generators::bv(4), 4, 7, &p);
+        let b = evaluate_benchmark(&nl, &device, &generators::bv(4), 4, 7, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_and_min_are_consistent() {
+        let device = Topology::falcon27();
+        let nl = spread_netlist(&device);
+        let e = evaluate_benchmark(
+            &nl,
+            &device,
+            &generators::qaoa(4, 2, 11),
+            6,
+            3,
+            &FidelityParams::paper(),
+        );
+        assert!(!e.fidelities.is_empty());
+        assert!(e.min_fidelity <= e.mean_fidelity);
+        for &f in &e.fidelities {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oversized_circuits_yield_empty_eval() {
+        let device = Topology::grid(2, 2);
+        let nl = spread_netlist(&device);
+        let e = evaluate_benchmark(
+            &nl,
+            &device,
+            &generators::bv(9),
+            3,
+            1,
+            &FidelityParams::paper(),
+        );
+        assert!(e.fidelities.is_empty());
+        assert_eq!(e.mean_fidelity, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Layout-quality metrics (paper §V-C).
+//!
+//! Three metric families evaluate a placed layout:
+//!
+//! * [`area`] — minimum enclosing rectangle `A_mer`, summed instance area
+//!   `A_poly`, and the substrate utilization ratio (Eq. 17).
+//! * [`hotspot`] — the frequency-hotspot proportion `P_h` (Eq. 18):
+//!   near-resonant instances positioned closer than the resonant safety
+//!   margin, plus the count of qubits impacted by those violations.
+//! * [`fidelity`] — the worst-case program fidelity model (Eq. 15):
+//!   gate/decoherence errors for every scheduled operation and
+//!   Rabi-oscillation crosstalk errors (Eq. 16) for every spatial
+//!   violation touching an active component.
+//!
+//! [`evaluate_benchmark`] ties them together: it maps one benchmark onto
+//! many random connected subsets of the device (the paper uses 50),
+//! routes, optimizes, schedules, and averages the fidelity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod fidelity;
+pub mod hotspot;
+
+mod eval;
+
+pub use area::AreaMetrics;
+pub use eval::{evaluate_benchmark, BenchmarkEvaluation};
+pub use fidelity::{FidelityBreakdown, FidelityModel, FidelityParams};
+pub use hotspot::{HotspotConfig, HotspotReport};

@@ -1,0 +1,265 @@
+//! Netlist construction from a device topology and frequency assignment.
+
+use qplacer_freq::FrequencyAssignment;
+use qplacer_geometry::{Point, Rect};
+use qplacer_physics::Resonator;
+use qplacer_topology::Topology;
+
+use crate::{CouplingKind, Instance, InstanceKind, Net, NetlistConfig, QuantumNetlist};
+
+impl QuantumNetlist {
+    /// Builds the placement netlist for `topology` with the given
+    /// frequencies and geometry configuration.
+    ///
+    /// Construction applies padding and resonator partitioning (§IV-B):
+    /// qubits become `(L_q + 2d_q)`-sized movable squares, each resonator
+    /// becomes `⌈L·d_r/l_b²⌉` segments of padded side `l_b + 2d_r`, and
+    /// every coupling is expanded into a chain of 2-pin nets. The
+    /// placement region is a square sized so total padded area hits the
+    /// configured target utilization, and all instances start at jittered
+    /// positions near the region center (the electrostatic engine spreads
+    /// them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's qubit/resonator counts do not match the
+    /// topology.
+    #[must_use]
+    pub fn build(
+        topology: &Topology,
+        frequencies: &FrequencyAssignment,
+        config: &NetlistConfig,
+    ) -> QuantumNetlist {
+        assert_eq!(
+            frequencies.qubit_frequencies().len(),
+            topology.num_qubits(),
+            "assignment covers a different qubit count"
+        );
+        assert_eq!(
+            frequencies.resonator_frequencies().len(),
+            topology.num_edges(),
+            "assignment covers a different resonator count"
+        );
+
+        let mut instances = Vec::new();
+        let mut nets = Vec::new();
+
+        // Qubit instances.
+        let mut qubit_instances = Vec::with_capacity(topology.num_qubits());
+        for q in 0..topology.num_qubits() {
+            let id = instances.len();
+            instances.push(Instance::new(
+                id,
+                InstanceKind::Qubit(q),
+                frequencies.qubit(q),
+                config.padded_qubit_mm(),
+                config.qubit_size_mm,
+            ));
+            qubit_instances.push(id);
+        }
+
+        // Resonator segments + chain nets.
+        let mut resonator_segments = Vec::with_capacity(topology.num_edges());
+        let mut resonator_endpoints = Vec::with_capacity(topology.num_edges());
+        for (r, &(qa, qb)) in topology.edges().iter().enumerate() {
+            let freq = frequencies.resonator(r);
+            let (n_seg, core_mm) = match config.coupling {
+                CouplingKind::BusResonator => (
+                    Resonator::new(freq).segment_count(config.segment_size_mm),
+                    config.segment_size_mm,
+                ),
+                // A tunable coupler is a single compact element.
+                CouplingKind::TunableCoupler { size_mm } => (1, size_mm),
+            };
+            let mut segs = Vec::with_capacity(n_seg);
+            for s in 0..n_seg {
+                let id = instances.len();
+                instances.push(Instance::new(
+                    id,
+                    InstanceKind::ResonatorSegment {
+                        resonator: r,
+                        segment: s,
+                    },
+                    freq,
+                    core_mm + config.resonator_padding_mm,
+                    core_mm,
+                ));
+                segs.push(id);
+            }
+            // Chain: qa – s0 – s1 – … – s(n-1) – qb. Qubit attachments get
+            // a slightly higher weight so chains stay anchored at pads.
+            let mut prev = qubit_instances[qa];
+            for &s in &segs {
+                nets.push(Net::new(prev, s, 1.0));
+                prev = s;
+            }
+            nets.push(Net::new(prev, qubit_instances[qb], 1.0));
+            resonator_segments.push(segs);
+            resonator_endpoints.push((qa, qb));
+        }
+
+        // Region: square canvas at the target utilization.
+        let total_padded: f64 = instances.iter().map(Instance::padded_area).sum();
+        let side = (total_padded / config.target_utilization).sqrt();
+        let region = Rect::from_center(Point::ORIGIN, side, side);
+
+        // Initial positions: deterministic jitter around the center.
+        // (A splitmix-style hash keeps builds reproducible without an RNG
+        // dependency on the hot path.)
+        let jitter = 0.05 * side;
+        let positions: Vec<Point> = instances
+            .iter()
+            .map(|inst| {
+                let h = splitmix(inst.id() as u64);
+                let ux = (h & 0xffff_ffff) as f64 / u32::MAX as f64 - 0.5;
+                let uy = (h >> 32) as f64 / u32::MAX as f64 - 0.5;
+                Point::new(ux * jitter, uy * jitter)
+            })
+            .collect();
+
+        QuantumNetlist {
+            instances,
+            nets,
+            positions,
+            region,
+            qubit_instances,
+            resonator_segments,
+            resonator_endpoints,
+            detuning_threshold: frequencies.detuning_threshold(),
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+
+    fn build(topology: &Topology, lb: f64) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(topology);
+        QuantumNetlist::build(topology, &freqs, &NetlistConfig::with_segment_size(lb))
+    }
+
+    #[test]
+    fn cell_counts_reproduce_table_ii() {
+        // Table II: #cells at l_b ∈ {0.2, 0.3, 0.4} per topology. Our
+        // segment counts depend on assigned resonator frequencies, so allow
+        // a small tolerance around the published numbers.
+        let cases = [
+            ("grid", Topology::grid(5, 5), [1050, 490, 299]),
+            ("falcon", Topology::falcon27(), [744, 354, 218]),
+            ("eagle", Topology::eagle127(), [3810, 1801, 1104]),
+            ("aspen11", Topology::aspen(1, 5), [1272, 598, 369]),
+            ("aspenM", Topology::aspen(2, 5), [2787, 1310, 799]),
+            ("xtree", Topology::xtree(4, 3, 3), [1393, 660, 410]),
+        ];
+        for (name, topo, expected) in cases {
+            for (lb, &exp) in [0.2, 0.3, 0.4].iter().zip(&expected) {
+                let n = build(&topo, *lb).num_instances() as f64;
+                let ratio = n / exp as f64;
+                assert!(
+                    (0.85..=1.15).contains(&ratio),
+                    "{name} lb={lb}: {n} cells vs paper {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qubits_then_segments_indexing() {
+        let t = Topology::grid(3, 3);
+        let nl = build(&t, 0.3);
+        assert_eq!(nl.num_qubits(), 9);
+        assert_eq!(nl.num_resonators(), 12);
+        for q in 0..9 {
+            let inst = nl.instance(nl.qubit_instance(q));
+            assert_eq!(inst.kind(), InstanceKind::Qubit(q));
+        }
+        for r in 0..nl.num_resonators() {
+            for (s, &id) in nl.resonator_segments(r).iter().enumerate() {
+                assert_eq!(
+                    nl.instance(id).kind(),
+                    InstanceKind::ResonatorSegment {
+                        resonator: r,
+                        segment: s
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nets_chain_qubits_through_segments() {
+        let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+        let nl = build(&t, 0.3);
+        let n_seg = nl.resonator_segments(0).len();
+        assert_eq!(nl.nets().len(), n_seg + 1);
+        // First net starts at qubit 0, last net ends at qubit 1.
+        let (a, _) = nl.nets()[0].endpoints();
+        assert_eq!(a, nl.qubit_instance(0));
+        let (_, b) = nl.nets()[nl.nets().len() - 1].endpoints();
+        assert_eq!(b, nl.qubit_instance(1));
+    }
+
+    #[test]
+    fn region_hits_target_utilization() {
+        let t = Topology::falcon27();
+        let nl = build(&t, 0.3);
+        let util = nl.total_padded_area() / nl.region().area();
+        assert!((util - NetlistConfig::default().target_utilization).abs() < 0.01);
+    }
+
+    #[test]
+    fn initial_positions_are_near_center_and_inside() {
+        let t = Topology::falcon27();
+        let nl = build(&t, 0.3);
+        for inst in nl.instances() {
+            let p = nl.position(inst.id());
+            assert!(nl.region().contains(p));
+            assert!(p.distance(Point::ORIGIN) < 0.1 * nl.region().width());
+        }
+    }
+
+    #[test]
+    fn collision_map_respects_resonator_exclusion() {
+        let t = Topology::grid(3, 3);
+        let nl = build(&t, 0.3);
+        let map = nl.collision_map();
+        for inst in nl.instances() {
+            for &other in &map[inst.id()] {
+                let o = nl.instance(other);
+                assert!(!inst.same_resonator(o), "same-resonator pair in map");
+                assert!(inst
+                    .frequency()
+                    .is_resonant_with(o.frequency(), nl.detuning_threshold()));
+            }
+        }
+    }
+
+    #[test]
+    fn collision_map_is_symmetric() {
+        let t = Topology::falcon27();
+        let nl = build(&t, 0.4);
+        let map = nl.collision_map();
+        for (i, lst) in map.iter().enumerate() {
+            for &j in lst {
+                assert!(map[j].contains(&i), "asymmetric pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let t = Topology::aspen(1, 5);
+        let a = build(&t, 0.3);
+        let b = build(&t, 0.3);
+        assert_eq!(a, b);
+    }
+}

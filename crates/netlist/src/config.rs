@@ -1,0 +1,138 @@
+//! Netlist construction parameters.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_physics::constants;
+
+/// How device couplings are physically realized (the paper's primary
+/// architecture uses bus resonators; its conclusion notes the framework
+/// "is suitable for a wide array of quantum architectures, including
+/// those with tunable elements which often share similar geometrical
+/// configurations" — this enum is that extension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CouplingKind {
+    /// A λ/2 bus resonator, partitioned into movable segments (§IV-B2).
+    BusResonator,
+    /// A compact tunable coupler: one fixed-size instance per coupling,
+    /// with an idle frequency from the resonator band.
+    TunableCoupler {
+        /// Coupler pocket side length (mm).
+        size_mm: f64,
+    },
+}
+
+/// Geometry parameters for netlist construction (paper §V-C defaults).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_netlist::NetlistConfig;
+/// let cfg = NetlistConfig::default();
+/// assert_eq!(cfg.segment_size_mm, 0.3);
+/// assert_eq!(cfg.qubit_padding_mm, 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetlistConfig {
+    /// Resonator segment block size `l_b` (mm). The paper sweeps
+    /// {0.2, 0.3, 0.4} and finds 0.3 optimal (§VI-D).
+    pub segment_size_mm: f64,
+    /// Qubit padding `d_q` (mm).
+    pub qubit_padding_mm: f64,
+    /// Resonator padding `d_r` (mm).
+    pub resonator_padding_mm: f64,
+    /// Bare qubit pocket side length (mm).
+    pub qubit_size_mm: f64,
+    /// Target substrate utilization used to size the placement region
+    /// (total padded instance area / region area).
+    pub target_utilization: f64,
+    /// Physical realization of the device couplings.
+    pub coupling: CouplingKind,
+}
+
+impl NetlistConfig {
+    /// The paper's configuration with a non-default segment size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size_mm` is not positive.
+    #[must_use]
+    pub fn with_segment_size(segment_size_mm: f64) -> Self {
+        assert!(segment_size_mm > 0.0, "segment size must be positive");
+        Self {
+            segment_size_mm,
+            ..Self::default()
+        }
+    }
+
+    /// Padded qubit footprint side: `L_q + d_q` (a halo of `d_q/2` per
+    /// side, so two abutting qubits keep the required `d_q` clearance —
+    /// "the minimum distance between two adjacent components \[is\] the sum
+    /// of their paddings", §V-C).
+    #[must_use]
+    pub fn padded_qubit_mm(&self) -> f64 {
+        self.qubit_size_mm + self.qubit_padding_mm
+    }
+
+    /// Padded segment footprint side: `l_b + d_r` (halo `d_r/2` per side).
+    #[must_use]
+    pub fn padded_segment_mm(&self) -> f64 {
+        self.segment_size_mm + self.resonator_padding_mm
+    }
+}
+
+impl NetlistConfig {
+    /// A tunable-coupler architecture with the given coupler pocket size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_mm` is not positive.
+    #[must_use]
+    pub fn tunable_coupler(size_mm: f64) -> Self {
+        assert!(size_mm > 0.0, "coupler size must be positive");
+        Self {
+            coupling: CouplingKind::TunableCoupler { size_mm },
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for NetlistConfig {
+    fn default() -> Self {
+        Self {
+            segment_size_mm: constants::DEFAULT_SEGMENT_MM,
+            qubit_padding_mm: constants::QUBIT_PADDING_MM,
+            resonator_padding_mm: constants::RESONATOR_PADDING_MM,
+            qubit_size_mm: constants::QUBIT_SIZE_MM,
+            target_utilization: 0.7,
+            coupling: CouplingKind::BusResonator,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = NetlistConfig::default();
+        assert!((c.padded_qubit_mm() - 0.8).abs() < 1e-12);
+        assert!((c.padded_segment_mm() - 0.4).abs() < 1e-12);
+        // Two abutting padded qubits leave exactly d_q between pockets.
+        let clearance = c.padded_qubit_mm() - c.qubit_size_mm;
+        assert!((clearance - c.qubit_padding_mm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_size_override() {
+        let c = NetlistConfig::with_segment_size(0.2);
+        assert!((c.padded_segment_mm() - 0.3).abs() < 1e-12);
+        assert_eq!(c.qubit_padding_mm, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_segment_rejected() {
+        let _ = NetlistConfig::with_segment_size(0.0);
+    }
+}

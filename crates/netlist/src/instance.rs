@@ -1,0 +1,221 @@
+//! Movable placement instances.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_geometry::{Point, Rect};
+use qplacer_physics::Frequency;
+
+/// What a placement instance represents on the quantum chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceKind {
+    /// The transmon qubit with this device index.
+    Qubit(usize),
+    /// One square block of a partitioned resonator.
+    ResonatorSegment {
+        /// Resonator (= device edge) index.
+        resonator: usize,
+        /// Segment ordinal within the resonator chain, from the endpoint
+        /// attached to the edge's lower-indexed qubit.
+        segment: usize,
+    },
+}
+
+impl InstanceKind {
+    /// The resonator index if this is a segment.
+    #[must_use]
+    pub fn resonator(&self) -> Option<usize> {
+        match self {
+            InstanceKind::ResonatorSegment { resonator, .. } => Some(*resonator),
+            InstanceKind::Qubit(_) => None,
+        }
+    }
+
+    /// `true` for qubit instances.
+    #[must_use]
+    pub fn is_qubit(&self) -> bool {
+        matches!(self, InstanceKind::Qubit(_))
+    }
+}
+
+/// A movable instance: a padded footprint with a frequency, centered at a
+/// position that the placement engine optimizes.
+///
+/// The **padded** footprint (`width × height`) is what the density and
+/// overlap machinery sees; the **core** footprint (`core_mm` square) is the
+/// physical metal. Padding halos may legally overlap core-to-halo — only
+/// core-vs-core plus the mutual padding requirement defines violations,
+/// which is exactly what non-overlapping padded footprints guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_geometry::Point;
+/// use qplacer_netlist::{Instance, InstanceKind};
+/// use qplacer_physics::Frequency;
+///
+/// let q = Instance::new(
+///     0,
+///     InstanceKind::Qubit(3),
+///     Frequency::from_ghz(5.0),
+///     1.2,
+///     0.4,
+/// );
+/// assert_eq!(q.padded_rect(Point::ORIGIN).width(), 1.2);
+/// assert_eq!(q.core_rect(Point::ORIGIN).width(), 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    id: usize,
+    kind: InstanceKind,
+    frequency: Frequency,
+    padded_mm: f64,
+    core_mm: f64,
+}
+
+impl Instance {
+    /// Creates an instance with a square padded footprint of side
+    /// `padded_mm` and a square core of side `core_mm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < core_mm ≤ padded_mm`.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        kind: InstanceKind,
+        frequency: Frequency,
+        padded_mm: f64,
+        core_mm: f64,
+    ) -> Self {
+        assert!(
+            core_mm > 0.0 && core_mm <= padded_mm,
+            "need 0 < core ({core_mm}) <= padded ({padded_mm})"
+        );
+        Self {
+            id,
+            kind,
+            frequency,
+            padded_mm,
+            core_mm,
+        }
+    }
+
+    /// Instance id (index into the netlist).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// What this instance is.
+    #[must_use]
+    pub fn kind(&self) -> InstanceKind {
+        self.kind
+    }
+
+    /// Operating frequency (qubit ω₀₁ or resonator fundamental).
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Padded footprint side length (mm).
+    #[must_use]
+    pub fn padded_mm(&self) -> f64 {
+        self.padded_mm
+    }
+
+    /// Core (physical metal) side length (mm).
+    #[must_use]
+    pub fn core_mm(&self) -> f64 {
+        self.core_mm
+    }
+
+    /// Padded footprint area (mm²).
+    #[must_use]
+    pub fn padded_area(&self) -> f64 {
+        self.padded_mm * self.padded_mm
+    }
+
+    /// Core footprint area (mm²).
+    #[must_use]
+    pub fn core_area(&self) -> f64 {
+        self.core_mm * self.core_mm
+    }
+
+    /// Padded footprint rectangle when centered at `c`.
+    #[must_use]
+    pub fn padded_rect(&self, c: Point) -> Rect {
+        Rect::from_center(c, self.padded_mm, self.padded_mm)
+    }
+
+    /// Core footprint rectangle when centered at `c`.
+    #[must_use]
+    pub fn core_rect(&self, c: Point) -> Rect {
+        Rect::from_center(c, self.core_mm, self.core_mm)
+    }
+
+    /// Whether `self` and `other` belong to the same resonator (the
+    /// Kronecker-delta exclusion of Eq. 10).
+    #[must_use]
+    pub fn same_resonator(&self, other: &Instance) -> bool {
+        match (self.kind.resonator(), other.kind.resonator()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: usize, r: usize, s: usize) -> Instance {
+        Instance::new(
+            id,
+            InstanceKind::ResonatorSegment {
+                resonator: r,
+                segment: s,
+            },
+            Frequency::from_ghz(6.5),
+            0.5,
+            0.3,
+        )
+    }
+
+    #[test]
+    fn kind_queries() {
+        let q = Instance::new(0, InstanceKind::Qubit(7), Frequency::from_ghz(5.0), 1.2, 0.4);
+        assert!(q.kind().is_qubit());
+        assert_eq!(q.kind().resonator(), None);
+        let s = seg(1, 3, 0);
+        assert!(!s.kind().is_qubit());
+        assert_eq!(s.kind().resonator(), Some(3));
+    }
+
+    #[test]
+    fn same_resonator_rules() {
+        let a = seg(0, 2, 0);
+        let b = seg(1, 2, 1);
+        let c = seg(2, 5, 0);
+        let q = Instance::new(3, InstanceKind::Qubit(0), Frequency::from_ghz(5.0), 1.2, 0.4);
+        assert!(a.same_resonator(&b));
+        assert!(!a.same_resonator(&c));
+        assert!(!a.same_resonator(&q));
+        assert!(!q.same_resonator(&q));
+    }
+
+    #[test]
+    fn footprints() {
+        let s = seg(0, 0, 0);
+        assert!((s.padded_area() - 0.25).abs() < 1e-12);
+        assert!((s.core_area() - 0.09).abs() < 1e-12);
+        let r = s.padded_rect(Point::new(1.0, 1.0));
+        assert_eq!(r.center(), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn core_larger_than_padded_panics() {
+        let _ = Instance::new(0, InstanceKind::Qubit(0), Frequency::from_ghz(5.0), 0.4, 1.2);
+    }
+}

@@ -1,0 +1,45 @@
+//! The placement netlist: padded instances, nets, and resonator
+//! partitioning (paper §IV-B).
+//!
+//! The netlist is the bridge between the abstract device (a
+//! [`qplacer_topology::Topology`] plus a
+//! [`qplacer_freq::FrequencyAssignment`]) and the geometric placement
+//! problem. Building it applies the paper's two quantum-specific
+//! preprocessing steps:
+//!
+//! 1. **Padding** (§IV-B1): every movable instance is inflated by its
+//!    padding distance (`d_q` = 400 µm for qubits, `d_r` = 100 µm for
+//!    resonator segments), so that non-overlapping padded footprints imply
+//!    the required minimum clearances.
+//! 2. **Resonator partitioning** (§IV-B2): each resonator's strip area
+//!    `L·d_r` is reshaped and cut into square segments of side `l_b`; the
+//!    segments are independent movable instances chained by 2-pin nets so
+//!    wirelength keeps them contiguous.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_freq::FrequencyAssigner;
+//! use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::falcon27();
+//! let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+//! let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+//! // Table II reports 354 cells for Falcon at l_b = 0.3 mm.
+//! assert!((340..=370).contains(&netlist.num_instances()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod config;
+mod instance;
+mod net;
+mod netlist;
+
+pub use config::{CouplingKind, NetlistConfig};
+pub use instance::{Instance, InstanceKind};
+pub use net::Net;
+pub use netlist::QuantumNetlist;

@@ -1,0 +1,74 @@
+//! Two-pin nets chaining qubits through resonator segments.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-pin net between two instances. Each device coupling
+/// `(q_a — resonator — q_b)` becomes the chain
+/// `q_a–s₀, s₀–s₁, …, s_{n−1}–q_b`, so wirelength optimization pulls the
+/// segments into a contiguous snake between their qubits (which is what
+/// the integration legalizer later requires).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_netlist::Net;
+/// let net = Net::new(3, 7, 0.5);
+/// assert_eq!(net.endpoints(), (3, 7));
+/// assert_eq!(net.weight(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    a: usize,
+    b: usize,
+    weight: f64,
+}
+
+impl Net {
+    /// Creates a net between instances `a` and `b` with the given
+    /// wirelength weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-net or non-positive weight.
+    #[must_use]
+    pub fn new(a: usize, b: usize, weight: f64) -> Self {
+        assert!(a != b, "self-net on instance {a}");
+        assert!(weight > 0.0, "net weight must be positive");
+        Self { a, b, weight }
+    }
+
+    /// The two instance ids.
+    #[must_use]
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.a, self.b)
+    }
+
+    /// Wirelength weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic() {
+        let n = Net::new(0, 1, 1.0);
+        assert_eq!(n.endpoints(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-net")]
+    fn self_net_panics() {
+        let _ = Net::new(2, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_panics() {
+        let _ = Net::new(0, 1, 0.0);
+    }
+}

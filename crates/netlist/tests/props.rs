@@ -1,0 +1,97 @@
+//! Property-based tests for netlist construction.
+
+use proptest::prelude::*;
+use qplacer_freq::FrequencyAssigner;
+use qplacer_netlist::{InstanceKind, NetlistConfig, QuantumNetlist};
+use qplacer_physics::Resonator;
+use qplacer_topology::Topology;
+
+fn arb_device() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..5, 2usize..5).prop_map(|(w, h)| Topology::grid(w, h)),
+        (1usize..3, 1usize..4).prop_map(|(r, c)| Topology::aspen(r, c)),
+        (2usize..4, 1usize..3, 1usize..3).prop_map(|(r, b, l)| Topology::xtree(r, b, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn construction_invariants(device in arb_device(), lb in 0.2f64..0.45) {
+        let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+        let config = NetlistConfig::with_segment_size(lb);
+        let nl = QuantumNetlist::build(&device, &freqs, &config);
+
+        // One instance per qubit plus the partitioned segments.
+        prop_assert_eq!(nl.num_qubits(), device.num_qubits());
+        prop_assert_eq!(nl.num_resonators(), device.num_edges());
+        let seg_total: usize = (0..nl.num_resonators())
+            .map(|r| nl.resonator_segments(r).len())
+            .sum();
+        prop_assert_eq!(nl.num_instances(), device.num_qubits() + seg_total);
+
+        // Segment counts conserve the strip area: n = ceil(L·d_r / l_b²).
+        for r in 0..nl.num_resonators() {
+            let res = Resonator::new(freqs.resonator(r));
+            prop_assert_eq!(nl.resonator_segments(r).len(), res.segment_count(lb));
+            let reserved = nl.resonator_segments(r).len() as f64 * lb * lb;
+            prop_assert!(reserved + 1e-9 >= res.strip_area_mm2());
+            prop_assert!(reserved < res.strip_area_mm2() + lb * lb + 1e-9);
+        }
+
+        // Nets form chains: per resonator, segments+1 nets; endpoints match.
+        let expected_nets: usize = (0..nl.num_resonators())
+            .map(|r| nl.resonator_segments(r).len() + 1)
+            .sum();
+        prop_assert_eq!(nl.nets().len(), expected_nets);
+
+        // Frequencies: qubit instances carry qubit-band values, segments
+        // their resonator's value.
+        for inst in nl.instances() {
+            match inst.kind() {
+                InstanceKind::Qubit(q) => {
+                    prop_assert_eq!(inst.frequency(), freqs.qubit(q));
+                }
+                InstanceKind::ResonatorSegment { resonator, .. } => {
+                    prop_assert_eq!(inst.frequency(), freqs.resonator(resonator));
+                }
+            }
+        }
+
+        // Region sized to the target utilization.
+        let util = nl.total_padded_area() / nl.region().area();
+        prop_assert!((util - config.target_utilization).abs() < 0.02);
+
+        // Initial positions inside the region.
+        for inst in nl.instances() {
+            prop_assert!(nl.region().contains(nl.position(inst.id())));
+        }
+    }
+
+    #[test]
+    fn collision_map_is_symmetric_and_exclusive(device in arb_device()) {
+        let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+        let nl = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+        let map = nl.collision_map();
+        for (i, partners) in map.iter().enumerate() {
+            for &j in partners {
+                prop_assert!(map[j].contains(&i), "asymmetric ({i},{j})");
+                prop_assert!(!nl.instance(i).same_resonator(nl.instance(j)));
+                prop_assert!(nl
+                    .instance(i)
+                    .frequency()
+                    .is_resonant_with(nl.instance(j).frequency(), nl.detuning_threshold()));
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip(device in arb_device()) {
+        let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+        let nl = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+        let json = serde_json::to_string(&nl).expect("serialize");
+        let back: QuantumNetlist = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(nl, back);
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense row-major 2-D array with separable-transform helpers.
+
+use std::fmt;
+
+/// A dense `nx × ny` array of `f64` stored row-major by `y` (index
+/// `(ix, iy)` maps to `iy * nx + ix`).
+///
+/// This is the carrier type for density maps, potentials, and field
+/// components on the placement bin grid.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::Array2;
+/// let mut a = Array2::zeros(4, 3);
+/// a[(1, 2)] = 5.0;
+/// assert_eq!(a[(1, 2)], 5.0);
+/// assert_eq!(a.sum(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array2 {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Array2 {
+    /// Creates an `nx × ny` array of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "dimensions must be positive: {nx} x {ny}");
+        Self {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Creates an array from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx * ny` or either dimension is zero.
+    #[must_use]
+    pub fn from_data(nx: usize, ny: usize, data: Vec<f64>) -> Self {
+        assert!(nx > 0 && ny > 0, "dimensions must be positive: {nx} x {ny}");
+        assert_eq!(data.len(), nx * ny, "data length mismatch");
+        Self { nx, ny, data }
+    }
+
+    /// Number of columns (x extent).
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows (y extent).
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Raw row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (NaNs propagate as in `f64::max`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: arrays are non-empty by construction.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// One row (fixed `iy`) as a slice.
+    #[must_use]
+    pub fn row(&self, iy: usize) -> &[f64] {
+        &self.data[iy * self.nx..(iy + 1) * self.nx]
+    }
+
+    /// Applies `f` to each row in place. `f` must return a vector of the
+    /// same length.
+    pub fn map_rows<F: Fn(&[f64]) -> Vec<f64>>(&mut self, f: F) {
+        for iy in 0..self.ny {
+            let out = f(self.row(iy));
+            debug_assert_eq!(out.len(), self.nx);
+            self.data[iy * self.nx..(iy + 1) * self.nx].copy_from_slice(&out);
+        }
+    }
+
+    /// Applies `f` to each column in place. `f` must return a vector of the
+    /// same length.
+    pub fn map_cols<F: Fn(&[f64]) -> Vec<f64>>(&mut self, f: F) {
+        let mut col = vec![0.0; self.ny];
+        for ix in 0..self.nx {
+            for iy in 0..self.ny {
+                col[iy] = self[(ix, iy)];
+            }
+            let out = f(&col);
+            debug_assert_eq!(out.len(), self.ny);
+            for iy in 0..self.ny {
+                self[(ix, iy)] = out[iy];
+            }
+        }
+    }
+
+    /// Elementwise combination with another array of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_apply<F: Fn(f64, f64) -> f64>(&mut self, other: &Array2, f: F) {
+        assert_eq!(self.nx, other.nx, "shape mismatch");
+        assert_eq!(self.ny, other.ny, "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Array2 {
+    type Output = f64;
+    fn index(&self, (ix, iy): (usize, usize)) -> &f64 {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        &self.data[iy * self.nx + ix]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Array2 {
+    fn index_mut(&mut self, (ix, iy): (usize, usize)) -> &mut f64 {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        &mut self.data[iy * self.nx + ix]
+    }
+}
+
+impl fmt::Display for Array2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Array2 {}x{}", self.nx, self.ny)?;
+        for iy in (0..self.ny).rev() {
+            for ix in 0..self.nx {
+                write!(f, "{:9.3} ", self[(ix, iy)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major_by_y() {
+        let a = Array2::from_data(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(2, 0)], 3.0);
+        assert_eq!(a[(0, 1)], 4.0);
+        assert_eq!(a[(2, 1)], 6.0);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn map_rows_and_cols_compose_to_transpose_free_2d_ops() {
+        // Doubling rows then tripling columns scales everything by 6.
+        let mut a = Array2::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a.map_rows(|r| r.iter().map(|v| v * 2.0).collect());
+        a.map_cols(|c| c.iter().map(|v| v * 3.0).collect());
+        assert_eq!(a.data(), &[6.0, 12.0, 18.0, 24.0]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let a = Array2::from_data(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(a.sum(), 2.5);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn zip_apply_elementwise() {
+        let mut a = Array2::from_data(2, 1, vec![1.0, 2.0]);
+        let b = Array2::from_data(2, 1, vec![10.0, 20.0]);
+        a.zip_apply(&b, |x, y| x + y);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_apply_shape_mismatch_panics() {
+        let mut a = Array2::zeros(2, 2);
+        let b = Array2::zeros(3, 2);
+        a.zip_apply(&b, |x, _| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_data_length_panics() {
+        let _ = Array2::from_data(2, 2, vec![0.0; 3]);
+    }
+}

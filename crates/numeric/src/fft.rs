@@ -1,0 +1,159 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::Complex64;
+
+/// In-place forward FFT: `X_k = Σ_n x_n e^{-2πi nk/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (the placement bin grids are
+/// always powers of two, so no Bluestein fallback is needed).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{fft, ifft, Complex64};
+/// let mut x: Vec<Complex64> = (0..8).map(|n| Complex64::new(n as f64, 0.0)).collect();
+/// let orig = x.clone();
+/// fft(&mut x);
+/// ifft(&mut x);
+/// for (a, b) in x.iter().zip(&orig) {
+///     assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+/// }
+/// ```
+pub fn fft(data: &mut [Complex64]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Complex64]) {
+    fft_dir(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn fft_dir(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex64::ZERO;
+                for (idx, &v) in x.iter().enumerate() {
+                    let theta = -2.0 * std::f64::consts::PI * (k * idx) as f64 / n as f64;
+                    acc += v * Complex64::cis(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} != {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64).sin() + 0.5, (i as f64 * 0.7).cos()))
+                .collect();
+            let expected = naive_dft(&x);
+            let mut got = x.clone();
+            fft(&mut got);
+            assert_close(&got, &expected, 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex64> = (0..128)
+            .map(|i| Complex64::new((i * i % 17) as f64, (i % 5) as f64 - 2.0))
+            .collect();
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        assert_close(&y, &x, 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(&mut x);
+    }
+}

@@ -1,0 +1,51 @@
+//! Numerical kernels for the electrostatic placement engine.
+//!
+//! QPlacer's density model follows ePlace/DREAMPlace: the instance density
+//! map is treated as a charge distribution, Poisson's equation is solved
+//! spectrally with discrete cosine transforms, and the resulting field
+//! drives instances apart. This crate supplies those kernels from scratch:
+//!
+//! * [`Complex64`] and a radix-2 [`fft`] / [`ifft`] pair.
+//! * Fast [`dct2`] (DCT-II), [`dct3`] (DCT-III) and [`idxst`] (the
+//!   half-sample inverse sine transform DREAMPlace uses for field
+//!   computation), all FFT-backed with O(n log n) cost.
+//! * [`Array2`] — a dense row-major 2-D array with separable transform
+//!   helpers.
+//! * [`PoissonSolver`] — density → potential ψ and field (ξx, ξy).
+//! * [`NesterovSolver`] — accelerated gradient descent with
+//!   Barzilai–Borwein step estimation, the paper's placement optimizer.
+//! * Small statistics helpers ([`mean`], [`geo_mean`]) used by the metrics
+//!   and benchmark reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_numeric::{dct2, dct3};
+//! let x = vec![1.0, 2.0, 3.0, 4.0];
+//! let back: Vec<f64> = dct3(&dct2(&x))
+//!     .iter()
+//!     .map(|v| v * 2.0 / x.len() as f64)
+//!     .collect();
+//! for (a, b) in x.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array2;
+mod complex;
+mod fft;
+mod nesterov;
+mod poisson;
+mod stats;
+mod transforms;
+
+pub use array2::Array2;
+pub use complex::Complex64;
+pub use fft::{fft, ifft};
+pub use nesterov::{NesterovSolver, SolverState};
+pub use poisson::{PoissonField, PoissonSolver};
+pub use stats::{geo_mean, mean, pearson, std_dev};
+pub use transforms::{dct2, dct3, idxst, naive_dct2, naive_dct3, naive_idxst};

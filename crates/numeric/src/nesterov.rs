@@ -1,0 +1,276 @@
+//! Nesterov accelerated gradient descent with Barzilai–Borwein steps.
+//!
+//! This is the optimizer driving the placement objective (Eq. 14): smooth
+//! wirelength + density penalty + frequency penalty. The scheme follows
+//! ePlace's placement-tailored Nesterov method: momentum parameter
+//! `a_{k+1} = (1 + √(4a_k² + 1))/2`, look-ahead reference points, and a
+//! BB1 step size estimated from consecutive reference iterates.
+
+/// Externally visible optimizer state after a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverState {
+    /// Iteration count so far.
+    pub iteration: usize,
+    /// Step length used by the most recent step.
+    pub step: f64,
+    /// Infinity norm of the most recent gradient.
+    pub grad_inf_norm: f64,
+}
+
+/// Nesterov accelerated gradient solver over a flat `Vec<f64>` of
+/// coordinates (the placer packs `x` then `y` positions into one vector).
+///
+/// The caller owns the objective: each [`step`](NesterovSolver::step) call
+/// passes the gradient evaluated at the solver's current reference point.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::NesterovSolver;
+/// // Minimize f(p) = Σ (p_i - 3)².
+/// let mut solver = NesterovSolver::new(vec![10.0, -4.0], 0.1);
+/// for _ in 0..200 {
+///     let grad: Vec<f64> = solver
+///         .reference()
+///         .iter()
+///         .map(|&v| 2.0 * (v - 3.0))
+///         .collect();
+///     solver.step(&grad);
+/// }
+/// for &v in solver.position() {
+///     assert!((v - 3.0).abs() < 1e-6);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NesterovSolver {
+    /// Major iterate `u_k`.
+    u: Vec<f64>,
+    /// Reference (look-ahead) iterate `v_k` where gradients are evaluated.
+    v: Vec<f64>,
+    v_prev: Vec<f64>,
+    g_prev: Vec<f64>,
+    a: f64,
+    step: f64,
+    max_step: f64,
+    iteration: usize,
+    last_grad_inf: f64,
+}
+
+impl NesterovSolver {
+    /// Creates a solver starting at `x0` with initial step length
+    /// `initial_step` (in coordinate units per unit gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `initial_step` is not positive/finite.
+    #[must_use]
+    pub fn new(x0: Vec<f64>, initial_step: f64) -> Self {
+        assert!(!x0.is_empty(), "optimizer needs at least one coordinate");
+        assert!(
+            initial_step.is_finite() && initial_step > 0.0,
+            "initial step must be positive"
+        );
+        let n = x0.len();
+        Self {
+            u: x0.clone(),
+            v: x0,
+            v_prev: vec![0.0; n],
+            g_prev: vec![0.0; n],
+            a: 1.0,
+            step: initial_step,
+            max_step: initial_step * 1e4,
+            iteration: 0,
+            last_grad_inf: f64::INFINITY,
+        }
+    }
+
+    /// The reference point `v_k` at which the caller must evaluate the
+    /// gradient before calling [`step`](NesterovSolver::step).
+    #[must_use]
+    pub fn reference(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// The best-known solution iterate `u_k`.
+    #[must_use]
+    pub fn position(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// Mutable access to the solution iterate; used by the placer to clamp
+    /// positions into the placement region after a step. The reference
+    /// point is kept consistent by copying the clamped values.
+    pub fn override_position<F: FnMut(&mut [f64])>(&mut self, mut f: F) {
+        f(&mut self.u);
+        f(&mut self.v);
+    }
+
+    /// Current solver state.
+    #[must_use]
+    pub fn state(&self) -> SolverState {
+        SolverState {
+            iteration: self.iteration,
+            step: self.step,
+            grad_inf_norm: self.last_grad_inf,
+        }
+    }
+
+    /// Performs one accelerated step given the gradient at
+    /// [`reference`](NesterovSolver::reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len()` differs from the coordinate count.
+    pub fn step(&mut self, grad: &[f64]) {
+        assert_eq!(grad.len(), self.u.len(), "gradient length mismatch");
+        let n = self.u.len();
+
+        // Barzilai–Borwein step estimate from consecutive reference points.
+        // BB2 (Δv·Δg / Δg·Δg) is the conservative estimate — an inverse
+        // Rayleigh quotient of the local Hessian — and keeps the
+        // accelerated iteration stable on ill-conditioned objectives; the
+        // BB1-style √(Δv²/Δg²) is the fallback when curvature information
+        // is negative (non-convex region).
+        if self.iteration > 0 {
+            let mut dv2 = 0.0;
+            let mut dg2 = 0.0;
+            let mut dvdg = 0.0;
+            for i in 0..n {
+                let dv = self.v[i] - self.v_prev[i];
+                let dg = grad[i] - self.g_prev[i];
+                dv2 += dv * dv;
+                dg2 += dg * dg;
+                dvdg += dv * dg;
+            }
+            if dg2 > 1e-30 && dv2 > 0.0 {
+                let bb = if dvdg > 0.0 {
+                    dvdg / dg2
+                } else {
+                    (dv2 / dg2).sqrt()
+                };
+                // Cap growth so one noisy estimate cannot blow up the
+                // trajectory; shrinking is allowed freely.
+                self.step = bb.clamp(1e-12, (self.step * 10.0).min(self.max_step));
+            }
+        }
+
+        let grad_inf = grad.iter().fold(0.0_f64, |m, g| m.max(g.abs()));
+        // Divergence guard: a sustained blow-up of the gradient norm means
+        // the momentum direction went stale (e.g. after a penalty
+        // re-weighting); restart the momentum sequence.
+        if grad_inf > 10.0 * self.last_grad_inf && self.iteration > 2 {
+            self.a = 1.0;
+            self.v.copy_from_slice(&self.u);
+        }
+        self.last_grad_inf = grad_inf;
+
+        let a_next = 0.5 * (1.0 + (4.0 * self.a * self.a + 1.0).sqrt());
+        let coef = (self.a - 1.0) / a_next;
+
+        self.v_prev.copy_from_slice(&self.v);
+        self.g_prev.copy_from_slice(grad);
+
+        // u_{k+1} = v_k - α g(v_k);  v_{k+1} = u_{k+1} + coef (u_{k+1} - u_k)
+        for i in 0..n {
+            let u_next = self.v[i] - self.step * grad[i];
+            let u_old = self.u[i];
+            self.u[i] = u_next;
+            self.v[i] = u_next + coef * (u_next - u_old);
+        }
+
+        self.a = a_next;
+        self.iteration += 1;
+    }
+
+    /// Resets the momentum sequence (used when the placer re-weights the
+    /// objective so aggressively that the old momentum direction is stale).
+    pub fn restart_momentum(&mut self) {
+        self.a = 1.0;
+        self.v.copy_from_slice(&self.u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_grad(center: &[f64], scale: &[f64], at: &[f64]) -> Vec<f64> {
+        at.iter()
+            .zip(center)
+            .zip(scale)
+            .map(|((&x, &c), &s)| 2.0 * s * (x - c))
+            .collect()
+    }
+
+    #[test]
+    fn converges_on_isotropic_quadratic() {
+        let center = vec![1.0, -2.0, 0.5];
+        let scale = vec![1.0, 1.0, 1.0];
+        let mut s = NesterovSolver::new(vec![50.0, 30.0, -9.0], 0.05);
+        for _ in 0..300 {
+            let g = quad_grad(&center, &scale, s.reference());
+            s.step(&g);
+        }
+        for (x, c) in s.position().iter().zip(&center) {
+            assert!((x - c).abs() < 1e-5, "{x} vs {c}");
+        }
+    }
+
+    #[test]
+    fn converges_on_anisotropic_quadratic() {
+        // Condition number 100: BB steps should still converge quickly.
+        let center = vec![3.0, -1.0];
+        let scale = vec![100.0, 1.0];
+        let mut s = NesterovSolver::new(vec![10.0, 10.0], 1e-3);
+        for _ in 0..2000 {
+            let g = quad_grad(&center, &scale, s.reference());
+            s.step(&g);
+        }
+        for (x, c) in s.position().iter().zip(&center) {
+            assert!((x - c).abs() < 1e-4, "{x} vs {c}");
+        }
+    }
+
+    #[test]
+    fn bb_step_adapts() {
+        let mut s = NesterovSolver::new(vec![100.0], 1e-6);
+        for _ in 0..50 {
+            let g = quad_grad(&[0.0], &[1.0], s.reference());
+            s.step(&g);
+        }
+        // The BB estimate should have grown far beyond the timid initial step.
+        assert!(s.state().step > 1e-3, "step stayed at {}", s.state().step);
+    }
+
+    #[test]
+    fn override_position_keeps_iterates_consistent() {
+        let mut s = NesterovSolver::new(vec![5.0, -5.0], 0.1);
+        s.step(&[1.0, -1.0]);
+        s.override_position(|p| {
+            for v in p.iter_mut() {
+                *v = v.clamp(-1.0, 1.0);
+            }
+        });
+        for (&u, &v) in s.position().iter().zip(s.reference()) {
+            assert!(u.abs() <= 1.0);
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn restart_resets_reference_to_position() {
+        let mut s = NesterovSolver::new(vec![1.0], 0.1);
+        for _ in 0..5 {
+            s.step(&[0.3]);
+        }
+        s.restart_momentum();
+        assert_eq!(s.position(), s.reference());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn wrong_gradient_length_panics() {
+        let mut s = NesterovSolver::new(vec![0.0; 3], 0.1);
+        s.step(&[1.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Small statistics helpers for metrics and benchmark reporting.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qplacer_numeric::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(qplacer_numeric::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of positive values; `0.0` for an empty slice.
+///
+/// The paper's headline "36.7× average fidelity improvement" style numbers
+/// are ratios of per-benchmark values; geometric means are the right
+/// aggregate for ratios.
+///
+/// # Examples
+///
+/// ```
+/// let g = qplacer_numeric::geo_mean(&[1.0, 100.0]);
+/// assert!((g - 10.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geo_mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Sample standard deviation (n−1 denominator); `0.0` for fewer than two
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// let sd = qplacer_numeric::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((sd - 2.138089935299395).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples; `None`
+/// when fewer than two points or either variance vanishes.
+///
+/// Used to verify the paper's Fig. 12 observation that program fidelity
+/// is inversely related to the hotspot proportion.
+///
+/// # Examples
+///
+/// ```
+/// let r = qplacer_numeric::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// let anti = qplacer_numeric::pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+/// assert!((anti + 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[10.0]), 10.0);
+        assert_eq!(mean(&[-1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_of_equal_values_is_the_value() {
+        assert!((geo_mean(&[5.0, 5.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geo_mean_rejects_zero() {
+        let _ = geo_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(std_dev(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none(), "zero variance");
+        let r = pearson(&[0.0, 1.0, 2.0, 3.0], &[5.0, 4.0, 6.0, 7.0]).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

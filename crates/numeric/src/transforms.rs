@@ -1,0 +1,271 @@
+//! Fast trigonometric transforms (DCT-II, DCT-III, IDXST) built on the FFT.
+//!
+//! Conventions (all *unnormalized*, matching the classical definitions):
+//!
+//! * DCT-II:  `X_k = Σ_{n=0}^{N-1} x_n · cos(π k (2n+1) / 2N)`
+//! * DCT-III: `x_n = X_0/2 + Σ_{k=1}^{N-1} X_k · cos(π k (2n+1) / 2N)`
+//! * IDXST:   `s_n = Σ_{k=1}^{N-1} b_k · sin(π k (2n+1) / 2N)`
+//!
+//! `dct3(dct2(x)) == (N/2)·x`. The IDXST is the sine-flavored inverse used
+//! by DREAMPlace to evaluate the electric field from DCT coefficients; it
+//! reduces to a DCT-III via `s_n = (-1)^n · dct3(c)` with `c_0 = 0`,
+//! `c_j = b_{N-j}`.
+//!
+//! Naive O(N²) references are exported for testing and as a fallback for
+//! non-power-of-two lengths.
+
+use crate::{fft, Complex64};
+
+/// Forward DCT-II of `x` (unnormalized). Uses the FFT (Makhoul's
+/// even-odd permutation) when `x.len()` is a power of two, and the naive
+/// O(N²) sum otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{dct2, naive_dct2};
+/// let x = [0.5, -1.0, 2.0, 0.0, 1.5, 3.0, -0.5, 1.0];
+/// let fast = dct2(&x);
+/// let slow = naive_dct2(&x);
+/// for (a, b) in fast.iter().zip(&slow) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[must_use]
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if !n.is_power_of_two() {
+        return naive_dct2(x);
+    }
+    // Even-odd permutation: v = [x0, x2, ..., x_{N-2}, x_{N-1}, ..., x3, x1].
+    let mut v = vec![Complex64::ZERO; n];
+    for i in 0..n / 2 {
+        v[i] = Complex64::new(x[2 * i], 0.0);
+        v[n - 1 - i] = Complex64::new(x[2 * i + 1], 0.0);
+    }
+    if n == 1 {
+        v[0] = Complex64::new(x[0], 0.0);
+    }
+    fft(&mut v);
+    let mut out = vec![0.0; n];
+    for (k, item) in out.iter_mut().enumerate() {
+        let phase = Complex64::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        *item = (v[k] * phase).re;
+    }
+    out
+}
+
+/// DCT-III of `y` (unnormalized); the inverse of [`dct2`] up to the factor
+/// `N/2`. Falls back to the naive sum for non-power-of-two lengths.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{dct2, dct3};
+/// let x = [1.0, 4.0, 9.0, 16.0];
+/// let restored: Vec<f64> = dct3(&dct2(&x)).iter().map(|v| v / 2.0).collect();
+/// for (a, b) in x.iter().zip(&restored) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[must_use]
+pub fn dct3(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if !n.is_power_of_two() {
+        return naive_dct3(y);
+    }
+    if n == 1 {
+        return vec![y[0] / 2.0];
+    }
+    // Inverse of the Makhoul factorization:
+    //   V_k = 0.5 · e^{iπk/2N} · (y_k - i·y_{N-k}),  y_N := 0
+    // then v = IFFT(V) (with the *forward* exponent convention used in
+    // `fft`, the inverse needs conjugation), and de-permutation.
+    let mut big_v = vec![Complex64::ZERO; n];
+    for k in 0..n {
+        let y_k = y[k];
+        let y_nk = if k == 0 { 0.0 } else { y[n - k] };
+        let phase = Complex64::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        big_v[k] = (Complex64::new(y_k, -y_nk) * phase).scale(0.5);
+    }
+    crate::ifft(&mut big_v);
+    // ifft divides by n; the unnormalized DCT-III needs the raw sum, so
+    // multiply back.
+    let mut out = vec![0.0; n];
+    for i in 0..n / 2 {
+        out[2 * i] = big_v[i].re * n as f64;
+        out[2 * i + 1] = big_v[n - 1 - i].re * n as f64;
+    }
+    out
+}
+
+/// IDXST — the half-sample inverse sine transform
+/// `s_n = Σ_{k=1}^{N-1} b_k · sin(π k (2n+1) / 2N)` (`b_0` is ignored,
+/// matching the zero sine frequency).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{idxst, naive_idxst};
+/// let b = [0.0, 1.0, -0.5, 0.25];
+/// let fast = idxst(&b);
+/// let slow = naive_idxst(&b);
+/// for (a, c) in fast.iter().zip(&slow) {
+///     assert!((a - c).abs() < 1e-9);
+/// }
+/// ```
+#[must_use]
+pub fn idxst(b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // s_n = (-1)^n · DCT-III(c), c_0 = 0, c_j = b_{N-j}.
+    let mut c = vec![0.0; n];
+    for j in 1..n {
+        c[j] = b[n - j];
+    }
+    let mut s = dct3(&c);
+    for (i, v) in s.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            *v = -*v;
+        }
+    }
+    s
+}
+
+/// Naive O(N²) DCT-II reference.
+#[must_use]
+pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    v * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64
+                        / (2.0 * n as f64))
+                        .cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Naive O(N²) DCT-III reference.
+#[must_use]
+pub fn naive_dct3(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    (0..n)
+        .map(|i| {
+            let mut acc = y[0] / 2.0;
+            for (k, &v) in y.iter().enumerate().skip(1) {
+                acc += v
+                    * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64))
+                        .cos();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Naive O(N²) IDXST reference.
+#[must_use]
+pub fn naive_idxst(b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    (0..n)
+        .map(|i| {
+            let mut acc = 0.0;
+            for (k, &v) in b.iter().enumerate().skip(1) {
+                acc += v
+                    * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64))
+                        .sin();
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.11).cos() - 0.3)
+            .collect()
+    }
+
+    #[test]
+    fn fast_dct2_matches_naive() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let x = test_signal(n);
+            assert_close(&dct2(&x), &naive_dct2(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn fast_dct3_matches_naive() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let y = test_signal(n);
+            assert_close(&dct3(&y), &naive_dct3(&y), 1e-8);
+        }
+    }
+
+    #[test]
+    fn fast_idxst_matches_naive() {
+        for &n in &[2usize, 4, 8, 32, 128] {
+            let b = test_signal(n);
+            assert_close(&idxst(&b), &naive_idxst(&b), 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_scales_by_half_n() {
+        for &n in &[4usize, 16, 64] {
+            let x = test_signal(n);
+            let back = dct3(&dct2(&x));
+            let restored: Vec<f64> = back.iter().map(|v| v * 2.0 / n as f64).collect();
+            assert_close(&restored, &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back() {
+        let x = test_signal(12);
+        assert_close(&dct2(&x), &naive_dct2(&x), 1e-10);
+        assert_close(&dct3(&x), &naive_dct3(&x), 1e-10);
+    }
+
+    #[test]
+    fn dct2_of_constant_is_dc_only() {
+        let x = vec![3.0; 16];
+        let y = dct2(&x);
+        assert!((y[0] - 48.0).abs() < 1e-9);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idxst_ignores_b0() {
+        let mut b = test_signal(16);
+        let s1 = idxst(&b);
+        b[0] += 42.0;
+        let s2 = idxst(&b);
+        assert_close(&s1, &s2, 1e-10);
+    }
+}

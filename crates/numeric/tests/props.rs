@@ -1,0 +1,131 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use qplacer_numeric::{
+    dct2, dct3, fft, idxst, ifft, naive_dct2, naive_dct3, naive_idxst, Array2, Complex64,
+    NesterovSolver, PoissonSolver,
+};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrip(re in prop::collection::vec(-100.0f64..100.0, 1..=64)) {
+        let n = re.len().next_power_of_two();
+        let mut x: Vec<Complex64> = re.iter().map(|&r| Complex64::new(r, -r * 0.5)).collect();
+        x.resize(n, Complex64::ZERO);
+        let orig = x.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!(close(a.re, b.re, 1e-9));
+            prop_assert!(close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_linearity(
+        a in prop::collection::vec(-10.0f64..10.0, 16),
+        b in prop::collection::vec(-10.0f64..10.0, 16),
+        s in -5.0f64..5.0,
+    ) {
+        let mut fa: Vec<Complex64> = a.iter().map(|&v| v.into()).collect();
+        let mut fb: Vec<Complex64> = b.iter().map(|&v| v.into()).collect();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| (x + s * y).into()).collect();
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fab);
+        for i in 0..16 {
+            let expect = fa[i] + fb[i].scale(s);
+            prop_assert!(close(fab[i].re, expect.re, 1e-9));
+            prop_assert!(close(fab[i].im, expect.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn dct2_matches_naive(x in prop::collection::vec(-50.0f64..50.0, 1..=64)) {
+        let fast = dct2(&x);
+        let slow = naive_dct2(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn dct3_matches_naive(x in prop::collection::vec(-50.0f64..50.0, 1..=64)) {
+        let fast = dct3(&x);
+        let slow = naive_dct3(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn idxst_matches_naive(x in prop::collection::vec(-50.0f64..50.0, 2..=64)) {
+        let fast = idxst(&x);
+        let slow = naive_idxst(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_recovers_signal(x in prop::collection::vec(-50.0f64..50.0, 1..=32)) {
+        let n = x.len();
+        let back = dct3(&dct2(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!(close(*a, b * 2.0 / n as f64, 1e-8));
+        }
+    }
+
+    #[test]
+    fn poisson_solver_is_linear(
+        a in prop::collection::vec(((0usize..16), (0usize..16), 0.1f64..5.0), 1..6),
+        b in prop::collection::vec(((0usize..16), (0usize..16), 0.1f64..5.0), 1..6),
+        alpha in 0.5f64..3.0,
+    ) {
+        let solver = PoissonSolver::new(16, 16);
+        let mut rho_a = Array2::zeros(16, 16);
+        for &(ix, iy, q) in &a {
+            rho_a[(ix, iy)] += q;
+        }
+        let mut rho_b = Array2::zeros(16, 16);
+        for &(ix, iy, q) in &b {
+            rho_b[(ix, iy)] += q;
+        }
+        let mut combined = rho_a.clone();
+        combined.zip_apply(&rho_b, |x, y| x + alpha * y);
+        let fa = solver.solve(&rho_a);
+        let fb = solver.solve(&rho_b);
+        let fc = solver.solve(&combined);
+        for i in 0..fc.ex.data().len() {
+            let expect = fa.ex.data()[i] + alpha * fb.ex.data()[i];
+            prop_assert!((fc.ex.data()[i] - expect).abs() < 1e-8);
+            let expect_y = fa.ey.data()[i] + alpha * fb.ey.data()[i];
+            prop_assert!((fc.ey.data()[i] - expect_y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nesterov_minimizes_shifted_quadratics(
+        center in prop::collection::vec(-10.0f64..10.0, 1..6),
+        start in -20.0f64..20.0,
+    ) {
+        let x0 = vec![start; center.len()];
+        let mut s = NesterovSolver::new(x0, 0.05);
+        for _ in 0..500 {
+            let g: Vec<f64> = s
+                .reference()
+                .iter()
+                .zip(&center)
+                .map(|(&x, &c)| 2.0 * (x - c))
+                .collect();
+            s.step(&g);
+        }
+        for (x, c) in s.position().iter().zip(&center) {
+            prop_assert!((x - c).abs() < 1e-4, "{} vs {}", x, c);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Architectural constants from the paper's experiment setup (§V-C).
+//!
+//! All values mirror the paper's "Architectural Features" paragraph, which
+//! itself cites IBM device data and Qiskit-Metal reference designs.
+
+use crate::{Capacitance, Duration, Frequency};
+
+/// Side length of a (pocket) transmon qubit footprint: 400 µm = 0.4 mm.
+pub const QUBIT_SIZE_MM: f64 = 0.4;
+
+/// Qubit padding distance `d_q` = 400 µm.
+pub const QUBIT_PADDING_MM: f64 = 0.4;
+
+/// Resonator padding distance `d_r` = 100 µm.
+pub const RESONATOR_PADDING_MM: f64 = 0.1;
+
+/// Default resonator segment block size `l_b` = 0.3 mm (found optimal in
+/// §VI-D).
+pub const DEFAULT_SEGMENT_MM: f64 = 0.3;
+
+/// Effective resonator strip width used when reshaping the meander into a
+/// compact rectangle for partitioning; the paper's human-baseline formula
+/// `D = L·d_r / (L_q + 2d_q)` implies the strip area is `L · d_r`.
+pub const RESONATOR_STRIP_WIDTH_MM: f64 = RESONATOR_PADDING_MM;
+
+/// Lower edge of the qubit frequency spectrum Ω: 4.8 GHz.
+pub const QUBIT_FREQ_MIN: Frequency = Frequency::from_ghz(4.8);
+
+/// Upper edge of the qubit frequency spectrum Ω: 5.2 GHz.
+pub const QUBIT_FREQ_MAX: Frequency = Frequency::from_ghz(5.2);
+
+/// Lower edge of the resonator frequency spectrum Ω_r: 6.0 GHz.
+pub const RESONATOR_FREQ_MIN: Frequency = Frequency::from_ghz(6.0);
+
+/// Upper edge of the resonator frequency spectrum Ω_r: 7.0 GHz.
+pub const RESONATOR_FREQ_MAX: Frequency = Frequency::from_ghz(7.0);
+
+/// Detuning threshold Δc below which two components count as resonant.
+pub const DETUNING_THRESHOLD: Frequency = Frequency::from_ghz(0.1);
+
+/// Transmon anharmonicity α/2π ≈ 310 MHz (IBM Falcon-class devices).
+pub const ANHARMONICITY: Frequency = Frequency::from_ghz(0.310);
+
+/// Speed of light in the coplanar waveguide, `v₀ ≈ 1.3 × 10⁸ m/s`,
+/// expressed in mm/ns (1e8 m/s = 100 mm/ns).
+pub const WAVE_SPEED_MM_PER_NS: f64 = 130.0;
+
+/// Typical transmon self-capacitance (sets E_C ≈ 300 MHz).
+pub const QUBIT_CAPACITANCE: Capacitance = Capacitance::from_ff(65.0);
+
+/// Typical λ/2 coplanar resonator capacitance.
+pub const RESONATOR_CAPACITANCE: Capacitance = Capacitance::from_ff(500.0);
+
+/// Designed (intentional) qubit–qubit coupling strength scale; the paper
+/// quotes g ≈ 20–30 MHz for directly connected transmons (Fig. 4).
+pub const DESIGN_COUPLING: Frequency = Frequency::from_ghz(0.025);
+
+/// Relaxation time T1 = 100 µs (paper's decoherence model input).
+pub const T1: Duration = Duration::from_ns(100_000.0);
+
+/// Dephasing time T2 = 100 µs.
+pub const T2: Duration = Duration::from_ns(100_000.0);
+
+/// Single-qubit gate duration (IBM basis-gate scale).
+pub const SINGLE_QUBIT_GATE_TIME: Duration = Duration::from_ns(35.0);
+
+/// Two-qubit (RIP CZ) gate duration.
+pub const TWO_QUBIT_GATE_TIME: Duration = Duration::from_ns(300.0);
+
+/// Base single-qubit gate error (excluding decoherence), IBM-class.
+pub const SINGLE_QUBIT_GATE_ERROR: f64 = 3e-4;
+
+/// Base two-qubit gate error (excluding decoherence and crosstalk).
+pub const TWO_QUBIT_GATE_ERROR: f64 = 6e-3;
+
+/// Readout error per measured qubit.
+pub const READOUT_ERROR: f64 = 1e-2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectra_are_well_ordered() {
+        assert!(QUBIT_FREQ_MIN < QUBIT_FREQ_MAX);
+        assert!(RESONATOR_FREQ_MIN < RESONATOR_FREQ_MAX);
+        // Qubit and resonator bands must not overlap (dispersive regime).
+        assert!(QUBIT_FREQ_MAX < RESONATOR_FREQ_MIN);
+    }
+
+    #[test]
+    fn resonator_lengths_match_paper_range() {
+        // f = v0 / 2L  =>  L = v0 / 2f; the paper quotes 10.8–9.2 mm.
+        let l_low = WAVE_SPEED_MM_PER_NS / (2.0 * RESONATOR_FREQ_MIN.ghz());
+        let l_high = WAVE_SPEED_MM_PER_NS / (2.0 * RESONATOR_FREQ_MAX.ghz());
+        assert!((l_low - 10.8).abs() < 0.1, "L(6 GHz) = {l_low}");
+        assert!((l_high - 9.3).abs() < 0.1, "L(7 GHz) = {l_high}");
+    }
+
+    #[test]
+    fn slot_counts_match_design() {
+        let qubit_slots =
+            ((QUBIT_FREQ_MAX - QUBIT_FREQ_MIN) / DETUNING_THRESHOLD).round() as usize + 1;
+        let res_slots =
+            ((RESONATOR_FREQ_MAX - RESONATOR_FREQ_MIN) / DETUNING_THRESHOLD).round() as usize + 1;
+        assert_eq!(qubit_slots, 5);
+        assert_eq!(res_slots, 11);
+    }
+}

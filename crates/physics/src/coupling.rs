@@ -1,0 +1,150 @@
+//! Coupling-strength models from the Jaynes–Cummings analysis (§III).
+//!
+//! Three regimes matter to the placer:
+//!
+//! * **Resonant** (`Δ = |ω₁ − ω₂| ≲ g`): full vacuum-Rabi coupling `g`
+//!   (Eq. 4) — energy swaps freely between the components.
+//! * **Dispersive** (`Δ ≫ g`): effective ZZ coupling `g_eff = g²/Δ`
+//!   (Eq. 5) — exponentially weaker, the safe operating point.
+//! * The smooth crossover between them, plotted in Fig. 4, is modeled as
+//!   `g_eff(Δ) = g²/√(Δ² + g²)`, which reproduces both limits.
+
+use crate::{Capacitance, Frequency};
+
+/// Capacitive coupling strength between two oscillators (Eq. 6):
+///
+/// ```text
+/// g = ½·√(ω₁ω₂) · C_p / √((C₁+C_p)(C₂+C_p))
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{coupling::capacitive_coupling, Capacitance, Frequency};
+/// let g = capacitive_coupling(
+///     Frequency::from_ghz(5.0),
+///     Frequency::from_ghz(5.0),
+///     Capacitance::from_ff(0.65),
+///     Capacitance::from_ff(65.0),
+///     Capacitance::from_ff(65.0),
+/// );
+/// // An engineered ~0.65 fF coupler yields the paper's 20–30 MHz scale.
+/// assert!(g.mhz() > 20.0 && g.mhz() < 30.0);
+/// ```
+#[must_use]
+pub fn capacitive_coupling(
+    w1: Frequency,
+    w2: Frequency,
+    cp: Capacitance,
+    c1: Capacitance,
+    c2: Capacitance,
+) -> Frequency {
+    let geom = (w1.ghz() * w2.ghz()).sqrt();
+    let denom = ((c1 + cp).ff() * (c2 + cp).ff()).sqrt();
+    Frequency::from_ghz(0.5 * geom * cp.ff() / denom)
+}
+
+/// Effective coupling across the resonant–dispersive crossover (Fig. 4):
+/// `g_eff(Δ) = g²/√(Δ² + g²)`. Equals `g` on resonance and `g²/Δ` when
+/// far detuned.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{coupling::effective_coupling, Frequency};
+/// let g = Frequency::from_mhz(25.0);
+/// let delta = Frequency::from_ghz(0.25);
+/// let geff = effective_coupling(g, delta);
+/// let dispersive = Frequency::from_ghz(g.ghz() * g.ghz() / delta.ghz());
+/// assert!((geff.ghz() - dispersive.ghz()).abs() / dispersive.ghz() < 0.01);
+/// ```
+#[must_use]
+pub fn effective_coupling(g: Frequency, detuning: Frequency) -> Frequency {
+    let g2 = g.ghz() * g.ghz();
+    if g2 == 0.0 {
+        return Frequency::ZERO;
+    }
+    Frequency::from_ghz(g2 / (detuning.ghz() * detuning.ghz() + g2).sqrt())
+}
+
+/// Dispersive shift `χ = g²/Δ` of a qubit–resonator pair (Eq. 8).
+/// Returns `None` when the pair is *not* dispersive (Δ ≤ 2g), where the
+/// perturbative expression is meaningless.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{coupling::dispersive_shift, Frequency};
+/// let chi = dispersive_shift(Frequency::from_mhz(50.0), Frequency::from_ghz(1.5));
+/// assert!(chi.is_some());
+/// let invalid = dispersive_shift(Frequency::from_mhz(50.0), Frequency::from_mhz(60.0));
+/// assert!(invalid.is_none());
+/// ```
+#[must_use]
+pub fn dispersive_shift(g: Frequency, detuning: Frequency) -> Option<Frequency> {
+    if detuning.ghz() <= 2.0 * g.ghz() {
+        return None;
+    }
+    Some(Frequency::from_ghz(g.ghz() * g.ghz() / detuning.ghz()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_grows_with_cp() {
+        let w = Frequency::from_ghz(5.0);
+        let c = Capacitance::from_ff(65.0);
+        let g_small = capacitive_coupling(w, w, Capacitance::from_ff(0.1), c, c);
+        let g_big = capacitive_coupling(w, w, Capacitance::from_ff(1.0), c, c);
+        assert!(g_big > g_small);
+    }
+
+    #[test]
+    fn coupling_is_symmetric_in_components() {
+        let w1 = Frequency::from_ghz(5.0);
+        let w2 = Frequency::from_ghz(5.2);
+        let cp = Capacitance::from_ff(0.5);
+        let c1 = Capacitance::from_ff(60.0);
+        let c2 = Capacitance::from_ff(70.0);
+        let a = capacitive_coupling(w1, w2, cp, c1, c2);
+        let b = capacitive_coupling(w2, w1, cp, c2, c1);
+        assert!((a.ghz() - b.ghz()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn effective_coupling_limits() {
+        let g = Frequency::from_mhz(25.0);
+        // On resonance: g_eff == g.
+        assert!((effective_coupling(g, Frequency::ZERO).ghz() - g.ghz()).abs() < 1e-15);
+        // Far detuned: g_eff -> g²/Δ within 0.1%.
+        let delta = Frequency::from_ghz(1.0);
+        let expect = g.ghz() * g.ghz() / delta.ghz();
+        let got = effective_coupling(g, delta).ghz();
+        assert!((got - expect).abs() / expect < 1e-3);
+        // Zero coupling stays zero.
+        assert_eq!(effective_coupling(Frequency::ZERO, delta), Frequency::ZERO);
+    }
+
+    #[test]
+    fn effective_coupling_is_monotone_in_detuning() {
+        let g = Frequency::from_mhz(30.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..50 {
+            let delta = Frequency::from_mhz(i as f64 * 10.0);
+            let geff = effective_coupling(g, delta).ghz();
+            assert!(geff <= prev + 1e-15);
+            prev = geff;
+        }
+    }
+
+    #[test]
+    fn dispersive_shift_requires_dispersive_regime() {
+        let g = Frequency::from_mhz(50.0);
+        assert!(dispersive_shift(g, Frequency::from_ghz(1.0)).is_some());
+        assert!(dispersive_shift(g, Frequency::from_mhz(90.0)).is_none());
+        let chi = dispersive_shift(g, Frequency::from_ghz(1.0)).unwrap();
+        assert!((chi.mhz() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Coplanar-waveguide resonator model (§II-A, §III-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{constants, Capacitance, Frequency};
+
+/// A λ/2 coplanar-waveguide bus resonator.
+///
+/// The fundamental frequency fixes the physical trace length through
+/// `f = v₀ / 2L` (§V-C), which in turn fixes the substrate area the
+/// resonator's meander occupies — the quantity the partitioning strategy
+/// (§IV-B2) divides into segments.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{Frequency, Resonator};
+/// let r = Resonator::new(Frequency::from_ghz(6.5));
+/// assert!((r.length_mm() - 10.0).abs() < 0.01);
+/// let n = r.segment_count(0.3);
+/// assert_eq!(n, 12); // ceil(10.0 · 0.1 / 0.09)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resonator {
+    frequency: Frequency,
+    capacitance: Capacitance,
+}
+
+impl Resonator {
+    /// Creates a resonator at the given fundamental frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not positive.
+    #[must_use]
+    pub fn new(frequency: Frequency) -> Self {
+        assert!(
+            frequency.ghz() > 0.0,
+            "resonator frequency must be positive"
+        );
+        Self {
+            frequency,
+            capacitance: constants::RESONATOR_CAPACITANCE,
+        }
+    }
+
+    /// Fundamental frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Total capacitance of the distributed resonator.
+    #[must_use]
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
+    /// Physical trace length `L = v₀ / 2f` in millimeters.
+    #[must_use]
+    pub fn length_mm(&self) -> f64 {
+        constants::WAVE_SPEED_MM_PER_NS / (2.0 * self.frequency.ghz())
+    }
+
+    /// Substrate strip area the meander occupies: `L · d_r` (mm²), per the
+    /// human-baseline geometry of §V-B.
+    #[must_use]
+    pub fn strip_area_mm2(&self) -> f64 {
+        self.length_mm() * constants::RESONATOR_STRIP_WIDTH_MM
+    }
+
+    /// Number of square segments of side `lb_mm` needed to reserve this
+    /// resonator's strip area (§IV-B2): `⌈L·d_r / l_b²⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb_mm` is not positive.
+    #[must_use]
+    pub fn segment_count(&self, lb_mm: f64) -> usize {
+        assert!(lb_mm > 0.0, "segment size must be positive");
+        (self.strip_area_mm2() / (lb_mm * lb_mm)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_matches_paper_range() {
+        // Paper: 6.0–7.0 GHz corresponds to 10.8–9.2 mm.
+        let low = Resonator::new(constants::RESONATOR_FREQ_MIN);
+        let high = Resonator::new(constants::RESONATOR_FREQ_MAX);
+        assert!((low.length_mm() - 10.83).abs() < 0.01);
+        assert!((high.length_mm() - 9.29).abs() < 0.01);
+    }
+
+    #[test]
+    fn segment_counts_reproduce_table_ii_scale() {
+        // Table II implies ≈11–12 segments per resonator at l_b = 0.3 mm,
+        // ≈26 at 0.2 mm and ≈7 at 0.4 mm.
+        let r = Resonator::new(Frequency::from_ghz(6.5));
+        assert_eq!(r.segment_count(0.3), 12);
+        assert_eq!(r.segment_count(0.2), 25);
+        assert_eq!(r.segment_count(0.4), 7);
+    }
+
+    #[test]
+    fn higher_frequency_means_shorter_resonator() {
+        let a = Resonator::new(Frequency::from_ghz(6.0));
+        let b = Resonator::new(Frequency::from_ghz(7.0));
+        assert!(a.length_mm() > b.length_mm());
+        assert!(a.segment_count(0.3) >= b.segment_count(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_segment_size_panics() {
+        let r = Resonator::new(Frequency::from_ghz(6.5));
+        let _ = r.segment_count(0.0);
+    }
+}

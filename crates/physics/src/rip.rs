@@ -1,0 +1,134 @@
+//! Resonator-induced-phase (RIP) gate model (§II-B, Eq. 1–2).
+//!
+//! The RIP gate drives a detuned bus resonator with an off-resonant pulse;
+//! the qubits acquire a conditional phase at rate
+//!
+//! ```text
+//! θ̇ ∝ n̄ · χ / Δ_cd,   n̄ = |Ω·V_d / 2Δ_cd|²
+//! ```
+//!
+//! A CZ gate completes when `θ̇·t = π/4`. The fidelity model only needs
+//! the gate *time* scale; this module exposes the rate and duration so the
+//! RIP analysis of the paper (faster gates at larger χ / smaller drive
+//! detuning) is reproducible.
+
+use crate::{coupling, Duration, Frequency};
+
+/// Conditional-phase accumulation rate of a RIP gate.
+///
+/// * `g` — qubit–resonator coupling.
+/// * `qubit_resonator_detuning` — Δ = |ω_r − ω_q| (sets χ = g²/Δ).
+/// * `drive_detuning` — Δ_cd between drive and resonator.
+/// * `photons` — mean drive photon number n̄.
+///
+/// Returns `None` outside the dispersive regime, where the perturbative
+/// rate formula does not apply.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{rip::phase_rate, Frequency};
+/// let rate = phase_rate(
+///     Frequency::from_mhz(70.0),
+///     Frequency::from_ghz(1.5),
+///     Frequency::from_mhz(50.0),
+///     3.0,
+/// ).unwrap();
+/// assert!(rate.mhz() > 0.0);
+/// ```
+#[must_use]
+pub fn phase_rate(
+    g: Frequency,
+    qubit_resonator_detuning: Frequency,
+    drive_detuning: Frequency,
+    photons: f64,
+) -> Option<Frequency> {
+    if drive_detuning.ghz() <= 0.0 || photons <= 0.0 {
+        return None;
+    }
+    let chi = coupling::dispersive_shift(g, qubit_resonator_detuning)?;
+    Some(Frequency::from_ghz(
+        photons * chi.ghz() * chi.ghz() / drive_detuning.ghz(),
+    ))
+}
+
+/// Duration of a CZ gate at rate `rate`: `t = π / (4·θ̇)` with θ̇ taken as
+/// an angular rate (Eq. 1–2).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{rip::cz_gate_time, Frequency};
+/// let fast = cz_gate_time(Frequency::from_mhz(2.0));
+/// let slow = cz_gate_time(Frequency::from_mhz(0.5));
+/// assert!(fast.ns() < slow.ns());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+#[must_use]
+pub fn cz_gate_time(rate: Frequency) -> Duration {
+    assert!(rate.ghz() > 0.0, "phase rate must be positive");
+    Duration::from_ns(std::f64::consts::PI / (4.0 * rate.rad_per_ns()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_increases_with_photons() {
+        let base = |n| {
+            phase_rate(
+                Frequency::from_mhz(70.0),
+                Frequency::from_ghz(1.5),
+                Frequency::from_mhz(50.0),
+                n,
+            )
+            .unwrap()
+        };
+        assert!(base(4.0).ghz() > base(1.0).ghz());
+    }
+
+    #[test]
+    fn rate_requires_dispersive_regime() {
+        // Detuning below 2g: no valid rate.
+        assert!(phase_rate(
+            Frequency::from_mhz(70.0),
+            Frequency::from_mhz(100.0),
+            Frequency::from_mhz(50.0),
+            3.0
+        )
+        .is_none());
+        assert!(phase_rate(
+            Frequency::from_mhz(70.0),
+            Frequency::from_ghz(1.5),
+            Frequency::ZERO,
+            3.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn cz_time_is_quarter_period() {
+        let rate = Frequency::from_mhz(1.0);
+        let t = cz_gate_time(rate);
+        // θ = 2π·f·t should equal π/4.
+        let theta = rate.rad_per_ns() * t.ns();
+        assert!((theta - std::f64::consts::PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realistic_parameters_give_sub_microsecond_gates() {
+        let rate = phase_rate(
+            Frequency::from_mhz(70.0),
+            Frequency::from_ghz(1.2),
+            Frequency::from_mhz(40.0),
+            5.0,
+        )
+        .unwrap();
+        let t = cz_gate_time(rate);
+        assert!(t.ns() > 10.0 && t.ns() < 5000.0, "gate time {t}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Substrate spurious electromagnetic modes (§III-C).
+//!
+//! A dielectric substrate of size `a × b` inside its enclosure behaves as
+//! a resonant cavity whose transverse-magnetic box modes sit at
+//!
+//! ```text
+//! f_mn = (c / 2√ε_r) · √((m/a)² + (n/b)²)
+//! ```
+//!
+//! The first mode TM₁₁₀ caps every on-chip component frequency: a
+//! component at or above the mode hybridizes with it, radiating energy
+//! and opening a decoherence channel. The paper quotes TM₁₁₀ dropping
+//! from 12.41 GHz on a 5×5 mm² silicon chip to 6.20 GHz on 10×10 mm² —
+//! which this model reproduces — and uses it to argue that compact
+//! placement *is* a coherence optimization.
+
+use crate::{constants, Frequency};
+
+/// Speed of light in vacuum, mm/ns.
+const C_MM_PER_NS: f64 = 299.792_458;
+
+/// Relative permittivity of high-resistivity silicon.
+pub const SILICON_EPS_R: f64 = 11.68;
+
+/// The TM_mn0 box-mode frequency of an `a × b` mm substrate with relative
+/// permittivity `eps_r`.
+///
+/// # Panics
+///
+/// Panics if any argument is not positive or both mode indices are zero.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::substrate::{box_mode, SILICON_EPS_R};
+/// let tm110 = box_mode(5.0, 5.0, SILICON_EPS_R, 1, 1);
+/// assert!((tm110.ghz() - 12.4).abs() < 0.2); // the paper's 12.41 GHz
+/// ```
+#[must_use]
+pub fn box_mode(a_mm: f64, b_mm: f64, eps_r: f64, m: u32, n: u32) -> Frequency {
+    assert!(a_mm > 0.0 && b_mm > 0.0, "substrate dims must be positive");
+    assert!(eps_r > 0.0, "permittivity must be positive");
+    assert!(m + n > 0, "at least one mode index must be non-zero");
+    let term = (m as f64 / a_mm).powi(2) + (n as f64 / b_mm).powi(2);
+    Frequency::from_ghz(C_MM_PER_NS / (2.0 * eps_r.sqrt()) * term.sqrt())
+}
+
+/// The lowest spurious mode TM₁₁₀ of an `a × b` silicon substrate.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::substrate::tm110;
+/// // Doubling the substrate halves the mode frequency.
+/// let small = tm110(5.0, 5.0);
+/// let large = tm110(10.0, 10.0);
+/// assert!((small.ghz() / large.ghz() - 2.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn tm110(a_mm: f64, b_mm: f64) -> Frequency {
+    box_mode(a_mm, b_mm, SILICON_EPS_R, 1, 1)
+}
+
+/// Frequency headroom of a layout: TM₁₁₀ of its substrate minus the top
+/// of the resonator band. Positive headroom means no on-chip component
+/// can resonate with the box mode; negative headroom is the §III-C
+/// failure scenario that motivates compact placement.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::substrate::mode_headroom;
+/// assert!(mode_headroom(8.0, 8.0).ghz() > 0.0);   // compact: safe
+/// assert!(mode_headroom(16.0, 16.0).ghz() < 0.0); // sprawling: unsafe
+/// ```
+#[must_use]
+pub fn mode_headroom(a_mm: f64, b_mm: f64) -> Frequency {
+    tm110(a_mm, b_mm) - constants::RESONATOR_FREQ_MAX
+}
+
+/// The largest square substrate side (mm) that keeps TM₁₁₀ above the
+/// component band by `margin` — the hard area budget the paper's §III-C
+/// implies.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{substrate::max_safe_square_mm, Frequency};
+/// let side = max_safe_square_mm(Frequency::from_ghz(1.0));
+/// // ~10x10 mm, the practical chip-size limit the paper cites.
+/// assert!(side > 7.0 && side < 12.0);
+/// ```
+#[must_use]
+pub fn max_safe_square_mm(margin: Frequency) -> f64 {
+    // For a square: f = c/(2√ε)·√2/a  =>  a = c·√2 / (2√ε·f).
+    let f_min = (constants::RESONATOR_FREQ_MAX + margin).ghz();
+    C_MM_PER_NS * 2.0_f64.sqrt() / (2.0 * SILICON_EPS_R.sqrt() * f_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_values() {
+        // §III-C: "TM110 drops from 12.41 GHz to 6.20 GHz when increasing
+        // from 5×5 mm² to 10×10 mm²".
+        let small = tm110(5.0, 5.0);
+        let large = tm110(10.0, 10.0);
+        assert!((small.ghz() - 12.41).abs() < 0.05, "got {small}");
+        assert!((large.ghz() - 6.20).abs() < 0.05, "got {large}");
+    }
+
+    #[test]
+    fn mode_frequency_decreases_with_size() {
+        let mut prev = f64::INFINITY;
+        for side in [4.0, 6.0, 8.0, 12.0, 16.0] {
+            let f = tm110(side, side).ghz();
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn higher_modes_are_higher() {
+        let f11 = box_mode(8.0, 8.0, SILICON_EPS_R, 1, 1);
+        let f21 = box_mode(8.0, 8.0, SILICON_EPS_R, 2, 1);
+        let f22 = box_mode(8.0, 8.0, SILICON_EPS_R, 2, 2);
+        assert!(f21 > f11);
+        assert!(f22 > f21);
+        // TM22 of a square is exactly 2× TM11.
+        assert!((f22.ghz() - 2.0 * f11.ghz()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_substrates() {
+        // A long, thin substrate keeps the mode higher than a square of
+        // equal area (the short axis dominates).
+        let square = tm110(8.0, 8.0);
+        let rect = tm110(16.0, 4.0);
+        assert!(rect > square);
+    }
+
+    #[test]
+    fn safe_square_is_consistent_with_headroom() {
+        let margin = Frequency::from_ghz(0.5);
+        let side = max_safe_square_mm(margin);
+        let head = mode_headroom(side, side);
+        assert!((head.ghz() - margin.ghz()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_mode_panics() {
+        let _ = box_mode(5.0, 5.0, SILICON_EPS_R, 0, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Fixed-frequency transmon qubit model (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{constants, Capacitance, Frequency};
+
+/// A fixed-frequency pocket transmon: a square footprint with a designed
+/// qubit frequency ω₀₁ and anharmonicity α.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::{Frequency, Transmon};
+/// let q = Transmon::new(Frequency::from_ghz(5.0));
+/// assert_eq!(q.size_mm(), 0.4);
+/// assert!(q.f12() < q.frequency()); // negative anharmonicity
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transmon {
+    frequency: Frequency,
+    anharmonicity: Frequency,
+    capacitance: Capacitance,
+    size_mm: f64,
+}
+
+impl Transmon {
+    /// Creates a transmon with the architecture's default geometry and
+    /// anharmonicity at the given |0⟩→|1⟩ frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is not positive.
+    #[must_use]
+    pub fn new(frequency: Frequency) -> Self {
+        assert!(frequency.ghz() > 0.0, "qubit frequency must be positive");
+        Self {
+            frequency,
+            anharmonicity: constants::ANHARMONICITY,
+            capacitance: constants::QUBIT_CAPACITANCE,
+            size_mm: constants::QUBIT_SIZE_MM,
+        }
+    }
+
+    /// The |0⟩→|1⟩ transition frequency ω₀₁.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The |1⟩→|2⟩ transition frequency ω₁₂ = ω₀₁ − α (transmons have
+    /// negative anharmonicity: levels compress going up).
+    #[must_use]
+    pub fn f12(&self) -> Frequency {
+        self.frequency - self.anharmonicity
+    }
+
+    /// Anharmonicity α = ω₀₁ − ω₁₂.
+    #[must_use]
+    pub fn anharmonicity(&self) -> Frequency {
+        self.anharmonicity
+    }
+
+    /// Shunt capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
+    /// Footprint side length in millimeters.
+    #[must_use]
+    pub fn size_mm(&self) -> f64 {
+        self.size_mm
+    }
+
+    /// Whether the |1⟩→|2⟩ transition of `self` collides with the
+    /// |0⟩→|1⟩ transition of `other` within `threshold` — the "11 ↔ 20"
+    /// leakage channel the fidelity model tracks.
+    #[must_use]
+    pub fn leakage_collision(&self, other: &Transmon, threshold: Frequency) -> bool {
+        self.f12().is_resonant_with(other.frequency(), threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let q = Transmon::new(Frequency::from_ghz(5.0));
+        assert_eq!(q.size_mm(), constants::QUBIT_SIZE_MM);
+        assert_eq!(q.capacitance(), constants::QUBIT_CAPACITANCE);
+        assert!((q.anharmonicity().mhz() - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_structure_compresses() {
+        let q = Transmon::new(Frequency::from_ghz(5.0));
+        assert!((q.f12().ghz() - 4.69).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_collision_detection() {
+        let dc = Frequency::from_ghz(0.1);
+        let a = Transmon::new(Frequency::from_ghz(5.2));
+        // a.f12 = 4.89; collides with a 4.9 GHz qubit.
+        let b = Transmon::new(Frequency::from_ghz(4.9));
+        assert!(a.leakage_collision(&b, dc));
+        let c = Transmon::new(Frequency::from_ghz(5.1));
+        assert!(!a.leakage_collision(&c, dc));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Transmon::new(Frequency::ZERO);
+    }
+}

@@ -1,0 +1,327 @@
+//! Strongly-typed physical quantities.
+//!
+//! Frequencies in GHz, durations in nanoseconds, capacitances in
+//! femtofarads — the natural scales of superconducting quantum hardware.
+//! Keeping them as newtypes prevents the classic mistake of mixing a
+//! 5 GHz qubit frequency with a 25 MHz coupling strength or a 0.1 GHz
+//! detuning threshold.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A frequency (or frequency-like quantity such as a coupling strength or
+/// detuning), stored in GHz.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::Frequency;
+/// let q = Frequency::from_ghz(5.0);
+/// let r = Frequency::from_mhz(4900.0);
+/// assert!((q.detuning(r).mhz() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Zero frequency.
+    pub const ZERO: Frequency = Frequency(0.0);
+
+    /// Creates a frequency from a GHz value.
+    #[must_use]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Self(ghz)
+    }
+
+    /// Creates a frequency from a MHz value.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e-3)
+    }
+
+    /// Value in GHz.
+    #[must_use]
+    pub const fn ghz(self) -> f64 {
+        self.0
+    }
+
+    /// Value in MHz.
+    #[must_use]
+    pub fn mhz(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Angular frequency in radians per nanosecond (`2π · f`).
+    ///
+    /// 1 GHz = 1 cycle/ns, so multiplying by 2π yields rad/ns directly;
+    /// this is the rate at which Rabi phases accumulate in [`crate::error`].
+    #[must_use]
+    pub fn rad_per_ns(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+
+    /// Absolute detuning `|f₁ − f₂|`.
+    #[must_use]
+    pub fn detuning(self, other: Frequency) -> Frequency {
+        Frequency((self.0 - other.0).abs())
+    }
+
+    /// `true` when the detuning to `other` is at most `threshold` — the
+    /// paper's resonance indicator τ(ω_i, ω_j, Δc).
+    #[must_use]
+    pub fn is_resonant_with(self, other: Frequency, threshold: Frequency) -> bool {
+        self.detuning(other) <= threshold
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Frequency {
+        Frequency(self.0.abs())
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() < 1.0 {
+            write!(f, "{:.3} MHz", self.mhz())
+        } else {
+            write!(f, "{:.4} GHz", self.0)
+        }
+    }
+}
+
+impl Add for Frequency {
+    type Output = Frequency;
+    fn add(self, rhs: Frequency) -> Frequency {
+        Frequency(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Frequency {
+    type Output = Frequency;
+    fn sub(self, rhs: Frequency) -> Frequency {
+        Frequency(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Frequency {
+    type Output = Frequency;
+    fn neg(self) -> Frequency {
+        Frequency(-self.0)
+    }
+}
+
+impl Mul<f64> for Frequency {
+    type Output = Frequency;
+    fn mul(self, rhs: f64) -> Frequency {
+        Frequency(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Frequency {
+    type Output = Frequency;
+    fn div(self, rhs: f64) -> Frequency {
+        Frequency(self.0 / rhs)
+    }
+}
+
+impl Div for Frequency {
+    type Output = f64;
+    fn div(self, rhs: Frequency) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Frequency {
+    fn sum<I: Iterator<Item = Frequency>>(iter: I) -> Frequency {
+        Frequency(iter.map(|f| f.0).sum())
+    }
+}
+
+/// A time duration, stored in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::Duration;
+/// let gate = Duration::from_ns(300.0);
+/// assert_eq!(gate.us(), 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// Zero duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: f64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_us(us: f64) -> Self {
+        Self(us * 1e3)
+    }
+
+    /// Value in nanoseconds.
+    #[must_use]
+    pub const fn ns(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microseconds.
+    #[must_use]
+    pub fn us(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ns", self.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: f64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+/// A capacitance, stored in femtofarads.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_physics::Capacitance;
+/// let c = Capacitance::from_ff(65.0);
+/// assert_eq!(c.ff(), 65.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Capacitance(f64);
+
+impl Capacitance {
+    /// Zero capacitance.
+    pub const ZERO: Capacitance = Capacitance(0.0);
+
+    /// Creates a capacitance from femtofarads.
+    #[must_use]
+    pub const fn from_ff(ff: f64) -> Self {
+        Self(ff)
+    }
+
+    /// Value in femtofarads.
+    #[must_use]
+    pub const fn ff(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} fF", self.0)
+    }
+}
+
+impl Add for Capacitance {
+    type Output = Capacitance;
+    fn add(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Capacitance {
+    type Output = Capacitance;
+    fn mul(self, rhs: f64) -> Capacitance {
+        Capacitance(self.0 * rhs)
+    }
+}
+
+impl Div for Capacitance {
+    type Output = f64;
+    fn div(self, rhs: Capacitance) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::from_mhz(250.0);
+        assert!((f.ghz() - 0.25).abs() < 1e-12);
+        assert!((f.mhz() - 250.0).abs() < 1e-9);
+        assert!((Frequency::from_ghz(1.0).rad_per_ns() - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detuning_is_symmetric_and_nonnegative() {
+        let a = Frequency::from_ghz(5.1);
+        let b = Frequency::from_ghz(4.9);
+        assert_eq!(a.detuning(b), b.detuning(a));
+        assert!((a.detuning(b).ghz() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resonance_indicator_matches_threshold() {
+        let dc = Frequency::from_ghz(0.1);
+        let a = Frequency::from_ghz(5.0);
+        assert!(a.is_resonant_with(Frequency::from_ghz(5.1), dc));
+        assert!(a.is_resonant_with(Frequency::from_ghz(5.05), dc));
+        assert!(!a.is_resonant_with(Frequency::from_ghz(5.11), dc));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = Frequency::from_ghz(2.0) + Frequency::from_ghz(3.0);
+        assert_eq!(f, Frequency::from_ghz(5.0));
+        assert_eq!(f * 2.0, Frequency::from_ghz(10.0));
+        assert_eq!(f / Frequency::from_ghz(2.5), 2.0);
+        let d = Duration::from_us(1.0) + Duration::from_ns(500.0);
+        assert_eq!(d.ns(), 1500.0);
+        let c = Capacitance::from_ff(10.0) + Capacitance::from_ff(5.0);
+        assert_eq!(c.ff(), 15.0);
+    }
+
+    #[test]
+    fn display_picks_natural_units() {
+        assert_eq!(format!("{}", Frequency::from_ghz(5.05)), "5.0500 GHz");
+        assert_eq!(format!("{}", Frequency::from_mhz(25.0)), "25.000 MHz");
+    }
+}

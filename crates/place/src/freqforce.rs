@@ -1,0 +1,200 @@
+//! The frequency repulsive force `F(i, j; x, y)` (Eqs. 9–10).
+//!
+//! Near-resonant instances (detuning ≤ Δc) from different resonators
+//! repel like charges: force magnitude `1/d²`, i.e. potential energy
+//! `1/d`. The interaction set is the precomputed *collision map*
+//! ([`qplacer_netlist::QuantumNetlist::collision_map`]), so each
+//! iteration touches only genuinely conflicting pairs instead of all
+//! pairs — exactly the optimization described in §IV-C1.
+//!
+//! Distances are softened below `d_min` (the mutual padded clearance) so
+//! coincident instances exert a large-but-finite force and the potential
+//! stays differentiable everywhere.
+
+use qplacer_geometry::Point;
+use qplacer_netlist::QuantumNetlist;
+
+/// Pairwise 1/d frequency-repulsion potential over a collision map.
+#[derive(Debug, Clone)]
+pub struct FrequencyForce {
+    collision_map: Vec<Vec<usize>>,
+    softening: f64,
+}
+
+impl FrequencyForce {
+    /// Builds the force model for `netlist`, with softening distance set
+    /// to half the largest padded footprint (a coincident pair behaves
+    /// like one at half-overlap rather than exploding).
+    #[must_use]
+    pub fn new(netlist: &QuantumNetlist) -> Self {
+        Self {
+            collision_map: netlist.collision_map(),
+            softening: 0.5 * netlist.max_padded_side().max(1e-3),
+        }
+    }
+
+    /// Number of interacting (ordered) pairs in the collision map.
+    #[must_use]
+    pub fn interaction_count(&self) -> usize {
+        self.collision_map.iter().map(Vec::len).sum()
+    }
+
+    /// The softening distance.
+    #[must_use]
+    pub fn softening(&self) -> f64 {
+        self.softening
+    }
+
+    /// Penalty energy `Σ 1/max(d, ε)`-style (softened) and its gradient
+    /// (layout `[∂x…, ∂y…]`).
+    ///
+    /// Softened potential: `φ(d) = 1/√(d² + ε²)`, so the force magnitude
+    /// is `d/(d² + ε²)^{3/2}` ≈ `1/d²` for `d ≫ ε`.
+    #[must_use]
+    pub fn energy_grad(&self, positions: &[Point]) -> (f64, Vec<f64>) {
+        let n = positions.len();
+        let mut grad = vec![0.0; 2 * n];
+        let mut energy = 0.0;
+        let eps2 = self.softening * self.softening;
+        for (i, partners) in self.collision_map.iter().enumerate() {
+            for &j in partners {
+                if j <= i {
+                    continue; // count each pair once
+                }
+                let dx = positions[i].x - positions[j].x;
+                let dy = positions[i].y - positions[j].y;
+                let r2 = dx * dx + dy * dy + eps2;
+                let r = r2.sqrt();
+                energy += 1.0 / r;
+                // ∂(1/r)/∂x_i = -dx / r³ — descending increases distance.
+                let inv_r3 = 1.0 / (r2 * r);
+                grad[i] -= dx * inv_r3;
+                grad[j] += dx * inv_r3;
+                grad[n + i] -= dy * inv_r3;
+                grad[n + j] += dy * inv_r3;
+            }
+        }
+        (energy, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+    use qplacer_topology::Topology;
+
+    fn netlist() -> QuantumNetlist {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    /// Find two resonant instances from different resonators.
+    fn resonant_pair(nl: &QuantumNetlist) -> (usize, usize) {
+        let map = nl.collision_map();
+        for (i, partners) in map.iter().enumerate() {
+            if let Some(&j) = partners.first() {
+                return (i, j);
+            }
+        }
+        panic!("no resonant pair in test netlist");
+    }
+
+    #[test]
+    fn gradient_pushes_resonant_pair_apart() {
+        let nl = netlist();
+        let force = FrequencyForce::new(&nl);
+        let (i, j) = resonant_pair(&nl);
+        let n = nl.num_instances();
+        let mut pos = vec![Point::ORIGIN; n];
+        // Park everything far away; overlap only the pair of interest.
+        for (k, p) in pos.iter_mut().enumerate() {
+            p.x = 100.0 + k as f64 * 10.0;
+        }
+        pos[i] = Point::new(-0.1, 0.0);
+        pos[j] = Point::new(0.1, 0.0);
+        let (_, grad) = force.energy_grad(&pos);
+        // Descending separates: left instance must move −x (positive grad).
+        assert!(grad[i] > 0.0, "grad_i.x = {}", grad[i]);
+        assert!(grad[j] < 0.0, "grad_j.x = {}", grad[j]);
+    }
+
+    #[test]
+    fn energy_decays_with_separation() {
+        let nl = netlist();
+        let force = FrequencyForce::new(&nl);
+        let (i, j) = resonant_pair(&nl);
+        let n = nl.num_instances();
+        let far = |d: f64| {
+            let mut pos = vec![Point::ORIGIN; n];
+            for (k, p) in pos.iter_mut().enumerate() {
+                p.x = 1000.0 + k as f64 * 50.0;
+            }
+            pos[i] = Point::new(0.0, 0.0);
+            pos[j] = Point::new(d, 0.0);
+            force.energy_grad(&pos).0
+        };
+        assert!(far(1.0) > far(2.0));
+        assert!(far(2.0) > far(5.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let nl = netlist();
+        let force = FrequencyForce::new(&nl);
+        let n = nl.num_instances();
+        let pos: Vec<Point> = (0..n)
+            .map(|k| Point::new((k as f64 * 0.7).sin() * 3.0, (k as f64 * 1.3).cos() * 3.0))
+            .collect();
+        let (_, grad) = force.energy_grad(&pos);
+        let h = 1e-6;
+        for k in (0..n).step_by(7) {
+            let mut plus = pos.clone();
+            plus[k].x += h;
+            let mut minus = pos.clone();
+            minus[k].x -= h;
+            let fd = (force.energy_grad(&plus).0 - force.energy_grad(&minus).0) / (2.0 * h);
+            assert!(
+                (fd - grad[k]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "x-grad {k}: fd {fd} vs {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_force_between_detuned_instances() {
+        // A device with a single edge: the two qubits get distinct slots,
+        // the segments belong to one resonator (excluded), so the only
+        // possible interactions are qubit-vs-segment (different bands,
+        // never resonant). The collision map must be empty.
+        let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        let force = FrequencyForce::new(&nl);
+        assert_eq!(force.interaction_count(), 0);
+        let pos = vec![Point::ORIGIN; nl.num_instances()];
+        let (e, grad) = force.energy_grad(&pos);
+        assert_eq!(e, 0.0);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn softening_caps_coincident_force() {
+        let nl = netlist();
+        let force = FrequencyForce::new(&nl);
+        let (i, j) = resonant_pair(&nl);
+        let n = nl.num_instances();
+        let mut pos = vec![Point::ORIGIN; n];
+        for (k, p) in pos.iter_mut().enumerate() {
+            p.y = 500.0 + k as f64 * 10.0;
+        }
+        pos[i] = Point::ORIGIN;
+        pos[j] = Point::ORIGIN; // exactly coincident
+        let (e, grad) = force.energy_grad(&pos);
+        assert!(e.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,421 @@
+//! The global placement loop (Eq. 14 and §IV-C1).
+
+use std::time::Instant;
+
+use qplacer_geometry::Point;
+use qplacer_netlist::QuantumNetlist;
+use qplacer_numeric::NesterovSolver;
+use serde::{Deserialize, Serialize};
+
+use crate::{exact_hpwl, DensityModel, FrequencyForce, WirelengthModel};
+
+/// Placement engine configuration.
+///
+/// Defaults follow the paper's setup; [`PlacerConfig::fast`] is a reduced
+/// configuration for tests, and [`PlacerConfig::classic`] disables the
+/// frequency force to reproduce the "Classic" baseline placer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Iterations before the overflow stop is consulted.
+    pub min_iterations: usize,
+    /// Stop once density overflow falls below this fraction.
+    pub target_overflow: f64,
+    /// Per-iteration growth of the density penalty λ.
+    pub lambda_growth: f64,
+    /// Initial frequency penalty relative to the density penalty scale.
+    pub freq_weight: f64,
+    /// Per-iteration growth of the frequency penalty λ_f.
+    pub freq_growth: f64,
+    /// `true` = QPlacer (frequency repulsion on); `false` = Classic.
+    pub frequency_aware: bool,
+    /// Wirelength smoothing γ as a fraction of the region width.
+    pub gamma_fraction: f64,
+    /// Initial optimizer step as a fraction of the region width.
+    pub step_fraction: f64,
+    /// Bin grid override (power of two); `None` picks automatically.
+    pub bins: Option<usize>,
+}
+
+impl PlacerConfig {
+    /// Paper-faithful configuration (frequency-aware).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            max_iterations: 700,
+            min_iterations: 60,
+            target_overflow: 0.07,
+            lambda_growth: 1.05,
+            freq_weight: 1.0,
+            freq_growth: 1.05,
+            frequency_aware: true,
+            gamma_fraction: 0.01,
+            step_fraction: 1e-3,
+            bins: None,
+        }
+    }
+
+    /// The Classic baseline: the same engine and hyper-parameters with the
+    /// frequency force disabled (§V-B).
+    #[must_use]
+    pub fn classic() -> Self {
+        Self {
+            frequency_aware: false,
+            ..Self::paper()
+        }
+    }
+
+    /// Reduced configuration for unit tests: small bin grid, few
+    /// iterations.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            max_iterations: 200,
+            min_iterations: 30,
+            target_overflow: 0.12,
+            bins: Some(32),
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Outcome of a global placement run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final density overflow.
+    pub final_overflow: f64,
+    /// Exact half-perimeter wirelength of the result (mm).
+    pub hpwl: f64,
+    /// Final frequency-repulsion energy (0 when the force is disabled or
+    /// no collisions exist).
+    pub freq_energy: f64,
+    /// Wall-clock seconds spent in the optimization loop.
+    pub elapsed_seconds: f64,
+    /// Seconds per iteration (Table II's "Avg" column).
+    pub seconds_per_iteration: f64,
+    /// Overflow trace sampled every few iterations: `(iteration, overflow)`.
+    pub overflow_trace: Vec<(usize, f64)>,
+}
+
+/// The frequency-aware electrostatic global placer.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_freq::FrequencyAssigner;
+/// use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+/// use qplacer_place::{GlobalPlacer, PlacerConfig};
+/// use qplacer_topology::Topology;
+///
+/// let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+/// let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+/// let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+/// let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut netlist);
+/// assert!(report.final_overflow.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalPlacer {
+    config: PlacerConfig,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    #[must_use]
+    pub fn new(config: PlacerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Runs global placement, writing optimized positions back into
+    /// `netlist` and returning a [`PlacementReport`].
+    pub fn run(&self, netlist: &mut QuantumNetlist) -> PlacementReport {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let region = netlist.region();
+        let n = netlist.num_instances();
+
+        let wl = WirelengthModel::new((cfg.gamma_fraction * region.width()).max(1e-4));
+        let density = match cfg.bins {
+            Some(m) => DensityModel::new(region, m, m),
+            None => DensityModel::for_netlist(netlist),
+        };
+        let freq = cfg.frequency_aware.then(|| FrequencyForce::new(netlist));
+
+        // Preconditioner: net degree + area charge per instance.
+        let mut degree = vec![0.0; n];
+        for net in netlist.nets() {
+            let (a, b) = net.endpoints();
+            degree[a] += net.weight();
+            degree[b] += net.weight();
+        }
+        let areas: Vec<f64> = netlist
+            .instances()
+            .iter()
+            .map(|inst| inst.padded_area())
+            .collect();
+
+        // Pack positions [x…, y…].
+        let mut x0 = Vec::with_capacity(2 * n);
+        x0.extend(netlist.positions().iter().map(|p| p.x));
+        x0.extend(netlist.positions().iter().map(|p| p.y));
+        let mut solver = NesterovSolver::new(x0, cfg.step_fraction * region.width());
+
+        let unpack = |flat: &[f64]| -> Vec<Point> {
+            (0..n).map(|i| Point::new(flat[i], flat[n + i])).collect()
+        };
+
+        let mut lambda = 0.0;
+        let mut lambda_f = 0.0;
+        let mut initialized = false;
+        let mut iterations = 0;
+        let mut freq_energy = 0.0;
+        let mut trace = Vec::new();
+
+        for iter in 0..cfg.max_iterations {
+            let positions = unpack(solver.reference());
+            let (_ewl, gwl) = wl.energy_grad(netlist, &positions);
+            let (_ed, gd) = density.energy_grad(netlist, &positions);
+            let (ef, gf) = match &freq {
+                Some(f) => f.energy_grad(&positions),
+                None => (0.0, vec![0.0; 2 * n]),
+            };
+            freq_energy = ef;
+
+            if !initialized {
+                let norm = |g: &[f64]| g.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+                lambda = norm(&gwl) / norm(&gd);
+                let gf_norm = gf.iter().map(|v| v.abs()).sum::<f64>();
+                lambda_f = if gf_norm > 1e-12 {
+                    cfg.freq_weight * norm(&gwl) / gf_norm
+                } else {
+                    0.0
+                };
+                initialized = true;
+            }
+
+            let mut grad = vec![0.0; 2 * n];
+            for i in 0..2 * n {
+                let inst = i % n;
+                let precond = (degree[inst] + lambda * areas[inst]).max(1e-6);
+                grad[i] = (gwl[i] + lambda * gd[i] + lambda_f * gf[i]) / precond;
+            }
+            solver.step(&grad);
+
+            // Clamp into the region (keeps footprints inside).
+            let inst_rects: Vec<(f64, f64)> = netlist
+                .instances()
+                .iter()
+                .map(|inst| (inst.padded_mm(), inst.padded_mm()))
+                .collect();
+            solver.override_position(|flat| {
+                for i in 0..n {
+                    let (w, h) = inst_rects[i];
+                    let hw = 0.5 * w;
+                    let hh = 0.5 * h;
+                    flat[i] = flat[i].clamp(region.min.x + hw, region.max.x - hw);
+                    flat[n + i] = flat[n + i].clamp(region.min.y + hh, region.max.y - hh);
+                }
+            });
+
+            lambda *= cfg.lambda_growth;
+            lambda_f *= cfg.freq_growth;
+            iterations = iter + 1;
+
+            if iter % 5 == 0 || iter + 1 == cfg.max_iterations {
+                let pos_now = unpack(solver.position());
+                let overflow = density.overflow(netlist, &pos_now);
+                trace.push((iter, overflow));
+                if iter >= cfg.min_iterations && overflow < cfg.target_overflow {
+                    break;
+                }
+            }
+        }
+
+        let final_positions = unpack(solver.position());
+        netlist.set_positions(&final_positions);
+        let hpwl = exact_hpwl(netlist, &final_positions);
+        let elapsed = start.elapsed().as_secs_f64();
+        let overflow = density.overflow(netlist, &final_positions);
+
+        PlacementReport {
+            iterations,
+            final_overflow: overflow,
+            hpwl,
+            freq_energy,
+            elapsed_seconds: elapsed,
+            seconds_per_iteration: elapsed / iterations.max(1) as f64,
+            overflow_trace: trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    fn build(t: &Topology) -> QuantumNetlist {
+        let freqs = FrequencyAssigner::paper_defaults().assign(t);
+        QuantumNetlist::build(t, &freqs, &NetlistConfig::with_segment_size(0.4))
+    }
+
+    #[test]
+    fn placement_reduces_overflow() {
+        let t = Topology::grid(3, 3);
+        let mut nl = build(&t);
+        let density = DensityModel::new(nl.region(), 32, 32);
+        let before = density.overflow(&nl, nl.positions());
+        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        assert!(
+            report.final_overflow < before * 0.5,
+            "overflow {} -> {}",
+            before,
+            report.final_overflow
+        );
+    }
+
+    #[test]
+    fn instances_stay_inside_region() {
+        let t = Topology::grid(3, 3);
+        let mut nl = build(&t);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let region = nl.region();
+        for inst in nl.instances() {
+            let r = nl.padded_rect(inst.id());
+            assert!(
+                region.inflated(1e-6).contains_rect(&r),
+                "instance {} escaped: {r}",
+                inst.id()
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_aware_separates_resonant_qubits_better() {
+        let t = Topology::grid(3, 3);
+
+        let mut aware = build(&t);
+        let mut classic = aware.clone();
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut aware);
+        let mut cfg = PlacerConfig::fast();
+        cfg.frequency_aware = false;
+        let _ = GlobalPlacer::new(cfg).run(&mut classic);
+
+        // Average clearance between near-resonant pairs should be larger
+        // (or at least not worse) under the frequency-aware engine.
+        let mean_resonant_gap = |nl: &QuantumNetlist| {
+            let map = nl.collision_map();
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (i, partners) in map.iter().enumerate() {
+                for &j in partners {
+                    if j > i {
+                        total += nl.position(i).distance(nl.position(j));
+                        count += 1;
+                    }
+                }
+            }
+            total / count.max(1) as f64
+        };
+        let g_aware = mean_resonant_gap(&aware);
+        let g_classic = mean_resonant_gap(&classic);
+        assert!(
+            g_aware > g_classic * 0.95,
+            "aware {g_aware} vs classic {g_classic}"
+        );
+    }
+
+    #[test]
+    fn classic_config_disables_force() {
+        let cfg = PlacerConfig::classic();
+        assert!(!cfg.frequency_aware);
+        assert_eq!(cfg.max_iterations, PlacerConfig::paper().max_iterations);
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let t = Topology::from_edges("tri", 3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut nl = build(&t);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        assert!(report.iterations >= 1);
+        assert!(report.elapsed_seconds > 0.0);
+        assert!(report.seconds_per_iteration <= report.elapsed_seconds);
+        assert!(!report.overflow_trace.is_empty());
+        assert!(report.hpwl > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let t = Topology::grid(2, 2);
+        let mut a = build(&t);
+        let mut b = a.clone();
+        let ra = GlobalPlacer::new(PlacerConfig::fast()).run(&mut a);
+        let rb = GlobalPlacer::new(PlacerConfig::fast()).run(&mut b);
+        assert_eq!(ra.iterations, rb.iterations);
+        assert_eq!(a.positions(), b.positions());
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::NetlistConfig;
+    use qplacer_topology::Topology;
+
+    #[test]
+    fn overflow_trace_trends_downward() {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
+        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let trace = &report.overflow_trace;
+        assert!(trace.len() >= 2);
+        // The penalty schedule must reduce overflow substantially from the
+        // centered start to the end (not necessarily monotonically).
+        let first = trace.first().unwrap().1;
+        let last = trace.last().unwrap().1;
+        assert!(
+            last < 0.7 * first,
+            "overflow barely moved: {first} -> {last}"
+        );
+        // Iterations in the trace are strictly increasing.
+        assert!(trace.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = PlacerConfig::paper();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PlacerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PlacementReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.iterations, back.iterations);
+        assert_eq!(report.overflow_trace.len(), back.overflow_trace.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! Smooth wirelength objective `W(x, y)` (Eq. 12).
+//!
+//! All QPlacer nets are 2-pin chains, so the half-perimeter wirelength of
+//! a net is `|Δx| + |Δy|`. The engine needs a differentiable surrogate;
+//! we use the softabs model `√(Δ² + γ²) − γ` per axis, which matches HPWL
+//! to within `γ` and has gradient `Δ/√(Δ² + γ²)` — the 2-pin
+//! specialization of the weighted-average model used by ePlace.
+
+use qplacer_geometry::Point;
+use qplacer_netlist::QuantumNetlist;
+
+/// Smooth wirelength model with smoothing parameter γ (mm).
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_place::WirelengthModel;
+/// let wl = WirelengthModel::new(0.1);
+/// assert!(wl.gamma() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WirelengthModel {
+    gamma: f64,
+}
+
+impl WirelengthModel {
+    /// Creates a model with smoothing γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not positive.
+    #[must_use]
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        Self { gamma }
+    }
+
+    /// The smoothing parameter.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Smooth wirelength of the netlist at `positions` and its gradient
+    /// with respect to every instance coordinate. The gradient layout is
+    /// `[∂x₀…∂x_{n−1}, ∂y₀…∂y_{n−1}]`.
+    #[must_use]
+    pub fn energy_grad(&self, netlist: &QuantumNetlist, positions: &[Point]) -> (f64, Vec<f64>) {
+        let n = positions.len();
+        let mut grad = vec![0.0; 2 * n];
+        let mut energy = 0.0;
+        for net in netlist.nets() {
+            let (a, b) = net.endpoints();
+            let w = net.weight();
+            let dx = positions[a].x - positions[b].x;
+            let dy = positions[a].y - positions[b].y;
+            let (ex, gx) = softabs(dx, self.gamma);
+            let (ey, gy) = softabs(dy, self.gamma);
+            energy += w * (ex + ey);
+            grad[a] += w * gx;
+            grad[b] -= w * gx;
+            grad[n + a] += w * gy;
+            grad[n + b] -= w * gy;
+        }
+        (energy, grad)
+    }
+}
+
+/// `softabs(d) = √(d² + γ²) − γ` and its derivative.
+fn softabs(d: f64, gamma: f64) -> (f64, f64) {
+    let r = (d * d + gamma * gamma).sqrt();
+    (r - gamma, d / r)
+}
+
+/// Exact (non-smooth) half-perimeter wirelength of the netlist at
+/// `positions` — the reporting metric.
+///
+/// # Examples
+///
+/// ```
+/// # use qplacer_freq::FrequencyAssigner;
+/// # use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+/// # use qplacer_topology::Topology;
+/// use qplacer_place::exact_hpwl;
+/// # let device = Topology::grid(2, 2);
+/// # let freqs = FrequencyAssigner::paper_defaults().assign(&device);
+/// # let netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
+/// let hpwl = exact_hpwl(&netlist, netlist.positions());
+/// assert!(hpwl >= 0.0);
+/// ```
+#[must_use]
+pub fn exact_hpwl(netlist: &QuantumNetlist, positions: &[Point]) -> f64 {
+    netlist
+        .nets()
+        .iter()
+        .map(|net| {
+            let (a, b) = net.endpoints();
+            net.weight()
+                * ((positions[a].x - positions[b].x).abs()
+                    + (positions[a].y - positions[b].y).abs())
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+    use qplacer_topology::Topology;
+
+    fn small_netlist() -> QuantumNetlist {
+        let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
+    }
+
+    #[test]
+    fn softabs_limits() {
+        let (e0, g0) = softabs(0.0, 0.1);
+        assert_eq!(e0, 0.0);
+        assert_eq!(g0, 0.0);
+        let (e, g) = softabs(10.0, 0.1);
+        assert!((e - 10.0).abs() < 0.1);
+        assert!((g - 1.0).abs() < 1e-3);
+        let (en, gn) = softabs(-10.0, 0.1);
+        assert_eq!(en, e);
+        assert!((gn + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let nl = small_netlist();
+        let model = WirelengthModel::new(0.05);
+        let mut pos: Vec<Point> = nl.positions().to_vec();
+        // Spread things out deterministically.
+        for (i, p) in pos.iter_mut().enumerate() {
+            p.x += (i as f64 * 0.37).sin();
+            p.y += (i as f64 * 0.53).cos();
+        }
+        let (_, grad) = model.energy_grad(&nl, &pos);
+        let h = 1e-6;
+        let n = pos.len();
+        for i in (0..n).step_by(3) {
+            let mut plus = pos.clone();
+            plus[i].x += h;
+            let mut minus = pos.clone();
+            minus[i].x -= h;
+            let fd = (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0)
+                / (2.0 * h);
+            assert!(
+                (fd - grad[i]).abs() < 1e-5,
+                "x-grad {i}: fd {fd} vs analytic {}",
+                grad[i]
+            );
+            let mut plus = pos.clone();
+            plus[i].y += h;
+            let mut minus = pos.clone();
+            minus[i].y -= h;
+            let fd = (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0)
+                / (2.0 * h);
+            assert!(
+                (fd - grad[n + i]).abs() < 1e-5,
+                "y-grad {i}: fd {fd} vs analytic {}",
+                grad[n + i]
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_approaches_exact_for_long_nets() {
+        let nl = small_netlist();
+        let model = WirelengthModel::new(0.01);
+        let mut pos: Vec<Point> = nl.positions().to_vec();
+        for (i, p) in pos.iter_mut().enumerate() {
+            p.x = i as f64 * 2.0;
+            p.y = -(i as f64);
+        }
+        let (smooth, _) = model.energy_grad(&nl, &pos);
+        let exact = exact_hpwl(&nl, &pos);
+        assert!((smooth - exact).abs() / exact < 0.05);
+        assert!(smooth <= exact + 1e-9, "softabs underestimates");
+    }
+
+    #[test]
+    fn collinear_shrink_reduces_energy() {
+        let nl = small_netlist();
+        let model = WirelengthModel::new(0.05);
+        let spread: Vec<Point> = (0..nl.num_instances())
+            .map(|i| Point::new(i as f64, 0.0))
+            .collect();
+        let tight: Vec<Point> = (0..nl.num_instances())
+            .map(|i| Point::new(i as f64 * 0.1, 0.0))
+            .collect();
+        assert!(model.energy_grad(&nl, &tight).0 < model.energy_grad(&nl, &spread).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn zero_gamma_panics() {
+        let _ = WirelengthModel::new(0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-die chiplet topologies (paper §VII: "the concept of a quantum
+//! chiplet model has been introduced as a potential solution to these
+//! scalability issues", citing Smith et al., MICRO'22).
+//!
+//! A chiplet device tiles copies of a template die on a `rows × cols`
+//! grid and couples adjacent dies with a configurable number of
+//! inter-chip links. Each die keeps the template's internal coupling map;
+//! link endpoints are the qubits of the facing dies that sit closest to
+//! the shared boundary in the template's canonical coordinates.
+
+use crate::graph::{DeviceClass, Topology};
+
+impl Topology {
+    /// Builds a `rows × cols` chiplet array of `die` templates with
+    /// `links_per_edge` couplings between adjacent dies.
+    ///
+    /// Qubit `q` of die `(r, c)` becomes global qubit
+    /// `(r·cols + c)·die.num_qubits() + q`. Canonical coordinates are
+    /// offset per die with one grid unit of inter-die spacing so that the
+    /// Human baseline and artwork render chiplets with visible seams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty, the die has no coordinates, or
+    /// `links_per_edge` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let quad = Topology::chiplet(&Topology::falcon27(), 2, 2, 2);
+    /// assert_eq!(quad.num_qubits(), 4 * 27);
+    /// // 4 dies × 28 internal + 4 adjacent pairs × 2 links.
+    /// assert_eq!(quad.num_edges(), 4 * 28 + 4 * 2);
+    /// assert!(quad.is_connected());
+    /// ```
+    #[must_use]
+    pub fn chiplet(die: &Topology, rows: usize, cols: usize, links_per_edge: usize) -> Topology {
+        assert!(rows > 0 && cols > 0, "chiplet grid must be non-empty");
+        assert!(links_per_edge > 0, "need at least one inter-die link");
+        let coords = die
+            .coords()
+            .expect("chiplet dies need canonical coordinates");
+        let nq = die.num_qubits();
+
+        // Die extents for coordinate offsetting.
+        let (mut w, mut h) = (0.0f64, 0.0f64);
+        for &(x, y) in coords {
+            w = w.max(x);
+            h = h.max(y);
+        }
+        let pitch_x = w + 2.0; // one unit of seam each side
+        let pitch_y = h + 2.0;
+
+        let die_base = |r: usize, c: usize| (r * cols + c) * nq;
+
+        let mut edges = Vec::new();
+        let mut all_coords = vec![(0.0, 0.0); rows * cols * nq];
+        for r in 0..rows {
+            for c in 0..cols {
+                let base = die_base(r, c);
+                for &(a, b) in die.edges() {
+                    edges.push((base + a, base + b));
+                }
+                for (q, &(x, y)) in coords.iter().enumerate() {
+                    all_coords[base + q] =
+                        (x + c as f64 * pitch_x, y + r as f64 * pitch_y);
+                }
+            }
+        }
+
+        // Inter-die links: pair the `links_per_edge` boundary-nearest
+        // qubits of the facing sides, in boundary order.
+        let side = |pred: &dyn Fn(f64, f64) -> f64, asc: bool| -> Vec<usize> {
+            let mut qubits: Vec<usize> = (0..nq).collect();
+            qubits.sort_by(|&a, &b| {
+                let ka = pred(coords[a].0, coords[a].1);
+                let kb = pred(coords[b].0, coords[b].1);
+                if asc {
+                    ka.total_cmp(&kb)
+                } else {
+                    kb.total_cmp(&ka)
+                }
+            });
+            qubits.truncate(links_per_edge);
+            qubits.sort_unstable();
+            qubits
+        };
+        let right_side = side(&|x, _| x, false); // max x
+        let left_side = side(&|x, _| x, true); // min x
+        let top_side = side(&|_, y| y, false); // max y
+        let bottom_side = side(&|_, y| y, true); // min y
+
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    let a = die_base(r, c);
+                    let b = die_base(r, c + 1);
+                    for (&qa, &qb) in right_side.iter().zip(&left_side) {
+                        edges.push((a + qa, b + qb));
+                    }
+                }
+                if r + 1 < rows {
+                    let a = die_base(r, c);
+                    let b = die_base(r + 1, c);
+                    for (&qa, &qb) in top_side.iter().zip(&bottom_side) {
+                        edges.push((a + qa, b + qb));
+                    }
+                }
+            }
+        }
+
+        Topology::build(
+            format!("Chiplet-{}x{}-{}", rows, cols, die.name()),
+            DeviceClass::Custom,
+            rows * cols * nq,
+            edges,
+        )
+        .expect("chiplet generator produces valid edges")
+        .with_coords(all_coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_die_chiplet_is_the_die() {
+        let die = Topology::falcon27();
+        let chip = Topology::chiplet(&die, 1, 1, 2);
+        assert_eq!(chip.num_qubits(), die.num_qubits());
+        assert_eq!(chip.num_edges(), die.num_edges());
+    }
+
+    #[test]
+    fn edge_counts_scale_with_dies_and_links() {
+        let die = Topology::grid(3, 3);
+        for links in 1..=3 {
+            let chip = Topology::chiplet(&die, 2, 3, links);
+            assert_eq!(chip.num_qubits(), 6 * 9);
+            // 6 dies × 12 internal + (horizontal 2·2 + vertical 3) seams.
+            let seams = 2 * 2 + 3;
+            assert_eq!(chip.num_edges(), 6 * 12 + seams * links);
+            assert!(chip.is_connected());
+        }
+    }
+
+    #[test]
+    fn coordinates_do_not_collide_across_dies() {
+        let chip = Topology::chiplet(&Topology::falcon27(), 2, 2, 2);
+        let coords = chip.coords().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y) in coords {
+            assert!(seen.insert((x.to_bits(), y.to_bits())));
+        }
+    }
+
+    #[test]
+    fn links_attach_to_boundary_qubits() {
+        let die = Topology::grid(3, 3);
+        let chip = Topology::chiplet(&die, 1, 2, 2);
+        // Horizontal links connect max-x qubits of die 0 (cols x=2: qubits
+        // 2,5,8) to min-x qubits of die 1 (x=0: 0,3,6).
+        let inter: Vec<(usize, usize)> = chip
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| (a < 9) != (b < 9))
+            .collect();
+        assert_eq!(inter.len(), 2);
+        for (a, b) in inter {
+            let (local_a, local_b) = (a % 9, b % 9);
+            assert_eq!(local_a % 3, 2, "left endpoint on the right boundary");
+            assert_eq!(local_b % 3, 0, "right endpoint on the left boundary");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Generators for the paper's device topologies (Table I).
+
+use crate::graph::{DeviceClass, Topology};
+
+impl Topology {
+    /// A `width × height` grid lattice — the QEC-friendly architecture
+    /// (Table I row "Grid"; the paper uses 5×5 = 25 qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let g = Topology::grid(5, 5);
+    /// assert_eq!(g.num_qubits(), 25);
+    /// assert_eq!(g.num_edges(), 40);
+    /// ```
+    #[must_use]
+    pub fn grid(width: usize, height: usize) -> Topology {
+        assert!(width > 0 && height > 0, "grid dims must be positive");
+        let idx = |x: usize, y: usize| y * width + x;
+        let mut edges = Vec::new();
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < height {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        let coords = (0..width * height)
+            .map(|q| ((q % width) as f64, (q / width) as f64))
+            .collect();
+        Topology::build(
+            format!("Grid-{}x{}", width, height),
+            DeviceClass::Grid,
+            width * height,
+            edges,
+        )
+        .expect("grid generator produces valid edges")
+        .with_coords(coords)
+    }
+
+    /// The IBM Falcon 27-qubit heavy-hexagon processor (Table I row
+    /// "Heavy Hex 27"), using the standard Falcon-r4 coupling map.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let f = Topology::falcon27();
+    /// assert_eq!((f.num_qubits(), f.num_edges()), (27, 28));
+    /// assert!(f.max_degree() <= 3);
+    /// ```
+    #[must_use]
+    pub fn falcon27() -> Topology {
+        const EDGES: [(usize, usize); 28] = [
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ];
+        // Canonical IBM rendering: two long rows (y = 0 and y = 2) joined
+        // by connector qubits, with pendant qubits hanging at y = 1 / y = 3.
+        const COORDS: [(f64, f64); 27] = [
+            (0.0, 0.0),  // 0
+            (1.0, 0.0),  // 1
+            (1.0, 1.0),  // 2 (connector 1-3)
+            (1.0, 2.0),  // 3
+            (2.0, 0.0),  // 4
+            (2.0, 2.0),  // 5
+            (3.0, 1.0),  // 6 (pendant on 7)
+            (3.0, 0.0),  // 7
+            (3.0, 2.0),  // 8
+            (3.0, 3.0),  // 9 (pendant on 8)
+            (4.0, 0.0),  // 10
+            (4.0, 2.0),  // 11
+            (5.0, 0.0),  // 12
+            (5.0, 1.0),  // 13 (connector 12-14)
+            (5.0, 2.0),  // 14
+            (6.0, 0.0),  // 15
+            (6.0, 2.0),  // 16
+            (7.0, 1.0),  // 17 (pendant on 18)
+            (7.0, 0.0),  // 18
+            (7.0, 2.0),  // 19
+            (7.0, 3.0),  // 20 (pendant on 19)
+            (8.0, 0.0),  // 21
+            (8.0, 2.0),  // 22
+            (9.0, 0.0),  // 23
+            (9.0, 1.0),  // 24 (connector 23-25)
+            (9.0, 2.0),  // 25
+            (10.0, 2.0), // 26
+        ];
+        Topology::build("Falcon".into(), DeviceClass::HeavyHex, 27, EDGES)
+            .expect("falcon map is valid")
+            .with_coords(COORDS.to_vec())
+    }
+
+    /// The IBM Eagle 127-qubit heavy-hexagon processor (Table I row
+    /// "Heavy Hex 127"), constructed with the `ibm_washington` row/bridge
+    /// pattern: seven horizontal chains (14/15/…/15/14 qubits) joined by
+    /// 24 bridge qubits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let e = Topology::eagle127();
+    /// assert_eq!((e.num_qubits(), e.num_edges()), (127, 144));
+    /// assert!(e.is_connected());
+    /// ```
+    #[must_use]
+    pub fn eagle127() -> Topology {
+        let mut edges = Vec::new();
+        // Row start indices and lengths (rows are chains; between
+        // consecutive rows sit 4 bridge qubits).
+        let rows: [(usize, usize); 7] = [
+            (0, 14),
+            (18, 15),
+            (37, 15),
+            (56, 15),
+            (75, 15),
+            (94, 15),
+            (113, 14),
+        ];
+        let bridges: [usize; 6] = [14, 33, 52, 71, 90, 109];
+        for &(start, len) in &rows {
+            for i in 0..len - 1 {
+                edges.push((start + i, start + i + 1));
+            }
+        }
+        // Bridge k of band b sits at column 4k (even bands) or 4k+2 (odd
+        // bands) — the heavy-hex offset alternation of ibm_washington. The
+        // last row is one shorter and shifted left by one column, so the
+        // final band's lower attachment is at column 4k+1.
+        let mut coords = vec![(0.0, 0.0); 127];
+        for (r, &(start, len)) in rows.iter().enumerate() {
+            // The last (short) row is shifted one column right, matching
+            // ibm_washington's rendering.
+            let shift = if r == rows.len() - 1 { 1.0 } else { 0.0 };
+            for i in 0..len {
+                coords[start + i] = (i as f64 + shift, 2.0 * r as f64);
+            }
+        }
+        for (b, &bstart) in bridges.iter().enumerate() {
+            let (up_start, _) = rows[b];
+            let (down_start, down_len) = rows[b + 1];
+            for k in 0..4 {
+                let bridge = bstart + k;
+                let col = if b % 2 == 0 { 4 * k } else { 4 * k + 2 };
+                let down_col = if down_len == 14 && b % 2 == 1 {
+                    col - 1
+                } else {
+                    col
+                };
+                edges.push((up_start + col, bridge));
+                edges.push((bridge, down_start + down_col));
+                coords[bridge] = (col as f64, 2.0 * b as f64 + 1.0);
+            }
+        }
+        Topology::build("Eagle".into(), DeviceClass::HeavyHex, 127, edges)
+            .expect("eagle map is valid")
+            .with_coords(coords)
+    }
+
+    /// A Rigetti Aspen-style octagon lattice with `rows × cols` eight-qubit
+    /// octagon cells (Table I rows "Octagon 40"/"Octagon 80": Aspen-11 is
+    /// 1×5, Aspen-M is 2×5).
+    ///
+    /// Within a cell, qubits 0–7 form a ring laid out as an octagon.
+    /// Horizontally adjacent cells connect via two couplers (the right-side
+    /// ring positions 2,3 to the left-side positions 7,6); vertically
+    /// adjacent cells via two couplers (bottom positions 4,5 to top
+    /// positions 1,0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let aspen11 = Topology::aspen(1, 5);
+    /// assert_eq!((aspen11.num_qubits(), aspen11.num_edges()), (40, 48));
+    /// let aspen_m = Topology::aspen(2, 5);
+    /// assert_eq!((aspen_m.num_qubits(), aspen_m.num_edges()), (80, 106));
+    /// ```
+    #[must_use]
+    pub fn aspen(rows: usize, cols: usize) -> Topology {
+        assert!(rows > 0 && cols > 0, "octagon lattice dims must be positive");
+        let cell = |r: usize, c: usize| (r * cols + c) * 8;
+        // Octagon ring positions (clockwise from top-left) within a 3×3
+        // cell block; blocks tile at pitch 4 so facing nodes sit one unit
+        // apart.
+        const RING: [(f64, f64); 8] = [
+            (1.0, 0.0), // 0 top-left
+            (2.0, 0.0), // 1 top-right
+            (3.0, 1.0), // 2 right-top
+            (3.0, 2.0), // 3 right-bottom
+            (2.0, 3.0), // 4 bottom-right
+            (1.0, 3.0), // 5 bottom-left
+            (0.0, 2.0), // 6 left-bottom
+            (0.0, 1.0), // 7 left-top
+        ];
+        let mut edges = Vec::new();
+        let mut coords = vec![(0.0, 0.0); rows * cols * 8];
+        for r in 0..rows {
+            for c in 0..cols {
+                let base = cell(r, c);
+                for (i, &(dx, dy)) in RING.iter().enumerate() {
+                    edges.push((base + i, base + (i + 1) % 8));
+                    coords[base + i] = (4.0 * c as f64 + dx, 4.0 * r as f64 + dy);
+                }
+                if c + 1 < cols {
+                    let right = cell(r, c + 1);
+                    edges.push((base + 2, right + 7));
+                    edges.push((base + 3, right + 6));
+                }
+                if r + 1 < rows {
+                    let below = cell(r + 1, c);
+                    edges.push((base + 4, below + 1));
+                    edges.push((base + 5, below + 0));
+                }
+            }
+        }
+        let n = rows * cols * 8;
+        let name = match (rows, cols) {
+            (1, 5) => "Aspen-11".to_string(),
+            (2, 5) => "Aspen-M".to_string(),
+            _ => format!("Octagon-{}x{}", rows, cols),
+        };
+        Topology::build(name, DeviceClass::Octagon, n, edges)
+            .expect("octagon generator produces valid edges")
+            .with_coords(coords)
+    }
+
+    /// A Pauli-string-efficient X-tree (Table I row "Xtree"): a rooted tree
+    /// where the root has `root_branch` children and every other internal
+    /// node has `branch` children, to a depth of `levels`.
+    ///
+    /// The paper's "Level 3" 53-qubit device is `xtree(4, 3, 3)`:
+    /// 1 + 4 + 12 + 36 = 53 qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root_branch` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let x = Topology::xtree(4, 3, 3);
+    /// assert_eq!(x.num_qubits(), 53);
+    /// assert_eq!(x.num_edges(), 52); // a tree
+    /// ```
+    #[must_use]
+    pub fn xtree(root_branch: usize, branch: usize, levels: usize) -> Topology {
+        assert!(root_branch > 0, "root branch factor must be positive");
+        let mut edges = Vec::new();
+        let mut next_id = 1usize;
+        let mut frontier = vec![0usize];
+        let mut parents = vec![usize::MAX];
+        for level in 0..levels {
+            let fan = if level == 0 { root_branch } else { branch };
+            let mut next_frontier = Vec::new();
+            for &parent in &frontier {
+                for _ in 0..fan {
+                    edges.push((parent, next_id));
+                    parents.push(parent);
+                    next_frontier.push(next_id);
+                    next_id += 1;
+                }
+            }
+            frontier = next_frontier;
+        }
+        // Tree layout: leaves spread along x, parents centered over their
+        // children, levels stacked in y.
+        let n = next_id;
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (v, &p) in parents.iter().enumerate().skip(1) {
+            children[p].push(v);
+        }
+        let mut coords = vec![(0.0, 0.0); n];
+        let mut next_leaf_x = 0.0;
+        // Nodes are created in BFS order, so a reverse sweep sees children
+        // before parents.
+        let mut depth = vec![0usize; n];
+        for v in 1..n {
+            depth[v] = depth[parents[v]] + 1;
+        }
+        for v in (0..n).rev() {
+            let x = if children[v].is_empty() {
+                let x = next_leaf_x;
+                next_leaf_x += 1.0;
+                x
+            } else {
+                let sum: f64 = children[v].iter().map(|&c| coords[c].0).sum();
+                sum / children[v].len() as f64
+            };
+            coords[v] = (x, depth[v] as f64);
+        }
+        // Reverse order handed leaves right-to-left; mirror for aesthetics.
+        let max_x = coords.iter().map(|c| c.0).fold(0.0, f64::max);
+        for c in &mut coords {
+            c.0 = max_x - c.0;
+        }
+        Topology::build(format!("Xtree-{}", n), DeviceClass::Xtree, n, edges)
+            .expect("xtree generator produces valid edges")
+            .with_coords(coords)
+    }
+
+    /// All six paper topologies in Table I order:
+    /// Grid-25, Falcon-27, Eagle-127, Aspen-11, Aspen-M, Xtree-53.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let all = Topology::paper_suite();
+    /// assert_eq!(all.len(), 6);
+    /// let qubits: Vec<usize> = all.iter().map(|t| t.num_qubits()).collect();
+    /// assert_eq!(qubits, vec![25, 27, 127, 40, 80, 53]);
+    /// ```
+    #[must_use]
+    pub fn paper_suite() -> Vec<Topology> {
+        vec![
+            Topology::grid(5, 5),
+            Topology::falcon27(),
+            Topology::eagle127(),
+            Topology::aspen(1, 5),
+            Topology::aspen(2, 5),
+            Topology::xtree(4, 3, 3),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = Topology::grid(5, 5);
+        assert_eq!(g.num_qubits(), 25);
+        assert_eq!(g.num_edges(), 40);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.is_connected());
+        // Corners have degree 2.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(24), 2);
+    }
+
+    #[test]
+    fn falcon_is_heavy_hex() {
+        let f = Topology::falcon27();
+        assert_eq!(f.num_qubits(), 27);
+        assert_eq!(f.num_edges(), 28);
+        assert!(f.is_connected());
+        assert!(f.max_degree() <= 3, "heavy-hex max degree is 3");
+    }
+
+    #[test]
+    fn eagle_matches_ibm_washington_shape() {
+        let e = Topology::eagle127();
+        assert_eq!(e.num_qubits(), 127);
+        assert_eq!(e.num_edges(), 144);
+        assert!(e.is_connected());
+        assert!(e.max_degree() <= 3, "heavy-hex max degree is 3");
+        // Every bridge qubit has degree exactly 2.
+        for bstart in [14usize, 33, 52, 71, 90, 109] {
+            for k in 0..4 {
+                assert_eq!(e.degree(bstart + k), 2, "bridge {}", bstart + k);
+            }
+        }
+    }
+
+    #[test]
+    fn aspen_counts() {
+        let a11 = Topology::aspen(1, 5);
+        assert_eq!((a11.num_qubits(), a11.num_edges()), (40, 48));
+        assert!(a11.is_connected());
+        assert_eq!(a11.name(), "Aspen-11");
+        let am = Topology::aspen(2, 5);
+        assert_eq!((am.num_qubits(), am.num_edges()), (80, 106));
+        assert!(am.is_connected());
+        assert_eq!(am.name(), "Aspen-M");
+        // Octagon lattice max degree is 3 (ring 2 + one inter-cell).
+        assert!(am.max_degree() <= 4);
+    }
+
+    #[test]
+    fn xtree_counts() {
+        let x = Topology::xtree(4, 3, 3);
+        assert_eq!(x.num_qubits(), 53);
+        assert_eq!(x.num_edges(), 52);
+        assert!(x.is_connected());
+        assert_eq!(x.degree(0), 4);
+        // Leaves have degree 1; there are 36 of them.
+        let leaves = (0..53).filter(|&q| x.degree(q) == 1).count();
+        assert_eq!(leaves, 36);
+    }
+
+    #[test]
+    fn trees_have_no_cycles() {
+        let x = Topology::xtree(4, 3, 3);
+        // |E| = |V| - 1 and connected => tree.
+        assert_eq!(x.num_edges(), x.num_qubits() - 1);
+        assert!(x.is_connected());
+    }
+
+    #[test]
+    fn canonical_coords_are_distinct_and_local() {
+        for t in Topology::paper_suite() {
+            let coords = t
+                .coords()
+                .unwrap_or_else(|| panic!("{} lacks coords", t.name()));
+            assert_eq!(coords.len(), t.num_qubits());
+            // All positions distinct.
+            let mut seen = std::collections::HashSet::new();
+            for &(x, y) in coords {
+                assert!(
+                    seen.insert((x.to_bits(), y.to_bits())),
+                    "{}: duplicate coordinate ({x}, {y})",
+                    t.name()
+                );
+            }
+            // Coupled qubits sit near each other on the canonical grid
+            // (trees spread leaves, so allow their parent links more slack).
+            let limit = if t.class() == DeviceClass::Xtree { 20.0 } else { 2.1 };
+            for &(a, b) in t.edges() {
+                let (ax, ay) = coords[a];
+                let (bx, by) = coords[b];
+                let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                assert!(
+                    d <= limit,
+                    "{}: edge ({a},{b}) spans {d} grid units",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_suite_matches_table_i() {
+        let suite = Topology::paper_suite();
+        let shape: Vec<(usize, usize)> = suite
+            .iter()
+            .map(|t| (t.num_qubits(), t.num_edges()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![(25, 40), (27, 28), (127, 144), (40, 48), (80, 106), (53, 52)]
+        );
+        for t in &suite {
+            assert!(t.is_connected(), "{} must be connected", t.name());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Quantum device connectivity topologies (paper Table I).
+//!
+//! A [`Topology`] is an undirected graph whose vertices are physical
+//! qubits and whose edges are qubit couplings — each edge is realized on
+//! chip by a bus resonator. The crate provides the six device families the
+//! paper evaluates:
+//!
+//! | Generator | Qubits | Paper description |
+//! |---|---|---|
+//! | [`Topology::grid`] (5×5) | 25 | QEC-friendly grid (Google Sycamore-style) |
+//! | [`Topology::falcon27`] | 27 | IBM Falcon heavy-hex |
+//! | [`Topology::eagle127`] | 127 | IBM Eagle heavy-hex |
+//! | [`Topology::aspen`] (1×5) | 40 | Rigetti Aspen-11 octagons |
+//! | [`Topology::aspen`] (2×5) | 80 | Rigetti Aspen-M octagons |
+//! | [`Topology::xtree`] (4,3,3) | 53 | Pauli-string-efficient X-tree |
+//!
+//! # Examples
+//!
+//! ```
+//! use qplacer_topology::Topology;
+//! let falcon = Topology::falcon27();
+//! assert_eq!(falcon.num_qubits(), 27);
+//! assert_eq!(falcon.num_edges(), 28);
+//! assert!(falcon.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chiplet;
+mod generators;
+mod graph;
+mod sampling;
+
+pub use graph::{DeviceClass, Topology, TopologyError};
+pub use sampling::random_connected_subset;

@@ -1,0 +1,139 @@
+//! Connected-subgraph sampling for benchmark mapping (§VI-A).
+//!
+//! The paper evaluates each (benchmark, device) pair on 50 random subsets
+//! of physical qubits, each subset connected so the benchmark can be
+//! routed within it. This module provides the sampler.
+
+use rand::prelude::IndexedRandom;
+use rand::{Rng, RngExt};
+
+use crate::Topology;
+
+/// Samples a connected set of `k` physical qubits by randomized BFS
+/// growth from a random seed qubit. Returns `None` when `k` exceeds the
+/// largest connected component reachable from the chosen seed after
+/// retries, or when `k` is zero.
+///
+/// The sampler retries a few seeds before giving up, so for connected
+/// devices and `k ≤ num_qubits` it practically always succeeds.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_topology::{random_connected_subset, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let device = Topology::falcon27();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let subset = random_connected_subset(&device, 9, &mut rng).unwrap();
+/// assert_eq!(subset.len(), 9);
+/// ```
+#[must_use]
+pub fn random_connected_subset<R: Rng>(
+    topology: &Topology,
+    k: usize,
+    rng: &mut R,
+) -> Option<Vec<usize>> {
+    if k == 0 || k > topology.num_qubits() {
+        return None;
+    }
+    for _attempt in 0..16 {
+        let seed = rng.random_range(0..topology.num_qubits());
+        if let Some(subset) = grow_from(topology, seed, k, rng) {
+            return Some(subset);
+        }
+    }
+    None
+}
+
+fn grow_from<R: Rng>(
+    topology: &Topology,
+    seed: usize,
+    k: usize,
+    rng: &mut R,
+) -> Option<Vec<usize>> {
+    let mut chosen = vec![seed];
+    let mut in_set = vec![false; topology.num_qubits()];
+    in_set[seed] = true;
+    let mut frontier: Vec<usize> = topology
+        .neighbors(seed)
+        .iter()
+        .copied()
+        .collect();
+    while chosen.len() < k {
+        frontier.retain(|&q| !in_set[q]);
+        let &next = frontier.choose(rng)?;
+        in_set[next] = true;
+        chosen.push(next);
+        for &n in topology.neighbors(next) {
+            if !in_set[n] {
+                frontier.push(n);
+            }
+        }
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_connected_subset(t: &Topology, subset: &[usize]) -> bool {
+        if subset.is_empty() {
+            return true;
+        }
+        let in_set: std::collections::HashSet<_> = subset.iter().copied().collect();
+        let mut seen = std::collections::HashSet::from([subset[0]]);
+        let mut stack = vec![subset[0]];
+        while let Some(q) = stack.pop() {
+            for &n in t.neighbors(q) {
+                if in_set.contains(&n) && seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        seen.len() == subset.len()
+    }
+
+    #[test]
+    fn subsets_are_connected_and_right_sized() {
+        let t = Topology::eagle127();
+        let mut rng = StdRng::seed_from_u64(42);
+        for k in [1usize, 4, 9, 16, 50] {
+            for _ in 0..10 {
+                let s = random_connected_subset(&t, k, &mut rng).unwrap();
+                assert_eq!(s.len(), k);
+                assert!(is_connected_subset(&t, &s), "k={k} subset not connected");
+                // No duplicates (sorted output makes this easy).
+                assert!(s.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let t = Topology::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_connected_subset(&t, 0, &mut rng).is_none());
+        assert!(random_connected_subset(&t, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn full_device_subset_works() {
+        let t = Topology::falcon27();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = random_connected_subset(&t, 27, &mut rng).unwrap();
+        assert_eq!(s, (0..27).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = Topology::aspen(1, 5);
+        let a = random_connected_subset(&t, 9, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = random_connected_subset(&t, 9, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

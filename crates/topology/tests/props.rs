@@ -1,0 +1,93 @@
+//! Property-based tests for device topologies.
+
+use proptest::prelude::*;
+use qplacer_topology::{random_connected_subset, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn grid_invariants(w in 1usize..8, h in 1usize..8) {
+        let t = Topology::grid(w, h);
+        prop_assert_eq!(t.num_qubits(), w * h);
+        // Grid edge count: horizontal + vertical.
+        prop_assert_eq!(t.num_edges(), (w - 1) * h + w * (h - 1));
+        prop_assert!(t.is_connected());
+        prop_assert!(t.max_degree() <= 4);
+        // Handshake: sum of degrees = 2|E|.
+        let degree_sum: usize = (0..t.num_qubits()).map(|q| t.degree(q)).sum();
+        prop_assert_eq!(degree_sum, 2 * t.num_edges());
+    }
+
+    #[test]
+    fn xtree_invariants(root in 1usize..5, branch in 1usize..4, levels in 0usize..4) {
+        let t = Topology::xtree(root, branch, levels);
+        // Trees: |E| = |V| - 1 and connected.
+        prop_assert_eq!(t.num_edges(), t.num_qubits() - 1);
+        prop_assert!(t.is_connected());
+        // Expected node count: 1 + root·(1 + b + b² + …).
+        let mut expected = 1usize;
+        let mut level_width = root;
+        for _ in 0..levels {
+            expected += level_width;
+            level_width *= branch;
+        }
+        if levels == 0 {
+            prop_assert_eq!(t.num_qubits(), 1);
+        } else {
+            prop_assert_eq!(t.num_qubits(), expected);
+        }
+    }
+
+    #[test]
+    fn aspen_invariants(rows in 1usize..4, cols in 1usize..5) {
+        let t = Topology::aspen(rows, cols);
+        prop_assert_eq!(t.num_qubits(), rows * cols * 8);
+        let ring = rows * cols * 8;
+        let horizontal = rows * (cols - 1) * 2;
+        let vertical = (rows - 1) * cols * 2;
+        prop_assert_eq!(t.num_edges(), ring + horizontal + vertical);
+        prop_assert!(t.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle(seed in 0u64..50) {
+        let t = Topology::falcon27();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = random_connected_subset(&t, 10, &mut rng).unwrap();
+        let (a, b, c) = (subset[0], subset[4], subset[9]);
+        let da = t.bfs_distances(a);
+        let db = t.bfs_distances(b);
+        prop_assert!(da[c] <= da[b] + db[c], "triangle inequality violated");
+        // Symmetry.
+        prop_assert_eq!(da[b], db[a]);
+    }
+
+    #[test]
+    fn connected_subsets_are_valid(k in 1usize..40, seed in 0u64..20) {
+        let t = Topology::aspen(1, 5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(s) = random_connected_subset(&t, k, &mut rng) {
+            prop_assert_eq!(s.len(), k);
+            // All members valid device qubits, sorted, unique.
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(*s.last().unwrap() < t.num_qubits());
+        } else {
+            prop_assert!(k > t.num_qubits());
+        }
+    }
+
+    #[test]
+    fn edge_index_is_consistent(seed in 0u64..30) {
+        let t = Topology::eagle127();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random_connected_subset(&t, 20, &mut rng).unwrap();
+        for &a in &s {
+            for &b in t.neighbors(a) {
+                let e = t.edge_index(a, b).expect("coupled pair has an edge");
+                let (lo, hi) = t.edges()[e];
+                prop_assert_eq!((lo, hi), (a.min(b), a.max(b)));
+            }
+        }
+    }
+}

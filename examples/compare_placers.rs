@@ -1,0 +1,54 @@
+//! Compare QPlacer, Classic, and Human on one device across all Table-I
+//! benchmarks — a miniature of the paper's Figs. 11–13 on one topology.
+//!
+//! ```sh
+//! cargo run --release --example compare_placers [grid|falcon|eagle|aspen11|aspenm|xtree]
+//! ```
+
+use qplacer::{paper_suite, Qplacer, Strategy, Topology};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
+    let device = match which.as_str() {
+        "grid" => Topology::grid(5, 5),
+        "eagle" => Topology::eagle127(),
+        "aspen11" => Topology::aspen(1, 5),
+        "aspenm" => Topology::aspen(2, 5),
+        "xtree" => Topology::xtree(4, 3, 3),
+        _ => Topology::falcon27(),
+    };
+    println!("device: {device}\n");
+
+    let engine = Qplacer::paper();
+    let benches = paper_suite();
+    let subsets = 20;
+
+    println!(
+        "{:<9} {:>9} {:>8} {:>9} {:>9}  per-benchmark mean fidelity",
+        "strategy", "Amer mm²", "Ph %", "impacted", "runtime s"
+    );
+    for strategy in [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human] {
+        let t0 = std::time::Instant::now();
+        let layout = engine.place(&device, strategy);
+        let secs = t0.elapsed().as_secs_f64();
+        let area = layout.area();
+        let hs = layout.hotspots();
+        print!(
+            "{:<9} {:>9.1} {:>8.2} {:>9} {:>9.1} ",
+            strategy.to_string(),
+            area.mer_area,
+            hs.ph * 100.0,
+            hs.impacted_qubits.len(),
+            secs
+        );
+        for b in &benches {
+            if b.circuit.num_qubits() > device.num_qubits() {
+                print!(" {}=n/a", b.name);
+                continue;
+            }
+            let eval = layout.evaluate(&device, &b.circuit, subsets, 0xBEEF);
+            print!(" {}={:.1e}", b.name, eval.mean_fidelity);
+        }
+        println!();
+    }
+}

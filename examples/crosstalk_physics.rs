@@ -1,0 +1,60 @@
+//! Explore the crosstalk physics models behind the placer (paper §II–III,
+//! Figs. 4–6): coupling vs detuning, parasitics vs distance, and the Rabi
+//! error they induce.
+//!
+//! ```sh
+//! cargo run --release --example crosstalk_physics
+//! ```
+
+use qplacer::physics::{capacitance, constants, coupling, error, Duration, Frequency};
+
+fn main() {
+    // Fig. 4: effective coupling between two transmons as ω₂ sweeps while
+    // ω₁ = 5.0 GHz stays fixed.
+    println!("# coupling vs detuning (Fig. 4)");
+    let g = constants::DESIGN_COUPLING;
+    println!("{:>10} {:>12}", "w2 (GHz)", "g_eff (MHz)");
+    let w1 = Frequency::from_ghz(5.0);
+    for i in 0..=20 {
+        let w2 = Frequency::from_ghz(4.5 + i as f64 * 0.05);
+        let geff = coupling::effective_coupling(g, w1.detuning(w2));
+        println!("{:>10.2} {:>12.3}", w2.ghz(), geff.mhz());
+    }
+
+    // Fig. 5: parasitic capacitance and couplings vs qubit separation.
+    println!("\n# parasitics vs distance (Fig. 5-b)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "d (mm)", "Cp (fF)", "g (MHz)", "geff (MHz)"
+    );
+    let detuned = Frequency::from_ghz(0.1);
+    for i in 1..=15 {
+        let d = i as f64 * 0.1;
+        let cp = capacitance::qubit_parasitic(d);
+        let gp = capacitance::parasitic_qubit_coupling(d, w1, w1);
+        let geff = coupling::effective_coupling(gp, detuned);
+        println!(
+            "{:>8.1} {:>10.4} {:>10.4} {:>12.5}",
+            d,
+            cp.ff(),
+            gp.mhz(),
+            geff.mhz()
+        );
+    }
+
+    // The error this induces over a two-qubit gate window (Eq. 16).
+    println!("\n# Rabi crosstalk error over a 300 ns gate");
+    println!("{:>8} {:>14} {:>14}", "d (mm)", "resonant", "detuned 0.1GHz");
+    let window = Duration::from_ns(constants::TWO_QUBIT_GATE_TIME.ns());
+    for d in [0.2, 0.4, 0.8, 1.2] {
+        let gp = capacitance::parasitic_qubit_coupling(d, w1, w1);
+        let resonant = error::averaged_rabi_error(gp, window);
+        let geff = coupling::effective_coupling(gp, detuned);
+        let detuned_err = error::averaged_rabi_error(geff, window);
+        println!("{:>8.1} {:>14.6} {:>14.8}", d, resonant, detuned_err);
+    }
+
+    println!("\nTakeaway: resonant neighbors at sub-padding distances see");
+    println!("order-one error per gate; a 0.1 GHz detuning or one padded");
+    println!("footprint of separation buys 3–6 orders of magnitude.");
+}

@@ -1,0 +1,47 @@
+//! Sweep the resonator segment size l_b (the paper's §VI-D ablation):
+//! utilization, hotspot proportion, cell count, and runtime per l_b.
+//!
+//! ```sh
+//! cargo run --release --example segment_sweep [grid|falcon|...]
+//! ```
+
+use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
+    let device = match which.as_str() {
+        "grid" => Topology::grid(5, 5),
+        "eagle" => Topology::eagle127(),
+        "aspen11" => Topology::aspen(1, 5),
+        "aspenm" => Topology::aspen(2, 5),
+        "xtree" => Topology::xtree(4, 3, 3),
+        _ => Topology::falcon27(),
+    };
+    println!("device: {device}\n");
+    println!(
+        "{:>6} {:>7} {:>11} {:>8} {:>9} {:>10}",
+        "l_b", "#cells", "utilization", "Ph %", "integ", "runtime s"
+    );
+
+    for lb in [0.2, 0.3, 0.4] {
+        let mut config = PipelineConfig::paper();
+        config.netlist = NetlistConfig::with_segment_size(lb);
+        let engine = Qplacer::new(config);
+        let t0 = std::time::Instant::now();
+        let layout = engine.place(&device, Strategy::FrequencyAware);
+        let secs = t0.elapsed().as_secs_f64();
+        let area = layout.area();
+        let hs = layout.hotspots();
+        let legal = layout.legalization.as_ref().unwrap();
+        println!(
+            "{:>6.1} {:>7} {:>11.3} {:>8.2} {:>6}/{:<3} {:>9.1}",
+            lb,
+            layout.netlist.num_instances(),
+            area.utilization,
+            hs.ph * 100.0,
+            legal.integrated_after,
+            legal.resonator_count,
+            secs
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! `qplacer` — command-line front end for the placement pipeline.
+//!
+//! ```text
+//! qplacer inventory
+//! qplacer place    <topology> [--strategy qplacer|classic|human]
+//!                  [--segment <mm>] [--svg FILE] [--gds FILE] [--json]
+//! qplacer evaluate <topology> <benchmark> [--strategy ...] [--subsets N]
+//!                  [--seed N]
+//! qplacer sweep    <topology>            # l_b ablation on one device
+//! ```
+//!
+//! Topologies: `grid`, `falcon`, `eagle`, `aspen11`, `aspenm`, `xtree`.
+//! Benchmarks: `bv-4`, `bv-9`, `bv-16`, `qaoa-4`, `qaoa-9`, `ising-4`,
+//! `qgan-4`, `qgan-9`.
+
+use std::process::ExitCode;
+
+use qplacer::{
+    paper_suite, NetlistConfig, PipelineConfig, PlacedLayout, Qplacer, Strategy, Topology,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "inventory" => cmd_inventory(),
+        "place" => cmd_place(&args[1..]),
+        "evaluate" => cmd_evaluate(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  qplacer inventory
+  qplacer place    <topology> [--strategy qplacer|classic|human]
+                   [--segment <mm>] [--svg FILE] [--gds FILE]
+  qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N] [--seed N]
+  qplacer sweep    <topology>
+
+topologies: grid falcon eagle aspen11 aspenm xtree
+benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9";
+
+fn parse_topology(name: &str) -> Result<Topology, String> {
+    Ok(match name {
+        "grid" => Topology::grid(5, 5),
+        "falcon" => Topology::falcon27(),
+        "eagle" => Topology::eagle127(),
+        "aspen11" => Topology::aspen(1, 5),
+        "aspenm" => Topology::aspen(2, 5),
+        "xtree" => Topology::xtree(4, 3, 3),
+        other => return Err(format!("unknown topology `{other}`")),
+    })
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "qplacer" => Strategy::FrequencyAware,
+        "classic" => Strategy::Classic,
+        "human" => Strategy::Human,
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_inventory() -> Result<(), String> {
+    println!("topologies:");
+    for t in Topology::paper_suite() {
+        println!(
+            "  {:<10} {:>4} qubits {:>4} couplings  ({})",
+            t.name(),
+            t.num_qubits(),
+            t.num_edges(),
+            t.class()
+        );
+    }
+    println!("benchmarks:");
+    for b in paper_suite() {
+        println!(
+            "  {:<8} {:>3} qubits {:>4} gates ({} two-qubit, depth {})",
+            b.name,
+            b.circuit.num_qubits(),
+            b.circuit.len(),
+            b.circuit.two_qubit_count(),
+            b.circuit.depth()
+        );
+    }
+    Ok(())
+}
+
+fn run_pipeline(args: &[String], device: &Topology) -> Result<PlacedLayout, String> {
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    let mut config = PipelineConfig::paper();
+    if let Some(seg) = flag_value(args, "--segment") {
+        let lb: f64 = seg.parse().map_err(|_| format!("bad --segment `{seg}`"))?;
+        if lb <= 0.0 {
+            return Err("--segment must be positive".into());
+        }
+        config.netlist = NetlistConfig::with_segment_size(lb);
+    }
+    Ok(Qplacer::new(config).place(device, strategy))
+}
+
+fn cmd_place(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("place needs a topology")?;
+    let device = parse_topology(name)?;
+    let layout = run_pipeline(args, &device)?;
+
+    let area = layout.area();
+    let hs = layout.hotspots();
+    println!("device:    {device}");
+    println!("strategy:  {}", layout.strategy);
+    if let Some(p) = &layout.placement {
+        println!(
+            "placement: {} iterations, overflow {:.3}, HPWL {:.1} mm, {:.2} s",
+            p.iterations, p.final_overflow, p.hpwl, p.elapsed_seconds
+        );
+    }
+    if let Some(l) = &layout.legalization {
+        println!(
+            "legalize:  {}/{} resonators integrated, {} overlaps",
+            l.integrated_after, l.resonator_count, l.remaining_overlaps
+        );
+    }
+    println!(
+        "area:      {:.1} x {:.1} mm  (A_mer {:.1} mm², utilization {:.1}%)",
+        area.mer.width(),
+        area.mer.height(),
+        area.mer_area,
+        area.utilization * 100.0
+    );
+    println!(
+        "hotspots:  P_h {:.2}%, {} violations, {} impacted qubits",
+        hs.ph * 100.0,
+        hs.violations.len(),
+        hs.impacted_qubits.len()
+    );
+
+    if let Some(path) = flag_value(args, "--svg") {
+        std::fs::write(path, layout.svg()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--gds") {
+        std::fs::write(path, layout.gds(&device.name().to_uppercase()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let tname = args.first().ok_or("evaluate needs a topology")?;
+    let bname = args.get(1).ok_or("evaluate needs a benchmark")?;
+    let device = parse_topology(tname)?;
+    let bench = paper_suite()
+        .into_iter()
+        .find(|b| &b.name == bname)
+        .ok_or_else(|| format!("unknown benchmark `{bname}`"))?;
+    let subsets: usize = flag_value(args, "--subsets")
+        .map(|v| v.parse().map_err(|_| format!("bad --subsets `{v}`")))
+        .transpose()?
+        .unwrap_or(50);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed `{v}`")))
+        .transpose()?
+        .unwrap_or(0xF1D0);
+
+    let layout = run_pipeline(args, &device)?;
+    let eval = layout.evaluate(&device, &bench.circuit, subsets, seed);
+    println!(
+        "{} on {} ({}, {} mappings):",
+        bench.name,
+        device.name(),
+        layout.strategy,
+        eval.fidelities.len()
+    );
+    println!("  mean fidelity:  {:.4e}", eval.mean_fidelity);
+    println!("  worst fidelity: {:.4e}", eval.min_fidelity);
+    println!(
+        "  mean active crosstalk violations: {:.1}",
+        eval.mean_active_violations
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("sweep needs a topology")?;
+    let device = parse_topology(name)?;
+    println!(
+        "{:>6} {:>7} {:>12} {:>8} {:>10}",
+        "l_b", "#cells", "utilization", "Ph %", "runtime s"
+    );
+    for lb in [0.2, 0.3, 0.4] {
+        let mut config = PipelineConfig::paper();
+        config.netlist = NetlistConfig::with_segment_size(lb);
+        let t0 = std::time::Instant::now();
+        let layout = Qplacer::new(config).place(&device, Strategy::FrequencyAware);
+        println!(
+            "{:>6.1} {:>7} {:>12.3} {:>8.2} {:>10.2}",
+            lb,
+            layout.netlist.num_instances(),
+            layout.area().utilization,
+            layout.hotspots().ph * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parsing() {
+        assert_eq!(parse_topology("falcon").unwrap().num_qubits(), 27);
+        assert_eq!(parse_topology("eagle").unwrap().num_qubits(), 127);
+        assert_eq!(parse_topology("aspenm").unwrap().num_qubits(), 80);
+        assert!(parse_topology("sycamore").is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(parse_strategy("qplacer").unwrap(), Strategy::FrequencyAware);
+        assert_eq!(parse_strategy("classic").unwrap(), Strategy::Classic);
+        assert_eq!(parse_strategy("human").unwrap(), Strategy::Human);
+        assert!(parse_strategy("best").is_err());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let args: Vec<String> = ["--svg", "out.svg", "--subsets", "10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--svg"), Some("out.svg"));
+        assert_eq!(flag_value(&args, "--subsets"), Some("10"));
+        assert_eq!(flag_value(&args, "--seed"), None);
+        // Flag at the end without a value.
+        let dangling: Vec<String> = vec!["--svg".to_string()];
+        assert_eq!(flag_value(&dangling, "--svg"), None);
+    }
+
+    #[test]
+    fn inventory_runs() {
+        assert!(cmd_inventory().is_ok());
+    }
+}

@@ -1,0 +1,64 @@
+//! # QPlacer — frequency-aware placement for superconducting quantum chips
+//!
+//! A from-scratch Rust reproduction of *"Qplacer: Frequency-Aware
+//! Component Placement for Superconducting Quantum Computers"* (Zhang et
+//! al., ISCA 2025). QPlacer lays out transmon qubits and bus-resonator
+//! segments on a substrate so that near-resonant components are spatially
+//! isolated (a "frequency repulsive force"), total area stays compact,
+//! and program fidelity under crosstalk is preserved.
+//!
+//! The pipeline (paper Fig. 7):
+//!
+//! ```text
+//! Topology ─► FrequencyAssigner ─► QuantumNetlist (padding+partitioning)
+//!          ─► GlobalPlacer (WL + density + frequency forces)
+//!          ─► Legalizer (spiral/MCMF + Tetris + Algorithm 1)
+//!          ─► metrics (fidelity, P_h, area) / artwork (SVG, GDS-lite)
+//! ```
+//!
+//! This facade crate wires the subsystem crates together behind
+//! [`Qplacer`] and re-exports the pieces a downstream user needs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qplacer::{Qplacer, Strategy};
+//! use qplacer_topology::Topology;
+//!
+//! let device = Topology::grid(2, 2);
+//! let engine = Qplacer::fast(); // reduced iteration budget for docs/tests
+//! let layout = engine.place(&device, Strategy::FrequencyAware);
+//! assert_eq!(layout.netlist.overlapping_pairs().len(), 0);
+//! let area = layout.area();
+//! assert!(area.utilization > 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+
+pub use pipeline::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+
+pub use qplacer_artwork as artwork;
+pub use qplacer_baselines as baselines;
+pub use qplacer_circuits as circuits;
+pub use qplacer_freq as freq;
+pub use qplacer_geometry as geometry;
+pub use qplacer_legal as legal;
+pub use qplacer_metrics as metrics;
+pub use qplacer_netlist as netlist;
+pub use qplacer_physics as physics;
+pub use qplacer_place as place;
+pub use qplacer_topology as topology;
+
+pub use qplacer_circuits::{paper_suite, Benchmark};
+pub use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
+pub use qplacer_legal::{LegalReport, Legalizer};
+pub use qplacer_metrics::{
+    evaluate_benchmark, AreaMetrics, BenchmarkEvaluation, FidelityParams, HotspotConfig,
+    HotspotReport,
+};
+pub use qplacer_netlist::{CouplingKind, NetlistConfig, QuantumNetlist};
+pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
+pub use qplacer_topology::Topology;

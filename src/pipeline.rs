@@ -1,0 +1,303 @@
+//! The end-to-end placement pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_baselines::HumanLayout;
+use qplacer_circuits::Circuit;
+use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
+use qplacer_legal::{LegalReport, Legalizer};
+use qplacer_metrics::{
+    evaluate_benchmark, AreaMetrics, BenchmarkEvaluation, FidelityParams, HotspotConfig,
+    HotspotReport,
+};
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
+use qplacer_topology::Topology;
+
+/// Which placement scheme to run (the paper's three comparison arms,
+/// §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// QPlacer: the frequency-aware electrostatic engine.
+    FrequencyAware,
+    /// Classic: the same engine with the frequency force disabled.
+    Classic,
+    /// Human: the manual IBM-style grid design (crosstalk-free, larger).
+    Human,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::FrequencyAware => "Qplacer",
+            Strategy::Classic => "Classic",
+            Strategy::Human => "Human",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Frequency assignment settings.
+    pub assigner: FrequencyAssigner,
+    /// Netlist geometry (padding, segment size, utilization target).
+    pub netlist: NetlistConfig,
+    /// Global placement settings (frequency awareness is overridden by
+    /// the [`Strategy`] passed to [`Qplacer::place`]).
+    pub placer: PlacerConfig,
+    /// Legalization settings.
+    pub legalizer: Legalizer,
+    /// Fidelity model settings for evaluations.
+    pub fidelity: FidelityParams,
+}
+
+impl PipelineConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            assigner: FrequencyAssigner::paper_defaults(),
+            netlist: NetlistConfig::default(),
+            placer: PlacerConfig::paper(),
+            legalizer: Legalizer::default(),
+            fidelity: FidelityParams::paper(),
+        }
+    }
+
+    /// Reduced-budget configuration for tests and doc examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            placer: PlacerConfig::fast(),
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A placed (and, for the engine strategies, legalized) layout plus the
+/// reports the pipeline produced along the way.
+#[derive(Debug, Clone)]
+pub struct PlacedLayout {
+    /// The strategy that produced this layout.
+    pub strategy: Strategy,
+    /// The netlist at its final positions.
+    pub netlist: QuantumNetlist,
+    /// The frequency assignment used.
+    pub assignment: FrequencyAssignment,
+    /// Global-placement report (absent for the Human strategy).
+    pub placement: Option<PlacementReport>,
+    /// Legalization report (absent for the Human strategy).
+    pub legalization: Option<LegalReport>,
+    /// The fidelity parameters evaluations will use.
+    fidelity: FidelityParams,
+}
+
+impl PlacedLayout {
+    /// Area metrics of the final layout (Eq. 17).
+    #[must_use]
+    pub fn area(&self) -> AreaMetrics {
+        AreaMetrics::of(&self.netlist)
+    }
+
+    /// Hotspot scan of the final layout (Eq. 18).
+    #[must_use]
+    pub fn hotspots(&self) -> HotspotReport {
+        HotspotReport::scan(&self.netlist, &self.fidelity.hotspot)
+    }
+
+    /// Hotspot scan with custom settings.
+    #[must_use]
+    pub fn hotspots_with(&self, config: &HotspotConfig) -> HotspotReport {
+        HotspotReport::scan(&self.netlist, config)
+    }
+
+    /// Evaluates one benchmark circuit on `num_subsets` seeded random
+    /// connected subsets (the Fig. 11 protocol; the paper uses 50).
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        device: &Topology,
+        circuit: &Circuit,
+        num_subsets: usize,
+        seed: u64,
+    ) -> BenchmarkEvaluation {
+        evaluate_benchmark(
+            &self.netlist,
+            device,
+            circuit,
+            num_subsets,
+            seed,
+            &self.fidelity,
+        )
+    }
+
+    /// SVG rendering of the layout (Fig. 14-b).
+    #[must_use]
+    pub fn svg(&self) -> String {
+        qplacer_artwork::render_svg(&self.netlist)
+    }
+
+    /// GDS-lite export of the layout (Fig. 14-c substitute).
+    #[must_use]
+    pub fn gds(&self, structure_name: &str) -> String {
+        qplacer_artwork::write_gds_lite(&self.netlist, structure_name)
+    }
+}
+
+/// The end-to-end QPlacer pipeline.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Qplacer {
+    config: PipelineConfig,
+}
+
+impl Qplacer {
+    /// Pipeline with the paper's configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Paper-faithful configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(PipelineConfig::paper())
+    }
+
+    /// Reduced-budget configuration for tests and docs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self::new(PipelineConfig::fast())
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline on `device` with the chosen strategy.
+    #[must_use]
+    pub fn place(&self, device: &Topology, strategy: Strategy) -> PlacedLayout {
+        let assignment = self.config.assigner.assign(device);
+        match strategy {
+            Strategy::Human => {
+                let netlist = HumanLayout::place(device, &assignment, &self.config.netlist);
+                PlacedLayout {
+                    strategy,
+                    netlist,
+                    assignment,
+                    placement: None,
+                    legalization: None,
+                    fidelity: self.config.fidelity,
+                }
+            }
+            Strategy::FrequencyAware | Strategy::Classic => {
+                let mut netlist =
+                    QuantumNetlist::build(device, &assignment, &self.config.netlist);
+                let mut placer_cfg = self.config.placer;
+                placer_cfg.frequency_aware = strategy == Strategy::FrequencyAware;
+                let placement = GlobalPlacer::new(placer_cfg).run(&mut netlist);
+                // The τ-checked (resonance-aware) legalization passes are a
+                // QPlacer contribution (§IV-C2); the Classic arm gets the
+                // plain engine + structural legalizer, like the paper's
+                // DREAMPlace baseline.
+                let mut legalizer_cfg = self.config.legalizer;
+                if strategy == Strategy::Classic {
+                    legalizer_cfg = legalizer_cfg.with_resonant_margin(0.0);
+                }
+                let legalization = legalizer_cfg.run(&mut netlist);
+                PlacedLayout {
+                    strategy,
+                    netlist,
+                    assignment,
+                    placement: Some(placement),
+                    legalization: Some(legalization),
+                    fidelity: self.config.fidelity,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qplacer_strategy_produces_legal_compact_layouts() {
+        let device = Topology::grid(3, 3);
+        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        assert_eq!(layout.strategy, Strategy::FrequencyAware);
+        assert!(layout.placement.is_some());
+        let legal = layout.legalization.as_ref().unwrap();
+        assert_eq!(legal.remaining_overlaps, 0);
+        let area = layout.area();
+        assert!(area.utilization > 0.3 && area.utilization <= 1.0);
+    }
+
+    #[test]
+    fn human_strategy_skips_engine() {
+        let device = Topology::grid(3, 3);
+        let layout = Qplacer::fast().place(&device, Strategy::Human);
+        assert!(layout.placement.is_none());
+        assert!(layout.legalization.is_none());
+        assert_eq!(layout.hotspots().violations.len(), 0);
+    }
+
+    #[test]
+    fn qplacer_beats_classic_on_hotspots() {
+        let device = Topology::grid(3, 3);
+        let engine = Qplacer::fast();
+        let aware = engine.place(&device, Strategy::FrequencyAware);
+        let classic = engine.place(&device, Strategy::Classic);
+        assert!(
+            aware.hotspots().ph <= classic.hotspots().ph + 1e-12,
+            "aware {} vs classic {}",
+            aware.hotspots().ph,
+            classic.hotspots().ph
+        );
+    }
+
+    #[test]
+    fn human_layout_is_larger_than_qplacer() {
+        let device = Topology::falcon27();
+        let engine = Qplacer::fast();
+        let aware = engine.place(&device, Strategy::FrequencyAware);
+        let human = engine.place(&device, Strategy::Human);
+        assert!(
+            human.area().mer_area > aware.area().mer_area,
+            "human {} !> qplacer {}",
+            human.area().mer_area,
+            aware.area().mer_area
+        );
+    }
+
+    #[test]
+    fn evaluation_runs_end_to_end() {
+        let device = Topology::grid(3, 3);
+        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        let eval = layout.evaluate(&device, &qplacer_circuits::generators::bv(4), 3, 1);
+        assert_eq!(eval.fidelities.len(), 3);
+        for f in &eval.fidelities {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn artwork_exports_work() {
+        let device = Topology::grid(2, 2);
+        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        assert!(layout.svg().starts_with("<svg"));
+        assert!(layout.gds("TOP").contains("STRNAME TOP"));
+    }
+}

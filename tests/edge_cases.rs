@@ -1,0 +1,127 @@
+//! Edge-case and failure-injection tests: degenerate devices, extreme
+//! configurations, and over-utilized regions must either work or fail
+//! loudly — never corrupt a layout silently.
+
+use qplacer::{
+    CouplingKind, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology,
+};
+
+/// A single isolated qubit: no edges, no resonators, no nets.
+#[test]
+fn single_qubit_device() {
+    let device = Topology::from_edges("lonely", 1, std::iter::empty()).unwrap();
+    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    assert_eq!(layout.netlist.num_instances(), 1);
+    assert_eq!(layout.netlist.nets().len(), 0);
+    assert_eq!(layout.hotspots().violations.len(), 0);
+    assert_eq!(
+        layout.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+    let area = layout.area();
+    assert!(area.mer_area > 0.0);
+}
+
+/// Two disconnected qubit pairs still place and legalize.
+#[test]
+fn disconnected_device() {
+    let device = Topology::from_edges("split", 4, [(0, 1), (2, 3)]).unwrap();
+    assert!(!device.is_connected());
+    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    assert_eq!(
+        layout.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+}
+
+/// An over-tight region (target utilization 0.92) forces the spill ring
+/// and the exhaustive fallbacks — legality must still hold.
+#[test]
+fn over_utilized_region_spills_but_stays_legal() {
+    let mut cfg = PipelineConfig::fast();
+    cfg.netlist.target_utilization = 0.92;
+    let device = Topology::grid(3, 3);
+    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    let legal = layout.legalization.as_ref().unwrap();
+    assert_eq!(legal.remaining_overlaps, 0);
+    // The layout may exceed the (deliberately undersized) region, but
+    // never the bounded workspace.
+    let workspace = layout
+        .netlist
+        .region()
+        .inflated(2.0 * layout.netlist.max_padded_side() + 1e-6);
+    for inst in layout.netlist.instances() {
+        assert!(workspace.contains_rect(&layout.netlist.padded_rect(inst.id())));
+    }
+}
+
+/// Tiny segment size explodes the instance count; the pipeline must cope.
+#[test]
+fn very_fine_partitioning() {
+    let mut cfg = PipelineConfig::fast();
+    cfg.netlist = NetlistConfig::with_segment_size(0.15);
+    let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    // ⌈10.8·0.1/0.0225⌉ ≈ 45+ segments for one resonator.
+    assert!(layout.netlist.num_instances() > 40);
+    assert_eq!(
+        layout.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+}
+
+/// Giant coupler pockets (tunable mode) larger than qubits.
+#[test]
+fn oversized_tunable_couplers() {
+    let mut cfg = PipelineConfig::fast();
+    cfg.netlist.coupling = CouplingKind::TunableCoupler { size_mm: 0.9 };
+    let device = Topology::grid(2, 2);
+    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    assert_eq!(
+        layout.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+}
+
+/// Zero-margin legalization (the Classic arm's configuration) still
+/// produces overlap-free output.
+#[test]
+fn classic_strategy_is_legal_without_tau() {
+    let device = Topology::falcon27();
+    let layout = Qplacer::fast().place(&device, Strategy::Classic);
+    assert_eq!(
+        layout.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+}
+
+/// Human layout on a device with no canonical coordinates uses the BFS
+/// grid fallback: qubits stay disjoint and the layout is finite. (Unlike
+/// topology-faithful embeddings, the fallback cannot guarantee
+/// hotspot-freedom — channels of a non-planar embedding may cross.)
+#[test]
+fn human_fallback_embedding() {
+    let device =
+        Topology::from_edges("ring8", 8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
+    assert!(device.coords().is_none());
+    let layout = Qplacer::fast().place(&device, Strategy::Human);
+    for a in 0..8 {
+        for b in a + 1..8 {
+            let ra = layout.netlist.padded_rect(layout.netlist.qubit_instance(a));
+            let rb = layout.netlist.padded_rect(layout.netlist.qubit_instance(b));
+            assert!(!ra.overlaps(&rb), "fallback qubits {a}/{b} overlap");
+        }
+    }
+    assert!(layout.area().mer_area.is_finite());
+}
+
+/// Evaluating a benchmark wider than the device reports an empty (zero)
+/// evaluation instead of panicking.
+#[test]
+fn oversized_benchmark_evaluation_is_graceful() {
+    let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
+    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    let eval = layout.evaluate(&device, &qplacer::circuits::generators::bv(9), 5, 1);
+    assert!(eval.fidelities.is_empty());
+    assert_eq!(eval.mean_fidelity, 0.0);
+}

@@ -1,0 +1,161 @@
+//! End-to-end pipeline integration tests across crates.
+
+use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+
+fn fast_engine() -> Qplacer {
+    Qplacer::new(PipelineConfig::fast())
+}
+
+/// The full pipeline yields a legal, in-region, metric-sane layout on
+/// every small paper topology.
+#[test]
+fn pipeline_produces_legal_layouts() {
+    for device in [
+        Topology::grid(5, 5),
+        Topology::falcon27(),
+        Topology::xtree(4, 3, 3),
+    ] {
+        let layout = fast_engine().place(&device, Strategy::FrequencyAware);
+        let legal = layout.legalization.as_ref().unwrap();
+        assert_eq!(
+            legal.remaining_overlaps, 0,
+            "{}: overlaps after legalization",
+            device.name()
+        );
+        // Legalization may use a bounded spill ring beyond the sized
+        // region; nothing may land outside that workspace.
+        let workspace = layout
+            .netlist
+            .region()
+            .inflated(2.0 * layout.netlist.max_padded_side() + 1e-6);
+        for inst in layout.netlist.instances() {
+            assert!(
+                workspace.contains_rect(&layout.netlist.padded_rect(inst.id())),
+                "{}: instance escaped workspace",
+                device.name()
+            );
+        }
+        let area = layout.area();
+        assert!(
+            area.utilization > 0.3 && area.utilization <= 1.0,
+            "{}: utilization {}",
+            device.name(),
+            area.utilization
+        );
+        // Most resonators must integrate even at test budgets.
+        assert!(
+            legal.integrated_after * 10 >= legal.resonator_count * 8,
+            "{}: only {}/{} integrated",
+            device.name(),
+            legal.integrated_after,
+            legal.resonator_count
+        );
+    }
+}
+
+/// Same seeds, same layout, same numbers.
+#[test]
+fn pipeline_is_deterministic() {
+    let device = Topology::falcon27();
+    let a = fast_engine().place(&device, Strategy::FrequencyAware);
+    let b = fast_engine().place(&device, Strategy::FrequencyAware);
+    assert_eq!(a.netlist.positions(), b.netlist.positions());
+    assert_eq!(a.hotspots().ph, b.hotspots().ph);
+    let ea = a.evaluate(&device, &qplacer::circuits::generators::bv(4), 5, 9);
+    let eb = b.evaluate(&device, &qplacer::circuits::generators::bv(4), 5, 9);
+    assert_eq!(ea.fidelities, eb.fidelities);
+}
+
+/// Segment size sweep: smaller l_b means more cells (Table II's #cells
+/// column ordering).
+#[test]
+fn cell_count_orders_by_segment_size() {
+    let device = Topology::falcon27();
+    let counts: Vec<usize> = [0.2, 0.3, 0.4]
+        .iter()
+        .map(|&lb| {
+            let mut cfg = PipelineConfig::fast();
+            cfg.netlist = NetlistConfig::with_segment_size(lb);
+            Qplacer::new(cfg)
+                .place(&device, Strategy::Human)
+                .netlist
+                .num_instances()
+        })
+        .collect();
+    assert!(counts[0] > counts[1], "lb=0.2 must have more cells than 0.3");
+    assert!(counts[1] > counts[2], "lb=0.3 must have more cells than 0.4");
+}
+
+/// Strategies disagree exactly where they should: Human skips the engine,
+/// engine strategies report placement + legalization.
+#[test]
+fn strategy_reports_are_consistent() {
+    let device = Topology::grid(3, 3);
+    let engine = fast_engine();
+    let aware = engine.place(&device, Strategy::FrequencyAware);
+    let classic = engine.place(&device, Strategy::Classic);
+    let human = engine.place(&device, Strategy::Human);
+    assert!(aware.placement.is_some() && aware.legalization.is_some());
+    assert!(classic.placement.is_some());
+    assert!(human.placement.is_none() && human.legalization.is_none());
+    // All three share the frequency assignment (same assigner).
+    assert_eq!(aware.assignment, classic.assignment);
+    assert_eq!(aware.assignment, human.assignment);
+}
+
+/// The chiplet extension (paper §VII) runs through the unchanged
+/// pipeline: multi-die devices place, legalize, and integrate.
+#[test]
+fn chiplet_devices_place_end_to_end() {
+    let die = Topology::grid(2, 2);
+    let chiplet = Topology::chiplet(&die, 1, 2, 1);
+    assert_eq!(chiplet.num_qubits(), 8);
+    let layout = fast_engine().place(&chiplet, Strategy::FrequencyAware);
+    let legal = layout.legalization.as_ref().unwrap();
+    assert_eq!(legal.remaining_overlaps, 0);
+    assert!(legal.integrated_after * 10 >= legal.resonator_count * 8);
+}
+
+/// The tunable-coupler extension (paper Conclusion): one compact element
+/// per coupling, dramatically smaller layouts, same pipeline.
+#[test]
+fn tunable_coupler_mode_shrinks_layouts() {
+    let device = Topology::grid(3, 3);
+    let bus = fast_engine().place(&device, Strategy::FrequencyAware);
+
+    let mut cfg = PipelineConfig::fast();
+    cfg.netlist = qplacer::NetlistConfig::tunable_coupler(0.3);
+    let tunable = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+
+    // One instance per qubit + one per coupling.
+    assert_eq!(
+        tunable.netlist.num_instances(),
+        device.num_qubits() + device.num_edges()
+    );
+    assert!(
+        tunable.area().mer_area < 0.6 * bus.area().mer_area,
+        "couplers {} !<< buses {}",
+        tunable.area().mer_area,
+        bus.area().mer_area
+    );
+    assert_eq!(
+        tunable.legalization.as_ref().unwrap().remaining_overlaps,
+        0
+    );
+}
+
+/// Artwork exports stay structurally valid on a fully placed layout.
+#[test]
+fn artwork_roundtrip() {
+    let device = Topology::grid(3, 3);
+    let layout = fast_engine().place(&device, Strategy::FrequencyAware);
+    let svg = layout.svg();
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    let gds = layout.gds("GRID9");
+    assert_eq!(
+        gds.matches("BOUNDARY").count(),
+        layout.netlist.num_instances()
+    );
+    let paths = qplacer::artwork::meander_paths(&layout.netlist);
+    assert_eq!(paths.len(), device.num_edges());
+}
