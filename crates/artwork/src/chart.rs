@@ -73,10 +73,7 @@ pub fn render_line_chart(
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"##
     );
-    let _ = write!(
-        svg,
-        r##"<rect width="{W}" height="{H}" fill="#ffffff"/>"##
-    );
+    let _ = write!(svg, r##"<rect width="{W}" height="{H}" fill="#ffffff"/>"##);
     // Axes.
     let _ = write!(
         svg,
@@ -158,12 +155,11 @@ mod tests {
         vec![
             (
                 "a".to_string(),
-                (0..20).map(|i| (i as f64, 1.0 / (1.0 + i as f64))).collect(),
+                (0..20)
+                    .map(|i| (i as f64, 1.0 / (1.0 + i as f64)))
+                    .collect(),
             ),
-            (
-                "b".to_string(),
-                (0..20).map(|i| (i as f64, 0.5)).collect(),
-            ),
+            ("b".to_string(), (0..20).map(|i| (i as f64, 0.5)).collect()),
         ]
     }
 

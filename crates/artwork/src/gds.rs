@@ -41,10 +41,7 @@ pub fn write_gds_lite(netlist: &QuantumNetlist, structure_name: &str) -> String 
         let _ = writeln!(out, "BOUNDARY");
         let _ = writeln!(out, "LAYER {layer}");
         let _ = writeln!(out, "DATATYPE 0");
-        let _ = writeln!(
-            out,
-            "XY {x0} {y0} {x1} {y0} {x1} {y1} {x0} {y1} {x0} {y0}"
-        );
+        let _ = writeln!(out, "XY {x0} {y0} {x1} {y0} {x1} {y1} {x0} {y1} {x0} {y0}");
         let _ = writeln!(out, "ENDEL");
     }
 

@@ -21,13 +21,14 @@ pub fn render_svg(netlist: &QuantumNetlist) -> String {
     let tx = |x: f64| (x - region.min.x) * scale;
     let ty = |y: f64| (region.max.y - y) * scale;
 
-    let (fmin, fmax) = netlist.instances().iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), inst| {
-            let f = inst.frequency().ghz();
-            (lo.min(f), hi.max(f))
-        },
-    );
+    let (fmin, fmax) =
+        netlist
+            .instances()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), inst| {
+                let f = inst.frequency().ghz();
+                (lo.min(f), hi.max(f))
+            });
     let hue = |ghz: f64| {
         if fmax > fmin {
             240.0 * (ghz - fmin) / (fmax - fmin)

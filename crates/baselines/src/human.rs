@@ -62,8 +62,7 @@ impl HumanLayout {
         let coords = canonical_or_bfs_grid(topology);
 
         // Qubits at grid coordinates × pitch.
-        for q in 0..topology.num_qubits() {
-            let (cx, cy) = coords[q];
+        for (q, &(cx, cy)) in coords.iter().enumerate().take(topology.num_qubits()) {
             netlist.set_position(
                 netlist.qubit_instance(q),
                 Point::new(cx * pitch, cy * pitch),

@@ -90,9 +90,7 @@ fn bench_metrics(c: &mut Criterion) {
     group.bench_function("hotspot_scan", |b| {
         b.iter(|| HotspotReport::scan(black_box(&netlist), &HotspotConfig::paper()))
     });
-    group.bench_function("area", |b| {
-        b.iter(|| AreaMetrics::of(black_box(&netlist)))
-    });
+    group.bench_function("area", |b| b.iter(|| AreaMetrics::of(black_box(&netlist))));
     group.bench_function("evaluate_bv4_5subsets", |b| {
         b.iter(|| {
             evaluate_benchmark(

@@ -6,9 +6,7 @@
 //! 4. frequency-assignment conflict radius (1 vs 2 hops),
 //! 5. router policy (greedy shortest-path vs SABRE lookahead).
 
-use qplacer::{
-    FrequencyAssigner, Legalizer, PipelineConfig, Qplacer, Strategy,
-};
+use qplacer::{FrequencyAssigner, Legalizer, PipelineConfig, Qplacer, Strategy};
 use qplacer_circuits::{generators, Router, SabreRouter};
 use qplacer_freq::Spectrum;
 use qplacer_legal::QubitLegalizerKind;

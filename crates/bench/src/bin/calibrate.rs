@@ -1,12 +1,18 @@
 //! Internal calibration probe: QPlacer vs Classic vs Human on one device.
-use qplacer::{PipelineConfig, Strategy, Qplacer};
-use qplacer_topology::Topology;
+use qplacer::{PipelineConfig, Qplacer, Strategy};
 use qplacer_circuits::generators;
+use qplacer_topology::Topology;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
-    let fw: f64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let fg: f64 = std::env::args().nth(3).and_then(|v| v.parse().ok()).unwrap_or(1.05);
+    let fw: f64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let fg: f64 = std::env::args()
+        .nth(3)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.05);
     let device = match name.as_str() {
         "grid" => Topology::grid(5, 5),
         "eagle" => Topology::eagle127(),
@@ -27,8 +33,16 @@ fn main() {
         let bv4 = layout.evaluate(&device, &generators::bv(4), 10, 7);
         let bv9 = layout.evaluate(&device, &generators::bv(9), 10, 7);
         let qa9 = layout.evaluate(&device, &generators::qaoa(9, 2, 13), 10, 7);
-        let (it, ovf) = layout.placement.as_ref().map(|p| (p.iterations, p.final_overflow)).unwrap_or((0, 0.0));
-        let integ = layout.legalization.as_ref().map(|l| format!("{}/{}", l.integrated_after, l.resonator_count)).unwrap_or("-".into());
+        let (it, ovf) = layout
+            .placement
+            .as_ref()
+            .map(|p| (p.iterations, p.final_overflow))
+            .unwrap_or((0, 0.0));
+        let integ = layout
+            .legalization
+            .as_ref()
+            .map(|l| format!("{}/{}", l.integrated_after, l.resonator_count))
+            .unwrap_or("-".into());
         println!("{:>8}: Ph={:6.3}% impacted={:3} Amer={:7.1} util={:.3} bv4={:.4} bv9={:.2e} qaoa9={:.2e} iters={} ovf={:.3} integ={} t={:.1}s",
             strategy.to_string(), hs.ph*100.0, hs.impacted_qubits.len(), area.mer_area, area.utilization,
             bv4.mean_fidelity, bv9.mean_fidelity, qa9.mean_fidelity, it, ovf, integ, secs);

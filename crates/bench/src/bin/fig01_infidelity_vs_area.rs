@@ -11,9 +11,7 @@ fn main() {
     println!("{:<9} {:>10} {:>12}", "strategy", "area mm²", "infidelity");
     for o in run_all_strategies(&device, PipelineConfig::paper()) {
         let area = o.layout.area().mer_area;
-        let eval = o
-            .layout
-            .evaluate(&device, &generators::bv(9), 30, 0x01);
+        let eval = o.layout.evaluate(&device, &generators::bv(9), 30, 0x01);
         println!(
             "{:<9} {:>10.1} {:>12.4e}",
             o.strategy.to_string(),

@@ -20,7 +20,10 @@ fn main() {
         );
     }
     println!();
-    println!("Expected shape: symmetric peak of {:.0} MHz at w2 = w1,", g.mhz());
+    println!(
+        "Expected shape: symmetric peak of {:.0} MHz at w2 = w1,",
+        g.mhz()
+    );
     println!("falling to <2 MHz beyond ~0.3 GHz detuning (the gray 20-30 MHz");
     println!("band of the paper's figure is the on-resonance plateau).");
 }

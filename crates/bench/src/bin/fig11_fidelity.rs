@@ -1,19 +1,47 @@
 //! Figure 11: per-benchmark fidelity for QPlacer vs Classic on every
 //! topology — the paper's headline grid of bars.
 //!
-//! Environment: `QPLACER_SUBSETS` (default 50) controls the number of
-//! random mappings per (benchmark, topology), matching §VI-A's protocol.
+//! The full device × strategy × benchmark grid is one
+//! [`ExperimentPlan`] fanned across the harness [`Runner`]'s thread
+//! pool; records come back in plan order, so the table below is a pure
+//! reshape.
+//!
+//! Environment:
+//! - `QPLACER_SUBSETS` (default 50): random mappings per cell, matching
+//!   §VI-A's protocol.
+//! - `QPLACER_THREADS` (default: all cores): parallel worker count.
+//! - `QPLACER_FAST=1`: reduced iteration budgets for smoke runs.
 
-use qplacer::{paper_suite, PipelineConfig, Qplacer, Strategy};
-use qplacer_topology::Topology;
+use qplacer::{paper_suite, DeviceSpec, ExperimentPlan, Profile, Runner, Strategy};
 
 fn main() {
     let subsets: usize = std::env::var("QPLACER_SUBSETS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(50);
-    let engine = Qplacer::new(PipelineConfig::paper());
+    let threads: usize = std::env::var("QPLACER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let benches = paper_suite();
+    let bench_names: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let devices = DeviceSpec::paper_suite();
+    let strategies = [Strategy::FrequencyAware, Strategy::Classic];
+
+    let mut plan = ExperimentPlan::grid(
+        "fig11-fidelity",
+        &devices,
+        &strategies,
+        &bench_names,
+        subsets,
+        &[0x11],
+    );
+    if std::env::var("QPLACER_FAST").is_ok_and(|v| v != "0") {
+        plan = plan.with_profile(Profile::Fast);
+    }
+    let runner = Runner::new(threads);
+    eprintln!("fig11: {} jobs on {} threads", plan.len(), runner.threads());
+    let report = runner.run(&plan);
 
     println!("# Figure 11: mean fidelity per benchmark (Qplacer | Classic)");
     print!("{:<10}", "topology");
@@ -22,22 +50,19 @@ fn main() {
     }
     println!();
 
+    // Plan order: device-major, then strategy, then benchmark.
+    let per_device = strategies.len() * bench_names.len();
     let mut improvements: Vec<f64> = Vec::new();
-    for device in Topology::paper_suite() {
-        let aware = engine.place(&device, Strategy::FrequencyAware);
-        let classic = engine.place(&device, Strategy::Classic);
+    for (d, device) in devices.iter().enumerate() {
         print!("{:<10}", device.name());
-        for b in &benches {
-            if b.circuit.num_qubits() > device.num_qubits() {
+        for (b, _) in bench_names.iter().enumerate() {
+            let aware = &report.records[d * per_device + b];
+            let classic = &report.records[d * per_device + bench_names.len() + b];
+            if aware.subsets_evaluated == 0 {
                 print!(" {:>19}", "n/a");
                 continue;
             }
-            let fa = aware
-                .evaluate(&device, &b.circuit, subsets, 0x11)
-                .mean_fidelity;
-            let fc = classic
-                .evaluate(&device, &b.circuit, subsets, 0x11)
-                .mean_fidelity;
+            let (fa, fc) = (aware.mean_fidelity, classic.mean_fidelity);
             print!(" {:>9.2e}|{:>8.2e}", fa, fc);
             if fc > 1e-12 && fa > 0.0 {
                 improvements.push(fa / fc);

@@ -1,66 +1,92 @@
 //! Figure 12: mean program fidelity, impacted qubits, and hotspot
 //! proportion P_h per topology for QPlacer / Classic / Human.
+//!
+//! One [`ExperimentPlan`] covers device × strategy × benchmark; the
+//! harness [`Runner`] fans it out and [`Summary`] folds the records
+//! into per-arm rows. Each job re-places its device (jobs are
+//! self-contained for determinism), so lower `QPLACER_SUBSETS` for
+//! smoke runs.
+//!
+//! Environment:
+//! - `QPLACER_SUBSETS` (default 50): mappings per (benchmark, device).
+//! - `QPLACER_THREADS` (default: all cores): parallel worker count.
+//! - `QPLACER_FAST=1`: reduced iteration budgets for smoke runs.
 
-use qplacer::{paper_suite, PipelineConfig, Strategy};
-use qplacer_bench::run_all_strategies;
-use qplacer_topology::Topology;
+use qplacer::{paper_suite, DeviceSpec, ExperimentPlan, Profile, Runner, Strategy, Summary};
 
 fn main() {
     let subsets: usize = std::env::var("QPLACER_SUBSETS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(50);
+    let threads: usize = std::env::var("QPLACER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let benches = paper_suite();
+    let bench_names: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let devices = DeviceSpec::paper_suite();
+    let strategies = [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human];
+
+    let mut plan = ExperimentPlan::grid(
+        "fig12-hotspots",
+        &devices,
+        &strategies,
+        &bench_names,
+        subsets,
+        &[0xF1D0],
+    );
+    if std::env::var("QPLACER_FAST").is_ok_and(|v| v != "0") {
+        plan = plan.with_profile(Profile::Fast);
+    }
+    let runner = Runner::new(threads);
+    eprintln!("fig12: {} jobs on {} threads", plan.len(), runner.threads());
+    let report = runner.run(&plan);
+    let summaries = Summary::from_records(&report.records);
 
     println!("# Figure 12: fidelity / impacted qubits / P_h per topology");
     println!(
-        "{:<10} {:>9} | {:>12} {:>8} {:>7} | per-strategy",
+        "{:<10} {:>9} | {:>12} {:>8} {:>7}",
         "topology", "strategy", "meanFidelity", "impacted", "Ph%"
     );
 
-    let mut mean_rows: Vec<(String, Vec<(Strategy, f64, usize, f64)>)> = Vec::new();
-    for device in Topology::paper_suite() {
-        let outcomes = run_all_strategies(&device, PipelineConfig::paper());
-        let mut rows = Vec::new();
-        for o in &outcomes {
-            let hs = o.layout.hotspots();
-            // Mean fidelity over the whole benchmark suite (Fig. 12 top).
-            let mut fid = Vec::new();
-            for b in &benches {
-                if b.circuit.num_qubits() > device.num_qubits() {
-                    continue;
-                }
-                let e = o.layout.evaluate(&device, &b.circuit, subsets, 0xF1D0);
-                if !e.fidelities.is_empty() {
-                    fid.push(e.mean_fidelity);
-                }
-            }
-            let mean_f = if fid.is_empty() {
+    // Fold per-benchmark arms into one row per (device, strategy); the
+    // mean skips benchmark arms with no evaluated subsets (too large for
+    // the device), matching the paper's protocol.
+    let mut rows: Vec<(String, Strategy, f64, f64, f64)> = Vec::new();
+    for device in &devices {
+        for &strategy in &strategies {
+            let arms: Vec<_> = summaries
+                .iter()
+                .filter(|s| s.device == device.name() && s.strategy == strategy.to_string())
+                .collect();
+            let evaluated: Vec<_> = arms.iter().filter(|s| s.mean_fidelity > 0.0).collect();
+            let mean_f = if evaluated.is_empty() {
                 0.0
             } else {
-                fid.iter().sum::<f64>() / fid.len() as f64
+                evaluated.iter().map(|s| s.mean_fidelity).sum::<f64>() / evaluated.len() as f64
             };
+            let impacted =
+                arms.iter().map(|s| s.mean_impacted_qubits).sum::<f64>() / arms.len().max(1) as f64;
+            let ph = arms.iter().map(|s| s.mean_ph).sum::<f64>() / arms.len().max(1) as f64;
             println!(
-                "{:<10} {:>9} | {:>12.4e} {:>8} {:>7.2}",
+                "{:<10} {:>9} | {:>12.4e} {:>8.1} {:>7.2}",
                 device.name(),
-                o.strategy.to_string(),
+                strategy.to_string(),
                 mean_f,
-                hs.impacted_qubits.len(),
-                hs.ph * 100.0
+                impacted,
+                ph * 100.0
             );
-            rows.push((o.strategy, mean_f, hs.impacted_qubits.len(), hs.ph * 100.0));
+            rows.push((device.name(), strategy, mean_f, impacted, ph * 100.0));
         }
-        mean_rows.push((device.name().to_string(), rows));
     }
 
     // The paper's Fig. 12 claim: fidelity is inversely related to P_h.
     let (mut phs, mut fids) = (Vec::new(), Vec::new());
-    for (_, rows) in &mean_rows {
-        for &(_, mf, _, ph) in rows {
-            if mf > 0.0 {
-                phs.push(ph);
-                fids.push(mf.ln());
-            }
+    for &(_, _, mf, _, ph) in &rows {
+        if mf > 0.0 {
+            phs.push(ph);
+            fids.push(mf.ln());
         }
     }
     if let Some(r) = qplacer_numeric::pearson(&phs, &fids) {
@@ -70,25 +96,16 @@ fn main() {
 
     // Mean row (the paper's "Mean" column).
     println!("---");
-    for strategy in [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human] {
-        let (mut f, mut imp, mut ph, mut n) = (0.0, 0.0, 0.0, 0.0);
-        for (_, rows) in &mean_rows {
-            for &(s, mf, im, p) in rows {
-                if s == strategy {
-                    f += mf;
-                    imp += im as f64;
-                    ph += p;
-                    n += 1.0;
-                }
-            }
-        }
+    for strategy in strategies {
+        let of_strategy: Vec<_> = rows.iter().filter(|r| r.1 == strategy).collect();
+        let n = of_strategy.len().max(1) as f64;
         println!(
             "{:<10} {:>9} | {:>12.4e} {:>8.1} {:>7.2}",
             "Mean",
             strategy.to_string(),
-            f / n,
-            imp / n,
-            ph / n
+            of_strategy.iter().map(|r| r.2).sum::<f64>() / n,
+            of_strategy.iter().map(|r| r.3).sum::<f64>() / n,
+            of_strategy.iter().map(|r| r.4).sum::<f64>() / n,
         );
     }
 }

@@ -1,23 +1,34 @@
 //! Figure 13: minimum enclosing rectangle area ratios relative to QPlacer.
+//!
+//! A placement-only [`ExperimentPlan`] (no benchmark evaluation) over
+//! device × strategy, run through the harness [`Runner`].
+//!
+//! Environment: `QPLACER_THREADS` (default: all cores).
 
-use qplacer::PipelineConfig;
-use qplacer_bench::run_all_strategies;
-use qplacer_topology::Topology;
+use qplacer::{DeviceSpec, ExperimentPlan, Runner, Strategy};
 
 fn main() {
+    let threads: usize = std::env::var("QPLACER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let devices = DeviceSpec::paper_suite();
+    let strategies = [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human];
+    let plan = ExperimentPlan::placement_grid("fig13-area", &devices, &strategies, &[None]);
+    let runner = Runner::new(threads);
+    eprintln!("fig13: {} jobs on {} threads", plan.len(), runner.threads());
+    let report = runner.run(&plan);
+
     println!("# Figure 13: A_mer ratios vs Qplacer (smaller is better)");
     println!(
         "{:<10} {:>10} {:>9} {:>9}",
         "topology", "Qplacer", "Classic", "Human"
     );
     let mut human_ratios = Vec::new();
-    for device in Topology::paper_suite() {
-        let outcomes = run_all_strategies(&device, PipelineConfig::paper());
-        let base = outcomes[0].layout.area().mer_area;
-        let ratios: Vec<f64> = outcomes
-            .iter()
-            .map(|o| o.layout.area().mer_area / base)
-            .collect();
+    for (d, device) in devices.iter().enumerate() {
+        let per_device = &report.records[d * strategies.len()..(d + 1) * strategies.len()];
+        let base = per_device[0].mer_area_mm2;
+        let ratios: Vec<f64> = per_device.iter().map(|r| r.mer_area_mm2 / base).collect();
         println!(
             "{:<10} {:>10.3} {:>9.3} {:>9.3}",
             device.name(),

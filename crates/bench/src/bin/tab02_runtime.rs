@@ -1,38 +1,77 @@
 //! Table II: cell counts, placement runtime, and per-iteration runtime
-//! for l_b ∈ {0.2, 0.3, 0.4} on every topology.
+//! for l_b ∈ {0.2, 0.3, 0.4} on every topology — plus the harness
+//! scaling check (same plan at 1 thread vs N threads).
 //!
 //! Absolute seconds differ from the paper's Xeon/Python testbed; the
 //! shape to check is the scaling: #cells roughly 2.1x / 3.5x between
 //! sizes, runtime growing with #cells, Eagle the slowest.
+//!
+//! Environment:
+//! - `QPLACER_THREADS` (default 4): parallel worker count.
+//! - `QPLACER_FAST=1`: reduced iteration budgets for smoke runs.
+//!
+//! The whole sweep is one [`ExperimentPlan`] executed twice by the
+//! harness [`Runner`]; on a multi-core host the N-thread pass should
+//! show a ≥ 2× wall-clock speedup at 4 threads, with identical per-job
+//! metrics (the records differ only in `wall_*` fields).
 
-use qplacer::{FrequencyAssigner, GlobalPlacer, NetlistConfig, PlacerConfig, QuantumNetlist};
-use qplacer_topology::Topology;
+use qplacer::{DeviceSpec, ExperimentPlan, Profile, Runner, Strategy};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
+    let threads: usize = env_or("QPLACER_THREADS", 4);
+    let segment_sizes = [Some(0.2), Some(0.3), Some(0.4)];
+    let mut plan = ExperimentPlan::placement_grid(
+        "tab02-runtime",
+        &DeviceSpec::paper_suite(),
+        &[Strategy::FrequencyAware],
+        &segment_sizes,
+    );
+    if env_or("QPLACER_FAST", 0u8) != 0 {
+        plan = plan.with_profile(Profile::Fast);
+    }
+
+    eprintln!(
+        "tab02: running {} placement jobs twice (1 vs {threads} threads)",
+        plan.len()
+    );
+    let serial = Runner::new(1).run(&plan);
+    let parallel = Runner::new(threads).run(&plan);
+
     println!("# Table II: placement runtime vs segment size");
     println!(
         "{:<10} | {:>6} {:>7} {:>8} | {:>6} {:>7} {:>8} | {:>6} {:>7} {:>8}",
-        "topology", "#cells", "RT(s)", "avg(s)", "#cells", "RT(s)", "avg(s)", "#cells", "RT(s)",
+        "topology",
+        "#cells",
+        "RT(s)",
+        "avg(s)",
+        "#cells",
+        "RT(s)",
+        "avg(s)",
+        "#cells",
+        "RT(s)",
         "avg(s)"
     );
+    let devices = DeviceSpec::paper_suite();
     let mut totals = [(0.0f64, 0.0f64, 0.0f64); 3];
-    let devices = Topology::paper_suite();
-    for device in &devices {
+    for (d, device) in devices.iter().enumerate() {
         print!("{:<10}", device.name());
-        for (i, lb) in [0.2, 0.3, 0.4].into_iter().enumerate() {
-            let freqs = FrequencyAssigner::paper_defaults().assign(device);
-            let mut netlist =
-                QuantumNetlist::build(device, &freqs, &NetlistConfig::with_segment_size(lb));
-            let report = GlobalPlacer::new(PlacerConfig::paper()).run(&mut netlist);
-            print!(
-                " | {:>6} {:>7.2} {:>8.4}",
-                netlist.num_instances(),
-                report.elapsed_seconds,
-                report.seconds_per_iteration
-            );
-            totals[i].0 += netlist.num_instances() as f64;
-            totals[i].1 += report.elapsed_seconds;
-            totals[i].2 += report.seconds_per_iteration;
+        for (i, total) in totals.iter_mut().enumerate() {
+            // Timings come from the serial run: its jobs never share
+            // cores, so per-stage wall times are uncontended.
+            let record = &serial.records[d * segment_sizes.len() + i];
+            let rt = record.wall_place_ms / 1e3;
+            let avg = rt / record.place_iterations.max(1) as f64;
+            print!(" | {:>6} {:>7.2} {:>8.4}", record.instances, rt, avg);
+            total.0 += record.instances as f64;
+            total.1 += rt;
+            total.2 += avg;
         }
         println!();
     }
@@ -42,4 +81,30 @@ fn main() {
         print!(" | {:>6.0} {:>7.2} {:>8.4}", cells / n, rt / n, avg / n);
     }
     println!();
+
+    // Determinism cross-check: identical metrics at both thread counts.
+    let consistent = serial.records.iter().zip(&parallel.records).all(|(a, b)| {
+        a.instances == b.instances
+            && a.place_iterations == b.place_iterations
+            && a.hpwl_mm == b.hpwl_mm
+            && a.mer_area_mm2 == b.mer_area_mm2
+    });
+
+    println!();
+    println!(
+        "harness scaling: {:.1} s at 1 thread vs {:.1} s at {} threads -> {:.2}x speedup",
+        serial.wall_ms / 1e3,
+        parallel.wall_ms / 1e3,
+        parallel.threads,
+        serial.wall_ms / parallel.wall_ms.max(1e-9),
+    );
+    println!(
+        "metrics identical across thread counts: {}",
+        if consistent { "yes" } else { "NO (bug!)" }
+    );
+    if !consistent {
+        // CI's scaling-smoke step relies on this exit code to catch
+        // thread-count-dependent results.
+        std::process::exit(1);
+    }
 }

@@ -1,5 +1,11 @@
 //! Shared experiment driver: run all three placement strategies on one
 //! topology and collect layouts + reports.
+//!
+//! For metric-level sweeps prefer building an
+//! [`qplacer_harness::ExperimentPlan`] and fanning it out with
+//! [`qplacer_harness::Runner`] (see `fig11`/`fig12`/`fig13`/`tab02`);
+//! this helper remains for callers that need the placed layouts
+//! themselves (e.g. `fig01` renders geometry from them).
 
 use qplacer::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
 use qplacer_topology::Topology;

@@ -168,7 +168,10 @@ mod tests {
             let c = bv(n);
             assert_eq!(c.num_qubits(), n);
             // Oracle CX count = ceil((n-1)/2) with the alternating secret.
-            assert_eq!(c.two_qubit_count(), n.div_ceil(2) - if n % 2 == 0 { 0 } else { 1 });
+            assert_eq!(
+                c.two_qubit_count(),
+                n.div_ceil(2) - if n % 2 == 0 { 0 } else { 1 }
+            );
         }
     }
 

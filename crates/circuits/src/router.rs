@@ -98,7 +98,11 @@ impl<'a> Router<'a> {
     ///
     /// Returns a [`RoutingError`] if the subset is too small, contains
     /// unknown qubits, or is disconnected.
-    pub fn route(&self, circuit: &Circuit, subset: &[usize]) -> Result<RoutedCircuit, RoutingError> {
+    pub fn route(
+        &self,
+        circuit: &Circuit,
+        subset: &[usize],
+    ) -> Result<RoutedCircuit, RoutingError> {
         let n_logical = circuit.num_qubits();
         if subset.len() < n_logical {
             return Err(RoutingError::SubsetTooSmall {
@@ -114,11 +118,8 @@ impl<'a> Router<'a> {
 
         // Subset-internal adjacency and all-pairs distances (BFS per node;
         // subsets are small).
-        let index_of: HashMap<usize, usize> = subset
-            .iter()
-            .enumerate()
-            .map(|(i, &q)| (q, i))
-            .collect();
+        let index_of: HashMap<usize, usize> =
+            subset.iter().enumerate().map(|(i, &q)| (q, i)).collect();
         let k = subset.len();
         let adj: Vec<Vec<usize>> = subset
             .iter()
@@ -247,8 +248,8 @@ fn bfs_order(adj: &[Vec<usize>], root: usize) -> Vec<usize> {
     }
     // Disconnected leftovers appended (caller rejects disconnected subsets
     // for routing, but the order function stays total).
-    for v in 0..n {
-        if !seen[v] {
+    for (v, &was_seen) in seen.iter().enumerate().take(n) {
+        if !was_seen {
             order.push(v);
         }
     }

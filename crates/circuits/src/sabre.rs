@@ -94,10 +94,8 @@ impl<'a> SabreRouter<'a> {
         // Initial mapping: BFS from the highest-degree slot (same heuristic
         // as the greedy router so comparisons isolate the routing policy).
         let root = (0..k).max_by_key(|&i| adj[i].len()).unwrap_or(0);
-        let mut log_to_slot: Vec<usize> = bfs_order(&adj, root)
-            .into_iter()
-            .take(n_logical)
-            .collect();
+        let mut log_to_slot: Vec<usize> =
+            bfs_order(&adj, root).into_iter().take(n_logical).collect();
 
         // Dependency bookkeeping: for each gate, its unsatisfied
         // predecessor count; per-qubit "last gate seen" builds the DAG.
@@ -129,9 +127,7 @@ impl<'a> SabreRouter<'a> {
             while let Some(gi) = front.pop_front() {
                 let g = gates[gi];
                 let executable = match g {
-                    Gate::Cx(a, b) | Gate::Cz(a, b) => {
-                        dist[log_to_slot[a]][log_to_slot[b]] == 1
-                    }
+                    Gate::Cx(a, b) | Gate::Cz(a, b) => dist[log_to_slot[a]][log_to_slot[b]] == 1,
                     _ => true,
                 };
                 if executable {
@@ -158,9 +154,7 @@ impl<'a> SabreRouter<'a> {
             let front_pairs: Vec<(usize, usize)> = front
                 .iter()
                 .filter_map(|&gi| match gates[gi] {
-                    Gate::Cx(a, b) | Gate::Cz(a, b) => {
-                        Some((log_to_slot[a], log_to_slot[b]))
-                    }
+                    Gate::Cx(a, b) | Gate::Cz(a, b) => Some((log_to_slot[a], log_to_slot[b])),
                     _ => None,
                 })
                 .collect();
@@ -172,9 +166,7 @@ impl<'a> SabreRouter<'a> {
                 .filter(|&(gi, g)| !executed[gi] && g.is_two_qubit())
                 .take(EXTENDED_WINDOW)
                 .filter_map(|(_, g)| match *g {
-                    Gate::Cx(a, b) | Gate::Cz(a, b) => {
-                        Some((log_to_slot[a], log_to_slot[b]))
-                    }
+                    Gate::Cx(a, b) | Gate::Cz(a, b) => Some((log_to_slot[a], log_to_slot[b])),
                     _ => None,
                 })
                 .collect();
@@ -191,14 +183,8 @@ impl<'a> SabreRouter<'a> {
             candidate_slots.dedup();
             for (sa, nbrs) in candidate_slots.into_iter().map(|s| (s, &adj[s])) {
                 for &sb in nbrs {
-                    let score = swap_score(
-                        (sa, sb),
-                        &front_pairs,
-                        &extended,
-                        &dist,
-                        &decay,
-                    );
-                    if best.map_or(true, |(_, b)| score < b) {
+                    let score = swap_score((sa, sb), &front_pairs, &extended, &dist, &decay);
+                    if best.is_none_or(|(_, b)| score < b) {
                         best = Some(((sa, sb), score));
                     }
                 }
@@ -216,7 +202,7 @@ impl<'a> SabreRouter<'a> {
                 log_to_slot[t] = sa;
             }
             rounds += 1;
-            if rounds % DECAY_RESET == 0 {
+            if rounds.is_multiple_of(DECAY_RESET) {
                 decay.fill(1.0);
             }
         }
@@ -319,8 +305,8 @@ fn bfs_order(adj: &[Vec<usize>], root: usize) -> Vec<usize> {
             }
         }
     }
-    for v in 0..n {
-        if !seen[v] {
+    for (v, &was_seen) in seen.iter().enumerate().take(n) {
+        if !was_seen {
             order.push(v);
         }
     }
@@ -340,10 +326,7 @@ mod tests {
             }
         }
         // Gate count = original + 3 per swap.
-        assert_eq!(
-            routed.gates.len(),
-            original.len() + 3 * routed.swap_count
-        );
+        assert_eq!(routed.gates.len(), original.len() + 3 * routed.swap_count);
     }
 
     #[test]

@@ -67,17 +67,11 @@ impl Schedule {
             let end = start + duration;
             for &q in &qs {
                 available.insert(q, end);
-                *busy.entry(q).or_insert(Duration::ZERO) = busy
-                    .get(&q)
-                    .copied()
-                    .unwrap_or(Duration::ZERO)
-                    + duration;
+                *busy.entry(q).or_insert(Duration::ZERO) =
+                    busy.get(&q).copied().unwrap_or(Duration::ZERO) + duration;
                 if gate.is_two_qubit() {
-                    *two_qubit_busy.entry(q).or_insert(Duration::ZERO) = two_qubit_busy
-                        .get(&q)
-                        .copied()
-                        .unwrap_or(Duration::ZERO)
-                        + duration;
+                    *two_qubit_busy.entry(q).or_insert(Duration::ZERO) =
+                        two_qubit_busy.get(&q).copied().unwrap_or(Duration::ZERO) + duration;
                 }
             }
             if end > total {

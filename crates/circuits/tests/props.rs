@@ -17,9 +17,8 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
                 (0..n).prop_map(Gate::X),
                 (0..n).prop_map(Gate::Sx),
                 ((0..n), -3.0f64..3.0).prop_map(|(q, a)| Gate::Rz(q, a)),
-                ((0..n), (0..n)).prop_filter_map("distinct", |(a, b)| {
-                    (a != b).then_some(Gate::Cx(a, b))
-                }),
+                ((0..n), (0..n))
+                    .prop_filter_map("distinct", |(a, b)| { (a != b).then_some(Gate::Cx(a, b)) }),
             ],
             0..40,
         )

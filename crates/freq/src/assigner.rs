@@ -129,7 +129,11 @@ impl FrequencyAssigner {
 
     /// Assigner with custom spectra.
     #[must_use]
-    pub fn new(qubit_band: Spectrum, resonator_band: Spectrum, qubit_conflict_radius: usize) -> Self {
+    pub fn new(
+        qubit_band: Spectrum,
+        resonator_band: Spectrum,
+        qubit_conflict_radius: usize,
+    ) -> Self {
         Self {
             qubit_band,
             resonator_band,
@@ -233,11 +237,11 @@ fn direct_adjacency(topology: &Topology) -> Vec<Vec<usize>> {
 fn radius_conflicts(topology: &Topology, radius: usize) -> Vec<Vec<usize>> {
     let n = topology.num_qubits();
     let mut out = vec![Vec::new(); n];
-    for v in 0..n {
+    for (v, adjacent) in out.iter_mut().enumerate() {
         let dist = topology.bfs_distances(v);
         for (u, &d) in dist.iter().enumerate() {
             if u != v && d <= radius {
-                out[v].push(u);
+                adjacent.push(u);
             }
         }
     }
@@ -357,12 +361,8 @@ mod wrap_tests {
         // K4 on a 3-slot band: chromatic number 4 > 3 slots, so one direct
         // collision is unavoidable — but never more than necessary, and
         // all frequencies stay in-band.
-        let t = Topology::from_edges(
-            "k4",
-            4,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let t = Topology::from_edges("k4", 4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let narrow = Spectrum::new(
             Frequency::from_ghz(5.0),
             Frequency::from_ghz(5.2),
@@ -374,7 +374,11 @@ mod wrap_tests {
             assert!(f >= Frequency::from_ghz(5.0) && f <= Frequency::from_ghz(5.2));
         }
         // K4 over 3 slots admits at best one colliding pair.
-        assert!(a.qubit_conflicts(&t).len() <= 2, "{:?}", a.qubit_conflicts(&t));
+        assert!(
+            a.qubit_conflicts(&t).len() <= 2,
+            "{:?}",
+            a.qubit_conflicts(&t)
+        );
     }
 
     /// Degree below the slot count: the repair pass guarantees zero direct

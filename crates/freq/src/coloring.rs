@@ -84,7 +84,9 @@ mod tests {
     }
 
     fn adjacency_of(t: &Topology) -> Vec<Vec<usize>> {
-        (0..t.num_qubits()).map(|q| t.neighbors(q).to_vec()).collect()
+        (0..t.num_qubits())
+            .map(|q| t.neighbors(q).to_vec())
+            .collect()
     }
 
     #[test]

@@ -95,7 +95,10 @@ impl Spectrum {
     pub fn slot_of(&self, f: Frequency) -> Option<usize> {
         let rel = (f - self.min) / self.step;
         let k = rel.round();
-        if k < -0.5 || (f - self.slot(k.max(0.0) as usize)).abs() > self.step * 0.5 + Frequency::from_ghz(1e-12) {
+        if k < -0.5
+            || (f - self.slot(k.max(0.0) as usize)).abs()
+                > self.step * 0.5 + Frequency::from_ghz(1e-12)
+        {
             return None;
         }
         let k = k as usize;

@@ -185,8 +185,12 @@ impl Rect {
     /// 0 when they overlap or touch, otherwise the Euclidean clearance.
     #[must_use]
     pub fn clearance(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 

@@ -8,8 +8,7 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.01f64..20.0, 0.01f64..20.0)
-        .prop_map(|(c, w, h)| Rect::from_center(c, w, h))
+    (arb_point(), 0.01f64..20.0, 0.01f64..20.0).prop_map(|(c, w, h)| Rect::from_center(c, w, h))
 }
 
 proptest! {

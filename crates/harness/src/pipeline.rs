@@ -202,8 +202,7 @@ impl Qplacer {
                 }
             }
             Strategy::FrequencyAware | Strategy::Classic => {
-                let mut netlist =
-                    QuantumNetlist::build(device, &assignment, &self.config.netlist);
+                let mut netlist = QuantumNetlist::build(device, &assignment, &self.config.netlist);
                 let mut placer_cfg = self.config.placer;
                 placer_cfg.frequency_aware = strategy == Strategy::FrequencyAware;
                 let placement = GlobalPlacer::new(placer_cfg).run(&mut netlist);

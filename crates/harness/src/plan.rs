@@ -1,0 +1,377 @@
+//! Declarative experiment plans: what to run, not how to run it.
+//!
+//! An [`ExperimentPlan`] is a serde-round-trippable list of [`JobSpec`]s,
+//! usually built as a device × strategy × benchmark × seed grid via
+//! [`ExperimentPlan::grid`]. Plans carry everything needed to reproduce a
+//! run — the [`Runner`](crate::Runner) derives all randomness from the
+//! specs, never from global state.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_topology::Topology;
+
+use crate::pipeline::{PipelineConfig, Strategy};
+use qplacer_netlist::NetlistConfig;
+use qplacer_place::PlacerConfig;
+
+/// A device topology as declarative data (rather than a built
+/// [`Topology`]), so plans stay compact and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceSpec {
+    /// Regular `width` × `height` lattice.
+    Grid {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// IBM Falcon r5.11 heavy-hex (27 qubits).
+    Falcon27,
+    /// IBM Eagle r1 heavy-hex (127 qubits).
+    Eagle127,
+    /// Rigetti Aspen octagon lattice.
+    Aspen {
+        /// Octagon rows.
+        rows: usize,
+        /// Octagon columns.
+        cols: usize,
+    },
+    /// Pauli-string-efficient X-tree.
+    Xtree {
+        /// Children of the root.
+        root: usize,
+        /// Branching factor below the root.
+        branch: usize,
+        /// Tree depth.
+        levels: usize,
+    },
+}
+
+impl DeviceSpec {
+    /// Materializes the topology.
+    #[must_use]
+    pub fn build(&self) -> Topology {
+        match *self {
+            DeviceSpec::Grid { width, height } => Topology::grid(width, height),
+            DeviceSpec::Falcon27 => Topology::falcon27(),
+            DeviceSpec::Eagle127 => Topology::eagle127(),
+            DeviceSpec::Aspen { rows, cols } => Topology::aspen(rows, cols),
+            DeviceSpec::Xtree {
+                root,
+                branch,
+                levels,
+            } => Topology::xtree(root, branch, levels),
+        }
+    }
+
+    /// The device's display name (matches [`Topology::name`]).
+    ///
+    /// Computed without materializing the topology, so it stays usable
+    /// for labeling records of specs whose construction panics.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            DeviceSpec::Grid { width, height } => format!("Grid-{width}x{height}"),
+            DeviceSpec::Falcon27 => "Falcon".to_string(),
+            DeviceSpec::Eagle127 => "Eagle".to_string(),
+            DeviceSpec::Aspen { rows: 1, cols: 5 } => "Aspen-11".to_string(),
+            DeviceSpec::Aspen { rows: 2, cols: 5 } => "Aspen-M".to_string(),
+            DeviceSpec::Aspen { rows, cols } => format!("Octagon-{rows}x{cols}"),
+            DeviceSpec::Xtree {
+                root,
+                branch,
+                levels,
+            } => {
+                // Node count: 1 + root·(1 + b + b² + … + b^{levels-1}).
+                let mut nodes = 1usize;
+                let mut level_width = root;
+                for _ in 0..levels {
+                    nodes += level_width;
+                    level_width = level_width.saturating_mul(branch);
+                }
+                format!("Xtree-{nodes}")
+            }
+        }
+    }
+
+    /// The paper's six-device suite (§VI-A), in Table II order.
+    #[must_use]
+    pub fn paper_suite() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::Grid {
+                width: 5,
+                height: 5,
+            },
+            DeviceSpec::Falcon27,
+            DeviceSpec::Eagle127,
+            DeviceSpec::Aspen { rows: 1, cols: 5 },
+            DeviceSpec::Aspen { rows: 2, cols: 5 },
+            DeviceSpec::Xtree {
+                root: 4,
+                branch: 3,
+                levels: 3,
+            },
+        ]
+    }
+
+    /// Parses the CLI topology names (`grid`, `falcon`, `eagle`,
+    /// `aspen11`, `aspenm`, `xtree`).
+    pub fn parse(name: &str) -> Result<DeviceSpec, String> {
+        Ok(match name {
+            "grid" => DeviceSpec::Grid {
+                width: 5,
+                height: 5,
+            },
+            "falcon" => DeviceSpec::Falcon27,
+            "eagle" => DeviceSpec::Eagle127,
+            "aspen11" => DeviceSpec::Aspen { rows: 1, cols: 5 },
+            "aspenm" => DeviceSpec::Aspen { rows: 2, cols: 5 },
+            "xtree" => DeviceSpec::Xtree {
+                root: 4,
+                branch: 3,
+                levels: 3,
+            },
+            other => return Err(format!("unknown topology `{other}`")),
+        })
+    }
+}
+
+/// Pipeline budget profile for a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Profile {
+    /// The paper's full iteration budgets.
+    #[default]
+    Paper,
+    /// Reduced budgets for tests, docs, and smoke runs.
+    Fast,
+}
+
+impl Profile {
+    /// The corresponding pipeline configuration.
+    #[must_use]
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        match self {
+            Profile::Paper => PipelineConfig::paper(),
+            Profile::Fast => PipelineConfig::fast(),
+        }
+    }
+}
+
+/// One unit of work: place a device with a strategy and (optionally)
+/// evaluate one benchmark on the placed layout.
+///
+/// A job is self-contained: two jobs with equal specs produce identical
+/// records (modulo wall-time fields) no matter which thread runs them or
+/// in which order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The device to lay out.
+    pub device: DeviceSpec,
+    /// The placement arm.
+    pub strategy: Strategy,
+    /// Benchmark name from [`qplacer_circuits::paper_suite`] (e.g.
+    /// `"bv-4"`), or `None` for a placement-only job.
+    pub benchmark: Option<String>,
+    /// Random connected subsets to evaluate (ignored without benchmark).
+    pub subsets: usize,
+    /// Seed for subset sampling; the sole source of randomness.
+    pub seed: u64,
+    /// Resonator segment size `l_b` override (mm); `None` = paper default.
+    pub segment_size_mm: Option<f64>,
+}
+
+impl JobSpec {
+    /// Resolves the benchmark name against the paper suite.
+    pub fn resolve_benchmark(&self) -> Result<Option<qplacer_circuits::Benchmark>, String> {
+        match &self.benchmark {
+            None => Ok(None),
+            Some(name) => qplacer_circuits::paper_suite()
+                .into_iter()
+                .find(|b| &b.name == name)
+                .map(Some)
+                .ok_or_else(|| format!("unknown benchmark `{name}`")),
+        }
+    }
+
+    /// The pipeline configuration this job runs under.
+    #[must_use]
+    pub fn pipeline_config(&self, profile: Profile) -> PipelineConfig {
+        let mut config = profile.pipeline_config();
+        if let Some(lb) = self.segment_size_mm {
+            config.netlist = NetlistConfig::with_segment_size(lb);
+        }
+        config
+    }
+}
+
+/// A named batch of jobs plus shared execution settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentPlan {
+    /// Plan name, stamped into every record.
+    pub name: String,
+    /// Pipeline budget profile.
+    pub profile: Profile,
+    /// The jobs, in deterministic emission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentPlan {
+            name: name.into(),
+            profile: Profile::Paper,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Switches the plan to reduced (test/docs) budgets.
+    #[must_use]
+    pub fn with_profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Builds the full device × strategy × benchmark × seed grid, the
+    /// Fig. 11/12 evaluation shape.
+    ///
+    /// Job order is the nesting order of the arguments, so records are
+    /// emitted grouped by device, then strategy, then benchmark, then
+    /// seed.
+    #[must_use]
+    pub fn grid(
+        name: impl Into<String>,
+        devices: &[DeviceSpec],
+        strategies: &[Strategy],
+        benchmarks: &[&str],
+        subsets: usize,
+        seeds: &[u64],
+    ) -> Self {
+        let mut plan = ExperimentPlan::new(name);
+        for &device in devices {
+            for &strategy in strategies {
+                for benchmark in benchmarks {
+                    for &seed in seeds {
+                        plan.jobs.push(JobSpec {
+                            device,
+                            strategy,
+                            benchmark: Some((*benchmark).to_string()),
+                            subsets,
+                            seed,
+                            segment_size_mm: None,
+                        });
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Builds a placement-only grid (no benchmark evaluation): the
+    /// Fig. 13 / Table II shape, optionally sweeping segment sizes.
+    #[must_use]
+    pub fn placement_grid(
+        name: impl Into<String>,
+        devices: &[DeviceSpec],
+        strategies: &[Strategy],
+        segment_sizes: &[Option<f64>],
+    ) -> Self {
+        let mut plan = ExperimentPlan::new(name);
+        for &device in devices {
+            for &strategy in strategies {
+                for &segment_size_mm in segment_sizes {
+                    plan.jobs.push(JobSpec {
+                        device,
+                        strategy,
+                        benchmark: None,
+                        subsets: 0,
+                        seed: 0,
+                        segment_size_mm,
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// The placer configuration a profile implies — exposed for callers that
+/// bypass the runner but want matching budgets.
+#[must_use]
+pub fn placer_config(profile: Profile) -> PlacerConfig {
+    profile.pipeline_config().placer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_cartesian_size_and_order() {
+        let plan = ExperimentPlan::grid(
+            "t",
+            &DeviceSpec::paper_suite()[..2],
+            &[Strategy::FrequencyAware, Strategy::Classic],
+            &["bv-4", "qaoa-4", "ising-4"],
+            10,
+            &[1, 2],
+        );
+        assert_eq!(plan.len(), 2 * 2 * 3 * 2);
+        assert_eq!(plan.jobs[0].device, plan.jobs[1].device);
+        assert_eq!(plan.jobs[0].benchmark.as_deref(), Some("bv-4"));
+        assert_eq!(plan.jobs[1].seed, 2);
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = ExperimentPlan::grid(
+            "round-trip",
+            &[DeviceSpec::Falcon27],
+            &[Strategy::Human],
+            &["bv-4"],
+            5,
+            &[7],
+        )
+        .with_profile(Profile::Fast);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ExperimentPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn device_specs_match_paper_suite() {
+        let specs = DeviceSpec::paper_suite();
+        let built = Topology::paper_suite();
+        assert_eq!(specs.len(), built.len());
+        for (spec, topo) in specs.iter().zip(&built) {
+            assert_eq!(spec.name(), topo.name());
+            assert_eq!(spec.build().num_qubits(), topo.num_qubits());
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_rejected() {
+        let job = JobSpec {
+            device: DeviceSpec::Falcon27,
+            strategy: Strategy::FrequencyAware,
+            benchmark: Some("nope-9".to_string()),
+            subsets: 1,
+            seed: 0,
+            segment_size_mm: None,
+        };
+        assert!(job.resolve_benchmark().is_err());
+    }
+}

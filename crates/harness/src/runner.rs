@@ -1,0 +1,442 @@
+//! The parallel experiment runner: fans [`JobSpec`]s across a thread
+//! pool with deterministic per-job seeding and panic isolation.
+
+use std::panic::AssertUnwindSafe;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::Qplacer;
+use crate::plan::{ExperimentPlan, JobSpec};
+use crate::sink::Sink;
+use crate::summary::{ArmSummary, Summary};
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// The job ran to completion.
+    Ok,
+    /// The job spec could not be executed (e.g. unknown benchmark).
+    Failed {
+        /// Why.
+        error: String,
+    },
+    /// The pipeline panicked; the panic was contained to this job.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// Whether the job completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+}
+
+/// One job's structured outcome — the stable record schema every sink
+/// receives.
+///
+/// All fields are deterministic functions of the [`JobSpec`] except the
+/// `wall_*` fields, which carry wall-clock timings. Consumers comparing
+/// records across runs should ignore the `wall_` prefix (the harness
+/// determinism tests do exactly that).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Plan name.
+    pub plan: String,
+    /// Index of the job within the plan.
+    pub job_index: usize,
+    /// Device display name.
+    pub device: String,
+    /// Strategy display name (`Qplacer` / `Classic` / `Human`).
+    pub strategy: String,
+    /// Benchmark name, or `None` for placement-only jobs.
+    pub benchmark: Option<String>,
+    /// Subset-sampling seed.
+    pub seed: u64,
+    /// Segment-size override, if any.
+    pub segment_size_mm: Option<f64>,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Movable instances in the netlist (qubits + segments).
+    pub instances: usize,
+    /// Global-placement iterations (0 for the Human arm).
+    pub place_iterations: usize,
+    /// Final half-perimeter wirelength (mm).
+    pub hpwl_mm: f64,
+    /// Minimum-enclosing-rectangle area (mm²), Eq. 17.
+    pub mer_area_mm2: f64,
+    /// Area utilization in the MER.
+    pub utilization: f64,
+    /// Hotspot proportion P_h, Eq. 18.
+    pub ph: f64,
+    /// Qubits inside at least one violating pair.
+    pub impacted_qubits: usize,
+    /// Resonant-pair violations in the final layout.
+    pub violations: usize,
+    /// Subsets requested for evaluation.
+    pub subsets_requested: usize,
+    /// Subsets that produced a fidelity sample.
+    pub subsets_evaluated: usize,
+    /// Subsets skipped because the circuit exceeds the device.
+    pub subsets_skipped_too_large: usize,
+    /// Subsets skipped because routing failed.
+    pub subsets_skipped_unroutable: usize,
+    /// Mean fidelity over evaluated subsets.
+    pub mean_fidelity: f64,
+    /// Worst fidelity over evaluated subsets.
+    pub min_fidelity: f64,
+    /// Mean crosstalk-contributing violations per subset.
+    pub mean_active_violations: f64,
+    /// Total job wall time (ms). Non-deterministic.
+    pub wall_ms: f64,
+    /// Placement-stage wall time (ms). Non-deterministic.
+    pub wall_place_ms: f64,
+}
+
+impl JobRecord {
+    fn blank(plan: &str, job_index: usize, spec: &JobSpec) -> JobRecord {
+        JobRecord {
+            plan: plan.to_string(),
+            job_index,
+            device: spec.device.name(),
+            strategy: spec.strategy.to_string(),
+            benchmark: spec.benchmark.clone(),
+            seed: spec.seed,
+            segment_size_mm: spec.segment_size_mm,
+            status: JobStatus::Ok,
+            instances: 0,
+            place_iterations: 0,
+            hpwl_mm: 0.0,
+            mer_area_mm2: 0.0,
+            utilization: 0.0,
+            ph: 0.0,
+            impacted_qubits: 0,
+            violations: 0,
+            subsets_requested: 0,
+            subsets_evaluated: 0,
+            subsets_skipped_too_large: 0,
+            subsets_skipped_unroutable: 0,
+            mean_fidelity: 0.0,
+            min_fidelity: 0.0,
+            mean_active_violations: 0.0,
+            wall_ms: 0.0,
+            wall_place_ms: 0.0,
+        }
+    }
+
+    /// The CSV column names, in emission order.
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "plan,job_index,device,strategy,benchmark,seed,segment_size_mm,status,\
+         instances,place_iterations,hpwl_mm,mer_area_mm2,utilization,ph,\
+         impacted_qubits,violations,subsets_requested,subsets_evaluated,\
+         subsets_skipped_too_large,subsets_skipped_unroutable,mean_fidelity,\
+         min_fidelity,mean_active_violations,wall_ms,wall_place_ms"
+    }
+
+    /// One CSV row matching [`JobRecord::csv_header`].
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        let status = match &self.status {
+            JobStatus::Ok => "ok".to_string(),
+            JobStatus::Failed { error } => format!("failed: {error}"),
+            JobStatus::Panicked { message } => format!("panicked: {message}"),
+        };
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&self.plan),
+            self.job_index,
+            csv_escape(&self.device),
+            csv_escape(&self.strategy),
+            self.benchmark
+                .as_deref()
+                .map(csv_escape)
+                .unwrap_or_default(),
+            self.seed,
+            self.segment_size_mm
+                .map(|v| format!("{v:?}"))
+                .unwrap_or_default(),
+            csv_escape(&status),
+            self.instances,
+            self.place_iterations,
+            self.hpwl_mm,
+            self.mer_area_mm2,
+            self.utilization,
+            self.ph,
+            self.impacted_qubits,
+            self.violations,
+            self.subsets_requested,
+            self.subsets_evaluated,
+            self.subsets_skipped_too_large,
+            self.subsets_skipped_unroutable,
+            self.mean_fidelity,
+            self.min_fidelity,
+            self.mean_active_violations,
+            self.wall_ms,
+            self.wall_place_ms,
+        )
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Everything a completed run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Plan name.
+    pub plan: String,
+    /// Thread count the runner used.
+    pub threads: usize,
+    /// Total wall time of the run (ms).
+    pub wall_ms: f64,
+    /// Per-job records, in plan order.
+    pub records: Vec<JobRecord>,
+}
+
+impl RunReport {
+    /// Jobs that did not complete.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&JobRecord> {
+        self.records.iter().filter(|r| !r.status.is_ok()).collect()
+    }
+
+    /// Aggregates the records per (device, strategy, benchmark) arm.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<ArmSummary> {
+        Summary::from_records(&self.records)
+    }
+}
+
+/// Fans an [`ExperimentPlan`]'s jobs across a thread pool.
+///
+/// Guarantees:
+///
+/// - **Determinism** — all randomness derives from each job's
+///   [`JobSpec::seed`]; records (minus `wall_*` fields) are identical for
+///   any thread count and any scheduling order. Sinks always receive
+///   records in plan order.
+/// - **Panic isolation** — a panicking job yields a
+///   [`JobStatus::Panicked`] record; sibling jobs are unaffected.
+/// - **Depth-1 nesting** — per-subset parallelism inside
+///   [`qplacer_metrics::evaluate_benchmark`] shares the same pool, so
+///   job- and subset-level fan-out never oversubscribe the machine.
+#[derive(Debug)]
+pub struct Runner {
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner over `threads` workers (`0` = one per available core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread pool cannot be built (never happens with the
+    /// vendored rayon stand-in).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("building thread pool");
+        let threads = pool.current_num_threads();
+        Runner { pool, threads }
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the plan, returning records in plan order.
+    #[must_use]
+    pub fn run(&self, plan: &ExperimentPlan) -> RunReport {
+        let start = Instant::now();
+        let records: Vec<JobRecord> = self.pool.install(|| {
+            (0..plan.jobs.len())
+                .into_par_iter()
+                .map(|index| execute_job(plan, index))
+                .collect()
+        });
+        RunReport {
+            plan: plan.name.clone(),
+            threads: self.threads,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            records,
+        }
+    }
+
+    /// Runs the plan to completion, then writes every record (in plan
+    /// order) into each sink, bracketed by [`Sink::begin`] /
+    /// [`Sink::finish`].
+    ///
+    /// Writing happens after the whole run so record order — and
+    /// therefore sink output — is independent of job scheduling. The
+    /// trade-off: a run killed midway leaves file sinks empty. For
+    /// incremental persistence of very long sweeps, split the plan into
+    /// chunks and call this per chunk.
+    pub fn run_with_sinks(
+        &self,
+        plan: &ExperimentPlan,
+        sinks: &mut [&mut dyn Sink],
+    ) -> std::io::Result<RunReport> {
+        let report = self.run(plan);
+        for sink in sinks.iter_mut() {
+            sink.begin(plan)?;
+            for record in &report.records {
+                sink.record(record)?;
+            }
+            sink.finish()?;
+        }
+        Ok(report)
+    }
+}
+
+/// Executes one job, containing panics to its record.
+fn execute_job(plan: &ExperimentPlan, index: usize) -> JobRecord {
+    let spec = &plan.jobs[index];
+    let mut record = JobRecord::blank(&plan.name, index, spec);
+    let start = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline_job(plan, index)));
+    record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(Ok(filled)) => {
+            let wall_ms = record.wall_ms;
+            record = *filled;
+            record.wall_ms = wall_ms;
+        }
+        Ok(Err(error)) => record.status = JobStatus::Failed { error },
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            record.status = JobStatus::Panicked { message };
+        }
+    }
+    record
+}
+
+/// The happy path of one job: place, measure, optionally evaluate.
+fn run_pipeline_job(plan: &ExperimentPlan, index: usize) -> Result<Box<JobRecord>, String> {
+    let spec = &plan.jobs[index];
+    let mut record = JobRecord::blank(&plan.name, index, spec);
+    let benchmark = spec.resolve_benchmark()?;
+    let device = spec.device.build();
+    let config = spec.pipeline_config(plan.profile);
+
+    let layout = Qplacer::new(config).place(&device, spec.strategy);
+
+    record.instances = layout.netlist.num_instances();
+    if let Some(placement) = &layout.placement {
+        record.place_iterations = placement.iterations;
+        record.hpwl_mm = placement.hpwl;
+        record.wall_place_ms = placement.elapsed_seconds * 1e3;
+    }
+    let area = layout.area();
+    record.mer_area_mm2 = area.mer_area;
+    record.utilization = area.utilization;
+    let hotspots = layout.hotspots();
+    record.ph = hotspots.ph;
+    record.impacted_qubits = hotspots.impacted_qubits.len();
+    record.violations = hotspots.violations.len();
+
+    if let Some(benchmark) = benchmark {
+        let eval = layout.evaluate(&device, &benchmark.circuit, spec.subsets, spec.seed);
+        record.subsets_requested = eval.requested_subsets;
+        record.subsets_evaluated = eval.fidelities.len();
+        record.subsets_skipped_too_large = eval.skipped_too_large;
+        record.subsets_skipped_unroutable = eval.skipped_unroutable;
+        record.mean_fidelity = eval.mean_fidelity;
+        record.min_fidelity = eval.min_fidelity;
+        record.mean_active_violations = eval.mean_active_violations;
+    }
+
+    Ok(Box::new(record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use crate::plan::{DeviceSpec, Profile};
+
+    fn tiny_plan() -> ExperimentPlan {
+        ExperimentPlan::grid(
+            "tiny",
+            &[DeviceSpec::Grid {
+                width: 3,
+                height: 3,
+            }],
+            &[Strategy::FrequencyAware, Strategy::Human],
+            &["bv-4"],
+            2,
+            &[5],
+        )
+        .with_profile(Profile::Fast)
+    }
+
+    #[test]
+    fn runner_preserves_plan_order_and_fills_records() {
+        let report = Runner::new(2).run(&tiny_plan());
+        assert_eq!(report.records.len(), 2);
+        for (i, record) in report.records.iter().enumerate() {
+            assert_eq!(record.job_index, i);
+            assert!(record.status.is_ok(), "{:?}", record.status);
+            assert!(record.instances > 0);
+            assert!(record.mer_area_mm2 > 0.0);
+            assert_eq!(record.subsets_requested, 2);
+        }
+        assert_eq!(report.records[0].strategy, "Qplacer");
+        assert_eq!(report.records[1].strategy, "Human");
+        assert!(report.failures().is_empty());
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_only_that_job() {
+        let mut plan = tiny_plan();
+        plan.jobs[0].benchmark = Some("not-a-benchmark".to_string());
+        let report = Runner::new(2).run(&plan);
+        assert!(matches!(report.records[0].status, JobStatus::Failed { .. }));
+        assert!(report.records[1].status.is_ok());
+        assert_eq!(report.failures().len(), 1);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let mut plan = tiny_plan();
+        // An empty xtree panics inside topology construction.
+        plan.jobs[0].device = DeviceSpec::Grid {
+            width: 0,
+            height: 0,
+        };
+        let report = Runner::new(2).run(&plan);
+        match &report.records[0].status {
+            JobStatus::Panicked { message } => assert!(!message.is_empty()),
+            other => panic!("expected panic status, got {other:?}"),
+        }
+        assert!(report.records[1].status.is_ok());
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let report = Runner::new(1).run(&tiny_plan());
+        let columns = JobRecord::csv_header().split(',').count();
+        for record in &report.records {
+            assert_eq!(record.csv_row().split(',').count(), columns);
+        }
+    }
+}

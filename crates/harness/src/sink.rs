@@ -1,0 +1,172 @@
+//! Result sinks: pluggable consumers of [`JobRecord`]s.
+//!
+//! Sinks receive records **in plan order** regardless of how the runner
+//! scheduled the jobs, so two runs of the same plan write byte-identical
+//! streams modulo the `wall_*` fields.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::plan::ExperimentPlan;
+use crate::runner::JobRecord;
+
+/// A consumer of experiment records.
+pub trait Sink {
+    /// Called once before the first record.
+    fn begin(&mut self, _plan: &ExperimentPlan) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called once per record, in plan order.
+    fn record(&mut self, record: &JobRecord) -> io::Result<()>;
+
+    /// Called once after the last record.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Keeps records in memory (summaries, tests, further processing).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The collected records.
+    pub records: Vec<JobRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, record: &JobRecord) -> io::Result<()> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line (JSONL), the harness's canonical
+/// machine-readable output.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and writes JSONL to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Returns the inner writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, record: &JobRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{line}")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Writes RFC-4180-style CSV with a header row.
+pub struct CsvSink<W: Write> {
+    writer: W,
+}
+
+impl CsvSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and writes CSV to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(CsvSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps any writer.
+    pub fn new(writer: W) -> Self {
+        CsvSink { writer }
+    }
+
+    /// Returns the inner writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for CsvSink<W> {
+    fn begin(&mut self, _plan: &ExperimentPlan) -> io::Result<()> {
+        writeln!(self.writer, "{}", JobRecord::csv_header())
+    }
+
+    fn record(&mut self, record: &JobRecord) -> io::Result<()> {
+        writeln!(self.writer, "{}", record.csv_row())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use crate::plan::{DeviceSpec, ExperimentPlan, Profile};
+    use crate::runner::Runner;
+
+    #[test]
+    fn jsonl_and_csv_sinks_write_one_line_per_record() {
+        let plan = ExperimentPlan::placement_grid(
+            "sink-test",
+            &[DeviceSpec::Grid {
+                width: 2,
+                height: 2,
+            }],
+            &[Strategy::FrequencyAware, Strategy::Human],
+            &[None],
+        )
+        .with_profile(Profile::Fast);
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let mut csv = CsvSink::new(Vec::new());
+        let mut memory = MemorySink::new();
+        let report = Runner::new(1)
+            .run_with_sinks(&plan, &mut [&mut jsonl, &mut csv, &mut memory])
+            .unwrap();
+
+        let jsonl_text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert_eq!(jsonl_text.lines().count(), plan.len());
+        for line in jsonl_text.lines() {
+            let parsed: crate::runner::JobRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(parsed.plan, "sink-test");
+        }
+
+        let csv_text = String::from_utf8(csv.into_inner()).unwrap();
+        assert_eq!(csv_text.lines().count(), plan.len() + 1);
+        assert!(csv_text.starts_with("plan,"));
+
+        assert_eq!(memory.records.len(), plan.len());
+        assert_eq!(memory.records, report.records);
+    }
+}

@@ -1,0 +1,179 @@
+//! Aggregation of [`JobRecord`]s into per-arm summaries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::JobRecord;
+
+/// Aggregated statistics for one (device, strategy, benchmark) arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmSummary {
+    /// Device display name.
+    pub device: String,
+    /// Strategy display name.
+    pub strategy: String,
+    /// Benchmark name (`None` for placement-only arms).
+    pub benchmark: Option<String>,
+    /// Completed jobs aggregated here.
+    pub jobs: usize,
+    /// Jobs that failed or panicked (excluded from the statistics).
+    pub failed_jobs: usize,
+    /// Mean of the per-job mean fidelities.
+    pub mean_fidelity: f64,
+    /// Worst per-job minimum fidelity.
+    pub min_fidelity: f64,
+    /// Mean hotspot proportion P_h.
+    pub mean_ph: f64,
+    /// Mean impacted qubits.
+    pub mean_impacted_qubits: f64,
+    /// Mean MER area (mm²).
+    pub mean_area_mm2: f64,
+    /// Subsets skipped across all jobs (too large + unroutable).
+    pub skipped_subsets: usize,
+    /// Total wall time spent in this arm's jobs (ms).
+    pub total_wall_ms: f64,
+}
+
+/// Groups records into [`ArmSummary`] rows.
+pub struct Summary;
+
+impl Summary {
+    /// Aggregates `records` per (device, strategy, benchmark), in
+    /// first-appearance order.
+    #[must_use]
+    pub fn from_records(records: &[JobRecord]) -> Vec<ArmSummary> {
+        let mut order: Vec<(String, String, Option<String>)> = Vec::new();
+        let mut groups: BTreeMap<(String, String, Option<String>), Vec<&JobRecord>> =
+            BTreeMap::new();
+        for record in records {
+            let key = (
+                record.device.clone(),
+                record.strategy.clone(),
+                record.benchmark.clone(),
+            );
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(record);
+        }
+
+        order
+            .into_iter()
+            .map(|key| {
+                let group = &groups[&key];
+                let (device, strategy, benchmark) = key;
+                let ok: Vec<&&JobRecord> = group.iter().filter(|r| r.status.is_ok()).collect();
+                let n = ok.len().max(1) as f64;
+                let evaluated: Vec<&&&JobRecord> =
+                    ok.iter().filter(|r| r.subsets_evaluated > 0).collect();
+                let n_eval = evaluated.len().max(1) as f64;
+                ArmSummary {
+                    device,
+                    strategy,
+                    benchmark,
+                    jobs: ok.len(),
+                    failed_jobs: group.len() - ok.len(),
+                    mean_fidelity: evaluated.iter().map(|r| r.mean_fidelity).sum::<f64>() / n_eval,
+                    min_fidelity: evaluated
+                        .iter()
+                        .map(|r| r.min_fidelity)
+                        .fold(f64::INFINITY, f64::min)
+                        .pipe_finite(),
+                    mean_ph: ok.iter().map(|r| r.ph).sum::<f64>() / n,
+                    mean_impacted_qubits: ok.iter().map(|r| r.impacted_qubits as f64).sum::<f64>()
+                        / n,
+                    mean_area_mm2: ok.iter().map(|r| r.mer_area_mm2).sum::<f64>() / n,
+                    skipped_subsets: ok
+                        .iter()
+                        .map(|r| r.subsets_skipped_too_large + r.subsets_skipped_unroutable)
+                        .sum(),
+                    total_wall_ms: group.iter().map(|r| r.wall_ms).sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// Renders summaries as an aligned text table.
+    #[must_use]
+    pub fn table(summaries: &[ArmSummary]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>8} | {:>12} {:>12} | {:>8} {:>10} {:>8} | {:>10}\n",
+            "device",
+            "strategy",
+            "bench",
+            "meanFid",
+            "minFid",
+            "Ph%",
+            "area mm2",
+            "skipped",
+            "wall ms"
+        ));
+        for s in summaries {
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>8} | {:>12.4e} {:>12.4e} | {:>8.2} {:>10.1} {:>8} | {:>10.1}\n",
+                s.device,
+                s.strategy,
+                s.benchmark.as_deref().unwrap_or("-"),
+                s.mean_fidelity,
+                s.min_fidelity,
+                s.mean_ph * 100.0,
+                s.mean_area_mm2,
+                s.skipped_subsets,
+                s.total_wall_ms,
+            ));
+        }
+        out
+    }
+}
+
+/// Maps `INFINITY` (no evaluated jobs) to 0 for display-friendly output.
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use crate::plan::{DeviceSpec, ExperimentPlan, Profile};
+    use crate::runner::Runner;
+
+    #[test]
+    fn summaries_group_per_arm() {
+        let plan = ExperimentPlan::grid(
+            "sum",
+            &[DeviceSpec::Grid {
+                width: 3,
+                height: 3,
+            }],
+            &[Strategy::FrequencyAware, Strategy::Classic],
+            &["bv-4"],
+            2,
+            &[1, 2],
+        )
+        .with_profile(Profile::Fast);
+        let report = Runner::new(2).run(&plan);
+        let summaries = report.summaries();
+        assert_eq!(summaries.len(), 2, "one arm per strategy");
+        for s in &summaries {
+            assert_eq!(s.jobs, 2, "two seeds per arm");
+            assert_eq!(s.failed_jobs, 0);
+            assert!(s.mean_fidelity > 0.0);
+            assert!(s.min_fidelity <= s.mean_fidelity);
+        }
+        let table = Summary::table(&summaries);
+        assert_eq!(table.lines().count(), summaries.len() + 1);
+    }
+}

@@ -61,9 +61,7 @@ pub fn legalize_qubits_abacus(
         return Vec::new();
     }
     let region = netlist.region();
-    let cell_h = netlist
-        .instance(netlist.qubit_instance(0))
-        .padded_mm();
+    let cell_h = netlist.instance(netlist.qubit_instance(0)).padded_mm();
     let num_rows = ((region.height() / cell_h).floor() as usize).max(1);
 
     // Cells in x order.
@@ -116,7 +114,7 @@ pub fn legalize_qubits_abacus(
                     (x - c.desired_left).abs() + dy
                 })
                 .sum();
-            if best.as_ref().map_or(true, |(_, b, _)| cost < *b) {
+            if best.as_ref().is_none_or(|(_, b, _)| cost < *b) {
                 best = Some((r, cost, xs));
             }
             // A nearby row with near-zero marginal cost is good enough.
@@ -124,9 +122,8 @@ pub fn legalize_qubits_abacus(
                 break;
             }
         }
-        let (r, _, _) = best.unwrap_or_else(|| {
-            panic!("abacus: no row can host qubit {}", cell.qubit)
-        });
+        let (r, _, _) =
+            best.unwrap_or_else(|| panic!("abacus: no row can host qubit {}", cell.qubit));
         rows[r].push(cell);
     }
 
@@ -220,9 +217,21 @@ mod tests {
     #[test]
     fn place_row_respects_order_and_bounds() {
         let cells = vec![
-            Cell { qubit: 0, desired_left: -1.0, width: 1.0 },
-            Cell { qubit: 1, desired_left: -0.5, width: 1.0 },
-            Cell { qubit: 2, desired_left: 3.0, width: 1.0 },
+            Cell {
+                qubit: 0,
+                desired_left: -1.0,
+                width: 1.0,
+            },
+            Cell {
+                qubit: 1,
+                desired_left: -0.5,
+                width: 1.0,
+            },
+            Cell {
+                qubit: 2,
+                desired_left: 3.0,
+                width: 1.0,
+            },
         ];
         let xs = place_row(&cells, 0.0, 10.0);
         // First two clamp + cluster at the left edge, third stays put.
@@ -236,9 +245,21 @@ mod tests {
     #[test]
     fn place_row_merges_overlapping_desires() {
         let cells = vec![
-            Cell { qubit: 0, desired_left: 2.0, width: 1.0 },
-            Cell { qubit: 1, desired_left: 2.2, width: 1.0 },
-            Cell { qubit: 2, desired_left: 2.4, width: 1.0 },
+            Cell {
+                qubit: 0,
+                desired_left: 2.0,
+                width: 1.0,
+            },
+            Cell {
+                qubit: 1,
+                desired_left: 2.2,
+                width: 1.0,
+            },
+            Cell {
+                qubit: 2,
+                desired_left: 2.4,
+                width: 1.0,
+            },
         ];
         let xs = place_row(&cells, 0.0, 10.0);
         // Cluster centers on the mean of desires: left edge ≈ 1.2.

@@ -80,12 +80,10 @@ impl OccupancyBitmap {
     #[must_use]
     pub fn snap_to_sites(&self, p: Point, size: f64, pitch: f64) -> Point {
         let half = 0.5 * size;
-        let sx = ((p.x - half - self.region.min.x) / pitch).round() * pitch
-            + self.region.min.x
-            + half;
-        let sy = ((p.y - half - self.region.min.y) / pitch).round() * pitch
-            + self.region.min.y
-            + half;
+        let sx =
+            ((p.x - half - self.region.min.x) / pitch).round() * pitch + self.region.min.x + half;
+        let sy =
+            ((p.y - half - self.region.min.y) / pitch).round() * pitch + self.region.min.y + half;
         Point::new(sx, sy)
     }
 
@@ -176,7 +174,7 @@ impl OccupancyBitmap {
                 let cx = self.region.min.x + hw + ix as f64 * step;
                 let c = Point::new(cx, cy);
                 let d2 = c.distance_sq(desired);
-                if best.map_or(true, |(bd, _)| d2 < bd) {
+                if best.is_none_or(|(bd, _)| d2 < bd) {
                     let rect = Rect::from_center(c, w, h);
                     if self.is_free(&rect) {
                         best = Some((d2, c));

@@ -39,13 +39,14 @@ pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec
     let segs = netlist.resonator_segments(resonator);
     let k = segs.len();
     let mut parent: Vec<usize> = (0..k).collect();
-    fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
         while parent[v] != v {
             parent[v] = parent[parent[v]];
             v = parent[v];
         }
         v
     }
+    #[allow(clippy::needless_range_loop)]
     for i in 0..k {
         let pi = netlist.position(segs[i]);
         let reach = ADJACENCY_FACTOR * netlist.instance(segs[i]).padded_mm();
@@ -59,9 +60,9 @@ pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec
         }
     }
     let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
-    for i in 0..k {
+    for (i, &seg) in segs.iter().enumerate().take(k) {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(segs[i]);
+        groups.entry(root).or_default().push(seg);
     }
     let mut out: Vec<Vec<usize>> = groups.into_values().collect();
     for cluster in &mut out {
@@ -86,9 +87,7 @@ pub fn integrate_resonators(
 ) -> IntegrationStats {
     let site_pitch = crate::legalizer::site_pitch(netlist);
     let num_res = netlist.num_resonators();
-    let integrated_before = (0..num_res)
-        .filter(|&r| is_integrated(netlist, r))
-        .count();
+    let integrated_before = (0..num_res).filter(|&r| is_integrated(netlist, r)).count();
 
     // Spatial index of all instances for neighbor/occupancy queries.
     let region = netlist.region();
@@ -242,12 +241,7 @@ fn grow_cluster(
 /// τ check for a relocation: moving instance `s` to `at` must not park it
 /// within resonant reach (half a footprint of margin) of a near-resonant
 /// foreign instance.
-fn relocation_is_clean(
-    netlist: &QuantumNetlist,
-    grid: &SpatialGrid,
-    s: usize,
-    at: Point,
-) -> bool {
+fn relocation_is_clean(netlist: &QuantumNetlist, grid: &SpatialGrid, s: usize, at: Point) -> bool {
     let inst = netlist.instance(s);
     let probe = inst.padded_rect(at).inflated(0.5 * inst.padded_mm());
     let dc = netlist.detuning_threshold() * 0.999;
@@ -283,8 +277,7 @@ fn occupant_at(
                 (Some(a), Some(b)) => a != b,
                 _ => false,
             };
-            (different_resonator
-                && (inst.padded_mm() - mv.padded_mm()).abs() < 1e-9)
+            (different_resonator && (inst.padded_mm() - mv.padded_mm()).abs() < 1e-9)
                 .then_some(*one)
         }
         _ => None,
@@ -306,8 +299,7 @@ fn can_swap(netlist: &QuantumNetlist, grid: &SpatialGrid, s: usize, n: usize) ->
             if !netlist.padded_rect(other).overlaps(&probe) {
                 return true;
             }
-            o.same_resonator(inst)
-                || !o.frequency().is_resonant_with(inst.frequency(), dc * 0.999)
+            o.same_resonator(inst) || !o.frequency().is_resonant_with(inst.frequency(), dc * 0.999)
         })
     };
     // n moves to s's spot; s moves to n's spot (joining its own cluster —

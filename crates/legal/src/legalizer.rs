@@ -102,9 +102,7 @@ impl Legalizer {
         // and a bounded spill ring guarantees feasibility. Spill spots are
         // distance-penalized, so they are used only as a last resort; the
         // area metrics measure the layout actually produced.
-        let workspace = netlist
-            .region()
-            .inflated(2.0 * netlist.max_padded_side());
+        let workspace = netlist.region().inflated(2.0 * netlist.max_padded_side());
         let mut bitmap = OccupancyBitmap::new(workspace, self.resolution_mm);
         let mut tracker = ResonanceTracker::new(netlist, self.resonant_margin_mm);
         let pitch = site_pitch(netlist);

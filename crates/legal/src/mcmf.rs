@@ -47,7 +47,10 @@ impl MinCostFlow {
     ///
     /// Panics on out-of-range nodes or negative capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let id = self.to.len();
         self.graph[from].push(id);
@@ -161,10 +164,10 @@ pub fn solve_assignment(costs: &[Vec<i64>]) -> Vec<usize> {
     let sink = n + m + 1;
     let mut net = MinCostFlow::new(n + m + 2);
     let mut agent_edges = vec![Vec::with_capacity(m); n];
-    for a in 0..n {
+    for (a, row) in costs.iter().enumerate().take(n) {
         net.add_edge(source, 1 + a, 1, 0);
-        for s in 0..m {
-            let e = net.add_edge(1 + a, 1 + n + s, 1, costs[a][s]);
+        for (s, &cost) in row.iter().enumerate().take(m) {
+            let e = net.add_edge(1 + a, 1 + n + s, 1, cost);
             agent_edges[a].push(e);
         }
     }
@@ -221,11 +224,7 @@ mod tests {
 
     #[test]
     fn assignment_identity_when_diagonal_cheap() {
-        let costs = vec![
-            vec![0, 5, 5],
-            vec![5, 0, 5],
-            vec![5, 5, 0],
-        ];
+        let costs = vec![vec![0, 5, 5], vec![5, 0, 5], vec![5, 5, 0]];
         assert_eq!(solve_assignment(&costs), vec![0, 1, 2]);
     }
 
@@ -272,9 +271,7 @@ mod tests {
         for trial in 0..20 {
             let n = 2 + (trial % 4);
             let m = n + (trial % 3);
-            let costs: Vec<Vec<i64>> = (0..n)
-                .map(|_| (0..m).map(|_| next()).collect())
-                .collect();
+            let costs: Vec<Vec<i64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
             let assignment = solve_assignment(&costs);
             let got: i64 = assignment
                 .iter()

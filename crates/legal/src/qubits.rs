@@ -42,7 +42,9 @@ pub fn legalize_qubits(
     order.sort_by(|&a, &b| {
         let pa = netlist.position(netlist.qubit_instance(a));
         let pb = netlist.position(netlist.qubit_instance(b));
-        (pa.x, pa.y).partial_cmp(&(pb.x, pb.y)).expect("finite positions")
+        (pa.x, pa.y)
+            .partial_cmp(&(pb.x, pb.y))
+            .expect("finite positions")
     });
 
     // Greedy spiral: collect one feasible site per qubit (strict pass
@@ -207,10 +209,7 @@ mod tests {
             let id = nl.qubit_instance(q);
             nl.set_position(
                 id,
-                Point::new(
-                    (q % 2) as f64 * pitch - 0.65,
-                    (q / 2) as f64 * pitch - 0.65,
-                ),
+                Point::new((q % 2) as f64 * pitch - 0.65, (q / 2) as f64 * pitch - 0.65),
             );
         }
         let disp = run(&mut nl);
@@ -228,9 +227,7 @@ mod tests {
             nl.set_position(id, Point::ORIGIN);
         }
         let _ = run(&mut nl);
-        let mut positions: Vec<Point> = (0..9)
-            .map(|q| nl.position(nl.qubit_instance(q)))
-            .collect();
+        let mut positions: Vec<Point> = (0..9).map(|q| nl.position(nl.qubit_instance(q))).collect();
         positions.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
         positions.dedup_by(|a, b| a.distance(*b) < 1e-9);
         assert_eq!(positions.len(), 9, "all qubits at distinct positions");

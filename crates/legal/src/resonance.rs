@@ -71,9 +71,7 @@ impl ResonanceTracker {
                 return true;
             }
             let o = netlist.instance(other);
-            if o.same_resonator(inst)
-                || !o.frequency().is_resonant_with(inst.frequency(), dc)
-            {
+            if o.same_resonator(inst) || !o.frequency().is_resonant_with(inst.frequency(), dc) {
                 return true;
             }
             // Exact test: margin-inflated footprints must not overlap.

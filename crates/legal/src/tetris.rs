@@ -93,17 +93,13 @@ pub fn legalize_segments(
                         )
                     })
                     .collect();
-                    cands.sort_by(|a, b| {
-                        a.distance_sq(desired).total_cmp(&b.distance_sq(desired))
-                    });
+                    cands.sort_by(|a, b| a.distance_sq(desired).total_cmp(&b.distance_sq(desired)));
                     cands
                 })
                 .unwrap_or_default();
 
-            let max_radius = ((region.width().max(region.height()) / site_pitch).ceil()
-                as i64)
-                .max(1)
-                * 2;
+            let max_radius =
+                ((region.width().max(region.height()) / site_pitch).ceil() as i64).max(1) * 2;
 
             let mut placed: Option<Point> = None;
             'passes: for strict in [true, false] {

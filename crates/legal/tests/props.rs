@@ -34,7 +34,11 @@ fn scrambled_netlist(device: &Topology, seed: u64, lb: f64) -> QuantumNetlist {
             region.min.y + next() * region.height(),
         );
         let inst = *nl.instance(i);
-        nl.set_position(i, inst.padded_rect(Point::ORIGIN).clamp_center_into(&region, p));
+        nl.set_position(
+            i,
+            inst.padded_rect(Point::ORIGIN)
+                .clamp_center_into(&region, p),
+        );
     }
     nl
 }

@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use qplacer_circuits::{optimize_peephole, Circuit, Router, Schedule};
@@ -22,6 +23,21 @@ pub struct BenchmarkEvaluation {
     pub min_fidelity: f64,
     /// Mean number of crosstalk-contributing violations per subset.
     pub mean_active_violations: f64,
+    /// Subsets the caller asked for.
+    pub requested_subsets: usize,
+    /// Draws where no connected subset of the circuit's size exists
+    /// (circuit too large for the device).
+    pub skipped_too_large: usize,
+    /// Sampled subsets the router could not route the circuit onto.
+    pub skipped_unroutable: usize,
+}
+
+impl BenchmarkEvaluation {
+    /// Total subsets skipped for any reason.
+    #[must_use]
+    pub fn skipped_subsets(&self) -> usize {
+        self.skipped_too_large + self.skipped_unroutable
+    }
 }
 
 /// Evaluates `circuit` on `num_subsets` random connected subsets of the
@@ -31,7 +47,15 @@ pub struct BenchmarkEvaluation {
 /// identical mappings, exactly as §VI-A requires.
 ///
 /// Subsets that fail to route (e.g. the circuit needs more qubits than
-/// the device has) are skipped; the evaluation reports whatever remains.
+/// the device has) are skipped and counted in
+/// [`BenchmarkEvaluation::skipped_too_large`] /
+/// [`BenchmarkEvaluation::skipped_unroutable`]; the fidelity statistics
+/// cover whatever remains.
+///
+/// The per-subset work (routing, peephole, scheduling, fidelity) fans
+/// out across the current rayon thread pool. Results are independent of
+/// the thread count: subsets are drawn serially from `seed` up front,
+/// and per-subset outcomes are folded back in draw order.
 ///
 /// # Examples
 ///
@@ -54,6 +78,8 @@ pub struct BenchmarkEvaluation {
 ///     &FidelityParams::paper(),
 /// );
 /// assert_eq!(eval.fidelities.len(), 5);
+/// assert_eq!(eval.requested_subsets, 5);
+/// assert_eq!(eval.skipped_subsets(), 0);
 /// ```
 #[must_use]
 pub fn evaluate_benchmark(
@@ -64,29 +90,48 @@ pub fn evaluate_benchmark(
     seed: u64,
     params: &FidelityParams,
 ) -> BenchmarkEvaluation {
+    // Draw every subset serially up front so the stream of RNG values —
+    // and therefore the evaluated mappings — is identical for every
+    // thread count (and to the historical serial implementation).
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut subsets = Vec::with_capacity(num_subsets);
+    let mut skipped_too_large = 0usize;
+    for _ in 0..num_subsets {
+        match random_connected_subset(device, circuit.num_qubits(), &mut rng) {
+            Some(subset) => subsets.push(subset),
+            None => skipped_too_large += 1,
+        }
+    }
+
     let router = Router::new(device);
     let model = FidelityModel::new(*params);
 
-    let mut fidelities = Vec::with_capacity(num_subsets);
-    let mut violations = Vec::with_capacity(num_subsets);
-    for _ in 0..num_subsets {
-        let Some(subset) = random_connected_subset(device, circuit.num_qubits(), &mut rng)
-        else {
-            continue;
-        };
-        let Ok(mut routed) = router.route(circuit, &subset) else {
-            continue;
-        };
-        // L3 substitute: peephole over the physical gate list.
-        let mut as_circuit = Circuit::new(device.num_qubits());
-        as_circuit.extend(routed.gates.iter().copied());
-        optimize_peephole(&mut as_circuit);
-        routed.gates = as_circuit.gates().to_vec();
-        let schedule = Schedule::asap(&routed);
-        let f = model.evaluate(netlist, &routed, &schedule);
-        fidelities.push(f.total);
-        violations.push(f.active_violations as f64);
+    // Routing + peephole + scheduling + the fidelity model dominate the
+    // cost; fan them out across the current thread pool. `collect`
+    // preserves draw order, keeping results deterministic.
+    let outcomes: Vec<Option<(f64, f64)>> = subsets
+        .par_iter()
+        .map(|subset| {
+            let Ok(mut routed) = router.route(circuit, subset) else {
+                return None;
+            };
+            // L3 substitute: peephole over the physical gate list.
+            let mut as_circuit = Circuit::new(device.num_qubits());
+            as_circuit.extend(routed.gates.iter().copied());
+            optimize_peephole(&mut as_circuit);
+            routed.gates = as_circuit.gates().to_vec();
+            let schedule = Schedule::asap(&routed);
+            let f = model.evaluate(netlist, &routed, &schedule);
+            Some((f.total, f.active_violations as f64))
+        })
+        .collect();
+
+    let skipped_unroutable = outcomes.iter().filter(|o| o.is_none()).count();
+    let mut fidelities = Vec::with_capacity(outcomes.len());
+    let mut violations = Vec::with_capacity(outcomes.len());
+    for (f, v) in outcomes.into_iter().flatten() {
+        fidelities.push(f);
+        violations.push(v);
     }
 
     let mean = if fidelities.is_empty() {
@@ -104,6 +149,9 @@ pub fn evaluate_benchmark(
         mean_fidelity: mean,
         min_fidelity: if min.is_finite() { min } else { 0.0 },
         mean_active_violations: mean_viol,
+        requested_subsets: num_subsets,
+        skipped_too_large,
+        skipped_unroutable,
         fidelities,
     }
 }
@@ -141,6 +189,24 @@ mod tests {
     }
 
     #[test]
+    fn evaluation_is_independent_of_thread_count() {
+        let device = Topology::falcon27();
+        let nl = spread_netlist(&device);
+        let p = FidelityParams::paper();
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| evaluate_benchmark(&nl, &device, &generators::bv(4), 6, 13, &p));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| evaluate_benchmark(&nl, &device, &generators::bv(4), 6, 13, &p));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn mean_and_min_are_consistent() {
         let device = Topology::falcon27();
         let nl = spread_netlist(&device);
@@ -154,13 +220,17 @@ mod tests {
         );
         assert!(!e.fidelities.is_empty());
         assert!(e.min_fidelity <= e.mean_fidelity);
+        assert_eq!(
+            e.fidelities.len() + e.skipped_subsets(),
+            e.requested_subsets
+        );
         for &f in &e.fidelities {
             assert!((0.0..=1.0).contains(&f));
         }
     }
 
     #[test]
-    fn oversized_circuits_yield_empty_eval() {
+    fn oversized_circuits_yield_empty_eval_with_skip_counts() {
         let device = Topology::grid(2, 2);
         let nl = spread_netlist(&device);
         let e = evaluate_benchmark(
@@ -173,5 +243,9 @@ mod tests {
         );
         assert!(e.fidelities.is_empty());
         assert_eq!(e.mean_fidelity, 0.0);
+        assert_eq!(e.requested_subsets, 3);
+        assert_eq!(e.skipped_too_large, 3);
+        assert_eq!(e.skipped_unroutable, 0);
+        assert_eq!(e.skipped_subsets(), 3);
     }
 }

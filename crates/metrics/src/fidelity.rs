@@ -164,11 +164,7 @@ impl FidelityModel {
             let detuning = a.frequency().detuning(b.frequency());
             match (a.kind().is_qubit(), b.kind().is_qubit()) {
                 (true, true) => {
-                    let g = capacitance::parasitic_qubit_coupling(
-                        d,
-                        a.frequency(),
-                        b.frequency(),
-                    );
+                    let g = capacitance::parasitic_qubit_coupling(d, a.frequency(), b.frequency());
                     // |01⟩ ↔ |10⟩ exchange at the bare detuning.
                     let geff = coupling::effective_coupling(g, detuning);
                     let eps_exchange = error::averaged_rabi_error(geff, makespan);
@@ -352,9 +348,9 @@ mod tests {
         let subset: Vec<usize> = vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 16];
         let model = FidelityModel::default();
         let run = |c: &qplacer_circuits::Circuit| {
-            let routed = Router::new(&t).route(c, &subset[..c.num_qubits()]).unwrap_or_else(
-                |_| Router::new(&t).route(c, &subset).unwrap(),
-            );
+            let routed = Router::new(&t)
+                .route(c, &subset[..c.num_qubits()])
+                .unwrap_or_else(|_| Router::new(&t).route(c, &subset).unwrap());
             let s = Schedule::asap(&routed);
             model.evaluate(&nl, &routed, &s).total
         };

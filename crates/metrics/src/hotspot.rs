@@ -65,7 +65,9 @@ impl HotspotReport {
 
         // Inflated footprints indexed spatially.
         let mut grid = SpatialGrid::new(
-            netlist.region().inflated(netlist.max_padded_side() + margin),
+            netlist
+                .region()
+                .inflated(netlist.max_padded_side() + margin),
             (netlist.max_padded_side() + margin).max(0.1),
         );
         let inflated: Vec<_> = netlist

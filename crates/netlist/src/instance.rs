@@ -184,7 +184,13 @@ mod tests {
 
     #[test]
     fn kind_queries() {
-        let q = Instance::new(0, InstanceKind::Qubit(7), Frequency::from_ghz(5.0), 1.2, 0.4);
+        let q = Instance::new(
+            0,
+            InstanceKind::Qubit(7),
+            Frequency::from_ghz(5.0),
+            1.2,
+            0.4,
+        );
         assert!(q.kind().is_qubit());
         assert_eq!(q.kind().resonator(), None);
         let s = seg(1, 3, 0);
@@ -197,7 +203,13 @@ mod tests {
         let a = seg(0, 2, 0);
         let b = seg(1, 2, 1);
         let c = seg(2, 5, 0);
-        let q = Instance::new(3, InstanceKind::Qubit(0), Frequency::from_ghz(5.0), 1.2, 0.4);
+        let q = Instance::new(
+            3,
+            InstanceKind::Qubit(0),
+            Frequency::from_ghz(5.0),
+            1.2,
+            0.4,
+        );
         assert!(a.same_resonator(&b));
         assert!(!a.same_resonator(&c));
         assert!(!a.same_resonator(&q));
@@ -216,6 +228,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "core")]
     fn core_larger_than_padded_panics() {
-        let _ = Instance::new(0, InstanceKind::Qubit(0), Frequency::from_ghz(5.0), 0.4, 1.2);
+        let _ = Instance::new(
+            0,
+            InstanceKind::Qubit(0),
+            Frequency::from_ghz(5.0),
+            0.4,
+            1.2,
+        );
     }
 }

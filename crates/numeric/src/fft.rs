@@ -40,7 +40,10 @@ pub fn ifft(data: &mut [Complex64]) {
 
 fn fft_dir(data: &mut [Complex64], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -135,9 +135,9 @@ impl NesterovSolver {
             let mut dv2 = 0.0;
             let mut dg2 = 0.0;
             let mut dvdg = 0.0;
-            for i in 0..n {
+            for (i, &g) in grad.iter().enumerate().take(n) {
                 let dv = self.v[i] - self.v_prev[i];
-                let dg = grad[i] - self.g_prev[i];
+                let dg = g - self.g_prev[i];
                 dv2 += dv * dv;
                 dg2 += dg * dg;
                 dvdg += dv * dg;
@@ -171,8 +171,8 @@ impl NesterovSolver {
         self.g_prev.copy_from_slice(grad);
 
         // u_{k+1} = v_k - α g(v_k);  v_{k+1} = u_{k+1} + coef (u_{k+1} - u_k)
-        for i in 0..n {
-            let u_next = self.v[i] - self.step * grad[i];
+        for (i, &g) in grad.iter().enumerate().take(n) {
+            let u_next = self.v[i] - self.step * g;
             let u_old = self.u[i];
             self.u[i] = u_next;
             self.v[i] = u_next + coef * (u_next - u_old);

@@ -91,8 +91,8 @@ impl PoissonSolver {
 
         // Forward 2-D DCT-II.
         let mut a = rho.clone();
-        a.map_rows(|r| dct2(r));
-        a.map_cols(|c| dct2(c));
+        a.map_rows(dct2);
+        a.map_cols(dct2);
 
         // Normalization: each dimension's DCT-II/DCT-III roundtrip scales
         // by N/2, so divide by (nx/2)(ny/2).
@@ -116,18 +116,18 @@ impl PoissonSolver {
 
         // ψ = IDCT_x(IDCT_y(ψ̂))
         let mut psi = psi_hat.clone();
-        psi.map_rows(|r| dct3(r));
-        psi.map_cols(|c| dct3(c));
+        psi.map_rows(dct3);
+        psi.map_cols(dct3);
 
         // ξx = IDXST along x, IDCT along y.
         let mut ex = bx;
-        ex.map_rows(|r| idxst(r));
-        ex.map_cols(|c| dct3(c));
+        ex.map_rows(idxst);
+        ex.map_cols(dct3);
 
         // ξy = IDCT along x, IDXST along y.
         let mut ey = by;
-        ey.map_rows(|r| dct3(r));
-        ey.map_cols(|c| idxst(c));
+        ey.map_rows(dct3);
+        ey.map_cols(idxst);
 
         PoissonField { psi, ex, ey }
     }
@@ -243,9 +243,25 @@ mod tests {
             }
         }
         let f = solver.solve(&rho);
-        assert!(f.ex[(6, 8)] < 0.0, "left of blob pushes -x: {}", f.ex[(6, 8)]);
-        assert!(f.ex[(18, 8)] > 0.0, "right of blob pushes +x: {}", f.ex[(18, 8)]);
-        assert!(f.ey[(12, 4)] < 0.0, "below blob pushes -y: {}", f.ey[(12, 4)]);
-        assert!(f.ey[(12, 12)] > 0.0, "above blob pushes +y: {}", f.ey[(12, 12)]);
+        assert!(
+            f.ex[(6, 8)] < 0.0,
+            "left of blob pushes -x: {}",
+            f.ex[(6, 8)]
+        );
+        assert!(
+            f.ex[(18, 8)] > 0.0,
+            "right of blob pushes +x: {}",
+            f.ex[(18, 8)]
+        );
+        assert!(
+            f.ey[(12, 4)] < 0.0,
+            "below blob pushes -y: {}",
+            f.ey[(12, 4)]
+        );
+        assert!(
+            f.ey[(12, 12)] > 0.0,
+            "above blob pushes +y: {}",
+            f.ey[(12, 12)]
+        );
     }
 }

@@ -149,8 +149,7 @@ pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
             x.iter()
                 .enumerate()
                 .map(|(i, &v)| {
-                    v * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64
-                        / (2.0 * n as f64))
+                    v * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64))
                         .cos()
                 })
                 .sum()

@@ -57,7 +57,11 @@ impl State {
     /// Total norm (should stay 1 under unitary evolution).
     #[must_use]
     pub fn norm(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt()
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sq())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -104,8 +108,8 @@ impl Hamiltonian {
     fn apply(&self, state: &[Complex64], out: &mut [Complex64]) {
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
-            for c in 0..self.dim {
-                acc += self.elements[r * self.dim + c] * state[c];
+            for (c, &s) in state.iter().enumerate().take(self.dim) {
+                acc += self.elements[r * self.dim + c] * s;
             }
             *o = acc;
         }
@@ -292,10 +296,7 @@ mod tests {
             acc += rabi_transfer(g, delta, t);
         }
         let true_avg = acc / samples as f64;
-        let surrogate = error::averaged_rabi_error(
-            coupling::effective_coupling(g, delta),
-            window,
-        );
+        let surrogate = error::averaged_rabi_error(coupling::effective_coupling(g, delta), window);
         // The fidelity metric is explicitly *worst-case* (§V-C): the
         // surrogate must never under-estimate the exact average, and
         // should stay within an order of magnitude of it.

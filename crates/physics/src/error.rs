@@ -94,7 +94,9 @@ pub fn decoherence_error(t: Duration, t1: Duration, t2: Duration) -> f64 {
 /// ```
 #[must_use]
 pub fn combine_errors(errors: &[f64]) -> f64 {
-    1.0 - errors.iter().fold(1.0, |acc, &e| acc * (1.0 - e.clamp(0.0, 1.0)))
+    1.0 - errors
+        .iter()
+        .fold(1.0, |acc, &e| acc * (1.0 - e.clamp(0.0, 1.0)))
 }
 
 #[cfg(test)]

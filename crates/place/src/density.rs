@@ -214,7 +214,10 @@ mod tests {
             .collect();
         nl.set_positions(&spread);
         let low = model.overflow(&nl, &spread);
-        assert!(low < clustered * 0.5, "spread {low} vs clustered {clustered}");
+        assert!(
+            low < clustered * 0.5,
+            "spread {low} vs clustered {clustered}"
+        );
     }
 
     #[test]

@@ -146,8 +146,8 @@ mod tests {
             plus[i].x += h;
             let mut minus = pos.clone();
             minus[i].x -= h;
-            let fd = (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0)
-                / (2.0 * h);
+            let fd =
+                (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0) / (2.0 * h);
             assert!(
                 (fd - grad[i]).abs() < 1e-5,
                 "x-grad {i}: fd {fd} vs analytic {}",
@@ -157,8 +157,8 @@ mod tests {
             plus[i].y += h;
             let mut minus = pos.clone();
             minus[i].y -= h;
-            let fd = (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0)
-                / (2.0 * h);
+            let fd =
+                (model.energy_grad(&nl, &plus).0 - model.energy_grad(&nl, &minus).0) / (2.0 * h);
             assert!(
                 (fd - grad[n + i]).abs() < 1e-5,
                 "y-grad {i}: fd {fd} vs analytic {}",

@@ -63,8 +63,7 @@ impl Topology {
                     edges.push((base + a, base + b));
                 }
                 for (q, &(x, y)) in coords.iter().enumerate() {
-                    all_coords[base + q] =
-                        (x + c as f64 * pitch_x, y + r as f64 * pitch_y);
+                    all_coords[base + q] = (x + c as f64 * pitch_x, y + r as f64 * pitch_y);
                 }
             }
         }

@@ -217,7 +217,10 @@ impl Topology {
     /// ```
     #[must_use]
     pub fn aspen(rows: usize, cols: usize) -> Topology {
-        assert!(rows > 0 && cols > 0, "octagon lattice dims must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "octagon lattice dims must be positive"
+        );
         let cell = |r: usize, c: usize| (r * cols + c) * 8;
         // Octagon ring positions (clockwise from top-left) within a 3×3
         // cell block; blocks tile at pitch 4 so facing nodes sit one unit
@@ -249,7 +252,7 @@ impl Topology {
                 if r + 1 < rows {
                     let below = cell(r + 1, c);
                     edges.push((base + 4, below + 1));
-                    edges.push((base + 5, below + 0));
+                    edges.push((base + 5, below));
                 }
             }
         }
@@ -456,7 +459,11 @@ mod tests {
             }
             // Coupled qubits sit near each other on the canonical grid
             // (trees spread leaves, so allow their parent links more slack).
-            let limit = if t.class() == DeviceClass::Xtree { 20.0 } else { 2.1 };
+            let limit = if t.class() == DeviceClass::Xtree {
+                20.0
+            } else {
+                2.1
+            };
             for &(a, b) in t.edges() {
                 let (ax, ay) = coords[a];
                 let (bx, by) = coords[b];
@@ -479,7 +486,14 @@ mod tests {
             .collect();
         assert_eq!(
             shape,
-            vec![(25, 40), (27, 28), (127, 144), (40, 48), (80, 106), (53, 52)]
+            vec![
+                (25, 40),
+                (27, 28),
+                (127, 144),
+                (40, 48),
+                (80, 106),
+                (53, 52)
+            ]
         );
         for t in &suite {
             assert!(t.is_connected(), "{} must be connected", t.name());

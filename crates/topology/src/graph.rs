@@ -279,7 +279,9 @@ impl Topology {
     /// All-pairs hop-distance matrix (BFS from every vertex); O(V·E).
     #[must_use]
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        (0..self.num_qubits).map(|q| self.bfs_distances(q)).collect()
+        (0..self.num_qubits)
+            .map(|q| self.bfs_distances(q))
+            .collect()
     }
 
     /// Graph diameter (max finite hop distance); `None` if disconnected or

@@ -55,11 +55,7 @@ fn grow_from<R: Rng>(
     let mut chosen = vec![seed];
     let mut in_set = vec![false; topology.num_qubits()];
     in_set[seed] = true;
-    let mut frontier: Vec<usize> = topology
-        .neighbors(seed)
-        .iter()
-        .copied()
-        .collect();
+    let mut frontier: Vec<usize> = topology.neighbors(seed).to_vec();
     while chosen.len() < k {
         frontier.retain(|&q| !in_set[q]);
         let &next = frontier.choose(rng)?;

@@ -44,7 +44,10 @@ fn main() {
 
     // The error this induces over a two-qubit gate window (Eq. 16).
     println!("\n# Rabi crosstalk error over a 300 ns gate");
-    println!("{:>8} {:>14} {:>14}", "d (mm)", "resonant", "detuned 0.1GHz");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "d (mm)", "resonant", "detuned 0.1GHz"
+    );
     let window = Duration::from_ns(constants::TWO_QUBIT_GATE_TIME.ns());
     for d in [0.2, 0.4, 0.8, 1.2] {
         let gp = capacitance::parasitic_qubit_coupling(d, w1, w1);

@@ -45,7 +45,10 @@ fn main() {
     );
     println!(
         "legalization: {}/{} resonators integrated ({} moved, {} swapped), {} overlaps",
-        l.integrated_after, l.resonator_count, l.segments_moved, l.segments_swapped,
+        l.integrated_after,
+        l.resonator_count,
+        l.segments_moved,
+        l.segments_swapped,
         l.remaining_overlaps
     );
 
@@ -62,8 +65,8 @@ fn main() {
 
     // Meander sanity: routed path length per resonator vs designed length.
     let paths = artwork::meander_paths(&layout.netlist);
-    let mean_path: f64 = paths.iter().map(|p| artwork::path_length(p)).sum::<f64>()
-        / paths.len() as f64;
+    let mean_path: f64 =
+        paths.iter().map(|p| artwork::path_length(p)).sum::<f64>() / paths.len() as f64;
     println!("mean meander route length: {mean_path:.1} mm (designed 9.3–10.8 mm)");
 
     std::fs::write("falcon_layout.svg", layout.svg()).expect("write svg");

@@ -23,10 +23,7 @@ fn main() {
     let legal = layout.legalization.as_ref().expect("engine strategy");
     println!(
         "global placement: {} iterations, overflow {:.3}, HPWL {:.1} mm, {:.2} s",
-        placement.iterations,
-        placement.final_overflow,
-        placement.hpwl,
-        placement.elapsed_seconds
+        placement.iterations, placement.final_overflow, placement.hpwl, placement.elapsed_seconds
     );
     println!(
         "legalization: {} overlaps, {}/{} resonators integrated, mean qubit displacement {:.3} mm",

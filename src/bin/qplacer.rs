@@ -3,20 +3,28 @@
 //! ```text
 //! qplacer inventory
 //! qplacer place    <topology> [--strategy qplacer|classic|human]
-//!                  [--segment <mm>] [--svg FILE] [--gds FILE] [--json]
+//!                  [--segment <mm>] [--svg FILE] [--gds FILE]
 //! qplacer evaluate <topology> <benchmark> [--strategy ...] [--subsets N]
-//!                  [--seed N]
+//!                  [--seed N] [--threads N]
 //! qplacer sweep    <topology>            # l_b ablation on one device
+//! qplacer suite    [--devices a,b,..] [--strategies s,..]
+//!                  [--benchmarks b,..] [--subsets N] [--seeds N]
+//!                  [--threads N] [--fast] [--jsonl FILE] [--csv FILE]
 //! ```
 //!
 //! Topologies: `grid`, `falcon`, `eagle`, `aspen11`, `aspenm`, `xtree`.
 //! Benchmarks: `bv-4`, `bv-9`, `bv-16`, `qaoa-4`, `qaoa-9`, `ising-4`,
 //! `qgan-4`, `qgan-9`.
+//!
+//! `suite` runs the full paper evaluation grid through the
+//! [`qplacer_harness`] runner: jobs fan out across a thread pool and the
+//! per-job records stream (in deterministic plan order) to JSONL/CSV.
 
 use std::process::ExitCode;
 
 use qplacer::{
-    paper_suite, NetlistConfig, PipelineConfig, PlacedLayout, Qplacer, Strategy, Topology,
+    paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, NetlistConfig, PipelineConfig,
+    PlacedLayout, Profile, Qplacer, Runner, Sink, Strategy, Summary, Topology,
 };
 
 fn main() -> ExitCode {
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
         "place" => cmd_place(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "suite" => cmd_suite(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -49,22 +58,18 @@ const USAGE: &str = "usage:
   qplacer inventory
   qplacer place    <topology> [--strategy qplacer|classic|human]
                    [--segment <mm>] [--svg FILE] [--gds FILE]
-  qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N] [--seed N]
+  qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N]
+                   [--seed N] [--threads N]
   qplacer sweep    <topology>
+  qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
+                   [--subsets N] [--seeds N] [--threads N] [--fast]
+                   [--jsonl FILE] [--csv FILE]
 
 topologies: grid falcon eagle aspen11 aspenm xtree
 benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9";
 
 fn parse_topology(name: &str) -> Result<Topology, String> {
-    Ok(match name {
-        "grid" => Topology::grid(5, 5),
-        "falcon" => Topology::falcon27(),
-        "eagle" => Topology::eagle127(),
-        "aspen11" => Topology::aspen(1, 5),
-        "aspenm" => Topology::aspen(2, 5),
-        "xtree" => Topology::xtree(4, 3, 3),
-        other => return Err(format!("unknown topology `{other}`")),
-    })
+    DeviceSpec::parse(name).map(|spec| spec.build())
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -82,6 +87,18 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Parses `--flag value` as a number, with a helpful error.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    flag_value(args, flag)
+        .map(|v| v.parse().map_err(|_| format!("bad {flag} `{v}`")))
+        .transpose()
+        .map(|opt| opt.unwrap_or(default))
 }
 
 fn cmd_inventory() -> Result<(), String> {
@@ -172,58 +189,166 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let tname = args.first().ok_or("evaluate needs a topology")?;
     let bname = args.get(1).ok_or("evaluate needs a benchmark")?;
-    let device = parse_topology(tname)?;
-    let bench = paper_suite()
-        .into_iter()
-        .find(|b| &b.name == bname)
-        .ok_or_else(|| format!("unknown benchmark `{bname}`"))?;
-    let subsets: usize = flag_value(args, "--subsets")
-        .map(|v| v.parse().map_err(|_| format!("bad --subsets `{v}`")))
-        .transpose()?
-        .unwrap_or(50);
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed `{v}`")))
-        .transpose()?
-        .unwrap_or(0xF1D0);
+    let device_spec = DeviceSpec::parse(tname)?;
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    let subsets: usize = numeric_flag(args, "--subsets", 50)?;
+    let seed: u64 = numeric_flag(args, "--seed", 0xF1D0)?;
+    let threads: usize = numeric_flag(args, "--threads", 0)?;
 
-    let layout = run_pipeline(args, &device)?;
-    let eval = layout.evaluate(&device, &bench.circuit, subsets, seed);
-    println!(
-        "{} on {} ({}, {} mappings):",
-        bench.name,
-        device.name(),
-        layout.strategy,
-        eval.fidelities.len()
+    // A single-job plan through the harness: the per-subset evaluation
+    // fans out across the runner's thread pool.
+    let mut plan = ExperimentPlan::grid(
+        "evaluate",
+        &[device_spec],
+        &[strategy],
+        &[bname],
+        subsets,
+        &[seed],
     );
-    println!("  mean fidelity:  {:.4e}", eval.mean_fidelity);
-    println!("  worst fidelity: {:.4e}", eval.min_fidelity);
+    if let Some(seg) = flag_value(args, "--segment") {
+        let lb: f64 = seg.parse().map_err(|_| format!("bad --segment `{seg}`"))?;
+        plan.jobs[0].segment_size_mm = Some(lb);
+    }
+    let report = Runner::new(threads).run(&plan);
+    let record = &report.records[0];
+    if !record.status.is_ok() {
+        return Err(format!("{:?}", record.status));
+    }
+    println!(
+        "{} on {} ({}, {} mappings, {} skipped):",
+        bname,
+        record.device,
+        record.strategy,
+        record.subsets_evaluated,
+        record.subsets_skipped_too_large + record.subsets_skipped_unroutable,
+    );
+    println!("  mean fidelity:  {:.4e}", record.mean_fidelity);
+    println!("  worst fidelity: {:.4e}", record.min_fidelity);
     println!(
         "  mean active crosstalk violations: {:.1}",
-        eval.mean_active_violations
+        record.mean_active_violations
     );
     Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("sweep needs a topology")?;
-    let device = parse_topology(name)?;
+    let device_spec = DeviceSpec::parse(name)?;
+    let plan = ExperimentPlan::placement_grid(
+        "segment-sweep",
+        &[device_spec],
+        &[Strategy::FrequencyAware],
+        &[Some(0.2), Some(0.3), Some(0.4)],
+    );
+    let report = Runner::new(0).run(&plan);
     println!(
         "{:>6} {:>7} {:>12} {:>8} {:>10}",
         "l_b", "#cells", "utilization", "Ph %", "runtime s"
     );
-    for lb in [0.2, 0.3, 0.4] {
-        let mut config = PipelineConfig::paper();
-        config.netlist = NetlistConfig::with_segment_size(lb);
-        let t0 = std::time::Instant::now();
-        let layout = Qplacer::new(config).place(&device, Strategy::FrequencyAware);
+    for record in &report.records {
         println!(
             "{:>6.1} {:>7} {:>12.3} {:>8.2} {:>10.2}",
-            lb,
-            layout.netlist.num_instances(),
-            layout.area().utilization,
-            layout.hotspots().ph * 100.0,
-            t0.elapsed().as_secs_f64()
+            record.segment_size_mm.unwrap_or_default(),
+            record.instances,
+            record.utilization,
+            record.ph * 100.0,
+            record.wall_ms / 1e3,
         );
+    }
+    Ok(())
+}
+
+/// Comma-separated flag list, with a default.
+fn list_flag<'a>(args: &'a [String], flag: &str, default: &'a str) -> Vec<&'a str> {
+    flag_value(args, flag)
+        .unwrap_or(default)
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let devices = list_flag(args, "--devices", "grid,falcon,eagle,aspen11,aspenm,xtree")
+        .into_iter()
+        .map(DeviceSpec::parse)
+        .collect::<Result<Vec<_>, _>>()?;
+    let strategies = list_flag(args, "--strategies", "qplacer,classic,human")
+        .into_iter()
+        .map(parse_strategy)
+        .collect::<Result<Vec<_>, _>>()?;
+    let suite = paper_suite();
+    let known: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+    let default_benchmarks = known.join(",");
+    let benchmarks = list_flag(args, "--benchmarks", &default_benchmarks)
+        .into_iter()
+        .map(str::to_string)
+        .collect::<Vec<_>>();
+    for b in &benchmarks {
+        if !known.contains(&b.as_str()) {
+            return Err(format!("unknown benchmark `{b}`"));
+        }
+    }
+    let subsets: usize = numeric_flag(args, "--subsets", 50)?;
+    let num_seeds: usize = numeric_flag(args, "--seeds", 1)?;
+    let threads: usize = numeric_flag(args, "--threads", 0)?;
+    let seeds: Vec<u64> = (0..num_seeds as u64).map(|i| 0xF1D0 + i).collect();
+
+    let benchmark_refs: Vec<&str> = benchmarks.iter().map(String::as_str).collect();
+    let mut plan = ExperimentPlan::grid(
+        "paper-suite",
+        &devices,
+        &strategies,
+        &benchmark_refs,
+        subsets,
+        &seeds,
+    );
+    if args.iter().any(|a| a == "--fast") {
+        plan = plan.with_profile(Profile::Fast);
+    }
+
+    let runner = Runner::new(threads);
+    eprintln!(
+        "running {} jobs on {} threads ...",
+        plan.len(),
+        runner.threads()
+    );
+
+    let mut jsonl = flag_value(args, "--jsonl")
+        .map(|path| JsonlSink::create(path).map_err(|e| format!("create {path}: {e}")))
+        .transpose()?;
+    let mut csv = flag_value(args, "--csv")
+        .map(|path| CsvSink::create(path).map_err(|e| format!("create {path}: {e}")))
+        .transpose()?;
+    let mut sink_refs: Vec<&mut dyn Sink> = Vec::new();
+    if let Some(sink) = jsonl.as_mut() {
+        sink_refs.push(sink);
+    }
+    if let Some(sink) = csv.as_mut() {
+        sink_refs.push(sink);
+    }
+    let report = runner
+        .run_with_sinks(&plan, &mut sink_refs)
+        .map_err(|e| format!("writing results: {e}"))?;
+
+    print!("{}", Summary::table(&report.summaries()));
+    println!(
+        "{} jobs in {:.1} s on {} threads ({} failed)",
+        report.records.len(),
+        report.wall_ms / 1e3,
+        report.threads,
+        report.failures().len()
+    );
+    if let Some(path) = flag_value(args, "--jsonl") {
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        println!("wrote {path}");
+    }
+    // Results (including failure records) are written above; the exit
+    // code still has to tell scripts the sweep was not clean.
+    let failed = report.failures().len();
+    if failed > 0 {
+        return Err(format!("{failed}/{} jobs failed", report.records.len()));
     }
     Ok(())
 }
@@ -263,7 +388,38 @@ mod tests {
     }
 
     #[test]
+    fn list_flag_splits_and_defaults() {
+        let args: Vec<String> = ["--devices", "grid,falcon"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(list_flag(&args, "--devices", "x"), vec!["grid", "falcon"]);
+        assert_eq!(list_flag(&args, "--strategies", "a,b"), vec!["a", "b"]);
+    }
+
+    #[test]
     fn inventory_runs() {
         assert!(cmd_inventory().is_ok());
+    }
+
+    #[test]
+    fn suite_command_runs_a_tiny_grid() {
+        let args: Vec<String> = [
+            "--devices",
+            "grid",
+            "--strategies",
+            "qplacer",
+            "--benchmarks",
+            "bv-4",
+            "--subsets",
+            "1",
+            "--threads",
+            "2",
+            "--fast",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(cmd_suite(&args).is_ok());
     }
 }

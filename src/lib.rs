@@ -17,7 +17,11 @@
 //! ```
 //!
 //! This facade crate wires the subsystem crates together behind
-//! [`Qplacer`] and re-exports the pieces a downstream user needs.
+//! [`Qplacer`] and re-exports the pieces a downstream user needs. The
+//! pipeline driver and the batch experiment machinery live in
+//! [`qplacer_harness`] (re-exported as [`harness`]): declarative
+//! [`ExperimentPlan`]s fan out across a thread pool via [`Runner`] and
+//! stream stable records into JSONL/CSV [`harness::Sink`]s.
 //!
 //! # Quickstart
 //!
@@ -32,19 +36,36 @@
 //! let area = layout.area();
 //! assert!(area.utilization > 0.2);
 //! ```
+//!
+//! # Batch sweeps
+//!
+//! ```
+//! use qplacer::{DeviceSpec, ExperimentPlan, Profile, Runner, Strategy};
+//!
+//! let plan = ExperimentPlan::grid(
+//!     "quick",
+//!     &[DeviceSpec::Grid { width: 2, height: 2 }],
+//!     &[Strategy::FrequencyAware],
+//!     &["bv-4"],
+//!     1,
+//!     &[42],
+//! )
+//! .with_profile(Profile::Fast);
+//! let report = Runner::new(0).run(&plan);
+//! assert!(report.failures().is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod pipeline;
-
-pub use pipeline::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+pub use qplacer_harness::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
 
 pub use qplacer_artwork as artwork;
 pub use qplacer_baselines as baselines;
 pub use qplacer_circuits as circuits;
 pub use qplacer_freq as freq;
 pub use qplacer_geometry as geometry;
+pub use qplacer_harness as harness;
 pub use qplacer_legal as legal;
 pub use qplacer_metrics as metrics;
 pub use qplacer_netlist as netlist;
@@ -54,6 +75,10 @@ pub use qplacer_topology as topology;
 
 pub use qplacer_circuits::{paper_suite, Benchmark};
 pub use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
+pub use qplacer_harness::{
+    ArmSummary, CsvSink, DeviceSpec, ExperimentPlan, JobRecord, JobSpec, JobStatus, JsonlSink,
+    MemorySink, Profile, RunReport, Runner, Sink, Summary,
+};
 pub use qplacer_legal::{LegalReport, Legalizer};
 pub use qplacer_metrics::{
     evaluate_benchmark, AreaMetrics, BenchmarkEvaluation, FidelityParams, HotspotConfig,

@@ -2,9 +2,7 @@
 //! configurations, and over-utilized regions must either work or fail
 //! loudly — never corrupt a layout silently.
 
-use qplacer::{
-    CouplingKind, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology,
-};
+use qplacer::{CouplingKind, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
 
 /// A single isolated qubit: no edges, no resonators, no nets.
 #[test]
@@ -14,10 +12,7 @@ fn single_qubit_device() {
     assert_eq!(layout.netlist.num_instances(), 1);
     assert_eq!(layout.netlist.nets().len(), 0);
     assert_eq!(layout.hotspots().violations.len(), 0);
-    assert_eq!(
-        layout.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
     let area = layout.area();
     assert!(area.mer_area > 0.0);
 }
@@ -28,10 +23,7 @@ fn disconnected_device() {
     let device = Topology::from_edges("split", 4, [(0, 1), (2, 3)]).unwrap();
     assert!(!device.is_connected());
     let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
-    assert_eq!(
-        layout.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
 /// An over-tight region (target utilization 0.92) forces the spill ring
@@ -64,10 +56,7 @@ fn very_fine_partitioning() {
     let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
     // ⌈10.8·0.1/0.0225⌉ ≈ 45+ segments for one resonator.
     assert!(layout.netlist.num_instances() > 40);
-    assert_eq!(
-        layout.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
 /// Giant coupler pockets (tunable mode) larger than qubits.
@@ -77,10 +66,7 @@ fn oversized_tunable_couplers() {
     cfg.netlist.coupling = CouplingKind::TunableCoupler { size_mm: 0.9 };
     let device = Topology::grid(2, 2);
     let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
-    assert_eq!(
-        layout.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
 /// Zero-margin legalization (the Classic arm's configuration) still
@@ -89,10 +75,7 @@ fn oversized_tunable_couplers() {
 fn classic_strategy_is_legal_without_tau() {
     let device = Topology::falcon27();
     let layout = Qplacer::fast().place(&device, Strategy::Classic);
-    assert_eq!(
-        layout.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
 /// Human layout on a device with no canonical coordinates uses the BFS
@@ -101,8 +84,7 @@ fn classic_strategy_is_legal_without_tau() {
 /// hotspot-freedom — channels of a non-planar embedding may cross.)
 #[test]
 fn human_fallback_embedding() {
-    let device =
-        Topology::from_edges("ring8", 8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
+    let device = Topology::from_edges("ring8", 8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
     assert!(device.coords().is_none());
     let layout = Qplacer::fast().place(&device, Strategy::Human);
     for a in 0..8 {

@@ -18,7 +18,8 @@ fn pipeline_produces_legal_layouts() {
         let layout = fast_engine().place(&device, Strategy::FrequencyAware);
         let legal = layout.legalization.as_ref().unwrap();
         assert_eq!(
-            legal.remaining_overlaps, 0,
+            legal.remaining_overlaps,
+            0,
             "{}: overlaps after legalization",
             device.name()
         );
@@ -82,8 +83,14 @@ fn cell_count_orders_by_segment_size() {
                 .num_instances()
         })
         .collect();
-    assert!(counts[0] > counts[1], "lb=0.2 must have more cells than 0.3");
-    assert!(counts[1] > counts[2], "lb=0.3 must have more cells than 0.4");
+    assert!(
+        counts[0] > counts[1],
+        "lb=0.2 must have more cells than 0.3"
+    );
+    assert!(
+        counts[1] > counts[2],
+        "lb=0.3 must have more cells than 0.4"
+    );
 }
 
 /// Strategies disagree exactly where they should: Human skips the engine,
@@ -138,10 +145,7 @@ fn tunable_coupler_mode_shrinks_layouts() {
         tunable.area().mer_area,
         bus.area().mer_area
     );
-    assert_eq!(
-        tunable.legalization.as_ref().unwrap().remaining_overlaps,
-        0
-    );
+    assert_eq!(tunable.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
 /// Artwork exports stay structurally valid on a fully placed layout.

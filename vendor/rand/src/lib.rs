@@ -1,0 +1,195 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the deterministic subset of the `rand` API that the
+//! QPlacer workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], uniform sampling through
+//! [`RngExt::random_range`], and slice selection via
+//! [`IndexedRandom::choose`]. The generator is xoshiro256++ seeded by
+//! SplitMix64, so streams are stable across platforms and releases —
+//! a property the experiment harness relies on for reproducibility.
+
+use std::ops::{Bound, RangeBounds};
+
+pub mod rngs {
+    //! Concrete generator types.
+    pub use crate::std_rng::StdRng;
+}
+
+pub mod prelude {
+    //! The traits most callers want in scope.
+    pub use crate::{IndexedRandom, Rng, RngExt, SeedableRng};
+}
+
+mod std_rng;
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform draw from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        T::sample_from(self, range.start_bound(), range.end_bound())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws one value from the bounds (panicking on empty ranges).
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R, lo: Bound<&Self>, hi: Bound<&Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Bound<&Self>,
+                hi: Bound<&Self>,
+            ) -> Self {
+                let lo = match lo {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi = match hi {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi - lo + 1) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Bound<&Self>,
+                hi: Bound<&Self>,
+            ) -> Self {
+                let lo = match lo {
+                    Bound::Included(&x) | Bound::Excluded(&x) => x,
+                    Bound::Unbounded => 0.0,
+                };
+                let hi = match hi {
+                    Bound::Included(&x) | Bound::Excluded(&x) => x,
+                    Bound::Unbounded => 1.0,
+                };
+                assert!(lo < hi, "cannot sample from an empty range");
+                lo + rng.next_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform selection from indexable collections (`rand 0.9`'s split of
+/// `SliceRandom`).
+pub trait IndexedRandom {
+    /// Element type.
+    type Output;
+
+    /// Uniformly picks one element, or `None` if the collection is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = usize::sample_from(rng, Bound::Included(&0), Bound::Excluded(&self.len()));
+            Some(&self[idx])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v / 10 - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel iterator adaptors over index-addressable sources.
+
+use crate::run_indexed;
+
+#[doc(hidden)]
+pub mod internal {
+    /// An index-addressable source of items, shareable across workers.
+    #[allow(clippy::len_without_is_empty)]
+    pub trait Producer: Sync {
+        /// Item type.
+        type Item: Send;
+        /// Number of items.
+        fn len(&self) -> usize;
+        /// Produces the item at `index` (called at most once per index).
+        fn produce(&self, index: usize) -> Self::Item;
+    }
+}
+
+use internal::Producer;
+
+/// A parallel iterator: a [`Producer`] plus the adaptor/consumer API.
+pub trait ParallelIterator: Producer + Sized {
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Applies `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_indexed(self.len(), |i| f(self.produce(i)));
+    }
+
+    /// Collects all items in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        run_indexed(self.len(), |i| self.produce(i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sums all items in input order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(self.len(), |i| self.produce(i))
+            .into_iter()
+            .sum()
+    }
+}
+
+impl<P: Producer + Sized> ParallelIterator for P {}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl Producer for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn produce(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// The [`ParallelIterator::map`] adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> Producer for Map<I, F>
+where
+    I: Producer,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> R {
+        (self.f)(self.base.produce(index))
+    }
+}
+
+/// The [`ParallelIterator::enumerate`] adaptor.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: Producer> Producer for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.produce(index))
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the data-parallel subset the QPlacer workspace uses with
+//! `std::thread::scope` workers pulling indices from a shared atomic
+//! counter (self-balancing, like rayon's work stealing but at item
+//! granularity). The parallelism is real: on an N-core host a
+//! `par_iter().map(...).collect()` over CPU-bound work scales with the
+//! pool size.
+//!
+//! Semantics preserved from rayon:
+//!
+//! - `collect()` returns results in input order regardless of which
+//!   worker computed them — callers can rely on determinism.
+//! - A panicking closure propagates the panic to the caller.
+//! - [`ThreadPool::install`] scopes a pool: parallel iterators inside the
+//!   closure use that pool's thread count.
+//! - Nested parallel iterators inside a worker run sequentially (depth-1
+//!   parallelism), so job-level and subset-level `par_iter`s compose
+//!   without oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod iter;
+pub mod prelude {
+    //! The traits most callers want in scope.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static CURRENT_POOL: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers so nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The thread count parallel iterators will use right now.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    CURRENT_POOL.with(Cell::get).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in, but
+/// kept so call sites match rayon's fallible API).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (auto thread count).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool size; `0` means auto-detect.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A configured degree of parallelism.
+///
+/// Unlike real rayon there are no persistent worker threads; workers are
+/// scoped threads spawned per parallel call, which keeps the stand-in
+/// dependency-free while preserving rayon's scheduling semantics.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool installed as the current one.
+    ///
+    /// The previous pool is restored even if `op` unwinds, so a caller
+    /// that catches a propagated worker panic does not leak this pool's
+    /// thread count into later parallel calls.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_POOL.with(|c| c.replace(Some(self.threads))));
+        op()
+    }
+}
+
+/// Runs `f(0..len)` across the current pool, returning results in index
+/// order. Panics from `f` are propagated to the caller.
+pub(crate) fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let panicked = std::sync::atomic::AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let mut chunks: Vec<Vec<(usize, R)>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut local = Vec::new();
+                    while !panicked.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                panicked.store(true, Ordering::Relaxed);
+                                if let Ok(mut slot) = panic_payload.lock() {
+                                    slot.get_or_insert(payload);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Workers catch panics themselves, so join only fails on
+            // catastrophic (abort-level) errors.
+            if let Ok(local) = handle.join() {
+                chunks.push(local);
+            }
+        }
+    });
+
+    if let Ok(mut slot) = panic_payload.lock() {
+        if let Some(payload) = slot.take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    let mut indexed: Vec<(usize, R)> = chunks.into_iter().flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), len);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn ranges_parallelize() {
+        let squares: Vec<usize> = (0usize..64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[63], 63 * 63);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0usize..16)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0usize..4)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        // Inside workers the effective width is 1 (depth-1 parallelism).
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the serialization surface the QPlacer workspace needs:
+//! `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//! stand-in) plus [`Serialize`]/[`Deserialize`] traits over an in-memory
+//! [`Value`] tree. `serde_json` (also vendored) renders that tree to JSON
+//! text with the same externally-tagged enum representation real serde
+//! uses, so records written by the experiment harness look like ordinary
+//! serde_json output.
+//!
+//! Design notes:
+//! - Struct fields serialize in declaration order, so output is
+//!   byte-stable across runs — the harness determinism tests depend on it.
+//! - Unlike real serde there is no zero-copy or streaming layer; every
+//!   (de)serialization goes through [`Value`]. For the config/record-sized
+//!   payloads in this workspace that is plenty.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// An in-memory serialization tree (the meeting point of [`Serialize`]
+/// and [`Deserialize`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets an externally-tagged enum value: a single-entry map
+    /// `{tag: inner}`.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(m) if m.len() == 1 => Some((m[0].0.as_str(), &m[0].1)),
+            _ => None,
+        }
+    }
+
+    /// Looks up a struct field, failing with a descriptive error.
+    pub fn field<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+        map.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    /// Externally-tagged unit variant.
+    pub fn variant_unit(tag: &str) -> Value {
+        Value::Str(tag.to_string())
+    }
+
+    /// Externally-tagged newtype variant.
+    pub fn variant_newtype(tag: &str, inner: Value) -> Value {
+        Value::Map(vec![(tag.to_string(), inner)])
+    }
+
+    /// Externally-tagged tuple variant.
+    pub fn variant_seq(tag: &str, items: Vec<Value>) -> Value {
+        Value::Map(vec![(tag.to_string(), Value::Seq(items))])
+    }
+
+    /// Externally-tagged struct variant.
+    pub fn variant_map(tag: &str, fields: Vec<(String, Value)>) -> Value {
+        Value::Map(vec![(tag.to_string(), Value::Map(fields))])
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Builds a "expected X while deserializing Y" error.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error::custom(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,450 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the `proc_macro::TokenStream` directly.
+//! It supports the shapes the QPlacer workspace actually uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Tuple struct with this arity.
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"serde_derive (vendored): {msg}\");")
+                .parse()
+                .unwrap();
+        }
+    };
+    let body = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Struct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::Tuple(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Parses `name: Type, ...` returning the field names. Types are skipped
+/// by tracking nesting depth of `<`/`>` so commas inside generics do not
+/// split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility on the field.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, got {tree:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle = 0i32;
+    let mut pending_field = false;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if pending_field {
+                    count += 1;
+                    pending_field = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        pending_field = true;
+    }
+    if pending_field {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes on the variant.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("explicit discriminants are not supported".to_string());
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+        // Consume the trailing comma if present.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::variant_unit(\"{vn}\"),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::variant_newtype(\
+                             \"{vn}\", ::serde::Serialize::to_value(__f0)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::variant_seq(\
+                                 \"{vn}\", ::std::vec![{}]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::variant_map(\
+                                 \"{vn}\", ::std::vec![{}]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::Value::field(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::expected(\"sequence\", \"{name}::{vn}\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::Value::field(__m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 __other => {{\n\
+                 let (__tag, __inner) = __other.as_variant().ok_or_else(|| \
+                 ::serde::Error::expected(\"variant\", \"{name}\"))?;\n\
+                 #[allow(unused_variables)]\n\
+                 match __tag {{\n\
+                 {datas}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
