@@ -1,0 +1,222 @@
+//! `bench_json` — emits the machine-readable placement/kernel benchmark
+//! trajectory (`BENCH_place.json`) tracked across PRs.
+//!
+//! ```text
+//! bench_json [--quick] [--out FILE]     measure and write the JSON
+//! bench_json --check FILE               validate an emitted file's schema
+//! ```
+//!
+//! Entries cover the spectral hot-path kernels (planned Poisson solve,
+//! planned 2-D DCT) and full paper-config placer runs. Timing fields are
+//! host-dependent; the schema is what downstream tooling relies on:
+//! `{schema, threads, entries: [{kernel, grid, ns_per_op,
+//! iterations_per_sec}]}`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qplacer_freq::FrequencyAssigner;
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_numeric::{Array2, PoissonSolver, RowOp, SpectralPlan};
+use qplacer_place::{DensityModel, GlobalPlacer, PlacerConfig, PlacerWorkspace};
+use qplacer_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// One measured kernel or pipeline entry.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Kernel name (`poisson_solve`, `dct2_2d`, `placer_paper_<device>`).
+    kernel: String,
+    /// Bin-grid side length the kernel ran on.
+    grid: usize,
+    /// Mean wall time per operation (one solve / transform / placement
+    /// iteration), in nanoseconds.
+    ns_per_op: f64,
+    /// `1e9 / ns_per_op` — operations (or placement iterations) per second.
+    iterations_per_sec: f64,
+}
+
+/// The `BENCH_place.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchDoc {
+    /// Schema tag; bump on breaking field changes.
+    schema: String,
+    /// rayon worker count the measurements used.
+    threads: usize,
+    /// Measured entries.
+    entries: Vec<BenchEntry>,
+}
+
+const SCHEMA: &str = "qplacer-bench-place/v1";
+
+fn time_op<F: FnMut()>(mut f: F, min_iters: usize, min_seconds: f64) -> f64 {
+    f(); // warm up (plan caches, page faults)
+    let start = Instant::now();
+    let mut iters = 0usize;
+    while iters < min_iters || start.elapsed().as_secs_f64() < min_seconds {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn entry(kernel: &str, grid: usize, ns_per_op: f64) -> BenchEntry {
+    BenchEntry {
+        kernel: kernel.to_string(),
+        grid,
+        ns_per_op,
+        iterations_per_sec: 1e9 / ns_per_op,
+    }
+}
+
+fn device_netlist(device: &str) -> QuantumNetlist {
+    let topology = match device {
+        "falcon" => Topology::falcon27(),
+        "eagle" => Topology::eagle127(),
+        other => panic!("unknown bench device {other}"),
+    };
+    let freqs = FrequencyAssigner::paper_defaults().assign(&topology);
+    QuantumNetlist::build(&topology, &freqs, &NetlistConfig::default())
+}
+
+fn measure(quick: bool) -> BenchDoc {
+    let grids: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let devices: &[&str] = if quick {
+        &["falcon"]
+    } else {
+        &["falcon", "eagle"]
+    };
+    let min_seconds = if quick { 0.05 } else { 0.2 };
+    let mut entries = Vec::new();
+
+    for &m in grids {
+        let mut rho = Array2::zeros(m, m);
+        for iy in 0..m {
+            for ix in 0..m {
+                rho[(ix, iy)] = ((ix * 7 + iy * 3) % 13) as f64 * 0.1;
+            }
+        }
+
+        let solver = PoissonSolver::new(m, m);
+        let mut field = qplacer_numeric::PoissonField::zeros(m, m);
+        let mut scratch = solver.make_scratch();
+        let ns = time_op(
+            || solver.solve_into(&rho, &mut field, &mut scratch),
+            3,
+            min_seconds,
+        );
+        entries.push(entry("poisson_solve", m, ns));
+
+        let plan = SpectralPlan::new(m, m);
+        let mut grid = rho.clone();
+        // Restore the input each op so the unnormalized DCT doesn't
+        // compound the buffer to infinity across timing iterations.
+        let ns = time_op(
+            || {
+                grid.data_mut().copy_from_slice(rho.data());
+                plan.apply_2d(&mut grid, &mut scratch, RowOp::Dct2, RowOp::Dct2);
+            },
+            3,
+            min_seconds,
+        );
+        entries.push(entry("dct2_2d", m, ns));
+    }
+
+    for &device in devices {
+        let base = device_netlist(device);
+        let density = DensityModel::for_netlist(&base);
+        let placer = GlobalPlacer::new(PlacerConfig::paper());
+        let mut ws = PlacerWorkspace::new();
+        // One full paper-config placement; per-op = per placement
+        // iteration (Table II's "Avg" column, in ns).
+        let mut nl = base.clone();
+        let report = placer.run_with(&mut nl, &mut ws);
+        entries.push(entry(
+            &format!("placer_paper_{device}"),
+            density.dims().0,
+            report.seconds_per_iteration * 1e9,
+        ));
+    }
+
+    BenchDoc {
+        schema: SCHEMA.to_string(),
+        threads: rayon::current_num_threads(),
+        entries,
+    }
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc: BenchDoc = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if doc.schema != SCHEMA {
+        return Err(format!("schema mismatch: {} != {SCHEMA}", doc.schema));
+    }
+    if doc.entries.is_empty() {
+        return Err("no bench entries".to_string());
+    }
+    for e in &doc.entries {
+        if e.kernel.is_empty() || e.grid == 0 {
+            return Err(format!("malformed entry: {e:?}"));
+        }
+        if !(e.ns_per_op.is_finite() && e.ns_per_op > 0.0) {
+            return Err(format!("non-positive ns_per_op in {e:?}"));
+        }
+        if !(e.iterations_per_sec.is_finite() && e.iterations_per_sec > 0.0) {
+            return Err(format!("non-positive iterations_per_sec in {e:?}"));
+        }
+    }
+    println!("{path}: ok ({} entries)", doc.entries.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_place.json".to_string();
+    let mut quick = false;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        return match check(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let doc = measure(quick);
+    let json = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for e in &doc.entries {
+        println!(
+            "{:<22} grid {:>3}  {:>12.0} ns/op  {:>10.1}/s",
+            e.kernel, e.grid, e.ns_per_op, e.iterations_per_sec
+        );
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\nusage: bench_json [--quick] [--out FILE] | --check FILE");
+    ExitCode::FAILURE
+}

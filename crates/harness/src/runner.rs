@@ -96,6 +96,9 @@ pub struct JobRecord {
     pub wall_ms: f64,
     /// Placement-stage wall time (ms). Non-deterministic.
     pub wall_place_ms: f64,
+    /// Global-placement iterations per second of placement wall time
+    /// (0 for the Human arm). Non-deterministic.
+    pub wall_place_iters_per_sec: f64,
 }
 
 impl JobRecord {
@@ -126,6 +129,7 @@ impl JobRecord {
             mean_active_violations: 0.0,
             wall_ms: 0.0,
             wall_place_ms: 0.0,
+            wall_place_iters_per_sec: 0.0,
         }
     }
 
@@ -136,7 +140,8 @@ impl JobRecord {
          instances,place_iterations,hpwl_mm,mer_area_mm2,utilization,ph,\
          impacted_qubits,violations,subsets_requested,subsets_evaluated,\
          subsets_skipped_too_large,subsets_skipped_unroutable,mean_fidelity,\
-         min_fidelity,mean_active_violations,wall_ms,wall_place_ms"
+         min_fidelity,mean_active_violations,wall_ms,wall_place_ms,\
+         wall_place_iters_per_sec"
     }
 
     /// One CSV row matching [`JobRecord::csv_header`].
@@ -148,7 +153,7 @@ impl JobRecord {
             JobStatus::Panicked { message } => format!("panicked: {message}"),
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_escape(&self.plan),
             self.job_index,
             csv_escape(&self.device),
@@ -179,6 +184,7 @@ impl JobRecord {
             self.mean_active_violations,
             self.wall_ms,
             self.wall_place_ms,
+            self.wall_place_iters_per_sec,
         )
     }
 }
@@ -345,6 +351,11 @@ fn run_pipeline_job(plan: &ExperimentPlan, index: usize) -> Result<Box<JobRecord
         record.place_iterations = placement.iterations;
         record.hpwl_mm = placement.hpwl;
         record.wall_place_ms = placement.elapsed_seconds * 1e3;
+        record.wall_place_iters_per_sec = if placement.elapsed_seconds > 0.0 {
+            placement.iterations as f64 / placement.elapsed_seconds
+        } else {
+            0.0
+        };
     }
     let area = layout.area();
     record.mer_area_mm2 = area.mer_area;

@@ -1,5 +1,11 @@
 //! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The free functions here are thin wrappers over the cached
+//! [`crate::FftPlan`] for their length, so twiddle factors and the
+//! bit-reversal permutation are computed once per length per process.
+//! Hot paths should hold a plan (or a [`crate::SpectralPlan`]) directly.
 
+use crate::plan::fft_plan;
 use crate::Complex64;
 
 /// In-place forward FFT: `X_k = Σ_n x_n e^{-2πi nk/N}`.
@@ -22,7 +28,10 @@ use crate::Complex64;
 /// }
 /// ```
 pub fn fft(data: &mut [Complex64]) {
-    fft_dir(data, false);
+    if data.is_empty() {
+        return;
+    }
+    fft_plan(data.len()).fft_inplace(data);
 }
 
 /// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`.
@@ -31,52 +40,10 @@ pub fn fft(data: &mut [Complex64]) {
 ///
 /// Panics if the length is not a power of two.
 pub fn ifft(data: &mut [Complex64]) {
-    fft_dir(data, true);
-    let scale = 1.0 / data.len() as f64;
-    for v in data.iter_mut() {
-        *v = v.scale(scale);
-    }
-}
-
-fn fft_dir(data: &mut [Complex64], inverse: bool) {
-    let n = data.len();
-    assert!(
-        n.is_power_of_two(),
-        "FFT length must be a power of two, got {n}"
-    );
-    if n <= 1 {
+    if data.is_empty() {
         return;
     }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u32).reverse_bits() >> (32 - bits);
-        let j = j as usize;
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    // Butterfly passes.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex64::ONE;
-            let half = len / 2;
-            for i in 0..half {
-                let u = chunk[i];
-                let v = chunk[i + half] * w;
-                chunk[i] = u + v;
-                chunk[i + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
+    fft_plan(data.len()).ifft_inplace(data);
 }
 
 #[cfg(test)]

@@ -17,6 +17,30 @@
 //! * Small statistics helpers ([`mean`], [`geo_mean`]) used by the metrics
 //!   and benchmark reports.
 //!
+//! # Plans and workspaces (the hot path)
+//!
+//! The free-function transforms allocate per call; the placement loop
+//! instead uses the *planned* API, mirroring FFTW/DREAMPlace:
+//!
+//! 1. Build an [`FftPlan`] (per length) or a 2-D [`SpectralPlan`] once —
+//!    this precomputes bit-reversal tables, twiddle factors, and DCT
+//!    phase tables.
+//! 2. Allocate the matching workspaces once: a [`SpectralScratch`] (a
+//!    transpose buffer plus one complex row buffer per worker) and, for
+//!    Poisson solves, a [`PoissonField`] via [`PoissonField::zeros`].
+//! 3. Call the `*_inplace` row kernels / [`SpectralPlan::apply_2d`] /
+//!    [`PoissonSolver::solve_into`] in the loop: the kernel code itself
+//!    performs **zero heap allocations** on power-of-two grids and fans
+//!    row passes across the current rayon pool width. Row results are
+//!    computed independently, so outputs are bit-identical for any
+//!    thread count. (Under a pool wider than one worker, the scoped
+//!    worker threads themselves cost runtime thread-stack allocations —
+//!    the strict zero-allocation steady state holds on a 1-thread pool,
+//!    matching the vendored rayon's own spawn-per-call model.)
+//!
+//! [`is_fast_path`] reports whether a length takes the planned
+//! O(n log n) route or the naive O(n²) fallback.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +62,7 @@ mod array2;
 mod complex;
 mod fft;
 mod nesterov;
+mod plan;
 mod poisson;
 mod stats;
 mod transforms;
@@ -46,6 +71,7 @@ pub use array2::Array2;
 pub use complex::Complex64;
 pub use fft::{fft, ifft};
 pub use nesterov::{NesterovSolver, SolverState};
+pub use plan::{fft_plan, is_fast_path, FftPlan, RowOp, SpectralPlan, SpectralScratch};
 pub use poisson::{PoissonField, PoissonSolver};
 pub use stats::{geo_mean, mean, pearson, std_dev};
 pub use transforms::{dct2, dct3, idxst, naive_dct2, naive_dct3, naive_idxst};

@@ -1,0 +1,613 @@
+//! Planned, allocation-free transforms.
+//!
+//! The global placer runs four 2-D spectral transforms per Poisson solve,
+//! hundreds of solves per placement. The free-function API
+//! ([`crate::dct2`] & friends) allocates output vectors and recomputes
+//! twiddle factors on every call; this module is the planned counterpart
+//! used on the hot path:
+//!
+//! * [`FftPlan`] — a per-length plan holding the bit-reversal permutation,
+//!   the twiddle-factor table, and the DCT phase tables. Its `*_inplace`
+//!   row kernels write into the caller's buffer using caller-provided
+//!   complex scratch, performing **zero heap allocations**.
+//! * [`SpectralPlan`] — a 2-D separable-transform plan over an
+//!   `nx × ny` grid. Row passes run in parallel on scoped threads (one
+//!   scratch slot per worker, pre-sized in [`SpectralScratch`]), honoring
+//!   the rayon pool installed by the caller: under a 1-thread pool the
+//!   pass is sequential and allocation-free.
+//! * [`fft_plan`] — a process-wide plan cache so the legacy free
+//!   functions also stop recomputing twiddles per call.
+//!
+//! Row kernels are computed independently per row, so results are
+//! bit-identical for any worker count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{Array2, Complex64};
+
+/// `true` when length-`n` transforms take the O(n log n) planned path
+/// (power-of-two lengths); other lengths fall back to the naive O(n²)
+/// reference sums.
+#[must_use]
+pub fn is_fast_path(n: usize) -> bool {
+    n > 0 && n.is_power_of_two()
+}
+
+/// Which 1-D transform a row pass applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOp {
+    /// Forward DCT-II.
+    Dct2,
+    /// DCT-III (inverse of DCT-II up to `N/2`).
+    Dct3,
+    /// Half-sample inverse sine transform.
+    Idxst,
+}
+
+/// A reusable FFT/DCT plan for one power-of-two length.
+///
+/// Construction precomputes everything the transforms need; the kernels
+/// themselves never allocate and never call `sin`/`cos`.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{naive_dct2, Complex64, FftPlan};
+/// let plan = FftPlan::new(8);
+/// let mut row = [0.5, -1.0, 2.0, 0.0, 1.5, 3.0, -0.5, 1.0];
+/// let mut scratch = vec![Complex64::ZERO; 8];
+/// let expected = naive_dct2(&row);
+/// plan.dct2_inplace(&mut row, &mut scratch);
+/// for (a, b) in row.iter().zip(&expected) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πi k/n}` for `k < n/2`; the stage with
+    /// butterfly span `len` indexes this with stride `n/len`.
+    twiddle: Vec<Complex64>,
+    /// DCT-II post-phases `e^{-iπk/2n}`.
+    phase2: Vec<Complex64>,
+    /// DCT-III pre-phases `½·e^{iπk/2n}`.
+    phase3: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            is_fast_path(n),
+            "FFT length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        let twiddle = (0..n / 2)
+            .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let phase2 = (0..n)
+            .map(|k| Complex64::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64)))
+            .collect();
+        let phase3 = (0..n)
+            .map(|k| Complex64::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64)).scale(0.5))
+            .collect();
+        Self {
+            n,
+            rev,
+            twiddle,
+            phase2,
+            phase3,
+        }
+    }
+
+    /// The planned transform length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-0 plan, which cannot exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn permute(&self, data: &mut [Complex64]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for chunk in data.chunks_exact_mut(len) {
+                for i in 0..half {
+                    let w = self.twiddle[i * stride];
+                    let w = if inverse { w.conj() } else { w };
+                    let u = chunk[i];
+                    let v = chunk[i + half] * w;
+                    chunk[i] = u + v;
+                    chunk[i + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn fft_inplace(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place inverse FFT normalized by `1/N` (`ifft(fft(x)) == x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn ifft_inplace(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data, true);
+        let scale = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    /// Unnormalized inverse FFT: the raw conjugate-exponent sum, used by
+    /// the DCT-III kernel where the `1/N · N` round trip cancels.
+    fn ifft_unnormalized(&self, data: &mut [Complex64]) {
+        self.permute(data);
+        self.butterflies(data, true);
+    }
+
+    /// In-place DCT-II of `row` (unnormalized, matches [`crate::dct2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.len()` or `scratch` is shorter than
+    /// the plan length.
+    pub fn dct2_inplace(&self, row: &mut [f64], scratch: &mut [Complex64]) {
+        let n = self.n;
+        assert_eq!(row.len(), n, "row length mismatch");
+        let scratch = &mut scratch[..n];
+        if n == 1 {
+            return; // DCT-II of a single sample is the sample itself.
+        }
+        // Makhoul even-odd permutation into the complex buffer.
+        for i in 0..n / 2 {
+            scratch[i] = Complex64::new(row[2 * i], 0.0);
+            scratch[n - 1 - i] = Complex64::new(row[2 * i + 1], 0.0);
+        }
+        self.fft_inplace(scratch);
+        for (k, out) in row.iter_mut().enumerate() {
+            *out = (scratch[k] * self.phase2[k]).re;
+        }
+    }
+
+    /// In-place DCT-III of `row` (unnormalized, matches [`crate::dct3`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches as in [`FftPlan::dct2_inplace`].
+    pub fn dct3_inplace(&self, row: &mut [f64], scratch: &mut [Complex64]) {
+        let n = self.n;
+        assert_eq!(row.len(), n, "row length mismatch");
+        if n == 1 {
+            row[0] *= 0.5;
+            return;
+        }
+        let scratch = &mut scratch[..n];
+        // V_k = ½·e^{iπk/2N}·(y_k − i·y_{N−k}), y_N := 0.
+        scratch[0] = Complex64::new(row[0], 0.0) * self.phase3[0];
+        for k in 1..n {
+            scratch[k] = Complex64::new(row[k], -row[n - k]) * self.phase3[k];
+        }
+        // The unnormalized DCT-III needs the raw conjugate sum: the usual
+        // 1/N of the inverse FFT and the ×N un-normalization cancel
+        // exactly (N is a power of two).
+        self.ifft_unnormalized(scratch);
+        for i in 0..n / 2 {
+            row[2 * i] = scratch[i].re;
+            row[2 * i + 1] = scratch[n - 1 - i].re;
+        }
+    }
+
+    /// In-place IDXST of `row` (matches [`crate::idxst`]; `row[0]` is
+    /// ignored as the zero sine frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches as in [`FftPlan::dct2_inplace`].
+    pub fn idxst_inplace(&self, row: &mut [f64], scratch: &mut [Complex64]) {
+        let n = self.n;
+        assert_eq!(row.len(), n, "row length mismatch");
+        if n == 1 {
+            row[0] = 0.0;
+            return;
+        }
+        let scratch = &mut scratch[..n];
+        // s = (−1)^n-signed DCT-III of c with c_0 = 0, c_j = b_{N−j};
+        // substituting c into the DCT-III factorization gives
+        // V_k = ½·e^{iπk/2N}·(b_{N−k} − i·b_k) with V_0 = 0.
+        scratch[0] = Complex64::ZERO;
+        for k in 1..n {
+            scratch[k] = Complex64::new(row[n - k], -row[k]) * self.phase3[k];
+        }
+        self.ifft_unnormalized(scratch);
+        for i in 0..n / 2 {
+            row[2 * i] = scratch[i].re;
+            row[2 * i + 1] = -scratch[n - 1 - i].re;
+        }
+    }
+
+    /// Dispatches one row kernel.
+    pub fn apply_row(&self, op: RowOp, row: &mut [f64], scratch: &mut [Complex64]) {
+        match op {
+            RowOp::Dct2 => self.dct2_inplace(row, scratch),
+            RowOp::Dct3 => self.dct3_inplace(row, scratch),
+            RowOp::Idxst => self.idxst_inplace(row, scratch),
+        }
+    }
+}
+
+/// Returns the process-wide cached plan for length `n`, building it on
+/// first use. Cached plans make the legacy free-function transforms
+/// ([`crate::dct2`], [`crate::fft`], …) reuse twiddle/permutation tables
+/// across calls.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (see [`is_fast_path`]).
+#[must_use]
+pub fn fft_plan(n: usize) -> Arc<FftPlan> {
+    // Validate before taking the lock so a bad length can never poison
+    // the cache for other threads.
+    assert!(
+        is_fast_path(n),
+        "FFT length must be a power of two, got {n}"
+    );
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
+/// Caller-owned scratch for a [`SpectralPlan`]: a transpose buffer plus
+/// one complex row buffer per worker slot. Building one costs two
+/// allocations; reusing it across solves costs none.
+#[derive(Debug, Clone)]
+pub struct SpectralScratch {
+    /// Transposed copy of the grid during column passes.
+    transpose: Vec<f64>,
+    /// `slots` contiguous complex row buffers of `slot_len` each.
+    complex: Vec<Complex64>,
+    slot_len: usize,
+}
+
+impl SpectralScratch {
+    /// Scratch for an `nx × ny` grid, sized for every core the host can
+    /// offer and never fewer than four slots (so modestly oversized
+    /// pools — and the threaded code path on single-core CI — still get
+    /// one slot per worker; wider pools are clamped to the slot count).
+    #[must_use]
+    pub fn new(nx: usize, ny: usize) -> Self {
+        let slot_len = nx.max(ny).max(1);
+        let slots = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(4);
+        Self {
+            transpose: vec![0.0; nx * ny],
+            complex: vec![Complex64::ZERO; slots * slot_len],
+            slot_len,
+        }
+    }
+}
+
+/// A 2-D separable-transform plan over an `nx × ny` grid (power-of-two
+/// dimensions), running row passes in parallel across the current rayon
+/// pool width.
+///
+/// Transforms are applied as `rows(x-plan) → transpose → rows(y-plan) →
+/// transpose back`, so both passes stream over contiguous memory. Each
+/// row is computed independently with a per-worker scratch slot, making
+/// results bit-identical for any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_numeric::{dct2, Array2, RowOp, SpectralPlan, SpectralScratch};
+/// let plan = SpectralPlan::new(8, 4);
+/// let mut scratch = SpectralScratch::new(8, 4);
+/// let mut a = Array2::zeros(8, 4);
+/// a[(3, 1)] = 1.0;
+/// let mut b = a.clone();
+/// plan.apply_2d(&mut a, &mut scratch, RowOp::Dct2, RowOp::Dct2);
+/// b.map_rows(dct2);
+/// b.map_cols(dct2);
+/// for (x, y) in a.data().iter().zip(b.data()) {
+///     assert!((x - y).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralPlan {
+    nx: usize,
+    ny: usize,
+    plan_x: Arc<FftPlan>,
+    plan_y: Arc<FftPlan>,
+}
+
+impl SpectralPlan {
+    /// Builds the 2-D plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a power of two.
+    #[must_use]
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            plan_x: fft_plan(nx),
+            plan_y: fft_plan(ny),
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Applies `row_op` along x and `col_op` along y, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s shape differs from the plan or `scratch` was built
+    /// for a smaller grid.
+    pub fn apply_2d(
+        &self,
+        a: &mut Array2,
+        scratch: &mut SpectralScratch,
+        row_op: RowOp,
+        col_op: RowOp,
+    ) {
+        assert_eq!(a.nx(), self.nx, "grid shape mismatch");
+        assert_eq!(a.ny(), self.ny, "grid shape mismatch");
+        assert!(
+            scratch.transpose.len() >= self.nx * self.ny
+                && scratch.slot_len >= self.nx.max(self.ny),
+            "scratch too small for {}x{} grid",
+            self.nx,
+            self.ny
+        );
+        let SpectralScratch {
+            transpose,
+            complex,
+            slot_len,
+        } = scratch;
+        let data = a.data_mut();
+        par_rows(&self.plan_x, data, complex, *slot_len, row_op);
+        transpose_into(data, transpose, self.nx, self.ny);
+        par_rows(
+            &self.plan_y,
+            &mut transpose[..self.nx * self.ny],
+            complex,
+            *slot_len,
+            col_op,
+        );
+        transpose_into(&transpose[..self.nx * self.ny], data, self.ny, self.nx);
+    }
+}
+
+/// `dst[x*ny + y] = src[y*nx + x]` — row-major transpose of an `nx × ny`
+/// grid (row length `nx`) into its `ny × nx` counterpart.
+fn transpose_into(src: &[f64], dst: &mut [f64], nx: usize, ny: usize) {
+    for y in 0..ny {
+        let row = &src[y * nx..(y + 1) * nx];
+        for (x, &v) in row.iter().enumerate() {
+            dst[x * ny + y] = v;
+        }
+    }
+}
+
+/// Applies `op` to every contiguous length-`n` row of `data`, fanning
+/// bands of rows across scoped worker threads (at most one per scratch
+/// slot). With an effective width of 1 the pass runs inline and performs
+/// no allocation at all.
+///
+/// Scoped spawns (rather than pool tasks) are deliberate: the vendored
+/// rayon has no persistent workers and cannot lend out disjoint `&mut`
+/// row bands, and its depth-1 nesting contract reports a width of 1
+/// inside pool workers — so harness jobs running under an installed pool
+/// take the inline path here and never oversubscribe the machine.
+fn par_rows(
+    plan: &FftPlan,
+    data: &mut [f64],
+    complex: &mut [Complex64],
+    slot_len: usize,
+    op: RowOp,
+) {
+    let n = plan.len();
+    let rows = data.len() / n;
+    let slots = complex.len() / slot_len;
+    let threads = rayon::current_num_threads().min(rows).min(slots).max(1);
+    if threads <= 1 {
+        let scratch = &mut complex[..slot_len];
+        for row in data.chunks_exact_mut(n) {
+            plan.apply_row(op, row, scratch);
+        }
+        return;
+    }
+    let band = rows.div_ceil(threads) * n;
+    std::thread::scope(|scope| {
+        for (band_data, slot) in data.chunks_mut(band).zip(complex.chunks_mut(slot_len)) {
+            scope.spawn(move || {
+                for row in band_data.chunks_exact_mut(n) {
+                    plan.apply_row(op, row, slot);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dct2, dct3, idxst, naive_dct2, naive_dct3, naive_idxst};
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.11).cos() - 0.3)
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn planned_rows_match_naive_references() {
+        for &n in &[1usize, 2, 4, 8, 32, 128, 256] {
+            let plan = FftPlan::new(n);
+            let mut scratch = vec![Complex64::ZERO; n];
+            let x = signal(n);
+
+            let mut row = x.clone();
+            plan.dct2_inplace(&mut row, &mut scratch);
+            assert_close(&row, &naive_dct2(&x), 1e-8);
+
+            let mut row = x.clone();
+            plan.dct3_inplace(&mut row, &mut scratch);
+            assert_close(&row, &naive_dct3(&x), 1e-8);
+
+            let mut row = x.clone();
+            plan.idxst_inplace(&mut row, &mut scratch);
+            assert_close(&row, &naive_idxst(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn planned_rows_match_free_functions_exactly() {
+        // The free functions route through the same cached plans, so the
+        // outputs must agree bit for bit.
+        for &n in &[2usize, 16, 64] {
+            let plan = fft_plan(n);
+            let mut scratch = vec![Complex64::ZERO; n];
+            let x = signal(n);
+            for (op, reference) in [
+                (RowOp::Dct2, dct2(&x)),
+                (RowOp::Dct3, dct3(&x)),
+                (RowOp::Idxst, idxst(&x)),
+            ] {
+                let mut row = x.clone();
+                plan.apply_row(op, &mut row, &mut scratch);
+                assert_eq!(row, reference, "{op:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_plan_matches_map_rows_cols() {
+        let (nx, ny) = (16, 8);
+        let plan = SpectralPlan::new(nx, ny);
+        let mut scratch = SpectralScratch::new(nx, ny);
+        let mut a = Array2::zeros(nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                a[(ix, iy)] = ((ix * 5 + iy * 3) % 11) as f64 - 4.0;
+            }
+        }
+        for (row_op, col_op, rf, cf) in [
+            (
+                RowOp::Dct2,
+                RowOp::Dct2,
+                dct2 as fn(&[f64]) -> Vec<f64>,
+                dct2 as fn(&[f64]) -> Vec<f64>,
+            ),
+            (RowOp::Dct3, RowOp::Dct3, dct3, dct3),
+            (RowOp::Idxst, RowOp::Dct3, idxst, dct3),
+            (RowOp::Dct3, RowOp::Idxst, dct3, idxst),
+        ] {
+            let mut fast = a.clone();
+            plan.apply_2d(&mut fast, &mut scratch, row_op, col_op);
+            let mut slow = a.clone();
+            slow.map_rows(rf);
+            slow.map_cols(cf);
+            assert_close(fast.data(), slow.data(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let (nx, ny) = (32, 32);
+        let plan = SpectralPlan::new(nx, ny);
+        let mut a = Array2::zeros(nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                a[(ix, iy)] = ((ix * 7 + iy) % 13) as f64 * 0.25;
+            }
+        }
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut scratch = SpectralScratch::new(nx, ny);
+            let mut grid = a.clone();
+            pool.install(|| plan.apply_2d(&mut grid, &mut scratch, RowOp::Dct2, RowOp::Dct2));
+            grid
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn fast_path_predicate() {
+        assert!(is_fast_path(1));
+        assert!(is_fast_path(256));
+        assert!(!is_fast_path(0));
+        assert!(!is_fast_path(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_plan_panics() {
+        let _ = FftPlan::new(12);
+    }
+}

@@ -16,9 +16,14 @@
 //! The DC coefficient is dropped (a neutralized system: forces are relative
 //! to the uniform target density).
 
+use crate::plan::{is_fast_path, RowOp, SpectralPlan, SpectralScratch};
 use crate::{dct2, dct3, idxst, Array2};
 
 /// Result of one Poisson solve: potential and field maps on the bin grid.
+///
+/// Doubles as the caller-owned output workspace of
+/// [`PoissonSolver::solve_into`]: allocate once with
+/// [`PoissonField::zeros`], then reuse it across solves.
 #[derive(Debug, Clone)]
 pub struct PoissonField {
     /// Electric potential ψ per bin (energy density contribution).
@@ -27,6 +32,22 @@ pub struct PoissonField {
     pub ex: Array2,
     /// Field component ξy per bin (`-∂ψ/∂y`), in 1/bin units.
     pub ey: Array2,
+}
+
+impl PoissonField {
+    /// An all-zero field workspace on an `nx × ny` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Self {
+            psi: Array2::zeros(nx, ny),
+            ex: Array2::zeros(nx, ny),
+            ey: Array2::zeros(nx, ny),
+        }
+    }
 }
 
 /// Spectral Poisson solver bound to a fixed `nx × ny` bin grid.
@@ -52,11 +73,15 @@ pub struct PoissonSolver {
     ny: usize,
     wu: Vec<f64>,
     wv: Vec<f64>,
+    /// Planned transforms for power-of-two grids; `None` falls back to
+    /// the allocating naive transforms.
+    plan: Option<SpectralPlan>,
 }
 
 impl PoissonSolver {
     /// Creates a solver for an `nx × ny` grid. Powers of two get the
-    /// O(N log N) fast path; other sizes work through the naive transforms.
+    /// planned O(N log N) fast path; other sizes work through the naive
+    /// transforms.
     ///
     /// # Panics
     ///
@@ -70,7 +95,14 @@ impl PoissonSolver {
         let wv = (0..ny)
             .map(|v| std::f64::consts::PI * v as f64 / ny as f64)
             .collect();
-        Self { nx, ny, wu, wv }
+        let plan = (is_fast_path(nx) && is_fast_path(ny)).then(|| SpectralPlan::new(nx, ny));
+        Self {
+            nx,
+            ny,
+            wu,
+            wv,
+            plan,
+        }
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -79,57 +111,143 @@ impl PoissonSolver {
         (self.nx, self.ny)
     }
 
+    /// A transform scratch sized for this solver's grid, for use with
+    /// [`PoissonSolver::solve_into`].
+    #[must_use]
+    pub fn make_scratch(&self) -> SpectralScratch {
+        SpectralScratch::new(self.nx, self.ny)
+    }
+
     /// Solves for the potential and field of the density map `rho`.
+    ///
+    /// Convenience wrapper over [`PoissonSolver::solve_into`] that
+    /// allocates a fresh field and scratch per call; iterative callers
+    /// should hold both and use `solve_into` directly.
     ///
     /// # Panics
     ///
     /// Panics if `rho`'s shape differs from the solver grid.
     #[must_use]
     pub fn solve(&self, rho: &Array2) -> PoissonField {
+        let mut field = PoissonField::zeros(self.nx, self.ny);
+        let mut scratch = self.make_scratch();
+        self.solve_into(rho, &mut field, &mut scratch);
+        field
+    }
+
+    /// Solves for the potential and field of `rho`, writing into the
+    /// caller-owned `field` workspace.
+    ///
+    /// On power-of-two grids this performs **zero heap allocations**: the
+    /// four 2-D transforms run through the precomputed [`SpectralPlan`]
+    /// with `scratch` as working memory, with row passes fanned across
+    /// the current rayon pool width. Non-power-of-two grids fall back to
+    /// the allocating naive transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho`'s shape differs from the solver grid or `scratch`
+    /// was built for a smaller grid.
+    pub fn solve_into(
+        &self,
+        rho: &Array2,
+        field: &mut PoissonField,
+        scratch: &mut SpectralScratch,
+    ) {
+        self.solve_into_impl(rho, field, scratch, true);
+    }
+
+    /// Like [`PoissonSolver::solve_into`], but computes only the field
+    /// components (ξx, ξy), skipping the inverse transform that produces
+    /// the potential ψ — one of the four 2-D transforms. Use when only
+    /// gradients are needed (the placer's steady-state loop). After the
+    /// call `field.psi` holds the *spectral* coefficients ψ̂, not ψ.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PoissonSolver::solve_into`].
+    pub fn solve_field_into(
+        &self,
+        rho: &Array2,
+        field: &mut PoissonField,
+        scratch: &mut SpectralScratch,
+    ) {
+        self.solve_into_impl(rho, field, scratch, false);
+    }
+
+    fn solve_into_impl(
+        &self,
+        rho: &Array2,
+        field: &mut PoissonField,
+        scratch: &mut SpectralScratch,
+        want_potential: bool,
+    ) {
         assert_eq!(rho.nx(), self.nx, "density grid shape mismatch");
         assert_eq!(rho.ny(), self.ny, "density grid shape mismatch");
+        assert_eq!(field.psi.nx(), self.nx, "field workspace shape mismatch");
+        assert_eq!(field.psi.ny(), self.ny, "field workspace shape mismatch");
 
-        // Forward 2-D DCT-II.
-        let mut a = rho.clone();
-        a.map_rows(dct2);
-        a.map_cols(dct2);
+        // Forward 2-D DCT-II of ρ, staged in the ψ buffer.
+        field.psi.data_mut().copy_from_slice(rho.data());
+        self.transform(&mut field.psi, scratch, RowOp::Dct2, RowOp::Dct2);
 
         // Normalization: each dimension's DCT-II/DCT-III roundtrip scales
         // by N/2, so divide by (nx/2)(ny/2).
         let norm = 4.0 / (self.nx as f64 * self.ny as f64);
 
-        let mut psi_hat = Array2::zeros(self.nx, self.ny);
-        let mut bx = Array2::zeros(self.nx, self.ny);
-        let mut by = Array2::zeros(self.nx, self.ny);
+        // ψ̂ (in place over the forward coefficients) and the two
+        // frequency-weighted field spectra.
         for v in 0..self.ny {
             for u in 0..self.nx {
                 if u == 0 && v == 0 {
-                    continue; // neutralize DC
+                    // Neutralize DC (workspace reuse: overwrite, not skip).
+                    field.psi[(0, 0)] = 0.0;
+                    field.ex[(0, 0)] = 0.0;
+                    field.ey[(0, 0)] = 0.0;
+                    continue;
                 }
                 let w2 = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
-                let coef = a[(u, v)] * norm / w2;
-                psi_hat[(u, v)] = coef;
-                bx[(u, v)] = coef * self.wu[u];
-                by[(u, v)] = coef * self.wv[v];
+                let coef = field.psi[(u, v)] * norm / w2;
+                field.psi[(u, v)] = coef;
+                field.ex[(u, v)] = coef * self.wu[u];
+                field.ey[(u, v)] = coef * self.wv[v];
             }
         }
 
         // ψ = IDCT_x(IDCT_y(ψ̂))
-        let mut psi = psi_hat.clone();
-        psi.map_rows(dct3);
-        psi.map_cols(dct3);
-
+        if want_potential {
+            self.transform(&mut field.psi, scratch, RowOp::Dct3, RowOp::Dct3);
+        }
         // ξx = IDXST along x, IDCT along y.
-        let mut ex = bx;
-        ex.map_rows(idxst);
-        ex.map_cols(dct3);
-
+        self.transform(&mut field.ex, scratch, RowOp::Idxst, RowOp::Dct3);
         // ξy = IDCT along x, IDXST along y.
-        let mut ey = by;
-        ey.map_rows(dct3);
-        ey.map_cols(idxst);
+        self.transform(&mut field.ey, scratch, RowOp::Dct3, RowOp::Idxst);
+    }
 
-        PoissonField { psi, ex, ey }
+    fn transform(
+        &self,
+        a: &mut Array2,
+        scratch: &mut SpectralScratch,
+        row_op: RowOp,
+        col_op: RowOp,
+    ) {
+        match &self.plan {
+            Some(plan) => plan.apply_2d(a, scratch, row_op, col_op),
+            None => {
+                let rf = free_fn(row_op);
+                let cf = free_fn(col_op);
+                a.map_rows(rf);
+                a.map_cols(cf);
+            }
+        }
+    }
+}
+
+fn free_fn(op: RowOp) -> fn(&[f64]) -> Vec<f64> {
+    match op {
+        RowOp::Dct2 => dct2,
+        RowOp::Dct3 => dct3,
+        RowOp::Idxst => idxst,
     }
 }
 

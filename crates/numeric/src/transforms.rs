@@ -12,9 +12,13 @@
 //! `c_j = b_{N-j}`.
 //!
 //! Naive O(N²) references are exported for testing and as a fallback for
-//! non-power-of-two lengths.
+//! non-power-of-two lengths; [`crate::is_fast_path`] reports which path a
+//! length takes. These free functions allocate their outputs and look up
+//! the cached [`crate::FftPlan`] per call — hot loops should hold a plan
+//! (or [`crate::SpectralPlan`]) and use the `*_inplace` kernels instead.
 
-use crate::{fft, Complex64};
+use crate::plan::fft_plan;
+use crate::Complex64;
 
 /// Forward DCT-II of `x` (unnormalized). Uses the FFT (Makhoul's
 /// even-odd permutation) when `x.len()` is a power of two, and the naive
@@ -40,21 +44,9 @@ pub fn dct2(x: &[f64]) -> Vec<f64> {
     if !n.is_power_of_two() {
         return naive_dct2(x);
     }
-    // Even-odd permutation: v = [x0, x2, ..., x_{N-2}, x_{N-1}, ..., x3, x1].
-    let mut v = vec![Complex64::ZERO; n];
-    for i in 0..n / 2 {
-        v[i] = Complex64::new(x[2 * i], 0.0);
-        v[n - 1 - i] = Complex64::new(x[2 * i + 1], 0.0);
-    }
-    if n == 1 {
-        v[0] = Complex64::new(x[0], 0.0);
-    }
-    fft(&mut v);
-    let mut out = vec![0.0; n];
-    for (k, item) in out.iter_mut().enumerate() {
-        let phase = Complex64::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
-        *item = (v[k] * phase).re;
-    }
+    let mut out = x.to_vec();
+    let mut scratch = vec![Complex64::ZERO; n];
+    fft_plan(n).dct2_inplace(&mut out, &mut scratch);
     out
 }
 
@@ -80,28 +72,9 @@ pub fn dct3(y: &[f64]) -> Vec<f64> {
     if !n.is_power_of_two() {
         return naive_dct3(y);
     }
-    if n == 1 {
-        return vec![y[0] / 2.0];
-    }
-    // Inverse of the Makhoul factorization:
-    //   V_k = 0.5 · e^{iπk/2N} · (y_k - i·y_{N-k}),  y_N := 0
-    // then v = IFFT(V) (with the *forward* exponent convention used in
-    // `fft`, the inverse needs conjugation), and de-permutation.
-    let mut big_v = vec![Complex64::ZERO; n];
-    for k in 0..n {
-        let y_k = y[k];
-        let y_nk = if k == 0 { 0.0 } else { y[n - k] };
-        let phase = Complex64::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
-        big_v[k] = (Complex64::new(y_k, -y_nk) * phase).scale(0.5);
-    }
-    crate::ifft(&mut big_v);
-    // ifft divides by n; the unnormalized DCT-III needs the raw sum, so
-    // multiply back.
-    let mut out = vec![0.0; n];
-    for i in 0..n / 2 {
-        out[2 * i] = big_v[i].re * n as f64;
-        out[2 * i + 1] = big_v[n - 1 - i].re * n as f64;
-    }
+    let mut out = y.to_vec();
+    let mut scratch = vec![Complex64::ZERO; n];
+    fft_plan(n).dct3_inplace(&mut out, &mut scratch);
     out
 }
 
@@ -126,18 +99,24 @@ pub fn idxst(b: &[f64]) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    // s_n = (-1)^n · DCT-III(c), c_0 = 0, c_j = b_{N-j}.
-    let mut c = vec![0.0; n];
-    for j in 1..n {
-        c[j] = b[n - j];
-    }
-    let mut s = dct3(&c);
-    for (i, v) in s.iter_mut().enumerate() {
-        if i % 2 == 1 {
-            *v = -*v;
+    if !n.is_power_of_two() {
+        // s_n = (-1)^n · DCT-III(c), c_0 = 0, c_j = b_{N-j}.
+        let mut c = vec![0.0; n];
+        for j in 1..n {
+            c[j] = b[n - j];
         }
+        let mut s = naive_dct3(&c);
+        for (i, v) in s.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *v = -*v;
+            }
+        }
+        return s;
     }
-    s
+    let mut out = b.to_vec();
+    let mut scratch = vec![Complex64::ZERO; n];
+    fft_plan(n).idxst_inplace(&mut out, &mut scratch);
+    out
 }
 
 /// Naive O(N²) DCT-II reference.

@@ -9,7 +9,47 @@
 
 use qplacer_geometry::{Point, Rect};
 use qplacer_netlist::QuantumNetlist;
-use qplacer_numeric::{Array2, PoissonSolver};
+use qplacer_numeric::{is_fast_path, Array2, PoissonField, PoissonSolver, SpectralScratch};
+
+/// Fixed number of deposition bands: instances are split into this many
+/// contiguous id-ranges whose charge maps are accumulated independently
+/// (possibly in parallel) and reduced in band order. Because the band
+/// structure is independent of the worker count, the rasterized density
+/// is bit-identical for any rayon pool width.
+const DEPOSIT_BANDS: usize = 8;
+
+/// Caller-owned scratch for the density kernels: the charge map, the
+/// per-band deposition accumulators, the Poisson field, and the
+/// spectral-transform scratch. Allocate once per model via
+/// [`DensityModel::workspace`]; every kernel call then runs without heap
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct DensityWorkspace {
+    rho: Array2,
+    bands: Vec<Array2>,
+    field: PoissonField,
+    scratch: SpectralScratch,
+}
+
+impl DensityWorkspace {
+    /// The most recently rasterized density map.
+    #[must_use]
+    pub fn rho(&self) -> &Array2 {
+        &self.rho
+    }
+
+    /// The most recently solved Poisson field.
+    ///
+    /// After [`DensityModel::energy_grad_into`] the `psi` map holds the
+    /// potential ψ; after the gradient-only [`DensityModel::grad_into`]
+    /// it holds the *spectral* coefficients ψ̂ instead (the inverse
+    /// transform is skipped) — only `ex`/`ey` are comparable between the
+    /// two paths.
+    #[must_use]
+    pub fn field(&self) -> &PoissonField {
+        &self.field
+    }
+}
 
 /// Bin-grid density model bound to a netlist's region.
 #[derive(Debug, Clone)]
@@ -43,12 +83,18 @@ impl DensityModel {
     }
 
     /// Picks a power-of-two grid adequate for `netlist`: roughly 2× the
-    /// square root of the instance count, clamped to `[32, 256]`.
+    /// square root of the instance count, clamped to `[32, 256]`. The
+    /// result always satisfies [`qplacer_numeric::is_fast_path`], so the
+    /// placer never silently degrades to the O(N²) naive transforms.
     #[must_use]
     pub fn for_netlist(netlist: &QuantumNetlist) -> Self {
         let n = netlist.num_instances().max(1);
         let target = (2.0 * (n as f64).sqrt()) as usize;
         let m = target.next_power_of_two().clamp(32, 256);
+        assert!(
+            is_fast_path(m),
+            "auto-picked bin grid {m} must take the fast transform path"
+        );
         Self::new(netlist.region(), m, m)
     }
 
@@ -58,16 +104,67 @@ impl DensityModel {
         (self.nx, self.ny)
     }
 
+    /// A workspace sized for this model's grid, for the `*_into` kernel
+    /// variants.
+    #[must_use]
+    pub fn workspace(&self) -> DensityWorkspace {
+        DensityWorkspace {
+            rho: Array2::zeros(self.nx, self.ny),
+            bands: (0..DEPOSIT_BANDS)
+                .map(|_| Array2::zeros(self.nx, self.ny))
+                .collect(),
+            field: PoissonField::zeros(self.nx, self.ny),
+            scratch: self.solver.make_scratch(),
+        }
+    }
+
     /// Rasterizes padded instance footprints into the bin grid, returning
-    /// per-bin covered area.
+    /// per-bin covered area. Convenience wrapper over
+    /// [`DensityModel::rasterize_into`].
     #[must_use]
     pub fn rasterize(&self, netlist: &QuantumNetlist, positions: &[Point]) -> Array2 {
-        let mut rho = Array2::zeros(self.nx, self.ny);
-        for inst in netlist.instances() {
-            let rect = inst.padded_rect(positions[inst.id()]);
-            self.splat(&mut rho, &rect);
+        let mut ws = self.workspace();
+        self.rasterize_into(netlist, positions, &mut ws);
+        ws.rho
+    }
+
+    /// Rasterizes padded instance footprints into `ws.rho` without
+    /// allocating: instances are split into [`DEPOSIT_BANDS`] contiguous
+    /// id-ranges deposited independently (in parallel when the current
+    /// rayon pool is wider than one worker) and reduced in fixed band
+    /// order, so the result is bit-identical for any thread count.
+    pub fn rasterize_into(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        ws: &mut DensityWorkspace,
+    ) {
+        let instances = netlist.instances();
+        let band_len = instances.len().div_ceil(DEPOSIT_BANDS).max(1);
+        let deposit = |band: &mut Array2, chunk: &[qplacer_netlist::Instance]| {
+            band.fill_zero();
+            for inst in chunk {
+                let rect = inst.padded_rect(positions[inst.id()]);
+                self.splat(band, &rect);
+            }
+        };
+        if rayon::current_num_threads() <= 1 {
+            for (band, chunk) in ws.bands.iter_mut().zip(instances.chunks(band_len)) {
+                deposit(band, chunk);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let deposit = &deposit;
+                for (band, chunk) in ws.bands.iter_mut().zip(instances.chunks(band_len)) {
+                    scope.spawn(move || deposit(band, chunk));
+                }
+            });
         }
-        rho
+        let used_bands = instances.len().div_ceil(band_len).min(DEPOSIT_BANDS);
+        ws.rho.fill_zero();
+        for band in &ws.bands[..used_bands] {
+            ws.rho.zip_apply(band, |acc, b| acc + b);
+        }
     }
 
     fn bin_range(&self, lo: f64, hi: f64, horizontal: bool) -> (usize, usize) {
@@ -107,10 +204,22 @@ impl DensityModel {
     }
 
     /// Density overflow: the fraction of total instance area sitting above
-    /// the uniform target density (the engine's stop metric).
+    /// the uniform target density (the engine's stop metric). Convenience
+    /// wrapper over [`DensityModel::overflow_with`].
     #[must_use]
     pub fn overflow(&self, netlist: &QuantumNetlist, positions: &[Point]) -> f64 {
-        let rho = self.rasterize(netlist, positions);
+        let mut ws = self.workspace();
+        self.overflow_with(netlist, positions, &mut ws)
+    }
+
+    /// Allocation-free overflow: rasterizes into `ws` and scans the map.
+    pub fn overflow_with(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        ws: &mut DensityWorkspace,
+    ) -> f64 {
+        self.rasterize_into(netlist, positions, ws);
         let total: f64 = netlist.total_padded_area();
         if total <= 0.0 {
             return 0.0;
@@ -118,7 +227,7 @@ impl DensityModel {
         let bin_area = self.bin_w * self.bin_h;
         let target = total / self.region.area(); // average fill
         let mut over = 0.0;
-        for &v in rho.data() {
+        for &v in ws.rho.data() {
             let fill = v / bin_area;
             if fill > target {
                 over += (fill - target) * bin_area;
@@ -129,24 +238,83 @@ impl DensityModel {
 
     /// Penalty energy and gradient (layout `[∂x…, ∂y…]`).
     ///
-    /// Energy is the electrostatic `½Σ q·ψ`; the gradient of instance `i`
-    /// is `−q_i·ξ` sampled as the charge-weighted field over the bins the
-    /// instance covers.
+    /// Convenience wrapper over [`DensityModel::energy_grad_into`] that
+    /// allocates a workspace and the gradient vector per call.
     #[must_use]
     pub fn energy_grad(&self, netlist: &QuantumNetlist, positions: &[Point]) -> (f64, Vec<f64>) {
-        let rho = self.rasterize(netlist, positions);
-        let field = self.solver.solve(&rho);
+        let mut ws = self.workspace();
+        let mut grad = vec![0.0; 2 * positions.len()];
+        let energy = self.energy_grad_into(netlist, positions, &mut grad, &mut ws);
+        (energy, grad)
+    }
 
+    /// Allocation-free variant of [`DensityModel::energy_grad`].
+    ///
+    /// Energy is the electrostatic `½Σ q·ψ`; the gradient of instance `i`
+    /// is `−q_i·ξ` sampled as the charge-weighted field over the bins the
+    /// instance covers. Charge deposition and the per-instance field
+    /// gather both fan out across the current rayon pool width; each
+    /// instance's gather is computed independently, so the gradient is
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != 2 * positions.len()`.
+    pub fn energy_grad_into(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        grad: &mut [f64],
+        ws: &mut DensityWorkspace,
+    ) -> f64 {
+        self.grad_into_impl(netlist, positions, grad, ws, true)
+    }
+
+    /// Gradient-only variant of [`DensityModel::energy_grad_into`]: skips
+    /// the inverse transform producing the potential ψ (and therefore the
+    /// energy, returned as `0.0`) — the placement loop only consumes the
+    /// field. One of the four 2-D spectral transforms is saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != 2 * positions.len()`.
+    pub fn grad_into(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        grad: &mut [f64],
+        ws: &mut DensityWorkspace,
+    ) {
+        let _ = self.grad_into_impl(netlist, positions, grad, ws, false);
+    }
+
+    fn grad_into_impl(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        grad: &mut [f64],
+        ws: &mut DensityWorkspace,
+        want_energy: bool,
+    ) -> f64 {
+        let n = positions.len();
+        assert_eq!(grad.len(), 2 * n, "gradient buffer length mismatch");
+        self.rasterize_into(netlist, positions, ws);
         let mut energy = 0.0;
-        for (i, &q) in rho.data().iter().enumerate() {
-            energy += 0.5 * q * field.psi.data()[i];
+        if want_energy {
+            self.solver
+                .solve_into(&ws.rho, &mut ws.field, &mut ws.scratch);
+            for (&q, &psi) in ws.rho.data().iter().zip(ws.field.psi.data()) {
+                energy += 0.5 * q * psi;
+            }
+        } else {
+            self.solver
+                .solve_field_into(&ws.rho, &mut ws.field, &mut ws.scratch);
         }
 
-        let n = positions.len();
-        let mut grad = vec![0.0; 2 * n];
-        for inst in netlist.instances() {
-            let id = inst.id();
-            let rect = inst.padded_rect(positions[id]);
+        let field = &ws.field;
+        let instances = netlist.instances();
+        let gather = |inst: &qplacer_netlist::Instance, gx: &mut f64, gy: &mut f64| {
+            let rect = inst.padded_rect(positions[inst.id()]);
             let (x0, x1) = self.bin_range(rect.min.x, rect.max.x, true);
             let (y0, y1) = self.bin_range(rect.min.y, rect.max.y, false);
             let mut fx = 0.0;
@@ -161,10 +329,40 @@ impl DensityModel {
                 }
             }
             // Force = q·E pushes apart; gradient descends, so ∂N/∂x = −q·ξx.
-            grad[id] = -fx;
-            grad[n + id] = -fy;
+            *gx = -fx;
+            *gy = -fy;
+        };
+
+        let (grad_x, grad_y) = grad.split_at_mut(n);
+        let threads = rayon::current_num_threads().min(instances.len()).max(1);
+        if threads <= 1 {
+            for inst in instances {
+                let id = inst.id();
+                gather(inst, &mut grad_x[id], &mut grad_y[id]);
+            }
+        } else {
+            let band = instances.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let gather = &gather;
+                for (b, ((chunk, gx), gy)) in instances
+                    .chunks(band)
+                    .zip(grad_x.chunks_mut(band))
+                    .zip(grad_y.chunks_mut(band))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        for (k, ((inst, gx_i), gy_i)) in chunk.iter().zip(gx).zip(gy).enumerate() {
+                            // Gradient slots are addressed positionally;
+                            // this pins the instances-are-id-ordered
+                            // invariant the addressing relies on.
+                            debug_assert_eq!(inst.id(), b * band + k);
+                            gather(inst, gx_i, gy_i);
+                        }
+                    });
+                }
+            });
         }
-        (energy, grad)
+        energy
     }
 }
 

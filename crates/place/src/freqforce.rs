@@ -17,18 +17,37 @@ use qplacer_netlist::QuantumNetlist;
 /// Pairwise 1/d frequency-repulsion potential over a collision map.
 #[derive(Debug, Clone)]
 pub struct FrequencyForce {
-    collision_map: Vec<Vec<usize>>,
+    /// Deduplicated upper-triangle `(i, j)` interaction pairs (`i < j`),
+    /// in the lexicographic order the ordered collision map yields, so
+    /// the inner loop touches each pair exactly once.
+    pairs: Vec<(u32, u32)>,
+    /// Ordered interaction count of the underlying symmetric map
+    /// (`2 × pairs.len()`, kept for reporting parity).
+    ordered_count: usize,
     softening: f64,
 }
 
 impl FrequencyForce {
     /// Builds the force model for `netlist`, with softening distance set
     /// to half the largest padded footprint (a coincident pair behaves
-    /// like one at half-overlap rather than exploding).
+    /// like one at half-overlap rather than exploding). The symmetric
+    /// collision map is deduplicated into an upper-triangle pair list
+    /// once, here, instead of skip-scanning it every iteration.
     #[must_use]
     pub fn new(netlist: &QuantumNetlist) -> Self {
+        let map = netlist.collision_map();
+        let ordered_count = map.iter().map(Vec::len).sum();
+        let mut pairs = Vec::with_capacity(ordered_count / 2);
+        for (i, partners) in map.iter().enumerate() {
+            for &j in partners {
+                if j > i {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
         Self {
-            collision_map: netlist.collision_map(),
+            pairs,
+            ordered_count,
             softening: 0.5 * netlist.max_padded_side().max(1e-3),
         }
     }
@@ -36,7 +55,13 @@ impl FrequencyForce {
     /// Number of interacting (ordered) pairs in the collision map.
     #[must_use]
     pub fn interaction_count(&self) -> usize {
-        self.collision_map.iter().map(Vec::len).sum()
+        self.ordered_count
+    }
+
+    /// Number of deduplicated (unordered) interacting pairs.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
     }
 
     /// The softening distance.
@@ -48,33 +73,47 @@ impl FrequencyForce {
     /// Penalty energy `Σ 1/max(d, ε)`-style (softened) and its gradient
     /// (layout `[∂x…, ∂y…]`).
     ///
-    /// Softened potential: `φ(d) = 1/√(d² + ε²)`, so the force magnitude
-    /// is `d/(d² + ε²)^{3/2}` ≈ `1/d²` for `d ≫ ε`.
+    /// Convenience wrapper over [`FrequencyForce::energy_grad_into`] that
+    /// allocates the gradient vector.
     #[must_use]
     pub fn energy_grad(&self, positions: &[Point]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; 2 * positions.len()];
+        let energy = self.energy_grad_into(positions, &mut grad);
+        (energy, grad)
+    }
+
+    /// Allocation-free variant of [`FrequencyForce::energy_grad`]:
+    /// overwrites the caller-owned `grad` and returns the energy.
+    ///
+    /// Softened potential: `φ(d) = 1/√(d² + ε²)`, so the force magnitude
+    /// is `d/(d² + ε²)^{3/2}` ≈ `1/d²` for `d ≫ ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != 2 * positions.len()`.
+    pub fn energy_grad_into(&self, positions: &[Point], grad: &mut [f64]) -> f64 {
         let n = positions.len();
-        let mut grad = vec![0.0; 2 * n];
+        assert_eq!(grad.len(), 2 * n, "gradient buffer length mismatch");
+        grad.fill(0.0);
         let mut energy = 0.0;
         let eps2 = self.softening * self.softening;
-        for (i, partners) in self.collision_map.iter().enumerate() {
-            for &j in partners {
-                if j <= i {
-                    continue; // count each pair once
-                }
-                let dx = positions[i].x - positions[j].x;
-                let dy = positions[i].y - positions[j].y;
-                let r2 = dx * dx + dy * dy + eps2;
-                let r = r2.sqrt();
-                energy += 1.0 / r;
-                // ∂(1/r)/∂x_i = -dx / r³ — descending increases distance.
-                let inv_r3 = 1.0 / (r2 * r);
-                grad[i] -= dx * inv_r3;
-                grad[j] += dx * inv_r3;
-                grad[n + i] -= dy * inv_r3;
-                grad[n + j] += dy * inv_r3;
-            }
+        for &(i, j) in &self.pairs {
+            let (i, j) = (i as usize, j as usize);
+            let dx = positions[i].x - positions[j].x;
+            let dy = positions[i].y - positions[j].y;
+            let r2 = dx * dx + dy * dy + eps2;
+            // One division per pair: 1/r³ = (1/r)·(1/r)², avoiding a
+            // second divide through r²·r.
+            let inv_r = 1.0 / r2.sqrt();
+            energy += inv_r;
+            // ∂(1/r)/∂x_i = -dx / r³ — descending increases distance.
+            let inv_r3 = inv_r * inv_r * inv_r;
+            grad[i] -= dx * inv_r3;
+            grad[j] += dx * inv_r3;
+            grad[n + i] -= dy * inv_r3;
+            grad[n + j] += dy * inv_r3;
         }
-        (energy, grad)
+        energy
     }
 }
 

@@ -7,7 +7,63 @@ use qplacer_netlist::QuantumNetlist;
 use qplacer_numeric::NesterovSolver;
 use serde::{Deserialize, Serialize};
 
-use crate::{exact_hpwl, DensityModel, FrequencyForce, WirelengthModel};
+use crate::{exact_hpwl, DensityModel, DensityWorkspace, FrequencyForce, WirelengthModel};
+
+/// Reusable buffers for the placement loop: unpacked positions, the four
+/// gradient vectors, per-instance preconditioner data, and the density
+/// kernel's [`DensityWorkspace`].
+///
+/// [`GlobalPlacer::run`] builds one internally; callers running many
+/// placements (the harness, benchmark sweeps) can hold a single
+/// workspace across runs via [`GlobalPlacer::run_with`] — buffers are
+/// re-sized only when the netlist or bin grid changes shape, so
+/// steady-state placement iterations perform **zero heap allocations**
+/// in the transform and gradient kernels.
+#[derive(Debug, Clone, Default)]
+pub struct PlacerWorkspace {
+    positions: Vec<Point>,
+    gwl: Vec<f64>,
+    gd: Vec<f64>,
+    gf: Vec<f64>,
+    grad: Vec<f64>,
+    degree: Vec<f64>,
+    areas: Vec<f64>,
+    half_sizes: Vec<(f64, f64)>,
+    density: Option<(usize, usize, DensityWorkspace)>,
+}
+
+impl PlacerWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures every buffer matches `n` instances and the model's grid.
+    fn ensure(&mut self, n: usize, density: &DensityModel) {
+        if self.positions.len() != n {
+            self.positions.resize(n, Point::ORIGIN);
+            self.half_sizes.resize(n, (0.0, 0.0));
+            self.degree.resize(n, 0.0);
+            self.areas.resize(n, 0.0);
+            for buf in [&mut self.gwl, &mut self.gd, &mut self.gf, &mut self.grad] {
+                buf.resize(2 * n, 0.0);
+            }
+        }
+        let dims = density.dims();
+        let fits = matches!(&self.density, Some((nx, ny, _)) if (*nx, *ny) == dims);
+        if !fits {
+            self.density = Some((dims.0, dims.1, density.workspace()));
+        }
+    }
+
+    fn unpack(positions: &mut [Point], flat: &[f64]) {
+        let n = positions.len();
+        for (i, p) in positions.iter_mut().enumerate() {
+            *p = Point::new(flat[i], flat[n + i]);
+        }
+    }
+}
 
 /// Placement engine configuration.
 ///
@@ -143,6 +199,21 @@ impl GlobalPlacer {
     /// Runs global placement, writing optimized positions back into
     /// `netlist` and returning a [`PlacementReport`].
     pub fn run(&self, netlist: &mut QuantumNetlist) -> PlacementReport {
+        let mut workspace = PlacerWorkspace::new();
+        self.run_with(netlist, &mut workspace)
+    }
+
+    /// Like [`GlobalPlacer::run`], but reusing a caller-owned
+    /// [`PlacerWorkspace`] so repeated placements (sweeps, the harness)
+    /// skip even the per-run buffer setup. Inside the loop, every
+    /// gradient kernel writes into workspace buffers and the spectral
+    /// solve runs through precomputed plans: steady-state iterations
+    /// allocate nothing on the heap.
+    pub fn run_with(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut PlacerWorkspace,
+    ) -> PlacementReport {
         let start = Instant::now();
         let cfg = &self.config;
         let region = netlist.region();
@@ -155,28 +226,31 @@ impl GlobalPlacer {
         };
         let freq = cfg.frequency_aware.then(|| FrequencyForce::new(netlist));
 
-        // Preconditioner: net degree + area charge per instance.
-        let mut degree = vec![0.0; n];
+        ws.ensure(n, &density);
+
+        // Preconditioner: net degree + area charge per instance; padded
+        // half-extents for the region clamp.
+        ws.degree.fill(0.0);
         for net in netlist.nets() {
             let (a, b) = net.endpoints();
-            degree[a] += net.weight();
-            degree[b] += net.weight();
+            ws.degree[a] += net.weight();
+            ws.degree[b] += net.weight();
         }
-        let areas: Vec<f64> = netlist
+        for (inst, (area, half)) in netlist
             .instances()
             .iter()
-            .map(|inst| inst.padded_area())
-            .collect();
+            .zip(ws.areas.iter_mut().zip(ws.half_sizes.iter_mut()))
+        {
+            *area = inst.padded_area();
+            *half = (0.5 * inst.padded_mm(), 0.5 * inst.padded_mm());
+        }
+        ws.gf.fill(0.0); // stays zero when the frequency force is off
 
         // Pack positions [x…, y…].
         let mut x0 = Vec::with_capacity(2 * n);
         x0.extend(netlist.positions().iter().map(|p| p.x));
         x0.extend(netlist.positions().iter().map(|p| p.y));
         let mut solver = NesterovSolver::new(x0, cfg.step_fraction * region.width());
-
-        let unpack = |flat: &[f64]| -> Vec<Point> {
-            (0..n).map(|i| Point::new(flat[i], flat[n + i])).collect()
-        };
 
         let mut lambda = 0.0;
         let mut lambda_f = 0.0;
@@ -185,47 +259,42 @@ impl GlobalPlacer {
         let mut freq_energy = 0.0;
         let mut trace = Vec::new();
 
+        let (_, _, density_ws) = ws.density.as_mut().expect("ensured above");
+
         for iter in 0..cfg.max_iterations {
-            let positions = unpack(solver.reference());
-            let (_ewl, gwl) = wl.energy_grad(netlist, &positions);
-            let (_ed, gd) = density.energy_grad(netlist, &positions);
-            let (ef, gf) = match &freq {
-                Some(f) => f.energy_grad(&positions),
-                None => (0.0, vec![0.0; 2 * n]),
+            PlacerWorkspace::unpack(&mut ws.positions, solver.reference());
+            let _ewl = wl.energy_grad_into(netlist, &ws.positions, &mut ws.gwl);
+            // Gradient-only density solve: the loop never consumes the
+            // density energy, so the ψ inverse transform is skipped.
+            density.grad_into(netlist, &ws.positions, &mut ws.gd, density_ws);
+            freq_energy = match &freq {
+                Some(f) => f.energy_grad_into(&ws.positions, &mut ws.gf),
+                None => 0.0,
             };
-            freq_energy = ef;
 
             if !initialized {
                 let norm = |g: &[f64]| g.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
-                lambda = norm(&gwl) / norm(&gd);
-                let gf_norm = gf.iter().map(|v| v.abs()).sum::<f64>();
+                lambda = norm(&ws.gwl) / norm(&ws.gd);
+                let gf_norm = ws.gf.iter().map(|v| v.abs()).sum::<f64>();
                 lambda_f = if gf_norm > 1e-12 {
-                    cfg.freq_weight * norm(&gwl) / gf_norm
+                    cfg.freq_weight * norm(&ws.gwl) / gf_norm
                 } else {
                     0.0
                 };
                 initialized = true;
             }
 
-            let mut grad = vec![0.0; 2 * n];
             for i in 0..2 * n {
                 let inst = i % n;
-                let precond = (degree[inst] + lambda * areas[inst]).max(1e-6);
-                grad[i] = (gwl[i] + lambda * gd[i] + lambda_f * gf[i]) / precond;
+                let precond = (ws.degree[inst] + lambda * ws.areas[inst]).max(1e-6);
+                ws.grad[i] = (ws.gwl[i] + lambda * ws.gd[i] + lambda_f * ws.gf[i]) / precond;
             }
-            solver.step(&grad);
+            solver.step(&ws.grad);
 
             // Clamp into the region (keeps footprints inside).
-            let inst_rects: Vec<(f64, f64)> = netlist
-                .instances()
-                .iter()
-                .map(|inst| (inst.padded_mm(), inst.padded_mm()))
-                .collect();
+            let half_sizes = &ws.half_sizes;
             solver.override_position(|flat| {
-                for i in 0..n {
-                    let (w, h) = inst_rects[i];
-                    let hw = 0.5 * w;
-                    let hh = 0.5 * h;
+                for (i, &(hw, hh)) in half_sizes.iter().enumerate() {
                     flat[i] = flat[i].clamp(region.min.x + hw, region.max.x - hw);
                     flat[n + i] = flat[n + i].clamp(region.min.y + hh, region.max.y - hh);
                 }
@@ -236,8 +305,8 @@ impl GlobalPlacer {
             iterations = iter + 1;
 
             if iter % 5 == 0 || iter + 1 == cfg.max_iterations {
-                let pos_now = unpack(solver.position());
-                let overflow = density.overflow(netlist, &pos_now);
+                PlacerWorkspace::unpack(&mut ws.positions, solver.position());
+                let overflow = density.overflow_with(netlist, &ws.positions, density_ws);
                 trace.push((iter, overflow));
                 if iter >= cfg.min_iterations && overflow < cfg.target_overflow {
                     break;
@@ -245,11 +314,11 @@ impl GlobalPlacer {
             }
         }
 
-        let final_positions = unpack(solver.position());
-        netlist.set_positions(&final_positions);
-        let hpwl = exact_hpwl(netlist, &final_positions);
+        PlacerWorkspace::unpack(&mut ws.positions, solver.position());
+        netlist.set_positions(&ws.positions);
+        let hpwl = exact_hpwl(netlist, &ws.positions);
         let elapsed = start.elapsed().as_secs_f64();
-        let overflow = density.overflow(netlist, &final_positions);
+        let overflow = density.overflow_with(netlist, &ws.positions, density_ws);
 
         PlacementReport {
             iterations,

@@ -44,10 +44,32 @@ impl WirelengthModel {
     /// Smooth wirelength of the netlist at `positions` and its gradient
     /// with respect to every instance coordinate. The gradient layout is
     /// `[∂x₀…∂x_{n−1}, ∂y₀…∂y_{n−1}]`.
+    ///
+    /// Convenience wrapper over [`WirelengthModel::energy_grad_into`]
+    /// that allocates the gradient vector.
     #[must_use]
     pub fn energy_grad(&self, netlist: &QuantumNetlist, positions: &[Point]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; 2 * positions.len()];
+        let energy = self.energy_grad_into(netlist, positions, &mut grad);
+        (energy, grad)
+    }
+
+    /// Allocation-free variant of [`WirelengthModel::energy_grad`]:
+    /// overwrites the caller-owned `grad` (layout `[∂x…, ∂y…]`) and
+    /// returns the energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != 2 * positions.len()`.
+    pub fn energy_grad_into(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        grad: &mut [f64],
+    ) -> f64 {
         let n = positions.len();
-        let mut grad = vec![0.0; 2 * n];
+        assert_eq!(grad.len(), 2 * n, "gradient buffer length mismatch");
+        grad.fill(0.0);
         let mut energy = 0.0;
         for net in netlist.nets() {
             let (a, b) = net.endpoints();
@@ -62,7 +84,7 @@ impl WirelengthModel {
             grad[n + a] += w * gy;
             grad[n + b] -= w * gy;
         }
-        (energy, grad)
+        energy
     }
 }
 

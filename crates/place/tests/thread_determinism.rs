@@ -1,0 +1,59 @@
+//! The parallel hot path must not change results: a paper-config
+//! placement run under a 1-thread rayon pool and under a wide pool must
+//! produce *identical* final positions. Charge deposition reduces a
+//! fixed band structure in fixed order, transform rows and field
+//! gathers are computed independently per row/instance, so no floating-
+//! point reassociation depends on the worker count.
+
+use qplacer_freq::FrequencyAssigner;
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_place::{GlobalPlacer, PlacerConfig, PlacerWorkspace};
+use qplacer_topology::Topology;
+
+fn build(t: &Topology) -> QuantumNetlist {
+    let freqs = FrequencyAssigner::paper_defaults().assign(t);
+    QuantumNetlist::build(t, &freqs, &NetlistConfig::with_segment_size(0.4))
+}
+
+fn run_at(threads: usize) -> (QuantumNetlist, usize) {
+    let t = Topology::grid(3, 3);
+    let mut nl = build(&t);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds");
+    // Paper configuration with the auto-picked (power-of-two) bin grid.
+    let report = pool.install(|| GlobalPlacer::new(PlacerConfig::paper()).run(&mut nl));
+    (nl, report.iterations)
+}
+
+#[test]
+fn paper_config_placement_is_identical_at_1_vs_n_threads() {
+    let (nl_1, iters_1) = run_at(1);
+    let (nl_n, iters_n) = run_at(4);
+    assert_eq!(iters_1, iters_n, "iteration counts diverged");
+    assert_eq!(
+        nl_1.positions(),
+        nl_n.positions(),
+        "final positions diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn workspace_reuse_does_not_change_results() {
+    let t = Topology::grid(3, 3);
+    let mut fresh = build(&t);
+    let mut reused = fresh.clone();
+
+    let placer = GlobalPlacer::new(PlacerConfig::fast());
+    let report_fresh = placer.run(&mut fresh);
+
+    // Dirty the workspace on an unrelated run, then reuse it.
+    let mut ws = PlacerWorkspace::new();
+    let mut warmup = build(&Topology::grid(2, 2));
+    let _ = placer.run_with(&mut warmup, &mut ws);
+    let report_reused = placer.run_with(&mut reused, &mut ws);
+
+    assert_eq!(report_fresh.iterations, report_reused.iterations);
+    assert_eq!(fresh.positions(), reused.positions());
+}
