@@ -7,15 +7,20 @@
 //! ```
 //!
 //! Entries cover the spectral hot-path kernels (planned Poisson solve,
-//! planned 2-D DCT) and full paper-config placer runs. Timing fields are
-//! host-dependent; the schema is what downstream tooling relies on:
-//! `{schema, threads, entries: [{kernel, grid, ns_per_op,
-//! iterations_per_sec}]}`.
+//! planned 2-D DCT), full paper-config placer runs, and — since PR 3 —
+//! the back-end: workspace-threaded legalization (`legalize`), frequency
+//! assignment (`freq_assign`), and the whole
+//! place→legalize→assign→metrics pipeline (`end_to_end`), one entry per
+//! paper device. Timing fields are host-dependent; the schema is what
+//! downstream tooling relies on: `{schema, threads, entries: [{kernel,
+//! grid, ns_per_op, iterations_per_sec}]}`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use qplacer_freq::FrequencyAssigner;
+use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
+use qplacer_harness::{PipelineConfig, PipelineWorkspace, Qplacer, Strategy};
+use qplacer_legal::{LegalWorkspace, Legalizer};
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
 use qplacer_numeric::{Array2, PoissonSolver, RowOp, SpectralPlan};
 use qplacer_place::{DensityModel, GlobalPlacer, PlacerConfig, PlacerWorkspace};
@@ -50,14 +55,34 @@ struct BenchDoc {
 const SCHEMA: &str = "qplacer-bench-place/v1";
 
 fn time_op<F: FnMut()>(mut f: F, min_iters: usize, min_seconds: f64) -> f64 {
-    f(); // warm up (plan caches, page faults)
-    let start = Instant::now();
+    time_op_sections(
+        move || {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        },
+        min_iters,
+        min_seconds,
+    )
+}
+
+/// Like [`time_op`], but the op reports how much of its body to count —
+/// untimed setup (e.g. restoring pre-legalization positions between
+/// legalization runs) stays outside the measurement.
+fn time_op_sections<F: FnMut() -> std::time::Duration>(
+    mut op: F,
+    min_iters: usize,
+    min_seconds: f64,
+) -> f64 {
+    op(); // warm up (plan caches, workspace build-out, page faults)
+    let mut timed = 0.0f64;
     let mut iters = 0usize;
-    while iters < min_iters || start.elapsed().as_secs_f64() < min_seconds {
-        f();
+    let wall = Instant::now();
+    while iters < min_iters || wall.elapsed().as_secs_f64() < min_seconds {
+        timed += op().as_secs_f64();
         iters += 1;
     }
-    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    timed * 1e9 / iters as f64
 }
 
 fn entry(kernel: &str, grid: usize, ns_per_op: f64) -> BenchEntry {
@@ -69,12 +94,16 @@ fn entry(kernel: &str, grid: usize, ns_per_op: f64) -> BenchEntry {
     }
 }
 
-fn device_netlist(device: &str) -> QuantumNetlist {
-    let topology = match device {
+fn device_topology(device: &str) -> Topology {
+    match device {
         "falcon" => Topology::falcon27(),
         "eagle" => Topology::eagle127(),
         other => panic!("unknown bench device {other}"),
-    };
+    }
+}
+
+fn device_netlist(device: &str) -> QuantumNetlist {
+    let topology = device_topology(device);
     let freqs = FrequencyAssigner::paper_defaults().assign(&topology);
     QuantumNetlist::build(&topology, &freqs, &NetlistConfig::default())
 }
@@ -123,8 +152,10 @@ fn measure(quick: bool) -> BenchDoc {
     }
 
     for &device in devices {
+        let topology = device_topology(device);
         let base = device_netlist(device);
         let density = DensityModel::for_netlist(&base);
+        let grid_dim = density.dims().0;
         let placer = GlobalPlacer::new(PlacerConfig::paper());
         let mut ws = PlacerWorkspace::new();
         // One full paper-config placement; per-op = per placement
@@ -133,9 +164,55 @@ fn measure(quick: bool) -> BenchDoc {
         let report = placer.run_with(&mut nl, &mut ws);
         entries.push(entry(
             &format!("placer_paper_{device}"),
-            density.dims().0,
+            grid_dim,
             report.seconds_per_iteration * 1e9,
         ));
+
+        // Back-end kernels (PR 3). Legalization re-runs from the same
+        // globally-placed state each iteration (position restore is
+        // untimed); the workspace is reused, so this measures the
+        // steady-state `run_with` the harness sees.
+        let placed: Vec<_> = nl.positions().to_vec();
+        let legalizer = Legalizer::default();
+        let mut lws = LegalWorkspace::new();
+        let ns = time_op_sections(
+            || {
+                nl.set_positions(&placed);
+                let start = Instant::now();
+                let _ = legalizer.run_with(&mut nl, &mut lws);
+                start.elapsed()
+            },
+            3,
+            min_seconds,
+        );
+        entries.push(entry(&format!("legalize_{device}"), grid_dim, ns));
+
+        // Steady-state frequency assignment (`assign_into` reuses both
+        // the workspace and the output buffers).
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut fws = FreqWorkspace::default();
+        let mut assignment = assigner.assign_with(&topology, &mut fws);
+        let ns = time_op(
+            || assigner.assign_into(&topology, &mut fws, &mut assignment),
+            10,
+            min_seconds,
+        );
+        entries.push(entry(&format!("freq_assign_{device}"), grid_dim, ns));
+
+        // The whole pipeline (assign -> place -> legalize -> area +
+        // hotspot metrics), one op = one end-to-end run.
+        let engine = Qplacer::new(PipelineConfig::paper());
+        let mut pws = PipelineWorkspace::new();
+        let ns = time_op(
+            || {
+                let layout = engine.place_with(&topology, Strategy::FrequencyAware, &mut pws);
+                let _ = layout.area();
+                let _ = layout.hotspots();
+            },
+            1,
+            min_seconds,
+        );
+        entries.push(entry(&format!("end_to_end_{device}"), grid_dim, ns));
     }
 
     BenchDoc {

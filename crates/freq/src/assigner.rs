@@ -5,8 +5,35 @@ use serde::{Deserialize, Serialize};
 use qplacer_physics::Frequency;
 use qplacer_topology::Topology;
 
-use crate::coloring::dsatur_coloring;
+use crate::coloring::{dsatur_into, DsaturScratch};
 use crate::Spectrum;
+
+/// Reusable buffers for [`FrequencyAssigner::assign_with`]: CSR conflict
+/// graphs, BFS state, coloring bitsets, and slot scratch. A harness
+/// sweeping many jobs keeps one of these per worker and pays the graph
+/// allocations once; steady-state assignments of the same topology shape
+/// allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FreqWorkspace {
+    /// CSR soft-conflict graph (radius-R neighborhoods / line graph).
+    soft_off: Vec<usize>,
+    soft: Vec<usize>,
+    /// CSR hard-conflict graph (directly coupled pairs must differ).
+    hard_off: Vec<usize>,
+    hard: Vec<usize>,
+    /// BFS scratch for radius conflicts.
+    dist: Vec<usize>,
+    queue: std::collections::VecDeque<usize>,
+    /// Incident-edge lists (line-graph construction).
+    inc_off: Vec<usize>,
+    inc: Vec<usize>,
+    cursor: Vec<usize>,
+    /// Coloring + slotting scratch.
+    dsatur: DsaturScratch,
+    color: Vec<usize>,
+    slots: Vec<usize>,
+    taken: Vec<bool>,
+}
 
 /// Frequencies chosen for every qubit and every resonator of a device.
 ///
@@ -154,70 +181,92 @@ impl FrequencyAssigner {
     }
 
     /// Assigns frequencies to every qubit and resonator of `topology`.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`FrequencyAssigner::assign_with`].
     #[must_use]
     pub fn assign(&self, topology: &Topology) -> FrequencyAssignment {
-        let qubit_slots = self.color_and_slot(
-            &radius_conflicts(topology, self.qubit_conflict_radius),
-            &direct_adjacency(topology),
-            self.qubit_band.num_slots(),
-        );
-        let qubits = qubit_slots
-            .iter()
-            .map(|&s| self.qubit_band.slot(s))
-            .collect();
-
-        let line = line_graph(topology);
-        let res_slots = self.color_and_slot(&line, &line, self.resonator_band.num_slots());
-        let resonators = res_slots
-            .iter()
-            .map(|&s| self.resonator_band.slot(s))
-            .collect();
-
-        FrequencyAssignment {
-            qubits,
-            resonators,
-            detuning_threshold: self.qubit_band.step(),
-        }
+        let mut ws = FreqWorkspace::default();
+        self.assign_with(topology, &mut ws)
     }
 
-    /// Colors `conflicts`, wraps colors into `num_slots`, then repairs any
-    /// collision on the *hard* conflict graph (`must_differ`) greedily.
-    fn color_and_slot(
+    /// Like [`FrequencyAssigner::assign`], but reuses the conflict-graph,
+    /// BFS, and coloring buffers in `ws` across calls — the form sweep
+    /// jobs should use.
+    #[must_use]
+    pub fn assign_with(&self, topology: &Topology, ws: &mut FreqWorkspace) -> FrequencyAssignment {
+        let mut out = FrequencyAssignment {
+            qubits: Vec::new(),
+            resonators: Vec::new(),
+            detuning_threshold: self.qubit_band.step(),
+        };
+        self.assign_into(topology, ws, &mut out);
+        out
+    }
+
+    /// Like [`FrequencyAssigner::assign_with`], but also writes into an
+    /// existing [`FrequencyAssignment`], so steady-state assignments of
+    /// the same topology shape allocate nothing at all.
+    pub fn assign_into(
         &self,
-        conflicts: &[Vec<usize>],
-        must_differ: &[Vec<usize>],
-        num_slots: usize,
-    ) -> Vec<usize> {
-        let colors = dsatur_coloring(conflicts);
-        let num_colors = colors.iter().copied().max().map_or(1, |m| m + 1);
-        // Spread colors evenly across the whole band instead of packing
-        // them at the low end: distinct colors stay on distinct slots while
-        // the average frequency matches the band center (this also keeps
-        // resonator lengths — hence segment counts — at the paper's scale).
-        let mut slots: Vec<usize> = colors
-            .iter()
-            .map(|&c| {
-                if num_colors <= num_slots {
-                    (c as f64 * (num_slots - 1) as f64 / (num_colors.max(2) - 1) as f64).round()
-                        as usize
-                } else {
-                    c % num_slots
-                }
-            })
-            .collect();
-        // Repair pass: direct conflicts must never share a slot.
-        for v in 0..slots.len() {
-            let taken: std::collections::HashSet<usize> =
-                must_differ[v].iter().map(|&u| slots[u]).collect();
-            if taken.contains(&slots[v]) {
-                if let Some(free) = (0..num_slots).find(|s| !taken.contains(s)) {
-                    slots[v] = free;
-                }
-                // If the direct degree exceeds the slot count the collision
-                // is unavoidable; the spatial force handles it downstream.
+        topology: &Topology,
+        ws: &mut FreqWorkspace,
+        out: &mut FrequencyAssignment,
+    ) {
+        // Qubits: color the radius-R conflict graph, repair on the direct
+        // graph.
+        radius_conflicts_into(topology, self.qubit_conflict_radius, ws);
+        direct_adjacency_into(topology, ws);
+        color_and_slot(ws, self.qubit_band.num_slots());
+        out.qubits.clear();
+        out.qubits
+            .extend(ws.slots.iter().map(|&s| self.qubit_band.slot(s)));
+
+        // Resonators: the line graph is both the soft and the hard graph.
+        line_graph_into(topology, ws);
+        color_and_slot(ws, self.resonator_band.num_slots());
+        out.resonators.clear();
+        out.resonators
+            .extend(ws.slots.iter().map(|&s| self.resonator_band.slot(s)));
+
+        out.detuning_threshold = self.qubit_band.step();
+    }
+}
+
+/// Colors `ws`'s soft CSR graph, wraps colors into `num_slots`, then
+/// repairs any collision on the hard CSR graph greedily. Results land in
+/// `ws.slots`.
+fn color_and_slot(ws: &mut FreqWorkspace, num_slots: usize) {
+    dsatur_into(&ws.soft_off, &ws.soft, &mut ws.dsatur, &mut ws.color);
+    let num_colors = ws.color.iter().copied().max().map_or(1, |m| m + 1);
+    // Spread colors evenly across the whole band instead of packing
+    // them at the low end: distinct colors stay on distinct slots while
+    // the average frequency matches the band center (this also keeps
+    // resonator lengths — hence segment counts — at the paper's scale).
+    ws.slots.clear();
+    ws.slots.extend(ws.color.iter().map(|&c| {
+        if num_colors <= num_slots {
+            (c as f64 * (num_slots - 1) as f64 / (num_colors.max(2) - 1) as f64).round() as usize
+        } else {
+            c % num_slots
+        }
+    }));
+    // Repair pass: direct conflicts must never share a slot.
+    for v in 0..ws.slots.len() {
+        ws.taken.clear();
+        ws.taken.resize(num_slots, false);
+        for &u in &ws.hard[ws.hard_off[v]..ws.hard_off[v + 1]] {
+            if ws.slots[u] < num_slots {
+                ws.taken[ws.slots[u]] = true;
             }
         }
-        slots
+        if ws.slots[v] < num_slots && ws.taken[ws.slots[v]] {
+            if let Some(free) = (0..num_slots).find(|&s| !ws.taken[s]) {
+                ws.slots[v] = free;
+            }
+            // If the direct degree exceeds the slot count the collision
+            // is unavoidable; the spatial force handles it downstream.
+        }
     }
 }
 
@@ -227,47 +276,100 @@ impl Default for FrequencyAssigner {
     }
 }
 
-fn direct_adjacency(topology: &Topology) -> Vec<Vec<usize>> {
-    (0..topology.num_qubits())
-        .map(|q| topology.neighbors(q).to_vec())
-        .collect()
-}
-
-/// Conflict graph containing every pair within `radius` hops.
-fn radius_conflicts(topology: &Topology, radius: usize) -> Vec<Vec<usize>> {
+/// Fills `ws`'s hard CSR graph with the direct coupling adjacency.
+fn direct_adjacency_into(topology: &Topology, ws: &mut FreqWorkspace) {
     let n = topology.num_qubits();
-    let mut out = vec![Vec::new(); n];
-    for (v, adjacent) in out.iter_mut().enumerate() {
-        let dist = topology.bfs_distances(v);
-        for (u, &d) in dist.iter().enumerate() {
-            if u != v && d <= radius {
-                adjacent.push(u);
-            }
-        }
+    ws.hard_off.clear();
+    ws.hard.clear();
+    ws.hard_off.push(0);
+    for q in 0..n {
+        ws.hard.extend_from_slice(topology.neighbors(q));
+        ws.hard_off.push(ws.hard.len());
     }
-    out
 }
 
-/// Line graph of the device: vertices are edges (resonators); two conflict
-/// when they share a qubit.
-fn line_graph(topology: &Topology) -> Vec<Vec<usize>> {
-    let edges = topology.edges();
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); topology.num_qubits()];
-    for (e, &(a, b)) in edges.iter().enumerate() {
-        incident[a].push(e);
-        incident[b].push(e);
-    }
-    let mut out = vec![Vec::new(); edges.len()];
-    for inc in &incident {
-        for i in 0..inc.len() {
-            for j in 0..inc.len() {
-                if i != j && !out[inc[i]].contains(&inc[j]) {
-                    out[inc[i]].push(inc[j]);
+/// Fills `ws`'s soft CSR graph with every pair within `radius` hops
+/// (BFS per vertex on the reusable distance/queue buffers).
+fn radius_conflicts_into(topology: &Topology, radius: usize, ws: &mut FreqWorkspace) {
+    let n = topology.num_qubits();
+    ws.soft_off.clear();
+    ws.soft.clear();
+    ws.soft_off.push(0);
+    for v in 0..n {
+        ws.dist.clear();
+        ws.dist.resize(n, usize::MAX);
+        ws.queue.clear();
+        ws.dist[v] = 0;
+        ws.queue.push_back(v);
+        while let Some(u) = ws.queue.pop_front() {
+            if ws.dist[u] == radius {
+                continue;
+            }
+            for &w in topology.neighbors(u) {
+                if ws.dist[w] == usize::MAX {
+                    ws.dist[w] = ws.dist[u] + 1;
+                    ws.queue.push_back(w);
                 }
             }
         }
+        for (u, &d) in ws.dist.iter().enumerate() {
+            if u != v && d <= radius {
+                ws.soft.push(u);
+            }
+        }
+        ws.soft_off.push(ws.soft.len());
     }
-    out
+}
+
+/// Fills both of `ws`'s CSR graphs with the device's line graph:
+/// vertices are edges (resonators); two conflict when they share a qubit.
+/// Duplicate entries (multi-edges) are harmless to the bitset-based
+/// coloring and the slot repair.
+fn line_graph_into(topology: &Topology, ws: &mut FreqWorkspace) {
+    let edges = topology.edges();
+    let n = topology.num_qubits();
+    // Incident-edge CSR per qubit: count, prefix-sum, fill.
+    ws.cursor.clear();
+    ws.cursor.resize(n, 0);
+    for &(a, b) in edges {
+        ws.cursor[a] += 1;
+        ws.cursor[b] += 1;
+    }
+    ws.inc_off.clear();
+    ws.inc_off.push(0);
+    for q in 0..n {
+        ws.inc_off.push(ws.inc_off[q] + ws.cursor[q]);
+    }
+    ws.inc.clear();
+    ws.inc.resize(ws.inc_off[n], 0);
+    ws.cursor.copy_from_slice(&ws.inc_off[..n]);
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        ws.inc[ws.cursor[a]] = e;
+        ws.cursor[a] += 1;
+        ws.inc[ws.cursor[b]] = e;
+        ws.cursor[b] += 1;
+    }
+    // Line adjacency: for edge (a, b), every other edge incident to a or
+    // b.
+    ws.soft_off.clear();
+    ws.soft.clear();
+    ws.soft_off.push(0);
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        for q in [a, b] {
+            for &other in &ws.inc[ws.inc_off[q]..ws.inc_off[q + 1]] {
+                if other != e {
+                    ws.soft.push(other);
+                }
+            }
+        }
+        ws.soft_off.push(ws.soft.len());
+    }
+    // The line graph is its own hard graph (incident resonators must
+    // differ).
+    ws.hard_off.clear();
+    ws.hard_off.extend_from_slice(&ws.soft_off);
+    ws.hard.clear();
+    ws.hard.extend_from_slice(&ws.soft);
 }
 
 #[cfg(test)]
@@ -332,9 +434,27 @@ mod tests {
     #[test]
     fn line_graph_of_star_is_complete() {
         let t = Topology::from_edges("star", 4, [(0, 1), (0, 2), (0, 3)]).unwrap();
-        let lg = line_graph(&t);
-        for (e, nbrs) in lg.iter().enumerate() {
+        let mut ws = FreqWorkspace::default();
+        line_graph_into(&t, &mut ws);
+        for e in 0..3 {
+            let nbrs = &ws.soft[ws.soft_off[e]..ws.soft_off[e + 1]];
             assert_eq!(nbrs.len(), 2, "edge {e} conflicts with the other two");
+        }
+    }
+
+    #[test]
+    fn assign_with_matches_assign_and_reuses_buffers() {
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut ws = FreqWorkspace::default();
+        // Dirty the workspace on a different topology first.
+        let _ = assigner.assign_with(&Topology::grid(2, 2), &mut ws);
+        for t in [Topology::falcon27(), Topology::aspen(2, 5)] {
+            let fresh = assigner.assign(&t);
+            let reused = assigner.assign_with(&t, &mut ws);
+            assert_eq!(fresh, reused, "{}", t.name());
+            let mut into = assigner.assign_with(&Topology::grid(2, 2), &mut ws);
+            assigner.assign_into(&t, &mut ws, &mut into);
+            assert_eq!(fresh, into, "{} (assign_into)", t.name());
         }
     }
 

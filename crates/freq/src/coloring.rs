@@ -31,31 +31,82 @@ pub fn dsatur_coloring(adjacency: &[Vec<usize>]) -> Vec<usize> {
             assert!(u < n, "adjacency of vertex {v} references {u} >= {n}");
         }
     }
+    // Flatten to CSR and run the workspace kernel.
+    let mut off = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    off.push(0);
+    for nbrs in adjacency {
+        adj.extend_from_slice(nbrs);
+        off.push(adj.len());
+    }
+    let mut scratch = DsaturScratch::default();
+    let mut color = Vec::new();
+    dsatur_into(&off, &adj, &mut scratch, &mut color);
+    color
+}
 
+/// Reusable buffers for [`dsatur_into`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DsaturScratch {
+    /// Per-vertex saturation degree (distinct neighbor colors).
+    sat: Vec<usize>,
+    /// Per-vertex bitset of neighbor colors (`words` u64 per vertex).
+    adj_colors: Vec<u64>,
+}
+
+/// [`dsatur_coloring`] over a CSR adjacency (`off.len() == n + 1`,
+/// neighbors of `v` at `adj[off[v]..off[v + 1]]`), writing colors into
+/// `color` (cleared first) and reusing `scratch` buffers across calls.
+/// Duplicate adjacency entries are harmless (saturation is tracked as a
+/// bitset). Identical output to [`dsatur_coloring`].
+pub(crate) fn dsatur_into(
+    off: &[usize],
+    adj: &[usize],
+    scratch: &mut DsaturScratch,
+    color: &mut Vec<usize>,
+) {
+    let n = off.len().saturating_sub(1);
     const UNCOLORED: usize = usize::MAX;
-    let mut color = vec![UNCOLORED; n];
-    let mut neighbor_colors: Vec<std::collections::HashSet<usize>> =
-        vec![std::collections::HashSet::new(); n];
+    color.clear();
+    color.resize(n, UNCOLORED);
+    if n == 0 {
+        return;
+    }
+    // At most n colors; one bitset row per vertex.
+    let words = n.div_ceil(64);
+    scratch.sat.clear();
+    scratch.sat.resize(n, 0);
+    scratch.adj_colors.clear();
+    scratch.adj_colors.resize(n * words, 0);
 
     for _ in 0..n {
         // Pick the uncolored vertex with max saturation, tie-broken by
         // degree then index (deterministic).
         let v = (0..n)
             .filter(|&v| color[v] == UNCOLORED)
-            .max_by_key(|&v| (neighbor_colors[v].len(), adjacency[v].len(), usize::MAX - v))
+            .max_by_key(|&v| (scratch.sat[v], off[v + 1] - off[v], usize::MAX - v))
             .expect("an uncolored vertex exists");
 
-        // Smallest color absent from the neighborhood.
-        let mut c = 0;
-        while neighbor_colors[v].contains(&c) {
-            c += 1;
+        // Smallest color absent from the neighborhood: first zero bit of
+        // the vertex's color bitset.
+        let row = &scratch.adj_colors[v * words..(v + 1) * words];
+        let mut c = n; // every vertex finds a color below n
+        for (w, &bits) in row.iter().enumerate() {
+            if bits != !0u64 {
+                c = w * 64 + bits.trailing_ones() as usize;
+                break;
+            }
         }
         color[v] = c;
-        for &u in &adjacency[v] {
-            neighbor_colors[u].insert(c);
+        for &u in &adj[off[v]..off[v + 1]] {
+            let slot = &mut scratch.adj_colors[u * words + c / 64];
+            let bit = 1u64 << (c % 64);
+            if *slot & bit == 0 {
+                *slot |= bit;
+                scratch.sat[u] += 1;
+            }
         }
     }
-    color
 }
 
 /// Number of distinct colors used by a coloring (assumes consecutive

@@ -31,6 +31,6 @@ mod assigner;
 mod coloring;
 mod spectrum;
 
-pub use assigner::{FrequencyAssigner, FrequencyAssignment};
+pub use assigner::{FreqWorkspace, FrequencyAssigner, FrequencyAssignment};
 pub use coloring::{color_count, dsatur_coloring};
 pub use spectrum::Spectrum;

@@ -49,6 +49,28 @@ impl SpatialGrid {
         }
     }
 
+    /// Re-shapes the grid for a (possibly different) region and cell size,
+    /// clearing all registrations. Bucket allocations are reused, so a
+    /// steady-state caller resetting to the same shape allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive or `region` has zero area.
+    pub fn reset(&mut self, region: Rect, cell_size: f64) {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        assert!(region.area() > 0.0, "region must have positive area");
+        let nx = (region.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (region.height() / cell_size).ceil().max(1.0) as usize;
+        self.region = region;
+        self.cell = cell_size;
+        self.nx = nx;
+        self.ny = ny;
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.buckets.resize(nx * ny, Vec::new());
+    }
+
     /// The grid's region.
     #[must_use]
     pub fn region(&self) -> Rect {
@@ -102,8 +124,17 @@ impl SpatialGrid {
     /// and sorted. Callers still need an exact overlap test on the result.
     #[must_use]
     pub fn query(&self, rect: &Rect) -> Vec<usize> {
-        let (x0, y0, x1, y1) = self.cell_range(rect);
         let mut out = Vec::new();
+        self.query_into(rect, &mut out);
+        out
+    }
+
+    /// Like [`SpatialGrid::query`], but writes into a caller-owned buffer
+    /// (cleared first) so steady-state queries allocate nothing once the
+    /// buffer's capacity has grown to fit.
+    pub fn query_into(&self, rect: &Rect, out: &mut Vec<usize>) {
+        out.clear();
+        let (x0, y0, x1, y1) = self.cell_range(rect);
         for iy in y0..=y1 {
             for ix in x0..=x1 {
                 out.extend_from_slice(&self.buckets[iy * self.nx + ix]);
@@ -111,7 +142,6 @@ impl SpatialGrid {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Clears all registrations, keeping the grid shape.

@@ -67,7 +67,9 @@ pub mod runner;
 pub mod sink;
 pub mod summary;
 
-pub use pipeline::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+pub use pipeline::{
+    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
+};
 pub use plan::{DeviceSpec, ExperimentPlan, JobSpec, Profile};
 pub use runner::{JobRecord, JobStatus, RunReport, Runner};
 pub use sink::{CsvSink, JsonlSink, MemorySink, Sink};

@@ -1,17 +1,19 @@
 //! The end-to-end placement pipeline.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use qplacer_baselines::HumanLayout;
 use qplacer_circuits::Circuit;
-use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
-use qplacer_legal::{LegalReport, Legalizer};
+use qplacer_freq::{FreqWorkspace, FrequencyAssigner, FrequencyAssignment};
+use qplacer_legal::{LegalReport, LegalWorkspace, Legalizer};
 use qplacer_metrics::{
     evaluate_benchmark, AreaMetrics, BenchmarkEvaluation, FidelityParams, HotspotConfig,
     HotspotReport,
 };
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
-use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
+use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
 use qplacer_topology::Topology;
 
 /// Which placement scheme to run (the paper's three comparison arms,
@@ -82,6 +84,41 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Reusable buffers for every pipeline stage, mirroring each stage's own
+/// workspace type. One of these threaded through
+/// [`Qplacer::place_with`] makes repeat placements (sweeps, benchmarks)
+/// reuse the frequency-assignment conflict graphs, the placer's spectral
+/// scratch, and the legalizer's bitmap/grid/candidate buffers.
+#[derive(Debug, Default)]
+pub struct PipelineWorkspace {
+    /// Frequency-assignment buffers ([`FrequencyAssigner::assign_with`]).
+    pub freq: FreqWorkspace,
+    /// Global-placement buffers ([`GlobalPlacer::run_with`]).
+    pub placer: PlacerWorkspace,
+    /// Legalization buffers ([`Legalizer::run_with`]).
+    pub legal: LegalWorkspace,
+}
+
+impl PipelineWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Wall-clock stage timings of one pipeline run (milliseconds). All
+/// fields are non-deterministic; stages that did not run are 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Frequency assignment.
+    pub assign_ms: f64,
+    /// Global placement (matches `PlacementReport::elapsed_seconds`).
+    pub place_ms: f64,
+    /// Legalization (all three phases).
+    pub legalize_ms: f64,
+}
+
 /// A placed (and, for the engine strategies, legalized) layout plus the
 /// reports the pipeline produced along the way.
 #[derive(Debug, Clone)]
@@ -96,6 +133,8 @@ pub struct PlacedLayout {
     pub placement: Option<PlacementReport>,
     /// Legalization report (absent for the Human strategy).
     pub legalization: Option<LegalReport>,
+    /// Per-stage wall-clock timings of this run.
+    pub timings: StageTimings,
     /// The fidelity parameters evaluations will use.
     fidelity: FidelityParams,
 }
@@ -186,9 +225,30 @@ impl Qplacer {
     }
 
     /// Runs the pipeline on `device` with the chosen strategy.
+    ///
+    /// Allocating convenience wrapper around [`Qplacer::place_with`].
     #[must_use]
     pub fn place(&self, device: &Topology, strategy: Strategy) -> PlacedLayout {
-        let assignment = self.config.assigner.assign(device);
+        let mut ws = PipelineWorkspace::new();
+        self.place_with(device, strategy, &mut ws)
+    }
+
+    /// Like [`Qplacer::place`], but threads a persistent
+    /// [`PipelineWorkspace`] through every stage (assignment → placement →
+    /// legalization) and records per-stage wall times in the returned
+    /// layout's [`StageTimings`]. Sweeps reusing one workspace per worker
+    /// pay the buffer build-out once.
+    #[must_use]
+    pub fn place_with(
+        &self,
+        device: &Topology,
+        strategy: Strategy,
+        ws: &mut PipelineWorkspace,
+    ) -> PlacedLayout {
+        let mut timings = StageTimings::default();
+        let start = Instant::now();
+        let assignment = self.config.assigner.assign_with(device, &mut ws.freq);
+        timings.assign_ms = start.elapsed().as_secs_f64() * 1e3;
         match strategy {
             Strategy::Human => {
                 let netlist = HumanLayout::place(device, &assignment, &self.config.netlist);
@@ -198,6 +258,7 @@ impl Qplacer {
                     assignment,
                     placement: None,
                     legalization: None,
+                    timings,
                     fidelity: self.config.fidelity,
                 }
             }
@@ -205,7 +266,9 @@ impl Qplacer {
                 let mut netlist = QuantumNetlist::build(device, &assignment, &self.config.netlist);
                 let mut placer_cfg = self.config.placer;
                 placer_cfg.frequency_aware = strategy == Strategy::FrequencyAware;
-                let placement = GlobalPlacer::new(placer_cfg).run(&mut netlist);
+                let placement =
+                    GlobalPlacer::new(placer_cfg).run_with(&mut netlist, &mut ws.placer);
+                timings.place_ms = placement.elapsed_seconds * 1e3;
                 // The τ-checked (resonance-aware) legalization passes are a
                 // QPlacer contribution (§IV-C2); the Classic arm gets the
                 // plain engine + structural legalizer, like the paper's
@@ -214,13 +277,16 @@ impl Qplacer {
                 if strategy == Strategy::Classic {
                     legalizer_cfg = legalizer_cfg.with_resonant_margin(0.0);
                 }
-                let legalization = legalizer_cfg.run(&mut netlist);
+                let start = Instant::now();
+                let legalization = legalizer_cfg.run_with(&mut netlist, &mut ws.legal);
+                timings.legalize_ms = start.elapsed().as_secs_f64() * 1e3;
                 PlacedLayout {
                     strategy,
                     netlist,
                     assignment,
                     placement: Some(placement),
                     legalization: Some(legalization),
+                    timings,
                     fidelity: self.config.fidelity,
                 }
             }

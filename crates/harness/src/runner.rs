@@ -99,6 +99,11 @@ pub struct JobRecord {
     /// Global-placement iterations per second of placement wall time
     /// (0 for the Human arm). Non-deterministic.
     pub wall_place_iters_per_sec: f64,
+    /// Legalization-stage wall time (ms; 0 for the Human arm).
+    /// Non-deterministic.
+    pub wall_legalize_ms: f64,
+    /// Frequency-assignment wall time (ms). Non-deterministic.
+    pub wall_assign_ms: f64,
 }
 
 impl JobRecord {
@@ -130,6 +135,8 @@ impl JobRecord {
             wall_ms: 0.0,
             wall_place_ms: 0.0,
             wall_place_iters_per_sec: 0.0,
+            wall_legalize_ms: 0.0,
+            wall_assign_ms: 0.0,
         }
     }
 
@@ -141,7 +148,7 @@ impl JobRecord {
          impacted_qubits,violations,subsets_requested,subsets_evaluated,\
          subsets_skipped_too_large,subsets_skipped_unroutable,mean_fidelity,\
          min_fidelity,mean_active_violations,wall_ms,wall_place_ms,\
-         wall_place_iters_per_sec"
+         wall_place_iters_per_sec,wall_legalize_ms,wall_assign_ms"
     }
 
     /// One CSV row matching [`JobRecord::csv_header`].
@@ -153,7 +160,7 @@ impl JobRecord {
             JobStatus::Panicked { message } => format!("panicked: {message}"),
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_escape(&self.plan),
             self.job_index,
             csv_escape(&self.device),
@@ -185,6 +192,8 @@ impl JobRecord {
             self.wall_ms,
             self.wall_place_ms,
             self.wall_place_iters_per_sec,
+            self.wall_legalize_ms,
+            self.wall_assign_ms,
         )
     }
 }
@@ -344,9 +353,20 @@ fn run_pipeline_job(plan: &ExperimentPlan, index: usize) -> Result<Box<JobRecord
     let device = spec.device.build();
     let config = spec.pipeline_config(plan.profile);
 
-    let layout = Qplacer::new(config).place(&device, spec.strategy);
+    // One workspace per worker thread, reused across every job that
+    // worker executes in this run — the sweep-scale buffer reuse
+    // `PipelineWorkspace` exists for. Each stage resets its buffers on
+    // entry, so reuse after a panicked sibling job is safe.
+    std::thread_local! {
+        static WORKSPACE: std::cell::RefCell<crate::pipeline::PipelineWorkspace> =
+            std::cell::RefCell::new(crate::pipeline::PipelineWorkspace::new());
+    }
+    let layout = WORKSPACE
+        .with(|ws| Qplacer::new(config).place_with(&device, spec.strategy, &mut ws.borrow_mut()));
 
     record.instances = layout.netlist.num_instances();
+    record.wall_assign_ms = layout.timings.assign_ms;
+    record.wall_legalize_ms = layout.timings.legalize_ms;
     if let Some(placement) = &layout.placement {
         record.place_iterations = placement.iterations;
         record.hpwl_mm = placement.hpwl;

@@ -5,7 +5,13 @@ use qplacer_geometry::{Point, Rect};
 /// A boolean occupancy grid over the placement region at a fine, fixed
 /// resolution. Marking is conservative (every touched cell becomes
 /// occupied) and queries demand all touched cells free, so "query says
-/// free" implies "no marked rectangle overlaps".
+/// free" implies "no marked rectangle overlaps". Cells are bit-packed
+/// into `u64` words, so a typical footprint query touches a handful of
+/// words instead of hundreds of cells.
+///
+/// Rectangles that stick out of the region — including rectangles with
+/// non-finite coordinates — are never free, and marking them is a no-op:
+/// the bitmap holds exactly the cells inside `region`, nothing beyond.
 ///
 /// # Examples
 ///
@@ -26,7 +32,25 @@ pub struct OccupancyBitmap {
     res: f64,
     nx: usize,
     ny: usize,
-    cells: Vec<bool>,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+/// The bits of cell columns `[x0, x1)` that fall into word `w` of a row.
+#[inline]
+fn word_mask(x0: usize, x1: usize, w: usize) -> u64 {
+    let lo = (w * 64).max(x0);
+    let hi = ((w + 1) * 64).min(x1);
+    if lo >= hi {
+        return 0;
+    }
+    let head = !0u64 << (lo % 64);
+    let tail = if hi.is_multiple_of(64) {
+        !0u64
+    } else {
+        !0u64 >> (64 - hi % 64)
+    };
+    head & tail
 }
 
 impl OccupancyBitmap {
@@ -38,17 +62,48 @@ impl OccupancyBitmap {
     /// Panics if `resolution` is not positive or the region degenerate.
     #[must_use]
     pub fn new(region: Rect, resolution: f64) -> Self {
-        assert!(resolution > 0.0, "resolution must be positive");
-        assert!(region.area() > 0.0, "region must have positive area");
-        let nx = (region.width() / resolution).ceil() as usize + 1;
-        let ny = (region.height() / resolution).ceil() as usize + 1;
-        Self {
+        let mut bm = Self {
             region,
             res: resolution,
-            nx,
-            ny,
-            cells: vec![false; nx * ny],
-        }
+            nx: 0,
+            ny: 0,
+            words_per_row: 0,
+            words: Vec::new(),
+        };
+        bm.reset(region, resolution);
+        bm
+    }
+
+    /// A placeholder bitmap over a unit region; call
+    /// [`OccupancyBitmap::reset`] before use. Exists so workspaces can own
+    /// a bitmap before the first netlist arrives.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::new(Rect::from_center(Point::ORIGIN, 1.0, 1.0), 1.0)
+    }
+
+    /// Re-shapes the bitmap for a (possibly different) region and
+    /// resolution and clears every cell. The cell storage is reused, so a
+    /// steady-state caller resetting to the same shape allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive or the region degenerate.
+    pub fn reset(&mut self, region: Rect, resolution: f64) {
+        assert!(resolution > 0.0, "resolution must be positive");
+        assert!(region.area() > 0.0, "region must have positive area");
+        // Exactly enough cells to tile the region: the last row/column may
+        // be partial but never extends past the region edge, so a
+        // rectangle beyond the edge can never be reported free.
+        let nx = ((region.width() / resolution).ceil() as usize).max(1);
+        let ny = ((region.height() / resolution).ceil() as usize).max(1);
+        self.region = region;
+        self.res = resolution;
+        self.nx = nx;
+        self.ny = ny;
+        self.words_per_row = nx.div_ceil(64);
+        self.words.clear();
+        self.words.resize(ny * self.words_per_row, 0);
     }
 
     /// The covered region.
@@ -88,13 +143,17 @@ impl OccupancyBitmap {
     }
 
     fn cell_span(&self, rect: &Rect) -> Option<(usize, usize, usize, usize)> {
-        // A hair of tolerance so rects flush with the region boundary pass.
+        // A hair of tolerance so rects flush with the region boundary
+        // pass. Written as positive containment so any non-finite
+        // coordinate fails the test (NaN comparisons are false) and the
+        // rectangle is treated as out-of-region instead of producing a
+        // bogus span.
         let eps = 1e-9;
-        if rect.min.x < self.region.min.x - eps
-            || rect.min.y < self.region.min.y - eps
-            || rect.max.x > self.region.max.x + eps
-            || rect.max.y > self.region.max.y + eps
-        {
+        let inside = rect.min.x >= self.region.min.x - eps
+            && rect.min.y >= self.region.min.y - eps
+            && rect.max.x <= self.region.max.x + eps
+            && rect.max.y <= self.region.max.y + eps;
+        if !inside {
             return None;
         }
         // Shrink slightly so exactly-abutting rects do not contend for the
@@ -102,9 +161,16 @@ impl OccupancyBitmap {
         let shrink = 1e-6;
         let x0 = (((rect.min.x + shrink - self.region.min.x) / self.res).floor()).max(0.0) as usize;
         let y0 = (((rect.min.y + shrink - self.region.min.y) / self.res).floor()).max(0.0) as usize;
-        let x1 = (((rect.max.x - shrink - self.region.min.x) / self.res).ceil()) as usize;
-        let y1 = (((rect.max.y - shrink - self.region.min.y) / self.res).ceil()) as usize;
-        Some((x0, y0, x1.min(self.nx), y1.min(self.ny)))
+        let x1 = (((rect.max.x - shrink - self.region.min.x) / self.res).ceil()).max(0.0) as usize;
+        let y1 = (((rect.max.y - shrink - self.region.min.y) / self.res).ceil()).max(0.0) as usize;
+        // Clamp into the region's cell range; boundary-flush rects can
+        // round one cell past the last partial row/column.
+        Some((
+            x0.min(self.nx),
+            y0.min(self.ny),
+            x1.min(self.nx),
+            y1.min(self.ny),
+        ))
     }
 
     /// `true` when `rect` lies inside the region and touches no occupied
@@ -114,9 +180,14 @@ impl OccupancyBitmap {
         match self.cell_span(rect) {
             None => false,
             Some((x0, y0, x1, y1)) => {
+                if x0 >= x1 {
+                    return true;
+                }
+                let (wa, wb) = (x0 / 64, (x1 - 1) / 64);
                 for iy in y0..y1 {
-                    for ix in x0..x1 {
-                        if self.cells[iy * self.nx + ix] {
+                    let base = iy * self.words_per_row;
+                    for w in wa..=wb {
+                        if self.words[base + w] & word_mask(x0, x1, w) != 0 {
                             return false;
                         }
                     }
@@ -126,12 +197,50 @@ impl OccupancyBitmap {
         }
     }
 
-    /// Marks every cell touched by `rect` as occupied.
+    /// `true` when `rect` lies inside the region and touches no occupied
+    /// cell *outside* `ignore` — i.e. what [`OccupancyBitmap::is_free`]
+    /// would answer after `unmark(ignore)`, without mutating the bitmap.
+    /// Lets relocation scans test "would this spot be free once I move?"
+    /// concurrently over many candidates.
+    #[must_use]
+    pub fn is_free_except(&self, rect: &Rect, ignore: &Rect) -> bool {
+        let Some((x0, y0, x1, y1)) = self.cell_span(rect) else {
+            return false;
+        };
+        if x0 >= x1 {
+            return true;
+        }
+        let ignore_span = self.cell_span(ignore);
+        let (wa, wb) = (x0 / 64, (x1 - 1) / 64);
+        for iy in y0..y1 {
+            let base = iy * self.words_per_row;
+            for w in wa..=wb {
+                let mut mask = word_mask(x0, x1, w);
+                if let Some((ix0, iy0, ix1, iy1)) = ignore_span {
+                    if iy >= iy0 && iy < iy1 {
+                        mask &= !word_mask(ix0, ix1, w);
+                    }
+                }
+                if self.words[base + w] & mask != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Marks every cell touched by `rect` as occupied. Rectangles outside
+    /// the region are a no-op (they can never be reported free).
     pub fn mark(&mut self, rect: &Rect) {
         if let Some((x0, y0, x1, y1)) = self.cell_span(rect) {
+            if x0 >= x1 {
+                return;
+            }
+            let (wa, wb) = (x0 / 64, (x1 - 1) / 64);
             for iy in y0..y1 {
-                for ix in x0..x1 {
-                    self.cells[iy * self.nx + ix] = true;
+                let base = iy * self.words_per_row;
+                for w in wa..=wb {
+                    self.words[base + w] |= word_mask(x0, x1, w);
                 }
             }
         }
@@ -144,9 +253,14 @@ impl OccupancyBitmap {
     /// another instance — callers must unmark exactly what they marked.
     pub fn unmark(&mut self, rect: &Rect) {
         if let Some((x0, y0, x1, y1)) = self.cell_span(rect) {
+            if x0 >= x1 {
+                return;
+            }
+            let (wa, wb) = (x0 / 64, (x1 - 1) / 64);
             for iy in y0..y1 {
-                for ix in x0..x1 {
-                    self.cells[iy * self.nx + ix] = false;
+                let base = iy * self.words_per_row;
+                for w in wa..=wb {
+                    self.words[base + w] &= !word_mask(x0, x1, w);
                 }
             }
         }
@@ -188,7 +302,8 @@ impl OccupancyBitmap {
     /// Fraction of cells occupied (diagnostics).
     #[must_use]
     pub fn fill_fraction(&self) -> f64 {
-        self.cells.iter().filter(|&&c| c).count() as f64 / self.cells.len() as f64
+        let occupied: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        occupied as f64 / (self.nx * self.ny) as f64
     }
 }
 
@@ -218,6 +333,30 @@ mod tests {
     }
 
     #[test]
+    fn region_edge_cells_exist_and_flush_rects_work() {
+        // Regression for the old `+ 1` over-allocation: the bitmap used to
+        // carry an extra row/column outside the region, where marks landed
+        // but whose phantom free cells could leak into queries. Now a rect
+        // flush with the region edge round-trips exactly.
+        let mut bm = bitmap();
+        let flush = Rect::from_origin_size(Point::new(4.0, 4.0), 1.0, 1.0);
+        assert!(bm.is_free(&flush));
+        bm.mark(&flush);
+        assert!(!bm.is_free(&flush));
+        bm.unmark(&flush);
+        assert!(bm.is_free(&flush));
+    }
+
+    #[test]
+    fn nan_rect_is_never_free() {
+        let mut bm = bitmap();
+        let nan = Rect::from_center(Point::new(f64::NAN, 0.0), 1.0, 1.0);
+        assert!(!bm.is_free(&nan));
+        bm.mark(&nan); // must not panic, must not mark anything
+        assert_eq!(bm.fill_fraction(), 0.0);
+    }
+
+    #[test]
     fn abutting_rects_coexist() {
         let mut bm = bitmap();
         let a = Rect::from_origin_size(Point::new(0.0, 0.0), 0.5, 0.5);
@@ -233,6 +372,50 @@ mod tests {
         bm.mark(&a);
         let b = Rect::from_center(Point::new(0.4, 0.0), 1.0, 1.0);
         assert!(!bm.is_free(&b));
+    }
+
+    #[test]
+    fn is_free_except_matches_unmark_then_query() {
+        let mut bm = bitmap();
+        let old = Rect::from_center(Point::ORIGIN, 1.0, 1.0);
+        let other = Rect::from_center(Point::new(2.0, 0.0), 1.0, 1.0);
+        bm.mark(&old);
+        bm.mark(&other);
+        // Overlapping the old footprint only: free once old is ignored.
+        let cand = Rect::from_center(Point::new(0.5, 0.0), 1.0, 1.0);
+        assert!(!bm.is_free(&cand));
+        assert!(bm.is_free_except(&cand, &old));
+        // Overlapping a foreign footprint: still occupied.
+        let clash = Rect::from_center(Point::new(1.6, 0.0), 1.0, 1.0);
+        assert!(!bm.is_free_except(&clash, &old));
+        // Cross-check against the mutate-and-restore sequence.
+        bm.unmark(&old);
+        assert!(bm.is_free(&cand));
+        assert!(!bm.is_free(&clash));
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears() {
+        let mut bm = bitmap();
+        bm.mark(&Rect::from_center(Point::ORIGIN, 2.0, 2.0));
+        assert!(bm.fill_fraction() > 0.0);
+        bm.reset(Rect::from_center(Point::ORIGIN, 10.0, 10.0), 0.1);
+        assert_eq!(bm.fill_fraction(), 0.0);
+        assert!(bm.is_free(&Rect::from_center(Point::ORIGIN, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn wide_rects_cross_word_boundaries() {
+        // 100 cells per row at 0.1 mm: a 9.0 mm rect spans >64 cells,
+        // exercising the multi-word mask path.
+        let mut bm = bitmap();
+        let wide = Rect::from_center(Point::ORIGIN, 9.0, 0.3);
+        bm.mark(&wide);
+        assert!(!bm.is_free(&Rect::from_center(Point::new(4.0, 0.0), 0.2, 0.2)));
+        assert!(!bm.is_free(&Rect::from_center(Point::new(-4.0, 0.0), 0.2, 0.2)));
+        assert!(bm.is_free(&Rect::from_center(Point::new(0.0, 2.0), 0.2, 0.2)));
+        bm.unmark(&wide);
+        assert!(bm.is_free(&wide));
     }
 
     #[test]

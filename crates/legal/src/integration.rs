@@ -8,10 +8,18 @@
 //! neighboring segments of *other* resonators, gated by the resonance
 //! checker τ so a swap never parks a segment next to near-resonant
 //! neighbors.
+//!
+//! Relocation/swap candidates are scored read-only (via
+//! [`OccupancyBitmap::is_free_except`], which answers "free once I move"
+//! without mutating the bitmap) and the first acceptable candidate in
+//! deterministic order is applied. The candidate lists are small (at
+//! most 8 anchors × 8 offsets), so the scan runs sequentially — the
+//! read-only scoring is what keeps it cheap, not a fan-out.
 
 use qplacer_geometry::{Point, Rect, SpatialGrid};
 use qplacer_netlist::QuantumNetlist;
 
+use crate::workspace::{first_accepted, IntegrationScratch};
 use crate::OccupancyBitmap;
 
 /// Two same-resonator segments count as connected when their centers are
@@ -33,12 +41,26 @@ pub struct IntegrationStats {
     pub unintegrated: Vec<usize>,
 }
 
-/// Union-find cluster decomposition of one resonator's segments; returns
-/// segment-id clusters, largest first.
-pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec<usize>> {
+/// Cluster decomposition of one resonator's segments into
+/// `scratch.members` (segment ids, grouped) and `scratch.clusters`
+/// (ranges into `members`), largest cluster first, ties by smallest
+/// member id. Zero allocations at steady state.
+pub(crate) fn clusters_into(
+    netlist: &QuantumNetlist,
+    resonator: usize,
+    scratch: &mut IntegrationScratch,
+) {
     let segs = netlist.resonator_segments(resonator);
     let k = segs.len();
-    let mut parent: Vec<usize> = (0..k).collect();
+    let IntegrationScratch {
+        parent,
+        labels,
+        members,
+        clusters,
+        ..
+    } = scratch;
+    parent.clear();
+    parent.extend(0..k);
     fn find(parent: &mut [usize], mut v: usize) -> usize {
         while parent[v] != v {
             parent[v] = parent[parent[v]];
@@ -52,51 +74,103 @@ pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec
         let reach = ADJACENCY_FACTOR * netlist.instance(segs[i]).padded_mm();
         for j in i + 1..k {
             if pi.distance(netlist.position(segs[j])) <= reach {
-                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                let (a, b) = (find(parent, i), find(parent, j));
                 if a != b {
                     parent[a] = b;
                 }
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
-    for (i, &seg) in segs.iter().enumerate().take(k) {
-        let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(seg);
+    // Group by root: label every member, sort, cut into ranges.
+    labels.clear();
+    for i in 0..k {
+        labels.push((find(parent, i), i));
     }
-    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
-    for cluster in &mut out {
-        cluster.sort_unstable();
+    labels.sort_unstable();
+    members.clear();
+    clusters.clear();
+    let mut start = 0;
+    for idx in 0..k {
+        members.push(segs[labels[idx].1]);
+        if idx + 1 == k || labels[idx + 1].0 != labels[idx].0 {
+            clusters.push((start, idx + 1));
+            start = idx + 1;
+        }
+    }
+    for &(s, e) in clusters.iter() {
+        members[s..e].sort_unstable();
     }
     // Deterministic order: largest first, ties by smallest member id
-    // (HashMap iteration order must never leak into placement decisions).
-    out.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
-    out
+    // (grouping order must never leak into placement decisions).
+    clusters.sort_unstable_by_key(|&(s, e)| (std::cmp::Reverse(e - s), members[s]));
+}
+
+/// Union-find cluster decomposition of one resonator's segments; returns
+/// segment-id clusters, largest first. Allocating convenience wrapper
+/// around [`clusters_into`].
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn clusters_of(netlist: &QuantumNetlist, resonator: usize) -> Vec<Vec<usize>> {
+    let mut scratch = IntegrationScratch::default();
+    clusters_into(netlist, resonator, &mut scratch);
+    scratch
+        .clusters
+        .iter()
+        .map(|&(s, e)| scratch.members[s..e].to_vec())
+        .collect()
 }
 
 /// `rilc(·)` of Algorithm 1: is the resonator one contiguous cluster?
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn is_integrated(netlist: &QuantumNetlist, resonator: usize) -> bool {
     clusters_of(netlist, resonator).len() <= 1
 }
 
 /// Runs Algorithm 1 over every resonator. `bitmap` must reflect the
-/// current (legalized) footprints.
+/// current (legalized) footprints. Allocating convenience wrapper around
+/// [`integrate_resonators_with`].
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn integrate_resonators(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
 ) -> IntegrationStats {
     let site_pitch = crate::legalizer::site_pitch(netlist);
+    let mut scratch = IntegrationScratch::default();
+    integrate_resonators_with(netlist, bitmap, site_pitch, &mut scratch)
+}
+
+/// Workspace-threaded Algorithm 1: identical semantics to
+/// [`integrate_resonators`], with the spatial index and all cluster/
+/// candidate buffers drawn from the caller's scratch. On return,
+/// `scratch.grid` indexes every instance at its final position (the
+/// legalizer reuses it for the remaining-overlap count). Steady-state
+/// runs allocate nothing beyond the `unintegrated` list, which stays
+/// empty whenever integration succeeds.
+pub(crate) fn integrate_resonators_with(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    site_pitch: f64,
+    scratch: &mut IntegrationScratch,
+) -> IntegrationStats {
     let num_res = netlist.num_resonators();
-    let integrated_before = (0..num_res).filter(|&r| is_integrated(netlist, r)).count();
 
     // Spatial index of all instances for neighbor/occupancy queries.
     let region = netlist.region();
-    let mut grid = SpatialGrid::new(
+    scratch.grid.reset(
         region.inflated(netlist.max_padded_side()),
         netlist.max_padded_side().max(0.1),
     );
     for inst in netlist.instances() {
-        grid.insert(inst.id(), &netlist.padded_rect(inst.id()));
+        scratch
+            .grid
+            .insert(inst.id(), &netlist.padded_rect(inst.id()));
+    }
+
+    let mut integrated_before = 0;
+    for r in 0..num_res {
+        clusters_into(netlist, r, scratch);
+        if scratch.clusters.len() <= 1 {
+            integrated_before += 1;
+        }
     }
 
     let mut moved = 0usize;
@@ -107,26 +181,35 @@ pub fn integrate_resonators(
         // A few growth passes per resonator; each pass merges at least one
         // scattered segment or gives up.
         for _pass in 0..netlist.resonator_segments(r).len() {
-            let clusters = clusters_of(netlist, r);
-            if clusters.len() <= 1 {
+            clusters_into(netlist, r, scratch);
+            if scratch.clusters.len() <= 1 {
                 break;
             }
-            let cluster = clusters[0].clone();
-            let scattered: Vec<usize> = clusters[1..].iter().flatten().copied().collect();
+            let (s0, e0) = scratch.clusters[0];
+            scratch.cluster.clear();
+            scratch.cluster.extend_from_slice(&scratch.members[s0..e0]);
+            scratch.scattered.clear();
+            for &(s, e) in &scratch.clusters[1..] {
+                scratch.scattered.extend_from_slice(&scratch.members[s..e]);
+            }
             if !grow_cluster(
                 netlist,
                 bitmap,
-                &mut grid,
+                &mut scratch.grid,
                 site_pitch,
-                &cluster,
-                &scattered,
+                &scratch.cluster,
+                &mut scratch.scattered,
+                &mut scratch.anchors,
+                &mut scratch.cand,
+                &mut scratch.query,
                 &mut moved,
                 &mut swapped,
             ) {
                 break; // no progress possible
             }
         }
-        if !is_integrated(netlist, r) {
+        clusters_into(netlist, r, scratch);
+        if scratch.clusters.len() > 1 {
             unintegrated.push(r);
         }
     }
@@ -150,7 +233,10 @@ fn grow_cluster(
     grid: &mut SpatialGrid,
     site_pitch: f64,
     cluster: &[usize],
-    scattered: &[usize],
+    scattered: &mut [usize],
+    anchors: &mut Vec<usize>,
+    cand: &mut Vec<Point>,
+    query: &mut Vec<usize>,
     moved: &mut usize,
     swapped: &mut usize,
 ) -> bool {
@@ -162,25 +248,26 @@ fn grow_cluster(
         });
         Point::new(sx / cluster.len() as f64, sy / cluster.len() as f64)
     };
-    let mut by_distance: Vec<usize> = scattered.to_vec();
-    by_distance.sort_by(|&a, &b| {
+    scattered.sort_unstable_by(|&a, &b| {
         netlist
             .position(a)
             .distance(centroid)
             .total_cmp(&netlist.position(b).distance(centroid))
     });
 
-    for &s in &by_distance {
+    for &s in scattered.iter() {
         // Candidate anchor cells: cluster members nearest to s first.
-        let mut anchors: Vec<usize> = cluster.to_vec();
+        anchors.clear();
+        anchors.extend_from_slice(cluster);
         let sp = netlist.position(s);
-        anchors.sort_by(|&a, &b| {
+        anchors.sort_unstable_by(|&a, &b| {
             netlist
                 .position(a)
                 .distance(sp)
                 .total_cmp(&netlist.position(b).distance(sp))
         });
-        let pitch = netlist.instance(s).padded_mm();
+        let inst = *netlist.instance(s);
+        let pitch = inst.padded_mm();
         let offsets = [
             (pitch, 0.0),
             (-pitch, 0.0),
@@ -192,46 +279,56 @@ fn grow_cluster(
             (-pitch, -pitch),
         ];
         let old_rect = netlist.padded_rect(s);
+        let bound = bitmap.region().inflated(1e-9);
         // Two relocation passes: strict (τ-clean destinations only), then
         // relaxed — integration must not quietly undo the isolation the
-        // global placement and strict legalization bought.
+        // global placement and strict legalization bought. Candidates are
+        // scored read-only (relocation *or* swap feasible), then the first
+        // acceptable one is applied.
         for strict in [true, false] {
+            cand.clear();
             for &anchor in anchors.iter().take(8) {
                 let base = netlist.position(anchor);
                 for &(dx, dy) in &offsets {
-                    let inst = *netlist.instance(s);
-                    let cand = bitmap.snap_to_sites(
+                    cand.push(bitmap.snap_to_sites(
                         Point::new(base.x + dx, base.y + dy),
                         inst.padded_mm(),
                         site_pitch,
-                    );
-                    let rect = inst.padded_rect(cand);
-                    if !bitmap.region().inflated(1e-9).contains_rect(&rect) {
-                        continue;
-                    }
-                    if strict && !relocation_is_clean(netlist, grid, s, cand) {
-                        continue;
-                    }
-                    // (a) Free relocation.
-                    bitmap.unmark(&old_rect);
-                    if bitmap.is_free(&rect) {
-                        bitmap.mark(&rect);
-                        grid.remove(s, &old_rect);
-                        grid.insert(s, &rect);
-                        netlist.set_position(s, cand);
-                        *moved += 1;
-                        return true;
-                    }
-                    bitmap.mark(&old_rect);
-                    // (b) Swap with the occupant, τ-checked.
-                    if let Some(n) = occupant_at(netlist, grid, &rect, s) {
-                        if can_swap(netlist, grid, s, n) {
-                            perform_swap(netlist, bitmap, grid, s, n);
-                            *swapped += 1;
-                            return true;
-                        }
-                    }
+                    ));
                 }
+            }
+            // At most 64 candidates: always below first_accepted's
+            // fan-out threshold, so this is a sequential early-exit scan.
+            let hit = first_accepted(cand, query, false, |c: &Point, q| {
+                let rect = inst.padded_rect(*c);
+                if !bound.contains_rect(&rect) {
+                    return false;
+                }
+                if strict && !relocation_is_clean(netlist, grid, s, *c, q) {
+                    return false;
+                }
+                // (a) Free relocation, or (b) a τ-checked swap.
+                bitmap.is_free_except(&rect, &old_rect)
+                    || occupant_at(netlist, grid, &rect, s, q)
+                        .is_some_and(|n| can_swap(netlist, grid, s, n, q))
+            });
+            if let Some(i) = hit {
+                let c = cand[i];
+                let rect = inst.padded_rect(c);
+                if bitmap.is_free_except(&rect, &old_rect) {
+                    bitmap.unmark(&old_rect);
+                    bitmap.mark(&rect);
+                    grid.remove(s, &old_rect);
+                    grid.insert(s, &rect);
+                    netlist.set_position(s, c);
+                    *moved += 1;
+                } else {
+                    let n = occupant_at(netlist, grid, &rect, s, query)
+                        .expect("accepted swap candidate has an occupant");
+                    perform_swap(netlist, bitmap, grid, s, n);
+                    *swapped += 1;
+                }
+                return true;
             }
         }
     }
@@ -241,11 +338,18 @@ fn grow_cluster(
 /// τ check for a relocation: moving instance `s` to `at` must not park it
 /// within resonant reach (half a footprint of margin) of a near-resonant
 /// foreign instance.
-fn relocation_is_clean(netlist: &QuantumNetlist, grid: &SpatialGrid, s: usize, at: Point) -> bool {
+fn relocation_is_clean(
+    netlist: &QuantumNetlist,
+    grid: &SpatialGrid,
+    s: usize,
+    at: Point,
+    query: &mut Vec<usize>,
+) -> bool {
     let inst = netlist.instance(s);
     let probe = inst.padded_rect(at).inflated(0.5 * inst.padded_mm());
     let dc = netlist.detuning_threshold() * 0.999;
-    grid.query(&probe).into_iter().all(|other| {
+    grid.query_into(&probe, query);
+    query.iter().all(|&other| {
         if other == s {
             return true;
         }
@@ -263,35 +367,44 @@ fn occupant_at(
     grid: &SpatialGrid,
     rect: &Rect,
     moving: usize,
+    query: &mut Vec<usize>,
 ) -> Option<usize> {
-    let hits: Vec<usize> = grid
-        .query(rect)
-        .into_iter()
-        .filter(|&id| id != moving && netlist.padded_rect(id).overlaps(rect))
-        .collect();
-    match hits.as_slice() {
-        [one] => {
-            let inst = netlist.instance(*one);
-            let mv = netlist.instance(moving);
-            let different_resonator = match (inst.kind().resonator(), mv.kind().resonator()) {
-                (Some(a), Some(b)) => a != b,
-                _ => false,
-            };
-            (different_resonator && (inst.padded_mm() - mv.padded_mm()).abs() < 1e-9)
-                .then_some(*one)
+    grid.query_into(rect, query);
+    let mut hit: Option<usize> = None;
+    for &id in query.iter() {
+        if id == moving || !netlist.padded_rect(id).overlaps(rect) {
+            continue;
         }
-        _ => None,
+        if hit.is_some() {
+            return None; // more than one occupant
+        }
+        hit = Some(id);
     }
+    let one = hit?;
+    let inst = netlist.instance(one);
+    let mv = netlist.instance(moving);
+    let different_resonator = match (inst.kind().resonator(), mv.kind().resonator()) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
+    (different_resonator && (inst.padded_mm() - mv.padded_mm()).abs() < 1e-9).then_some(one)
 }
 
 /// τ check of Algorithm 1: after swapping, neither relocated segment may
 /// sit within resonant reach of a near-resonant foreign instance.
-fn can_swap(netlist: &QuantumNetlist, grid: &SpatialGrid, s: usize, n: usize) -> bool {
+fn can_swap(
+    netlist: &QuantumNetlist,
+    grid: &SpatialGrid,
+    s: usize,
+    n: usize,
+    query: &mut Vec<usize>,
+) -> bool {
     let dc = netlist.detuning_threshold();
-    let ok_at = |inst_id: usize, at: Point, ignore: usize| {
+    let mut ok_at = |inst_id: usize, at: Point, ignore: usize| {
         let inst = netlist.instance(inst_id);
         let probe = inst.padded_rect(at).inflated(0.5 * inst.padded_mm());
-        grid.query(&probe).into_iter().all(|other| {
+        grid.query_into(&probe, query);
+        query.iter().all(|&other| {
             if other == inst_id || other == ignore {
                 return true;
             }

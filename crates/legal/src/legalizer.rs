@@ -5,11 +5,11 @@ use serde::{Deserialize, Serialize};
 use qplacer_netlist::QuantumNetlist;
 
 use crate::abacus::legalize_qubits_abacus;
-use crate::integration::integrate_resonators;
-use crate::qubits::legalize_qubits;
-use crate::resonance::ResonanceTracker;
-use crate::tetris::legalize_segments;
-use crate::OccupancyBitmap;
+use crate::integration::integrate_resonators_with;
+use crate::qubits::legalize_qubits_with;
+use crate::tetris::legalize_segments_with;
+use crate::workspace::count_overlaps;
+use crate::LegalWorkspace;
 
 /// Summary of a legalization run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,7 +95,21 @@ impl Legalizer {
 
     /// Runs qubit legalization, segment Tetris, and resonator integration
     /// on `netlist`, mutating positions in place.
+    ///
+    /// Allocating convenience wrapper around [`Legalizer::run_with`].
     pub fn run(&self, netlist: &mut QuantumNetlist) -> LegalReport {
+        let mut ws = LegalWorkspace::new();
+        self.run_with(netlist, &mut ws)
+    }
+
+    /// Like [`Legalizer::run`], but threads a persistent [`LegalWorkspace`]
+    /// through all three phases: the occupancy bitmap, resonance grid, and
+    /// every candidate/cluster/cost buffer are reused, so steady-state
+    /// legalizations of the same netlist shape allocate nothing. Candidate
+    /// scoring fans across the current rayon pool with deterministic
+    /// lowest-index selection, so reports and positions are identical at
+    /// any thread count.
+    pub fn run_with(&self, netlist: &mut QuantumNetlist, ws: &mut LegalWorkspace) -> LegalReport {
         // The bitmap workspace extends slightly beyond the sized region:
         // mixing incommensurate footprints (e.g. 0.5 mm segments among
         // 0.8 mm qubits) can fragment the last few percent of free space,
@@ -103,39 +117,48 @@ impl Legalizer {
         // distance-penalized, so they are used only as a last resort; the
         // area metrics measure the layout actually produced.
         let workspace = netlist.region().inflated(2.0 * netlist.max_padded_side());
-        let mut bitmap = OccupancyBitmap::new(workspace, self.resolution_mm);
-        let mut tracker = ResonanceTracker::new(netlist, self.resonant_margin_mm);
-        let pitch = site_pitch(netlist);
-        let qubit_disp = match self.qubit_legalizer {
+        ws.bitmap.reset(workspace, self.resolution_mm);
+        ws.tracker.reset(netlist, self.resonant_margin_mm);
+        // One pool-width probe per run: `current_num_threads` can cost a
+        // syscall, far too slow to ask per candidate.
+        ws.search.set_parallel_from_pool();
+        let pitch = site_pitch_with(netlist, &mut ws.sizes);
+        match self.qubit_legalizer {
             QubitLegalizerKind::SpiralMcmf => {
-                legalize_qubits(netlist, &mut bitmap, &mut tracker, pitch)
+                legalize_qubits_with(
+                    netlist,
+                    &mut ws.bitmap,
+                    &mut ws.tracker,
+                    pitch,
+                    &mut ws.search,
+                    &mut ws.qubits,
+                );
             }
             QubitLegalizerKind::Abacus => {
-                let disp = legalize_qubits_abacus(netlist, &mut bitmap);
+                let disp = legalize_qubits_abacus(netlist, &mut ws.bitmap);
+                ws.qubits.displacement.clear();
+                ws.qubits.displacement.extend_from_slice(&disp);
                 for q in 0..netlist.num_qubits() {
                     let id = netlist.qubit_instance(q);
-                    tracker.place(netlist, id, netlist.position(id));
+                    ws.tracker.place(netlist, id, netlist.position(id));
                 }
-                disp
             }
-        };
-        let seg_disp = legalize_segments(netlist, &mut bitmap, &mut tracker, pitch);
-        let stats = integrate_resonators(netlist, &mut bitmap);
-        let remaining_overlaps = netlist.overlapping_pairs().len();
+        }
+        legalize_segments_with(
+            netlist,
+            &mut ws.bitmap,
+            &mut ws.tracker,
+            pitch,
+            &mut ws.search,
+            &mut ws.tetris,
+        );
+        let stats = integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ);
+        // Integration leaves its spatial index at the final positions;
+        // count remaining overlaps from it instead of rebuilding one.
+        let remaining_overlaps = count_overlaps(netlist, &ws.integ.grid, &mut ws.search.query);
 
-        let stats_of = |xs: &[f64]| {
-            if xs.is_empty() {
-                (0.0, 0.0)
-            } else {
-                (
-                    xs.iter().sum::<f64>() / xs.len() as f64,
-                    xs.iter().copied().fold(0.0, f64::max),
-                )
-            }
-        };
-        let (mean_q, max_q) = stats_of(&qubit_disp);
-        let seg_only: Vec<f64> = seg_disp.iter().map(|&(_, d)| d).collect();
-        let (mean_s, max_s) = stats_of(&seg_only);
+        let (mean_q, max_q) = disp_stats(ws.qubits.displacement.iter().copied());
+        let (mean_s, max_s) = disp_stats(ws.tetris.displacement.iter().map(|&(_, d)| d));
 
         LegalReport {
             mean_qubit_displacement: mean_q,
@@ -152,18 +175,41 @@ impl Legalizer {
     }
 }
 
+/// Mean and maximum of the finite values of `it`. Non-finite
+/// displacements (a NaN input coordinate) are excluded so one poisoned
+/// instance degrades the report gracefully instead of washing out every
+/// statistic.
+fn disp_stats<I: Iterator<Item = f64>>(it: I) -> (f64, f64) {
+    let (mut sum, mut max, mut count) = (0.0f64, 0.0f64, 0usize);
+    for d in it.filter(|d| d.is_finite()) {
+        sum += d;
+        max = max.max(d);
+        count += 1;
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / count as f64, max)
+    }
+}
+
 /// The site-lattice pitch for a netlist: the largest pitch that divides
 /// every distinct padded footprint side (within tolerance), searched among
 /// integer fractions of the smallest footprint. When all footprints are
 /// multiples of the pitch, placements brick-pack and free space never
 /// fragments below one site.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn site_pitch(netlist: &QuantumNetlist) -> f64 {
-    let mut sizes: Vec<f64> = netlist
-        .instances()
-        .iter()
-        .map(|inst| inst.padded_mm())
-        .collect();
-    sizes.sort_by(f64::total_cmp);
+    let mut sizes = Vec::new();
+    site_pitch_with(netlist, &mut sizes)
+}
+
+/// [`site_pitch`] with a caller-owned size buffer (zero steady-state
+/// allocations).
+pub(crate) fn site_pitch_with(netlist: &QuantumNetlist, sizes: &mut Vec<f64>) -> f64 {
+    sizes.clear();
+    sizes.extend(netlist.instances().iter().map(|inst| inst.padded_mm()));
+    sizes.sort_unstable_by(f64::total_cmp);
     sizes.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     let Some(&smallest) = sizes.first() else {
         return 0.1;
@@ -196,6 +242,7 @@ impl Default for Legalizer {
 mod tests {
     use super::*;
     use qplacer_freq::FrequencyAssigner;
+    use qplacer_geometry::Point;
     use qplacer_netlist::NetlistConfig;
     use qplacer_place::{GlobalPlacer, PlacerConfig};
     use qplacer_topology::Topology;
@@ -225,6 +272,48 @@ mod tests {
         let rb = Legalizer::default().run(&mut b);
         assert_eq!(ra, rb);
         assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_results() {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut fresh = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut fresh);
+        let mut reused = fresh.clone();
+
+        let legalizer = Legalizer::default();
+        let report_fresh = legalizer.run(&mut fresh);
+
+        // Dirty the workspace on an unrelated run, then reuse it.
+        let mut ws = LegalWorkspace::new();
+        let t2 = Topology::grid(2, 2);
+        let freqs2 = FrequencyAssigner::paper_defaults().assign(&t2);
+        let mut warmup = QuantumNetlist::build(&t2, &freqs2, &NetlistConfig::default());
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut warmup);
+        let _ = legalizer.run_with(&mut warmup, &mut ws);
+        let report_reused = legalizer.run_with(&mut reused, &mut ws);
+
+        assert_eq!(report_fresh, report_reused);
+        assert_eq!(fresh.positions(), reused.positions());
+    }
+
+    #[test]
+    fn nan_coordinate_does_not_panic_full_pipeline() {
+        // Regression: a single NaN coordinate used to crash the
+        // left-to-right ordering sort; now the layout still legalizes.
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        nl.set_position(nl.qubit_instance(0), Point::new(f64::NAN, f64::NAN));
+        let report = Legalizer::default().run(&mut nl);
+        assert_eq!(report.remaining_overlaps, 0);
+        for inst in nl.instances() {
+            let p = nl.position(inst.id());
+            assert!(p.x.is_finite() && p.y.is_finite());
+        }
+        assert!(report.mean_qubit_displacement.is_finite());
     }
 
     #[test]

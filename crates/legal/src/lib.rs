@@ -41,8 +41,10 @@ pub mod mcmf;
 mod qubits;
 mod resonance;
 mod tetris;
+mod workspace;
 
 pub use abacus::legalize_qubits_abacus;
 pub use bitmap::OccupancyBitmap;
 pub use legalizer::{LegalReport, Legalizer, QubitLegalizerKind};
 pub use resonance::ResonanceTracker;
+pub use workspace::LegalWorkspace;

@@ -155,36 +155,137 @@ pub fn solve_assignment(costs: &[Vec<i64>]) -> Vec<usize> {
         return Vec::new();
     }
     let m = costs[0].len();
-    assert!(m >= n, "need at least as many sites as agents");
     for row in costs {
         assert_eq!(row.len(), m, "ragged cost matrix");
     }
-    // Nodes: 0 = source, 1..=n agents, n+1..=n+m sites, n+m+1 sink.
-    let source = 0;
-    let sink = n + m + 1;
-    let mut net = MinCostFlow::new(n + m + 2);
-    let mut agent_edges = vec![Vec::with_capacity(m); n];
-    for (a, row) in costs.iter().enumerate().take(n) {
-        net.add_edge(source, 1 + a, 1, 0);
-        for (s, &cost) in row.iter().enumerate().take(m) {
-            let e = net.add_edge(1 + a, 1 + n + s, 1, cost);
-            agent_edges[a].push(e);
+    let mut flat = Vec::with_capacity(n * m);
+    for row in costs {
+        flat.extend_from_slice(row);
+    }
+    let mut scratch = AssignmentScratch::default();
+    let mut out = Vec::new();
+    solve_assignment_into(&flat, n, m, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable buffers for [`solve_assignment_into`]: the Hungarian
+/// algorithm's potentials, matching, and per-column state. A workspace
+/// that keeps one of these across runs pays no allocations for repeat
+/// solves of the same problem shape.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentScratch {
+    /// Row (agent) potentials, 1-based with a virtual row 0.
+    u: Vec<i64>,
+    /// Column (site) potentials, 1-based with a virtual column 0.
+    v: Vec<i64>,
+    /// `matched_row[j]` — agent matched to site `j` (0 = unmatched).
+    matched_row: Vec<usize>,
+    /// Alternating-path predecessor column per column.
+    way: Vec<usize>,
+    /// Minimum reduced cost seen per column this augmentation.
+    minv: Vec<i64>,
+    /// Columns already in the alternating tree.
+    used: Vec<bool>,
+}
+
+/// [`solve_assignment`] over a row-major flattened `n × m` cost matrix,
+/// writing the per-agent site indices into `out` (cleared first) and
+/// reusing `scratch` buffers across calls.
+///
+/// The solver is the classic O(n²·m) Hungarian algorithm with potentials
+/// (shortest augmenting paths on the dense reduced-cost matrix) — an
+/// order of magnitude faster on the legalizer's dense qubit↔site
+/// instances than the successive-shortest-path flow it replaced, with the
+/// same optimal total cost. Ties are broken by lowest column index, so
+/// the result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != n * m` or `m < n`.
+pub fn solve_assignment_into(
+    costs: &[i64],
+    n: usize,
+    m: usize,
+    scratch: &mut AssignmentScratch,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    assert!(m >= n, "need at least as many sites as agents");
+    assert_eq!(costs.len(), n * m, "flattened cost matrix shape mismatch");
+
+    scratch.u.clear();
+    scratch.u.resize(n + 1, 0);
+    scratch.v.clear();
+    scratch.v.resize(m + 1, 0);
+    scratch.matched_row.clear();
+    scratch.matched_row.resize(m + 1, 0);
+    scratch.way.clear();
+    scratch.way.resize(m + 1, 0);
+
+    for i in 1..=n {
+        // Grow an alternating tree from row i until a free column is
+        // reached, updating potentials so every tree edge stays tight.
+        scratch.matched_row[0] = i;
+        let mut j0 = 0usize;
+        scratch.minv.clear();
+        scratch.minv.resize(m + 1, i64::MAX);
+        scratch.used.clear();
+        scratch.used.resize(m + 1, false);
+        loop {
+            scratch.used[j0] = true;
+            let i0 = scratch.matched_row[j0];
+            let mut delta = i64::MAX;
+            let mut j1 = 0usize;
+            let row = &costs[(i0 - 1) * m..i0 * m];
+            for j in 1..=m {
+                if scratch.used[j] {
+                    continue;
+                }
+                let cur = row[j - 1] - scratch.u[i0] - scratch.v[j];
+                if cur < scratch.minv[j] {
+                    scratch.minv[j] = cur;
+                    scratch.way[j] = j0;
+                }
+                if scratch.minv[j] < delta {
+                    delta = scratch.minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if scratch.used[j] {
+                    scratch.u[scratch.matched_row[j]] += delta;
+                    scratch.v[j] -= delta;
+                } else {
+                    scratch.minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if scratch.matched_row[j0] == 0 {
+                break;
+            }
+        }
+        // Flip the alternating path.
+        loop {
+            let j1 = scratch.way[j0];
+            scratch.matched_row[j0] = scratch.matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
         }
     }
-    for s in 0..m {
-        net.add_edge(1 + n + s, sink, 1, 0);
+
+    out.resize(n, usize::MAX);
+    for j in 1..=m {
+        let i = scratch.matched_row[j];
+        if i > 0 {
+            out[i - 1] = j - 1;
+        }
     }
-    let (flow, _) = net.solve(source, sink, n as i64);
-    assert_eq!(flow, n as i64, "assignment must saturate all agents");
-    agent_edges
-        .iter()
-        .map(|edges| {
-            edges
-                .iter()
-                .position(|&e| net.edge_flow(e) > 0)
-                .expect("every agent is assigned")
-        })
-        .collect()
+    debug_assert!(out.iter().all(|&s| s != usize::MAX));
 }
 
 #[cfg(test)]

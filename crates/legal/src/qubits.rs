@@ -1,10 +1,15 @@
 //! Phase 1: qubit legalization (greedy spiral + min-cost-flow refinement).
 
-use qplacer_geometry::{Point, SpiralIter};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use qplacer_geometry::Point;
 use qplacer_netlist::QuantumNetlist;
 
-use crate::mcmf::solve_assignment;
+use crate::mcmf::solve_assignment_into;
 use crate::resonance::ResonanceTracker;
+use crate::workspace::{spiral_find, QubitScratch, SearchScratch};
 use crate::OccupancyBitmap;
 
 /// Legalizes all qubits: finds non-overlapping, in-region positions near
@@ -13,85 +18,119 @@ use crate::OccupancyBitmap;
 /// into `bitmap` and registers them with `tracker`. Returns per-qubit
 /// displacement (mm), indexed by device qubit.
 ///
-/// Candidates live on the global site lattice (`site_pitch`), so qubit
-/// and segment placements brick-pack without sub-site fragmentation. A
-/// *strict* spiral pass skips spots that violate the resonant margin
-/// against already-placed qubits (the legalization-side τ check); a
-/// relaxed pass and an exhaustive scan guarantee feasibility.
+/// Allocating convenience wrapper around [`legalize_qubits_with`].
 ///
 /// # Panics
 ///
 /// Panics if some qubit cannot be placed anywhere in the region (the
 /// region is sized for ≤ 100 % utilization upstream, so this indicates a
 /// configuration error).
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn legalize_qubits(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
     tracker: &mut ResonanceTracker,
     site_pitch: f64,
 ) -> Vec<f64> {
+    let mut search = SearchScratch::default();
+    search.set_parallel_from_pool();
+    let mut scratch = QubitScratch::default();
+    legalize_qubits_with(
+        netlist,
+        bitmap,
+        tracker,
+        site_pitch,
+        &mut search,
+        &mut scratch,
+    );
+    scratch.displacement
+}
+
+/// Workspace-threaded qubit legalization: identical semantics to
+/// [`legalize_qubits`], but every buffer (ordering, sites, MCMF network,
+/// spiral blocks) comes from the caller's scratch, so steady-state runs
+/// allocate nothing. Per-qubit displacements land in
+/// `scratch.displacement`.
+///
+/// Candidates live on the global site lattice (`site_pitch`), so qubit
+/// and segment placements brick-pack without sub-site fragmentation. A
+/// *strict* spiral pass skips spots that violate the resonant margin
+/// against already-placed qubits (the legalization-side τ check); a
+/// relaxed pass and an exhaustive scan guarantee feasibility. Candidate
+/// scoring fans across the rayon pool; the chosen spot is always the
+/// ring-order-first acceptable one, so results are thread-count
+/// independent.
+pub(crate) fn legalize_qubits_with(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    tracker: &mut ResonanceTracker,
+    site_pitch: f64,
+    search: &mut SearchScratch,
+    scratch: &mut QubitScratch,
+) {
     let num_qubits = netlist.num_qubits();
+    let QubitScratch {
+        order,
+        sites,
+        displacement,
+        costs,
+        assignment,
+        mcmf,
+    } = scratch;
+    displacement.clear();
+    displacement.resize(num_qubits, 0.0);
     if num_qubits == 0 {
-        return Vec::new();
+        return;
     }
     let region = netlist.region();
     let workspace = bitmap.region();
+    let parallel = search.parallel;
 
     // Process left-to-right for a deterministic, low-conflict order.
-    let mut order: Vec<usize> = (0..num_qubits).collect();
-    order.sort_by(|&a, &b| {
+    // Lexicographic total_cmp keeps the order total even when a position
+    // has gone NaN upstream (a NaN coordinate must degrade gracefully,
+    // not panic mid-legalization).
+    order.clear();
+    order.extend(0..num_qubits);
+    order.sort_unstable_by(|&a, &b| {
         let pa = netlist.position(netlist.qubit_instance(a));
         let pb = netlist.position(netlist.qubit_instance(b));
-        (pa.x, pa.y)
-            .partial_cmp(&(pb.x, pb.y))
-            .expect("finite positions")
+        pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
     });
 
     // Greedy spiral: collect one feasible site per qubit (strict pass
     // first, then relaxed).
-    let mut sites: Vec<Point> = Vec::with_capacity(num_qubits);
-    for &q in &order {
+    sites.clear();
+    for &q in order.iter() {
         let id = netlist.qubit_instance(q);
         let inst = *netlist.instance(id);
-        let desired = inst
+        let mut desired = inst
             .padded_rect(Point::ORIGIN)
             .clamp_center_into(&region, netlist.position(id));
+        if !desired.x.is_finite() || !desired.y.is_finite() {
+            // A non-finite global position (upstream numerical blow-up)
+            // would poison every spiral candidate; anchor the search at
+            // the region center instead.
+            desired = region.center();
+        }
         let max_radius =
             ((region.width().max(region.height()) / site_pitch).ceil() as i64).max(1) * 2;
-        let spiral = |strict: bool,
-                      bitmap: &OccupancyBitmap,
-                      tracker: &ResonanceTracker,
-                      netlist: &QuantumNetlist|
-         -> Option<Point> {
-            for (dx, dy) in SpiralIter::new(max_radius) {
-                let cand = bitmap.snap_to_sites(
-                    Point::new(
-                        desired.x + dx as f64 * site_pitch,
-                        desired.y + dy as f64 * site_pitch,
-                    ),
-                    inst.padded_mm(),
-                    site_pitch,
-                );
-                let rect = inst.padded_rect(cand);
-                // The strict pass must stay inside the sized region —
-                // isolation is not allowed to grow the substrate; only the
-                // relaxed pass may use the feasibility spill ring.
-                let bound = if strict { &region } else { &workspace };
-                if bound.inflated(1e-9).contains_rect(&rect)
-                    && bitmap.is_free(&rect)
-                    && (!strict || tracker.is_clean(netlist, id, cand))
-                {
-                    return Some(cand);
-                }
-            }
-            None
-        };
-        let site = spiral(true, bitmap, tracker, netlist)
-            .or_else(|| spiral(false, bitmap, tracker, netlist))
-            .or_else(|| {
-                bitmap.find_nearest_free(inst.padded_mm(), inst.padded_mm(), desired, site_pitch)
-            })
-            .unwrap_or_else(|| panic!("no legal site for qubit {q}; region too small"));
+        // The strict pass must stay inside the sized region — isolation
+        // is not allowed to grow the substrate; only the relaxed pass may
+        // use the feasibility spill ring.
+        let site = spiral_find(
+            netlist, bitmap, tracker, search, id, desired, site_pitch, max_radius, true, &region,
+        )
+        .or_else(|| {
+            spiral_find(
+                netlist, bitmap, tracker, search, id, desired, site_pitch, max_radius, false,
+                &workspace,
+            )
+        })
+        .or_else(|| {
+            bitmap.find_nearest_free(inst.padded_mm(), inst.padded_mm(), desired, site_pitch)
+        })
+        .unwrap_or_else(|| panic!("no legal site for qubit {q}; region too small"));
         bitmap.mark(&inst.padded_rect(site));
         tracker.place(netlist, id, site);
         sites.push(site);
@@ -100,26 +139,24 @@ pub fn legalize_qubits(
     // Min-cost-flow refinement: optimally re-match qubits to the site set
     // (§IV-C2's displacement minimization). Costs are Manhattan
     // displacements in micrometers.
-    let costs: Vec<Vec<i64>> = order
-        .iter()
-        .map(|&q| {
-            let want = netlist.position(netlist.qubit_instance(q));
-            sites
-                .iter()
-                .map(|s| (want.manhattan(*s) * 1000.0).round() as i64)
-                .collect()
-        })
-        .collect();
-    let assignment = solve_assignment(&costs);
+    costs.clear();
+    for &q in order.iter() {
+        let want = netlist.position(netlist.qubit_instance(q));
+        for s in sites.iter() {
+            costs.push((want.manhattan(*s) * 1000.0).round() as i64);
+        }
+    }
+    solve_assignment_into(costs, num_qubits, num_qubits, mcmf, assignment);
 
     // The permutation could undo the strict pass's isolation; accept it
     // only if it does not increase resonant-margin violations among
     // qubits.
-    let violations_of = |mapping: &dyn Fn(usize) -> Point| -> usize {
-        let mut count = 0;
+    let violations_of = |mapping: &(dyn Fn(usize) -> Point + Sync)| -> usize {
         let dc = netlist.detuning_threshold() * 0.999;
         let margin = tracker.margin();
-        for (ra, &qa) in order.iter().enumerate() {
+        let row = |ra: usize| -> usize {
+            let qa = order[ra];
+            let mut count = 0;
             for (rb, &qb) in order.iter().enumerate().skip(ra + 1) {
                 let ia = netlist.qubit_instance(qa);
                 let ib = netlist.qubit_instance(qb);
@@ -140,14 +177,24 @@ pub fn legalize_qubits(
                     count += 1;
                 }
             }
+            count
+        };
+        // Row counts are independent; the total is order-free, so the
+        // parallel path is bit-identical to the sequential one.
+        if !parallel {
+            (0..num_qubits).map(row).sum()
+        } else {
+            let total = AtomicUsize::new(0);
+            (0..num_qubits).into_par_iter().for_each(|ra| {
+                total.fetch_add(row(ra), Ordering::Relaxed);
+            });
+            total.into_inner()
         }
-        count
     };
     let greedy_viol = violations_of(&|rank| sites[rank]);
     let mcmf_viol = violations_of(&|rank| sites[assignment[rank]]);
     let use_mcmf = mcmf_viol <= greedy_viol;
 
-    let mut displacement = vec![0.0; num_qubits];
     for (rank, &q) in order.iter().enumerate() {
         let id = netlist.qubit_instance(q);
         let before = netlist.position(id);
@@ -162,7 +209,6 @@ pub fn legalize_qubits(
         tracker.place(netlist, id, site);
         displacement[q] = before.distance(site);
     }
-    displacement
 }
 
 #[cfg(test)]
@@ -228,9 +274,31 @@ mod tests {
         }
         let _ = run(&mut nl);
         let mut positions: Vec<Point> = (0..9).map(|q| nl.position(nl.qubit_instance(q))).collect();
-        positions.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        positions.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
         positions.dedup_by(|a, b| a.distance(*b) < 1e-9);
         assert_eq!(positions.len(), 9, "all qubits at distinct positions");
+    }
+
+    #[test]
+    fn nan_position_degrades_gracefully() {
+        // A NaN coordinate must not panic the legalizer; the affected
+        // qubit falls back to a region-center search and everything still
+        // ends up disjoint, in-region, and finite.
+        let t = Topology::grid(3, 3);
+        let mut nl = netlist(&t);
+        nl.set_position(nl.qubit_instance(4), Point::new(f64::NAN, 0.3));
+        let _ = run(&mut nl);
+        for q in 0..9 {
+            let p = nl.position(nl.qubit_instance(q));
+            assert!(p.x.is_finite() && p.y.is_finite(), "qubit {q} at {p}");
+        }
+        for a in 0..9 {
+            let ra = nl.padded_rect(nl.qubit_instance(a));
+            for b in a + 1..9 {
+                let rb = nl.padded_rect(nl.qubit_instance(b));
+                assert!(!ra.overlaps(&rb), "qubits {a} and {b} overlap");
+            }
+        }
     }
 
     #[test]

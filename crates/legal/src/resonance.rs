@@ -31,6 +31,26 @@ impl ResonanceTracker {
         }
     }
 
+    /// A placeholder tracker over a unit region; call
+    /// [`ResonanceTracker::reset`] before use. Exists so workspaces can
+    /// own a tracker before the first netlist arrives.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            grid: SpatialGrid::new(Rect::from_center(Point::ORIGIN, 1.0, 1.0), 1.0),
+            margin: 0.0,
+        }
+    }
+
+    /// Re-targets the tracker at `netlist` with the given margin and
+    /// forgets all placements. Grid storage is reused, so steady-state
+    /// resets to the same netlist shape allocate nothing.
+    pub fn reset(&mut self, netlist: &QuantumNetlist, margin: f64) {
+        let pad = netlist.max_padded_side() + margin + 0.1;
+        self.grid.reset(netlist.region().inflated(pad), pad);
+        self.margin = margin;
+    }
+
     /// The resonant safety margin.
     #[must_use]
     pub fn margin(&self) -> f64 {
@@ -60,13 +80,28 @@ impl ResonanceTracker {
     /// every already-placed near-resonant foreign instance.
     #[must_use]
     pub fn is_clean(&self, netlist: &QuantumNetlist, id: usize, cand: Point) -> bool {
+        let mut scratch = Vec::new();
+        self.is_clean_with(netlist, id, cand, &mut scratch)
+    }
+
+    /// Like [`ResonanceTracker::is_clean`], but reuses a caller-owned
+    /// query buffer so steady-state probes allocate nothing.
+    #[must_use]
+    pub fn is_clean_with(
+        &self,
+        netlist: &QuantumNetlist,
+        id: usize,
+        cand: Point,
+        scratch: &mut Vec<usize>,
+    ) -> bool {
         if self.margin <= 0.0 {
             return true;
         }
         let inst = netlist.instance(id);
         let probe = self.inflated(netlist, id, cand);
         let dc = netlist.detuning_threshold() * 0.999;
-        self.grid.query(&probe).into_iter().all(|other| {
+        self.grid.query_into(&probe, scratch);
+        scratch.iter().all(|&other| {
             if other == id {
                 return true;
             }
@@ -95,7 +130,10 @@ mod tests {
         QuantumNetlist::build(&t, &freqs, &NetlistConfig::default())
     }
 
-    fn same_slot_qubits(nl: &QuantumNetlist) -> (usize, usize) {
+    /// First qubit pair sharing a frequency slot, or `None` when the
+    /// assignment has no such pair (a degenerate pair set must not crash
+    /// the caller — tests relying on a pair skip instead).
+    fn same_slot_qubits(nl: &QuantumNetlist) -> Option<(usize, usize)> {
         for a in 0..nl.num_qubits() {
             for b in a + 1..nl.num_qubits() {
                 let ia = nl.qubit_instance(a);
@@ -105,17 +143,32 @@ mod tests {
                     .frequency()
                     .is_resonant_with(nl.instance(ib).frequency(), nl.detuning_threshold() * 0.5)
                 {
-                    return (ia, ib);
+                    return Some((ia, ib));
                 }
             }
         }
-        panic!("no same-slot qubit pair");
+        None
+    }
+
+    /// The skip paths above must stay dead on the fixture: if the
+    /// assigner ever stops producing a same-slot pair on the 3×3 grid,
+    /// this fails loudly instead of letting the τ-check tests pass
+    /// vacuously.
+    #[test]
+    fn fixture_topology_has_a_same_slot_pair() {
+        assert!(
+            same_slot_qubits(&netlist()).is_some(),
+            "3×3 grid fixture lost its same-slot qubit pair; τ-check \
+             tests are no longer exercising anything"
+        );
     }
 
     #[test]
     fn clean_when_far_dirty_when_close() {
         let mut nl = netlist();
-        let (ia, ib) = same_slot_qubits(&nl);
+        let Some((ia, ib)) = same_slot_qubits(&nl) else {
+            return; // degenerate pair set: nothing to check
+        };
         let mut tracker = ResonanceTracker::new(&nl, 0.3);
         nl.set_position(ia, Point::new(0.0, 0.0));
         tracker.place(&nl, ia, Point::new(0.0, 0.0));
@@ -144,7 +197,9 @@ mod tests {
                 }
             }
         }
-        let (ia, ib) = pair.unwrap();
+        let Some((ia, ib)) = pair else {
+            return; // degenerate pair set: every pair is same-slot
+        };
         let mut tracker = ResonanceTracker::new(&nl, 0.3);
         nl.set_position(ia, Point::new(0.0, 0.0));
         tracker.place(&nl, ia, Point::new(0.0, 0.0));
@@ -154,7 +209,9 @@ mod tests {
     #[test]
     fn zero_margin_disables_checks() {
         let mut nl = netlist();
-        let (ia, ib) = same_slot_qubits(&nl);
+        let Some((ia, ib)) = same_slot_qubits(&nl) else {
+            return; // degenerate pair set: nothing to check
+        };
         let mut tracker = ResonanceTracker::new(&nl, 0.0);
         nl.set_position(ia, Point::ORIGIN);
         tracker.place(&nl, ia, Point::ORIGIN);
@@ -164,7 +221,9 @@ mod tests {
     #[test]
     fn unplace_restores_cleanliness() {
         let mut nl = netlist();
-        let (ia, ib) = same_slot_qubits(&nl);
+        let Some((ia, ib)) = same_slot_qubits(&nl) else {
+            return; // degenerate pair set: nothing to check
+        };
         let mut tracker = ResonanceTracker::new(&nl, 0.3);
         nl.set_position(ia, Point::ORIGIN);
         tracker.place(&nl, ia, Point::ORIGIN);

@@ -13,116 +13,155 @@
 //! the resonant margin against already-placed instances are skipped — and
 //! falls back to a relaxed pass so legalization always completes.
 
-use qplacer_geometry::{Point, SpiralIter};
+use qplacer_geometry::Point;
 use qplacer_netlist::QuantumNetlist;
 
 use crate::resonance::ResonanceTracker;
+use crate::workspace::{first_accepted, spiral_find, SearchScratch, TetrisScratch};
 use crate::OccupancyBitmap;
 
 /// Legalizes all resonator segments. Qubits must already be marked in
 /// `bitmap` and registered with `tracker`. Returns
 /// `(instance_id, displacement_mm)` per segment.
 ///
+/// Allocating convenience wrapper around [`legalize_segments_with`].
+///
 /// # Panics
 ///
 /// Panics if a segment cannot be placed anywhere in the region, which
 /// indicates the region was sized above 100 % utilization.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn legalize_segments(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
     tracker: &mut ResonanceTracker,
     site_pitch: f64,
 ) -> Vec<(usize, f64)> {
+    let mut search = SearchScratch::default();
+    search.set_parallel_from_pool();
+    let mut scratch = TetrisScratch::default();
+    legalize_segments_with(
+        netlist,
+        bitmap,
+        tracker,
+        site_pitch,
+        &mut search,
+        &mut scratch,
+    );
+    scratch.displacement
+}
+
+/// Workspace-threaded segment legalization: identical semantics to
+/// [`legalize_segments`], with all ordering/chain/candidate buffers drawn
+/// from the caller's scratch so steady-state runs allocate nothing.
+/// Candidate scoring (chain neighbors and spiral rings) fans across the
+/// rayon pool; selection is always the first acceptable candidate in
+/// deterministic order. Per-segment displacements land in
+/// `scratch.displacement`.
+pub(crate) fn legalize_segments_with(
+    netlist: &mut QuantumNetlist,
+    bitmap: &mut OccupancyBitmap,
+    tracker: &mut ResonanceTracker,
+    site_pitch: f64,
+    search: &mut SearchScratch,
+    scratch: &mut TetrisScratch,
+) {
     let region = netlist.region();
     let workspace = bitmap.region();
+    let TetrisScratch {
+        res_order,
+        mean_x,
+        chain,
+        displacement,
+    } = scratch;
+    displacement.clear();
 
     // Resonators sorted by mean global x of their segments (sweep order).
-    let mut res_order: Vec<usize> = (0..netlist.num_resonators()).collect();
-    let mean_x = |r: usize| -> f64 {
+    let num_res = netlist.num_resonators();
+    mean_x.clear();
+    for r in 0..num_res {
         let segs = netlist.resonator_segments(r);
-        segs.iter().map(|&id| netlist.position(id).x).sum::<f64>() / segs.len().max(1) as f64
-    };
-    res_order.sort_by(|&a, &b| mean_x(a).total_cmp(&mean_x(b)));
+        let sum: f64 = segs.iter().map(|&id| netlist.position(id).x).sum();
+        mean_x.push(sum / segs.len().max(1) as f64);
+    }
+    res_order.clear();
+    res_order.extend(0..num_res);
+    res_order.sort_unstable_by(|&a, &b| mean_x[a].total_cmp(&mean_x[b]));
 
-    let mut displacements = Vec::new();
-    for r in res_order {
-        let chain: Vec<usize> = netlist.resonator_segments(r).to_vec();
+    for &r in res_order.iter() {
+        chain.clear();
+        chain.extend_from_slice(netlist.resonator_segments(r));
         let mut prev: Option<Point> = None;
-        for id in chain {
+        for &id in chain.iter() {
             let inst = *netlist.instance(id);
             let pitch = inst.padded_mm();
-            let desired = inst
+            let mut desired = inst
                 .padded_rect(Point::ORIGIN)
                 .clamp_center_into(&region, netlist.position(id));
-
-            let acceptable = |cand: Point,
-                              strict: bool,
-                              bitmap: &OccupancyBitmap,
-                              tracker: &ResonanceTracker,
-                              netlist: &QuantumNetlist|
-             -> bool {
-                let rect = inst.padded_rect(cand);
-                // Strict placements stay inside the sized region (compact
-                // substrate first); only relaxed ones may spill.
-                let bound = if strict { &region } else { &workspace };
-                bound.inflated(1e-9).contains_rect(&rect)
-                    && bitmap.is_free(&rect)
-                    && (!strict || tracker.is_clean(netlist, id, cand))
-            };
+            if !desired.x.is_finite() || !desired.y.is_finite() {
+                // Degrade gracefully on upstream NaN positions (see the
+                // qubit legalizer): anchor at the chain tail or center.
+                desired = prev.unwrap_or_else(|| region.center());
+            }
 
             // (a) Hug the previous chain segment: its 8 lattice neighbors,
-            // nearest-to-desired first.
-            let chain_candidates: Vec<Point> = prev
-                .map(|p| {
-                    let mut cands: Vec<Point> = [
-                        (pitch, 0.0),
-                        (-pitch, 0.0),
-                        (0.0, pitch),
-                        (0.0, -pitch),
-                        (pitch, pitch),
-                        (pitch, -pitch),
-                        (-pitch, pitch),
-                        (-pitch, -pitch),
-                    ]
-                    .iter()
-                    .map(|&(dx, dy)| {
-                        bitmap.snap_to_sites(
-                            Point::new(p.x + dx, p.y + dy),
-                            inst.padded_mm(),
-                            site_pitch,
-                        )
-                    })
-                    .collect();
-                    cands.sort_by(|a, b| a.distance_sq(desired).total_cmp(&b.distance_sq(desired)));
-                    cands
-                })
-                .unwrap_or_default();
+            // nearest-to-desired first (stable sort: equal-distance
+            // symmetric offsets keep their fixed probe order).
+            let mut chain_candidates = [Point::ORIGIN; 8];
+            let mut num_chain = 0;
+            if let Some(p) = prev {
+                for (dx, dy) in [
+                    (pitch, 0.0),
+                    (-pitch, 0.0),
+                    (0.0, pitch),
+                    (0.0, -pitch),
+                    (pitch, pitch),
+                    (pitch, -pitch),
+                    (-pitch, pitch),
+                    (-pitch, -pitch),
+                ] {
+                    chain_candidates[num_chain] = bitmap.snap_to_sites(
+                        Point::new(p.x + dx, p.y + dy),
+                        inst.padded_mm(),
+                        site_pitch,
+                    );
+                    num_chain += 1;
+                }
+                chain_candidates
+                    .sort_by(|a, b| a.distance_sq(desired).total_cmp(&b.distance_sq(desired)));
+            }
 
             let max_radius =
                 ((region.width().max(region.height()) / site_pitch).ceil() as i64).max(1) * 2;
 
             let mut placed: Option<Point> = None;
-            'passes: for strict in [true, false] {
-                for &cand in &chain_candidates {
-                    if acceptable(cand, strict, bitmap, tracker, netlist) {
-                        placed = Some(cand);
-                        break 'passes;
-                    }
+            for strict in [true, false] {
+                // Strict placements stay inside the sized region (compact
+                // substrate first); only relaxed ones may spill.
+                let bound = if strict { &region } else { &workspace };
+                let accept_bound = bound.inflated(1e-9);
+                let hit = first_accepted(
+                    &chain_candidates[..num_chain],
+                    &mut search.query,
+                    search.parallel,
+                    |cand: &Point, q| {
+                        let rect = inst.padded_rect(*cand);
+                        accept_bound.contains_rect(&rect)
+                            && bitmap.is_free(&rect)
+                            && (!strict || tracker.is_clean_with(netlist, id, *cand, q))
+                    },
+                );
+                if let Some(i) = hit {
+                    placed = Some(chain_candidates[i]);
+                    break;
                 }
                 // (b) Spiral around the segment's own desired position.
-                for (dx, dy) in SpiralIter::new(max_radius) {
-                    let cand = bitmap.snap_to_sites(
-                        Point::new(
-                            desired.x + dx as f64 * site_pitch,
-                            desired.y + dy as f64 * site_pitch,
-                        ),
-                        inst.padded_mm(),
-                        site_pitch,
-                    );
-                    if acceptable(cand, strict, bitmap, tracker, netlist) {
-                        placed = Some(cand);
-                        break 'passes;
-                    }
+                placed = spiral_find(
+                    netlist, bitmap, tracker, search, id, desired, site_pitch, max_radius, strict,
+                    bound,
+                );
+                if placed.is_some() {
+                    break;
                 }
             }
 
@@ -155,11 +194,10 @@ pub fn legalize_segments(
             tracker.place(netlist, id, site);
             let before = netlist.position(id);
             netlist.set_position(id, site);
-            displacements.push((id, before.distance(site)));
+            displacement.push((id, before.distance(site)));
             prev = Some(site);
         }
     }
-    displacements
 }
 
 #[cfg(test)]

@@ -109,3 +109,57 @@ proptest! {
         }
     }
 }
+
+/// An in-region rectangle on a coarse lattice (so abutting/overlap cases
+/// are exercised, not just generic floats).
+fn arb_rect() -> impl Strategy<Value = qplacer_geometry::Rect> {
+    (0i32..18, 0i32..18, 1i32..6, 1i32..6).prop_map(|(x, y, w, h)| {
+        qplacer_geometry::Rect::from_origin_size(
+            Point::new(-5.0 + x as f64 * 0.5, -5.0 + y as f64 * 0.5),
+            w as f64 * 0.5,
+            h as f64 * 0.5,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Mark/query boundary consistency of the occupancy bitmap: marking is
+    // conservative and queries are exact on the marked set, so the
+    // mark → !free → unmark → free cycle must hold for any in-region
+    // rect, disjoint rects must never interfere, and anything sticking
+    // out of the region is never free.
+    #[test]
+    fn bitmap_mark_query_roundtrip(r in arb_rect(), probe in arb_rect()) {
+        use qplacer_legal::OccupancyBitmap;
+        let region = qplacer_geometry::Rect::from_center(Point::ORIGIN, 12.0, 12.0);
+        let mut bm = OccupancyBitmap::new(region, 0.1);
+        prop_assert!(bm.is_free(&r), "empty bitmap must be free");
+        bm.mark(&r);
+        prop_assert!(!bm.is_free(&r), "marked rect still free");
+        // A probe that overlaps r must be blocked; one that clears r by a
+        // full cell must stay free (marking is conservative by at most
+        // one boundary cell).
+        if probe.overlaps(&r) {
+            prop_assert!(!bm.is_free(&probe), "overlap not detected");
+        } else if probe.clearance(&r) > 0.1 + 1e-9 {
+            prop_assert!(bm.is_free(&probe), "disjoint probe blocked");
+        }
+        // Ignoring the marked rect restores the probe wherever only r
+        // blocked it.
+        prop_assert!(bm.is_free_except(&probe, &r) || probe.clearance(&r) <= 0.1 + 1e-9);
+        bm.unmark(&r);
+        prop_assert!(bm.is_free(&r), "unmark did not restore freeness");
+    }
+
+    #[test]
+    fn bitmap_out_of_region_is_never_free(r in arb_rect()) {
+        use qplacer_legal::OccupancyBitmap;
+        // Region smaller than the rect lattice: some rects stick out.
+        let region = qplacer_geometry::Rect::from_center(Point::ORIGIN, 7.0, 7.0);
+        let bm = OccupancyBitmap::new(region, 0.1);
+        let inside = region.inflated(1e-9).contains_rect(&r);
+        prop_assert_eq!(bm.is_free(&r), inside, "freeness must match containment");
+    }
+}

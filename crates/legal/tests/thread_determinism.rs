@@ -1,0 +1,94 @@
+//! The parallel back-end must not change results: legalization and
+//! frequency assignment on the paper config, run under a 1-thread rayon
+//! pool and under a wide pool, must produce *byte-identical* serialized
+//! reports and identical positions. Candidate scoring fans out, but the
+//! selected candidate is always the lowest acceptable index, so no
+//! decision depends on the worker count.
+
+use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
+use qplacer_legal::{LegalReport, LegalWorkspace, Legalizer};
+use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_place::{GlobalPlacer, PlacerConfig};
+use qplacer_topology::Topology;
+
+fn placed_netlist() -> QuantumNetlist {
+    let t = Topology::falcon27();
+    let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+    let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+    GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+    nl
+}
+
+fn legalize_at(threads: usize, base: &QuantumNetlist) -> (QuantumNetlist, LegalReport) {
+    let mut nl = base.clone();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds");
+    let mut ws = LegalWorkspace::new();
+    let report = pool.install(|| Legalizer::default().run_with(&mut nl, &mut ws));
+    (nl, report)
+}
+
+#[test]
+fn legalization_is_identical_at_1_vs_n_threads() {
+    let base = placed_netlist();
+    let (nl_1, report_1) = legalize_at(1, &base);
+    let (nl_n, report_n) = legalize_at(4, &base);
+    assert_eq!(
+        serde_json::to_string(&report_1).unwrap(),
+        serde_json::to_string(&report_n).unwrap(),
+        "LegalReport bytes diverged between 1 and 4 threads"
+    );
+    assert_eq!(
+        nl_1.positions(),
+        nl_n.positions(),
+        "final positions diverged between 1 and 4 threads"
+    );
+    assert_eq!(report_1.remaining_overlaps, 0);
+}
+
+#[test]
+fn frequency_assignment_is_identical_at_1_vs_n_threads() {
+    let t = Topology::falcon27();
+    let assigner = FrequencyAssigner::paper_defaults();
+    let assign_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let mut ws = FreqWorkspace::default();
+        pool.install(|| assigner.assign_with(&t, &mut ws))
+    };
+    let a1 = assign_at(1);
+    let an = assign_at(4);
+    assert_eq!(
+        serde_json::to_string(&a1).unwrap(),
+        serde_json::to_string(&an).unwrap(),
+        "FrequencyAssignment bytes diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn workspace_reuse_across_different_devices_is_clean() {
+    // One workspace serving falcon → grid → falcon must give the same
+    // falcon result both times (no state leaks between runs).
+    let base = placed_netlist();
+    let legalizer = Legalizer::default();
+    let mut ws = LegalWorkspace::new();
+
+    let mut first = base.clone();
+    let report_first = legalizer.run_with(&mut first, &mut ws);
+
+    let t2 = Topology::grid(2, 2);
+    let freqs2 = FrequencyAssigner::paper_defaults().assign(&t2);
+    let mut other = QuantumNetlist::build(&t2, &freqs2, &NetlistConfig::default());
+    GlobalPlacer::new(PlacerConfig::fast()).run(&mut other);
+    let _ = legalizer.run_with(&mut other, &mut ws);
+
+    let mut second = base.clone();
+    let report_second = legalizer.run_with(&mut second, &mut ws);
+
+    assert_eq!(report_first, report_second);
+    assert_eq!(first.positions(), second.positions());
+}

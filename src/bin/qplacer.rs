@@ -7,6 +7,8 @@
 //! qplacer evaluate <topology> <benchmark> [--strategy ...] [--subsets N]
 //!                  [--seed N] [--threads N]
 //! qplacer sweep    <topology>            # l_b ablation on one device
+//! qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
+//!                  [--segment <mm>] [--fast]
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
 //!                  [--benchmarks b,..] [--subsets N] [--seeds N]
 //!                  [--threads N] [--fast] [--jsonl FILE] [--csv FILE]
@@ -24,7 +26,7 @@ use std::process::ExitCode;
 
 use qplacer::{
     paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, NetlistConfig, PipelineConfig,
-    PlacedLayout, Profile, Qplacer, Runner, Sink, Strategy, Summary, Topology,
+    PipelineWorkspace, PlacedLayout, Profile, Qplacer, Runner, Sink, Strategy, Summary, Topology,
 };
 
 fn main() -> ExitCode {
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "place" => cmd_place(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "e2e" => cmd_e2e(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -61,6 +64,8 @@ const USAGE: &str = "usage:
   qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N]
                    [--seed N] [--threads N]
   qplacer sweep    <topology>
+  qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
+                   [--segment <mm>] [--fast]
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
                    [--subsets N] [--seeds N] [--threads N] [--fast]
                    [--jsonl FILE] [--csv FILE]
@@ -267,6 +272,69 @@ fn list_flag<'a>(args: &'a [String], flag: &str, default: &'a str) -> Vec<&'a st
         .collect()
 }
 
+/// Runs the full pipeline — frequency assignment, global placement,
+/// legalization, area/hotspot metrics — on each device, reusing one
+/// [`PipelineWorkspace`] across runs, and reports per-stage wall times.
+/// Fails when any device's layout keeps residual overlaps, so CI can
+/// smoke the whole loop with one command.
+fn cmd_e2e(args: &[String]) -> Result<(), String> {
+    let devices = list_flag(args, "--devices", "falcon,eagle")
+        .into_iter()
+        .map(DeviceSpec::parse)
+        .collect::<Result<Vec<_>, _>>()?;
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    if strategy == Strategy::Human {
+        return Err("e2e measures the engine pipeline; use qplacer or classic".into());
+    }
+    let mut config = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    if let Some(seg) = flag_value(args, "--segment") {
+        let lb: f64 = seg.parse().map_err(|_| format!("bad --segment `{seg}`"))?;
+        if lb <= 0.0 {
+            return Err("--segment must be positive".into());
+        }
+        config.netlist = NetlistConfig::with_segment_size(lb);
+    }
+    let engine = Qplacer::new(config);
+    let mut ws = PipelineWorkspace::new();
+    println!(
+        "{:<10} {:>6} {:>11} {:>10} {:>12} {:>11} {:>9} {:>8}",
+        "device", "cells", "assign ms", "place s", "legalize ms", "integrated", "overlaps", "Ph %"
+    );
+    let mut dirty = 0usize;
+    for spec in devices {
+        let device = spec.build();
+        let layout = engine.place_with(&device, strategy, &mut ws);
+        let legal = layout
+            .legalization
+            .as_ref()
+            .expect("engine strategies legalize");
+        let hs = layout.hotspots();
+        println!(
+            "{:<10} {:>6} {:>11.3} {:>10.2} {:>12.3} {:>7}/{:<3} {:>9} {:>8.2}",
+            device.name(),
+            layout.netlist.num_instances(),
+            layout.timings.assign_ms,
+            layout.timings.place_ms / 1e3,
+            layout.timings.legalize_ms,
+            legal.integrated_after,
+            legal.resonator_count,
+            legal.remaining_overlaps,
+            hs.ph * 100.0,
+        );
+        if legal.remaining_overlaps > 0 {
+            dirty += 1;
+        }
+    }
+    if dirty > 0 {
+        return Err(format!("{dirty} device(s) kept residual overlaps"));
+    }
+    Ok(())
+}
+
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let devices = list_flag(args, "--devices", "grid,falcon,eagle,aspen11,aspenm,xtree")
         .into_iter()
@@ -400,6 +468,21 @@ mod tests {
     #[test]
     fn inventory_runs() {
         assert!(cmd_inventory().is_ok());
+    }
+
+    #[test]
+    fn e2e_command_runs_on_a_grid() {
+        let args: Vec<String> = ["--devices", "grid", "--fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_e2e(&args).is_ok());
+        // Human is placement-free; e2e must refuse it.
+        let bad: Vec<String> = ["--strategy", "human"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_e2e(&bad).is_err());
     }
 
     #[test]

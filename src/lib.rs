@@ -58,7 +58,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use qplacer_harness::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+pub use qplacer_harness::{
+    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
+};
 
 pub use qplacer_artwork as artwork;
 pub use qplacer_baselines as baselines;

@@ -38,16 +38,25 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Host parallelism, probed once — `available_parallelism` is a syscall,
+/// and hot paths ask for the thread count per work item.
+fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// The thread count parallel iterators will use right now.
 pub fn current_num_threads() -> usize {
     if IN_WORKER.with(Cell::get) {
         return 1;
     }
-    CURRENT_POOL.with(Cell::get).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    CURRENT_POOL
+        .with(Cell::get)
+        .unwrap_or_else(host_parallelism)
 }
 
 /// Error building a [`ThreadPool`] (never produced by this stand-in, but
@@ -83,11 +92,7 @@ impl ThreadPoolBuilder {
 
     /// Builds the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let threads = self.num_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+        let threads = self.num_threads.unwrap_or_else(host_parallelism);
         Ok(ThreadPool { threads })
     }
 }
