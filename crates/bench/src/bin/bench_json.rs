@@ -7,11 +7,14 @@
 //! ```
 //!
 //! Entries cover the spectral hot-path kernels (planned Poisson solve,
-//! planned 2-D DCT), full paper-config placer runs, and — since PR 3 —
-//! the back-end: workspace-threaded legalization (`legalize`), frequency
+//! planned 2-D DCT), full paper-config placer runs, the back-end
+//! (PR 3): workspace-threaded legalization (`legalize`), frequency
 //! assignment (`freq_assign`), and the whole
 //! place→legalize→assign→metrics pipeline (`end_to_end`), one entry per
-//! paper device. Timing fields are host-dependent; the schema is what
+//! paper device — and the serving layer (PR 4): loopback
+//! request-per-second kernels through `qplacer-service`
+//! (`service_rps_cached_falcon`, `service_rps_fresh_grid`).
+//! Timing fields are host-dependent; the schema is what
 //! downstream tooling relies on: `{schema, threads, entries: [{kernel,
 //! grid, ns_per_op, iterations_per_sec}]}`.
 
@@ -19,11 +22,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
-use qplacer_harness::{PipelineConfig, PipelineWorkspace, Qplacer, Strategy};
+use qplacer_harness::{DeviceSpec, PipelineConfig, PipelineWorkspace, Qplacer, Strategy};
 use qplacer_legal::{LegalWorkspace, Legalizer};
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
 use qplacer_numeric::{Array2, PoissonSolver, RowOp, SpectralPlan};
 use qplacer_place::{DensityModel, GlobalPlacer, PlacerConfig, PlacerWorkspace};
+use qplacer_service::{PlaceJob, Server, ServiceClient, ServiceConfig};
 use qplacer_topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +217,60 @@ fn measure(quick: bool) -> BenchDoc {
             min_seconds,
         );
         entries.push(entry(&format!("end_to_end_{device}"), grid_dim, ns));
+    }
+
+    // Serving throughput (PR 4): an in-process `qplacer-service` on an
+    // ephemeral loopback port, driven by a blocking `ServiceClient`.
+    // `grid` carries the device qubit count for these kernels.
+    //
+    // - `service_rps_cached_falcon`: steady-state identical requests —
+    //   the sharded result cache answers every reply, so per-op is the
+    //   protocol + cache path (the "millions of users asking for the
+    //   same chip" regime).
+    // - `service_rps_fresh_grid`: cycling segment sizes defeat the
+    //   cache, so per-op is a full fast-profile pipeline run through
+    //   the worker pool, including queueing and batching.
+    {
+        let server = Server::start(ServiceConfig::default()).expect("bind loopback service");
+        let addr = server.local_addr();
+        let mut client = ServiceClient::connect(addr).expect("connect service");
+
+        let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+        let warm = client.place(&job).expect("warm the cache");
+        assert_eq!(warm.result.remaining_overlaps, 0);
+        let ns = time_op(
+            || {
+                let reply = client.place(&job).expect("cached place");
+                assert!(reply.cached, "steady-state replies must come from cache");
+            },
+            50,
+            min_seconds,
+        );
+        entries.push(entry("service_rps_cached_falcon", 27, ns));
+
+        let mut salt = 0usize;
+        let ns = time_op(
+            || {
+                let mut fresh = PlaceJob::fast(
+                    DeviceSpec::Grid {
+                        width: 3,
+                        height: 3,
+                    },
+                    Strategy::FrequencyAware,
+                );
+                // 512 distinct l_b values overrun the 256-entry LRU, so
+                // every request runs the pipeline.
+                fresh.segment_size_mm = Some(0.3 + (salt % 512) as f64 * 1e-4);
+                salt += 1;
+                let _ = client.place(&fresh).expect("fresh place");
+            },
+            2,
+            min_seconds,
+        );
+        entries.push(entry("service_rps_fresh_grid", 9, ns));
+
+        client.shutdown().expect("shutdown service");
+        server.join();
     }
 
     BenchDoc {

@@ -320,49 +320,80 @@ impl Runner {
 }
 
 /// Executes one job, containing panics to its record.
+///
+/// Uses one thread-local workspace per worker thread, reused across
+/// every job that worker executes — the sweep-scale buffer reuse
+/// `PipelineWorkspace` exists for. Each stage resets its buffers on
+/// entry, so reuse after a panicked sibling job is safe.
 fn execute_job(plan: &ExperimentPlan, index: usize) -> JobRecord {
+    std::thread_local! {
+        static WORKSPACE: std::cell::RefCell<crate::pipeline::PipelineWorkspace> =
+            std::cell::RefCell::new(crate::pipeline::PipelineWorkspace::new());
+    }
+    WORKSPACE.with(|ws| execute_job_with(plan, index, &mut ws.borrow_mut()).0)
+}
+
+/// Renders a caught panic payload as the human-readable message
+/// `panic!` produced, falling back to a marker for non-string payloads.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Executes one job of `plan` with a caller-owned workspace, containing
+/// panics to the record, and returns the [`PlacedLayout`] alongside the
+/// record when the job completed.
+///
+/// This is the single-job entry point long-lived callers (e.g. a serving
+/// worker holding a persistent [`PipelineWorkspace`]) use to run plan
+/// jobs without going through [`Runner`]'s thread pool; [`Runner::run`]
+/// funnels through it too, so both paths share one implementation.
+#[must_use]
+pub fn execute_job_with(
+    plan: &ExperimentPlan,
+    index: usize,
+    ws: &mut crate::pipeline::PipelineWorkspace,
+) -> (JobRecord, Option<crate::pipeline::PlacedLayout>) {
     let spec = &plan.jobs[index];
     let mut record = JobRecord::blank(&plan.name, index, spec);
     let start = Instant::now();
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline_job(plan, index)));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline_job(plan, index, ws)));
     record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut layout = None;
     match outcome {
         Ok(Ok(filled)) => {
             let wall_ms = record.wall_ms;
-            record = *filled;
+            let (filled_record, placed) = *filled;
+            record = filled_record;
             record.wall_ms = wall_ms;
+            layout = Some(placed);
         }
         Ok(Err(error)) => record.status = JobStatus::Failed { error },
         Err(payload) => {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            record.status = JobStatus::Panicked { message };
+            record.status = JobStatus::Panicked {
+                message: panic_message(payload),
+            };
         }
     }
-    record
+    (record, layout)
 }
 
 /// The happy path of one job: place, measure, optionally evaluate.
-fn run_pipeline_job(plan: &ExperimentPlan, index: usize) -> Result<Box<JobRecord>, String> {
+#[allow(clippy::type_complexity)]
+fn run_pipeline_job(
+    plan: &ExperimentPlan,
+    index: usize,
+    ws: &mut crate::pipeline::PipelineWorkspace,
+) -> Result<Box<(JobRecord, crate::pipeline::PlacedLayout)>, String> {
     let spec = &plan.jobs[index];
     let mut record = JobRecord::blank(&plan.name, index, spec);
     let benchmark = spec.resolve_benchmark()?;
     let device = spec.device.build();
     let config = spec.pipeline_config(plan.profile);
-
-    // One workspace per worker thread, reused across every job that
-    // worker executes in this run — the sweep-scale buffer reuse
-    // `PipelineWorkspace` exists for. Each stage resets its buffers on
-    // entry, so reuse after a panicked sibling job is safe.
-    std::thread_local! {
-        static WORKSPACE: std::cell::RefCell<crate::pipeline::PipelineWorkspace> =
-            std::cell::RefCell::new(crate::pipeline::PipelineWorkspace::new());
-    }
-    let layout = WORKSPACE
-        .with(|ws| Qplacer::new(config).place_with(&device, spec.strategy, &mut ws.borrow_mut()));
+    let layout = Qplacer::new(config).place_with(&device, spec.strategy, ws);
 
     record.instances = layout.netlist.num_instances();
     record.wall_assign_ms = layout.timings.assign_ms;
@@ -396,7 +427,7 @@ fn run_pipeline_job(plan: &ExperimentPlan, index: usize) -> Result<Box<JobRecord
         record.mean_active_violations = eval.mean_active_violations;
     }
 
-    Ok(Box::new(record))
+    Ok(Box::new((record, layout)))
 }
 
 #[cfg(test)]
@@ -460,6 +491,28 @@ mod tests {
             other => panic!("expected panic status, got {other:?}"),
         }
         assert!(report.records[1].status.is_ok());
+    }
+
+    #[test]
+    fn execute_job_with_returns_layout_and_matches_runner() {
+        let plan = tiny_plan();
+        let mut ws = crate::pipeline::PipelineWorkspace::new();
+        let (record, layout) = execute_job_with(&plan, 0, &mut ws);
+        assert!(record.status.is_ok());
+        let layout = layout.expect("completed job returns its layout");
+        assert_eq!(layout.netlist.num_instances(), record.instances);
+        // Same spec through the pooled runner yields the same
+        // deterministic fields.
+        let report = Runner::new(2).run(&plan);
+        assert_eq!(report.records[0].hpwl_mm, record.hpwl_mm);
+        assert_eq!(report.records[0].mean_fidelity, record.mean_fidelity);
+
+        // A failing spec yields no layout and keeps the message.
+        let mut bad = tiny_plan();
+        bad.jobs[0].benchmark = Some("missing".to_string());
+        let (record, layout) = execute_job_with(&bad, 0, &mut ws);
+        assert!(layout.is_none());
+        assert!(matches!(record.status, JobStatus::Failed { .. }));
     }
 
     #[test]

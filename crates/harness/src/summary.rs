@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::runner::JobRecord;
+use crate::runner::{JobRecord, JobStatus};
 
 /// Aggregated statistics for one (device, strategy, benchmark) arm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,6 +94,29 @@ impl Summary {
             .collect()
     }
 
+    /// One human-readable line per failed or panicked record, carrying
+    /// the underlying error / panic-payload message so batch drivers
+    /// (CLI, CI, the serving layer) can report *why* a job died instead
+    /// of a bare count.
+    #[must_use]
+    pub fn failures(records: &[JobRecord]) -> Vec<String> {
+        records
+            .iter()
+            .filter_map(|r| {
+                let what = match &r.status {
+                    JobStatus::Ok => return None,
+                    JobStatus::Failed { error } => format!("failed: {error}"),
+                    JobStatus::Panicked { message } => format!("panicked: {message}"),
+                };
+                let bench = r.benchmark.as_deref().unwrap_or("-");
+                Some(format!(
+                    "job {} {}/{}/{} seed {}: {what}",
+                    r.job_index, r.device, r.strategy, bench, r.seed
+                ))
+            })
+            .collect()
+    }
+
     /// Renders summaries as an aligned text table.
     #[must_use]
     pub fn table(summaries: &[ArmSummary]) -> String {
@@ -175,5 +198,31 @@ mod tests {
         }
         let table = Summary::table(&summaries);
         assert_eq!(table.lines().count(), summaries.len() + 1);
+    }
+
+    #[test]
+    fn failures_carry_the_underlying_message() {
+        let mut plan = ExperimentPlan::grid(
+            "fail",
+            &[DeviceSpec::Grid {
+                width: 3,
+                height: 3,
+            }],
+            &[Strategy::Human],
+            &["bv-4"],
+            1,
+            &[1, 2],
+        )
+        .with_profile(Profile::Fast);
+        plan.jobs[1].benchmark = Some("no-such-bench".to_string());
+        let report = Runner::new(1).run(&plan);
+        let lines = Summary::failures(&report.records);
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("unknown benchmark `no-such-bench`"),
+            "failure line lost the message: {}",
+            lines[0]
+        );
+        assert!(lines[0].starts_with("job 1 "));
     }
 }

@@ -1,0 +1,70 @@
+//! Loopback load generator: start an in-process server, hammer it from
+//! several client threads, and print throughput plus the server's own
+//! metrics snapshot.
+//!
+//! ```text
+//! cargo run --release -p qplacer-service --example loadgen [threads] [requests]
+//! ```
+//!
+//! Defaults: 4 threads × 32 requests. All threads submit the same
+//! falcon fast-profile job, so after the first completion the cache
+//! serves everything — the steady-state regime the service optimizes.
+
+use std::time::Instant;
+
+use qplacer_service::{DeviceSpec, PlaceJob, Server, ServiceClient, ServiceConfig, Strategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+
+    let server = Server::start(ServiceConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("server on {addr}; {threads} clients x {requests} requests");
+
+    let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let mut cached = 0usize;
+                let mut worst_ms = 0.0f64;
+                for _ in 0..requests {
+                    let reply = client.place(&job).expect("place");
+                    cached += usize::from(reply.cached);
+                    worst_ms = worst_ms.max(reply.wall_ms);
+                }
+                (t, cached, worst_ms)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (t, cached, worst_ms) = handle.join().expect("client thread");
+        println!("client {t}: {cached}/{requests} cached, worst {worst_ms:.2} ms");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = threads * requests;
+    println!(
+        "{total} requests in {elapsed:.2} s  ->  {:.0} req/s",
+        total as f64 / elapsed
+    );
+
+    let mut client = ServiceClient::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    println!(
+        "server: placed {} ({} fresh batches, {} batched jobs), cache {:.0}% hit ({} entries), \
+         mean place {:.2} ms",
+        stats.placed,
+        stats.batches,
+        stats.batched_jobs,
+        stats.cache_hit_rate * 100.0,
+        stats.cache_entries,
+        stats.place.mean_ms,
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+    println!("server drained and exited");
+}

@@ -1,0 +1,305 @@
+//! Sharded, content-addressed result cache with LRU eviction.
+//!
+//! Keys are a stable 64-bit fingerprint of everything that determines a
+//! placement: the device spec, the strategy, and every field of the
+//! resolved [`PipelineConfig`] (assigner spectra, netlist geometry,
+//! placer hyper-parameters, legalizer settings, fidelity params). The
+//! fingerprint hashes each piece's **canonical serialization** — the
+//! derive-ordered JSON the vendored serde emits — so it is invariant to
+//! the field order of the incoming request JSON, yet changes whenever
+//! any config field changes value.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qplacer_harness::{DeviceSpec, PipelineConfig, Strategy};
+
+use crate::protocol::{PlaceJob, PlacementResult};
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms and
+/// process runs (unlike `DefaultHasher`, which is randomly seeded).
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable fingerprint of one fully-resolved placement problem.
+///
+/// `config` must already be the configuration the pipeline will run —
+/// for service jobs that is [`PlaceJob::pipeline_config`], which folds
+/// in the profile budgets and the segment-size override.
+#[must_use]
+pub fn config_fingerprint(device: &DeviceSpec, strategy: Strategy, config: &PipelineConfig) -> u64 {
+    let mut h = Fnv64::new();
+    // Serialize each piece separately (with a separator) so fields can
+    // never alias across struct boundaries.
+    let mut eat = |json: String| {
+        h.write(json.as_bytes());
+        h.write(b"\x1f");
+    };
+    eat(serde_json::to_string(device).expect("device serializes"));
+    eat(serde_json::to_string(&strategy).expect("strategy serializes"));
+    eat(serde_json::to_string(&config.assigner).expect("assigner serializes"));
+    eat(serde_json::to_string(&config.netlist).expect("netlist config serializes"));
+    eat(serde_json::to_string(&config.placer).expect("placer config serializes"));
+    eat(serde_json::to_string(&config.legalizer).expect("legalizer serializes"));
+    eat(serde_json::to_string(&config.fidelity).expect("fidelity params serialize"));
+    h.finish()
+}
+
+/// Cache key of a wire-level job: its device + strategy + resolved
+/// pipeline configuration. Deadlines do not participate — they affect
+/// scheduling, not the result.
+#[must_use]
+pub fn cache_key(job: &PlaceJob) -> u64 {
+    config_fingerprint(&job.device, job.strategy, &job.pipeline_config())
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<PlacementResult>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// Monotonic recency clock; bumped on every touch.
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A sharded LRU cache of placement results.
+///
+/// Sharding keeps lock contention bounded under many connection and
+/// worker threads: a key only ever locks its own shard. Eviction is LRU
+/// per shard (scan for the stalest entry — shards are small enough that
+/// the O(shard len) scan is noise next to a placement).
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Number of shards; a power of two so shard selection is a mask.
+    pub const SHARDS: usize = 8;
+
+    /// A cache holding up to `capacity` results (rounded up to a
+    /// multiple of [`ResultCache::SHARDS`]; a zero capacity still holds
+    /// one result per shard).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = capacity.div_ceil(Self::SHARDS).max(1);
+        ResultCache {
+            shards: (0..Self::SHARDS).map(|_| Mutex::default()).collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<PlacementResult>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`ResultCache::get`], but a lookup that comes up empty is
+    /// not counted as a miss. Workers use this for the post-dequeue
+    /// double-check (a sibling worker may have finished the same job
+    /// while this one queued) without double-counting the miss the
+    /// connection thread already recorded.
+    #[must_use]
+    pub fn get_if_fresh(&self, key: u64) -> Option<Arc<PlacementResult>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        shard.map.get_mut(&key).map(|entry| {
+            entry.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&entry.value)
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: u64, value: Arc<PlacementResult>) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(&stalest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&stalest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Cached results across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Served-from-cache lookups so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Counted lookup misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to make room so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: usize) -> Arc<PlacementResult> {
+        Arc::new(PlacementResult {
+            device: format!("dev-{tag}"),
+            strategy: "Qplacer".to_string(),
+            instances: tag,
+            positions: vec![(tag as f64, 0.0)],
+            place_iterations: 0,
+            hpwl_mm: 0.0,
+            mer_area_mm2: 0.0,
+            utilization: 0.0,
+            ph: 0.0,
+            violations: 0,
+            remaining_overlaps: 0,
+        })
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ResultCache::new(16);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, result(1));
+        let hit = cache.get(1).expect("inserted key resolves");
+        assert_eq!(hit.instances, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        // The untracked probe counts hits but not misses.
+        assert!(cache.get_if_fresh(2).is_none());
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.get_if_fresh(1).is_some());
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry_per_shard() {
+        let cache = ResultCache::new(ResultCache::SHARDS); // one entry per shard
+        let shards = ResultCache::SHARDS as u64;
+        // Three keys in the same shard (same low bits).
+        let (a, b, c) = (shards, 2 * shards, 3 * shards);
+        cache.insert(a, result(1));
+        cache.insert(b, result(2)); // shard full: evicts a
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get_if_fresh(a).is_none());
+        assert!(cache.get_if_fresh(b).is_some());
+        cache.insert(c, result(3)); // shard full again: evicts b
+        assert!(cache.get_if_fresh(c).is_some());
+        assert!(cache.get_if_fresh(b).is_none());
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+        let k1 = cache_key(&job);
+        let k2 = cache_key(&job.clone());
+        assert_eq!(k1, k2, "same job must hash identically");
+
+        let mut other = job.clone();
+        other.strategy = Strategy::Classic;
+        assert_ne!(cache_key(&other), k1, "strategy must change the key");
+
+        let mut seg = job.clone();
+        seg.segment_size_mm = Some(0.4);
+        assert_ne!(cache_key(&seg), k1, "segment override must change the key");
+
+        let mut deadline = job;
+        deadline.deadline_ms = Some(5);
+        assert_eq!(
+            cache_key(&deadline),
+            k1,
+            "deadlines affect scheduling, not results"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! A blocking wire-protocol client.
+//!
+//! [`ServiceClient`] speaks the JSON-lines protocol over one TCP
+//! connection: the constructor performs the `hello` version handshake,
+//! then each call writes one request line and reads reply lines until
+//! the echoed id matches (tolerating interleaved replies from earlier
+//! pipelined requests). The same client drives the CLI (`qplacer
+//! submit` / `stats` / `shutdown`), the loopback tests, the load
+//! generator, and the `service_rps_*` benchmark kernels.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a valid (or expected) reply.
+    Protocol(String),
+    /// The server answered with [`Reply::Error`].
+    Remote {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "io error: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// A served placement: the deterministic result plus the reply
+/// envelope's serving metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedReply {
+    /// Whether the cache served this placement.
+    pub cached: bool,
+    /// Server-side receipt-to-reply wall time (ms).
+    pub wall_ms: f64,
+    /// The deterministic placement payload.
+    pub result: PlacementResult,
+}
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = ServiceClient {
+            reader,
+            writer: stream,
+            next_id: 0,
+        };
+        let id = client.fresh_id();
+        match client.call(Request::Hello {
+            id,
+            version: PROTOCOL_VERSION,
+        })? {
+            Reply::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(client),
+            Reply::Hello { version, .. } => Err(ServiceError::Protocol(format!(
+                "server speaks protocol v{version}, expected v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected("hello", &other)),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends one request and reads replies until the matching id.
+    fn call(&mut self, request: Request) -> Result<Reply, ServiceError> {
+        let id = request.id();
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ServiceError::Protocol(
+                    "connection closed before reply".to_string(),
+                ));
+            }
+            let reply = Reply::parse(line.trim_end()).map_err(ServiceError::Protocol)?;
+            // Unmatched ids belong to earlier pipelined requests whose
+            // replies the caller abandoned; skip them.
+            if reply.id() == id || matches!(reply, Reply::Error { id: 0, .. }) {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// Runs (or cache-serves) one placement.
+    pub fn place(&mut self, job: &PlaceJob) -> Result<PlacedReply, ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::Place {
+            id,
+            job: job.clone(),
+        })? {
+            Reply::Placed {
+                cached,
+                wall_ms,
+                result,
+                ..
+            } => Ok(PlacedReply {
+                cached,
+                wall_ms,
+                result,
+            }),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("placed", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::Stats { id })? {
+            Reply::Stats { metrics, .. } => Ok(metrics),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::Ping { id })? {
+            Reply::Pong { .. } => Ok(()),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::Shutdown { id })? {
+            Reply::ShuttingDown { .. } => Ok(()),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("shutting-down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ServiceError {
+    ServiceError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}

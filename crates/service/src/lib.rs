@@ -1,0 +1,72 @@
+//! # qplacer-service — placement as a service
+//!
+//! The serving layer the ROADMAP's "heavy traffic" north star asks for:
+//! a multi-threaded TCP daemon that runs the QPlacer pipeline behind a
+//! versioned JSON-lines protocol, with the production affordances the
+//! batch CLI lacks:
+//!
+//! - **Wire protocol** ([`protocol`]) — one JSON object per line,
+//!   externally tagged, client-correlated ids, explicit
+//!   [`PROTOCOL_VERSION`] handshake.
+//! - **Bounded queue + backpressure** ([`queue`]) — a full queue answers
+//!   `Busy` instead of stalling sockets; per-request deadlines expire
+//!   stale work before it wastes a worker.
+//! - **Content-addressed cache** ([`cache`]) — sharded LRU keyed by a
+//!   stable fingerprint of (device, strategy, resolved
+//!   `PipelineConfig`); identical requests never re-run the pipeline.
+//! - **Batching** ([`server`]) — workers drain compatible jobs into one
+//!   harness `ExperimentPlan` dispatch.
+//! - **Persistent per-worker workspaces** — each worker owns a
+//!   `PipelineWorkspace`, so steady-state serving rides the PR 2/3
+//!   zero-allocation hot path.
+//! - **Observability** ([`metrics`]) — queue depth, in-flight, cache hit
+//!   rate, and per-stage latency histograms, served on `stats`.
+//! - **Graceful shutdown** — `shutdown` drains queued and in-flight jobs
+//!   before workers exit.
+//!
+//! # Loopback example
+//!
+//! ```
+//! use qplacer_service::{
+//!     DeviceSpec, PlaceJob, Server, ServiceClient, ServiceConfig, Strategy,
+//! };
+//!
+//! let server = Server::start(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default() // binds 127.0.0.1:0 (ephemeral)
+//! })
+//! .unwrap();
+//! let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+//!
+//! let job = PlaceJob::fast(DeviceSpec::Grid { width: 2, height: 2 }, Strategy::FrequencyAware);
+//! let first = client.place(&job).unwrap();
+//! let second = client.place(&job).unwrap();
+//! assert!(!first.cached && second.cached);
+//! assert_eq!(first.result, second.result); // bit-identical, cache or not
+//!
+//! client.shutdown().unwrap();
+//! server.join(); // drains, then exits
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{cache_key, config_fingerprint, ResultCache};
+pub use client::{PlacedReply, ServiceClient, ServiceError};
+pub use metrics::{
+    bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics,
+};
+pub use protocol::{ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+pub use queue::{JobQueue, PushError, QueuedJob};
+pub use server::{Server, ServiceConfig};
+
+// Re-exported so service users can build jobs without importing the
+// harness crate directly.
+pub use qplacer_harness::{DeviceSpec, Profile, Strategy};

@@ -1,0 +1,275 @@
+//! Serving-side observability: counters, gauges, and per-stage latency
+//! histograms, snapshotted on demand for the `stats` request.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_harness::StageTimings;
+
+/// Histogram bucket count (log₂-spaced upper bounds plus an overflow
+/// bucket).
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Upper bounds of the latency buckets, in milliseconds. Bucket `i`
+/// counts observations `<= BUCKET_BOUNDS_MS[i]`; the final bucket is
+/// unbounded.
+#[must_use]
+pub fn bucket_bounds_ms() -> [f64; HISTOGRAM_BUCKETS] {
+    let mut bounds = [f64::INFINITY; HISTOGRAM_BUCKETS];
+    let mut upper = 0.25;
+    for b in bounds.iter_mut().take(HISTOGRAM_BUCKETS - 1) {
+        *b = upper;
+        upper *= 2.0; // 0.25 ms .. ~4.1 s, then +inf
+    }
+    bounds
+}
+
+/// A fixed-bucket latency histogram updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Total observed time in nanoseconds (for the mean).
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe_ms(&self, ms: f64) {
+        let ms = if ms.is_finite() { ms.max(0.0) } else { 0.0 };
+        let index = bucket_bounds_ms()
+            .iter()
+            .position(|&upper| ms <= upper)
+            .unwrap_or(HISTOGRAM_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add((ms * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_ms = self.total_ns.load(Ordering::Relaxed) as f64 / 1e6;
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            total_ms,
+            mean_ms: if count > 0 {
+                total_ms / count as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Serializable copy of one [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, aligned with [`bucket_bounds_ms`].
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed latencies (ms).
+    pub total_ms: f64,
+    /// Mean observed latency (ms); 0 with no observations.
+    pub mean_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// The smallest bucket upper bound covering `quantile` (0..=1) of
+    /// the observations — a coarse percentile readout for dashboards.
+    /// Returns 0 when nothing has been observed (matching `mean_ms`).
+    #[must_use]
+    pub fn quantile_upper_bound_ms(&self, quantile: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (self.count as f64 * quantile.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (bucket, &upper) in self.buckets.iter().zip(bucket_bounds_ms().iter()) {
+            seen += bucket;
+            if seen >= target {
+                return upper;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Live serving metrics. One instance per server, shared by connection
+/// threads and workers; every field is updated with relaxed atomics (the
+/// snapshot is advisory, not a synchronization point).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests received (any kind).
+    pub requests: AtomicU64,
+    /// Placements answered (fresh or cached).
+    pub placed: AtomicU64,
+    /// Error replies sent.
+    pub errors: AtomicU64,
+    /// Place requests rejected because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Place requests dropped past their deadline.
+    pub deadline_expired: AtomicU64,
+    /// Batches dispatched to the pipeline.
+    pub batches: AtomicU64,
+    /// Jobs carried by those batches.
+    pub batched_jobs: AtomicU64,
+    /// Jobs currently executing in workers.
+    pub in_flight: AtomicUsize,
+    /// Frequency-assignment stage latency.
+    pub assign: LatencyHistogram,
+    /// Global-placement stage latency.
+    pub place: LatencyHistogram,
+    /// Legalization stage latency.
+    pub legalize: LatencyHistogram,
+    /// Receipt-to-reply latency of fresh (uncached) placements.
+    pub total: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Records the per-stage wall times of one fresh placement.
+    pub fn observe_stages(&self, timings: &StageTimings, total_ms: f64) {
+        self.assign.observe_ms(timings.assign_ms);
+        self.place.observe_ms(timings.place_ms);
+        self.legalize.observe_ms(timings.legalize_ms);
+        self.total.observe_ms(total_ms);
+    }
+
+    /// A point-in-time copy, combined with the queue / cache state the
+    /// server passes in.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_entries: usize,
+        cache_evictions: u64,
+    ) -> MetricsSnapshot {
+        let lookups = cache_hits + cache_misses;
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            placed: self.placed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            queue_depth,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            cache_evictions,
+            cache_hit_rate: if lookups > 0 {
+                cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            assign: self.assign.snapshot(),
+            place: self.place.snapshot(),
+            legalize: self.legalize.snapshot(),
+            total: self.total.snapshot(),
+        }
+    }
+}
+
+/// Serializable point-in-time copy of [`ServiceMetrics`], served on the
+/// wire by the `stats` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests received (any kind).
+    pub requests: u64,
+    /// Placements answered (fresh or cached).
+    pub placed: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Place requests rejected because the queue was full.
+    pub rejected_busy: u64,
+    /// Place requests dropped past their deadline.
+    pub deadline_expired: u64,
+    /// Batches dispatched to the pipeline.
+    pub batches: u64,
+    /// Jobs carried by those batches.
+    pub batched_jobs: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Jobs executing in workers right now.
+    pub in_flight: usize,
+    /// Cache lookups served from cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Results currently cached.
+    pub cache_entries: usize,
+    /// Results evicted to make room.
+    pub cache_evictions: u64,
+    /// hits / (hits + misses); 0 with no lookups.
+    pub cache_hit_rate: f64,
+    /// Frequency-assignment stage latency.
+    pub assign: HistogramSnapshot,
+    /// Global-placement stage latency.
+    pub place: HistogramSnapshot,
+    /// Legalization stage latency.
+    pub legalize: HistogramSnapshot,
+    /// Receipt-to-reply latency of fresh placements.
+    pub total: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = LatencyHistogram::default();
+        h.observe_ms(0.1); // bucket 0 (<= 0.25)
+        h.observe_ms(0.3); // bucket 1 (<= 0.5)
+        h.observe_ms(1e9); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert!(snap.mean_ms > 0.0);
+        assert!(snap.quantile_upper_bound_ms(0.5) <= 0.5);
+        assert!(snap.quantile_upper_bound_ms(1.0).is_infinite());
+        let empty = LatencyHistogram::default().snapshot();
+        assert_eq!(
+            empty.quantile_upper_bound_ms(0.99),
+            0.0,
+            "no data, no bound"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_computes_hit_rate() {
+        let m = ServiceMetrics::default();
+        m.requests.store(10, Ordering::Relaxed);
+        m.observe_stages(
+            &StageTimings {
+                assign_ms: 0.2,
+                place_ms: 12.0,
+                legalize_ms: 1.5,
+            },
+            14.0,
+        );
+        let snap = m.snapshot(3, 6, 2, 4, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.cache_entries, 4);
+        assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.place.count, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

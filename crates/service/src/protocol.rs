@@ -1,0 +1,357 @@
+//! The versioned JSON-lines wire protocol.
+//!
+//! Every message is one JSON object on one line, terminated by `\n`.
+//! Requests and replies are externally tagged by variant name and carry
+//! a client-chosen `id` the server echoes back, so clients may pipeline
+//! requests and correlate replies arriving out of order (placements
+//! complete on worker threads; `ping`/`stats` replies come straight off
+//! the connection thread).
+//!
+//! A session should open with [`Request::Hello`] carrying
+//! [`PROTOCOL_VERSION`]; the server answers with its own version and
+//! rejects mismatches with [`ErrorCode::VersionMismatch`]. Breaking
+//! changes to any message schema bump the version.
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_harness::{DeviceSpec, JobSpec, PipelineConfig, PlacedLayout, Profile, Strategy};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Wire-protocol version; bump on any breaking message change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One placement request payload: which device to lay out, with which
+/// strategy, under which pipeline budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceJob {
+    /// The device topology to place.
+    pub device: DeviceSpec,
+    /// The placement arm.
+    pub strategy: Strategy,
+    /// Pipeline budget profile.
+    pub profile: Profile,
+    /// Resonator segment size `l_b` override (mm); `None` = paper default.
+    pub segment_size_mm: Option<f64>,
+    /// Per-request deadline in milliseconds from enqueue; a job still
+    /// queued past its deadline is answered with
+    /// [`ErrorCode::DeadlineExceeded`] instead of running.
+    pub deadline_ms: Option<u64>,
+}
+
+impl PlaceJob {
+    /// A paper-budget job with no overrides.
+    #[must_use]
+    pub fn new(device: DeviceSpec, strategy: Strategy) -> Self {
+        Self {
+            device,
+            strategy,
+            profile: Profile::Paper,
+            segment_size_mm: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// A reduced-budget job (tests, smoke traffic, benchmarks).
+    #[must_use]
+    pub fn fast(device: DeviceSpec, strategy: Strategy) -> Self {
+        Self {
+            profile: Profile::Fast,
+            ..Self::new(device, strategy)
+        }
+    }
+
+    /// The equivalent harness [`JobSpec`] (placement-only: no benchmark
+    /// evaluation happens on the serving path).
+    #[must_use]
+    pub fn spec(&self) -> JobSpec {
+        JobSpec {
+            device: self.device,
+            strategy: self.strategy,
+            benchmark: None,
+            subsets: 0,
+            seed: 0,
+            segment_size_mm: self.segment_size_mm,
+        }
+    }
+
+    /// The full pipeline configuration this job resolves to.
+    #[must_use]
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        self.spec().pipeline_config(self.profile)
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Session opener: announce the client's protocol version.
+    Hello {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Run (or serve from cache) one placement.
+    Place {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// What to place.
+        job: PlaceJob,
+    },
+    /// Fetch a [`MetricsSnapshot`].
+    Stats {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+    /// Begin graceful shutdown: the server stops accepting work, drains
+    /// queued and in-flight jobs, then exits.
+    Shutdown {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Request::Hello { id, .. }
+            | Request::Place { id, .. }
+            | Request::Stats { id }
+            | Request::Ping { id }
+            | Request::Shutdown { id } => id,
+        }
+    }
+
+    /// Serializes to one wire line (without the trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("protocol messages always serialize")
+    }
+
+    /// Parses one wire line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+    }
+}
+
+/// Machine-readable error class in [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line did not parse as a known message.
+    BadRequest,
+    /// Client and server [`PROTOCOL_VERSION`] differ.
+    VersionMismatch,
+    /// The job queue is full — backpressure; retry later.
+    Busy,
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown,
+    /// The job sat queued past its [`PlaceJob::deadline_ms`].
+    DeadlineExceeded,
+    /// The pipeline failed or panicked; the message carries the cause.
+    PipelineFailed,
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::PipelineFailed => "pipeline-failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The deterministic output of one served placement.
+///
+/// Every field is a pure function of the [`PlaceJob`] (the pipeline is
+/// bit-deterministic at any thread count), so identical requests — fresh
+/// or cached, from any worker — serialize to byte-identical JSON. All
+/// wall-clock data lives outside this struct, on the [`Reply::Placed`]
+/// envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementResult {
+    /// Device display name.
+    pub device: String,
+    /// Strategy display name.
+    pub strategy: String,
+    /// Movable instances (qubits + resonator segments).
+    pub instances: usize,
+    /// Final center position of every instance, in instance order (mm).
+    pub positions: Vec<(f64, f64)>,
+    /// Global-placement iterations (0 for the Human arm).
+    pub place_iterations: usize,
+    /// Final half-perimeter wirelength (mm; 0 for the Human arm).
+    pub hpwl_mm: f64,
+    /// Minimum-enclosing-rectangle area (mm²), Eq. 17.
+    pub mer_area_mm2: f64,
+    /// Area utilization in the MER.
+    pub utilization: f64,
+    /// Hotspot proportion P_h, Eq. 18.
+    pub ph: f64,
+    /// Resonant-pair violations in the final layout.
+    pub violations: usize,
+    /// Overlaps the legalizer could not clear (0 for the Human arm).
+    pub remaining_overlaps: usize,
+}
+
+impl PlacementResult {
+    /// Extracts the deterministic result fields from a completed layout.
+    #[must_use]
+    pub fn from_layout(device: &str, layout: &PlacedLayout) -> Self {
+        let area = layout.area();
+        let hotspots = layout.hotspots();
+        PlacementResult {
+            device: device.to_string(),
+            strategy: layout.strategy.to_string(),
+            instances: layout.netlist.num_instances(),
+            positions: layout
+                .netlist
+                .positions()
+                .iter()
+                .map(|p| (p.x, p.y))
+                .collect(),
+            place_iterations: layout.placement.as_ref().map_or(0, |p| p.iterations),
+            hpwl_mm: layout.placement.as_ref().map_or(0.0, |p| p.hpwl),
+            mer_area_mm2: area.mer_area,
+            utilization: area.utilization,
+            ph: hotspots.ph,
+            violations: hotspots.violations.len(),
+            remaining_overlaps: layout
+                .legalization
+                .as_ref()
+                .map_or(0, |l| l.remaining_overlaps),
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Answer to [`Request::Hello`].
+    Hello {
+        /// Echoed correlation id.
+        id: u64,
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Server software identifier.
+        server: String,
+    },
+    /// A completed placement.
+    Placed {
+        /// Echoed correlation id.
+        id: u64,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Wall time from receipt to reply (ms). Non-deterministic.
+        wall_ms: f64,
+        /// The deterministic placement payload.
+        result: PlacementResult,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Echoed correlation id.
+        id: u64,
+        /// The metrics snapshot.
+        metrics: MetricsSnapshot,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// Acknowledges [`Request::Shutdown`]; queued jobs still drain.
+    ShuttingDown {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// The request could not be served.
+    Error {
+        /// Echoed correlation id (0 when the request did not parse).
+        id: u64,
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Reply::Hello { id, .. }
+            | Reply::Placed { id, .. }
+            | Reply::Stats { id, .. }
+            | Reply::Pong { id }
+            | Reply::ShuttingDown { id }
+            | Reply::Error { id, .. } => id,
+        }
+    }
+
+    /// Serializes to one wire line (without the trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("protocol messages always serialize")
+    }
+
+    /// Parses one wire line.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad reply: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reply_lines_round_trip() {
+        let req = Request::Place {
+            id: 7,
+            job: PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware),
+        };
+        let back = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(back.id(), 7);
+
+        let reply = Reply::Error {
+            id: 9,
+            code: ErrorCode::Busy,
+            message: "queue full".to_string(),
+        };
+        assert_eq!(Reply::parse(&reply.to_line()).unwrap(), reply);
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"Nope\":{}}").is_err());
+        assert!(Reply::parse("").is_err());
+    }
+
+    #[test]
+    fn place_job_resolves_profile_budgets() {
+        let fast = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::Classic);
+        let paper = PlaceJob::new(DeviceSpec::Falcon27, Strategy::Classic);
+        assert!(
+            fast.pipeline_config().placer.max_iterations
+                < paper.pipeline_config().placer.max_iterations
+        );
+        let mut seg = fast.clone();
+        seg.segment_size_mm = Some(0.4);
+        assert_eq!(seg.pipeline_config().netlist.segment_size_mm, 0.4);
+    }
+}

@@ -1,0 +1,230 @@
+//! A bounded, blocking MPMC job queue with backpressure and batch pops.
+//!
+//! Producers (connection threads) never block: a full queue rejects the
+//! push so the client gets an immediate `Busy` reply — backpressure
+//! surfaces at the protocol layer instead of stalling the socket.
+//! Consumers (workers) block on a condvar and pop *batches* of
+//! compatible jobs (same [`Profile`](qplacer_harness::Profile), the one
+//! plan-wide knob), so one dequeue can become one harness
+//! `ExperimentPlan` dispatch.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::protocol::{PlaceJob, Reply};
+
+/// One accepted placement request waiting for a worker.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Correlation id to echo in the reply.
+    pub id: u64,
+    /// The job payload.
+    pub job: PlaceJob,
+    /// Precomputed cache key ([`crate::cache::cache_key`]).
+    pub key: u64,
+    /// When the job entered the queue (deadline + latency accounting).
+    pub enqueued: Instant,
+    /// Channel back to the owning connection's writer.
+    pub reply_tx: Sender<Reply>,
+}
+
+impl QueuedJob {
+    /// Whether the job's deadline (if any) has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.job
+            .deadline_ms
+            .is_some_and(|ms| self.enqueued.elapsed() > std::time::Duration::from_millis(ms))
+    }
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue is closed (server draining for shutdown).
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a job; a refusal reports why so the caller (which still
+    /// holds the request id and reply channel) can answer the client.
+    pub fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then pops a batch of up to `max`
+    /// jobs sharing the head job's [`Profile`]. Returns `None` once the
+    /// queue is closed **and** drained — the worker-exit signal.
+    #[must_use]
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<QueuedJob>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(head) = inner.jobs.pop_front() {
+                let profile = head.job.profile;
+                let mut batch = vec![head];
+                let mut index = 0;
+                while batch.len() < max && index < inner.jobs.len() {
+                    if inner.jobs[index].job.profile == profile {
+                        let job = inner.jobs.remove(index).expect("index in bounds");
+                        batch.push(job);
+                    } else {
+                        index += 1;
+                    }
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Jobs currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and workers exit once the remaining jobs drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qplacer_harness::{DeviceSpec, Profile, Strategy};
+    use std::sync::mpsc::channel;
+
+    fn queued(id: u64, profile: Profile) -> QueuedJob {
+        let (tx, rx) = channel();
+        // These queue-level tests never answer jobs; keep the receiver
+        // alive so stray sends (none expected) cannot error.
+        std::mem::forget(rx);
+        let mut job = PlaceJob::new(
+            DeviceSpec::Grid {
+                width: 2,
+                height: 2,
+            },
+            Strategy::Human,
+        );
+        job.profile = profile;
+        QueuedJob {
+            id,
+            key: id,
+            job,
+            enqueued: Instant::now(),
+            reply_tx: tx,
+        }
+    }
+
+    #[test]
+    fn push_pop_respects_capacity_and_order() {
+        let q = JobQueue::new(2);
+        q.push(queued(1, Profile::Fast)).unwrap();
+        q.push(queued(2, Profile::Fast)).unwrap();
+        assert_eq!(q.push(queued(3, Profile::Fast)), Err(PushError::Full));
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batches_group_by_profile_preserving_order() {
+        let q = JobQueue::new(8);
+        q.push(queued(1, Profile::Fast)).unwrap();
+        q.push(queued(2, Profile::Paper)).unwrap();
+        q.push(queued(3, Profile::Fast)).unwrap();
+        q.push(queued(4, Profile::Paper)).unwrap();
+        let first = q.pop_batch(8).unwrap();
+        assert_eq!(first.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 3]);
+        let second = q.pop_batch(8).unwrap();
+        assert_eq!(second.iter().map(|j| j.id).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn batch_size_is_capped() {
+        let q = JobQueue::new(8);
+        for id in 0..5 {
+            q.push(queued(id, Profile::Fast)).unwrap();
+        }
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains() {
+        let q = JobQueue::new(4);
+        q.push(queued(1, Profile::Fast)).unwrap();
+        q.close();
+        assert_eq!(q.push(queued(2, Profile::Fast)), Err(PushError::Closed));
+        assert_eq!(q.pop_batch(4).unwrap().len(), 1);
+        assert!(q.pop_batch(4).is_none(), "closed + drained ends workers");
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let mut j = queued(1, Profile::Fast);
+        assert!(!j.expired(), "no deadline never expires");
+        j.job.deadline_ms = Some(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(j.expired());
+        j.job.deadline_ms = Some(60_000);
+        assert!(!j.expired());
+    }
+}

@@ -1,0 +1,409 @@
+//! The placement server: TCP acceptor, connection threads, and the
+//! worker pool that drains the job queue in batches.
+//!
+//! Thread model (all `std::net` / `std::thread`, no extra deps):
+//!
+//! ```text
+//! acceptor ──► connection reader ──► JobQueue ──► worker 0..N
+//!                   │  ▲                              │
+//!                   ▼  │ (sync replies)               │ (placed / error)
+//!              connection writer ◄────────────────────┘
+//! ```
+//!
+//! Each connection gets a reader thread (parses requests, answers
+//! `hello`/`ping`/`stats` inline, enqueues placements) and a writer
+//! thread fed by an mpsc channel; workers hold a clone of the channel
+//! sender per queued job, so replies flow back to the right socket no
+//! matter which worker ran the job. Every worker owns one persistent
+//! [`PipelineWorkspace`] — the zero-allocation steady state PR 2/3
+//! built — reused across every job it ever executes.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qplacer_harness::{execute_job_with, ExperimentPlan, PipelineWorkspace};
+
+use crate::cache::{cache_key, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::protocol::{ErrorCode, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+use crate::queue::{JobQueue, PushError, QueuedJob};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = one per available core, minimum 1).
+    pub workers: usize,
+    /// Waiting-job capacity before `Busy` backpressure kicks in.
+    pub queue_capacity: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Most jobs one dequeue may batch into a single plan dispatch.
+    pub batch_max: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 128,
+            cache_capacity: 256,
+            batch_max: 8,
+        }
+    }
+}
+
+/// Shared server state.
+#[derive(Debug)]
+struct Shared {
+    queue: JobQueue,
+    cache: ResultCache,
+    metrics: ServiceMetrics,
+    shutdown: AtomicBool,
+    batch_max: usize,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.queue.len(),
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.len(),
+            self.cache.evictions(),
+        )
+    }
+}
+
+/// A running placement server.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] (or send a `shutdown` request) and then
+/// [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the acceptor plus the worker pool.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: ServiceMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            batch_max: config.batch_max.max(1),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Begins graceful shutdown: stop accepting, drain the queue.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker exit — i.e. until a
+    /// shutdown (local or wire-initiated) finished draining.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Reader half of one connection. Spawns the writer, then parses and
+/// dispatches request lines until EOF.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<Reply>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &reply_rx));
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match Request::parse(&line) {
+            Err(message) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Some(Reply::Error {
+                    id: 0,
+                    code: ErrorCode::BadRequest,
+                    message,
+                })
+            }
+            Ok(Request::Hello { id, version }) => Some(if version == PROTOCOL_VERSION {
+                Reply::Hello {
+                    id,
+                    version: PROTOCOL_VERSION,
+                    server: concat!("qplacer-service/", env!("CARGO_PKG_VERSION")).to_string(),
+                }
+            } else {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Reply::Error {
+                    id,
+                    code: ErrorCode::VersionMismatch,
+                    message: format!("server speaks v{PROTOCOL_VERSION}, client sent v{version}"),
+                }
+            }),
+            Ok(Request::Ping { id }) => Some(Reply::Pong { id }),
+            Ok(Request::Stats { id }) => Some(Reply::Stats {
+                id,
+                metrics: shared.snapshot(),
+            }),
+            Ok(Request::Shutdown { id }) => {
+                shared.begin_shutdown();
+                Some(Reply::ShuttingDown { id })
+            }
+            Ok(Request::Place { id, job }) => handle_place(shared, id, job, &reply_tx),
+        };
+        if let Some(reply) = reply {
+            if reply_tx.send(reply).is_err() {
+                break;
+            }
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Dispatches one placement: served from cache inline, or enqueued for
+/// the worker pool. Returns the reply to send now, if any.
+fn handle_place(
+    shared: &Arc<Shared>,
+    id: u64,
+    job: crate::protocol::PlaceJob,
+    reply_tx: &Sender<Reply>,
+) -> Option<Reply> {
+    let received = Instant::now();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return Some(Reply::Error {
+            id,
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".to_string(),
+        });
+    }
+    let key = cache_key(&job);
+    if let Some(result) = shared.cache.get(key) {
+        shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
+        return Some(Reply::Placed {
+            id,
+            cached: true,
+            wall_ms: received.elapsed().as_secs_f64() * 1e3,
+            result: (*result).clone(),
+        });
+    }
+    let queued = QueuedJob {
+        id,
+        job,
+        key,
+        enqueued: received,
+        reply_tx: reply_tx.clone(),
+    };
+    match shared.queue.push(queued) {
+        Ok(()) => None,
+        Err(reason) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let (code, message) = match reason {
+                PushError::Full => {
+                    shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    (
+                        ErrorCode::Busy,
+                        format!(
+                            "queue full ({} waiting); retry later",
+                            shared.queue.capacity()
+                        ),
+                    )
+                }
+                PushError::Closed => (ErrorCode::ShuttingDown, "server is draining".to_string()),
+            };
+            Some(Reply::Error { id, code, message })
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, replies: &Receiver<Reply>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(reply) = replies.recv() {
+        if writeln!(writer, "{}", reply.to_line()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// One worker: pop a compatible batch, turn it into a harness
+/// [`ExperimentPlan`], execute each job with this worker's persistent
+/// workspace, reply, cache.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut ws = PipelineWorkspace::new();
+    while let Some(batch) = shared.queue.pop_batch(shared.batch_max) {
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .batched_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared
+            .metrics
+            .in_flight
+            .fetch_add(batch.len(), Ordering::Relaxed);
+
+        let mut plan = ExperimentPlan::new("service").with_profile(batch[0].job.profile);
+        plan.jobs = batch.iter().map(|q| q.job.spec()).collect();
+
+        for (index, queued) in batch.iter().enumerate() {
+            let reply = serve_one(shared, &plan, index, queued, &mut ws);
+            // Decrement before replying so a client that reacts to the
+            // reply with an immediate `stats` never sees itself still
+            // in flight.
+            shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let _ = queued.reply_tx.send(reply);
+        }
+    }
+}
+
+/// Executes (or cache-serves, or expires) one dequeued job.
+fn serve_one(
+    shared: &Arc<Shared>,
+    plan: &ExperimentPlan,
+    index: usize,
+    queued: &QueuedJob,
+    ws: &mut PipelineWorkspace,
+) -> Reply {
+    if queued.expired() {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        return Reply::Error {
+            id: queued.id,
+            code: ErrorCode::DeadlineExceeded,
+            message: format!(
+                "deadline {} ms passed after {:.1} ms queued",
+                queued.job.deadline_ms.unwrap_or(0),
+                queued.enqueued.elapsed().as_secs_f64() * 1e3
+            ),
+        };
+    }
+    // A sibling worker may have completed the same key while this job
+    // queued; the double-check keeps "identical requests never re-run
+    // the pipeline" true across the pool, not just per connection.
+    if let Some(result) = shared.cache.get_if_fresh(queued.key) {
+        shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
+        return Reply::Placed {
+            id: queued.id,
+            cached: true,
+            wall_ms: queued.enqueued.elapsed().as_secs_f64() * 1e3,
+            result: (*result).clone(),
+        };
+    }
+    let (record, layout) = execute_job_with(plan, index, ws);
+    match layout {
+        Some(layout) => {
+            let result = Arc::new(PlacementResult::from_layout(&record.device, &layout));
+            shared.cache.insert(queued.key, Arc::clone(&result));
+            let wall_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
+            shared.metrics.observe_stages(&layout.timings, wall_ms);
+            shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
+            Reply::Placed {
+                id: queued.id,
+                cached: false,
+                wall_ms,
+                result: (*result).clone(),
+            }
+        }
+        None => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let message = match &record.status {
+                qplacer_harness::JobStatus::Failed { error } => format!("failed: {error}"),
+                qplacer_harness::JobStatus::Panicked { message } => {
+                    format!("panicked: {message}")
+                }
+                qplacer_harness::JobStatus::Ok => "pipeline returned no layout".to_string(),
+            };
+            Reply::Error {
+                id: queued.id,
+                code: ErrorCode::PipelineFailed,
+                message,
+            }
+        }
+    }
+}

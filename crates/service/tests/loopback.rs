@@ -1,0 +1,233 @@
+//! Loopback integration: a real server on an ephemeral port, driven by
+//! concurrent clients over TCP.
+//!
+//! Pins down the acceptance criteria: concurrent identical requests get
+//! byte-identical `PlacementResult`s, a second wave is served from
+//! cache (hit counter moves), deadlines and version mismatches surface
+//! as typed errors, and graceful shutdown drains queued jobs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use qplacer_service::{
+    DeviceSpec, ErrorCode, PlaceJob, Reply, Request, Server, ServiceClient, ServiceConfig,
+    ServiceError, Strategy, PROTOCOL_VERSION,
+};
+
+fn start(workers: usize) -> Server {
+    Server::start(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    })
+    .expect("bind loopback server")
+}
+
+fn falcon_job() -> PlaceJob {
+    PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware)
+}
+
+/// N concurrent clients submit the identical falcon job twice; every
+/// reply must carry byte-identical result JSON, and the second wave
+/// must hit the cache.
+#[test]
+fn concurrent_identical_requests_are_deterministic_and_cached() {
+    const CLIENTS: usize = 4;
+    let server = start(2);
+    let addr = server.local_addr();
+
+    let wave = || -> Vec<(bool, String)> {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let reply = client.place(&falcon_job()).expect("place");
+                    let json = serde_json::to_string(&reply.result).expect("result serializes");
+                    (reply.cached, json)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    };
+
+    let first = wave();
+    let reference = &first[0].1;
+    for (_cached, json) in &first {
+        assert_eq!(
+            json, reference,
+            "concurrent identical requests must serialize byte-identically"
+        );
+    }
+
+    let second = wave();
+    for (cached, json) in &second {
+        assert_eq!(json, reference, "cached wave must match the fresh wave");
+        assert!(*cached, "second wave must be served from cache");
+    }
+
+    let mut client = ServiceClient::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.cache_hits > 0,
+        "cache hit counter must move: {stats:?}"
+    );
+    assert_eq!(stats.placed as usize, 2 * CLIENTS);
+    assert!(stats.cache_entries >= 1);
+    assert!(stats.batches >= 1, "work must flow through batch dispatch");
+    assert!(
+        stats.place.count >= 1,
+        "fresh placements must be histogrammed"
+    );
+    assert_eq!(stats.queue_depth, 0, "queue must drain");
+    assert_eq!(stats.in_flight, 0, "no jobs may linger in flight");
+
+    client.shutdown().expect("graceful shutdown");
+    server.join();
+}
+
+/// Pipelined placements queued before a shutdown request must still be
+/// answered (drain semantics), and the server must then exit.
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let server = start(1);
+    let addr = server.local_addr();
+
+    // Raw socket so we can pipeline without waiting for replies.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let hello = Request::Hello {
+        id: 1,
+        version: PROTOCOL_VERSION,
+    };
+    writeln!(stream, "{}", hello.to_line()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Reply::parse(line.trim()).unwrap(),
+        Reply::Hello { .. }
+    ));
+
+    // Three distinct jobs (different devices defeat the cache), then an
+    // immediate shutdown — all pipelined before reading any reply.
+    let devices = [
+        DeviceSpec::Grid {
+            width: 2,
+            height: 2,
+        },
+        DeviceSpec::Grid {
+            width: 2,
+            height: 3,
+        },
+        DeviceSpec::Grid {
+            width: 3,
+            height: 3,
+        },
+    ];
+    for (i, device) in devices.iter().enumerate() {
+        let req = Request::Place {
+            id: 10 + i as u64,
+            job: PlaceJob::fast(*device, Strategy::FrequencyAware),
+        };
+        writeln!(stream, "{}", req.to_line()).unwrap();
+    }
+    writeln!(stream, "{}", Request::Shutdown { id: 99 }.to_line()).unwrap();
+    stream.flush().unwrap();
+
+    let mut placed = 0;
+    let mut acknowledged = false;
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match Reply::parse(line.trim()).unwrap() {
+            Reply::Placed { id, result, .. } => {
+                assert!((10..13).contains(&id));
+                assert_eq!(result.remaining_overlaps, 0);
+                placed += 1;
+            }
+            Reply::ShuttingDown { id } => {
+                assert_eq!(id, 99);
+                acknowledged = true;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(placed, 3, "queued jobs must drain through shutdown");
+    assert!(acknowledged);
+    drop(stream);
+    server.join(); // must return: acceptor stopped, workers drained
+}
+
+/// Typed error paths: version mismatch, expired deadline, garbage line.
+#[test]
+fn error_paths_are_typed() {
+    let server = start(1);
+    let addr = server.local_addr();
+
+    // Version mismatch at handshake.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    writeln!(
+        stream,
+        "{}",
+        Request::Hello {
+            id: 1,
+            version: PROTOCOL_VERSION + 1
+        }
+        .to_line()
+    )
+    .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match Reply::parse(line.trim()).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+
+    // Garbage line.
+    writeln!(stream, "this is not json").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    match Reply::parse(line.trim()).unwrap() {
+        Reply::Error { code, id, .. } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert_eq!(id, 0);
+        }
+        other => panic!("expected bad request, got {other:?}"),
+    }
+
+    // A zero deadline always expires before the worker runs it.
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut job = falcon_job();
+    job.deadline_ms = Some(0);
+    match client.place(&job) {
+        Err(ServiceError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.deadline_expired, 1);
+    assert!(stats.errors >= 2);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// After shutdown begins, new placements are refused with
+/// `ShuttingDown` but stats/ping still answer on open connections.
+#[test]
+fn draining_server_refuses_new_work() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client.place(&falcon_job()).expect("warm placement");
+    client.shutdown().expect("shutdown");
+    match client.place(&falcon_job()) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting-down error, got {other:?}"),
+    }
+    client.ping().expect("ping still answers while draining");
+    server.join();
+}

@@ -1,0 +1,133 @@
+//! Steady-state serving must not allocate in the pipeline hot path.
+//!
+//! A service worker's state is one persistent [`PipelineWorkspace`];
+//! after a warm-up request sizes every buffer, the stages where a
+//! request spends its time must honor the PR 2/3 counting-allocator
+//! contract through that workspace:
+//!
+//! - frequency assignment (`assign_into`): **zero** allocations,
+//! - legalization (`Legalizer::run_with`): **zero** allocations,
+//! - the global-placement iteration kernels (wirelength / density /
+//!   frequency gradients, overflow scan): **zero** allocations,
+//! - the full `GlobalPlacer::run_with` envelope: a *constant* per-run
+//!   allocation count (model + report construction), independent of
+//!   how many requests the worker already served — i.e. no steady-state
+//!   buffer growth.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+use qplacer_freq::FrequencyAssigner;
+use qplacer_harness::{PipelineConfig, PipelineWorkspace};
+use qplacer_netlist::QuantumNetlist;
+use qplacer_place::{DensityModel, FrequencyForce, GlobalPlacer, WirelengthModel};
+use qplacer_topology::Topology;
+
+#[test]
+fn steady_state_worker_pipeline_does_not_allocate() {
+    let device = Topology::falcon27();
+    let config = PipelineConfig::fast();
+    let mut ws = PipelineWorkspace::new();
+
+    // The 1-thread pool matters: wider pools spawn scoped worker
+    // threads whose stacks are runtime, not kernel, allocations.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool builds");
+    pool.install(|| {
+        // Warm-up "request": size every stage buffer the way a worker's
+        // first job does.
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut assignment = assigner.assign_with(&device, &mut ws.freq);
+        let mut netlist = QuantumNetlist::build(&device, &assignment, &config.netlist);
+        let placer = GlobalPlacer::new(config.placer);
+        let _ = placer.run_with(&mut netlist, &mut ws.placer);
+        // Pre-legalization snapshot: every steady-state rerun below
+        // replays the stages on this same input.
+        let placed: Vec<_> = netlist.positions().to_vec();
+        let warm = config.legalizer.run_with(&mut netlist, &mut ws.legal);
+        assert_eq!(warm.remaining_overlaps, 0);
+        assert_eq!(warm.integrated_after, warm.resonator_count);
+
+        // Stage 1 — frequency assignment through the worker workspace.
+        let (count, ()) = allocations(|| {
+            assigner.assign_into(&device, &mut ws.freq, &mut assignment);
+        });
+        assert_eq!(count, 0, "frequency assignment allocated {count} times");
+
+        // Stage 3 (checked early, while the netlist still carries a
+        // fresh placement) — legalization through the worker workspace.
+        netlist.set_positions(&placed);
+        let (count, report) =
+            allocations(|| config.legalizer.run_with(&mut netlist, &mut ws.legal));
+        assert_eq!(report.remaining_overlaps, 0);
+        assert_eq!(count, 0, "legalization allocated {count} times");
+
+        // Stage 2 — the placement iteration kernels (where a request
+        // spends nearly all its time).
+        let n = netlist.num_instances();
+        let wl = WirelengthModel::new(0.05);
+        let density = DensityModel::for_netlist(&netlist);
+        let freq = FrequencyForce::new(&netlist);
+        let mut dws = density.workspace();
+        let mut grad = vec![0.0; 2 * n];
+        let positions: Vec<_> = netlist.positions().to_vec();
+        // Warm the kernel-scratch buffers.
+        let _ = wl.energy_grad_into(&netlist, &positions, &mut grad);
+        let _ = density.energy_grad_into(&netlist, &positions, &mut grad, &mut dws);
+        let _ = freq.energy_grad_into(&positions, &mut grad);
+        let (count, _) = allocations(|| {
+            let _ = wl.energy_grad_into(&netlist, &positions, &mut grad);
+            let _ = density.energy_grad_into(&netlist, &positions, &mut grad, &mut dws);
+            let _ = freq.energy_grad_into(&positions, &mut grad);
+            density.overflow_with(&netlist, &positions, &mut dws)
+        });
+        assert_eq!(
+            count, 0,
+            "placement iteration kernels allocated {count} times"
+        );
+
+        // Stage 2b — the full run envelope: repeated runs from the same
+        // start allocate a constant amount (model + report), proving the
+        // workspace buffers stopped growing.
+        netlist.set_positions(&placed);
+        let (second, _) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        netlist.set_positions(&placed);
+        let (third, report) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        assert!(report.iterations > 0);
+        assert_eq!(
+            second, third,
+            "run_with must reach an allocation steady state ({second} vs {third})"
+        );
+    });
+}

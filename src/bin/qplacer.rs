@@ -12,6 +12,12 @@
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
 //!                  [--benchmarks b,..] [--subsets N] [--seeds N]
 //!                  [--threads N] [--fast] [--jsonl FILE] [--csv FILE]
+//! qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N]
+//!                  [--cache N] [--batch N]
+//! qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
+//!                  [--segment <mm>] [--count N] [--deadline MS]
+//! qplacer stats    [--addr HOST:PORT]
+//! qplacer shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! Topologies: `grid`, `falcon`, `eagle`, `aspen11`, `aspenm`, `xtree`.
@@ -21,12 +27,15 @@
 //! `suite` runs the full paper evaluation grid through the
 //! [`qplacer_harness`] runner: jobs fan out across a thread pool and the
 //! per-job records stream (in deterministic plan order) to JSONL/CSV.
+//! `serve` starts the [`qplacer_service`] placement daemon; `submit`,
+//! `stats`, and `shutdown` talk to it over the JSON-lines protocol.
 
 use std::process::ExitCode;
 
 use qplacer::{
     paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, NetlistConfig, PipelineConfig,
-    PipelineWorkspace, PlacedLayout, Profile, Qplacer, Runner, Sink, Strategy, Summary, Topology,
+    PipelineWorkspace, PlaceJob, PlacedLayout, Profile, Qplacer, Runner, Server, ServiceClient,
+    ServiceConfig, Sink, Strategy, Summary, Topology,
 };
 
 fn main() -> ExitCode {
@@ -42,6 +51,10 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args[1..]),
         "e2e" => cmd_e2e(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "shutdown" => cmd_shutdown(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -69,9 +82,16 @@ const USAGE: &str = "usage:
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
                    [--subsets N] [--seeds N] [--threads N] [--fast]
                    [--jsonl FILE] [--csv FILE]
+  qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                   [--batch N]
+  qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
+                   [--segment <mm>] [--count N] [--deadline MS]
+  qplacer stats    [--addr HOST:PORT]
+  qplacer shutdown [--addr HOST:PORT]
 
 topologies: grid falcon eagle aspen11 aspenm xtree
-benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9";
+benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9
+default service address: 127.0.0.1:7177";
 
 fn parse_topology(name: &str) -> Result<Topology, String> {
     DeviceSpec::parse(name).map(|spec| spec.build())
@@ -413,11 +433,137 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     // Results (including failure records) are written above; the exit
-    // code still has to tell scripts the sweep was not clean.
-    let failed = report.failures().len();
-    if failed > 0 {
-        return Err(format!("{failed}/{} jobs failed", report.records.len()));
+    // code still has to tell scripts the sweep was not clean, and the
+    // per-job failure messages say why.
+    let failures = Summary::failures(&report.records);
+    if !failures.is_empty() {
+        for line in &failures {
+            eprintln!("  {line}");
+        }
+        return Err(format!(
+            "{}/{} jobs failed",
+            failures.len(),
+            report.records.len()
+        ));
     }
+    Ok(())
+}
+
+/// Default service address for `serve`/`submit`/`stats`/`shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7177";
+
+fn service_addr(args: &[String]) -> &str {
+    flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR)
+}
+
+fn connect(args: &[String]) -> Result<ServiceClient, String> {
+    let addr = service_addr(args);
+    ServiceClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// Runs the placement daemon until a `shutdown` request drains it.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let config = ServiceConfig {
+        addr: service_addr(args).to_string(),
+        workers: numeric_flag(args, "--workers", 0usize)?,
+        queue_capacity: numeric_flag(args, "--queue", 128usize)?,
+        cache_capacity: numeric_flag(args, "--cache", 256usize)?,
+        batch_max: numeric_flag(args, "--batch", 8usize)?,
+    };
+    let server = Server::start(config).map_err(|e| format!("start server: {e}"))?;
+    println!("qplacer-service listening on {}", server.local_addr());
+    println!("stop with: qplacer shutdown --addr {}", server.local_addr());
+    server.join();
+    println!("drained; goodbye");
+    Ok(())
+}
+
+/// Submits one or more placements and prints the reply envelopes.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("submit needs a topology")?;
+    let device = DeviceSpec::parse(name)?;
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    let count: usize = numeric_flag(args, "--count", 1)?;
+    let mut job = if args.iter().any(|a| a == "--fast") {
+        PlaceJob::fast(device, strategy)
+    } else {
+        PlaceJob::new(device, strategy)
+    };
+    if let Some(seg) = flag_value(args, "--segment") {
+        let lb: f64 = seg.parse().map_err(|_| format!("bad --segment `{seg}`"))?;
+        if lb <= 0.0 {
+            return Err("--segment must be positive".into());
+        }
+        job.segment_size_mm = Some(lb);
+    }
+    if let Some(ms) = flag_value(args, "--deadline") {
+        job.deadline_ms = Some(ms.parse().map_err(|_| format!("bad --deadline `{ms}`"))?);
+    }
+
+    let mut client = connect(args)?;
+    for i in 0..count.max(1) {
+        let reply = client.place(&job).map_err(|e| e.to_string())?;
+        let r = &reply.result;
+        println!(
+            "#{i} {} {} [{}] {:.1} ms: {} cells, {} iters, HPWL {:.1} mm, \
+             A_mer {:.1} mm², P_h {:.2}%, {} overlaps",
+            r.device,
+            r.strategy,
+            if reply.cached { "cached" } else { "fresh" },
+            reply.wall_ms,
+            r.instances,
+            r.place_iterations,
+            r.hpwl_mm,
+            r.mer_area_mm2,
+            r.ph * 100.0,
+            r.remaining_overlaps,
+        );
+    }
+    Ok(())
+}
+
+/// Prints the server's metrics snapshot.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    let m = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "requests {}  placed {}  errors {}  busy-rejected {}  deadline-expired {}",
+        m.requests, m.placed, m.errors, m.rejected_busy, m.deadline_expired
+    );
+    println!(
+        "queue depth {}  in-flight {}  batches {} ({} jobs batched)",
+        m.queue_depth, m.in_flight, m.batches, m.batched_jobs
+    );
+    println!(
+        "cache: {:.1}% hit ({} hits / {} misses), {} entries, {} evictions",
+        m.cache_hit_rate * 100.0,
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_entries,
+        m.cache_evictions
+    );
+    for (name, h) in [
+        ("assign", &m.assign),
+        ("place", &m.place),
+        ("legalize", &m.legalize),
+        ("total", &m.total),
+    ] {
+        println!(
+            "{name:>9}: n {:>5}  mean {:>8.2} ms  p50 <= {:>8.2} ms  p99 <= {:>8.2} ms",
+            h.count,
+            h.mean_ms,
+            h.quantile_upper_bound_ms(0.5),
+            h.quantile_upper_bound_ms(0.99),
+        );
+    }
+    Ok(())
+}
+
+/// Asks the server to drain and exit.
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("server draining");
     Ok(())
 }
 
@@ -483,6 +629,45 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_e2e(&bad).is_err());
+    }
+
+    #[test]
+    fn service_commands_validate_arguments() {
+        // submit needs a topology…
+        assert!(cmd_submit(&[]).is_err());
+        // …and rejects bad values before touching the network.
+        let bad_seg: Vec<String> = ["falcon", "--segment", "-1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_submit(&bad_seg).is_err());
+        let bad_deadline: Vec<String> = ["falcon", "--deadline", "soon"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_submit(&bad_deadline).is_err());
+    }
+
+    #[test]
+    fn serve_submit_stats_shutdown_round_trip() {
+        // Full CLI loop against an in-process server on an ephemeral
+        // port (the CLI helpers talk to whatever --addr names).
+        let server = Server::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .expect("bind server");
+        let addr = server.local_addr().to_string();
+        let args = |rest: &[&str]| -> Vec<String> {
+            rest.iter()
+                .map(|s| s.to_string())
+                .chain(["--addr".to_string(), addr.clone()])
+                .collect()
+        };
+        assert!(cmd_submit(&args(&["grid", "--fast", "--count", "2"])).is_ok());
+        assert!(cmd_stats(&args(&[])).is_ok());
+        assert!(cmd_shutdown(&args(&[])).is_ok());
+        server.join();
     }
 
     #[test]

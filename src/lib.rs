@@ -21,7 +21,11 @@
 //! pipeline driver and the batch experiment machinery live in
 //! [`qplacer_harness`] (re-exported as [`harness`]): declarative
 //! [`ExperimentPlan`]s fan out across a thread pool via [`Runner`] and
-//! stream stable records into JSONL/CSV [`harness::Sink`]s.
+//! stream stable records into JSONL/CSV [`harness::Sink`]s. The serving
+//! layer lives in [`qplacer_service`] (re-exported as [`service`]): a
+//! multi-threaded TCP daemon (`qplacer serve`) with request batching, a
+//! content-addressed result cache, and a versioned JSON-lines protocol
+//! spoken by [`ServiceClient`] and `qplacer submit` / `stats`.
 //!
 //! # Quickstart
 //!
@@ -73,6 +77,7 @@ pub use qplacer_metrics as metrics;
 pub use qplacer_netlist as netlist;
 pub use qplacer_physics as physics;
 pub use qplacer_place as place;
+pub use qplacer_service as service;
 pub use qplacer_topology as topology;
 
 pub use qplacer_circuits::{paper_suite, Benchmark};
@@ -88,4 +93,8 @@ pub use qplacer_metrics::{
 };
 pub use qplacer_netlist::{CouplingKind, NetlistConfig, QuantumNetlist};
 pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
+pub use qplacer_service::{
+    MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
+    PROTOCOL_VERSION,
+};
 pub use qplacer_topology::Topology;
