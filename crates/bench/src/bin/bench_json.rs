@@ -1,26 +1,39 @@
 //! `bench_json` — emits the machine-readable placement/kernel benchmark
-//! trajectory (`BENCH_place.json`) tracked across PRs.
+//! trajectory (`BENCH_place.json`) tracked across PRs, and gates perf
+//! regressions against it.
 //!
 //! ```text
 //! bench_json [--quick] [--out FILE]     measure and write the JSON
 //! bench_json --check FILE               validate an emitted file's schema
+//! bench_json --compare BASELINE [--tolerance-pct N] [--current FILE]
+//!                                       diff current vs baseline; exit
+//!                                       non-zero if any kernel regressed
+//!                                       beyond N% (default 25)
 //! ```
+//!
+//! In `--compare` mode the current measurement comes from `--current
+//! FILE` when given (e.g. the `--quick` document CI just emitted) and
+//! is measured fresh in quick mode otherwise. Only kernels present in
+//! **both** documents are compared; the table lists the rest.
 //!
 //! Entries cover the spectral hot-path kernels (planned Poisson solve,
 //! planned 2-D DCT), full paper-config placer runs, the back-end
 //! (PR 3): workspace-threaded legalization (`legalize`), frequency
 //! assignment (`freq_assign`), and the whole
 //! place→legalize→assign→metrics pipeline (`end_to_end`), one entry per
-//! paper device — and the serving layer (PR 4): loopback
-//! request-per-second kernels through `qplacer-service`
-//! (`service_rps_cached_falcon`, `service_rps_fresh_grid`).
-//! Timing fields are host-dependent; the schema is what
+//! paper device — the serving layer (PR 4): loopback request-per-second
+//! kernels through `qplacer-service` (`service_rps_cached_falcon`,
+//! `service_rps_fresh_grid`) — and the device zoo (PR 5):
+//! `end_to_end_heavy_hex_d5` (the parametric heavy-hex family at Eagle
+//! scale) and `place_defective_eagle` (a 90%-yield defect-survivor
+//! Eagle). Timing fields are host-dependent; the schema is what
 //! downstream tooling relies on: `{schema, threads, entries: [{kernel,
 //! grid, ns_per_op, iterations_per_sec}]}`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use qplacer_bench::perf::{check_doc, compare_docs, BenchDoc, BenchEntry, SCHEMA};
 use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
 use qplacer_harness::{DeviceSpec, PipelineConfig, PipelineWorkspace, Qplacer, Strategy};
 use qplacer_legal::{LegalWorkspace, Legalizer};
@@ -29,34 +42,6 @@ use qplacer_numeric::{Array2, PoissonSolver, RowOp, SpectralPlan};
 use qplacer_place::{DensityModel, GlobalPlacer, PlacerConfig, PlacerWorkspace};
 use qplacer_service::{PlaceJob, Server, ServiceClient, ServiceConfig};
 use qplacer_topology::Topology;
-use serde::{Deserialize, Serialize};
-
-/// One measured kernel or pipeline entry.
-#[derive(Debug, Serialize, Deserialize)]
-struct BenchEntry {
-    /// Kernel name (`poisson_solve`, `dct2_2d`, `placer_paper_<device>`).
-    kernel: String,
-    /// Bin-grid side length the kernel ran on.
-    grid: usize,
-    /// Mean wall time per operation (one solve / transform / placement
-    /// iteration), in nanoseconds.
-    ns_per_op: f64,
-    /// `1e9 / ns_per_op` — operations (or placement iterations) per second.
-    iterations_per_sec: f64,
-}
-
-/// The `BENCH_place.json` document.
-#[derive(Debug, Serialize, Deserialize)]
-struct BenchDoc {
-    /// Schema tag; bump on breaking field changes.
-    schema: String,
-    /// rayon worker count the measurements used.
-    threads: usize,
-    /// Measured entries.
-    entries: Vec<BenchEntry>,
-}
-
-const SCHEMA: &str = "qplacer-bench-place/v1";
 
 fn time_op<F: FnMut()>(mut f: F, min_iters: usize, min_seconds: f64) -> f64 {
     time_op_sections(
@@ -219,6 +204,49 @@ fn measure(quick: bool) -> BenchDoc {
         entries.push(entry(&format!("end_to_end_{device}"), grid_dim, ns));
     }
 
+    // Device-zoo kernels (PR 5). `grid` carries the device qubit count.
+    //
+    // - `end_to_end_heavy_hex_d5`: the parametric heavy-hex generator at
+    //   Eagle scale through the whole paper-config pipeline — guards the
+    //   generator itself and the new-scale regime.
+    // - `place_defective_eagle`: paper-config global placement of the
+    //   90%-yield seed-7 Eagle defect survivor — guards placement on
+    //   irregular (defect-shaped) devices.
+    {
+        let hh5 = Topology::heavy_hex(5);
+        let engine = Qplacer::new(PipelineConfig::paper());
+        let mut pws = PipelineWorkspace::new();
+        let ns = time_op(
+            || {
+                let layout = engine.place_with(&hh5, Strategy::FrequencyAware, &mut pws);
+                let _ = layout.area();
+                let _ = layout.hotspots();
+            },
+            1,
+            min_seconds,
+        );
+        entries.push(entry("end_to_end_heavy_hex_d5", hh5.num_qubits(), ns));
+
+        let defective = Topology::eagle127().with_yield(90, 7);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&defective);
+        let base = QuantumNetlist::build(&defective, &freqs, &NetlistConfig::default());
+        let placer = GlobalPlacer::new(PlacerConfig::paper());
+        let mut ws = PlacerWorkspace::new();
+        let mut nl = base.clone();
+        let ns = time_op_sections(
+            || {
+                nl.clone_from(&base);
+                let start = Instant::now();
+                let report = placer.run_with(&mut nl, &mut ws);
+                assert!(report.iterations > 0);
+                start.elapsed()
+            },
+            1,
+            min_seconds,
+        );
+        entries.push(entry("place_defective_eagle", defective.num_qubits(), ns));
+    }
+
     // Serving throughput (PR 4): an in-process `qplacer-service` on an
     // ephemeral loopback port, driven by a blocking `ServiceClient`.
     // `grid` carries the device qubit count for these kernels.
@@ -280,28 +308,49 @@ fn measure(quick: bool) -> BenchDoc {
     }
 }
 
-fn check(path: &str) -> Result<(), String> {
+fn load_doc(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let doc: BenchDoc = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    if doc.schema != SCHEMA {
-        return Err(format!("schema mismatch: {} != {SCHEMA}", doc.schema));
-    }
-    if doc.entries.is_empty() {
-        return Err("no bench entries".to_string());
-    }
-    for e in &doc.entries {
-        if e.kernel.is_empty() || e.grid == 0 {
-            return Err(format!("malformed entry: {e:?}"));
-        }
-        if !(e.ns_per_op.is_finite() && e.ns_per_op > 0.0) {
-            return Err(format!("non-positive ns_per_op in {e:?}"));
-        }
-        if !(e.iterations_per_sec.is_finite() && e.iterations_per_sec > 0.0) {
-            return Err(format!("non-positive iterations_per_sec in {e:?}"));
-        }
-    }
+    BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let doc = load_doc(path)?;
     println!("{path}: ok ({} entries)", doc.entries.len());
     Ok(())
+}
+
+/// The perf-regression gate: diff current vs baseline, print the table,
+/// fail when any shared kernel regressed beyond tolerance.
+fn compare(
+    baseline_path: &str,
+    current_path: Option<&str>,
+    tolerance_pct: f64,
+) -> Result<(), String> {
+    let baseline = load_doc(baseline_path)?;
+    let current = match current_path {
+        Some(path) => load_doc(path)?,
+        None => {
+            eprintln!("no --current document; measuring fresh (--quick) ...");
+            let doc = measure(true);
+            check_doc(&doc)?;
+            doc
+        }
+    };
+    let report = compare_docs(&current, &baseline, tolerance_pct);
+    print!("{}", report.table());
+    if report.passed() {
+        Ok(())
+    } else {
+        let names: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|d| d.kernel.as_str())
+            .collect();
+        Err(format!(
+            "perf regression beyond {tolerance_pct}% in: {}",
+            names.join(", ")
+        ))
+    }
 }
 
 fn main() -> ExitCode {
@@ -309,6 +358,9 @@ fn main() -> ExitCode {
     let mut out = "BENCH_place.json".to_string();
     let mut quick = false;
     let mut check_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -321,18 +373,27 @@ fn main() -> ExitCode {
                 Some(p) => check_path = Some(p.clone()),
                 None => return usage("--check needs a path"),
             },
+            "--compare" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => return usage("--compare needs a baseline path"),
+            },
+            "--current" => match it.next() {
+                Some(p) => current_path = Some(p.clone()),
+                None => return usage("--current needs a path"),
+            },
+            "--tolerance-pct" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v >= 0.0 => tolerance_pct = v,
+                _ => return usage("--tolerance-pct needs a non-negative number"),
+            },
             other => return usage(&format!("unknown argument {other}")),
         }
     }
 
     if let Some(path) = check_path {
-        return match check(&path) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
-            }
-        };
+        return exit_on(check(&path));
+    }
+    if let Some(baseline) = baseline_path {
+        return exit_on(compare(&baseline, current_path.as_deref(), tolerance_pct));
     }
 
     let doc = measure(quick);
@@ -343,7 +404,7 @@ fn main() -> ExitCode {
     }
     for e in &doc.entries {
         println!(
-            "{:<22} grid {:>3}  {:>12.0} ns/op  {:>10.1}/s",
+            "{:<26} grid {:>3}  {:>12.0} ns/op  {:>10.1}/s",
             e.kernel, e.grid, e.ns_per_op, e.iterations_per_sec
         );
     }
@@ -351,7 +412,21 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn exit_on(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}\nusage: bench_json [--quick] [--out FILE] | --check FILE");
+    eprintln!(
+        "error: {msg}\nusage: bench_json [--quick] [--out FILE] \
+         | --check FILE \
+         | --compare BASELINE [--tolerance-pct N] [--current FILE]"
+    );
     ExitCode::FAILURE
 }

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod runner;
 
+pub use perf::{check_doc, compare_docs, BenchDoc, BenchEntry, CompareReport, KernelDelta};
 pub use runner::{run_all_strategies, StrategyOutcome};

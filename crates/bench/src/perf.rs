@@ -1,0 +1,297 @@
+//! The `BENCH_place.json` schema and the perf-regression comparator.
+//!
+//! `bench_json` (the emitter binary) and CI's regression gate share
+//! this module: [`BenchDoc`] is the tracked document, [`check_doc`]
+//! validates an emitted file's schema, and [`compare_docs`] diffs a
+//! current measurement against a committed baseline, flagging kernels
+//! whose `ns_per_op` regressed beyond a tolerance.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag; bump on breaking field changes.
+pub const SCHEMA: &str = "qplacer-bench-place/v1";
+
+/// One measured kernel or pipeline entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Kernel name (`poisson_solve`, `end_to_end_heavy_hex_d5`, …).
+    pub kernel: String,
+    /// Bin-grid side length the kernel ran on (device-level kernels
+    /// carry a device-size proxy instead).
+    pub grid: usize,
+    /// Mean wall time per operation (one solve / transform / placement
+    /// iteration), in nanoseconds.
+    pub ns_per_op: f64,
+    /// `1e9 / ns_per_op` — operations (or placement iterations) per
+    /// second.
+    pub iterations_per_sec: f64,
+}
+
+/// The `BENCH_place.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDoc {
+    /// Schema tag; must equal [`SCHEMA`].
+    pub schema: String,
+    /// rayon worker count the measurements used.
+    pub threads: usize,
+    /// Measured entries.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchDoc {
+    /// Parses and schema-validates a serialized document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let doc: BenchDoc = serde_json::from_str(text).map_err(|e| format!("parsing: {e}"))?;
+        check_doc(&doc)?;
+        Ok(doc)
+    }
+
+    /// Looks up a kernel by name.
+    #[must_use]
+    pub fn kernel(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.kernel == name)
+    }
+}
+
+/// Validates an already-parsed document: schema tag, non-empty entries,
+/// finite positive timings.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn check_doc(doc: &BenchDoc) -> Result<(), String> {
+    if doc.schema != SCHEMA {
+        return Err(format!("schema mismatch: {} != {SCHEMA}", doc.schema));
+    }
+    if doc.entries.is_empty() {
+        return Err("no bench entries".to_string());
+    }
+    for e in &doc.entries {
+        if e.kernel.is_empty() || e.grid == 0 {
+            return Err(format!("malformed entry: {e:?}"));
+        }
+        if !(e.ns_per_op.is_finite() && e.ns_per_op > 0.0) {
+            return Err(format!("non-positive ns_per_op in {e:?}"));
+        }
+        if !(e.iterations_per_sec.is_finite() && e.iterations_per_sec > 0.0) {
+            return Err(format!("non-positive iterations_per_sec in {e:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// One kernel's current-vs-baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDelta {
+    /// Kernel name.
+    pub kernel: String,
+    /// Baseline `ns_per_op`.
+    pub baseline_ns: f64,
+    /// Current `ns_per_op`.
+    pub current_ns: f64,
+    /// Percent change, positive = slower (`(cur - base) / base · 100`).
+    pub delta_pct: f64,
+    /// Whether `delta_pct` exceeds the comparison tolerance.
+    pub regressed: bool,
+}
+
+/// The result of [`compare_docs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Tolerance used, percent.
+    pub tolerance_pct: f64,
+    /// Per-kernel deltas for every kernel present in **both**
+    /// documents, in the current document's order.
+    pub deltas: Vec<KernelDelta>,
+    /// Kernels only in the baseline (removed or not measured now).
+    pub only_in_baseline: Vec<String>,
+    /// Kernels only in the current document (newly added).
+    pub only_in_current: Vec<String>,
+}
+
+impl CompareReport {
+    /// The kernels that regressed beyond tolerance.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&KernelDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Whether the comparison is within tolerance everywhere.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Renders the human-readable comparison table the CI log shows.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>9}  verdict",
+            "kernel", "baseline ns", "current ns", "delta"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.delta_pct < 0.0 {
+                "faster"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14.0} {:>14.0} {:>+8.1}%  {verdict}",
+                d.kernel, d.baseline_ns, d.current_ns, d.delta_pct
+            );
+        }
+        for k in &self.only_in_baseline {
+            let _ = writeln!(out, "{k:<28} (baseline only — not compared)");
+        }
+        for k in &self.only_in_current {
+            let _ = writeln!(out, "{k:<28} (new kernel — no baseline)");
+        }
+        let regressed = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{} kernels compared, {} regressed (tolerance {:.0}%)",
+            self.deltas.len(),
+            regressed,
+            self.tolerance_pct
+        );
+        out
+    }
+}
+
+/// Compares `current` against `baseline`: a kernel regresses when its
+/// `ns_per_op` grew by more than `tolerance_pct` percent. Kernels
+/// present in only one document are listed but never fail the gate
+/// (new kernels have no baseline; retired ones have no measurement).
+#[must_use]
+pub fn compare_docs(current: &BenchDoc, baseline: &BenchDoc, tolerance_pct: f64) -> CompareReport {
+    let deltas: Vec<KernelDelta> = current
+        .entries
+        .iter()
+        .filter_map(|cur| {
+            baseline.kernel(&cur.kernel).map(|base| {
+                let delta_pct = (cur.ns_per_op - base.ns_per_op) / base.ns_per_op * 100.0;
+                KernelDelta {
+                    kernel: cur.kernel.clone(),
+                    baseline_ns: base.ns_per_op,
+                    current_ns: cur.ns_per_op,
+                    delta_pct,
+                    regressed: delta_pct > tolerance_pct,
+                }
+            })
+        })
+        .collect();
+    let only_in_baseline = baseline
+        .entries
+        .iter()
+        .filter(|b| current.kernel(&b.kernel).is_none())
+        .map(|b| b.kernel.clone())
+        .collect();
+    let only_in_current = current
+        .entries
+        .iter()
+        .filter(|c| baseline.kernel(&c.kernel).is_none())
+        .map(|c| c.kernel.clone())
+        .collect();
+    CompareReport {
+        tolerance_pct,
+        deltas,
+        only_in_baseline,
+        only_in_current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64)]) -> BenchDoc {
+        BenchDoc {
+            schema: SCHEMA.to_string(),
+            threads: 1,
+            entries: entries
+                .iter()
+                .map(|&(kernel, ns)| BenchEntry {
+                    kernel: kernel.to_string(),
+                    grid: 64,
+                    ns_per_op: ns,
+                    iterations_per_sec: 1e9 / ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn an_artificial_50pct_slowdown_is_detected() {
+        let baseline = doc(&[("poisson_solve", 1000.0), ("legalize_falcon", 2000.0)]);
+        // legalize_falcon got 50% slower; poisson got slightly faster.
+        let current = doc(&[("poisson_solve", 950.0), ("legalize_falcon", 3000.0)]);
+        let report = compare_docs(&current, &baseline, 25.0);
+        assert!(!report.passed());
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].kernel, "legalize_falcon");
+        assert!((regressions[0].delta_pct - 50.0).abs() < 1e-9);
+        // The table names the regressed kernel.
+        assert!(report.table().contains("legalize_falcon"));
+        assert!(report.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn slowdowns_within_tolerance_pass() {
+        let baseline = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let current = doc(&[("a", 1200.0), ("b", 800.0)]);
+        let report = compare_docs(&current, &baseline, 25.0);
+        assert!(report.passed(), "{:?}", report.deltas);
+        assert_eq!(report.regressions().len(), 0);
+        // …but 20% regresses under a 10% tolerance.
+        assert!(!compare_docs(&current, &baseline, 10.0).passed());
+    }
+
+    #[test]
+    fn disjoint_kernels_are_listed_not_failed() {
+        let baseline = doc(&[("old_kernel", 1000.0), ("shared", 1000.0)]);
+        let current = doc(&[("shared", 1000.0), ("new_kernel", 500.0)]);
+        let report = compare_docs(&current, &baseline, 25.0);
+        assert!(report.passed());
+        assert_eq!(report.only_in_baseline, vec!["old_kernel".to_string()]);
+        assert_eq!(report.only_in_current, vec!["new_kernel".to_string()]);
+        assert_eq!(report.deltas.len(), 1);
+        let rendered = report.table();
+        assert!(rendered.contains("baseline only"));
+        assert!(rendered.contains("new kernel"));
+    }
+
+    #[test]
+    fn schema_validation_catches_malformed_documents() {
+        let good = doc(&[("k", 1.0)]);
+        assert!(check_doc(&good).is_ok());
+        let mut bad_schema = good.clone();
+        bad_schema.schema = "qplacer-bench-place/v0".to_string();
+        assert!(check_doc(&bad_schema).is_err());
+        let mut empty = good.clone();
+        empty.entries.clear();
+        assert!(check_doc(&empty).is_err());
+        let mut nan = good.clone();
+        nan.entries[0].ns_per_op = f64::NAN;
+        assert!(check_doc(&nan).is_err());
+        let mut zero_grid = good;
+        zero_grid.entries[0].grid = 0;
+        assert!(check_doc(&zero_grid).is_err());
+        // Round trip through parse().
+        let text = serde_json::to_string(&doc(&[("k", 2.0)])).unwrap();
+        assert_eq!(
+            BenchDoc::parse(&text).unwrap().kernel("k").unwrap().grid,
+            64
+        );
+    }
+}

@@ -119,6 +119,83 @@ pub fn ising(n: usize, steps: usize) -> Circuit {
     c
 }
 
+/// GHZ state preparation over `n` qubits: one Hadamard followed by a CX
+/// chain. The canonical entanglement-distribution workload — its CX
+/// pattern is a single path, so it sizes to any connected device.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qplacer_circuits::generators::ghz(16);
+/// assert_eq!(c.num_qubits(), 16);
+/// assert_eq!(c.two_qubit_count(), 15);
+/// ```
+#[must_use]
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.push(Gate::H(0));
+    for q in 0..n - 1 {
+        c.push(Gate::Cx(q, q + 1));
+    }
+    c
+}
+
+/// A quantum-volume-style model circuit over `n` qubits: `n` layers,
+/// each a seeded random permutation of the qubits paired off, every
+/// pair hit by a pseudo-SU(4) block (three CX alternating direction,
+/// interleaved with seeded single-qubit rotations in the restricted
+/// gate set). Angles and permutations derive only from `seed`, so the
+/// whole family is reproducible.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qplacer_circuits::generators::qv(4, 7);
+/// assert_eq!(c.num_qubits(), 4);
+/// // n/2 pairs × 3 CX × n layers.
+/// assert_eq!(c.two_qubit_count(), 2 * 3 * 4);
+/// ```
+#[must_use]
+pub fn qv(n: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "quantum volume needs at least 2 qubits");
+    // A seeded Sx·Rz "random rotation" in the restricted gate set.
+    fn rot(c: &mut Circuit, rng: &mut StdRng, q: usize) {
+        let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        c.push(Gate::Sx(q));
+        c.push(Gate::Rz(q, theta));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _layer in 0..n {
+        // Fisher–Yates with the seeded rng: the layer's qubit pairing.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..i + 1);
+            order.swap(i, j);
+        }
+        for pair in order.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            rot(&mut c, &mut rng, a);
+            rot(&mut c, &mut rng, b);
+            c.push(Gate::Cx(a, b));
+            rot(&mut c, &mut rng, b);
+            c.push(Gate::Cx(b, a));
+            rot(&mut c, &mut rng, a);
+            c.push(Gate::Cx(a, b));
+        }
+    }
+    c
+}
+
 /// QGAN generator ansatz: `layers` of a hardware-efficient layered
 /// entangler (RY-equivalent rotations + CX ladder), the circuit family of
 /// quantum GAN generators (Table I: QGAN-4/9).
@@ -208,5 +285,25 @@ mod tests {
     #[should_panic(expected = "ancilla")]
     fn bv_too_small_panics() {
         let _ = bv(1);
+    }
+
+    #[test]
+    fn ghz_is_one_h_plus_a_cx_chain() {
+        let c = ghz(9);
+        assert_eq!(c.num_qubits(), 9);
+        assert_eq!(c.len(), 9); // H + 8 CX
+        assert_eq!(c.two_qubit_count(), 8);
+    }
+
+    #[test]
+    fn qv_structure_and_determinism() {
+        let c = qv(6, 3);
+        assert_eq!(c.num_qubits(), 6);
+        // 3 pairs × 3 CX × 6 layers.
+        assert_eq!(c.two_qubit_count(), 54);
+        assert_eq!(qv(6, 3), qv(6, 3));
+        assert_ne!(qv(6, 3), qv(6, 4));
+        // Odd sizes leave one qubit unpaired per layer.
+        assert_eq!(qv(5, 1).two_qubit_count(), 2 * 3 * 5);
     }
 }

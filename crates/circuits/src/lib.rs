@@ -8,7 +8,9 @@
 //! error model knows how long each qubit is busy and idle.
 //!
 //! * [`Gate`] / [`Circuit`] — the gate set and circuit container.
-//! * [`generators`] — BV, QAOA, Ising, QGAN (Table I benchmarks).
+//! * [`generators`] — BV, QAOA, Ising, QGAN (Table I benchmarks) plus
+//!   the zoo families GHZ and quantum volume, all resolvable by name
+//!   at any size via [`benchmark_by_name`].
 //! * [`Router`] — greedy shortest-path swap insertion (SABRE-flavored
 //!   lookahead) producing a physical-qubit circuit.
 //! * [`optimize_peephole`] — gate cancellation/merging.
@@ -81,4 +83,54 @@ pub fn paper_suite() -> Vec<Benchmark> {
         mk("qgan-4", generators::qgan(4, 2)),
         mk("qgan-9", generators::qgan(9, 2)),
     ]
+}
+
+/// Largest qubit count [`benchmark_by_name`] will generate — a guard
+/// against typo'd workload sizes allocating absurd circuits.
+pub const MAX_BENCHMARK_QUBITS: usize = 4096;
+
+/// Resolves any `<family>-<qubits>` workload name: the Table-I names
+/// (at their exact paper parameters) plus the parametric zoo families
+/// sized to any device — `bv-N`, `qaoa-N` (2 ring layers), `ising-N`
+/// (3 Trotter steps), `qgan-N` (2 layers), `ghz-N`, and `qv-N`
+/// (quantum volume, depth = N). Returns `None` for unknown families,
+/// malformed sizes, sizes below the family minimum, or sizes above
+/// [`MAX_BENCHMARK_QUBITS`].
+///
+/// # Examples
+///
+/// ```
+/// let b = qplacer_circuits::benchmark_by_name("ghz-12").unwrap();
+/// assert_eq!(b.circuit.num_qubits(), 12);
+/// // Paper names resolve to their exact Table-I circuits.
+/// let qaoa = qplacer_circuits::benchmark_by_name("qaoa-4").unwrap();
+/// assert_eq!(qaoa.circuit, qplacer_circuits::paper_suite()[3].circuit);
+/// assert!(qplacer_circuits::benchmark_by_name("teleport-9").is_none());
+/// ```
+#[must_use]
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    // Paper names win, at their exact paper parameters.
+    if let Some(b) = paper_suite().into_iter().find(|b| b.name == name) {
+        return Some(b);
+    }
+    let (family, size) = name.rsplit_once('-')?;
+    let n: usize = size.parse().ok()?;
+    if n > MAX_BENCHMARK_QUBITS {
+        return None;
+    }
+    let circuit = match family {
+        "bv" if n >= 2 => generators::bv(n),
+        // Seed derived from the size so every ring instance is distinct
+        // but reproducible (the paper's qaoa-4/9 resolve above).
+        "qaoa" if n >= 3 => generators::qaoa(n, 2, 0x0A0A ^ n as u64),
+        "ising" if n >= 2 => generators::ising(n, 3),
+        "qgan" if n >= 2 => generators::qgan(n, 2),
+        "ghz" if n >= 2 => generators::ghz(n),
+        "qv" if n >= 2 => generators::qv(n, 0x5176 ^ n as u64),
+        _ => return None,
+    };
+    Some(Benchmark {
+        name: name.to_string(),
+        circuit,
+    })
 }

@@ -16,7 +16,15 @@ use qplacer_place::PlacerConfig;
 
 /// A device topology as declarative data (rather than a built
 /// [`Topology`]), so plans stay compact and serializable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Beyond the paper's fixed devices, the zoo adds parametric families
+/// ([`DeviceSpec::HeavyHex`], [`DeviceSpec::Ring`],
+/// [`DeviceSpec::Ladder`]), a seeded fabrication-yield wrapper
+/// ([`DeviceSpec::Defective`]) around any base spec, and calibration
+/// import from a JSON file ([`DeviceSpec::FromJson`]). Use
+/// [`DeviceSpec::try_build`] to materialize with typed errors;
+/// [`DeviceSpec::build`] panics on invalid specs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DeviceSpec {
     /// Regular `width` × `height` lattice.
     Grid {
@@ -29,6 +37,23 @@ pub enum DeviceSpec {
     Falcon27,
     /// IBM Eagle r1 heavy-hex (127 qubits).
     Eagle127,
+    /// Parametric heavy-hex lattice ([`Topology::heavy_hex`]):
+    /// `distance` 5 is the Eagle graph; 10 and 16 reach Osprey-433 and
+    /// Condor-1121 scale.
+    HeavyHex {
+        /// Lattice distance (≥ 2).
+        distance: usize,
+    },
+    /// Cycle of `qubits` qubits ([`Topology::ring`]).
+    Ring {
+        /// Ring length (≥ 3).
+        qubits: usize,
+    },
+    /// Two rails of `rungs` qubits each ([`Topology::ladder`]).
+    Ladder {
+        /// Rung count (≥ 2).
+        rungs: usize,
+    },
     /// Rigetti Aspen octagon lattice.
     Aspen {
         /// Octagon rows.
@@ -45,35 +70,226 @@ pub enum DeviceSpec {
         /// Tree depth.
         levels: usize,
     },
+    /// `base` after a seeded Bernoulli yield model kills qubits and
+    /// couplers, trimmed to the largest connected component
+    /// ([`Topology::with_yield`]).
+    Defective {
+        /// The pristine device.
+        base: Box<DeviceSpec>,
+        /// Per-component survival probability, percent (clamped 0–100).
+        yield_pct: u32,
+        /// Defect-sampling seed.
+        seed: u64,
+    },
+    /// A device imported from a JSON calibration file
+    /// ([`Topology::from_json_file`]).
+    FromJson {
+        /// Path to the JSON device description.
+        path: String,
+    },
 }
 
+/// Why a [`DeviceSpec`] could not be materialized into a placeable
+/// device. Surfaced as a typed job failure by the harness runner and as
+/// an `invalid-device` protocol error by `qplacer-service` — never as a
+/// panic into the placement engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A structural parameter is outside the family's domain
+    /// (zero-sized grid, ring shorter than 3, heavy-hex distance < 2…).
+    BadParameter {
+        /// The offending spec's display name.
+        device: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A JSON device file could not be read or parsed.
+    BadImport {
+        /// The import path.
+        path: String,
+        /// The underlying error.
+        reason: String,
+    },
+    /// The materialized device is not one connected component — some
+    /// qubit is isolated from the rest, so placement (and the spiral
+    /// searches inside legalization) cannot meaningfully run.
+    Disconnected {
+        /// The device's display name.
+        device: String,
+        /// Total qubits.
+        qubits: usize,
+        /// Qubits in the largest connected component.
+        largest_component: usize,
+    },
+    /// The device has fewer than two qubits — nothing to couple, place,
+    /// or legalize.
+    TooSmall {
+        /// The device's display name.
+        device: String,
+        /// Total qubits.
+        qubits: usize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::BadParameter { device, reason } => {
+                write!(f, "invalid device `{device}`: {reason}")
+            }
+            DeviceError::BadImport { path, reason } => {
+                write!(f, "invalid device import `{path}`: {reason}")
+            }
+            DeviceError::Disconnected {
+                device,
+                qubits,
+                largest_component,
+            } => write!(
+                f,
+                "device `{device}` is disconnected: largest component holds \
+                 {largest_component} of {qubits} qubits"
+            ),
+            DeviceError::TooSmall { device, qubits } => {
+                write!(f, "device `{device}` has only {qubits} qubit(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 impl DeviceSpec {
-    /// Materializes the topology.
+    /// Materializes the topology, panicking on invalid specs.
+    ///
+    /// Prefer [`DeviceSpec::try_build`] anywhere a bad spec can come
+    /// from user input (plans, CLI, wire requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics whenever [`DeviceSpec::try_build`] would return an error.
     #[must_use]
     pub fn build(&self) -> Topology {
-        match *self {
-            DeviceSpec::Grid { width, height } => Topology::grid(width, height),
+        match self.try_build() {
+            Ok(topology) => topology,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Materializes the topology, validating that the result is a
+    /// placeable device: structural parameters in-domain, at least two
+    /// qubits, and one connected component.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] describing the first violation found.
+    pub fn try_build(&self) -> Result<Topology, DeviceError> {
+        let bad = |reason: &str| DeviceError::BadParameter {
+            device: self.name(),
+            reason: reason.to_string(),
+        };
+        let topology = match self {
+            DeviceSpec::Grid { width, height } => {
+                if *width == 0 || *height == 0 {
+                    return Err(bad("grid dims must be positive"));
+                }
+                Topology::grid(*width, *height)
+            }
             DeviceSpec::Falcon27 => Topology::falcon27(),
             DeviceSpec::Eagle127 => Topology::eagle127(),
-            DeviceSpec::Aspen { rows, cols } => Topology::aspen(rows, cols),
+            DeviceSpec::HeavyHex { distance } => {
+                if *distance < 2 {
+                    return Err(bad("heavy-hex distance must be at least 2"));
+                }
+                Topology::heavy_hex(*distance)
+            }
+            DeviceSpec::Ring { qubits } => {
+                if *qubits < 3 {
+                    return Err(bad("a ring needs at least 3 qubits"));
+                }
+                Topology::ring(*qubits)
+            }
+            DeviceSpec::Ladder { rungs } => {
+                if *rungs < 2 {
+                    return Err(bad("a ladder needs at least 2 rungs"));
+                }
+                Topology::ladder(*rungs)
+            }
+            DeviceSpec::Aspen { rows, cols } => {
+                if *rows == 0 || *cols == 0 {
+                    return Err(bad("octagon lattice dims must be positive"));
+                }
+                Topology::aspen(*rows, *cols)
+            }
             DeviceSpec::Xtree {
                 root,
                 branch,
                 levels,
-            } => Topology::xtree(root, branch, levels),
+            } => {
+                if *root == 0 {
+                    return Err(bad("root branch factor must be positive"));
+                }
+                if *levels == 0 || (*levels > 1 && *branch == 0) {
+                    return Err(bad("xtree needs at least one level of children"));
+                }
+                Topology::xtree(*root, *branch, *levels)
+            }
+            DeviceSpec::Defective {
+                base,
+                yield_pct,
+                seed,
+            } => base.try_build()?.with_yield(*yield_pct, *seed),
+            DeviceSpec::FromJson { path } => {
+                Topology::from_json_file(path).map_err(|e| DeviceError::BadImport {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?
+            }
+        };
+        Self::validate_topology(&topology)?;
+        Ok(topology)
+    }
+
+    /// The placeability gate [`DeviceSpec::try_build`] applies after
+    /// construction: at least two qubits, one connected component.
+    /// Exposed so callers that materialized the topology themselves
+    /// (e.g. service admission parsing a JSON import it already read)
+    /// can apply the identical checks without building twice.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::TooSmall`] or [`DeviceError::Disconnected`].
+    pub fn validate_topology(topology: &Topology) -> Result<(), DeviceError> {
+        if topology.num_qubits() < 2 {
+            return Err(DeviceError::TooSmall {
+                device: topology.name().to_string(),
+                qubits: topology.num_qubits(),
+            });
         }
+        if !topology.is_connected() {
+            let largest = topology.largest_connected_component().num_qubits();
+            return Err(DeviceError::Disconnected {
+                device: topology.name().to_string(),
+                qubits: topology.num_qubits(),
+                largest_component: largest,
+            });
+        }
+        Ok(())
     }
 
     /// The device's display name (matches [`Topology::name`]).
     ///
-    /// Computed without materializing the topology, so it stays usable
-    /// for labeling records of specs whose construction panics.
+    /// Computed without materializing the topology (and without I/O for
+    /// [`DeviceSpec::FromJson`]), so it stays usable for labeling
+    /// records of specs that fail to build.
     #[must_use]
     pub fn name(&self) -> String {
-        match *self {
+        match self {
             DeviceSpec::Grid { width, height } => format!("Grid-{width}x{height}"),
             DeviceSpec::Falcon27 => "Falcon".to_string(),
             DeviceSpec::Eagle127 => "Eagle".to_string(),
+            DeviceSpec::HeavyHex { distance } => format!("HeavyHex-d{distance}"),
+            DeviceSpec::Ring { qubits } => format!("Ring-{qubits}"),
+            DeviceSpec::Ladder { rungs } => format!("Ladder-{rungs}"),
             DeviceSpec::Aspen { rows: 1, cols: 5 } => "Aspen-11".to_string(),
             DeviceSpec::Aspen { rows: 2, cols: 5 } => "Aspen-M".to_string(),
             DeviceSpec::Aspen { rows, cols } => format!("Octagon-{rows}x{cols}"),
@@ -84,12 +300,24 @@ impl DeviceSpec {
             } => {
                 // Node count: 1 + root·(1 + b + b² + … + b^{levels-1}).
                 let mut nodes = 1usize;
-                let mut level_width = root;
-                for _ in 0..levels {
+                let mut level_width = *root;
+                for _ in 0..*levels {
                     nodes += level_width;
-                    level_width = level_width.saturating_mul(branch);
+                    level_width = level_width.saturating_mul(*branch);
                 }
                 format!("Xtree-{nodes}")
+            }
+            DeviceSpec::Defective {
+                base,
+                yield_pct,
+                seed,
+            } => format!("{}-y{}-s{}", base.name(), (*yield_pct).min(100), seed),
+            DeviceSpec::FromJson { path } => {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(path.as_str());
+                format!("Json-{stem}")
             }
         }
     }
@@ -114,9 +342,30 @@ impl DeviceSpec {
         ]
     }
 
-    /// Parses the CLI topology names (`grid`, `falcon`, `eagle`,
-    /// `aspen11`, `aspenm`, `xtree`).
+    /// Parses the CLI device spellings:
+    ///
+    /// - paper devices: `grid`, `falcon`, `eagle`, `aspen11`, `aspenm`,
+    ///   `xtree`;
+    /// - parametric zoo: `grid-WxH`, `heavy-hex-dN` (also `heavyhex-dN`),
+    ///   `ring-N`, `ladder-N`;
+    /// - defect wrapper: `defective-<base>[-yP][-sS]` (yield percent `P`
+    ///   defaults to 90, seed `S` to 0; e.g. `defective-eagle`,
+    ///   `defective-heavy-hex-d7-y85-s3`);
+    /// - JSON import: any spelling ending in `.json`, or `json:<path>`.
     pub fn parse(name: &str) -> Result<DeviceSpec, String> {
+        if let Some(path) = name.strip_prefix("json:") {
+            return Ok(DeviceSpec::FromJson {
+                path: path.to_string(),
+            });
+        }
+        if name.ends_with(".json") {
+            return Ok(DeviceSpec::FromJson {
+                path: name.to_string(),
+            });
+        }
+        if let Some(rest) = name.strip_prefix("defective-") {
+            return Self::parse_defective(rest);
+        }
         Ok(match name {
             "grid" => DeviceSpec::Grid {
                 width: 5,
@@ -131,7 +380,65 @@ impl DeviceSpec {
                 branch: 3,
                 levels: 3,
             },
-            other => return Err(format!("unknown topology `{other}`")),
+            other => return Self::parse_parametric(other),
+        })
+    }
+
+    /// Parses the `heavy-hex-dN` / `ring-N` / `ladder-N` / `grid-WxH`
+    /// spellings.
+    fn parse_parametric(name: &str) -> Result<DeviceSpec, String> {
+        let unknown = || format!("unknown topology `{name}`");
+        let parse_n = |s: &str| s.parse::<usize>().map_err(|_| unknown());
+        if let Some(d) = name
+            .strip_prefix("heavy-hex-d")
+            .or_else(|| name.strip_prefix("heavyhex-d"))
+        {
+            return Ok(DeviceSpec::HeavyHex {
+                distance: parse_n(d)?,
+            });
+        }
+        if let Some(n) = name.strip_prefix("ring-") {
+            return Ok(DeviceSpec::Ring {
+                qubits: parse_n(n)?,
+            });
+        }
+        if let Some(n) = name.strip_prefix("ladder-") {
+            return Ok(DeviceSpec::Ladder { rungs: parse_n(n)? });
+        }
+        if let Some(dims) = name.strip_prefix("grid-") {
+            let (w, h) = dims.split_once('x').ok_or_else(unknown)?;
+            return Ok(DeviceSpec::Grid {
+                width: parse_n(w)?,
+                height: parse_n(h)?,
+            });
+        }
+        Err(unknown())
+    }
+
+    /// Parses the defect wrapper: `<base>[-yP][-sS]` where the optional
+    /// suffixes (in that order) override yield percent and seed.
+    fn parse_defective(rest: &str) -> Result<DeviceSpec, String> {
+        let mut base = rest;
+        let mut yield_pct = 90u32;
+        let mut seed = 0u64;
+        if let Some((prefix, s)) = base.rsplit_once("-s") {
+            if let Ok(v) = s.parse::<u64>() {
+                seed = v;
+                base = prefix;
+            }
+        }
+        if let Some((prefix, y)) = base.rsplit_once("-y") {
+            if let Ok(v) = y.parse::<u32>() {
+                yield_pct = v;
+                base = prefix;
+            }
+        }
+        let base = Self::parse(base)
+            .map_err(|e| format!("bad defective base in `defective-{rest}`: {e}"))?;
+        Ok(DeviceSpec::Defective {
+            base: Box::new(base),
+            yield_pct,
+            seed,
         })
     }
 }
@@ -169,8 +476,9 @@ pub struct JobSpec {
     pub device: DeviceSpec,
     /// The placement arm.
     pub strategy: Strategy,
-    /// Benchmark name from [`qplacer_circuits::paper_suite`] (e.g.
-    /// `"bv-4"`), or `None` for a placement-only job.
+    /// Workload name resolvable by
+    /// [`qplacer_circuits::benchmark_by_name`] (e.g. `"bv-4"`,
+    /// `"ghz-20"`, `"qv-8"`), or `None` for a placement-only job.
     pub benchmark: Option<String>,
     /// Random connected subsets to evaluate (ignored without benchmark).
     pub subsets: usize,
@@ -181,13 +489,14 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// Resolves the benchmark name against the paper suite.
+    /// Resolves the benchmark name: the paper suite's fixed circuits
+    /// plus every parametric `<family>-<qubits>` workload
+    /// [`qplacer_circuits::benchmark_by_name`] understands (`bv-N`,
+    /// `qaoa-N`, `ising-N`, `qgan-N`, `ghz-N`, `qv-N`).
     pub fn resolve_benchmark(&self) -> Result<Option<qplacer_circuits::Benchmark>, String> {
         match &self.benchmark {
             None => Ok(None),
-            Some(name) => qplacer_circuits::paper_suite()
-                .into_iter()
-                .find(|b| &b.name == name)
+            Some(name) => qplacer_circuits::benchmark_by_name(name)
                 .map(Some)
                 .ok_or_else(|| format!("unknown benchmark `{name}`")),
         }
@@ -249,12 +558,12 @@ impl ExperimentPlan {
         seeds: &[u64],
     ) -> Self {
         let mut plan = ExperimentPlan::new(name);
-        for &device in devices {
+        for device in devices {
             for &strategy in strategies {
                 for benchmark in benchmarks {
                     for &seed in seeds {
                         plan.jobs.push(JobSpec {
-                            device,
+                            device: device.clone(),
                             strategy,
                             benchmark: Some((*benchmark).to_string()),
                             subsets,
@@ -278,11 +587,11 @@ impl ExperimentPlan {
         segment_sizes: &[Option<f64>],
     ) -> Self {
         let mut plan = ExperimentPlan::new(name);
-        for &device in devices {
+        for device in devices {
             for &strategy in strategies {
                 for &segment_size_mm in segment_sizes {
                     plan.jobs.push(JobSpec {
-                        device,
+                        device: device.clone(),
                         strategy,
                         benchmark: None,
                         subsets: 0,
@@ -373,5 +682,144 @@ mod tests {
             segment_size_mm: None,
         };
         assert!(job.resolve_benchmark().is_err());
+        // Parametric zoo workloads resolve at any size.
+        let mut ghz = job.clone();
+        ghz.benchmark = Some("ghz-20".to_string());
+        let resolved = ghz.resolve_benchmark().unwrap().unwrap();
+        assert_eq!(resolved.circuit.num_qubits(), 20);
+    }
+
+    #[test]
+    fn zoo_spellings_parse_and_build() {
+        for (spelling, name, qubits) in [
+            ("heavy-hex-d3", "HeavyHex-d3", 52),
+            ("heavyhex-d5", "HeavyHex-d5", 127),
+            ("ring-12", "Ring-12", 12),
+            ("ladder-6", "Ladder-6", 12),
+            ("grid-4x3", "Grid-4x3", 12),
+        ] {
+            let spec = DeviceSpec::parse(spelling).unwrap();
+            assert_eq!(spec.name(), name, "{spelling}");
+            let topology = spec.try_build().unwrap();
+            assert_eq!(topology.num_qubits(), qubits, "{spelling}");
+            assert_eq!(topology.name(), name, "{spelling}");
+        }
+        assert!(DeviceSpec::parse("heavy-hex-dx").is_err());
+        assert!(DeviceSpec::parse("ring-").is_err());
+        assert!(DeviceSpec::parse("mystery").is_err());
+    }
+
+    #[test]
+    fn defective_spellings_parse_with_defaults_and_overrides() {
+        let spec = DeviceSpec::parse("defective-eagle").unwrap();
+        assert_eq!(
+            spec,
+            DeviceSpec::Defective {
+                base: Box::new(DeviceSpec::Eagle127),
+                yield_pct: 90,
+                seed: 0,
+            }
+        );
+        assert_eq!(spec.name(), "Eagle-y90-s0");
+        let built = spec.try_build().unwrap();
+        assert!(built.is_connected());
+        assert!(built.num_qubits() < 127);
+
+        let custom = DeviceSpec::parse("defective-heavy-hex-d3-y85-s7").unwrap();
+        assert_eq!(
+            custom,
+            DeviceSpec::Defective {
+                base: Box::new(DeviceSpec::HeavyHex { distance: 3 }),
+                yield_pct: 85,
+                seed: 7,
+            }
+        );
+        assert!(DeviceSpec::parse("defective-nothing").is_err());
+    }
+
+    #[test]
+    fn json_spellings_parse_and_round_trip_through_files() {
+        let spec = DeviceSpec::parse("json:/tmp/dev.json").unwrap();
+        assert_eq!(
+            spec,
+            DeviceSpec::FromJson {
+                path: "/tmp/dev.json".to_string()
+            }
+        );
+        assert_eq!(spec.name(), "Json-dev");
+        assert_eq!(
+            DeviceSpec::parse("devices/eagle.json").unwrap(),
+            DeviceSpec::FromJson {
+                path: "devices/eagle.json".to_string()
+            }
+        );
+
+        // A real export → import → build loop.
+        let dir = std::env::temp_dir().join("qplacer-plan-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("falcon.json");
+        std::fs::write(&path, Topology::falcon27().to_json()).unwrap();
+        let spec = DeviceSpec::FromJson {
+            path: path.to_string_lossy().into_owned(),
+        };
+        let built = spec.try_build().unwrap();
+        assert_eq!(built.num_qubits(), 27);
+        assert_eq!(built, Topology::falcon27());
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        use crate::plan::DeviceError;
+        assert!(matches!(
+            DeviceSpec::Grid {
+                width: 0,
+                height: 3
+            }
+            .try_build(),
+            Err(DeviceError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            DeviceSpec::FromJson {
+                path: "/nonexistent/dev.json".to_string()
+            }
+            .try_build(),
+            Err(DeviceError::BadImport { .. })
+        ));
+        // Total yield loss leaves fewer than 2 qubits.
+        assert!(matches!(
+            DeviceSpec::Defective {
+                base: Box::new(DeviceSpec::Falcon27),
+                yield_pct: 0,
+                seed: 3,
+            }
+            .try_build(),
+            Err(DeviceError::TooSmall { .. })
+        ));
+
+        // A JSON device with an isolated qubit is rejected as
+        // disconnected — with the component size in the message.
+        let dir = std::env::temp_dir().join("qplacer-plan-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disconnected.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "islanded", "qubits": 4, "couplers": [[0, 1], [1, 2]]}"#,
+        )
+        .unwrap();
+        let spec = DeviceSpec::FromJson {
+            path: path.to_string_lossy().into_owned(),
+        };
+        match spec.try_build() {
+            Err(DeviceError::Disconnected {
+                qubits,
+                largest_component,
+                ..
+            }) => {
+                assert_eq!((qubits, largest_component), (4, 3));
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        let message = spec.try_build().unwrap_err().to_string();
+        assert!(message.contains("disconnected"), "{message}");
     }
 }

@@ -344,11 +344,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Executes one job of `plan` with a caller-owned workspace, containing
-/// panics to the record, and returns the [`PlacedLayout`] alongside the
-/// record when the job completed.
+/// panics to the record, and returns the
+/// [`PlacedLayout`](crate::PlacedLayout) alongside the record when the
+/// job completed.
 ///
 /// This is the single-job entry point long-lived callers (e.g. a serving
-/// worker holding a persistent [`PipelineWorkspace`]) use to run plan
+/// worker holding a persistent
+/// [`PipelineWorkspace`](crate::PipelineWorkspace)) use to run plan
 /// jobs without going through [`Runner`]'s thread pool; [`Runner::run`]
 /// funnels through it too, so both paths share one implementation.
 #[must_use]
@@ -391,7 +393,10 @@ fn run_pipeline_job(
     let spec = &plan.jobs[index];
     let mut record = JobRecord::blank(&plan.name, index, spec);
     let benchmark = spec.resolve_benchmark()?;
-    let device = spec.device.build();
+    // Plan-validation: an unbuildable or unplaceable device (bad
+    // parameters, unreadable import, isolated qubits) is a typed job
+    // failure, never a panic into the placement engine.
+    let device = spec.device.try_build().map_err(|e| e.to_string())?;
     let config = spec.pipeline_config(plan.profile);
     let layout = Qplacer::new(config).place_with(&device, spec.strategy, ws);
 
@@ -480,17 +485,51 @@ mod tests {
     #[test]
     fn panicking_job_is_isolated() {
         let mut plan = tiny_plan();
-        // An empty xtree panics inside topology construction.
-        plan.jobs[0].device = DeviceSpec::Grid {
-            width: 0,
-            height: 0,
-        };
+        // A negative segment size panics inside the netlist config
+        // (device validation happens earlier and is a typed failure,
+        // so it cannot serve as the panic source here).
+        plan.jobs[0].segment_size_mm = Some(-1.0);
         let report = Runner::new(2).run(&plan);
         match &report.records[0].status {
             JobStatus::Panicked { message } => assert!(!message.is_empty()),
             other => panic!("expected panic status, got {other:?}"),
         }
         assert!(report.records[1].status.is_ok());
+    }
+
+    #[test]
+    fn invalid_devices_fail_typed_not_panicked() {
+        // Every flavor of unplaceable device must surface as a typed
+        // `Failed` record — plan-validation runs before the engine.
+        let bad_devices = [
+            DeviceSpec::Grid {
+                width: 0,
+                height: 0,
+            },
+            DeviceSpec::HeavyHex { distance: 1 },
+            DeviceSpec::Ring { qubits: 2 },
+            DeviceSpec::FromJson {
+                path: "/nonexistent/calibration.json".to_string(),
+            },
+            // Yield 0 kills every qubit: the surviving component is
+            // empty, which must be rejected, not spiraled over.
+            DeviceSpec::Defective {
+                base: Box::new(DeviceSpec::Falcon27),
+                yield_pct: 0,
+                seed: 1,
+            },
+        ];
+        for device in bad_devices {
+            let mut plan = tiny_plan();
+            plan.jobs[0].device = device.clone();
+            let report = Runner::new(1).run(&plan);
+            match &report.records[0].status {
+                JobStatus::Failed { error } => {
+                    assert!(!error.is_empty(), "{device:?}")
+                }
+                other => panic!("{device:?}: expected Failed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl DensityModel {
     }
 
     /// Rasterizes padded instance footprints into `ws.rho` without
-    /// allocating: instances are split into [`DEPOSIT_BANDS`] contiguous
+    /// allocating: instances are split into `DEPOSIT_BANDS` (8) contiguous
     /// id-ranges deposited independently (in parallel when the current
     /// rayon pool is wider than one worker) and reduced in fixed band
     /// order, so the result is bit-identical for any thread count.

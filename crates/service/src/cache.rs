@@ -69,9 +69,39 @@ pub fn config_fingerprint(device: &DeviceSpec, strategy: Strategy, config: &Pipe
 /// Cache key of a wire-level job: its device + strategy + resolved
 /// pipeline configuration. Deadlines do not participate — they affect
 /// scheduling, not the result.
+///
+/// For [`DeviceSpec::FromJson`] devices the key also folds in the
+/// file's **contents**: the path alone does not determine the topology,
+/// and a re-uploaded calibration file must not be answered with the
+/// previous device's layout. (Defective devices need no such salt —
+/// their base/yield/seed triple fully determines the survivors.) An
+/// unreadable file hashes its error message; such jobs never populate
+/// the cache because admission validation rejects them first. Callers
+/// that already read the import (the server's admission path) should
+/// use [`cache_key_with_content`] instead, so key and validation see
+/// the same bytes.
 #[must_use]
 pub fn cache_key(job: &PlaceJob) -> u64 {
-    config_fingerprint(&job.device, job.strategy, &job.pipeline_config())
+    if let DeviceSpec::FromJson { path } = &job.device {
+        return match std::fs::read(path) {
+            Ok(bytes) => cache_key_with_content(job, &bytes),
+            Err(e) => cache_key_with_content(job, e.to_string().as_bytes()),
+        };
+    }
+    cache_key_with_content(job, &[])
+}
+
+/// [`cache_key`] for a caller that already holds the job's import
+/// bytes (empty for device specs that carry no file). Admission reads
+/// a JSON device once and feeds the same buffer to both the key and
+/// the validation parse, closing the read-twice race where the file
+/// changes between the two.
+#[must_use]
+pub fn cache_key_with_content(job: &PlaceJob, content: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&config_fingerprint(&job.device, job.strategy, &job.pipeline_config()).to_le_bytes());
+    h.write(content);
+    h.finish()
 }
 
 #[derive(Debug)]
@@ -300,6 +330,44 @@ mod tests {
             cache_key(&deadline),
             k1,
             "deadlines affect scheduling, not results"
+        );
+    }
+
+    #[test]
+    fn json_imports_are_keyed_by_contents() {
+        let job = |path: &str| {
+            PlaceJob::fast(
+                DeviceSpec::FromJson {
+                    path: path.to_string(),
+                },
+                Strategy::FrequencyAware,
+            )
+        };
+        let a = job("/tmp/dev.json");
+        assert_eq!(
+            cache_key_with_content(&a, b"{\"v\":1}"),
+            cache_key_with_content(&a.clone(), b"{\"v\":1}"),
+        );
+        assert_ne!(
+            cache_key_with_content(&a, b"{\"v\":1}"),
+            cache_key_with_content(&a, b"{\"v\":2}"),
+            "a re-uploaded file must not reuse the old entry"
+        );
+        assert_ne!(
+            cache_key_with_content(&a, b"{\"v\":1}"),
+            cache_key_with_content(&job("/tmp/other.json"), b"{\"v\":1}"),
+            "the path participates via the spec fingerprint"
+        );
+        // The convenience wrapper agrees with the salted form for a
+        // real on-disk file.
+        let dir = std::env::temp_dir().join("qplacer-cache-key-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chip.json");
+        std::fs::write(&path, b"device bytes").unwrap();
+        let on_disk = job(&path.to_string_lossy());
+        assert_eq!(
+            cache_key(&on_disk),
+            cache_key_with_content(&on_disk, b"device bytes")
         );
     }
 }

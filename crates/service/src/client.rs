@@ -12,7 +12,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+use crate::protocol::{
+    ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -83,7 +85,9 @@ impl ServiceClient {
         match client.call(Request::Hello {
             id,
             version: PROTOCOL_VERSION,
+            minor: PROTOCOL_MINOR_VERSION,
         })? {
+            // Minor skew is fine; only the major must match.
             Reply::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(client),
             Reply::Hello { version, .. } => Err(ServiceError::Protocol(format!(
                 "server speaks protocol v{version}, expected v{PROTOCOL_VERSION}"

@@ -58,15 +58,17 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::{cache_key, config_fingerprint, ResultCache};
+pub use cache::{cache_key, cache_key_with_content, config_fingerprint, ResultCache};
 pub use client::{PlacedReply, ServiceClient, ServiceError};
 pub use metrics::{
     bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics,
 };
-pub use protocol::{ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+pub use protocol::{
+    ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+};
 pub use queue::{JobQueue, PushError, QueuedJob};
 pub use server::{Server, ServiceConfig};
 
 // Re-exported so service users can build jobs without importing the
 // harness crate directly.
-pub use qplacer_harness::{DeviceSpec, Profile, Strategy};
+pub use qplacer_harness::{DeviceError, DeviceSpec, Profile, Strategy};

@@ -18,8 +18,19 @@ use qplacer_harness::{DeviceSpec, JobSpec, PipelineConfig, PlacedLayout, Profile
 
 use crate::metrics::MetricsSnapshot;
 
-/// Wire-protocol version; bump on any breaking message change.
+/// Wire-protocol major version; bump on any breaking message change.
+/// The server rejects a mismatched major with
+/// [`ErrorCode::VersionMismatch`].
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Wire-protocol minor version; bump on compatible message additions
+/// (new [`DeviceSpec`] variants, new error codes). Carried in the
+/// `hello` handshake for diagnostics — the server accepts any minor
+/// under an equal major.
+///
+/// History: 0 = PR 4 baseline; 1 = device-zoo specs (heavy-hex /
+/// ring / ladder / defective / JSON import) + `invalid-device`.
+pub const PROTOCOL_MINOR_VERSION: u32 = 1;
 
 /// One placement request payload: which device to lay out, with which
 /// strategy, under which pipeline budget.
@@ -66,7 +77,7 @@ impl PlaceJob {
     #[must_use]
     pub fn spec(&self) -> JobSpec {
         JobSpec {
-            device: self.device,
+            device: self.device.clone(),
             strategy: self.strategy,
             benchmark: None,
             subsets: 0,
@@ -89,8 +100,10 @@ pub enum Request {
     Hello {
         /// Correlation id, echoed in the reply.
         id: u64,
-        /// The client's [`PROTOCOL_VERSION`].
+        /// The client's [`PROTOCOL_VERSION`] (major; must match).
         version: u32,
+        /// The client's [`PROTOCOL_MINOR_VERSION`] (informational).
+        minor: u32,
     },
     /// Run (or serve from cache) one placement.
     Place {
@@ -137,9 +150,40 @@ impl Request {
     }
 
     /// Parses one wire line.
+    ///
+    /// Accepts the minor-0 (protocol 1.0) `hello` shape — which
+    /// predates the `minor` field — as `minor: 0`, so old clients can
+    /// still open a session against a 1.1+ server. (The reverse
+    /// direction needs no shim: unknown fields are ignored on parse,
+    /// so a 1.0 client reading a 1.1 `hello` reply simply skips
+    /// `minor`.)
     pub fn parse(line: &str) -> Result<Request, String> {
-        serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+        match serde_json::from_str(line) {
+            Ok(request) => Ok(request),
+            Err(e) => parse_minor0_hello(line).ok_or_else(|| format!("bad request: {e}")),
+        }
     }
+}
+
+/// The protocol-1.0 `hello` wire shape: `{"Hello":{"id":…,"version":…}}`
+/// with no `minor` field.
+fn parse_minor0_hello(line: &str) -> Option<Request> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    let (tag, inner) = value.as_variant()?;
+    if tag != "Hello" {
+        return None;
+    }
+    let fields = inner.as_map()?;
+    if fields.iter().any(|(k, _)| k == "minor") {
+        return None; // not the legacy shape — let the strict error stand
+    }
+    let id = u64::from_value(serde::Value::field(fields, "id").ok()?).ok()?;
+    let version = u32::from_value(serde::Value::field(fields, "version").ok()?).ok()?;
+    Some(Request::Hello {
+        id,
+        version,
+        minor: 0,
+    })
 }
 
 /// Machine-readable error class in [`Reply::Error`].
@@ -155,6 +199,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The job sat queued past its [`PlaceJob::deadline_ms`].
     DeadlineExceeded,
+    /// The job's [`DeviceSpec`] does not describe a placeable device
+    /// (bad parameters, unreadable JSON import, disconnected graph);
+    /// caught at admission, before the job ever reaches a worker.
+    InvalidDevice,
     /// The pipeline failed or panicked; the message carries the cause.
     PipelineFailed,
 }
@@ -167,6 +215,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::InvalidDevice => "invalid-device",
             ErrorCode::PipelineFailed => "pipeline-failed",
         };
         f.write_str(s)
@@ -245,6 +294,8 @@ pub enum Reply {
         id: u64,
         /// The server's [`PROTOCOL_VERSION`].
         version: u32,
+        /// The server's [`PROTOCOL_MINOR_VERSION`].
+        minor: u32,
         /// Server software identifier.
         server: String,
     },
@@ -340,6 +391,25 @@ mod tests {
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"Nope\":{}}").is_err());
         assert!(Reply::parse("").is_err());
+    }
+
+    #[test]
+    fn minor0_hello_is_accepted_as_minor_zero() {
+        // The protocol-1.0 wire shape (no `minor` field) must still
+        // open a session against a 1.1 server.
+        let legacy = r#"{"Hello":{"id":3,"version":1}}"#;
+        assert_eq!(
+            Request::parse(legacy).unwrap(),
+            Request::Hello {
+                id: 3,
+                version: 1,
+                minor: 0
+            }
+        );
+        // The shim applies only to `hello`: other truncated messages
+        // still fail, as does a hello with a malformed `minor`.
+        assert!(Request::parse(r#"{"Place":{"id":1}}"#).is_err());
+        assert!(Request::parse(r#"{"Hello":{"id":3,"version":1,"minor":"x"}}"#).is_err());
     }
 
     #[test]

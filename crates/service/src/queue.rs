@@ -97,7 +97,8 @@ impl JobQueue {
     }
 
     /// Blocks until work is available, then pops a batch of up to `max`
-    /// jobs sharing the head job's [`Profile`]. Returns `None` once the
+    /// jobs sharing the head job's [`Profile`](qplacer_harness::Profile).
+    /// Returns `None` once the
     /// queue is closed **and** drained — the worker-exit signal.
     #[must_use]
     pub fn pop_batch(&self, max: usize) -> Option<Vec<QueuedJob>> {

@@ -28,9 +28,11 @@ use std::time::{Duration, Instant};
 
 use qplacer_harness::{execute_job_with, ExperimentPlan, PipelineWorkspace};
 
-use crate::cache::{cache_key, ResultCache};
+use crate::cache::{cache_key, cache_key_with_content, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::protocol::{ErrorCode, PlacementResult, Reply, Request, PROTOCOL_VERSION};
+use crate::protocol::{
+    ErrorCode, PlacementResult, Reply, Request, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+};
 use crate::queue::{JobQueue, PushError, QueuedJob};
 
 /// Server tuning knobs.
@@ -209,10 +211,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     message,
                 })
             }
-            Ok(Request::Hello { id, version }) => Some(if version == PROTOCOL_VERSION {
+            // Minor versions are informational: any client minor is
+            // accepted under an equal major.
+            Ok(Request::Hello { id, version, .. }) => Some(if version == PROTOCOL_VERSION {
                 Reply::Hello {
                     id,
                     version: PROTOCOL_VERSION,
+                    minor: PROTOCOL_MINOR_VERSION,
                     server: concat!("qplacer-service/", env!("CARGO_PKG_VERSION")).to_string(),
                 }
             } else {
@@ -261,7 +266,44 @@ fn handle_place(
             message: "server is draining".to_string(),
         });
     }
-    let key = cache_key(&job);
+    // Admission: compute the cache key, and reject unplaceable devices
+    // (bad parameters, unreadable import, isolated qubits) with a typed
+    // error before they can occupy a worker.
+    //
+    // - JSON imports are read ONCE here; the same bytes feed both the
+    //   content-salted key and the validation parse, so the key always
+    //   describes the contents that were validated. (A file rewritten
+    //   after admission is re-read by the worker — that run's entry is
+    //   keyed by bytes nobody will ask for again, never served to
+    //   requests hashing the new contents.)
+    // - Parametric devices validate via `try_build` only on a cache
+    //   miss: a cached key proves the device already built once, and
+    //   the cached fast path stays free of topology construction.
+    let invalid = |message: String| {
+        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        Some(Reply::Error {
+            id,
+            code: ErrorCode::InvalidDevice,
+            message,
+        })
+    };
+    let key = if let qplacer_harness::DeviceSpec::FromJson { path } = &job.device {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => return invalid(format!("invalid device import `{path}`: {e}")),
+        };
+        match std::str::from_utf8(&bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|text| qplacer_topology::Topology::from_json(text).map_err(|e| e.to_string()))
+            .and_then(|topology| {
+                qplacer_harness::DeviceSpec::validate_topology(&topology).map_err(|e| e.to_string())
+            }) {
+            Ok(()) => cache_key_with_content(&job, &bytes),
+            Err(e) => return invalid(format!("invalid device import `{path}`: {e}")),
+        }
+    } else {
+        cache_key(&job)
+    };
     if let Some(result) = shared.cache.get(key) {
         shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
         return Some(Reply::Placed {
@@ -270,6 +312,11 @@ fn handle_place(
             wall_ms: received.elapsed().as_secs_f64() * 1e3,
             result: (*result).clone(),
         });
+    }
+    if !matches!(job.device, qplacer_harness::DeviceSpec::FromJson { .. }) {
+        if let Err(e) = job.device.try_build() {
+            return invalid(e.to_string());
+        }
     }
     let queued = QueuedJob {
         id,

@@ -11,7 +11,7 @@ use std::net::TcpStream;
 
 use qplacer_service::{
     DeviceSpec, ErrorCode, PlaceJob, Reply, Request, Server, ServiceClient, ServiceConfig,
-    ServiceError, Strategy, PROTOCOL_VERSION,
+    ServiceError, Strategy, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
 
 fn start(workers: usize) -> Server {
@@ -100,6 +100,7 @@ fn shutdown_drains_queued_jobs() {
     let hello = Request::Hello {
         id: 1,
         version: PROTOCOL_VERSION,
+        minor: PROTOCOL_MINOR_VERSION,
     };
     writeln!(stream, "{}", hello.to_line()).unwrap();
     let mut line = String::new();
@@ -128,7 +129,7 @@ fn shutdown_drains_queued_jobs() {
     for (i, device) in devices.iter().enumerate() {
         let req = Request::Place {
             id: 10 + i as u64,
-            job: PlaceJob::fast(*device, Strategy::FrequencyAware),
+            job: PlaceJob::fast(device.clone(), Strategy::FrequencyAware),
         };
         writeln!(stream, "{}", req.to_line()).unwrap();
     }
@@ -173,7 +174,8 @@ fn error_paths_are_typed() {
         "{}",
         Request::Hello {
             id: 1,
-            version: PROTOCOL_VERSION + 1
+            version: PROTOCOL_VERSION + 1,
+            minor: 0
         }
         .to_line()
     )
@@ -211,6 +213,68 @@ fn error_paths_are_typed() {
     assert_eq!(stats.deadline_expired, 1);
     assert!(stats.errors >= 2);
 
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Zoo devices place over the wire, and unplaceable specs are rejected
+/// at admission with the typed `invalid-device` error — they never
+/// reach a worker, never panic the pipeline, and never poison the
+/// cache.
+#[test]
+fn zoo_devices_place_and_invalid_devices_are_rejected() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+
+    // A heavy-hex and a defective device flow end-to-end.
+    for device in [
+        DeviceSpec::HeavyHex { distance: 3 },
+        DeviceSpec::Defective {
+            base: Box::new(DeviceSpec::Eagle127),
+            yield_pct: 90,
+            seed: 7,
+        },
+    ] {
+        let reply = client
+            .place(&PlaceJob::fast(device.clone(), Strategy::FrequencyAware))
+            .unwrap_or_else(|e| panic!("{device:?}: {e}"));
+        assert_eq!(reply.result.remaining_overlaps, 0, "{device:?}");
+        assert_eq!(reply.result.device, device.name());
+    }
+
+    // Defects that isolate everything (yield 0) must be refused with a
+    // typed error at admission.
+    let dead = PlaceJob::fast(
+        DeviceSpec::Defective {
+            base: Box::new(DeviceSpec::Falcon27),
+            yield_pct: 0,
+            seed: 1,
+        },
+        Strategy::FrequencyAware,
+    );
+    match client.place(&dead) {
+        Err(ServiceError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::InvalidDevice);
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected invalid-device, got {other:?}"),
+    }
+    // A missing JSON import too.
+    let missing = PlaceJob::fast(
+        DeviceSpec::FromJson {
+            path: "/nonexistent/calibration.json".to_string(),
+        },
+        Strategy::FrequencyAware,
+    );
+    match client.place(&missing) {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, ErrorCode::InvalidDevice),
+        other => panic!("expected invalid-device, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.placed, 2);
+    assert!(stats.errors >= 2);
     client.shutdown().expect("shutdown");
     server.join();
 }

@@ -14,17 +14,36 @@ use qplacer_service::{
 };
 
 fn arb_device() -> impl Strategy<Value = DeviceSpec> {
-    prop_oneof![
+    let base = prop_oneof![
         (1usize..6, 1usize..6).prop_map(|(width, height)| DeviceSpec::Grid { width, height }),
         Just(DeviceSpec::Falcon27),
         Just(DeviceSpec::Eagle127),
+        (2usize..8).prop_map(|distance| DeviceSpec::HeavyHex { distance }),
+        (3usize..40).prop_map(|qubits| DeviceSpec::Ring { qubits }),
+        (2usize..20).prop_map(|rungs| DeviceSpec::Ladder { rungs }),
         (1usize..3, 1usize..5).prop_map(|(rows, cols)| DeviceSpec::Aspen { rows, cols }),
         (2usize..4, 1usize..3, 1usize..3).prop_map(|(root, branch, levels)| DeviceSpec::Xtree {
             root,
             branch,
             levels
         }),
-    ]
+        (0usize..5).prop_map(|i| DeviceSpec::FromJson {
+            path: format!("devices/tricky \"name\" {i}.json"),
+        }),
+    ];
+    // One level of defect wrapping over any base spec.
+    (
+        base,
+        prop_oneof![Just(None), ((0u32..=100), (0u64..50)).prop_map(Some)],
+    )
+        .prop_map(|(base, defect)| match defect {
+            None => base,
+            Some((yield_pct, seed)) => DeviceSpec::Defective {
+                base: Box::new(base),
+                yield_pct,
+                seed,
+            },
+        })
 }
 
 fn arb_strategy() -> impl Strategy<Value = Arm> {
@@ -70,7 +89,11 @@ fn arb_message() -> impl Strategy<Value = String> {
 fn arb_request() -> impl Strategy<Value = Request> {
     let id = 0u64..1_000_000;
     prop_oneof![
-        (id.clone(), 0u32..4).prop_map(|(id, version)| Request::Hello { id, version }),
+        (id.clone(), 0u32..4, 0u32..4).prop_map(|(id, version, minor)| Request::Hello {
+            id,
+            version,
+            minor
+        }),
         (id.clone(), arb_job()).prop_map(|(id, job)| Request::Place { id, job }),
         id.clone().prop_map(|id| Request::Stats { id }),
         id.clone().prop_map(|id| Request::Ping { id }),
@@ -85,6 +108,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Busy),
         Just(ErrorCode::ShuttingDown),
         Just(ErrorCode::DeadlineExceeded),
+        Just(ErrorCode::InvalidDevice),
         Just(ErrorCode::PipelineFailed),
     ]
 }
@@ -177,9 +201,10 @@ fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
 fn arb_reply() -> impl Strategy<Value = Reply> {
     let id = 0u64..1_000_000;
     prop_oneof![
-        (id.clone(), arb_message()).prop_map(|(id, server)| Reply::Hello {
+        (id.clone(), 0u32..4, arb_message()).prop_map(|(id, minor, server)| Reply::Hello {
             id,
             version: PROTOCOL_VERSION,
+            minor,
             server
         }),
         (id.clone(), 0u32..2, 0.0f64..5e3, arb_result()).prop_map(

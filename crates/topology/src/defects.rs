@@ -1,0 +1,287 @@
+//! Fabrication-defect modeling: seeded yield maps and
+//! largest-connected-component extraction.
+//!
+//! Real superconducting fabrication yields dead qubits (non-functional
+//! junctions, TLS-poisoned transmons) and broken couplers. A
+//! [`DefectMap`] records which components of a base [`Topology`]
+//! survived; [`Topology::apply_defects`] produces the surviving device
+//! (possibly disconnected), and
+//! [`Topology::largest_connected_component`] trims it back to the
+//! biggest placeable fragment. [`Topology::with_yield`] chains all
+//! three with a seeded Bernoulli yield model, so equal `(base, yield,
+//! seed)` triples always produce byte-identical devices.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::Topology;
+
+/// Which qubits and couplers of a base topology are dead.
+///
+/// Indices refer to the base device: qubit `q` of `0..num_qubits`,
+/// coupler `e` of `0..num_edges` (the resonator index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefectMap {
+    dead_qubits: Vec<bool>,
+    dead_couplers: Vec<bool>,
+}
+
+impl DefectMap {
+    /// A defect-free map for `base` (every component alive).
+    #[must_use]
+    pub fn none(base: &Topology) -> DefectMap {
+        DefectMap {
+            dead_qubits: vec![false; base.num_qubits()],
+            dead_couplers: vec![false; base.num_edges()],
+        }
+    }
+
+    /// Samples a seeded Bernoulli yield model over `base`: each qubit
+    /// and each coupler independently survives with probability
+    /// `yield_pct / 100` (clamped to 0–100). Equal `(base, yield_pct,
+    /// seed)` always produce an identical map — qubits are drawn first
+    /// (in index order), then couplers (in resonator order).
+    #[must_use]
+    pub fn sample(base: &Topology, yield_pct: u32, seed: u64) -> DefectMap {
+        let yield_pct = yield_pct.min(100);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = |_| rng.random_range(0u32..100) >= yield_pct;
+        DefectMap {
+            dead_qubits: (0..base.num_qubits()).map(&mut draw).collect(),
+            dead_couplers: (0..base.num_edges()).map(&mut draw).collect(),
+        }
+    }
+
+    /// Marks qubit `q` dead (calibration data import path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn kill_qubit(&mut self, q: usize) {
+        self.dead_qubits[q] = true;
+    }
+
+    /// Marks coupler (resonator) `e` dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn kill_coupler(&mut self, e: usize) {
+        self.dead_couplers[e] = true;
+    }
+
+    /// Whether qubit `q` is dead.
+    #[must_use]
+    pub fn qubit_dead(&self, q: usize) -> bool {
+        self.dead_qubits[q]
+    }
+
+    /// Whether coupler `e` is dead.
+    #[must_use]
+    pub fn coupler_dead(&self, e: usize) -> bool {
+        self.dead_couplers[e]
+    }
+
+    /// Number of dead qubits.
+    #[must_use]
+    pub fn dead_qubit_count(&self) -> usize {
+        self.dead_qubits.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of dead couplers (not counting couplers that die
+    /// implicitly because an endpoint qubit died).
+    #[must_use]
+    pub fn dead_coupler_count(&self) -> usize {
+        self.dead_couplers.iter().filter(|&&d| d).count()
+    }
+}
+
+impl Topology {
+    /// The device that survives `defects`: dead qubits disappear
+    /// (survivors are relabeled contiguously in original index order),
+    /// and an edge survives only if both endpoints and its own coupler
+    /// do. Canonical coordinates follow the surviving qubits.
+    ///
+    /// The result **may be disconnected** (or empty); chain with
+    /// [`Topology::largest_connected_component`] to get a placeable
+    /// device, or use [`Topology::with_yield`] which does both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `defects` was built for a different device shape.
+    #[must_use]
+    pub fn apply_defects(&self, defects: &DefectMap) -> Topology {
+        assert_eq!(
+            (defects.dead_qubits.len(), defects.dead_couplers.len()),
+            (self.num_qubits(), self.num_edges()),
+            "defect map does not match this device"
+        );
+        let survivors: Vec<usize> = (0..self.num_qubits())
+            .filter(|&q| !defects.dead_qubits[q])
+            .collect();
+        let edges = self
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| !defects.dead_couplers[e])
+            .map(|(_, &edge)| edge);
+        self.relabeled_subgraph(&survivors, edges, self.name().to_string())
+    }
+
+    /// The largest connected component of this device, relabeled
+    /// contiguously (ties broken toward the component containing the
+    /// smallest original qubit index). An empty device maps to itself.
+    #[must_use]
+    pub fn largest_connected_component(&self) -> Topology {
+        let n = self.num_qubits();
+        let mut component = vec![usize::MAX; n];
+        let mut sizes = Vec::new();
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = sizes.len();
+            let mut size = 0usize;
+            let mut stack = vec![start];
+            component[start] = id;
+            while let Some(q) = stack.pop() {
+                size += 1;
+                for &nb in self.neighbors(q) {
+                    if component[nb] == usize::MAX {
+                        component[nb] = id;
+                        stack.push(nb);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        let Some(best) = (0..sizes.len()).max_by_key(|&id| (sizes[id], usize::MAX - id)) else {
+            return self.clone();
+        };
+        let survivors: Vec<usize> = (0..n).filter(|&q| component[q] == best).collect();
+        let edges = self.edges().iter().copied();
+        self.relabeled_subgraph(&survivors, edges, self.name().to_string())
+    }
+
+    /// Applies a seeded `yield_pct`% Bernoulli defect model
+    /// ([`DefectMap::sample`]) and keeps the largest connected
+    /// component, renaming the device
+    /// `"<base>-y<yield_pct>-s<seed>"`. Deterministic in `(self,
+    /// yield_pct, seed)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let dev = Topology::eagle127().with_yield(90, 7);
+    /// assert!(dev.is_connected());
+    /// assert!(dev.num_qubits() < 127);
+    /// assert!(dev.name().starts_with("Eagle-y90-s7"));
+    /// ```
+    #[must_use]
+    pub fn with_yield(&self, yield_pct: u32, seed: u64) -> Topology {
+        let map = DefectMap::sample(self, yield_pct, seed);
+        let mut survived = self.apply_defects(&map).largest_connected_component();
+        survived.set_name(format!("{}-y{}-s{}", self.name(), yield_pct.min(100), seed));
+        survived
+    }
+
+    /// Builds the subgraph induced by `survivors` (sorted original
+    /// indices): survivors are relabeled `0..survivors.len()`, and only
+    /// the offered `edges` with both endpoints surviving are kept, in
+    /// their offered order. Class and (subset of) coords carry over.
+    fn relabeled_subgraph<I>(&self, survivors: &[usize], edges: I, name: String) -> Topology
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut relabel = vec![usize::MAX; self.num_qubits()];
+        for (new, &old) in survivors.iter().enumerate() {
+            relabel[old] = new;
+        }
+        let kept = edges
+            .into_iter()
+            .filter_map(|(a, b)| match (relabel[a], relabel[b]) {
+                (usize::MAX, _) | (_, usize::MAX) => None,
+                (a, b) => Some((a, b)),
+            });
+        let mut out = Topology::build(name, self.class(), survivors.len(), kept)
+            .expect("subgraph of a valid device is valid");
+        if let Some(coords) = self.coords() {
+            out = out.with_coords(survivors.iter().map(|&q| coords[q]).collect());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_defects_is_identity_modulo_name() {
+        let base = Topology::falcon27();
+        let same = base.apply_defects(&DefectMap::none(&base));
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn dead_qubit_removes_it_and_its_couplers() {
+        let base = Topology::grid(3, 3);
+        let mut map = DefectMap::none(&base);
+        map.kill_qubit(4); // center: degree 4
+        let dev = base.apply_defects(&map);
+        assert_eq!(dev.num_qubits(), 8);
+        assert_eq!(dev.num_edges(), base.num_edges() - 4);
+        // Ring around the dead center stays connected.
+        assert!(dev.is_connected());
+    }
+
+    #[test]
+    fn dead_coupler_keeps_both_qubits() {
+        let base = Topology::ring(6);
+        let mut map = DefectMap::none(&base);
+        map.kill_coupler(0);
+        let dev = base.apply_defects(&map);
+        assert_eq!(dev.num_qubits(), 6);
+        assert_eq!(dev.num_edges(), 5);
+        assert!(dev.is_connected(), "a broken ring is still a path");
+    }
+
+    #[test]
+    fn largest_component_is_extracted_deterministically() {
+        // Two components: a path of 3 and an edge of 2.
+        let t = Topology::from_edges("two", 5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let lcc = t.largest_connected_component();
+        assert_eq!(lcc.num_qubits(), 3);
+        assert_eq!(lcc.edges(), &[(0, 1), (1, 2)]);
+        assert!(lcc.is_connected());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic_and_yield_monotone() {
+        let base = Topology::eagle127();
+        let a = DefectMap::sample(&base, 90, 42);
+        let b = DefectMap::sample(&base, 90, 42);
+        assert_eq!(a, b);
+        let c = DefectMap::sample(&base, 90, 43);
+        assert_ne!(a, c, "different seeds should differ on 127 qubits");
+        // yield 100 kills nothing; yield 0 kills everything.
+        let all = DefectMap::sample(&base, 100, 1);
+        assert_eq!((all.dead_qubit_count(), all.dead_coupler_count()), (0, 0));
+        let none = DefectMap::sample(&base, 0, 1);
+        assert_eq!(none.dead_qubit_count(), 127);
+    }
+
+    #[test]
+    fn with_yield_produces_a_connected_named_device() {
+        let dev = Topology::eagle127().with_yield(95, 3);
+        assert!(dev.is_connected());
+        assert!(dev.num_qubits() <= 127);
+        // Heavy-hex is degree ≤ 3, so combined qubit+coupler loss
+        // fragments fast; 95% yield still keeps most of the chip.
+        assert!(dev.num_qubits() > 90, "got {}", dev.num_qubits());
+        assert_eq!(dev.name(), "Eagle-y95-s3");
+        // Coords follow the survivors.
+        assert_eq!(dev.coords().unwrap().len(), dev.num_qubits());
+    }
+}

@@ -126,9 +126,8 @@ impl Topology {
     }
 
     /// The IBM Eagle 127-qubit heavy-hexagon processor (Table I row
-    /// "Heavy Hex 127"), constructed with the `ibm_washington` row/bridge
-    /// pattern: seven horizontal chains (14/15/…/15/14 qubits) joined by
-    /// 24 bridge qubits.
+    /// "Heavy Hex 127") — exactly [`Topology::heavy_hex`] at distance 5
+    /// with the `ibm_washington` display name.
     ///
     /// # Examples
     ///
@@ -140,56 +139,116 @@ impl Topology {
     /// ```
     #[must_use]
     pub fn eagle127() -> Topology {
-        let mut edges = Vec::new();
-        // Row start indices and lengths (rows are chains; between
-        // consecutive rows sit 4 bridge qubits).
-        let rows: [(usize, usize); 7] = [
-            (0, 14),
-            (18, 15),
-            (37, 15),
-            (56, 15),
-            (75, 15),
-            (94, 15),
-            (113, 14),
-        ];
-        let bridges: [usize; 6] = [14, 33, 52, 71, 90, 109];
-        for &(start, len) in &rows {
-            for i in 0..len - 1 {
-                edges.push((start + i, start + i + 1));
-            }
-        }
-        // Bridge k of band b sits at column 4k (even bands) or 4k+2 (odd
-        // bands) — the heavy-hex offset alternation of ibm_washington. The
-        // last row is one shorter and shifted left by one column, so the
-        // final band's lower attachment is at column 4k+1.
-        let mut coords = vec![(0.0, 0.0); 127];
-        for (r, &(start, len)) in rows.iter().enumerate() {
-            // The last (short) row is shifted one column right, matching
-            // ibm_washington's rendering.
-            let shift = if r == rows.len() - 1 { 1.0 } else { 0.0 };
-            for i in 0..len {
-                coords[start + i] = (i as f64 + shift, 2.0 * r as f64);
-            }
-        }
-        for (b, &bstart) in bridges.iter().enumerate() {
-            let (up_start, _) = rows[b];
-            let (down_start, down_len) = rows[b + 1];
-            for k in 0..4 {
-                let bridge = bstart + k;
-                let col = if b % 2 == 0 { 4 * k } else { 4 * k + 2 };
-                let down_col = if down_len == 14 && b % 2 == 1 {
-                    col - 1
-                } else {
-                    col
-                };
-                edges.push((up_start + col, bridge));
-                edges.push((bridge, down_start + down_col));
-                coords[bridge] = (col as f64, 2.0 * b as f64 + 1.0);
-            }
-        }
-        Topology::build("Eagle".into(), DeviceClass::HeavyHex, 127, edges)
-            .expect("eagle map is valid")
+        heavy_hex_named(5, "Eagle".to_string())
+    }
+
+    /// A parametric IBM-style heavy-hexagon lattice at `distance` `d`
+    /// (`d ≥ 2`): `d + 2` horizontal chain rows of `3d` qubits (the first
+    /// and last rows one qubit shorter), joined by `d + 1` bands of
+    /// degree-2 bridge qubits at alternating column offsets — the
+    /// row/bridge pattern of `ibm_washington` generalized to any scale.
+    ///
+    /// `heavy_hex(5)` is the 127-qubit Eagle graph (what
+    /// [`Topology::eagle127`] returns); `d = 10` gives 441 qubits
+    /// (Osprey-433 scale) and `d = 16` gives 1066 qubits (Condor-1121
+    /// scale). Odd distances correspond to the heavy-hexagon code
+    /// distance the device supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let d5 = Topology::heavy_hex(5);
+    /// assert_eq!((d5.num_qubits(), d5.num_edges()), (127, 144));
+    /// assert!(d5.max_degree() <= 3);
+    /// let d3 = Topology::heavy_hex(3);
+    /// assert_eq!(d3.num_qubits(), 52);
+    /// assert!(d3.is_connected());
+    /// ```
+    #[must_use]
+    pub fn heavy_hex(distance: usize) -> Topology {
+        heavy_hex_named(distance, format!("HeavyHex-d{distance}"))
+    }
+
+    /// A ring (cycle) coupler of `n` qubits: qubit `i` couples to
+    /// `(i + 1) mod n`. Rings are the natural host for QAOA-on-a-cycle
+    /// workloads and the smallest topology with two disjoint paths
+    /// between any pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let r = Topology::ring(12);
+    /// assert_eq!((r.num_qubits(), r.num_edges()), (12, 12));
+    /// assert!(r.is_connected());
+    /// assert_eq!(r.max_degree(), 2);
+    /// ```
+    #[must_use]
+    pub fn ring(n: usize) -> Topology {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let edges = (0..n).map(|i| (i, (i + 1) % n));
+        // Unit spacing along the circumference keeps coupled qubits one
+        // grid unit apart on the canonical layout.
+        let radius = n as f64 / (2.0 * std::f64::consts::PI);
+        let coords = (0..n)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * i as f64 / n as f64;
+                (radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+        Topology::build(format!("Ring-{n}"), DeviceClass::Ring, n, edges)
+            .expect("ring generator produces valid edges")
             .with_coords(coords)
+    }
+
+    /// A ladder of `rungs` two-qubit rungs: two parallel rails of
+    /// `rungs` qubits with a coupler across each rung. Qubit `2i + j` is
+    /// rung `i`, rail `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let l = Topology::ladder(8);
+    /// assert_eq!((l.num_qubits(), l.num_edges()), (16, 22));
+    /// assert!(l.is_connected());
+    /// assert_eq!(l.max_degree(), 3);
+    /// ```
+    #[must_use]
+    pub fn ladder(rungs: usize) -> Topology {
+        assert!(rungs >= 2, "a ladder needs at least 2 rungs");
+        let mut edges = Vec::new();
+        for i in 0..rungs {
+            edges.push((2 * i, 2 * i + 1));
+            if i + 1 < rungs {
+                edges.push((2 * i, 2 * (i + 1)));
+                edges.push((2 * i + 1, 2 * (i + 1) + 1));
+            }
+        }
+        let coords = (0..2 * rungs)
+            .map(|q| ((q / 2) as f64, (q % 2) as f64))
+            .collect();
+        Topology::build(
+            format!("Ladder-{rungs}"),
+            DeviceClass::Ladder,
+            2 * rungs,
+            edges,
+        )
+        .expect("ladder generator produces valid edges")
+        .with_coords(coords)
     }
 
     /// A Rigetti Aspen-style octagon lattice with `rows × cols` eight-qubit
@@ -365,6 +424,76 @@ impl Topology {
             Topology::xtree(4, 3, 3),
         ]
     }
+}
+
+/// Shared builder behind [`Topology::heavy_hex`] / [`Topology::eagle127`].
+///
+/// Layout: `distance + 2` chain rows of `3·distance` qubits (first and
+/// last rows one shorter; the last row is additionally shifted one
+/// column right, matching `ibm_washington`'s rendering). Between rows
+/// `b` and `b + 1` sit bridge qubits at physical columns `4k` (even
+/// bands) or `4k + 2` (odd bands); a bridge exists only where both
+/// attachment columns land on existing row qubits. Qubits are numbered
+/// row 0, band 0, row 1, band 1, …, so `heavy_hex_named(5, _)`
+/// reproduces the historical `eagle127` indexing exactly.
+fn heavy_hex_named(distance: usize, name: String) -> Topology {
+    assert!(distance >= 2, "heavy-hex distance must be at least 2");
+    let cols = 3 * distance;
+    let num_rows = distance + 2;
+    // Row metadata: (start index, length, column shift).
+    let mut rows: Vec<(usize, usize, usize)> = Vec::with_capacity(num_rows);
+    // Band metadata: (start index, Vec<(physical column)>).
+    let mut bands: Vec<(usize, Vec<usize>)> = Vec::with_capacity(num_rows - 1);
+    let row_len = |r: usize| {
+        if r == 0 || r == num_rows - 1 {
+            cols - 1
+        } else {
+            cols
+        }
+    };
+    let row_shift = |r: usize| usize::from(r == num_rows - 1);
+    // A physical column lands on row `r` iff `shift <= col < shift + len`.
+    let on_row = |r: usize, col: usize| col >= row_shift(r) && col - row_shift(r) < row_len(r);
+    let mut next = 0usize;
+    for r in 0..num_rows {
+        rows.push((next, row_len(r), row_shift(r)));
+        next += row_len(r);
+        if r + 1 < num_rows {
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            let cols_here: Vec<usize> = (0..)
+                .map(|k| 4 * k + offset)
+                .take_while(|&c| c < cols)
+                .filter(|&c| on_row(r, c) && on_row(r + 1, c))
+                .collect();
+            bands.push((next, cols_here.clone()));
+            next += cols_here.len();
+        }
+    }
+    let n = next;
+    let mut edges = Vec::new();
+    let mut coords = vec![(0.0, 0.0); n];
+    // Row chains first, then bridges, matching the historical edge order.
+    for (r, &(start, len, shift)) in rows.iter().enumerate() {
+        for i in 0..len {
+            coords[start + i] = ((i + shift) as f64, 2.0 * r as f64);
+            if i + 1 < len {
+                edges.push((start + i, start + i + 1));
+            }
+        }
+    }
+    for (b, (bstart, band_cols)) in bands.iter().enumerate() {
+        let (up_start, _, up_shift) = rows[b];
+        let (down_start, _, down_shift) = rows[b + 1];
+        for (k, &col) in band_cols.iter().enumerate() {
+            let bridge = bstart + k;
+            edges.push((up_start + col - up_shift, bridge));
+            edges.push((bridge, down_start + col - down_shift));
+            coords[bridge] = (col as f64, 2.0 * b as f64 + 1.0);
+        }
+    }
+    Topology::build(name, DeviceClass::HeavyHex, n, edges)
+        .expect("heavy-hex generator produces valid edges")
+        .with_coords(coords)
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@ pub enum DeviceClass {
     Octagon,
     /// Pauli-string-efficient X-tree.
     Xtree,
+    /// Single cycle of couplers.
+    Ring,
+    /// Two rails joined by rungs.
+    Ladder,
     /// Anything user-constructed.
     Custom,
 }
@@ -27,9 +31,31 @@ impl fmt::Display for DeviceClass {
             DeviceClass::HeavyHex => "heavy-hex",
             DeviceClass::Octagon => "octagon",
             DeviceClass::Xtree => "xtree",
+            DeviceClass::Ring => "ring",
+            DeviceClass::Ladder => "ladder",
             DeviceClass::Custom => "custom",
         };
         f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for DeviceClass {
+    type Err = String;
+
+    /// Parses the lowercase class labels [`DeviceClass`] displays
+    /// (`grid`, `heavy-hex`, `octagon`, `xtree`, `ring`, `ladder`,
+    /// `custom`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "grid" => DeviceClass::Grid,
+            "heavy-hex" => DeviceClass::HeavyHex,
+            "octagon" => DeviceClass::Octagon,
+            "xtree" => DeviceClass::Xtree,
+            "ring" => DeviceClass::Ring,
+            "ladder" => DeviceClass::Ladder,
+            "custom" => DeviceClass::Custom,
+            other => return Err(format!("unknown device class `{other}`")),
+        })
     }
 }
 
@@ -73,6 +99,9 @@ pub enum TopologyError {
     },
     /// An edge connected a qubit to itself.
     SelfLoop(usize),
+    /// A serialized device description could not be understood (bad
+    /// JSON, missing fields, unknown class, malformed coords, …).
+    Invalid(String),
 }
 
 impl fmt::Display for TopologyError {
@@ -84,6 +113,7 @@ impl fmt::Display for TopologyError {
                 edge.0, edge.1
             ),
             TopologyError::SelfLoop(q) => write!(f, "self-loop on qubit {q}"),
+            TopologyError::Invalid(msg) => write!(f, "invalid device description: {msg}"),
         }
     }
 }
@@ -179,6 +209,12 @@ impl Topology {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Renames the device (derived devices — defect survivors, imports —
+    /// stamp their provenance here).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     /// Device family.

@@ -14,6 +14,15 @@
 //! | [`Topology::aspen`] (2×5) | 80 | Rigetti Aspen-M octagons |
 //! | [`Topology::xtree`] (4,3,3) | 53 | Pauli-string-efficient X-tree |
 //!
+//! Beyond the paper's six devices, the zoo adds parametric families:
+//! [`Topology::heavy_hex`] at arbitrary distance (d = 5 *is* Eagle;
+//! d = 10/16 reach Osprey/Condor scale), [`Topology::ring`] and
+//! [`Topology::ladder`] couplers, seeded fabrication defects
+//! ([`DefectMap`], [`Topology::with_yield`],
+//! [`Topology::largest_connected_component`]), and a JSON
+//! calibration-data import/export ([`Topology::from_json`],
+//! [`Topology::to_json`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -28,9 +37,12 @@
 #![warn(missing_docs)]
 
 mod chiplet;
+mod defects;
 mod generators;
 mod graph;
+mod json;
 mod sampling;
 
+pub use defects::DefectMap;
 pub use graph::{DeviceClass, Topology, TopologyError};
 pub use sampling::random_connected_subset;

@@ -90,4 +90,84 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn heavy_hex_invariants_at_arbitrary_distance(d in 2usize..12) {
+        let t = Topology::heavy_hex(d);
+        // The defining heavy-hex property: degree never exceeds 3.
+        prop_assert!(t.max_degree() <= 3, "d={d}: degree {}", t.max_degree());
+        prop_assert!(t.is_connected(), "d={d} must be connected");
+        // Scale grows quadratically: rows alone give 3d² + O(d) qubits.
+        prop_assert!(t.num_qubits() >= 3 * d * d);
+        // Handshake.
+        let degree_sum: usize = (0..t.num_qubits()).map(|q| t.degree(q)).sum();
+        prop_assert_eq!(degree_sum, 2 * t.num_edges());
+        // Bridges (the y-odd coordinates) all have degree exactly 2.
+        let coords = t.coords().expect("generator provides coords");
+        for (q, &(_, y)) in coords.iter().enumerate() {
+            if (y as usize) % 2 == 1 {
+                prop_assert_eq!(t.degree(q), 2, "bridge {} at y={}", q, y);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_ladder_invariants(n in 3usize..60, rungs in 2usize..40) {
+        let ring = Topology::ring(n);
+        prop_assert_eq!((ring.num_qubits(), ring.num_edges()), (n, n));
+        prop_assert!(ring.is_connected());
+        prop_assert_eq!(ring.max_degree(), 2);
+        let ladder = Topology::ladder(rungs);
+        prop_assert_eq!(
+            (ladder.num_qubits(), ladder.num_edges()),
+            (2 * rungs, 3 * rungs - 2)
+        );
+        prop_assert!(ladder.is_connected());
+        prop_assert!(ladder.max_degree() <= 3);
+    }
+
+    #[test]
+    fn defect_surviving_component_is_connected(
+        yield_pct in 0u32..=100,
+        seed in 0u64..200,
+        d in 2usize..6,
+    ) {
+        // Whatever the yield model destroys, the survivor handed to the
+        // placer is one connected component (possibly empty).
+        let survivor = Topology::heavy_hex(d).with_yield(yield_pct, seed);
+        prop_assert!(survivor.is_connected());
+        prop_assert!(survivor.num_qubits() <= Topology::heavy_hex(d).num_qubits());
+        // Coords survive with the qubits.
+        prop_assert_eq!(
+            survivor.coords().map(<[(f64, f64)]>::len),
+            Some(survivor.num_qubits())
+        );
+    }
+
+    #[test]
+    fn equal_seeds_generate_byte_identical_devices(
+        yield_pct in 1u32..100,
+        seed in 0u64..200,
+    ) {
+        use qplacer_topology::DefectMap;
+        let base = Topology::eagle127();
+        let a = DefectMap::sample(&base, yield_pct, seed);
+        let b = DefectMap::sample(&base, yield_pct, seed);
+        prop_assert_eq!(&a, &b);
+        // Byte-identical all the way through serialization.
+        let da = base.with_yield(yield_pct, seed).to_json();
+        let db = base.with_yield(yield_pct, seed).to_json();
+        prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn json_round_trip_is_identity(w in 1usize..7, h in 1usize..7, seed in 0u64..50) {
+        // A structured device and a defect-mangled one (irregular edge
+        // lists, relabeled survivors, fractional coords) both survive
+        // export → import exactly.
+        let grid = Topology::grid(w, h);
+        prop_assert_eq!(Topology::from_json(&grid.to_json()).unwrap(), grid);
+        let mangled = Topology::heavy_hex(3).with_yield(80, seed);
+        prop_assert_eq!(Topology::from_json(&mangled.to_json()).unwrap(), mangled);
+    }
 }

@@ -20,9 +20,13 @@
 //! qplacer shutdown [--addr HOST:PORT]
 //! ```
 //!
-//! Topologies: `grid`, `falcon`, `eagle`, `aspen11`, `aspenm`, `xtree`.
-//! Benchmarks: `bv-4`, `bv-9`, `bv-16`, `qaoa-4`, `qaoa-9`, `ising-4`,
-//! `qgan-4`, `qgan-9`.
+//! Topologies span the whole device zoo: the paper's six (`grid`,
+//! `falcon`, `eagle`, `aspen11`, `aspenm`, `xtree`), the parametric
+//! families (`grid-WxH`, `heavy-hex-dN`, `ring-N`, `ladder-N`), the
+//! seeded defect wrapper (`defective-<base>[-yPCT][-sSEED]`), and JSON
+//! device files (`path/to/device.json`, written by `qplacer export`).
+//! Benchmarks: the Table-I eight (`bv-4` … `qgan-9`) plus any
+//! parametric `bv-N`/`qaoa-N`/`ising-N`/`qgan-N`/`ghz-N`/`qv-N`.
 //!
 //! `suite` runs the full paper evaluation grid through the
 //! [`qplacer_harness`] runner: jobs fan out across a thread pool and the
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "inventory" => cmd_inventory(),
+        "export" => cmd_export(&args[1..]),
         "place" => cmd_place(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
@@ -72,6 +77,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   qplacer inventory
+  qplacer export   <topology> [--out FILE]     # write the JSON device file
   qplacer place    <topology> [--strategy qplacer|classic|human]
                    [--segment <mm>] [--svg FILE] [--gds FILE]
   qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N]
@@ -89,12 +95,20 @@ const USAGE: &str = "usage:
   qplacer stats    [--addr HOST:PORT]
   qplacer shutdown [--addr HOST:PORT]
 
-topologies: grid falcon eagle aspen11 aspenm xtree
-benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9
+topologies (device zoo):
+  paper devices:  grid falcon eagle aspen11 aspenm xtree
+  parametric:     grid-WxH heavy-hex-dN ring-N ladder-N
+  defect model:   defective-<base>[-yPCT][-sSEED]   (e.g. defective-eagle,
+                  defective-heavy-hex-d7-y85-s3; defaults y90 s0)
+  JSON import:    any path ending in .json, or json:<path>
+benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9,
+  plus parametric bv-N qaoa-N ising-N qgan-N ghz-N qv-N at any size
 default service address: 127.0.0.1:7177";
 
 fn parse_topology(name: &str) -> Result<Topology, String> {
-    DeviceSpec::parse(name).map(|spec| spec.build())
+    // try_build so a bad spelling or an unplaceable device is a clean
+    // `error:` line, not a panic.
+    DeviceSpec::parse(name).and_then(|spec| spec.try_build().map_err(|e| e.to_string()))
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -124,6 +138,27 @@ fn numeric_flag<T: std::str::FromStr>(
         .map(|v| v.parse().map_err(|_| format!("bad {flag} `{v}`")))
         .transpose()
         .map(|opt| opt.unwrap_or(default))
+}
+
+/// Writes a device's JSON description — the round-trippable import
+/// format `--devices <file>.json` (and `Topology::from_json`) consume.
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("export needs a topology")?;
+    let device = parse_topology(name)?;
+    let json = device.to_json();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "wrote {path} ({}, {} qubits, {} couplers)",
+                device.name(),
+                device.num_qubits(),
+                device.num_edges()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
 }
 
 fn cmd_inventory() -> Result<(), String> {
@@ -326,7 +361,7 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     );
     let mut dirty = 0usize;
     for spec in devices {
-        let device = spec.build();
+        let device = spec.try_build().map_err(|e| e.to_string())?;
         let layout = engine.place_with(&device, strategy, &mut ws);
         let legal = layout
             .legalization
@@ -372,7 +407,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         .map(str::to_string)
         .collect::<Vec<_>>();
     for b in &benchmarks {
-        if !known.contains(&b.as_str()) {
+        // Paper names plus the parametric zoo (ghz-N, qv-N, …).
+        if qplacer::circuits::benchmark_by_name(b).is_none() {
             return Err(format!("unknown benchmark `{b}`"));
         }
     }
@@ -577,6 +613,37 @@ mod tests {
         assert_eq!(parse_topology("eagle").unwrap().num_qubits(), 127);
         assert_eq!(parse_topology("aspenm").unwrap().num_qubits(), 80);
         assert!(parse_topology("sycamore").is_err());
+        // Zoo spellings reach the CLI too.
+        assert_eq!(parse_topology("heavy-hex-d5").unwrap().num_qubits(), 127);
+        assert_eq!(parse_topology("ring-16").unwrap().num_qubits(), 16);
+        assert_eq!(parse_topology("ladder-4").unwrap().num_qubits(), 8);
+        let defective = parse_topology("defective-eagle").unwrap();
+        assert!(defective.is_connected());
+        assert!(defective.num_qubits() < 127);
+    }
+
+    #[test]
+    fn export_round_trips_through_the_json_device_spelling() {
+        let dir = std::env::temp_dir().join("qplacer-cli-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("falcon.json");
+        let path_str = path.to_string_lossy().into_owned();
+        let args: Vec<String> = ["falcon", "--out", path_str.as_str()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_export(&args).is_ok());
+        let imported = parse_topology(&path_str).unwrap();
+        assert_eq!(imported, Topology::falcon27());
+        // And the whole pipeline runs on the imported device.
+        let e2e_args: Vec<String> = ["--devices", path_str.as_str(), "--fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_e2e(&e2e_args).is_ok());
+        // Export validates its topology argument.
+        assert!(cmd_export(&["warp".to_string()]).is_err());
+        assert!(cmd_export(&[]).is_err());
     }
 
     #[test]

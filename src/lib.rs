@@ -80,11 +80,11 @@ pub use qplacer_place as place;
 pub use qplacer_service as service;
 pub use qplacer_topology as topology;
 
-pub use qplacer_circuits::{paper_suite, Benchmark};
+pub use qplacer_circuits::{benchmark_by_name, paper_suite, Benchmark};
 pub use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
 pub use qplacer_harness::{
-    ArmSummary, CsvSink, DeviceSpec, ExperimentPlan, JobRecord, JobSpec, JobStatus, JsonlSink,
-    MemorySink, Profile, RunReport, Runner, Sink, Summary,
+    ArmSummary, CsvSink, DeviceError, DeviceSpec, ExperimentPlan, JobRecord, JobSpec, JobStatus,
+    JsonlSink, MemorySink, Profile, RunReport, Runner, Sink, Summary,
 };
 pub use qplacer_legal::{LegalReport, Legalizer};
 pub use qplacer_metrics::{
@@ -95,6 +95,6 @@ pub use qplacer_netlist::{CouplingKind, NetlistConfig, QuantumNetlist};
 pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
 pub use qplacer_service::{
     MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
-    PROTOCOL_VERSION,
+    PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
-pub use qplacer_topology::Topology;
+pub use qplacer_topology::{DefectMap, Topology};

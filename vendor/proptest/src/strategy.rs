@@ -231,7 +231,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// Conversion of size specifications for [`vec`].
+/// Conversion of size specifications for [`vec()`](fn@vec).
 pub trait IntoSizeRange {
     /// Returns the inclusive `(min, max)` length bounds.
     fn into_size_range(self) -> (usize, usize);
@@ -256,7 +256,7 @@ impl IntoSizeRange for RangeInclusive<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     min: usize,
