@@ -26,7 +26,9 @@
 //! `service_rps_fresh_grid`) — and the device zoo (PR 5):
 //! `end_to_end_heavy_hex_d5` (the parametric heavy-hex family at Eagle
 //! scale) and `place_defective_eagle` (a 90%-yield defect-survivor
-//! Eagle). Timing fields are host-dependent; the schema is what
+//! Eagle) — plus the observability layer (PR 6):
+//! `obs_span_overhead`, the cost of one enabled `qplacer-obs` span
+//! enter/exit. Timing fields are host-dependent; the schema is what
 //! downstream tooling relies on: `{schema, threads, entries: [{kernel,
 //! grid, ns_per_op, iterations_per_sec}]}`.
 
@@ -299,6 +301,27 @@ fn measure(quick: bool) -> BenchDoc {
 
         client.shutdown().expect("shutdown service");
         server.join();
+    }
+
+    // Observability (PR 6): per-op cost of one *enabled* span
+    // enter/exit — two `Instant` reads, a few relaxed atomics, and a
+    // thread-local stack push/pop. This is the overhead every
+    // instrumented kernel pays while `qplacer profile` (or any caller
+    // that enables spans) is watching; the gate keeps it from silently
+    // growing into the hot paths it wraps. Measured last so span
+    // accounting never runs during the kernels above.
+    {
+        qplacer_obs::set_spans_enabled(true);
+        let ns = time_op(
+            || {
+                let _span = qplacer_obs::span!("bench_overhead_probe");
+                std::hint::black_box(());
+            },
+            10_000,
+            min_seconds,
+        );
+        qplacer_obs::set_spans_enabled(false);
+        entries.push(entry("obs_span_overhead", 1, ns));
     }
 
     BenchDoc {

@@ -1,7 +1,10 @@
 //! End-to-end frequency assignment over a device topology.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
+use qplacer_obs::{NullTraceSink, TraceRecord, TraceSink};
 use qplacer_physics::Frequency;
 use qplacer_topology::Topology;
 
@@ -204,6 +207,25 @@ impl FrequencyAssigner {
         out
     }
 
+    /// Like [`FrequencyAssigner::assign_with`], but emits one
+    /// [`TraceRecord::FreqPhase`] per coloring phase into `sink` (see
+    /// [`FrequencyAssigner::assign_traced_into`]).
+    #[must_use]
+    pub fn assign_traced_with(
+        &self,
+        topology: &Topology,
+        ws: &mut FreqWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> FrequencyAssignment {
+        let mut out = FrequencyAssignment {
+            qubits: Vec::new(),
+            resonators: Vec::new(),
+            detuning_threshold: self.qubit_band.step(),
+        };
+        self.assign_traced_into(topology, ws, &mut out, sink);
+        out
+    }
+
     /// Like [`FrequencyAssigner::assign_with`], but also writes into an
     /// existing [`FrequencyAssignment`], so steady-state assignments of
     /// the same topology shape allocate nothing at all.
@@ -213,21 +235,49 @@ impl FrequencyAssigner {
         ws: &mut FreqWorkspace,
         out: &mut FrequencyAssignment,
     ) {
+        self.assign_traced_into(topology, ws, out, &mut NullTraceSink);
+    }
+
+    /// Like [`FrequencyAssigner::assign_into`], but emits one
+    /// [`TraceRecord::FreqPhase`] per coloring phase (`qubits`,
+    /// `resonators`) into `sink`. Timing flows only into `sink`; the
+    /// assignment itself is bit-identical to the untraced path.
+    pub fn assign_traced_into(
+        &self,
+        topology: &Topology,
+        ws: &mut FreqWorkspace,
+        out: &mut FrequencyAssignment,
+        sink: &mut dyn TraceSink,
+    ) {
+        let _span = qplacer_obs::span!("freq_assign", qubits = topology.num_qubits() as u64);
+
         // Qubits: color the radius-R conflict graph, repair on the direct
         // graph.
+        let phase_start = Instant::now();
         radius_conflicts_into(topology, self.qubit_conflict_radius, ws);
         direct_adjacency_into(topology, ws);
         color_and_slot(ws, self.qubit_band.num_slots());
         out.qubits.clear();
         out.qubits
             .extend(ws.slots.iter().map(|&s| self.qubit_band.slot(s)));
+        sink.record(&TraceRecord::FreqPhase {
+            phase: "qubits",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: out.qubits.len() as u64,
+        });
 
         // Resonators: the line graph is both the soft and the hard graph.
+        let phase_start = Instant::now();
         line_graph_into(topology, ws);
         color_and_slot(ws, self.resonator_band.num_slots());
         out.resonators.clear();
         out.resonators
             .extend(ws.slots.iter().map(|&s| self.resonator_band.slot(s)));
+        sink.record(&TraceRecord::FreqPhase {
+            phase: "resonators",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: out.resonators.len() as u64,
+        });
 
         out.detuning_threshold = self.qubit_band.step();
     }

@@ -71,6 +71,6 @@ pub use pipeline::{
     PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
 };
 pub use plan::{DeviceError, DeviceSpec, ExperimentPlan, JobSpec, Profile};
-pub use runner::{execute_job_with, JobRecord, JobStatus, RunReport, Runner};
+pub use runner::{execute_job_traced, execute_job_with, JobRecord, JobStatus, RunReport, Runner};
 pub use sink::{CsvSink, JsonlSink, MemorySink, Sink};
 pub use summary::{ArmSummary, Summary};

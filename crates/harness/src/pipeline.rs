@@ -13,6 +13,7 @@ use qplacer_metrics::{
     HotspotReport,
 };
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
+use qplacer_obs::{NullTraceSink, TraceSink};
 use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
 use qplacer_topology::Topology;
 
@@ -245,9 +246,34 @@ impl Qplacer {
         strategy: Strategy,
         ws: &mut PipelineWorkspace,
     ) -> PlacedLayout {
+        self.place_traced(device, strategy, ws, &mut NullTraceSink)
+    }
+
+    /// Like [`Qplacer::place_with`], but streams convergence telemetry
+    /// into `sink`: per-phase [`FreqPhase`] records from the assigner,
+    /// one [`PlaceIteration`] record per global-placement iteration, and
+    /// per-phase [`LegalPhase`] records from the legalizer. Telemetry is
+    /// observational only — the returned layout is bit-identical to the
+    /// untraced path.
+    ///
+    /// [`FreqPhase`]: qplacer_obs::TraceRecord::FreqPhase
+    /// [`PlaceIteration`]: qplacer_obs::TraceRecord::PlaceIteration
+    /// [`LegalPhase`]: qplacer_obs::TraceRecord::LegalPhase
+    #[must_use]
+    pub fn place_traced(
+        &self,
+        device: &Topology,
+        strategy: Strategy,
+        ws: &mut PipelineWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> PlacedLayout {
+        let _span = qplacer_obs::span!("pipeline", qubits = device.num_qubits() as u64);
         let mut timings = StageTimings::default();
         let start = Instant::now();
-        let assignment = self.config.assigner.assign_with(device, &mut ws.freq);
+        let assignment = self
+            .config
+            .assigner
+            .assign_traced_with(device, &mut ws.freq, sink);
         timings.assign_ms = start.elapsed().as_secs_f64() * 1e3;
         match strategy {
             Strategy::Human => {
@@ -267,7 +293,7 @@ impl Qplacer {
                 let mut placer_cfg = self.config.placer;
                 placer_cfg.frequency_aware = strategy == Strategy::FrequencyAware;
                 let placement =
-                    GlobalPlacer::new(placer_cfg).run_with(&mut netlist, &mut ws.placer);
+                    GlobalPlacer::new(placer_cfg).run_traced(&mut netlist, &mut ws.placer, sink);
                 timings.place_ms = placement.elapsed_seconds * 1e3;
                 // The τ-checked (resonance-aware) legalization passes are a
                 // QPlacer contribution (§IV-C2); the Classic arm gets the
@@ -278,7 +304,7 @@ impl Qplacer {
                     legalizer_cfg = legalizer_cfg.with_resonant_margin(0.0);
                 }
                 let start = Instant::now();
-                let legalization = legalizer_cfg.run_with(&mut netlist, &mut ws.legal);
+                let legalization = legalizer_cfg.run_traced(&mut netlist, &mut ws.legal, sink);
                 timings.legalize_ms = start.elapsed().as_secs_f64() * 1e3;
                 PlacedLayout {
                     strategy,

@@ -4,6 +4,7 @@
 use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
+use qplacer_obs::{JsonlTraceSink, NullTraceSink, RingTraceSink, TraceSink};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -317,6 +318,62 @@ impl Runner {
         }
         Ok(report)
     }
+
+    /// Like [`Runner::run`], but additionally streams convergence
+    /// telemetry (placer iterations, legalization / frequency phases)
+    /// into a JSONL trace file at `trace_path` — the sidecar meant to
+    /// sit next to a JSONL result sink.
+    ///
+    /// Each job records into its own pre-sized in-memory ring while jobs
+    /// run in parallel; the file is written after the whole run in plan
+    /// order, each line labelled `"<plan>/<job index>"`, so trace output
+    /// is deterministic in everything but the timing values themselves.
+    pub fn run_with_trace(
+        &self,
+        plan: &ExperimentPlan,
+        trace_path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<RunReport> {
+        let start = Instant::now();
+        let results: Vec<(JobRecord, RingTraceSink)> = self.pool.install(|| {
+            (0..plan.jobs.len())
+                .into_par_iter()
+                .map(|index| execute_job_ringed(plan, index))
+                .collect()
+        });
+        let mut trace = JsonlTraceSink::create(trace_path)?;
+        let mut records = Vec::with_capacity(results.len());
+        for (index, (record, ring)) in results.into_iter().enumerate() {
+            trace.set_label(Some(format!("{}/{}", plan.name, index)));
+            for trace_record in ring.records() {
+                trace.record(&trace_record);
+            }
+            records.push(record);
+        }
+        trace.finish()?;
+        Ok(RunReport {
+            plan: plan.name.clone(),
+            threads: self.threads,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            records,
+        })
+    }
+}
+
+/// Ring capacity per traced job: comfortably above the paper profile's
+/// placement iteration budget plus the fixed per-phase records.
+const TRACE_RING_CAPACITY: usize = 4096;
+
+/// [`execute_job`]'s traced twin: same thread-local workspace reuse,
+/// with telemetry captured into a per-job ring.
+fn execute_job_ringed(plan: &ExperimentPlan, index: usize) -> (JobRecord, RingTraceSink) {
+    std::thread_local! {
+        static WORKSPACE: std::cell::RefCell<crate::pipeline::PipelineWorkspace> =
+            std::cell::RefCell::new(crate::pipeline::PipelineWorkspace::new());
+    }
+    let mut ring = RingTraceSink::with_capacity(TRACE_RING_CAPACITY);
+    let record =
+        WORKSPACE.with(|ws| execute_job_traced(plan, index, &mut ws.borrow_mut(), &mut ring).0);
+    (record, ring)
 }
 
 /// Executes one job, containing panics to its record.
@@ -359,10 +416,25 @@ pub fn execute_job_with(
     index: usize,
     ws: &mut crate::pipeline::PipelineWorkspace,
 ) -> (JobRecord, Option<crate::pipeline::PlacedLayout>) {
+    execute_job_traced(plan, index, ws, &mut NullTraceSink)
+}
+
+/// Like [`execute_job_with`], but streams the job's convergence
+/// telemetry into `sink` (see
+/// [`Qplacer::place_traced`](crate::Qplacer::place_traced)). The record
+/// and layout are bit-identical to the untraced path.
+#[must_use]
+pub fn execute_job_traced(
+    plan: &ExperimentPlan,
+    index: usize,
+    ws: &mut crate::pipeline::PipelineWorkspace,
+    sink: &mut dyn TraceSink,
+) -> (JobRecord, Option<crate::pipeline::PlacedLayout>) {
     let spec = &plan.jobs[index];
     let mut record = JobRecord::blank(&plan.name, index, spec);
     let start = Instant::now();
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline_job(plan, index, ws)));
+    let outcome =
+        std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline_job(plan, index, ws, sink)));
     record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let mut layout = None;
     match outcome {
@@ -389,6 +461,7 @@ fn run_pipeline_job(
     plan: &ExperimentPlan,
     index: usize,
     ws: &mut crate::pipeline::PipelineWorkspace,
+    sink: &mut dyn TraceSink,
 ) -> Result<Box<(JobRecord, crate::pipeline::PlacedLayout)>, String> {
     let spec = &plan.jobs[index];
     let mut record = JobRecord::blank(&plan.name, index, spec);
@@ -398,7 +471,7 @@ fn run_pipeline_job(
     // failure, never a panic into the placement engine.
     let device = spec.device.try_build().map_err(|e| e.to_string())?;
     let config = spec.pipeline_config(plan.profile);
-    let layout = Qplacer::new(config).place_with(&device, spec.strategy, ws);
+    let layout = Qplacer::new(config).place_traced(&device, spec.strategy, ws, sink);
 
     record.instances = layout.netlist.num_instances();
     record.wall_assign_ms = layout.timings.assign_ms;

@@ -1,8 +1,11 @@
 //! The orchestrating legalizer (all three phases).
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use qplacer_netlist::QuantumNetlist;
+use qplacer_obs::{NullTraceSink, TraceRecord, TraceSink};
 
 use crate::abacus::legalize_qubits_abacus;
 use crate::integration::integrate_resonators_with;
@@ -110,6 +113,21 @@ impl Legalizer {
     /// lowest-index selection, so reports and positions are identical at
     /// any thread count.
     pub fn run_with(&self, netlist: &mut QuantumNetlist, ws: &mut LegalWorkspace) -> LegalReport {
+        self.run_traced(netlist, ws, &mut NullTraceSink)
+    }
+
+    /// Like [`Legalizer::run_with`], but emits one
+    /// [`TraceRecord::LegalPhase`] per phase (`qubits`, `segments`,
+    /// `resonators`, `overlap_check`) into `sink`. Timing flows only
+    /// into `sink`; positions and the report are bit-identical to the
+    /// untraced path.
+    pub fn run_traced(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut LegalWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> LegalReport {
+        let _span = qplacer_obs::span!("legalize", instances = netlist.num_instances() as u64);
         // The bitmap workspace extends slightly beyond the sized region:
         // mixing incommensurate footprints (e.g. 0.5 mm segments among
         // 0.8 mm qubits) can fragment the last few percent of free space,
@@ -123,6 +141,7 @@ impl Legalizer {
         // syscall, far too slow to ask per candidate.
         ws.search.set_parallel_from_pool();
         let pitch = site_pitch_with(netlist, &mut ws.sizes);
+        let phase_start = Instant::now();
         match self.qubit_legalizer {
             QubitLegalizerKind::SpiralMcmf => {
                 legalize_qubits_with(
@@ -144,6 +163,12 @@ impl Legalizer {
                 }
             }
         }
+        sink.record(&TraceRecord::LegalPhase {
+            phase: "qubits",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: netlist.num_qubits() as u64,
+        });
+        let phase_start = Instant::now();
         legalize_segments_with(
             netlist,
             &mut ws.bitmap,
@@ -152,10 +177,27 @@ impl Legalizer {
             &mut ws.search,
             &mut ws.tetris,
         );
+        sink.record(&TraceRecord::LegalPhase {
+            phase: "segments",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: (netlist.num_instances() - netlist.num_qubits()) as u64,
+        });
+        let phase_start = Instant::now();
         let stats = integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ);
+        sink.record(&TraceRecord::LegalPhase {
+            phase: "resonators",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: netlist.num_resonators() as u64,
+        });
+        let phase_start = Instant::now();
         // Integration leaves its spatial index at the final positions;
         // count remaining overlaps from it instead of rebuilding one.
         let remaining_overlaps = count_overlaps(netlist, &ws.integ.grid, &mut ws.search.query);
+        sink.record(&TraceRecord::LegalPhase {
+            phase: "overlap_check",
+            elapsed_ns: phase_start.elapsed().as_nanos() as u64,
+            items: netlist.num_instances() as u64,
+        });
 
         let (mean_q, max_q) = disp_stats(ws.qubits.displacement.iter().copied());
         let (mean_s, max_s) = disp_stats(ws.tetris.displacement.iter().map(|&(_, d)| d));

@@ -186,10 +186,14 @@ impl PoissonSolver {
         assert_eq!(rho.ny(), self.ny, "density grid shape mismatch");
         assert_eq!(field.psi.nx(), self.nx, "field workspace shape mismatch");
         assert_eq!(field.psi.ny(), self.ny, "field workspace shape mismatch");
+        let _span = qplacer_obs::span!("poisson_solve", grid = self.nx as u64);
 
         // Forward 2-D DCT-II of ρ, staged in the ψ buffer.
-        field.psi.data_mut().copy_from_slice(rho.data());
-        self.transform(&mut field.psi, scratch, RowOp::Dct2, RowOp::Dct2);
+        {
+            let _span = qplacer_obs::span!("dct2_2d", grid = self.nx as u64);
+            field.psi.data_mut().copy_from_slice(rho.data());
+            self.transform(&mut field.psi, scratch, RowOp::Dct2, RowOp::Dct2);
+        }
 
         // Normalization: each dimension's DCT-II/DCT-III roundtrip scales
         // by N/2, so divide by (nx/2)(ny/2).

@@ -1,0 +1,228 @@
+//! The workspace's shared log₂ latency histogram.
+//!
+//! Moved here from `qplacer-service` so the serving layer and the
+//! pipeline aggregate latencies with one implementation. Two fixes over
+//! the original: the bucket bounds are a compile-time constant instead of
+//! being recomputed on every observation, and non-finite observations no
+//! longer pollute `count`/`total_ns` (they land in a separate `dropped`
+//! counter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram bucket count (log₂-spaced upper bounds plus an overflow
+/// bucket).
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+const fn compute_bounds() -> [f64; HISTOGRAM_BUCKETS] {
+    let mut bounds = [f64::INFINITY; HISTOGRAM_BUCKETS];
+    let mut upper = 0.25;
+    let mut i = 0;
+    while i < HISTOGRAM_BUCKETS - 1 {
+        bounds[i] = upper;
+        upper *= 2.0; // 0.25 ms .. ~4.1 s, then +inf
+        i += 1;
+    }
+    bounds
+}
+
+/// Upper bounds of the latency buckets, in milliseconds, precomputed at
+/// compile time. Bucket `i` counts observations `<= BUCKET_BOUNDS_MS[i]`;
+/// the final bucket is unbounded.
+pub const BUCKET_BOUNDS_MS: [f64; HISTOGRAM_BUCKETS] = compute_bounds();
+
+/// Upper bounds of the latency buckets, in milliseconds.
+///
+/// Kept as a function for source compatibility with the original
+/// `qplacer-service` API; simply returns [`BUCKET_BOUNDS_MS`].
+#[must_use]
+pub fn bucket_bounds_ms() -> [f64; HISTOGRAM_BUCKETS] {
+    BUCKET_BOUNDS_MS
+}
+
+/// A fixed-bucket latency histogram updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Total observed time in nanoseconds (for the mean).
+    total_ns: AtomicU64,
+    count: AtomicU64,
+    /// Non-finite observations, excluded from every other field.
+    dropped: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation. Non-finite values (NaN, ±inf) are not
+    /// counted into `count`/`total_ns`; they only bump [`dropped`]
+    /// (recording them as 0 ms would skew the mean).
+    ///
+    /// [`dropped`]: HistogramSnapshot::dropped
+    pub fn observe_ms(&self, ms: f64) {
+        if !ms.is_finite() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ms = ms.max(0.0);
+        let index = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&upper| ms <= upper)
+            .unwrap_or(HISTOGRAM_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add((ms * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation given in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        self.observe_ms(ns as f64 / 1e6);
+    }
+
+    /// A point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_ms = self.total_ns.load(Ordering::Relaxed) as f64 / 1e6;
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            total_ms,
+            mean_ms: if count > 0 {
+                total_ms / count as f64
+            } else {
+                0.0
+            },
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable copy of one [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, aligned with [`BUCKET_BOUNDS_MS`].
+    pub buckets: Vec<u64>,
+    /// Total (finite) observations.
+    pub count: u64,
+    /// Sum of observed latencies (ms).
+    pub total_ms: f64,
+    /// Mean observed latency (ms); 0 with no observations.
+    pub mean_ms: f64,
+    /// Non-finite observations excluded from the fields above.
+    pub dropped: u64,
+}
+
+impl HistogramSnapshot {
+    /// The smallest bucket upper bound covering `quantile` (0..=1) of
+    /// the observations — a coarse percentile readout for dashboards.
+    /// Returns 0 when nothing has been observed (matching `mean_ms`).
+    #[must_use]
+    pub fn quantile_upper_bound_ms(&self, quantile: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (self.count as f64 * quantile.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (bucket, &upper) in self.buckets.iter().zip(BUCKET_BOUNDS_MS.iter()) {
+            seen += bucket;
+            if seen >= target {
+                return upper;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_log2_spaced() {
+        assert_eq!(BUCKET_BOUNDS_MS[0], 0.25);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(BUCKET_BOUNDS_MS[i], BUCKET_BOUNDS_MS[i - 1] * 2.0);
+        }
+        assert!(BUCKET_BOUNDS_MS[HISTOGRAM_BUCKETS - 1].is_infinite());
+        assert_eq!(bucket_bounds_ms(), BUCKET_BOUNDS_MS);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = LatencyHistogram::default();
+        h.observe_ms(0.1); // bucket 0 (<= 0.25)
+        h.observe_ms(0.3); // bucket 1 (<= 0.5)
+        h.observe_ms(1e9); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert!(snap.mean_ms > 0.0);
+        assert!(snap.quantile_upper_bound_ms(0.5) <= 0.5);
+        assert!(snap.quantile_upper_bound_ms(1.0).is_infinite());
+        let empty = LatencyHistogram::default().snapshot();
+        assert_eq!(
+            empty.quantile_upper_bound_ms(0.99),
+            0.0,
+            "no data, no bound"
+        );
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_not_counted() {
+        let h = LatencyHistogram::default();
+        h.observe_ms(4.0);
+        h.observe_ms(f64::NAN);
+        h.observe_ms(f64::INFINITY);
+        h.observe_ms(f64::NEG_INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1, "only the finite observation counts");
+        assert_eq!(snap.dropped, 3);
+        assert!(
+            (snap.mean_ms - 4.0).abs() < 1e-9,
+            "mean unskewed by NaN/inf"
+        );
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn negative_observations_clamp_to_zero() {
+        let h = LatencyHistogram::default();
+        h.observe_ms(-5.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.total_ms, 0.0);
+    }
+
+    #[test]
+    fn concurrent_observe_exact_count() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let h = Arc::new(LatencyHistogram::default());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.observe_ms(((t * PER_THREAD + i) % 500) as f64 * 0.01);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(snap.dropped, 0);
+    }
+}

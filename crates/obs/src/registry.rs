@@ -1,0 +1,250 @@
+//! Named metrics (counters, gauges, latency histograms) and the
+//! Prometheus text-exposition renderer.
+//!
+//! Registration (get-or-create by name) takes a lock and may allocate;
+//! the returned `Arc` handles update with relaxed atomics and are meant
+//! to be cached by the hot path, keeping steady-state use
+//! allocation-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram, BUCKET_BOUNDS_MS};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+struct Entry {
+    name: String,
+    metric: Metric,
+}
+
+/// A named-metric registry. Metric names should match the Prometheus
+/// grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`); the registry does not rename,
+/// it only debug-asserts.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "metric name {name:?} violates the Prometheus grammar"
+        );
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return entry.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The latency histogram named `name`, registering it on first use.
+    /// Series names follow the convention `<name>_ms` on export.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        match self.get_or_insert(name, || {
+            Metric::Histogram(Arc::new(LatencyHistogram::default()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+}
+
+/// The process-wide registry the pipeline's own metrics land in.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Renders every metric in `registry` (registration order) in the
+/// Prometheus text exposition format.
+#[must_use]
+pub fn render_prometheus(registry: &Registry) -> String {
+    let entries = registry.entries.lock().expect("metrics registry poisoned");
+    let mut out = String::new();
+    for entry in entries.iter() {
+        match &entry.metric {
+            Metric::Counter(c) => write_prometheus_counter(&mut out, &entry.name, c.get()),
+            Metric::Gauge(g) => write_prometheus_gauge(&mut out, &entry.name, g.get()),
+            Metric::Histogram(h) => {
+                write_prometheus_histogram(&mut out, &entry.name, &h.snapshot());
+            }
+        }
+    }
+    out
+}
+
+/// Appends one counter in Prometheus text format.
+pub fn write_prometheus_counter(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+}
+
+/// Appends one gauge in Prometheus text format. Non-finite values render
+/// as `NaN`/`+Inf`/`-Inf`, which the exposition format permits.
+pub fn write_prometheus_gauge(out: &mut String, name: &str, value: f64) {
+    out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+}
+
+/// Appends one latency histogram in Prometheus text format under the
+/// series name `<name>_ms` (cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`), aligned with [`BUCKET_BOUNDS_MS`].
+pub fn write_prometheus_histogram(out: &mut String, name: &str, snapshot: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name}_ms histogram\n"));
+    let mut cumulative = 0u64;
+    for (bucket, &upper) in snapshot.buckets.iter().zip(BUCKET_BOUNDS_MS.iter()) {
+        cumulative += bucket;
+        let le = if upper.is_infinite() {
+            "+Inf".to_string()
+        } else {
+            format!("{upper}")
+        };
+        out.push_str(&format!("{name}_ms_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_ms_sum {}\n", snapshot.total_ms));
+    out.push_str(&format!("{name}_ms_count {}\n", snapshot.count));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_instance() {
+        let registry = Registry::new();
+        let a = registry.counter("qplacer_test_total");
+        let b = registry.counter("qplacer_test_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g = registry.gauge("qplacer_test_depth");
+        g.set(2.5);
+        assert_eq!(registry.gauge("qplacer_test_depth").get(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("qplacer_mismatch");
+        let _ = registry.gauge("qplacer_mismatch");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let registry = Registry::new();
+        registry.counter("qplacer_jobs_total").add(7);
+        registry.gauge("qplacer_queue_depth").set(3.0);
+        let h = registry.histogram("qplacer_stage_latency");
+        h.observe_ms(0.1);
+        h.observe_ms(100.0);
+        let text = render_prometheus(&registry);
+        assert!(text.contains("# TYPE qplacer_jobs_total counter\nqplacer_jobs_total 7\n"));
+        assert!(text.contains("qplacer_queue_depth 3\n"));
+        assert!(text.contains("qplacer_stage_latency_ms_bucket{le=\"0.25\"} 1\n"));
+        assert!(text.contains("qplacer_stage_latency_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("qplacer_stage_latency_ms_count 2\n"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable sample value in {line:?}"
+            );
+            assert!(parts.next().is_some());
+        }
+    }
+}

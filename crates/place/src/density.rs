@@ -267,7 +267,7 @@ impl DensityModel {
         grad: &mut [f64],
         ws: &mut DensityWorkspace,
     ) -> f64 {
-        self.grad_into_impl(netlist, positions, grad, ws, true)
+        self.grad_into_impl(netlist, positions, grad, ws, true, None)
     }
 
     /// Gradient-only variant of [`DensityModel::energy_grad_into`]: skips
@@ -285,7 +285,22 @@ impl DensityModel {
         grad: &mut [f64],
         ws: &mut DensityWorkspace,
     ) {
-        let _ = self.grad_into_impl(netlist, positions, grad, ws, false);
+        let _ = self.grad_into_impl(netlist, positions, grad, ws, false, None);
+    }
+
+    /// Like [`DensityModel::grad_into`], but also reports the wall time
+    /// of the three internal phases (deposit, Poisson solve, gather)
+    /// into `phases`. The gradient itself is bit-identical to the
+    /// untraced path; timing flows only into `phases`.
+    pub fn grad_into_timed(
+        &self,
+        netlist: &QuantumNetlist,
+        positions: &[Point],
+        grad: &mut [f64],
+        ws: &mut DensityWorkspace,
+        phases: &mut DensityPhaseNs,
+    ) {
+        let _ = self.grad_into_impl(netlist, positions, grad, ws, false, Some(phases));
     }
 
     fn grad_into_impl(
@@ -295,10 +310,16 @@ impl DensityModel {
         grad: &mut [f64],
         ws: &mut DensityWorkspace,
         want_energy: bool,
+        mut phases: Option<&mut DensityPhaseNs>,
     ) -> f64 {
         let n = positions.len();
         assert_eq!(grad.len(), 2 * n, "gradient buffer length mismatch");
+        let phase_start = phases.as_ref().map(|_| std::time::Instant::now());
         self.rasterize_into(netlist, positions, ws);
+        if let (Some(p), Some(start)) = (phases.as_deref_mut(), phase_start) {
+            p.deposit_ns = start.elapsed().as_nanos() as u64;
+        }
+        let phase_start = phases.as_ref().map(|_| std::time::Instant::now());
         let mut energy = 0.0;
         if want_energy {
             self.solver
@@ -310,6 +331,10 @@ impl DensityModel {
             self.solver
                 .solve_field_into(&ws.rho, &mut ws.field, &mut ws.scratch);
         }
+        if let (Some(p), Some(start)) = (phases.as_deref_mut(), phase_start) {
+            p.poisson_ns = start.elapsed().as_nanos() as u64;
+        }
+        let phase_start = phases.as_ref().map(|_| std::time::Instant::now());
 
         let field = &ws.field;
         let instances = netlist.instances();
@@ -362,8 +387,23 @@ impl DensityModel {
                 }
             });
         }
+        if let (Some(p), Some(start)) = (phases, phase_start) {
+            p.gather_ns = start.elapsed().as_nanos() as u64;
+        }
         energy
     }
+}
+
+/// Wall time of the three phases inside one density-gradient
+/// evaluation, reported by [`DensityModel::grad_into_timed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DensityPhaseNs {
+    /// Charge deposit (rasterization) time, ns.
+    pub deposit_ns: u64,
+    /// Spectral Poisson solve time, ns.
+    pub poisson_ns: u64,
+    /// Per-instance field gather time, ns.
+    pub gather_ns: u64,
 }
 
 #[cfg(test)]

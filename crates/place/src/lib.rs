@@ -40,7 +40,7 @@ mod freqforce;
 mod placer;
 mod wirelength;
 
-pub use density::{DensityModel, DensityWorkspace};
+pub use density::{DensityModel, DensityPhaseNs, DensityWorkspace};
 pub use freqforce::FrequencyForce;
 pub use placer::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
 pub use wirelength::{exact_hpwl, WirelengthModel};

@@ -5,8 +5,10 @@ use std::time::Instant;
 use qplacer_geometry::Point;
 use qplacer_netlist::QuantumNetlist;
 use qplacer_numeric::NesterovSolver;
+use qplacer_obs::{NullTraceSink, TraceRecord, TraceSink};
 use serde::{Deserialize, Serialize};
 
+use crate::density::DensityPhaseNs;
 use crate::{exact_hpwl, DensityModel, DensityWorkspace, FrequencyForce, WirelengthModel};
 
 /// Reusable buffers for the placement loop: unpacked positions, the four
@@ -214,7 +216,25 @@ impl GlobalPlacer {
         netlist: &mut QuantumNetlist,
         ws: &mut PlacerWorkspace,
     ) -> PlacementReport {
+        self.run_traced(netlist, ws, &mut NullTraceSink)
+    }
+
+    /// Like [`GlobalPlacer::run_with`], but emits one
+    /// [`TraceRecord::PlaceIteration`] per solver iteration into `sink`:
+    /// iteration index, density overflow (from the most recent check),
+    /// wirelength-proxy energy, max force norm, and the wall time of the
+    /// density deposit / Poisson solve / field gather. Timing flows only
+    /// into `sink`, never into the report or the netlist, so traced and
+    /// untraced placements are bit-identical.
+    pub fn run_traced(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut PlacerWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> PlacementReport {
         let start = Instant::now();
+        let tracing = sink.is_enabled();
+        let _span = qplacer_obs::span!("global_place", instances = netlist.num_instances() as u64);
         let cfg = &self.config;
         let region = netlist.region();
         let n = netlist.num_instances();
@@ -258,15 +278,27 @@ impl GlobalPlacer {
         let mut iterations = 0;
         let mut freq_energy = 0.0;
         let mut trace = Vec::new();
+        let mut phase_ns = DensityPhaseNs::default();
+        let mut checked_overflow = f64::NAN;
 
         let (_, _, density_ws) = ws.density.as_mut().expect("ensured above");
 
         for iter in 0..cfg.max_iterations {
             PlacerWorkspace::unpack(&mut ws.positions, solver.reference());
-            let _ewl = wl.energy_grad_into(netlist, &ws.positions, &mut ws.gwl);
+            let ewl = wl.energy_grad_into(netlist, &ws.positions, &mut ws.gwl);
             // Gradient-only density solve: the loop never consumes the
             // density energy, so the ψ inverse transform is skipped.
-            density.grad_into(netlist, &ws.positions, &mut ws.gd, density_ws);
+            if tracing {
+                density.grad_into_timed(
+                    netlist,
+                    &ws.positions,
+                    &mut ws.gd,
+                    density_ws,
+                    &mut phase_ns,
+                );
+            } else {
+                density.grad_into(netlist, &ws.positions, &mut ws.gd, density_ws);
+            }
             freq_energy = match &freq {
                 Some(f) => f.energy_grad_into(&ws.positions, &mut ws.gf),
                 None => 0.0,
@@ -304,13 +336,27 @@ impl GlobalPlacer {
             lambda_f *= cfg.freq_growth;
             iterations = iter + 1;
 
+            let mut converged = false;
             if iter % 5 == 0 || iter + 1 == cfg.max_iterations {
                 PlacerWorkspace::unpack(&mut ws.positions, solver.position());
-                let overflow = density.overflow_with(netlist, &ws.positions, density_ws);
-                trace.push((iter, overflow));
-                if iter >= cfg.min_iterations && overflow < cfg.target_overflow {
-                    break;
-                }
+                checked_overflow = density.overflow_with(netlist, &ws.positions, density_ws);
+                trace.push((iter, checked_overflow));
+                converged = iter >= cfg.min_iterations && checked_overflow < cfg.target_overflow;
+            }
+            if tracing {
+                let max_force = ws.grad.iter().fold(0.0f64, |acc, &g| acc.max(g.abs()));
+                sink.record(&TraceRecord::PlaceIteration {
+                    iteration: iter as u32,
+                    overflow: checked_overflow,
+                    wirelength: ewl,
+                    max_force,
+                    deposit_ns: phase_ns.deposit_ns,
+                    poisson_ns: phase_ns.poisson_ns,
+                    gather_ns: phase_ns.gather_ns,
+                });
+            }
+            if converged {
+                break;
             }
         }
 

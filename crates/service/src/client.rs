@@ -155,6 +155,18 @@ impl ServiceClient {
         }
     }
 
+    /// Fetches the server's metrics in the Prometheus text exposition
+    /// format (snapshot counters/histograms plus the process-global
+    /// [`qplacer_obs`] registry).
+    pub fn metrics_text(&mut self) -> Result<String, ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::Metrics { id })? {
+            Reply::MetricsText { text, .. } => Ok(text),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("metrics-text", &other)),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ServiceError> {
         let id = self.fresh_id();

@@ -20,7 +20,9 @@
 //!   `PipelineWorkspace`, so steady-state serving rides the PR 2/3
 //!   zero-allocation hot path.
 //! - **Observability** ([`metrics`]) — queue depth, in-flight, cache hit
-//!   rate, and per-stage latency histograms, served on `stats`.
+//!   rate, uptime, per-error-code rejections, and per-stage latency
+//!   histograms (shared with `qplacer-obs`), served as a structured
+//!   snapshot on `stats` and as Prometheus text on `metrics`.
 //! - **Graceful shutdown** — `shutdown` drains queued and in-flight jobs
 //!   before workers exit.
 //!

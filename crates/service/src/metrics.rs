@@ -1,114 +1,27 @@
 //! Serving-side observability: counters, gauges, and per-stage latency
-//! histograms, snapshotted on demand for the `stats` request.
+//! histograms, snapshotted on demand for the `stats` request and
+//! rendered as Prometheus text for the `metrics` request.
+//!
+//! The histogram implementation lives in [`qplacer_obs`] (shared with
+//! the pipeline); this module re-exports it under the original paths.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use qplacer_harness::StageTimings;
+use qplacer_obs::{write_prometheus_counter, write_prometheus_gauge, write_prometheus_histogram};
 
-/// Histogram bucket count (log₂-spaced upper bounds plus an overflow
-/// bucket).
-pub const HISTOGRAM_BUCKETS: usize = 16;
-
-/// Upper bounds of the latency buckets, in milliseconds. Bucket `i`
-/// counts observations `<= BUCKET_BOUNDS_MS[i]`; the final bucket is
-/// unbounded.
-#[must_use]
-pub fn bucket_bounds_ms() -> [f64; HISTOGRAM_BUCKETS] {
-    let mut bounds = [f64::INFINITY; HISTOGRAM_BUCKETS];
-    let mut upper = 0.25;
-    for b in bounds.iter_mut().take(HISTOGRAM_BUCKETS - 1) {
-        *b = upper;
-        upper *= 2.0; // 0.25 ms .. ~4.1 s, then +inf
-    }
-    bounds
-}
-
-/// A fixed-bucket latency histogram updated with relaxed atomics.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    /// Total observed time in nanoseconds (for the mean).
-    total_ns: AtomicU64,
-    count: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn observe_ms(&self, ms: f64) {
-        let ms = if ms.is_finite() { ms.max(0.0) } else { 0.0 };
-        let index = bucket_bounds_ms()
-            .iter()
-            .position(|&upper| ms <= upper)
-            .unwrap_or(HISTOGRAM_BUCKETS - 1);
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
-        self.total_ns
-            .fetch_add((ms * 1e6) as u64, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy.
-    #[must_use]
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
-        let total_ms = self.total_ns.load(Ordering::Relaxed) as f64 / 1e6;
-        HistogramSnapshot {
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            count,
-            total_ms,
-            mean_ms: if count > 0 {
-                total_ms / count as f64
-            } else {
-                0.0
-            },
-        }
-    }
-}
-
-/// Serializable copy of one [`LatencyHistogram`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HistogramSnapshot {
-    /// Per-bucket counts, aligned with [`bucket_bounds_ms`].
-    pub buckets: Vec<u64>,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of observed latencies (ms).
-    pub total_ms: f64,
-    /// Mean observed latency (ms); 0 with no observations.
-    pub mean_ms: f64,
-}
-
-impl HistogramSnapshot {
-    /// The smallest bucket upper bound covering `quantile` (0..=1) of
-    /// the observations — a coarse percentile readout for dashboards.
-    /// Returns 0 when nothing has been observed (matching `mean_ms`).
-    #[must_use]
-    pub fn quantile_upper_bound_ms(&self, quantile: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (self.count as f64 * quantile.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (bucket, &upper) in self.buckets.iter().zip(bucket_bounds_ms().iter()) {
-            seen += bucket;
-            if seen >= target {
-                return upper;
-            }
-        }
-        f64::INFINITY
-    }
-}
+pub use qplacer_obs::{bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
 
 /// Live serving metrics. One instance per server, shared by connection
-/// threads and workers; every field is updated with relaxed atomics (the
-/// snapshot is advisory, not a synchronization point).
-#[derive(Debug, Default)]
+/// threads and workers; every counter is updated with relaxed atomics
+/// (the snapshot is advisory, not a synchronization point).
+#[derive(Debug)]
 pub struct ServiceMetrics {
+    /// When this metrics instance (≈ the server) came up.
+    started: Instant,
     /// Requests received (any kind).
     pub requests: AtomicU64,
     /// Placements answered (fresh or cached).
@@ -117,6 +30,9 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Place requests rejected because the queue was full.
     pub rejected_busy: AtomicU64,
+    /// Place requests rejected at admission for an unbuildable
+    /// [`DeviceSpec`](qplacer_harness::DeviceSpec).
+    pub rejected_invalid_device: AtomicU64,
     /// Place requests dropped past their deadline.
     pub deadline_expired: AtomicU64,
     /// Batches dispatched to the pipeline.
@@ -133,6 +49,27 @@ pub struct ServiceMetrics {
     pub legalize: LatencyHistogram,
     /// Receipt-to-reply latency of fresh (uncached) placements.
     pub total: LatencyHistogram,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            placed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            rejected_invalid_device: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            assign: LatencyHistogram::default(),
+            place: LatencyHistogram::default(),
+            legalize: LatencyHistogram::default(),
+            total: LatencyHistogram::default(),
+        }
+    }
 }
 
 impl ServiceMetrics {
@@ -157,10 +94,12 @@ impl ServiceMetrics {
     ) -> MetricsSnapshot {
         let lookups = cache_hits + cache_misses;
         MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
             requests: self.requests.load(Ordering::Relaxed),
             placed: self.placed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            rejected_invalid_device: self.rejected_invalid_device.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
@@ -187,6 +126,8 @@ impl ServiceMetrics {
 /// wire by the `stats` request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Milliseconds since the server came up.
+    pub uptime_ms: u64,
     /// Requests received (any kind).
     pub requests: u64,
     /// Placements answered (fresh or cached).
@@ -195,6 +136,8 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Place requests rejected because the queue was full.
     pub rejected_busy: u64,
+    /// Place requests rejected at admission for an unbuildable device.
+    pub rejected_invalid_device: u64,
     /// Place requests dropped past their deadline.
     pub deadline_expired: u64,
     /// Batches dispatched to the pipeline.
@@ -225,31 +168,52 @@ pub struct MetricsSnapshot {
     pub total: HistogramSnapshot,
 }
 
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `qplacer_*` counters and gauges plus the four per-stage latency
+    /// histograms as shared-implementation `_ms` series.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        write_prometheus_gauge(&mut out, "qplacer_uptime_ms", self.uptime_ms as f64);
+        write_prometheus_counter(&mut out, "qplacer_requests_total", self.requests);
+        write_prometheus_counter(&mut out, "qplacer_jobs_total", self.placed);
+        write_prometheus_counter(&mut out, "qplacer_errors_total", self.errors);
+        write_prometheus_counter(&mut out, "qplacer_rejected_busy_total", self.rejected_busy);
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_rejected_invalid_device_total",
+            self.rejected_invalid_device,
+        );
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_deadline_expired_total",
+            self.deadline_expired,
+        );
+        write_prometheus_counter(&mut out, "qplacer_batches_total", self.batches);
+        write_prometheus_counter(&mut out, "qplacer_batched_jobs_total", self.batched_jobs);
+        write_prometheus_gauge(&mut out, "qplacer_queue_depth", self.queue_depth as f64);
+        write_prometheus_gauge(&mut out, "qplacer_in_flight", self.in_flight as f64);
+        write_prometheus_counter(&mut out, "qplacer_cache_hits_total", self.cache_hits);
+        write_prometheus_counter(&mut out, "qplacer_cache_misses_total", self.cache_misses);
+        write_prometheus_gauge(&mut out, "qplacer_cache_entries", self.cache_entries as f64);
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_cache_evictions_total",
+            self.cache_evictions,
+        );
+        write_prometheus_gauge(&mut out, "qplacer_cache_hit_rate", self.cache_hit_rate);
+        write_prometheus_histogram(&mut out, "qplacer_assign_latency", &self.assign);
+        write_prometheus_histogram(&mut out, "qplacer_place_latency", &self.place);
+        write_prometheus_histogram(&mut out, "qplacer_legalize_latency", &self.legalize);
+        write_prometheus_histogram(&mut out, "qplacer_total_latency", &self.total);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_and_mean() {
-        let h = LatencyHistogram::default();
-        h.observe_ms(0.1); // bucket 0 (<= 0.25)
-        h.observe_ms(0.3); // bucket 1 (<= 0.5)
-        h.observe_ms(1e9); // overflow bucket
-        let snap = h.snapshot();
-        assert_eq!(snap.count, 3);
-        assert_eq!(snap.buckets[0], 1);
-        assert_eq!(snap.buckets[1], 1);
-        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
-        assert!(snap.mean_ms > 0.0);
-        assert!(snap.quantile_upper_bound_ms(0.5) <= 0.5);
-        assert!(snap.quantile_upper_bound_ms(1.0).is_infinite());
-        let empty = LatencyHistogram::default().snapshot();
-        assert_eq!(
-            empty.quantile_upper_bound_ms(0.99),
-            0.0,
-            "no data, no bound"
-        );
-    }
 
     #[test]
     fn snapshot_round_trips_and_computes_hit_rate() {
@@ -271,5 +235,39 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_tracks_uptime_and_per_code_rejections() {
+        let m = ServiceMetrics::default();
+        m.rejected_busy.fetch_add(2, Ordering::Relaxed);
+        m.rejected_invalid_device.fetch_add(3, Ordering::Relaxed);
+        m.deadline_expired.fetch_add(4, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = m.snapshot(0, 0, 0, 0, 0);
+        assert!(snap.uptime_ms >= 2);
+        assert_eq!(snap.rejected_busy, 2);
+        assert_eq!(snap.rejected_invalid_device, 3);
+        assert_eq!(snap.deadline_expired, 4);
+    }
+
+    #[test]
+    fn prometheus_rendering_exposes_jobs_and_histograms() {
+        let m = ServiceMetrics::default();
+        m.placed.fetch_add(5, Ordering::Relaxed);
+        m.observe_stages(
+            &StageTimings {
+                assign_ms: 0.1,
+                place_ms: 20.0,
+                legalize_ms: 2.0,
+            },
+            25.0,
+        );
+        let text = m.snapshot(1, 2, 2, 2, 0).render_prometheus();
+        assert!(text.contains("qplacer_jobs_total 5\n"));
+        assert!(text.contains("# TYPE qplacer_total_latency_ms histogram\n"));
+        assert!(text.contains("qplacer_total_latency_ms_count 1\n"));
+        assert!(text.contains("qplacer_place_latency_ms_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("qplacer_cache_hit_rate 0.5\n"));
     }
 }

@@ -29,8 +29,10 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// under an equal major.
 ///
 /// History: 0 = PR 4 baseline; 1 = device-zoo specs (heavy-hex /
-/// ring / ladder / defective / JSON import) + `invalid-device`.
-pub const PROTOCOL_MINOR_VERSION: u32 = 1;
+/// ring / ladder / defective / JSON import) + `invalid-device`;
+/// 2 = `metrics` Prometheus-text export + snapshot `uptime_ms` /
+/// `rejected_invalid_device` fields.
+pub const PROTOCOL_MINOR_VERSION: u32 = 2;
 
 /// One placement request payload: which device to lay out, with which
 /// strategy, under which pipeline budget.
@@ -117,6 +119,12 @@ pub enum Request {
         /// Correlation id, echoed in the reply.
         id: u64,
     },
+    /// Fetch every server metric rendered in the Prometheus text
+    /// exposition format (added in minor 2).
+    Metrics {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
     /// Liveness probe.
     Ping {
         /// Correlation id, echoed in the reply.
@@ -138,6 +146,7 @@ impl Request {
             Request::Hello { id, .. }
             | Request::Place { id, .. }
             | Request::Stats { id }
+            | Request::Metrics { id }
             | Request::Ping { id }
             | Request::Shutdown { id } => id,
         }
@@ -286,6 +295,10 @@ impl PlacementResult {
 }
 
 /// Server → client messages.
+// `Placed` and `Stats` intentionally carry their full payloads inline:
+// replies are constructed once per request and immediately serialized,
+// and the vendored serde has no `Box<T>` impls to shrink them with.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Reply {
     /// Answer to [`Request::Hello`].
@@ -317,6 +330,14 @@ pub enum Reply {
         /// The metrics snapshot.
         metrics: MetricsSnapshot,
     },
+    /// Answer to [`Request::Metrics`]: the full metrics state rendered
+    /// in the Prometheus text exposition format (added in minor 2).
+    MetricsText {
+        /// Echoed correlation id.
+        id: u64,
+        /// Prometheus text exposition payload.
+        text: String,
+    },
     /// Answer to [`Request::Ping`].
     Pong {
         /// Echoed correlation id.
@@ -346,6 +367,7 @@ impl Reply {
             Reply::Hello { id, .. }
             | Reply::Placed { id, .. }
             | Reply::Stats { id, .. }
+            | Reply::MetricsText { id, .. }
             | Reply::Pong { id }
             | Reply::ShuttingDown { id }
             | Reply::Error { id, .. } => id,
@@ -384,6 +406,21 @@ mod tests {
             message: "queue full".to_string(),
         };
         assert_eq!(Reply::parse(&reply.to_line()).unwrap(), reply);
+    }
+
+    #[test]
+    fn metrics_messages_round_trip() {
+        let req = Request::Metrics { id: 11 };
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        assert_eq!(req.id(), 11);
+
+        let reply = Reply::MetricsText {
+            id: 11,
+            text: "# TYPE qplacer_jobs_total counter\nqplacer_jobs_total 3\n".to_string(),
+        };
+        let back = Reply::parse(&reply.to_line()).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(back.id(), 11);
     }
 
     #[test]

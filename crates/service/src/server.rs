@@ -233,6 +233,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 id,
                 metrics: shared.snapshot(),
             }),
+            Ok(Request::Metrics { id }) => {
+                let mut text = shared.snapshot().render_prometheus();
+                text.push_str(&qplacer_obs::render_prometheus(qplacer_obs::global()));
+                Some(Reply::MetricsText { id, text })
+            }
             Ok(Request::Shutdown { id }) => {
                 shared.begin_shutdown();
                 Some(Reply::ShuttingDown { id })
@@ -281,6 +286,10 @@ fn handle_place(
     //   the cached fast path stays free of topology construction.
     let invalid = |message: String| {
         shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .rejected_invalid_device
+            .fetch_add(1, Ordering::Relaxed);
         Some(Reply::Error {
             id,
             code: ErrorCode::InvalidDevice,

@@ -275,6 +275,23 @@ fn zoo_devices_place_and_invalid_devices_are_rejected() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.placed, 2);
     assert!(stats.errors >= 2);
+    assert_eq!(
+        stats.rejected_invalid_device, 2,
+        "both admission rejections must be counted per error code"
+    );
+
+    // The same story over the Prometheus-text surface.
+    let text = client.metrics_text().expect("metrics");
+    assert!(text.contains("qplacer_jobs_total 2\n"), "{text}");
+    assert!(
+        text.contains("qplacer_rejected_invalid_device_total 2\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("qplacer_total_latency_ms_bucket{le=\"+Inf\"} 2\n"),
+        "{text}"
+    );
+
     client.shutdown().expect("shutdown");
     server.join();
 }

@@ -96,6 +96,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         }),
         (id.clone(), arb_job()).prop_map(|(id, job)| Request::Place { id, job }),
         id.clone().prop_map(|id| Request::Stats { id }),
+        id.clone().prop_map(|id| Request::Metrics { id }),
         id.clone().prop_map(|id| Request::Ping { id }),
         id.prop_map(|id| Request::Shutdown { id }),
     ]
@@ -149,6 +150,7 @@ fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
             count,
             total_ms,
             mean_ms: if count > 0 { 1.5 } else { 0.0 },
+            dropped: count % 3,
         }
     })
 }
@@ -172,6 +174,8 @@ fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
             let (assign, place, legalize, total) = stages;
             let lookups = cache_hits + cache_misses;
             MetricsSnapshot {
+                uptime_ms: requests * 13,
+                rejected_invalid_device: errors % 5,
                 requests,
                 placed,
                 errors,
@@ -216,6 +220,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
             }
         ),
         (id.clone(), arb_metrics()).prop_map(|(id, metrics)| Reply::Stats { id, metrics }),
+        (id.clone(), arb_message()).prop_map(|(id, text)| Reply::MetricsText { id, text }),
         id.clone().prop_map(|id| Reply::Pong { id }),
         id.clone().prop_map(|id| Reply::ShuttingDown { id }),
         (id, arb_error_code(), arb_message()).prop_map(|(id, code, message)| Reply::Error {

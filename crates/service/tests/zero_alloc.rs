@@ -49,6 +49,7 @@ fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
 use qplacer_freq::FrequencyAssigner;
 use qplacer_harness::{PipelineConfig, PipelineWorkspace};
 use qplacer_netlist::QuantumNetlist;
+use qplacer_obs::{RingTraceSink, TraceSink};
 use qplacer_place::{DensityModel, FrequencyForce, GlobalPlacer, WirelengthModel};
 use qplacer_topology::Topology;
 
@@ -128,6 +129,75 @@ fn steady_state_worker_pipeline_does_not_allocate() {
         assert_eq!(
             second, third,
             "run_with must reach an allocation steady state ({second} vs {third})"
+        );
+    });
+}
+
+/// Turning observability ON must not break the steady-state contract:
+/// with spans enabled and a pre-sized [`RingTraceSink`] consuming every
+/// convergence record, the traced stage entry points allocate exactly
+/// what their untraced twins do — zero for assignment / legalization,
+/// a constant envelope for the placer.
+#[test]
+fn traced_steady_state_does_not_allocate() {
+    let device = Topology::falcon27();
+    let config = PipelineConfig::fast();
+    let mut ws = PipelineWorkspace::new();
+    qplacer_obs::set_spans_enabled(true);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool builds");
+    pool.install(|| {
+        // Pre-sized ring: capacity is paid here, never while recording.
+        let mut sink = RingTraceSink::with_capacity(4096);
+
+        // Warm-up traced "request": registers every span site, sizes
+        // every stage buffer, fills the FFT plan cache.
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut assignment = assigner.assign_traced_with(&device, &mut ws.freq, &mut sink);
+        let mut netlist = QuantumNetlist::build(&device, &assignment, &config.netlist);
+        let placer = GlobalPlacer::new(config.placer);
+        let _ = placer.run_traced(&mut netlist, &mut ws.placer, &mut sink);
+        let placed: Vec<_> = netlist.positions().to_vec();
+        let warm = config
+            .legalizer
+            .run_traced(&mut netlist, &mut ws.legal, &mut sink);
+        assert_eq!(warm.remaining_overlaps, 0);
+        assert!(!sink.is_empty(), "warm-up must emit telemetry");
+        assert!(sink.is_enabled());
+
+        let (count, ()) = allocations(|| {
+            assigner.assign_traced_into(&device, &mut ws.freq, &mut assignment, &mut sink);
+        });
+        assert_eq!(count, 0, "traced assignment allocated {count} times");
+
+        netlist.set_positions(&placed);
+        let (count, report) = allocations(|| {
+            config
+                .legalizer
+                .run_traced(&mut netlist, &mut ws.legal, &mut sink)
+        });
+        assert_eq!(report.remaining_overlaps, 0);
+        assert_eq!(count, 0, "traced legalization allocated {count} times");
+
+        // The traced run envelope must match the untraced one: constant
+        // allocations (model + report), none from spans or records.
+        netlist.set_positions(&placed);
+        let (untraced, _) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        netlist.set_positions(&placed);
+        let (traced, report) =
+            allocations(|| placer.run_traced(&mut netlist, &mut ws.placer, &mut sink));
+        assert!(report.iterations > 0);
+        assert_eq!(
+            traced, untraced,
+            "tracing must be allocation-free on top of the untraced run \
+             ({traced} traced vs {untraced} untraced)"
+        );
+        assert!(
+            sink.records().iter().any(|r| r.kind() == "place_iteration"),
+            "the traced run must have recorded solver iterations"
         );
     });
 }

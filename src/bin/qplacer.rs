@@ -8,7 +8,8 @@
 //!                  [--seed N] [--threads N]
 //! qplacer sweep    <topology>            # l_b ablation on one device
 //! qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
-//!                  [--segment <mm>] [--fast]
+//!                  [--segment <mm>] [--fast] [--trace FILE]
+//! qplacer profile  <topology> [--strategy qplacer|classic] [--fast]
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
 //!                  [--benchmarks b,..] [--subsets N] [--seeds N]
 //!                  [--threads N] [--fast] [--jsonl FILE] [--csv FILE]
@@ -16,7 +17,7 @@
 //!                  [--cache N] [--batch N]
 //! qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
 //!                  [--segment <mm>] [--count N] [--deadline MS]
-//! qplacer stats    [--addr HOST:PORT]
+//! qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
 //! qplacer shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -33,13 +34,19 @@
 //! per-job records stream (in deterministic plan order) to JSONL/CSV.
 //! `serve` starts the [`qplacer_service`] placement daemon; `submit`,
 //! `stats`, and `shutdown` talk to it over the JSON-lines protocol.
+//!
+//! Observability (the [`qplacer::obs`] layer): `e2e --trace FILE`
+//! writes per-iteration / per-phase convergence telemetry as JSONL;
+//! `profile` runs one placement with span timing enabled and prints the
+//! aggregated span tree; `stats --format prometheus` fetches the
+//! server's metrics in the Prometheus text exposition format.
 
 use std::process::ExitCode;
 
 use qplacer::{
-    paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, NetlistConfig, PipelineConfig,
-    PipelineWorkspace, PlaceJob, PlacedLayout, Profile, Qplacer, Runner, Server, ServiceClient,
-    ServiceConfig, Sink, Strategy, Summary, Topology,
+    paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, JsonlTraceSink, NetlistConfig,
+    PipelineConfig, PipelineWorkspace, PlaceJob, PlacedLayout, Profile, Qplacer, Runner, Server,
+    ServiceClient, ServiceConfig, Sink, Strategy, Summary, Topology,
 };
 
 fn main() -> ExitCode {
@@ -55,6 +62,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "e2e" => cmd_e2e(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
@@ -84,7 +92,8 @@ const USAGE: &str = "usage:
                    [--seed N] [--threads N]
   qplacer sweep    <topology>
   qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
-                   [--segment <mm>] [--fast]
+                   [--segment <mm>] [--fast] [--trace FILE]
+  qplacer profile  <topology> [--strategy qplacer|classic] [--fast]
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
                    [--subsets N] [--seeds N] [--threads N] [--fast]
                    [--jsonl FILE] [--csv FILE]
@@ -92,7 +101,7 @@ const USAGE: &str = "usage:
                    [--batch N]
   qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
                    [--segment <mm>] [--count N] [--deadline MS]
-  qplacer stats    [--addr HOST:PORT]
+  qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
   qplacer shutdown [--addr HOST:PORT]
 
 topologies (device zoo):
@@ -353,6 +362,9 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
         }
         config.netlist = NetlistConfig::with_segment_size(lb);
     }
+    let mut trace = flag_value(args, "--trace")
+        .map(|path| JsonlTraceSink::create(path).map_err(|e| format!("create {path}: {e}")))
+        .transpose()?;
     let engine = Qplacer::new(config);
     let mut ws = PipelineWorkspace::new();
     println!(
@@ -362,7 +374,13 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     let mut dirty = 0usize;
     for spec in devices {
         let device = spec.try_build().map_err(|e| e.to_string())?;
-        let layout = engine.place_with(&device, strategy, &mut ws);
+        let layout = match trace.as_mut() {
+            Some(sink) => {
+                sink.set_label(Some(device.name().to_string()));
+                engine.place_traced(&device, strategy, &mut ws, sink)
+            }
+            None => engine.place_with(&device, strategy, &mut ws),
+        };
         let legal = layout
             .legalization
             .as_ref()
@@ -384,9 +402,44 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
             dirty += 1;
         }
     }
+    if let Some(sink) = trace {
+        sink.finish().map_err(|e| format!("writing trace: {e}"))?;
+        println!("wrote {}", flag_value(args, "--trace").unwrap_or_default());
+    }
     if dirty > 0 {
         return Err(format!("{dirty} device(s) kept residual overlaps"));
     }
+    Ok(())
+}
+
+/// Runs one placement with span timing enabled and prints the
+/// aggregated span tree (count, total wall time, share of the parent
+/// span) — the quick "where does the time go" view.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("profile needs a topology")?;
+    let device = parse_topology(name)?;
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    if strategy == Strategy::Human {
+        return Err("profile measures the engine pipeline; use qplacer or classic".into());
+    }
+    let config = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    qplacer::obs::set_spans_enabled(true);
+    qplacer::obs::reset_spans();
+    let engine = Qplacer::new(config);
+    let mut ws = PipelineWorkspace::new();
+    let layout = engine.place_with(&device, strategy, &mut ws);
+    println!(
+        "{} / {}: {} cells, {:.2} s wall",
+        device.name(),
+        layout.strategy,
+        layout.netlist.num_instances(),
+        (layout.timings.assign_ms + layout.timings.place_ms + layout.timings.legalize_ms) / 1e3,
+    );
+    print!("{}", qplacer::render_span_tree());
     Ok(())
 }
 
@@ -558,13 +611,29 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the server's metrics snapshot.
+/// Prints the server's metrics snapshot (or Prometheus text).
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "prometheus") {
+        return Err(format!("unknown --format `{format}` (text|prometheus)"));
+    }
     let mut client = connect(args)?;
+    if format == "prometheus" {
+        let text = client.metrics_text().map_err(|e| e.to_string())?;
+        print!("{text}");
+        return Ok(());
+    }
     let m = client.stats().map_err(|e| e.to_string())?;
     println!(
-        "requests {}  placed {}  errors {}  busy-rejected {}  deadline-expired {}",
-        m.requests, m.placed, m.errors, m.rejected_busy, m.deadline_expired
+        "uptime {:.1} s  requests {}  placed {}  errors {}",
+        m.uptime_ms as f64 / 1e3,
+        m.requests,
+        m.placed,
+        m.errors
+    );
+    println!(
+        "rejected: busy {}  invalid-device {}  deadline-expired {}",
+        m.rejected_busy, m.rejected_invalid_device, m.deadline_expired
     );
     println!(
         "queue depth {}  in-flight {}  batches {} ({} jobs batched)",
@@ -696,6 +765,50 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_e2e(&bad).is_err());
+    }
+
+    #[test]
+    fn e2e_trace_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join("qplacer-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_string_lossy().into_owned();
+        let args: Vec<String> = ["--devices", "grid", "--fast", "--trace", path_str.as_str()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_e2e(&args).is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty());
+        for line in text.lines() {
+            let value: serde_json::Value =
+                serde_json::from_str(line).expect("valid JSON trace line");
+            assert!(value.as_map().is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_command_prints_a_span_tree() {
+        let args: Vec<String> = ["grid", "--fast"].iter().map(|s| s.to_string()).collect();
+        assert!(cmd_profile(&args).is_ok());
+        // At least the pipeline root span must have been recorded.
+        assert!(qplacer::obs::span_report()
+            .iter()
+            .any(|s| s.name == "pipeline" && s.count > 0));
+        assert!(cmd_profile(&[]).is_err());
+        let bad: Vec<String> = ["grid", "--strategy", "human"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_profile(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_format_is_validated_before_connecting() {
+        let args: Vec<String> = ["--format", "xml"].iter().map(|s| s.to_string()).collect();
+        // Invalid format errors without touching the network.
+        assert!(cmd_stats(&args).unwrap_err().contains("unknown --format"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub use qplacer_harness as harness;
 pub use qplacer_legal as legal;
 pub use qplacer_metrics as metrics;
 pub use qplacer_netlist as netlist;
+pub use qplacer_obs as obs;
 pub use qplacer_physics as physics;
 pub use qplacer_place as place;
 pub use qplacer_service as service;
@@ -92,6 +93,10 @@ pub use qplacer_metrics::{
     HotspotReport,
 };
 pub use qplacer_netlist::{CouplingKind, NetlistConfig, QuantumNetlist};
+pub use qplacer_obs::{
+    render_prometheus, render_span_tree, JsonlTraceSink, LatencyHistogram, NullTraceSink, Registry,
+    RingTraceSink, TraceRecord, TraceSink,
+};
 pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
 pub use qplacer_service::{
     MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
