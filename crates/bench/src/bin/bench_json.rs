@@ -26,11 +26,16 @@
 //! `service_rps_fresh_grid`) — and the device zoo (PR 5):
 //! `end_to_end_heavy_hex_d5` (the parametric heavy-hex family at Eagle
 //! scale) and `place_defective_eagle` (a 90%-yield defect-survivor
-//! Eagle) — plus the observability layer (PR 6):
-//! `obs_span_overhead`, the cost of one enabled `qplacer-obs` span
-//! enter/exit. Timing fields are host-dependent; the schema is what
-//! downstream tooling relies on: `{schema, threads, entries: [{kernel,
-//! grid, ns_per_op, iterations_per_sec}]}`.
+//! Eagle) — the observability layer (PR 6): `obs_span_overhead`, the
+//! cost of one enabled `qplacer-obs` span enter/exit — and the
+//! multilevel engine (PR 7): `end_to_end_heavy_hex_d10` / `_d16`
+//! (Osprey/Condor scale through the multilevel V-cycle) plus the
+//! planned-vs-naive DCT-II pairs (`dct2_planned_<n>` /
+//! `dct2_naive_<n>`) at the non-power-of-two lengths 100 (mixed-radix)
+//! and 127 (Bluestein).
+//! Timing fields are host-dependent; the schema is what downstream
+//! tooling relies on: `{schema, threads, entries: [{kernel, grid,
+//! ns_per_op, iterations_per_sec}]}`.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -247,6 +252,80 @@ fn measure(quick: bool) -> BenchDoc {
             min_seconds,
         );
         entries.push(entry("place_defective_eagle", defective.num_qubits(), ns));
+    }
+
+    // Condor-scale multilevel kernels (PR 7). `grid` carries the device
+    // qubit count.
+    //
+    // - `end_to_end_heavy_hex_d10` (433 qubits, Osprey scale): the full
+    //   paper-config pipeline through the multilevel V-cycle
+    //   (`levels = 4`) — the engine's intended mode at this scale, and
+    //   the kernel the "d10 under the flat d5 wall time" budget tracks.
+    // - `end_to_end_heavy_hex_d16` (1066 qubits, Condor scale): same
+    //   pipeline at `levels = 5`. A single run takes tens of seconds
+    //   (the frequency force iterates ~10⁸ collision pairs per
+    //   refinement iteration), so it is measured as one cold run with
+    //   no warm-up instead of through `time_op`, and only in full mode —
+    //   a lone cold sample is too slow and too noisy for the quick CI
+    //   gate.
+    {
+        let multilevel = |levels: usize| {
+            let mut config = PipelineConfig::paper();
+            config.placer.levels = levels;
+            Qplacer::new(config)
+        };
+
+        let hh10 = Topology::heavy_hex(10);
+        let engine = multilevel(4);
+        let mut pws = PipelineWorkspace::new();
+        let ns = time_op(
+            || {
+                let layout = engine.place_with(&hh10, Strategy::FrequencyAware, &mut pws);
+                let _ = layout.area();
+                let _ = layout.hotspots();
+            },
+            1,
+            min_seconds,
+        );
+        entries.push(entry("end_to_end_heavy_hex_d10", hh10.num_qubits(), ns));
+
+        if !quick {
+            let hh16 = Topology::heavy_hex(16);
+            let engine = multilevel(5);
+            let mut pws = PipelineWorkspace::new();
+            let start = Instant::now();
+            let layout = engine.place_with(&hh16, Strategy::FrequencyAware, &mut pws);
+            let _ = layout.area();
+            let _ = layout.hotspots();
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            entries.push(entry("end_to_end_heavy_hex_d16", hh16.num_qubits(), ns));
+        }
+    }
+
+    // Non-power-of-two spectral kernels (PR 7): the planned DCT-II at
+    // the awkward lengths the multilevel bin-grid sizing produces —
+    // 100 = 2²·5² runs on the mixed-radix (2/3/5) butterflies, prime
+    // 127 through the Bluestein chirp-z fallback — against the O(n²)
+    // naive reference at the same length. The planned/naive ratio is
+    // the speedup the transform layer buys off the power-of-two grid.
+    for n in [100usize, 127] {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 23) as f64 * 0.1).collect();
+        let ns = time_op(
+            || {
+                std::hint::black_box(qplacer_numeric::dct2(std::hint::black_box(&x)));
+            },
+            100,
+            min_seconds,
+        );
+        entries.push(entry(&format!("dct2_planned_{n}"), n, ns));
+        let ns = time_op(
+            || {
+                std::hint::black_box(qplacer_numeric::naive_dct2(std::hint::black_box(&x)));
+            },
+            100,
+            min_seconds,
+        );
+        entries.push(entry(&format!("dct2_naive_{n}"), n, ns));
     }
 
     // Serving throughput (PR 4): an in-process `qplacer-service` on an

@@ -1,0 +1,72 @@
+//! Frequency-band compatibility for multilevel clustering.
+
+use qplacer_physics::Frequency;
+
+/// Whether two connected instances may be merged into one multilevel
+/// placement cluster without hiding a frequency collision from the
+/// coarse levels.
+///
+/// Merging two instances makes the frequency force treat them as a
+/// single body, so any repulsion *between* them disappears at the
+/// coarse levels. That is safe exactly when no repulsion exists in the
+/// first place:
+///
+/// * segments of the **same resonator** — Eq. 10's Kronecker-delta
+///   exclusion means they never repel, and wirelength actively keeps
+///   them contiguous, or
+/// * instances detuned by at least the threshold `Δc` — outside the
+///   collision band, so the frequency force ignores the pair.
+///
+/// Near-resonant instances from different resonators are precisely the
+/// pairs the placement engine must push apart; the multilevel matcher
+/// refuses to merge them so every coarse level still sees the conflict.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_freq::merge_compatible;
+/// use qplacer_physics::Frequency;
+///
+/// let dc = Frequency::from_ghz(0.1);
+/// let a = Frequency::from_ghz(5.0);
+/// // Detuned by 2Δc: mergeable.
+/// assert!(merge_compatible(a, Frequency::from_ghz(5.2), dc, false));
+/// // Resonant and from different resonators: must stay separate.
+/// assert!(!merge_compatible(a, a, dc, false));
+/// // Same resonator: always mergeable.
+/// assert!(merge_compatible(a, a, dc, true));
+/// ```
+#[must_use]
+pub fn merge_compatible(
+    a: Frequency,
+    b: Frequency,
+    threshold: Frequency,
+    same_resonator: bool,
+) -> bool {
+    same_resonator || !a.is_resonant_with(b, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resonant_pairs_are_incompatible_unless_same_resonator() {
+        let dc = Frequency::from_ghz(0.1);
+        let f = Frequency::from_ghz(6.5);
+        let near = Frequency::from_ghz(6.55);
+        assert!(!merge_compatible(f, near, dc, false));
+        assert!(merge_compatible(f, near, dc, true));
+    }
+
+    #[test]
+    fn detuned_pairs_are_compatible() {
+        let dc = Frequency::from_ghz(0.1);
+        assert!(merge_compatible(
+            Frequency::from_ghz(4.8),
+            Frequency::from_ghz(5.1),
+            dc,
+            false
+        ));
+    }
+}

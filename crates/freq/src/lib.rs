@@ -11,6 +11,8 @@
 //! * [`dsatur_coloring`] — saturation-degree greedy graph coloring.
 //! * [`FrequencyAssigner`] / [`FrequencyAssignment`] — end-to-end
 //!   assignment over a device [`qplacer_topology::Topology`].
+//! * [`merge_compatible`] — the band-compatibility predicate the
+//!   multilevel placer uses when clustering instances.
 //!
 //! # Examples
 //!
@@ -29,8 +31,10 @@
 
 mod assigner;
 mod coloring;
+mod compat;
 mod spectrum;
 
 pub use assigner::{FreqWorkspace, FrequencyAssigner, FrequencyAssignment};
 pub use coloring::{color_count, dsatur_coloring};
+pub use compat::merge_compatible;
 pub use spectrum::Spectrum;

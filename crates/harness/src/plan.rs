@@ -486,6 +486,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Resonator segment size `l_b` override (mm); `None` = paper default.
     pub segment_size_mm: Option<f64>,
+    /// Multilevel V-cycle depth override (see
+    /// [`PlacerConfig::levels`](qplacer_place::PlacerConfig::levels));
+    /// `None` = the profile's default (flat placement).
+    pub levels: Option<usize>,
 }
 
 impl JobSpec {
@@ -508,6 +512,9 @@ impl JobSpec {
         let mut config = profile.pipeline_config();
         if let Some(lb) = self.segment_size_mm {
             config.netlist = NetlistConfig::with_segment_size(lb);
+        }
+        if let Some(levels) = self.levels {
+            config.placer.levels = levels.max(1);
         }
         config
     }
@@ -542,6 +549,16 @@ impl ExperimentPlan {
         self
     }
 
+    /// Sets the multilevel V-cycle depth on every job in the plan
+    /// (see [`PlacerConfig::levels`](qplacer_place::PlacerConfig::levels)).
+    #[must_use]
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        for job in &mut self.jobs {
+            job.levels = Some(levels);
+        }
+        self
+    }
+
     /// Builds the full device × strategy × benchmark × seed grid, the
     /// Fig. 11/12 evaluation shape.
     ///
@@ -569,6 +586,7 @@ impl ExperimentPlan {
                             subsets,
                             seed,
                             segment_size_mm: None,
+                            levels: None,
                         });
                     }
                 }
@@ -597,6 +615,7 @@ impl ExperimentPlan {
                         subsets: 0,
                         seed: 0,
                         segment_size_mm,
+                        levels: None,
                     });
                 }
             }
@@ -680,6 +699,7 @@ mod tests {
             subsets: 1,
             seed: 0,
             segment_size_mm: None,
+            levels: None,
         };
         assert!(job.resolve_benchmark().is_err());
         // Parametric zoo workloads resolve at any size.

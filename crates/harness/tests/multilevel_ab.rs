@@ -1,0 +1,90 @@
+//! Flat-vs-multilevel quality A/B: on Falcon and Eagle, a 3-level
+//! V-cycle must land within a few percent of flat placement on the
+//! metrics the paper reports (density overflow, hotspot proportion,
+//! mean subset fidelity), while running the same pipeline end to end.
+
+use qplacer_harness::{
+    execute_job_with, DeviceSpec, ExperimentPlan, JobSpec, PipelineWorkspace, Profile, Strategy,
+};
+
+fn one_job_plan(device: DeviceSpec, levels: Option<usize>) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("multilevel-ab").with_profile(Profile::Fast);
+    plan.jobs.push(JobSpec {
+        device,
+        strategy: Strategy::FrequencyAware,
+        benchmark: Some("ghz-10".to_string()),
+        subsets: 3,
+        seed: 7,
+        segment_size_mm: None,
+        levels,
+    });
+    plan
+}
+
+struct Quality {
+    overflow: f64,
+    ph: f64,
+    mean_fidelity: f64,
+}
+
+fn run(device: DeviceSpec, levels: Option<usize>) -> Quality {
+    let plan = one_job_plan(device, levels);
+    let mut ws = PipelineWorkspace::new();
+    let (record, layout) = execute_job_with(&plan, 0, &mut ws);
+    let layout = layout.expect("placement job produces a layout");
+    let placement = layout.placement.as_ref().expect("placement ran");
+    assert!(
+        record.subsets_evaluated > 0,
+        "no fidelity samples on {}",
+        record.device
+    );
+    Quality {
+        overflow: placement.final_overflow,
+        ph: record.ph,
+        mean_fidelity: record.mean_fidelity,
+    }
+}
+
+/// `value` may be worse than `baseline` by at most `slack` relative —
+/// or by `floor` absolute, whichever is larger, so near-zero baselines
+/// (a couple of hotspot qubits out of hundreds) don't turn into
+/// zero-tolerance comparisons. Lower is better; being better is fine.
+fn assert_within(metric: &str, device: &str, value: f64, baseline: f64, slack: f64, floor: f64) {
+    let limit = (baseline.abs() * slack).max(floor);
+    assert!(
+        value - baseline <= limit,
+        "{device}: multilevel {metric} {value:.6} exceeds flat {baseline:.6} by more than {:.0}% (floor {floor})",
+        slack * 100.0
+    );
+}
+
+fn ab_device(device: DeviceSpec) {
+    let name = device.name();
+    let flat = run(device.clone(), None);
+    let multi = run(device, Some(3));
+    eprintln!(
+        "{name}: flat overflow={:.4} ph={:.4} fid={:.6} | multi overflow={:.4} ph={:.4} fid={:.6}",
+        flat.overflow, flat.ph, flat.mean_fidelity, multi.overflow, multi.ph, multi.mean_fidelity
+    );
+    assert_within("overflow", &name, multi.overflow, flat.overflow, 0.05, 0.01);
+    assert_within("ph", &name, multi.ph, flat.ph, 0.05, 0.01);
+    // Fidelity is higher-is-better: compare the infidelities instead.
+    assert_within(
+        "infidelity",
+        &name,
+        1.0 - multi.mean_fidelity,
+        1.0 - flat.mean_fidelity,
+        0.05,
+        0.01,
+    );
+}
+
+#[test]
+fn multilevel_matches_flat_quality_on_falcon() {
+    ab_device(DeviceSpec::Falcon27);
+}
+
+#[test]
+fn multilevel_matches_flat_quality_on_eagle() {
+    ab_device(DeviceSpec::Eagle127);
+}

@@ -24,6 +24,7 @@ fn two_job_plan() -> ExperimentPlan {
             subsets: 0,
             seed: 0,
             segment_size_mm: None,
+            levels: None,
         });
     }
     plan

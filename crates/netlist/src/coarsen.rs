@@ -1,0 +1,230 @@
+//! Netlist coarsening for multilevel placement.
+//!
+//! [`QuantumNetlist::coarsen`] contracts a clustering of the instances
+//! into a smaller netlist with the same region, detuning threshold, and
+//! conserved padded/core **area** — the quantities the electrostatic
+//! density model and the frequency force actually consume. The coarse
+//! netlist is a placement problem in its own right: the multilevel
+//! engine places it, projects the solution back, and refines.
+
+use std::collections::BTreeMap;
+
+use qplacer_geometry::Point;
+
+use crate::{Instance, Net, QuantumNetlist};
+
+impl QuantumNetlist {
+    /// Contracts the netlist according to `cluster_of`, which maps every
+    /// instance id to a cluster id in `0..num_clusters`.
+    ///
+    /// Per cluster, the coarse instance:
+    ///
+    /// * carries the **kind and frequency of its representative** — the
+    ///   member with the largest padded footprint (ties: lowest id) —
+    ///   so the collision map of the coarse netlist approximates the
+    ///   dominant member's collision behaviour,
+    /// * **conserves area**: `padded_mm = √Σ padded areas` and
+    ///   `core_mm = min(√Σ core areas, padded_mm)`,
+    /// * starts at the padded-area-weighted **centroid** of its members'
+    ///   current positions.
+    ///
+    /// Nets are remapped onto clusters; self-loops are dropped and
+    /// parallel nets are merged with summed weights, in deterministic
+    /// (sorted endpoint) order. The qubit/resonator bookkeeping is
+    /// carried over best-effort — a device qubit maps to the cluster
+    /// containing it (several qubits may share one cluster), and a
+    /// resonator's segment list dedups to the clusters its segments
+    /// landed in, chain order preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_of` does not cover every instance, references
+    /// a cluster id `>= num_clusters`, or leaves a cluster empty.
+    #[must_use]
+    pub fn coarsen(&self, cluster_of: &[usize], num_clusters: usize) -> QuantumNetlist {
+        let n = self.instances.len();
+        assert_eq!(cluster_of.len(), n, "cluster map must cover every instance");
+        assert!(num_clusters > 0, "need at least one cluster");
+
+        // Representative (max padded area, tie lowest id), conserved
+        // areas, and weighted centroid per cluster, in one id-order scan.
+        let mut representative: Vec<Option<usize>> = vec![None; num_clusters];
+        let mut padded_area = vec![0.0f64; num_clusters];
+        let mut core_area = vec![0.0f64; num_clusters];
+        let mut moment = vec![(0.0f64, 0.0f64); num_clusters];
+        for inst in &self.instances {
+            let c = cluster_of[inst.id()];
+            assert!(c < num_clusters, "cluster id {c} out of range");
+            let rep = &mut representative[c];
+            if rep.is_none_or(|r| inst.padded_area() > self.instances[r].padded_area()) {
+                *rep = Some(inst.id());
+            }
+            padded_area[c] += inst.padded_area();
+            core_area[c] += inst.core_area();
+            let p = self.positions[inst.id()];
+            moment[c].0 += inst.padded_area() * p.x;
+            moment[c].1 += inst.padded_area() * p.y;
+        }
+
+        let mut instances = Vec::with_capacity(num_clusters);
+        let mut positions = Vec::with_capacity(num_clusters);
+        for c in 0..num_clusters {
+            let rep = representative[c].unwrap_or_else(|| panic!("cluster {c} is empty"));
+            let rep = &self.instances[rep];
+            let padded = padded_area[c].sqrt();
+            let core = core_area[c].sqrt().min(padded);
+            instances.push(Instance::new(c, rep.kind(), rep.frequency(), padded, core));
+            positions.push(Point::new(
+                moment[c].0 / padded_area[c],
+                moment[c].1 / padded_area[c],
+            ));
+        }
+
+        // Remap nets: drop self-loops, merge parallel edges. BTreeMap
+        // keys give a deterministic (sorted-endpoint) net order.
+        let mut merged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for net in &self.nets {
+            let (a, b) = net.endpoints();
+            let (ca, cb) = (cluster_of[a], cluster_of[b]);
+            if ca != cb {
+                *merged.entry((ca.min(cb), ca.max(cb))).or_insert(0.0) += net.weight();
+            }
+        }
+        let nets = merged
+            .into_iter()
+            .map(|((a, b), w)| Net::new(a, b, w))
+            .collect();
+
+        let qubit_instances = self
+            .qubit_instances
+            .iter()
+            .map(|&inst| cluster_of[inst])
+            .collect();
+        let resonator_segments = self
+            .resonator_segments
+            .iter()
+            .map(|segments| {
+                let mut clusters: Vec<usize> = Vec::with_capacity(segments.len());
+                for &inst in segments {
+                    let c = cluster_of[inst];
+                    if !clusters.contains(&c) {
+                        clusters.push(c);
+                    }
+                }
+                clusters
+            })
+            .collect();
+
+        QuantumNetlist {
+            instances,
+            nets,
+            positions,
+            region: self.region,
+            qubit_instances,
+            resonator_segments,
+            resonator_endpoints: self.resonator_endpoints.clone(),
+            detuning_threshold: self.detuning_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use qplacer_freq::FrequencyAssigner;
+    use qplacer_topology::Topology;
+
+    use crate::{NetlistConfig, QuantumNetlist};
+
+    fn build() -> QuantumNetlist {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4))
+    }
+
+    #[test]
+    fn identity_coarsening_preserves_everything() {
+        let nl = build();
+        let n = nl.num_instances();
+        let identity: Vec<usize> = (0..n).collect();
+        let coarse = nl.coarsen(&identity, n);
+        assert_eq!(coarse.num_instances(), n);
+        assert_eq!(coarse.nets().len(), nl.nets().len());
+        for (a, b) in nl.instances().iter().zip(coarse.instances()) {
+            assert_eq!(a.kind(), b.kind());
+            assert!((a.padded_mm() - b.padded_mm()).abs() < 1e-12);
+            assert!((a.core_mm() - b.core_mm()).abs() < 1e-12);
+        }
+        for (a, b) in nl.positions().iter().zip(coarse.positions()) {
+            assert!((a.x - b.x).abs() < 1e-12 && (a.y - b.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pairing_conserves_area_and_drops_self_loops() {
+        let nl = build();
+        let n = nl.num_instances();
+        // Pair consecutive instances: (0,1) -> 0, (2,3) -> 1, ...
+        let cluster_of: Vec<usize> = (0..n).map(|i| i / 2).collect();
+        let k = n.div_ceil(2);
+        let coarse = nl.coarsen(&cluster_of, k);
+        assert_eq!(coarse.num_instances(), k);
+        assert!(
+            (coarse.total_padded_area() - nl.total_padded_area()).abs()
+                < 1e-9 * nl.total_padded_area()
+        );
+        assert!(
+            (coarse.total_core_area() - nl.total_core_area()).abs() < 1e-9 * nl.total_core_area()
+        );
+        // Nets between members of one cluster vanished; none reference a
+        // cluster twice, and every weight is positive.
+        assert!(coarse.nets().len() < nl.nets().len());
+        for net in coarse.nets() {
+            let (a, b) = net.endpoints();
+            assert_ne!(a, b);
+            assert!(a < k && b < k);
+            assert!(net.weight() > 0.0);
+        }
+        assert_eq!(coarse.region(), nl.region());
+        assert_eq!(coarse.detuning_threshold(), nl.detuning_threshold());
+    }
+
+    #[test]
+    fn parallel_nets_merge_with_summed_weight() {
+        let nl = build();
+        let n = nl.num_instances();
+        // Two clusters: instance 0 alone, everything else together. All
+        // surviving nets connect cluster 0 and cluster 1, so their
+        // weights must sum to the total weight of nets touching 0.
+        let cluster_of: Vec<usize> = (0..n).map(|i| usize::from(i != 0)).collect();
+        let coarse = nl.coarsen(&cluster_of, 2);
+        let expected: f64 = nl
+            .nets()
+            .iter()
+            .filter(|net| {
+                let (a, b) = net.endpoints();
+                a == 0 || b == 0
+            })
+            .map(|net| net.weight())
+            .sum();
+        assert_eq!(coarse.nets().len(), 1);
+        assert!((coarse.nets()[0].weight() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarsening_is_deterministic() {
+        let nl = build();
+        let n = nl.num_instances();
+        let cluster_of: Vec<usize> = (0..n).map(|i| i / 3).collect();
+        let k = n.div_ceil(3);
+        let a = nl.coarsen(&cluster_of, k);
+        let b = nl.coarsen(&cluster_of, k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster map")]
+    fn wrong_length_panics() {
+        let nl = build();
+        let _ = nl.coarsen(&[0, 1], 2);
+    }
+}

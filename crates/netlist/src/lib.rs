@@ -16,6 +16,10 @@
 //!    segments are independent movable instances chained by 2-pin nets so
 //!    wirelength keeps them contiguous.
 //!
+//! For multilevel placement, [`QuantumNetlist::coarsen`] contracts a
+//! clustering of the instances into a smaller, area-conserving netlist
+//! that the same placement engine can solve directly.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod coarsen;
 mod config;
 mod instance;
 mod net;

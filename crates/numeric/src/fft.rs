@@ -1,19 +1,17 @@
-//! Iterative radix-2 Cooley–Tukey FFT.
+//! Arbitrary-length FFT free functions.
 //!
 //! The free functions here are thin wrappers over the cached
 //! [`crate::FftPlan`] for their length, so twiddle factors and the
 //! bit-reversal permutation are computed once per length per process.
-//! Hot paths should hold a plan (or a [`crate::SpectralPlan`]) directly.
+//! Power-of-two lengths run the radix-2 kernel, 2/3/5-smooth lengths the
+//! mixed-radix Stockham kernel, and remaining lengths the Bluestein
+//! chirp-z kernel — all O(n log n). Hot paths should hold a plan (or a
+//! [`crate::SpectralPlan`]) directly.
 
 use crate::plan::fft_plan;
 use crate::Complex64;
 
-/// In-place forward FFT: `X_k = Σ_n x_n e^{-2πi nk/N}`.
-///
-/// # Panics
-///
-/// Panics if the length is not a power of two (the placement bin grids are
-/// always powers of two, so no Bluestein fallback is needed).
+/// In-place forward FFT: `X_k = Σ_n x_n e^{-2πi nk/N}`, for any length.
 ///
 /// # Examples
 ///
@@ -34,11 +32,8 @@ pub fn fft(data: &mut [Complex64]) {
     fft_plan(data.len()).fft_inplace(data);
 }
 
-/// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`.
-///
-/// # Panics
-///
-/// Panics if the length is not a power of two.
+/// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`,
+/// for any length.
 pub fn ifft(data: &mut [Complex64]) {
     if data.is_empty() {
         return;
@@ -76,7 +71,8 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        for &n in &[1usize, 2, 4, 8, 16, 64] {
+        // Radix-2, mixed-radix, and Bluestein lengths.
+        for &n in &[1usize, 2, 4, 8, 16, 64, 3, 12, 45, 100, 127] {
             let x: Vec<Complex64> = (0..n)
                 .map(|i| Complex64::new((i as f64).sin() + 0.5, (i as f64 * 0.7).cos()))
                 .collect();
@@ -121,9 +117,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_power_of_two_panics() {
-        let mut x = vec![Complex64::ZERO; 12];
-        fft(&mut x);
+    fn non_power_of_two_round_trips() {
+        for &n in &[12usize, 100, 127, 250] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i * i % 17) as f64, (i % 5) as f64 - 2.0))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            assert_close(&y, &x, 1e-9);
+        }
     }
 }

@@ -30,7 +30,7 @@
 //!    Poisson solves, a [`PoissonField`] via [`PoissonField::zeros`].
 //! 3. Call the `*_inplace` row kernels / [`SpectralPlan::apply_2d`] /
 //!    [`PoissonSolver::solve_into`] in the loop: the kernel code itself
-//!    performs **zero heap allocations** on power-of-two grids and fans
+//!    performs **zero heap allocations** on any grid size and fans
 //!    row passes across the current rayon pool width. Row results are
 //!    computed independently, so outputs are bit-identical for any
 //!    thread count. (Under a pool wider than one worker, the scoped
@@ -38,8 +38,12 @@
 //!    the strict zero-allocation steady state holds on a 1-thread pool,
 //!    matching the vendored rayon's own spawn-per-call model.)
 //!
-//! [`is_fast_path`] reports whether a length takes the planned
-//! O(n log n) route or the naive O(n²) fallback.
+//! Every positive length is planned in O(n log n): power-of-two lengths
+//! on the radix-2 kernel, other 2/3/5-smooth lengths on the mixed-radix
+//! Stockham kernel, and the rest on the Bluestein chirp-z kernel.
+//! [`is_fast_path`] reports whether a length lands on a dedicated
+//! butterfly kernel (smooth) or pays the Bluestein constant factor, and
+//! [`next_smooth`] rounds a grid size up to the nearest smooth length.
 //!
 //! # Examples
 //!
@@ -71,7 +75,10 @@ pub use array2::Array2;
 pub use complex::Complex64;
 pub use fft::{fft, ifft};
 pub use nesterov::{NesterovSolver, SolverState};
-pub use plan::{fft_plan, is_fast_path, FftPlan, RowOp, SpectralPlan, SpectralScratch};
+pub use plan::{
+    fft_plan, is_fast_path, next_smooth, transform_scratch_len, FftPlan, RowOp, SpectralPlan,
+    SpectralScratch,
+};
 pub use poisson::{PoissonField, PoissonSolver};
 pub use stats::{geo_mean, mean, pearson, std_dev};
 pub use transforms::{dct2, dct3, idxst, naive_dct2, naive_dct3, naive_idxst};

@@ -16,8 +16,8 @@
 //! The DC coefficient is dropped (a neutralized system: forces are relative
 //! to the uniform target density).
 
-use crate::plan::{is_fast_path, RowOp, SpectralPlan, SpectralScratch};
-use crate::{dct2, dct3, idxst, Array2};
+use crate::plan::{RowOp, SpectralPlan, SpectralScratch};
+use crate::Array2;
 
 /// Result of one Poisson solve: potential and field maps on the bin grid.
 ///
@@ -73,15 +73,16 @@ pub struct PoissonSolver {
     ny: usize,
     wu: Vec<f64>,
     wv: Vec<f64>,
-    /// Planned transforms for power-of-two grids; `None` falls back to
-    /// the allocating naive transforms.
-    plan: Option<SpectralPlan>,
+    /// Planned transforms; every grid size is O(N log N) (see
+    /// [`crate::FftPlan`] for the per-length kernel selection).
+    plan: SpectralPlan,
 }
 
 impl PoissonSolver {
-    /// Creates a solver for an `nx × ny` grid. Powers of two get the
-    /// planned O(N log N) fast path; other sizes work through the naive
-    /// transforms.
+    /// Creates a solver for an `nx × ny` grid. Every size runs the
+    /// planned O(N log N) transforms; 2/3/5-smooth dimensions (see
+    /// [`crate::is_fast_path`]) use the dedicated butterfly kernels,
+    /// other sizes the Bluestein chirp-z kernel.
     ///
     /// # Panics
     ///
@@ -95,7 +96,7 @@ impl PoissonSolver {
         let wv = (0..ny)
             .map(|v| std::f64::consts::PI * v as f64 / ny as f64)
             .collect();
-        let plan = (is_fast_path(nx) && is_fast_path(ny)).then(|| SpectralPlan::new(nx, ny));
+        let plan = SpectralPlan::new(nx, ny);
         Self {
             nx,
             ny,
@@ -138,11 +139,10 @@ impl PoissonSolver {
     /// Solves for the potential and field of `rho`, writing into the
     /// caller-owned `field` workspace.
     ///
-    /// On power-of-two grids this performs **zero heap allocations**: the
+    /// This performs **zero heap allocations** on any grid size: the
     /// four 2-D transforms run through the precomputed [`SpectralPlan`]
     /// with `scratch` as working memory, with row passes fanned across
-    /// the current rayon pool width. Non-power-of-two grids fall back to
-    /// the allocating naive transforms.
+    /// the current rayon pool width.
     ///
     /// # Panics
     ///
@@ -235,23 +235,7 @@ impl PoissonSolver {
         row_op: RowOp,
         col_op: RowOp,
     ) {
-        match &self.plan {
-            Some(plan) => plan.apply_2d(a, scratch, row_op, col_op),
-            None => {
-                let rf = free_fn(row_op);
-                let cf = free_fn(col_op);
-                a.map_rows(rf);
-                a.map_cols(cf);
-            }
-        }
-    }
-}
-
-fn free_fn(op: RowOp) -> fn(&[f64]) -> Vec<f64> {
-    match op {
-        RowOp::Dct2 => dct2,
-        RowOp::Dct3 => dct3,
-        RowOp::Idxst => idxst,
+        self.plan.apply_2d(a, scratch, row_op, col_op);
     }
 }
 

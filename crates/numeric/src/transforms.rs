@@ -11,18 +11,30 @@
 //! reduces to a DCT-III via `s_n = (-1)^n · dct3(c)` with `c_0 = 0`,
 //! `c_j = b_{N-j}`.
 //!
-//! Naive O(N²) references are exported for testing and as a fallback for
-//! non-power-of-two lengths; [`crate::is_fast_path`] reports which path a
-//! length takes. These free functions allocate their outputs and look up
-//! the cached [`crate::FftPlan`] per call — hot loops should hold a plan
-//! (or [`crate::SpectralPlan`]) and use the `*_inplace` kernels instead.
+//! Every positive length takes an O(N log N) planned kernel (radix-2,
+//! mixed-radix, or Bluestein — see [`crate::FftPlan`]); the naive O(N²)
+//! references are exported for testing only. Each naive call increments
+//! the `qplacer_dct_naive_fallback_total` counter in the global
+//! [`qplacer_obs`] metrics registry, so any code path that regresses to
+//! the quadratic sums is diagnosable (`qplacer profile` surfaces it)
+//! instead of silently slow. These free functions allocate their outputs
+//! and look up the cached [`crate::FftPlan`] per call — hot loops should
+//! hold a plan (or [`crate::SpectralPlan`]) and use the `*_inplace`
+//! kernels instead.
+
+use std::sync::OnceLock;
 
 use crate::plan::fft_plan;
 use crate::Complex64;
 
-/// Forward DCT-II of `x` (unnormalized). Uses the FFT (Makhoul's
-/// even-odd permutation) when `x.len()` is a power of two, and the naive
-/// O(N²) sum otherwise.
+/// Cached handle to the naive-transform tripwire counter.
+fn naive_fallback_counter() -> &'static std::sync::Arc<qplacer_obs::Counter> {
+    static COUNTER: OnceLock<std::sync::Arc<qplacer_obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| qplacer_obs::global().counter("qplacer_dct_naive_fallback_total"))
+}
+
+/// Forward DCT-II of `x` (unnormalized). Runs on the planned FFT kernel
+/// for any length (Makhoul's even-odd permutation).
 ///
 /// # Examples
 ///
@@ -41,17 +53,15 @@ pub fn dct2(x: &[f64]) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    if !n.is_power_of_two() {
-        return naive_dct2(x);
-    }
+    let plan = fft_plan(n);
     let mut out = x.to_vec();
-    let mut scratch = vec![Complex64::ZERO; n];
-    fft_plan(n).dct2_inplace(&mut out, &mut scratch);
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.dct2_inplace(&mut out, &mut scratch);
     out
 }
 
 /// DCT-III of `y` (unnormalized); the inverse of [`dct2`] up to the factor
-/// `N/2`. Falls back to the naive sum for non-power-of-two lengths.
+/// `N/2`. Runs on the planned FFT kernel for any length.
 ///
 /// # Examples
 ///
@@ -69,18 +79,17 @@ pub fn dct3(y: &[f64]) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    if !n.is_power_of_two() {
-        return naive_dct3(y);
-    }
+    let plan = fft_plan(n);
     let mut out = y.to_vec();
-    let mut scratch = vec![Complex64::ZERO; n];
-    fft_plan(n).dct3_inplace(&mut out, &mut scratch);
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.dct3_inplace(&mut out, &mut scratch);
     out
 }
 
 /// IDXST — the half-sample inverse sine transform
 /// `s_n = Σ_{k=1}^{N-1} b_k · sin(π k (2n+1) / 2N)` (`b_0` is ignored,
-/// matching the zero sine frequency).
+/// matching the zero sine frequency). Runs on the planned FFT kernel for
+/// any length.
 ///
 /// # Examples
 ///
@@ -99,29 +108,18 @@ pub fn idxst(b: &[f64]) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    if !n.is_power_of_two() {
-        // s_n = (-1)^n · DCT-III(c), c_0 = 0, c_j = b_{N-j}.
-        let mut c = vec![0.0; n];
-        for j in 1..n {
-            c[j] = b[n - j];
-        }
-        let mut s = naive_dct3(&c);
-        for (i, v) in s.iter_mut().enumerate() {
-            if i % 2 == 1 {
-                *v = -*v;
-            }
-        }
-        return s;
-    }
+    let plan = fft_plan(n);
     let mut out = b.to_vec();
-    let mut scratch = vec![Complex64::ZERO; n];
-    fft_plan(n).idxst_inplace(&mut out, &mut scratch);
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.idxst_inplace(&mut out, &mut scratch);
     out
 }
 
-/// Naive O(N²) DCT-II reference.
+/// Naive O(N²) DCT-II reference. Increments the
+/// `qplacer_dct_naive_fallback_total` metrics counter on every call.
 #[must_use]
 pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
+    naive_fallback_counter().inc();
     let n = x.len();
     (0..n)
         .map(|k| {
@@ -136,9 +134,11 @@ pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Naive O(N²) DCT-III reference.
+/// Naive O(N²) DCT-III reference. Increments the
+/// `qplacer_dct_naive_fallback_total` metrics counter on every call.
 #[must_use]
 pub fn naive_dct3(y: &[f64]) -> Vec<f64> {
+    naive_fallback_counter().inc();
     let n = y.len();
     (0..n)
         .map(|i| {
@@ -153,9 +153,11 @@ pub fn naive_dct3(y: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Naive O(N²) IDXST reference.
+/// Naive O(N²) IDXST reference. Increments the
+/// `qplacer_dct_naive_fallback_total` metrics counter on every call.
 #[must_use]
 pub fn naive_idxst(b: &[f64]) -> Vec<f64> {
+    naive_fallback_counter().inc();
     let n = b.len();
     (0..n)
         .map(|i| {
@@ -213,7 +215,9 @@ mod tests {
 
     #[test]
     fn dct_roundtrip_scales_by_half_n() {
-        for &n in &[4usize, 16, 64] {
+        // Non-power-of-two lengths round-trip too, now that every length
+        // is planned.
+        for &n in &[4usize, 16, 64, 12, 100, 127] {
             let x = test_signal(n);
             let back = dct3(&dct2(&x));
             let restored: Vec<f64> = back.iter().map(|v| v * 2.0 / n as f64).collect();
@@ -222,10 +226,25 @@ mod tests {
     }
 
     #[test]
-    fn non_power_of_two_falls_back() {
-        let x = test_signal(12);
-        assert_close(&dct2(&x), &naive_dct2(&x), 1e-10);
-        assert_close(&dct3(&x), &naive_dct3(&x), 1e-10);
+    fn non_power_of_two_takes_planned_path() {
+        for &n in &[12usize, 100, 127] {
+            let x = test_signal(n);
+            assert_close(&dct2(&x), &naive_dct2(&x), 1e-9);
+            assert_close(&dct3(&x), &naive_dct3(&x), 1e-9);
+            assert_close(&idxst(&x), &naive_idxst(&x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn naive_reference_increments_fallback_counter() {
+        let counter = naive_fallback_counter();
+        let before = counter.get();
+        let _ = naive_dct2(&[1.0, 2.0, 3.0]);
+        let _ = naive_dct3(&[1.0, 2.0, 3.0]);
+        let _ = naive_idxst(&[1.0, 2.0, 3.0]);
+        // Other tests may bump the global counter concurrently, so only
+        // a lower bound is asserted.
+        assert!(counter.get() >= before + 3);
     }
 
     #[test]

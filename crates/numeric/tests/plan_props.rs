@@ -55,18 +55,52 @@ proptest! {
 
     #[test]
     fn free_functions_match_naive_for_any_length(seed in 0u64..1000, n in 1usize..80) {
-        // Non-power-of-two lengths take the documented naive fallback and
-        // must still agree; power-of-two lengths take the planned path.
+        // Every length is planned now (radix-2, mixed-radix, or
+        // Bluestein) and must agree with the naive reference sums.
         let x = signal(seed, n);
         let tol = 1e-11 * (1.0 + x.iter().map(|v| v.abs()).sum::<f64>()) * n as f64;
         assert_close(&dct2(&x), &naive_dct2(&x), tol);
         assert_close(&dct3(&x), &naive_dct3(&x), tol);
         assert_close(&idxst(&x), &naive_idxst(&x), tol);
-        if is_fast_path(n) {
-            // Round trip through the fast pair: dct3(dct2(x)) == (n/2)·x.
-            let back = dct3(&dct2(&x));
-            let restored: Vec<f64> = back.iter().map(|v| v * 2.0 / n as f64).collect();
-            assert_close(&restored, &x, 1e-8);
+        // Round trip through the planned pair: dct3(dct2(x)) == (n/2)·x.
+        let back = dct3(&dct2(&x));
+        let restored: Vec<f64> = back.iter().map(|v| v * 2.0 / n as f64).collect();
+        assert_close(&restored, &x, 1e-8);
+    }
+
+    #[test]
+    fn planned_transforms_match_naive_for_non_pow2(seed in 0u64..1000, pick in 0usize..8) {
+        // Mixed-radix (96, 100, 250, 81, 45) and Bluestein (127, 97, 77)
+        // kernels against the naive O(N²) sums, to ≤1e-9 *relative*
+        // error (relative to the signal mass, the natural scale of the
+        // unnormalized transforms).
+        let n = [96usize, 100, 127, 250, 81, 45, 97, 77][pick];
+        prop_assert_eq!(is_fast_path(n), ![127usize, 97, 77].contains(&n));
+        let x = signal(seed, n);
+        let scale = 1.0 + x.iter().map(|v| v.abs()).sum::<f64>();
+        let plan = fft_plan(n);
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+
+        for (op, reference) in [
+            (RowOp::Dct2, naive_dct2(&x)),
+            (RowOp::Dct3, naive_dct3(&x)),
+            (RowOp::Idxst, naive_idxst(&x)),
+        ] {
+            let mut row = x.clone();
+            plan.apply_row(op, &mut row, &mut scratch);
+            for (i, (got, want)) in row.iter().zip(&reference).enumerate() {
+                let rel = (got - want).abs() / scale;
+                prop_assert!(rel <= 1e-9, "{op:?} n={n} index {i}: {got} vs {want} (rel {rel:e})");
+            }
+        }
+
+        // DCT-2/DCT-3 round trip restores the signal: dct3(dct2(x)) == (n/2)·x.
+        let mut row = x.clone();
+        plan.dct2_inplace(&mut row, &mut scratch);
+        plan.dct3_inplace(&mut row, &mut scratch);
+        for (i, (got, want)) in row.iter().zip(&x).enumerate() {
+            let rel = (got * 2.0 / n as f64 - want).abs() / scale;
+            prop_assert!(rel <= 1e-9, "round trip n={n} index {i} (rel {rel:e})");
         }
     }
 

@@ -16,6 +16,13 @@
 //! §IV-C1. Disabling the frequency term yields the paper's "Classic"
 //! baseline (DREAMPlace-like).
 //!
+//! For Condor-scale devices, setting [`PlacerConfig::levels`] above one
+//! runs a multilevel V-cycle: the netlist is coarsened by
+//! frequency-compatible heavy-edge matching
+//! ([`qplacer_netlist::QuantumNetlist::coarsen`]), the coarsest level
+//! is placed on a proportionally smaller 2/3/5-smooth bin grid, and the
+//! solution is projected and refined back down to full resolution.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +44,7 @@
 
 mod density;
 mod freqforce;
+mod multilevel;
 mod placer;
 mod wirelength;
 

@@ -32,6 +32,9 @@ pub struct PlacerWorkspace {
     areas: Vec<f64>,
     half_sizes: Vec<(f64, f64)>,
     density: Option<(usize, usize, DensityWorkspace)>,
+    /// Per-coarse-level workspaces, populated by the multilevel engine
+    /// and reused across runs.
+    pub(crate) multilevel: Option<Box<crate::multilevel::MultilevelState>>,
 }
 
 impl PlacerWorkspace {
@@ -72,7 +75,7 @@ impl PlacerWorkspace {
 /// Defaults follow the paper's setup; [`PlacerConfig::fast`] is a reduced
 /// configuration for tests, and [`PlacerConfig::classic`] disables the
 /// frequency force to reproduce the "Classic" baseline placer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct PlacerConfig {
     /// Hard iteration cap.
     pub max_iterations: usize,
@@ -92,8 +95,46 @@ pub struct PlacerConfig {
     pub gamma_fraction: f64,
     /// Initial optimizer step as a fraction of the region width.
     pub step_fraction: f64,
-    /// Bin grid override (power of two); `None` picks automatically.
+    /// Bin grid override; `None` picks automatically. Any positive size
+    /// works, but 2/3/5-smooth sizes (see
+    /// [`qplacer_numeric::is_fast_path`]) run on the dedicated
+    /// butterfly kernels — other sizes pay the Bluestein constant
+    /// factor.
     pub bins: Option<usize>,
+    /// Multilevel V-cycle depth: `1` (the default) places flat; `L > 1`
+    /// coarsens the netlist up to `L − 1` times by frequency-compatible
+    /// heavy-edge matching, places the coarsest level, and refines back
+    /// down. Levels beyond what the netlist supports are ignored.
+    pub levels: usize,
+}
+
+// Hand-written so that configs serialized before `levels` existed keep
+// deserializing (as flat placements); the vendored serde derive has no
+// `#[serde(default)]`.
+impl Deserialize for PlacerConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "PlacerConfig"))?;
+        let field = |key: &str| serde::Value::field(map, key);
+        let levels = match map.iter().find(|(k, _)| k.as_str() == "levels") {
+            Some((_, v)) => Deserialize::from_value(v)?,
+            None => 1,
+        };
+        Ok(Self {
+            max_iterations: Deserialize::from_value(field("max_iterations")?)?,
+            min_iterations: Deserialize::from_value(field("min_iterations")?)?,
+            target_overflow: Deserialize::from_value(field("target_overflow")?)?,
+            lambda_growth: Deserialize::from_value(field("lambda_growth")?)?,
+            freq_weight: Deserialize::from_value(field("freq_weight")?)?,
+            freq_growth: Deserialize::from_value(field("freq_growth")?)?,
+            frequency_aware: Deserialize::from_value(field("frequency_aware")?)?,
+            gamma_fraction: Deserialize::from_value(field("gamma_fraction")?)?,
+            step_fraction: Deserialize::from_value(field("step_fraction")?)?,
+            bins: Deserialize::from_value(field("bins")?)?,
+            levels,
+        })
+    }
 }
 
 impl PlacerConfig {
@@ -111,6 +152,7 @@ impl PlacerConfig {
             gamma_fraction: 0.01,
             step_fraction: 1e-3,
             bins: None,
+            levels: 1,
         }
     }
 
@@ -226,12 +268,19 @@ impl GlobalPlacer {
     /// density deposit / Poisson solve / field gather. Timing flows only
     /// into `sink`, never into the report or the netlist, so traced and
     /// untraced placements are bit-identical.
+    ///
+    /// When [`PlacerConfig::levels`] is greater than one, the run goes
+    /// through the multilevel V-cycle (coarsen → place → refine); the
+    /// sink then only sees the final full-resolution refinement.
     pub fn run_traced(
         &self,
         netlist: &mut QuantumNetlist,
         ws: &mut PlacerWorkspace,
         sink: &mut dyn TraceSink,
     ) -> PlacementReport {
+        if self.config.levels > 1 {
+            return crate::multilevel::run_multilevel(self, netlist, ws, sink);
+        }
         let start = Instant::now();
         let tracing = sink.is_enabled();
         let _span = qplacer_obs::span!("global_place", instances = netlist.num_instances() as u64);
@@ -516,10 +565,28 @@ mod schedule_tests {
 
     #[test]
     fn config_serde_roundtrip() {
-        let cfg = PlacerConfig::paper();
+        let cfg = PlacerConfig {
+            levels: 3,
+            ..PlacerConfig::paper()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: PlacerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn config_missing_levels_deserializes_flat() {
+        // Configs serialized before the multilevel engine existed have
+        // no `levels` field; they must come back as flat placements.
+        let serde::Value::Map(fields) = PlacerConfig::paper().to_value() else {
+            panic!("config serializes as a map")
+        };
+        let stripped: Vec<_> = fields
+            .into_iter()
+            .filter(|(k, _)| k.as_str() != "levels")
+            .collect();
+        let back = PlacerConfig::from_value(&serde::Value::Map(stripped)).unwrap();
+        assert_eq!(back, PlacerConfig::paper());
     }
 
     #[test]

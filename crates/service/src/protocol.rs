@@ -85,6 +85,7 @@ impl PlaceJob {
             subsets: 0,
             seed: 0,
             segment_size_mm: self.segment_size_mm,
+            levels: None,
         }
     }
 

@@ -3,16 +3,18 @@
 //! ```text
 //! qplacer inventory
 //! qplacer place    <topology> [--strategy qplacer|classic|human]
-//!                  [--segment <mm>] [--svg FILE] [--gds FILE]
+//!                  [--segment <mm>] [--levels N] [--svg FILE] [--gds FILE]
 //! qplacer evaluate <topology> <benchmark> [--strategy ...] [--subsets N]
 //!                  [--seed N] [--threads N]
 //! qplacer sweep    <topology>            # l_b ablation on one device
 //! qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
-//!                  [--segment <mm>] [--fast] [--trace FILE]
-//! qplacer profile  <topology> [--strategy qplacer|classic] [--fast]
+//!                  [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+//! qplacer profile  <topology> [--strategy qplacer|classic] [--levels N]
+//!                  [--fast]
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
 //!                  [--benchmarks b,..] [--subsets N] [--seeds N]
-//!                  [--threads N] [--fast] [--jsonl FILE] [--csv FILE]
+//!                  [--threads N] [--fast] [--levels N]
+//!                  [--jsonl FILE] [--csv FILE]
 //! qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N]
 //!                  [--cache N] [--batch N]
 //! qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
@@ -28,6 +30,12 @@
 //! device files (`path/to/device.json`, written by `qplacer export`).
 //! Benchmarks: the Table-I eight (`bv-4` … `qgan-9`) plus any
 //! parametric `bv-N`/`qaoa-N`/`ising-N`/`qgan-N`/`ghz-N`/`qv-N`.
+//!
+//! `--levels N` (on `place`, `e2e`, `profile`, and `suite`) switches
+//! global placement to the multilevel V-cycle
+//! ([`PlacerConfig::levels`](qplacer::PlacerConfig::levels)) — the
+//! intended mode for Osprey/Condor-scale devices such as
+//! `heavy-hex-d10` and `heavy-hex-d16`.
 //!
 //! `suite` runs the full paper evaluation grid through the
 //! [`qplacer_harness`] runner: jobs fan out across a thread pool and the
@@ -87,15 +95,15 @@ const USAGE: &str = "usage:
   qplacer inventory
   qplacer export   <topology> [--out FILE]     # write the JSON device file
   qplacer place    <topology> [--strategy qplacer|classic|human]
-                   [--segment <mm>] [--svg FILE] [--gds FILE]
+                   [--segment <mm>] [--levels N] [--svg FILE] [--gds FILE]
   qplacer evaluate <topology> <benchmark> [--strategy S] [--subsets N]
                    [--seed N] [--threads N]
   qplacer sweep    <topology>
   qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
-                   [--segment <mm>] [--fast] [--trace FILE]
-  qplacer profile  <topology> [--strategy qplacer|classic] [--fast]
+                   [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+  qplacer profile  <topology> [--strategy qplacer|classic] [--levels N] [--fast]
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
-                   [--subsets N] [--seeds N] [--threads N] [--fast]
+                   [--subsets N] [--seeds N] [--threads N] [--fast] [--levels N]
                    [--jsonl FILE] [--csv FILE]
   qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                    [--batch N]
@@ -112,6 +120,8 @@ topologies (device zoo):
   JSON import:    any path ending in .json, or json:<path>
 benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9,
   plus parametric bv-N qaoa-N ising-N qgan-N ghz-N qv-N at any size
+--levels N runs the multilevel V-cycle (coarsen, place, refine) at depth
+  N; 1 (the default) places flat. Use 2-4 for Osprey/Condor-scale devices.
 default service address: 127.0.0.1:7177";
 
 fn parse_topology(name: &str) -> Result<Topology, String> {
@@ -147,6 +157,20 @@ fn numeric_flag<T: std::str::FromStr>(
         .map(|v| v.parse().map_err(|_| format!("bad {flag} `{v}`")))
         .transpose()
         .map(|opt| opt.unwrap_or(default))
+}
+
+/// Parses the optional `--levels N` multilevel depth (≥ 1; 1 = flat).
+fn levels_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--levels") {
+        None => Ok(None),
+        Some(v) => {
+            let levels: usize = v.parse().map_err(|_| format!("bad --levels `{v}`"))?;
+            if levels == 0 {
+                return Err("--levels must be at least 1".into());
+            }
+            Ok(Some(levels))
+        }
+    }
 }
 
 /// Writes a device's JSON description — the round-trippable import
@@ -204,6 +228,9 @@ fn run_pipeline(args: &[String], device: &Topology) -> Result<PlacedLayout, Stri
             return Err("--segment must be positive".into());
         }
         config.netlist = NetlistConfig::with_segment_size(lb);
+    }
+    if let Some(levels) = levels_flag(args)? {
+        config.placer.levels = levels;
     }
     Ok(Qplacer::new(config).place(device, strategy))
 }
@@ -362,6 +389,9 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
         }
         config.netlist = NetlistConfig::with_segment_size(lb);
     }
+    if let Some(levels) = levels_flag(args)? {
+        config.placer.levels = levels;
+    }
     let mut trace = flag_value(args, "--trace")
         .map(|path| JsonlTraceSink::create(path).map_err(|e| format!("create {path}: {e}")))
         .transpose()?;
@@ -422,11 +452,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     if strategy == Strategy::Human {
         return Err("profile measures the engine pipeline; use qplacer or classic".into());
     }
-    let config = if args.iter().any(|a| a == "--fast") {
+    let mut config = if args.iter().any(|a| a == "--fast") {
         PipelineConfig::fast()
     } else {
         PipelineConfig::paper()
     };
+    if let Some(levels) = levels_flag(args)? {
+        config.placer.levels = levels;
+    }
     qplacer::obs::set_spans_enabled(true);
     qplacer::obs::reset_spans();
     let engine = Qplacer::new(config);
@@ -440,6 +473,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         (layout.timings.assign_ms + layout.timings.place_ms + layout.timings.legalize_ms) / 1e3,
     );
     print!("{}", qplacer::render_span_tree());
+    // How often the spectral solver fell back to the O(n²) naive DCT:
+    // nonzero means some bin-grid length dodged every fast path.
+    println!(
+        "naive DCT fallbacks: {}",
+        qplacer::obs::global()
+            .counter("qplacer_dct_naive_fallback_total")
+            .get()
+    );
     Ok(())
 }
 
@@ -481,6 +522,9 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     );
     if args.iter().any(|a| a == "--fast") {
         plan = plan.with_profile(Profile::Fast);
+    }
+    if let Some(levels) = levels_flag(args)? {
+        plan = plan.with_levels(levels);
     }
 
     let runner = Runner::new(threads);
