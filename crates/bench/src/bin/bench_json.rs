@@ -32,7 +32,10 @@
 //! (Osprey/Condor scale through the multilevel V-cycle) plus the
 //! planned-vs-naive DCT-II pairs (`dct2_planned_<n>` /
 //! `dct2_naive_<n>`) at the non-power-of-two lengths 100 (mixed-radix)
-//! and 127 (Bluestein).
+//! and 127 (Bluestein) — and incremental placement (PR 8):
+//! `replace_delta_eagle`, a one-coupler-drop ECO re-place of Eagle
+//! warm-started from a cold layout (full mode only; the contract is
+//! staying at least 10x faster than `end_to_end_eagle`).
 //! Timing fields are host-dependent; the schema is what downstream
 //! tooling relies on: `{schema, threads, entries: [{kernel, grid,
 //! ns_per_op, iterations_per_sec}]}`.
@@ -48,7 +51,7 @@ use qplacer_netlist::{NetlistConfig, QuantumNetlist};
 use qplacer_numeric::{Array2, PoissonSolver, RowOp, SpectralPlan};
 use qplacer_place::{DensityModel, GlobalPlacer, PlacerConfig, PlacerWorkspace};
 use qplacer_service::{PlaceJob, Server, ServiceClient, ServiceConfig};
-use qplacer_topology::Topology;
+use qplacer_topology::{Topology, TopologyDelta};
 
 fn time_op<F: FnMut()>(mut f: F, min_iters: usize, min_seconds: f64) -> f64 {
     time_op_sections(
@@ -300,6 +303,33 @@ fn measure(quick: bool) -> BenchDoc {
             let ns = start.elapsed().as_secs_f64() * 1e9;
             entries.push(entry("end_to_end_heavy_hex_d16", hh16.num_qubits(), ns));
         }
+    }
+
+    // Incremental (ECO) placement (PR 8), full mode only: drop one
+    // Eagle coupler and warm-start `replace_with` from the cold layout.
+    // The cold paper-config placement happens OUTSIDE the timed region —
+    // per-op is the incremental re-place alone, the latency a topology
+    // edit costs once a prior result exists. The contract this kernel
+    // tracks: warm must stay >= 10x faster than `end_to_end_eagle`.
+    if !quick {
+        let base = Topology::eagle127();
+        let engine = Qplacer::new(PipelineConfig::paper());
+        let mut pws = PipelineWorkspace::new();
+        let cold = engine.place_with(&base, Strategy::FrequencyAware, &mut pws);
+        let delta =
+            TopologyDelta::drop_couplers(&base, &[base.edges()[0]]).expect("eagle edge 0 exists");
+        let ns = time_op(
+            || {
+                let (layout, report) = engine
+                    .replace_with(&base, &cold, &delta, &mut pws)
+                    .expect("replace eagle");
+                assert_eq!(layout.netlist.overlapping_pairs().len(), 0);
+                assert!(report.moved_instances < layout.netlist.num_instances());
+            },
+            3,
+            min_seconds,
+        );
+        entries.push(entry("replace_delta_eagle", base.num_qubits(), ns));
     }
 
     // Non-power-of-two spectral kernels (PR 7): the planned DCT-II at

@@ -84,6 +84,40 @@ pub fn check_doc(doc: &BenchDoc) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-kernel tolerance overrides, in percent. Kernels listed here use
+/// their own regression threshold instead of the global `tolerance_pct`
+/// passed to [`compare_docs`], so the global gate can stay tight for
+/// the pipeline-scale kernels without a parade of false alarms from
+/// the known-noisy ones:
+///
+/// - `end_to_end_heavy_hex_d16` is measured as a single cold run (a
+///   warm sample set at Condor scale would take minutes), so its
+///   variance is far above the multi-iteration kernels'.
+/// - The µs-scale transform kernels (`dct2_planned_*`, `dct2_naive_*`),
+///   the ~100 ns `obs_span_overhead` probe, and the loopback-RTT-bound
+///   `service_rps_cached_falcon` routinely swing 50–90% run-to-run on
+///   shared runners from cache/scheduler state alone.
+pub const KERNEL_TOLERANCE_OVERRIDES: &[(&str, f64)] = &[
+    ("end_to_end_heavy_hex_d16", 100.0),
+    ("dct2_planned_100", 150.0),
+    ("dct2_planned_127", 150.0),
+    ("dct2_naive_100", 150.0),
+    ("dct2_naive_127", 150.0),
+    ("obs_span_overhead", 150.0),
+    ("service_rps_cached_falcon", 150.0),
+];
+
+/// The effective tolerance for `kernel`: its
+/// [`KERNEL_TOLERANCE_OVERRIDES`] entry when present, `default_pct`
+/// otherwise.
+#[must_use]
+pub fn kernel_tolerance(kernel: &str, default_pct: f64) -> f64 {
+    KERNEL_TOLERANCE_OVERRIDES
+        .iter()
+        .find(|&&(name, _)| name == kernel)
+        .map_or(default_pct, |&(_, pct)| pct)
+}
+
 /// One kernel's current-vs-baseline comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelDelta {
@@ -95,14 +129,19 @@ pub struct KernelDelta {
     pub current_ns: f64,
     /// Percent change, positive = slower (`(cur - base) / base · 100`).
     pub delta_pct: f64,
-    /// Whether `delta_pct` exceeds the comparison tolerance.
+    /// The tolerance this kernel was judged against — the global one,
+    /// or its [`KERNEL_TOLERANCE_OVERRIDES`] entry.
+    pub tolerance_pct: f64,
+    /// Whether `delta_pct` exceeds `tolerance_pct`.
     pub regressed: bool,
 }
 
 /// The result of [`compare_docs`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompareReport {
-    /// Tolerance used, percent.
+    /// Global tolerance used, percent (kernels with a
+    /// [`KERNEL_TOLERANCE_OVERRIDES`] entry carry their own in their
+    /// [`KernelDelta::tolerance_pct`]).
     pub tolerance_pct: f64,
     /// Per-kernel deltas for every kernel present in **both**
     /// documents, in the current document's order.
@@ -144,11 +183,15 @@ impl CompareReport {
             } else {
                 "ok"
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<28} {:>14.0} {:>14.0} {:>+8.1}%  {verdict}",
                 d.kernel, d.baseline_ns, d.current_ns, d.delta_pct
             );
+            if (d.tolerance_pct - self.tolerance_pct).abs() > f64::EPSILON {
+                let _ = write!(out, " (tolerance {:.0}%)", d.tolerance_pct);
+            }
+            let _ = writeln!(out);
         }
         for k in &self.only_in_baseline {
             let _ = writeln!(out, "{k:<28} (baseline only — not compared)");
@@ -169,7 +212,9 @@ impl CompareReport {
 }
 
 /// Compares `current` against `baseline`: a kernel regresses when its
-/// `ns_per_op` grew by more than `tolerance_pct` percent. Kernels
+/// `ns_per_op` grew by more than its effective tolerance —
+/// `tolerance_pct` globally, or the kernel's
+/// [`KERNEL_TOLERANCE_OVERRIDES`] entry when it has one. Kernels
 /// present in only one document are listed but never fail the gate
 /// (new kernels have no baseline; retired ones have no measurement).
 #[must_use]
@@ -180,12 +225,14 @@ pub fn compare_docs(current: &BenchDoc, baseline: &BenchDoc, tolerance_pct: f64)
         .filter_map(|cur| {
             baseline.kernel(&cur.kernel).map(|base| {
                 let delta_pct = (cur.ns_per_op - base.ns_per_op) / base.ns_per_op * 100.0;
+                let tolerance = kernel_tolerance(&cur.kernel, tolerance_pct);
                 KernelDelta {
                     kernel: cur.kernel.clone(),
                     baseline_ns: base.ns_per_op,
                     current_ns: cur.ns_per_op,
                     delta_pct,
-                    regressed: delta_pct > tolerance_pct,
+                    tolerance_pct: tolerance,
+                    regressed: delta_pct > tolerance,
                 }
             })
         })
@@ -269,6 +316,45 @@ mod tests {
         let rendered = report.table();
         assert!(rendered.contains("baseline only"));
         assert!(rendered.contains("new kernel"));
+    }
+
+    #[test]
+    fn per_kernel_overrides_widen_only_the_named_kernel() {
+        // Both kernels slow down by 60%: the override lets the noisy
+        // single-cold-sample Condor kernel through at its 100%
+        // threshold while the steady kernel still fails the global 25%.
+        let baseline = doc(&[
+            ("end_to_end_heavy_hex_d16", 1000.0),
+            ("poisson_solve", 1000.0),
+        ]);
+        let current = doc(&[
+            ("end_to_end_heavy_hex_d16", 1600.0),
+            ("poisson_solve", 1600.0),
+        ]);
+        let report = compare_docs(&current, &baseline, 25.0);
+        assert!(!report.passed());
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].kernel, "poisson_solve");
+        let d16 = report
+            .deltas
+            .iter()
+            .find(|d| d.kernel == "end_to_end_heavy_hex_d16")
+            .unwrap();
+        assert!(!d16.regressed);
+        assert!((d16.tolerance_pct - 100.0).abs() < 1e-9);
+        // The table marks the widened row with its own tolerance.
+        assert!(report.table().contains("(tolerance 100%)"));
+        // ...but past the override, the kernel still regresses.
+        let blown = doc(&[
+            ("end_to_end_heavy_hex_d16", 2600.0),
+            ("poisson_solve", 900.0),
+        ]);
+        let report = compare_docs(&blown, &baseline, 25.0);
+        assert_eq!(report.regressions().len(), 1);
+        assert_eq!(report.regressions()[0].kernel, "end_to_end_heavy_hex_d16");
+        // The lookup helper falls back to the default elsewhere.
+        assert!((kernel_tolerance("poisson_solve", 25.0) - 25.0).abs() < 1e-9);
     }
 
     #[test]

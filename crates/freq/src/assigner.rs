@@ -183,6 +183,12 @@ impl FrequencyAssigner {
         self.resonator_band
     }
 
+    /// The qubit conflict radius (hops) the soft coloring graph uses.
+    #[must_use]
+    pub fn conflict_radius(&self) -> usize {
+        self.qubit_conflict_radius
+    }
+
     /// Assigns frequencies to every qubit and resonator of `topology`.
     ///
     /// Allocating convenience wrapper around
@@ -281,6 +287,133 @@ impl FrequencyAssigner {
 
         out.detuning_threshold = self.qubit_band.step();
     }
+
+    /// Incremental re-assignment after a topology delta: frequencies of
+    /// clean mapped components are carried over from `prev`
+    /// **bit-for-bit**, and only dirty or new components are recolored
+    /// against the carried-over spectrum.
+    ///
+    /// `qubit_map[t]` / `edge_map[e]` give the previous-device index the
+    /// target qubit/resonator corresponds to (`None` for new ones), and
+    /// `dirty[t]` marks the target qubits whose conflict neighborhood
+    /// the delta touches (see `TopologyDelta::dirty_qubits` with the
+    /// assigner's conflict radius). A resonator is recolored when it is
+    /// unmapped or either endpoint is dirty.
+    ///
+    /// Recoloring is deterministic (increasing index, lowest admissible
+    /// slot, hard conflicts before soft): with every component clean and
+    /// mapped under identity, the result equals `prev` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map or mask lengths do not match `topology`.
+    #[must_use]
+    pub fn assign_incremental_with(
+        &self,
+        topology: &Topology,
+        prev: &FrequencyAssignment,
+        qubit_map: &[Option<usize>],
+        edge_map: &[Option<usize>],
+        dirty: &[bool],
+        ws: &mut FreqWorkspace,
+    ) -> FrequencyAssignment {
+        let _span = qplacer_obs::span!("freq_assign_inc", qubits = topology.num_qubits() as u64);
+        let n = topology.num_qubits();
+        let m = topology.num_edges();
+        assert_eq!(qubit_map.len(), n, "qubit map does not match device");
+        assert_eq!(edge_map.len(), m, "edge map does not match device");
+        assert_eq!(dirty.len(), n, "dirty mask does not match device");
+
+        let mut out = FrequencyAssignment {
+            qubits: vec![Frequency::from_ghz(0.0); n],
+            resonators: vec![Frequency::from_ghz(0.0); m],
+            detuning_threshold: self.qubit_band.step(),
+        };
+
+        // Qubits: copy clean, recolor dirty/new on the same conflict
+        // graphs the cold path uses.
+        let mut assigned = vec![false; n];
+        for t in 0..n {
+            if let Some(b) = qubit_map[t] {
+                if !dirty[t] {
+                    out.qubits[t] = prev.qubit(b);
+                    assigned[t] = true;
+                }
+            }
+        }
+        radius_conflicts_into(topology, self.qubit_conflict_radius, ws);
+        direct_adjacency_into(topology, ws);
+        for v in 0..n {
+            if !assigned[v] {
+                out.qubits[v] = recolor_one(
+                    v,
+                    &assigned,
+                    &out.qubits,
+                    ws,
+                    self.qubit_band,
+                    qubit_map[v].map(|b| prev.qubit(b)),
+                );
+                assigned[v] = true;
+            }
+        }
+
+        // Resonators: a mapped resonator with both endpoints clean keeps
+        // its frequency; everything else recolors on the line graph.
+        let mut r_assigned = vec![false; m];
+        for (e, &(a, b)) in topology.edges().iter().enumerate() {
+            if let Some(be) = edge_map[e] {
+                if !dirty[a] && !dirty[b] {
+                    out.resonators[e] = prev.resonator(be);
+                    r_assigned[e] = true;
+                }
+            }
+        }
+        line_graph_into(topology, ws);
+        for e in 0..m {
+            if !r_assigned[e] {
+                out.resonators[e] = recolor_one(
+                    e,
+                    &r_assigned,
+                    &out.resonators,
+                    ws,
+                    self.resonator_band,
+                    edge_map[e].map(|be| prev.resonator(be)),
+                );
+                r_assigned[e] = true;
+            }
+        }
+        out
+    }
+}
+
+/// Lowest-slot recoloring of one vertex against already-assigned
+/// neighbors: keep the vertex's previous frequency when it is still
+/// conflict-free (ECO stability — unchanged constraints keep unchanged
+/// frequencies), otherwise prefer a slot clashing with neither hard nor
+/// soft neighbors, fall back to avoiding hard neighbors only, then to
+/// slot 0 (the unavoidable-collision case the spatial force handles
+/// downstream).
+fn recolor_one(
+    v: usize,
+    assigned: &[bool],
+    freqs: &[Frequency],
+    ws: &FreqWorkspace,
+    band: Spectrum,
+    prefer: Option<Frequency>,
+) -> Frequency {
+    let hard = &ws.hard[ws.hard_off[v]..ws.hard_off[v + 1]];
+    let soft = &ws.soft[ws.soft_off[v]..ws.soft_off[v + 1]];
+    let clash = |f: Frequency, nbrs: &[usize]| nbrs.iter().any(|&u| assigned[u] && freqs[u] == f);
+    if let Some(f) = prefer {
+        if !clash(f, hard) && !clash(f, soft) {
+            return f;
+        }
+    }
+    let n = band.num_slots();
+    (0..n)
+        .find(|&s| !clash(band.slot(s), hard) && !clash(band.slot(s), soft))
+        .or_else(|| (0..n).find(|&s| !clash(band.slot(s), hard)))
+        .map_or_else(|| band.slot(0), |s| band.slot(s))
 }
 
 /// Colors `ws`'s soft CSR graph, wraps colors into `num_slots`, then
@@ -506,6 +639,75 @@ mod tests {
             assigner.assign_into(&t, &mut ws, &mut into);
             assert_eq!(fresh, into, "{} (assign_into)", t.name());
         }
+    }
+
+    #[test]
+    fn incremental_with_identity_maps_is_bit_identical() {
+        let t = Topology::eagle127();
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut ws = FreqWorkspace::default();
+        let prev = assigner.assign_with(&t, &mut ws);
+        let qmap: Vec<Option<usize>> = (0..t.num_qubits()).map(Some).collect();
+        let emap: Vec<Option<usize>> = (0..t.num_edges()).map(Some).collect();
+        let dirty = vec![false; t.num_qubits()];
+        let inc = assigner.assign_incremental_with(&t, &prev, &qmap, &emap, &dirty, &mut ws);
+        assert_eq!(inc, prev);
+    }
+
+    #[test]
+    fn incremental_recolor_keeps_clean_region_and_direct_isolation() {
+        use qplacer_topology::TopologyDelta;
+        let base = Topology::falcon27();
+        let delta = TopologyDelta::drop_couplers(&base, &[base.edges()[5]]).unwrap();
+        let target = delta.apply(&base).unwrap();
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut ws = FreqWorkspace::default();
+        let prev = assigner.assign_with(&base, &mut ws);
+        let dirty = delta.dirty_qubits(&base, &target, 2);
+        let inc = assigner.assign_incremental_with(
+            &target,
+            &prev,
+            &delta.qubit_map(),
+            &delta.edge_map(&base, &target),
+            &dirty,
+            &mut ws,
+        );
+        // Clean qubits carry their previous frequency bit-for-bit.
+        let mut carried = 0;
+        for (tq, &bq) in delta.survivors().iter().enumerate() {
+            if !dirty[tq] {
+                assert_eq!(inc.qubit(tq), prev.qubit(bq), "clean qubit {tq} moved");
+                carried += 1;
+            }
+        }
+        assert!(carried > 0, "a single coupler drop must leave clean qubits");
+        // The recolored region still satisfies the hard contracts.
+        assert!(inc.qubit_conflicts(&target).is_empty());
+        assert!(inc.resonator_conflicts(&target).is_empty());
+    }
+
+    #[test]
+    fn incremental_handles_removed_qubits() {
+        use qplacer_topology::TopologyDelta;
+        let base = Topology::grid(5, 5);
+        let delta = TopologyDelta::drop_qubits(&base, &[12]).unwrap();
+        let target = delta.apply(&base).unwrap();
+        let assigner = FrequencyAssigner::paper_defaults();
+        let mut ws = FreqWorkspace::default();
+        let prev = assigner.assign_with(&base, &mut ws);
+        let dirty = delta.dirty_qubits(&base, &target, 2);
+        let inc = assigner.assign_incremental_with(
+            &target,
+            &prev,
+            &delta.qubit_map(),
+            &delta.edge_map(&base, &target),
+            &dirty,
+            &mut ws,
+        );
+        assert_eq!(inc.qubit_frequencies().len(), target.num_qubits());
+        assert_eq!(inc.resonator_frequencies().len(), target.num_edges());
+        assert!(inc.qubit_conflicts(&target).is_empty());
+        assert!(inc.resonator_conflicts(&target).is_empty());
     }
 
     #[test]

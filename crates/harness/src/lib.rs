@@ -63,6 +63,7 @@
 
 mod pipeline;
 pub mod plan;
+pub mod replace;
 pub mod runner;
 pub mod sink;
 pub mod summary;
@@ -71,6 +72,7 @@ pub use pipeline::{
     PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
 };
 pub use plan::{DeviceError, DeviceSpec, ExperimentPlan, JobSpec, Profile};
+pub use replace::ReplaceReport;
 pub use runner::{execute_job_traced, execute_job_with, JobRecord, JobStatus, RunReport, Runner};
 pub use sink::{CsvSink, JsonlSink, MemorySink, Sink};
 pub use summary::{ArmSummary, Summary};

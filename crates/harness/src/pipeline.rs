@@ -137,7 +137,7 @@ pub struct PlacedLayout {
     /// Per-stage wall-clock timings of this run.
     pub timings: StageTimings,
     /// The fidelity parameters evaluations will use.
-    fidelity: FidelityParams,
+    pub(crate) fidelity: FidelityParams,
 }
 
 impl PlacedLayout {

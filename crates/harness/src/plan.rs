@@ -415,6 +415,41 @@ impl DeviceSpec {
         Err(unknown())
     }
 
+    /// Parses a device spelling that may expand to several specs: the
+    /// seed-range defect wrapper `defective-<base>[-yP]-s<A>..<B>`
+    /// yields one [`DeviceSpec::Defective`] per seed in the inclusive
+    /// range `A..B` (e.g. `defective-eagle-y90-s0..4` is five devices);
+    /// every other spelling parses to a single [`DeviceSpec::parse`]
+    /// spec.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DeviceSpec::parse`] rejects, plus empty (`B < A`)
+    /// and oversized (more than 10 000 seeds) ranges.
+    pub fn parse_multi(name: &str) -> Result<Vec<DeviceSpec>, String> {
+        if let Some(rest) = name.strip_prefix("defective-") {
+            if let Some((prefix, range)) = rest.rsplit_once("-s") {
+                if let Some((lo, hi)) = range.split_once("..") {
+                    if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                        if hi < lo {
+                            return Err(format!("empty seed range `{lo}..{hi}` in `{name}`"));
+                        }
+                        if hi - lo >= 10_000 {
+                            return Err(format!(
+                                "seed range `{lo}..{hi}` in `{name}` expands to more \
+                                 than 10000 devices"
+                            ));
+                        }
+                        return (lo..=hi)
+                            .map(|seed| Self::parse(&format!("defective-{prefix}-s{seed}")))
+                            .collect();
+                    }
+                }
+            }
+        }
+        Self::parse(name).map(|spec| vec![spec])
+    }
+
     /// Parses the defect wrapper: `<base>[-yP][-sS]` where the optional
     /// suffixes (in that order) override yield percent and seed.
     fn parse_defective(rest: &str) -> Result<DeviceSpec, String> {
@@ -755,6 +790,42 @@ mod tests {
             }
         );
         assert!(DeviceSpec::parse("defective-nothing").is_err());
+    }
+
+    #[test]
+    fn seed_range_spelling_expands_to_one_spec_per_seed() {
+        let specs = DeviceSpec::parse_multi("defective-eagle-y85-s2..5").unwrap();
+        assert_eq!(specs.len(), 4);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                *spec,
+                DeviceSpec::Defective {
+                    base: Box::new(DeviceSpec::Eagle127),
+                    yield_pct: 85,
+                    seed: 2 + i as u64,
+                }
+            );
+        }
+        // Without a -y suffix the default yield applies to every seed.
+        let specs = DeviceSpec::parse_multi("defective-falcon-s0..0").unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name(), "Falcon-y90-s0");
+
+        // Non-range spellings pass through parse() unchanged.
+        assert_eq!(
+            DeviceSpec::parse_multi("defective-eagle-s3").unwrap(),
+            vec![DeviceSpec::parse("defective-eagle-s3").unwrap()]
+        );
+        assert_eq!(
+            DeviceSpec::parse_multi("grid-4x4").unwrap(),
+            vec![DeviceSpec::parse("grid-4x4").unwrap()]
+        );
+
+        // Empty and oversized ranges are rejected, as are bad bases.
+        assert!(DeviceSpec::parse_multi("defective-eagle-s5..2").is_err());
+        assert!(DeviceSpec::parse_multi("defective-eagle-s0..99999").is_err());
+        assert!(DeviceSpec::parse_multi("defective-nothing-s0..2").is_err());
+        assert!(DeviceSpec::parse_multi("mystery").is_err());
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub fn integrate_resonators(
 ) -> IntegrationStats {
     let site_pitch = crate::legalizer::site_pitch(netlist);
     let mut scratch = IntegrationScratch::default();
-    integrate_resonators_with(netlist, bitmap, site_pitch, &mut scratch)
+    integrate_resonators_with(netlist, bitmap, site_pitch, &mut scratch, None)
 }
 
 /// Workspace-threaded Algorithm 1: identical semantics to
@@ -145,11 +145,17 @@ pub fn integrate_resonators(
 /// legalizer reuses it for the remaining-overlap count). Steady-state
 /// runs allocate nothing beyond the `unintegrated` list, which stays
 /// empty whenever integration succeeds.
+///
+/// With a `pinned` instance mask (incremental path), repair passes run
+/// only over resonators with at least one unpinned segment, pinned
+/// segments are never relocated, and swaps never pick a pinned victim.
+/// The integration statistics still cover every resonator.
 pub(crate) fn integrate_resonators_with(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
     site_pitch: f64,
     scratch: &mut IntegrationScratch,
+    pinned: Option<&[bool]>,
 ) -> IntegrationStats {
     let num_res = netlist.num_resonators();
 
@@ -178,34 +184,40 @@ pub(crate) fn integrate_resonators_with(
     let mut unintegrated = Vec::new();
 
     for r in 0..num_res {
-        // A few growth passes per resonator; each pass merges at least one
-        // scattered segment or gives up.
-        for _pass in 0..netlist.resonator_segments(r).len() {
-            clusters_into(netlist, r, scratch);
-            if scratch.clusters.len() <= 1 {
-                break;
-            }
-            let (s0, e0) = scratch.clusters[0];
-            scratch.cluster.clear();
-            scratch.cluster.extend_from_slice(&scratch.members[s0..e0]);
-            scratch.scattered.clear();
-            for &(s, e) in &scratch.clusters[1..] {
-                scratch.scattered.extend_from_slice(&scratch.members[s..e]);
-            }
-            if !grow_cluster(
-                netlist,
-                bitmap,
-                &mut scratch.grid,
-                site_pitch,
-                &scratch.cluster,
-                &mut scratch.scattered,
-                &mut scratch.anchors,
-                &mut scratch.cand,
-                &mut scratch.query,
-                &mut moved,
-                &mut swapped,
-            ) {
-                break; // no progress possible
+        // Clean resonators (every segment pinned) are never repaired;
+        // they were integrated by the run that produced the warm seed.
+        let clean = pinned.is_some_and(|p| netlist.resonator_segments(r).iter().all(|&id| p[id]));
+        if !clean {
+            // A few growth passes per resonator; each pass merges at
+            // least one scattered segment or gives up.
+            for _pass in 0..netlist.resonator_segments(r).len() {
+                clusters_into(netlist, r, scratch);
+                if scratch.clusters.len() <= 1 {
+                    break;
+                }
+                let (s0, e0) = scratch.clusters[0];
+                scratch.cluster.clear();
+                scratch.cluster.extend_from_slice(&scratch.members[s0..e0]);
+                scratch.scattered.clear();
+                for &(s, e) in &scratch.clusters[1..] {
+                    scratch.scattered.extend_from_slice(&scratch.members[s..e]);
+                }
+                if !grow_cluster(
+                    netlist,
+                    bitmap,
+                    &mut scratch.grid,
+                    site_pitch,
+                    &scratch.cluster,
+                    &mut scratch.scattered,
+                    &mut scratch.anchors,
+                    &mut scratch.cand,
+                    &mut scratch.query,
+                    &mut moved,
+                    &mut swapped,
+                    pinned,
+                ) {
+                    break; // no progress possible
+                }
             }
         }
         clusters_into(netlist, r, scratch);
@@ -239,6 +251,7 @@ fn grow_cluster(
     query: &mut Vec<usize>,
     moved: &mut usize,
     swapped: &mut usize,
+    pinned: Option<&[bool]>,
 ) -> bool {
     // Cluster centroid for ordering.
     let centroid = {
@@ -256,6 +269,10 @@ fn grow_cluster(
     });
 
     for &s in scattered.iter() {
+        // A pinned scattered segment cannot be relocated or swapped.
+        if pinned.is_some_and(|p| p[s]) {
+            continue;
+        }
         // Candidate anchor cells: cluster members nearest to s first.
         anchors.clear();
         anchors.extend_from_slice(cluster);
@@ -307,10 +324,12 @@ fn grow_cluster(
                 if strict && !relocation_is_clean(netlist, grid, s, *c, q) {
                     return false;
                 }
-                // (a) Free relocation, or (b) a τ-checked swap.
+                // (a) Free relocation, or (b) a τ-checked swap — never
+                // with a pinned victim (incremental contract).
                 bitmap.is_free_except(&rect, &old_rect)
-                    || occupant_at(netlist, grid, &rect, s, q)
-                        .is_some_and(|n| can_swap(netlist, grid, s, n, q))
+                    || occupant_at(netlist, grid, &rect, s, q).is_some_and(|n| {
+                        !pinned.is_some_and(|p| p[n]) && can_swap(netlist, grid, s, n, q)
+                    })
             });
             if let Some(i) = hit {
                 let c = cand[i];

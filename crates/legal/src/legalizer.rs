@@ -127,6 +127,57 @@ impl Legalizer {
         ws: &mut LegalWorkspace,
         sink: &mut dyn TraceSink,
     ) -> LegalReport {
+        self.run_phases(netlist, ws, sink, None)
+    }
+
+    /// Incremental legalization for the ECO path: instances with
+    /// `pinned[i]` set keep their current (already legal) positions —
+    /// their footprints are pre-marked into the occupancy bitmap and
+    /// resonance tracker, so every unpinned instance legalizes around
+    /// them. Pinned segments still anchor their resonator chains, and
+    /// integration repairs only resonators with an unpinned segment
+    /// (swaps never pick a pinned victim). The overlap count at the end
+    /// covers the whole layout, pinned included.
+    ///
+    /// The dirty region always legalizes through the spiral+MCMF
+    /// engine; the Abacus row pass has no pinned-obstacle form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned.len() != netlist.num_instances()`.
+    pub fn run_incremental(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut LegalWorkspace,
+        pinned: &[bool],
+    ) -> LegalReport {
+        self.run_incremental_traced(netlist, ws, pinned, &mut NullTraceSink)
+    }
+
+    /// Like [`Legalizer::run_incremental`], with per-phase trace records
+    /// (see [`Legalizer::run_traced`] for the tracing contract).
+    pub fn run_incremental_traced(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut LegalWorkspace,
+        pinned: &[bool],
+        sink: &mut dyn TraceSink,
+    ) -> LegalReport {
+        assert_eq!(
+            pinned.len(),
+            netlist.num_instances(),
+            "pin mask does not match netlist"
+        );
+        self.run_phases(netlist, ws, sink, Some(pinned))
+    }
+
+    fn run_phases(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut LegalWorkspace,
+        sink: &mut dyn TraceSink,
+        pinned: Option<&[bool]>,
+    ) -> LegalReport {
         let _span = qplacer_obs::span!("legalize", instances = netlist.num_instances() as u64);
         // The bitmap workspace extends slightly beyond the sized region:
         // mixing incommensurate footprints (e.g. 0.5 mm segments among
@@ -141,8 +192,28 @@ impl Legalizer {
         // syscall, far too slow to ask per candidate.
         ws.search.set_parallel_from_pool();
         let pitch = site_pitch_with(netlist, &mut ws.sizes);
+        // Pinned instances become fixed obstacles before any phase runs.
+        if let Some(mask) = pinned {
+            for id in (0..netlist.num_instances()).filter(|&id| mask[id]) {
+                ws.bitmap.mark(&netlist.padded_rect(id));
+                ws.tracker.place(netlist, id, netlist.position(id));
+            }
+        }
         let phase_start = Instant::now();
         match self.qubit_legalizer {
+            // The incremental path has pinned obstacles only the
+            // spiral engine understands.
+            QubitLegalizerKind::SpiralMcmf | QubitLegalizerKind::Abacus if pinned.is_some() => {
+                legalize_qubits_with(
+                    netlist,
+                    &mut ws.bitmap,
+                    &mut ws.tracker,
+                    pitch,
+                    &mut ws.search,
+                    &mut ws.qubits,
+                    pinned,
+                );
+            }
             QubitLegalizerKind::SpiralMcmf => {
                 legalize_qubits_with(
                     netlist,
@@ -151,6 +222,7 @@ impl Legalizer {
                     pitch,
                     &mut ws.search,
                     &mut ws.qubits,
+                    None,
                 );
             }
             QubitLegalizerKind::Abacus => {
@@ -176,6 +248,7 @@ impl Legalizer {
             pitch,
             &mut ws.search,
             &mut ws.tetris,
+            pinned,
         );
         sink.record(&TraceRecord::LegalPhase {
             phase: "segments",
@@ -183,7 +256,8 @@ impl Legalizer {
             items: (netlist.num_instances() - netlist.num_qubits()) as u64,
         });
         let phase_start = Instant::now();
-        let stats = integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ);
+        let stats =
+            integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ, pinned);
         sink.record(&TraceRecord::LegalPhase {
             phase: "resonators",
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,
@@ -338,6 +412,54 @@ mod tests {
 
         assert_eq!(report_fresh, report_reused);
         assert_eq!(fresh.positions(), reused.positions());
+    }
+
+    #[test]
+    fn incremental_run_keeps_pinned_and_stays_legal() {
+        let t = Topology::grid(3, 3);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let legalizer = Legalizer::default();
+        let cold = legalizer.run(&mut nl);
+        assert_eq!(cold.remaining_overlaps, 0);
+
+        // Pin everything except one qubit and one resonator's segments,
+        // scatter the unpinned ones, then re-legalize incrementally.
+        let mut pinned = vec![true; nl.num_instances()];
+        let dirty_qubit = nl.qubit_instance(4);
+        pinned[dirty_qubit] = false;
+        for &seg in nl.resonator_segments(0) {
+            pinned[seg] = false;
+        }
+        let before: Vec<Point> = nl.positions().to_vec();
+        nl.set_position(dirty_qubit, Point::ORIGIN);
+        let mut ws = LegalWorkspace::new();
+        let report = legalizer.run_incremental(&mut nl, &mut ws, &pinned);
+        assert_eq!(report.remaining_overlaps, 0, "incremental layout overlaps");
+        for (id, (&p, &was)) in nl.positions().iter().zip(before.iter()).enumerate() {
+            if pinned[id] {
+                assert_eq!((p.x, p.y), (was.x, was.y), "pinned instance {id} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_with_all_pinned_changes_nothing() {
+        let t = Topology::grid(2, 2);
+        let freqs = FrequencyAssigner::paper_defaults().assign(&t);
+        let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
+        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let legalizer = Legalizer::default();
+        let _ = legalizer.run(&mut nl);
+        let before: Vec<Point> = nl.positions().to_vec();
+        let pinned = vec![true; nl.num_instances()];
+        let mut ws = LegalWorkspace::new();
+        let report = legalizer.run_incremental(&mut nl, &mut ws, &pinned);
+        assert_eq!(report.remaining_overlaps, 0);
+        assert_eq!(nl.positions(), &before[..]);
+        assert_eq!(report.max_qubit_displacement, 0.0);
+        assert_eq!(report.max_segment_displacement, 0.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub fn legalize_qubits(
         site_pitch,
         &mut search,
         &mut scratch,
+        None,
     );
     scratch.displacement
 }
@@ -60,6 +61,14 @@ pub fn legalize_qubits(
 /// scoring fans across the rayon pool; the chosen spot is always the
 /// ring-order-first acceptable one, so results are thread-count
 /// independent.
+///
+/// With a `pinned` instance mask (incremental path), pinned qubits are
+/// never moved — the caller must have pre-marked their footprints into
+/// `bitmap` and registered them with `tracker`, so they act as fixed
+/// obstacles for the spiral search and the strict τ pass. Only unpinned
+/// qubits are ordered, placed, and refined; their MCMF runs over the
+/// unpinned site set alone.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn legalize_qubits_with(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
@@ -67,6 +76,7 @@ pub(crate) fn legalize_qubits_with(
     site_pitch: f64,
     search: &mut SearchScratch,
     scratch: &mut QubitScratch,
+    pinned: Option<&[bool]>,
 ) {
     let num_qubits = netlist.num_qubits();
     let QubitScratch {
@@ -91,12 +101,17 @@ pub(crate) fn legalize_qubits_with(
     // has gone NaN upstream (a NaN coordinate must degrade gracefully,
     // not panic mid-legalization).
     order.clear();
-    order.extend(0..num_qubits);
+    order
+        .extend((0..num_qubits).filter(|&q| !pinned.is_some_and(|p| p[netlist.qubit_instance(q)])));
     order.sort_unstable_by(|&a, &b| {
         let pa = netlist.position(netlist.qubit_instance(a));
         let pb = netlist.position(netlist.qubit_instance(b));
         pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
     });
+    let movable = order.len();
+    if movable == 0 {
+        return;
+    }
 
     // Greedy spiral: collect one feasible site per qubit (strict pass
     // first, then relaxed).
@@ -146,7 +161,7 @@ pub(crate) fn legalize_qubits_with(
             costs.push((want.manhattan(*s) * 1000.0).round() as i64);
         }
     }
-    solve_assignment_into(costs, num_qubits, num_qubits, mcmf, assignment);
+    solve_assignment_into(costs, movable, movable, mcmf, assignment);
 
     // The permutation could undo the strict pass's isolation; accept it
     // only if it does not increase resonant-margin violations among
@@ -182,10 +197,10 @@ pub(crate) fn legalize_qubits_with(
         // Row counts are independent; the total is order-free, so the
         // parallel path is bit-identical to the sequential one.
         if !parallel {
-            (0..num_qubits).map(row).sum()
+            (0..movable).map(row).sum()
         } else {
             let total = AtomicUsize::new(0);
-            (0..num_qubits).into_par_iter().for_each(|ra| {
+            (0..movable).into_par_iter().for_each(|ra| {
                 total.fetch_add(row(ra), Ordering::Relaxed);
             });
             total.into_inner()

@@ -47,6 +47,7 @@ pub fn legalize_segments(
         site_pitch,
         &mut search,
         &mut scratch,
+        None,
     );
     scratch.displacement
 }
@@ -58,6 +59,13 @@ pub fn legalize_segments(
 /// rayon pool; selection is always the first acceptable candidate in
 /// deterministic order. Per-segment displacements land in
 /// `scratch.displacement`.
+///
+/// With a `pinned` instance mask (incremental path), pinned segments
+/// keep their positions — the caller must have pre-marked them into
+/// `bitmap`/`tracker` — and still serve as chain anchors, so an
+/// unpinned tail re-attaches to the pinned head of its resonator. Only
+/// unpinned segments get displacement entries.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn legalize_segments_with(
     netlist: &mut QuantumNetlist,
     bitmap: &mut OccupancyBitmap,
@@ -65,6 +73,7 @@ pub(crate) fn legalize_segments_with(
     site_pitch: f64,
     search: &mut SearchScratch,
     scratch: &mut TetrisScratch,
+    pinned: Option<&[bool]>,
 ) {
     let region = netlist.region();
     let workspace = bitmap.region();
@@ -93,6 +102,11 @@ pub(crate) fn legalize_segments_with(
         chain.extend_from_slice(netlist.resonator_segments(r));
         let mut prev: Option<Point> = None;
         for &id in chain.iter() {
+            if pinned.is_some_and(|p| p[id]) {
+                // A pinned segment stays put but still anchors the chain.
+                prev = Some(netlist.position(id));
+                continue;
+            }
             let inst = *netlist.instance(id);
             let pitch = inst.padded_mm();
             let mut desired = inst

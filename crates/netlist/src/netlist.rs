@@ -66,6 +66,15 @@ impl QuantumNetlist {
         self.region
     }
 
+    /// Overrides the placement region. The incremental (ECO) path uses
+    /// this to keep a shrunken device on its previous, larger region so
+    /// pinned instances stay in bounds; `region` must contain the
+    /// computed one (growing the region only relaxes the density and
+    /// clamp constraints).
+    pub fn set_region(&mut self, region: Rect) {
+        self.region = region;
+    }
+
     /// Number of device qubits.
     #[must_use]
     pub fn num_qubits(&self) -> usize {

@@ -11,6 +11,15 @@ use serde::{Deserialize, Serialize};
 use crate::density::DensityPhaseNs;
 use crate::{exact_hpwl, DensityModel, DensityWorkspace, FrequencyForce, WirelengthModel};
 
+/// Stall tolerance for warm ([`GlobalPlacer::run_warm`]) runs, as a
+/// fraction of the region width: when no coordinate moved at least this
+/// far over one iteration (past the iteration floor), the run stops.
+/// The threshold is deliberately coarse — an order of magnitude below
+/// the legalizer's site pitch, so any drift it ignores is erased by
+/// legalization anyway. Cold runs never stall-stop — only the overflow
+/// gate applies.
+const WARM_STALL_FRACTION: f64 = 1e-3;
+
 /// Reusable buffers for the placement loop: unpacked positions, the four
 /// gradient vectors, per-instance preconditioner data, and the density
 /// kernel's [`DensityWorkspace`].
@@ -281,6 +290,56 @@ impl GlobalPlacer {
         if self.config.levels > 1 {
             return crate::multilevel::run_multilevel(self, netlist, ws, sink);
         }
+        self.run_flat(netlist, ws, sink, None)
+    }
+
+    /// Warm-start placement for the incremental (ECO) path: the
+    /// netlist's current positions are the starting point, and instances
+    /// with `pinned[i]` set never move — they still contribute to the
+    /// wirelength, density, and frequency fields, but their gradient is
+    /// zeroed and their coordinates are restored after every solver
+    /// step. Only the dirty (unpinned) instances are optimized.
+    ///
+    /// Always runs the flat (single-level) engine: the multilevel
+    /// V-cycle re-clusters globally, which would discard the warm seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned.len() != netlist.num_instances()`.
+    #[must_use]
+    pub fn run_warm(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut PlacerWorkspace,
+        pinned: &[bool],
+    ) -> PlacementReport {
+        self.run_warm_traced(netlist, ws, pinned, &mut NullTraceSink)
+    }
+
+    /// Like [`GlobalPlacer::run_warm`], with per-iteration trace records
+    /// (see [`GlobalPlacer::run_traced`] for the tracing contract).
+    pub fn run_warm_traced(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut PlacerWorkspace,
+        pinned: &[bool],
+        sink: &mut dyn TraceSink,
+    ) -> PlacementReport {
+        assert_eq!(
+            pinned.len(),
+            netlist.num_instances(),
+            "pin mask does not match netlist"
+        );
+        self.run_flat(netlist, ws, sink, Some(pinned))
+    }
+
+    fn run_flat(
+        &self,
+        netlist: &mut QuantumNetlist,
+        ws: &mut PlacerWorkspace,
+        sink: &mut dyn TraceSink,
+        pinned: Option<&[bool]>,
+    ) -> PlacementReport {
         let start = Instant::now();
         let tracing = sink.is_enabled();
         let _span = qplacer_obs::span!("global_place", instances = netlist.num_instances() as u64);
@@ -319,6 +378,18 @@ impl GlobalPlacer {
         let mut x0 = Vec::with_capacity(2 * n);
         x0.extend(netlist.positions().iter().map(|p| p.x));
         x0.extend(netlist.positions().iter().map(|p| p.y));
+        // Pinned instances keep their seed coordinates exactly: zero
+        // gradient plus a hard restore after each step (the region clamp
+        // alone could otherwise nudge them).
+        let pins: Vec<(usize, f64, f64)> = pinned
+            .map(|mask| {
+                mask.iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p)
+                    .map(|(i, _)| (i, x0[i], x0[n + i]))
+                    .collect()
+            })
+            .unwrap_or_default();
         let mut solver = NesterovSolver::new(x0, cfg.step_fraction * region.width());
 
         let mut lambda = 0.0;
@@ -329,6 +400,15 @@ impl GlobalPlacer {
         let mut trace = Vec::new();
         let mut phase_ns = DensityPhaseNs::default();
         let mut checked_overflow = f64::NAN;
+        // Warm runs get a second stop: once positions stall between two
+        // overflow checks, further iterations cannot help. A cold run
+        // keeps the overflow gate alone (density spreading legitimately
+        // plateaus early while λ is still ramping), but a warm seed is
+        // already legal — the few unpinned instances either settle in a
+        // handful of iterations or never will, and waiting out the full
+        // cold budget would cost more than the cold run it replaces.
+        let stall_tolerance = (pinned.is_some()).then(|| WARM_STALL_FRACTION * region.width());
+        let mut last_checked: Vec<f64> = Vec::new();
 
         let (_, _, density_ws) = ws.density.as_mut().expect("ensured above");
 
@@ -370,14 +450,23 @@ impl GlobalPlacer {
                 let precond = (ws.degree[inst] + lambda * ws.areas[inst]).max(1e-6);
                 ws.grad[i] = (ws.gwl[i] + lambda * ws.gd[i] + lambda_f * ws.gf[i]) / precond;
             }
+            for &(i, _, _) in &pins {
+                ws.grad[i] = 0.0;
+                ws.grad[n + i] = 0.0;
+            }
             solver.step(&ws.grad);
 
             // Clamp into the region (keeps footprints inside).
             let half_sizes = &ws.half_sizes;
+            let pins = &pins;
             solver.override_position(|flat| {
                 for (i, &(hw, hh)) in half_sizes.iter().enumerate() {
                     flat[i] = flat[i].clamp(region.min.x + hw, region.max.x - hw);
                     flat[n + i] = flat[n + i].clamp(region.min.y + hh, region.max.y - hh);
+                }
+                for &(i, x, y) in pins {
+                    flat[i] = x;
+                    flat[n + i] = y;
                 }
             });
 
@@ -386,12 +475,27 @@ impl GlobalPlacer {
             iterations = iter + 1;
 
             let mut converged = false;
+            // The stall check is a cheap position compare, so warm runs
+            // make it every iteration; the overflow check stays on its
+            // 5-iteration cadence (it costs a full density deposit).
+            let mut stalled = false;
+            if let Some(tol) = stall_tolerance {
+                let pos = solver.position();
+                stalled = !last_checked.is_empty()
+                    && pos
+                        .iter()
+                        .zip(&last_checked)
+                        .all(|(now, then)| (now - then).abs() < tol);
+                last_checked.clear();
+                last_checked.extend_from_slice(pos);
+            }
             if iter % 5 == 0 || iter + 1 == cfg.max_iterations {
                 PlacerWorkspace::unpack(&mut ws.positions, solver.position());
                 checked_overflow = density.overflow_with(netlist, &ws.positions, density_ws);
                 trace.push((iter, checked_overflow));
                 converged = iter >= cfg.min_iterations && checked_overflow < cfg.target_overflow;
             }
+            converged = converged || (iter >= cfg.min_iterations && stalled);
             if tracing {
                 let max_force = ws.grad.iter().fold(0.0f64, |acc, &g| acc.max(g.abs()));
                 sink.record(&TraceRecord::PlaceIteration {
@@ -437,6 +541,40 @@ mod tests {
     fn build(t: &Topology) -> QuantumNetlist {
         let freqs = FrequencyAssigner::paper_defaults().assign(t);
         QuantumNetlist::build(t, &freqs, &NetlistConfig::with_segment_size(0.4))
+    }
+
+    #[test]
+    fn warm_run_never_moves_pinned_instances() {
+        let t = Topology::grid(3, 3);
+        let mut nl = build(&t);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let before: Vec<_> = nl.positions().to_vec();
+        // Pin the first half of the instances, free the rest.
+        let pinned: Vec<bool> = (0..nl.num_instances())
+            .map(|i| i < nl.num_instances() / 2)
+            .collect();
+        let mut ws = PlacerWorkspace::default();
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).run_warm(&mut nl, &mut ws, &pinned);
+        for (i, (&p, &was)) in nl.positions().iter().zip(before.iter()).enumerate() {
+            if pinned[i] {
+                assert_eq!((p.x, p.y), (was.x, was.y), "pinned instance {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_run_with_all_pinned_is_a_fixed_point() {
+        let t = Topology::grid(3, 3);
+        let mut nl = build(&t);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let before: Vec<_> = nl.positions().to_vec();
+        let pinned = vec![true; nl.num_instances()];
+        let mut ws = PlacerWorkspace::default();
+        let report = GlobalPlacer::new(PlacerConfig::fast()).run_warm(&mut nl, &mut ws, &pinned);
+        assert!(report.iterations >= 1);
+        for (&p, &was) in nl.positions().iter().zip(before.iter()) {
+            assert_eq!((p.x, p.y), (was.x, was.y));
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct ServiceMetrics {
     pub requests: AtomicU64,
     /// Placements answered (fresh or cached).
     pub placed: AtomicU64,
+    /// Placements answered by warm-starting from a stored base layout
+    /// (the incremental near-hit path; a subset of `placed`).
+    pub warm_placements: AtomicU64,
     /// Error replies sent.
     pub errors: AtomicU64,
     /// Place requests rejected because the queue was full.
@@ -57,6 +60,7 @@ impl Default for ServiceMetrics {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             placed: AtomicU64::new(0),
+            warm_placements: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             rejected_invalid_device: AtomicU64::new(0),
@@ -97,6 +101,7 @@ impl ServiceMetrics {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             requests: self.requests.load(Ordering::Relaxed),
             placed: self.placed.load(Ordering::Relaxed),
+            warm_placements: self.warm_placements.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             rejected_invalid_device: self.rejected_invalid_device.load(Ordering::Relaxed),
@@ -132,6 +137,8 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Placements answered (fresh or cached).
     pub placed: u64,
+    /// Placements answered by the incremental (warm-start) path.
+    pub warm_placements: u64,
     /// Error replies sent.
     pub errors: u64,
     /// Place requests rejected because the queue was full.
@@ -178,6 +185,11 @@ impl MetricsSnapshot {
         write_prometheus_gauge(&mut out, "qplacer_uptime_ms", self.uptime_ms as f64);
         write_prometheus_counter(&mut out, "qplacer_requests_total", self.requests);
         write_prometheus_counter(&mut out, "qplacer_jobs_total", self.placed);
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_warm_placements_total",
+            self.warm_placements,
+        );
         write_prometheus_counter(&mut out, "qplacer_errors_total", self.errors);
         write_prometheus_counter(&mut out, "qplacer_rejected_busy_total", self.rejected_busy);
         write_prometheus_counter(

@@ -18,17 +18,21 @@
 //! [`PipelineWorkspace`] — the zero-allocation steady state PR 2/3
 //! built — reused across every job it ever executes.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qplacer_harness::{execute_job_with, ExperimentPlan, PipelineWorkspace};
+use qplacer_harness::{
+    execute_job_with, DeviceSpec, ExperimentPlan, PipelineWorkspace, PlacedLayout, Qplacer,
+};
+use qplacer_topology::Topology;
 
-use crate::cache::{cache_key, cache_key_with_content, ResultCache};
+use crate::cache::{cache_key, cache_key_with_content, config_fingerprint, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{
     ErrorCode, PlacementResult, Reply, Request, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
@@ -62,11 +66,61 @@ impl Default for ServiceConfig {
     }
 }
 
+/// A cold layout kept around as a warm-start base for near-hit
+/// requests: the built topology plus the full [`PlacedLayout`] (the
+/// wire-level [`PlacementResult`] is too lossy to re-seed a pipeline).
+#[derive(Debug)]
+struct WarmEntry {
+    base: Topology,
+    layout: PlacedLayout,
+}
+
+/// A tiny LRU of warm-start bases, keyed by the base device's
+/// [`config_fingerprint`]. Separate from the result cache because its
+/// entries are keyed by the *base* problem while they answer
+/// *derived* (defective) problems, and because a full layout is much
+/// heavier than a wire result.
+#[derive(Debug, Default)]
+struct WarmStore {
+    entries: Mutex<HashMap<u64, (u64, Arc<WarmEntry>)>>,
+    tick: AtomicU64,
+}
+
+impl WarmStore {
+    /// Bases kept; beyond this the least-recently-touched is dropped.
+    const CAPACITY: usize = 16;
+
+    fn get(&self, key: u64) -> Option<Arc<WarmEntry>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock().expect("warm store poisoned");
+        entries.get_mut(&key).map(|(last, entry)| {
+            *last = tick;
+            Arc::clone(entry)
+        })
+    }
+
+    fn insert(&self, key: u64, entry: Arc<WarmEntry>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock().expect("warm store poisoned");
+        if !entries.contains_key(&key) && entries.len() >= Self::CAPACITY {
+            if let Some(&stalest) = entries
+                .iter()
+                .min_by_key(|(_, (last, _))| *last)
+                .map(|(k, _)| k)
+            {
+                entries.remove(&stalest);
+            }
+        }
+        entries.insert(key, (tick, entry));
+    }
+}
+
 /// Shared server state.
 #[derive(Debug)]
 struct Shared {
     queue: JobQueue,
     cache: ResultCache,
+    warm: WarmStore,
     metrics: ServiceMetrics,
     shutdown: AtomicBool,
     batch_max: usize,
@@ -117,6 +171,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
+            warm: WarmStore::default(),
             metrics: ServiceMetrics::default(),
             shutdown: AtomicBool::new(false),
             batch_max: config.batch_max.max(1),
@@ -356,6 +411,58 @@ fn handle_place(
     }
 }
 
+/// The near-hit fast path: a [`DeviceSpec::Defective`] job whose base
+/// device was already placed (same strategy, same resolved config) is
+/// answered by incremental re-placement over the base's yield delta.
+/// Returns `None` — falling back to the cold pipeline — when the job
+/// is not defective, the base is not stored, or the replacement fails.
+///
+/// Note the resulting layout is the ECO solution seeded from the base,
+/// not the cold solution for the same spec: both are legal and both are
+/// cached under the same key, so which one a client observes depends on
+/// whether the base was placed first. Clients that need the cold
+/// layout bit-for-bit should place before ever placing the base.
+fn serve_warm(
+    shared: &Arc<Shared>,
+    queued: &QueuedJob,
+    ws: &mut PipelineWorkspace,
+) -> Option<Reply> {
+    let DeviceSpec::Defective {
+        base,
+        yield_pct,
+        seed,
+    } = &queued.job.device
+    else {
+        return None;
+    };
+    let config = queued.job.pipeline_config();
+    let base_key = config_fingerprint(base, queued.job.strategy, &config);
+    let entry = shared.warm.get(base_key)?;
+    let delta = entry.base.yield_delta(*yield_pct, *seed);
+    let engine = Qplacer::new(config);
+    let (layout, _report) = engine
+        .replace_with(&entry.base, &entry.layout, &delta, ws)
+        .ok()?;
+    let result = Arc::new(PlacementResult::from_layout(
+        &queued.job.device.name(),
+        &layout,
+    ));
+    shared.cache.insert(queued.key, Arc::clone(&result));
+    let wall_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
+    shared.metrics.observe_stages(&layout.timings, wall_ms);
+    shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .warm_placements
+        .fetch_add(1, Ordering::Relaxed);
+    Some(Reply::Placed {
+        id: queued.id,
+        cached: false,
+        wall_ms,
+        result: (*result).clone(),
+    })
+}
+
 fn writer_loop(stream: TcpStream, replies: &Receiver<Reply>) {
     let mut writer = BufWriter::new(stream);
     while let Ok(reply) = replies.recv() {
@@ -431,11 +538,40 @@ fn serve_one(
             result: (*result).clone(),
         };
     }
+    // Cache miss, but maybe a *near* hit: a defective device whose base
+    // was already placed under this exact strategy + configuration
+    // warm-starts the whole pipeline from the base layout over the
+    // yield delta (ECO re-placement) instead of placing cold.
+    if let Some(reply) = serve_warm(shared, queued, ws) {
+        return reply;
+    }
     let (record, layout) = execute_job_with(plan, index, ws);
     match layout {
         Some(layout) => {
             let result = Arc::new(PlacementResult::from_layout(&record.device, &layout));
             shared.cache.insert(queued.key, Arc::clone(&result));
+            // Non-derived devices become warm-start bases for future
+            // defective requests over the same base. JSON imports are
+            // skipped: the file can change under the stored topology.
+            if !matches!(
+                queued.job.device,
+                DeviceSpec::Defective { .. } | DeviceSpec::FromJson { .. }
+            ) {
+                if let Ok(base) = queued.job.device.try_build() {
+                    let base_key = config_fingerprint(
+                        &queued.job.device,
+                        queued.job.strategy,
+                        &queued.job.pipeline_config(),
+                    );
+                    shared.warm.insert(
+                        base_key,
+                        Arc::new(WarmEntry {
+                            base,
+                            layout: layout.clone(),
+                        }),
+                    );
+                }
+            }
             let wall_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
             shared.metrics.observe_stages(&layout.timings, wall_ms);
             shared.metrics.placed.fetch_add(1, Ordering::Relaxed);

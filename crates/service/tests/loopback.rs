@@ -217,6 +217,66 @@ fn error_paths_are_typed() {
     server.join();
 }
 
+/// A defective device whose base was already placed under the same
+/// strategy and config is served by the incremental warm-start path
+/// (counted in `warm_placements`), lands in the result cache like any
+/// other placement, and stays isolated across strategies.
+#[test]
+fn defective_requests_warm_start_from_their_placed_base() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+
+    // Cold-place the base; this also stores it as a warm-start entry.
+    let base = client.place(&falcon_job()).expect("place base");
+    assert!(base.result.remaining_overlaps == 0);
+
+    // A defective wrap of the same base is a cache miss but a warm
+    // near-hit: it must be answered by incremental re-placement.
+    let defective = PlaceJob::fast(
+        DeviceSpec::Defective {
+            base: Box::new(DeviceSpec::Falcon27),
+            yield_pct: 90,
+            seed: 1,
+        },
+        Strategy::FrequencyAware,
+    );
+    let reply = client.place(&defective).expect("place defective");
+    assert!(!reply.cached, "near-hit still computes a layout");
+    assert_eq!(reply.result.device, "Falcon-y90-s1");
+    assert_eq!(reply.result.remaining_overlaps, 0);
+    assert!(reply.result.instances > 0);
+
+    // Re-requesting the defective spec is now a plain cache hit.
+    let again = client.place(&defective).expect("re-place defective");
+    assert!(again.cached);
+    assert_eq!(
+        serde_json::to_string(&again.result).unwrap(),
+        serde_json::to_string(&reply.result).unwrap(),
+        "cached warm result must be byte-identical"
+    );
+
+    // A different strategy shares no warm base: it places cold.
+    let classic = PlaceJob::fast(
+        DeviceSpec::Defective {
+            base: Box::new(DeviceSpec::Falcon27),
+            yield_pct: 90,
+            seed: 1,
+        },
+        Strategy::Classic,
+    );
+    let cold = client.place(&classic).expect("place classic defective");
+    assert!(!cold.cached);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.warm_placements, 1,
+        "exactly the matching-config defective request may warm-start: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
 /// Zoo devices place over the wire, and unplaceable specs are rejected
 /// at admission with the typed `invalid-device` error — they never
 /// reach a worker, never panic the pipeline, and never poison the

@@ -176,6 +176,7 @@ fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
             MetricsSnapshot {
                 uptime_ms: requests * 13,
                 rejected_invalid_device: errors % 5,
+                warm_placements: placed % 3,
                 requests,
                 placed,
                 errors,

@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::delta::TopologyDelta;
 use crate::graph::Topology;
 
 /// Which qubits and couplers of a base topology are dead.
@@ -133,6 +134,17 @@ impl Topology {
     /// smallest original qubit index). An empty device maps to itself.
     #[must_use]
     pub fn largest_connected_component(&self) -> Topology {
+        let survivors = self.lcc_survivors();
+        if survivors.len() == self.num_qubits() {
+            return self.clone();
+        }
+        let edges = self.edges().iter().copied();
+        self.relabeled_subgraph(&survivors, edges, self.name().to_string())
+    }
+
+    /// The (sorted) qubit indices of the largest connected component —
+    /// ties broken toward the component containing the smallest index.
+    fn lcc_survivors(&self) -> Vec<usize> {
         let n = self.num_qubits();
         let mut component = vec![usize::MAX; n];
         let mut sizes = Vec::new();
@@ -156,11 +168,9 @@ impl Topology {
             sizes.push(size);
         }
         let Some(best) = (0..sizes.len()).max_by_key(|&id| (sizes[id], usize::MAX - id)) else {
-            return self.clone();
+            return (0..n).collect();
         };
-        let survivors: Vec<usize> = (0..n).filter(|&q| component[q] == best).collect();
-        let edges = self.edges().iter().copied();
-        self.relabeled_subgraph(&survivors, edges, self.name().to_string())
+        (0..n).filter(|&q| component[q] == best).collect()
     }
 
     /// Applies a seeded `yield_pct`% Bernoulli defect model
@@ -184,6 +194,53 @@ impl Topology {
         let mut survived = self.apply_defects(&map).largest_connected_component();
         survived.set_name(format!("{}-y{}-s{}", self.name(), yield_pct.min(100), seed));
         survived
+    }
+
+    /// The same derivation as [`Topology::with_yield`], expressed as a
+    /// [`TopologyDelta`] of this base: `self.yield_delta(y, s).apply(self)`
+    /// is identical (name included) to `self.with_yield(y, s)`, but the
+    /// delta additionally carries the survivor mapping and the list of
+    /// couplers that died with both endpoints alive — exactly what the
+    /// incremental pipeline needs to warm-start a defective device from
+    /// its base placement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qplacer_topology::Topology;
+    /// let base = Topology::eagle127();
+    /// let delta = base.yield_delta(90, 7);
+    /// assert_eq!(delta.apply(&base).unwrap(), base.with_yield(90, 7));
+    /// ```
+    #[must_use]
+    pub fn yield_delta(&self, yield_pct: u32, seed: u64) -> TopologyDelta {
+        let map = DefectMap::sample(self, yield_pct, seed);
+        // Survivor chain: defect pass, then LCC pass, composed back to
+        // base indices (both passes keep original index order).
+        let defect_survivors: Vec<usize> = (0..self.num_qubits())
+            .filter(|&q| !map.dead_qubits[q])
+            .collect();
+        let intermediate = self.apply_defects(&map);
+        let survivors: Vec<usize> = intermediate
+            .lcc_survivors()
+            .into_iter()
+            .map(|i| defect_survivors[i])
+            .collect();
+        let mut alive = vec![false; self.num_qubits()];
+        for &q in &survivors {
+            alive[q] = true;
+        }
+        // A dead coupler with both endpoints in the final device is an
+        // explicit removal; everything else dies with an endpoint.
+        let removed = self
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(e, &(a, b))| map.dead_couplers[e] && alive[a] && alive[b])
+            .map(|(_, &(a, b))| (a.min(b), a.max(b)))
+            .collect();
+        let name = format!("{}-y{}-s{}", self.name(), yield_pct.min(100), seed);
+        TopologyDelta::from_survivors(self, name, survivors, removed)
     }
 
     /// Builds the subgraph induced by `survivors` (sorted original
@@ -270,6 +327,21 @@ mod tests {
         assert_eq!((all.dead_qubit_count(), all.dead_coupler_count()), (0, 0));
         let none = DefectMap::sample(&base, 0, 1);
         assert_eq!(none.dead_qubit_count(), 127);
+    }
+
+    #[test]
+    fn yield_delta_matches_with_yield_exactly() {
+        for (base, y, s) in [
+            (Topology::eagle127(), 90, 7),
+            (Topology::eagle127(), 70, 3),
+            (Topology::grid(6, 6), 85, 11),
+            (Topology::falcon27(), 95, 1),
+        ] {
+            let delta = base.yield_delta(y, s);
+            let via_delta = delta.apply(&base).unwrap();
+            assert_eq!(via_delta, base.with_yield(y, s));
+            assert_eq!(via_delta.name(), format!("{}-y{y}-s{s}", base.name()));
+        }
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! Topology deltas for incremental (ECO-style) re-placement.
+//!
+//! A [`TopologyDelta`] describes how one device ([`Topology`]) differs
+//! from another: which base qubits survive (and under which target
+//! index), which qubits are new, and which couplers were dropped or
+//! added. Applying the delta to the base reconstructs the target
+//! exactly, and [`TopologyDelta::dirty_qubits`] computes the *dirty
+//! region* — the target qubits whose frequency/placement neighborhood
+//! the change can reach — which the incremental pipeline re-solves
+//! while pinning everything else.
+//!
+//! The canonical producers are [`TopologyDelta::diff`] (two concrete
+//! devices), the coupler/qubit editors ([`TopologyDelta::drop_couplers`]
+//! / [`TopologyDelta::drop_qubits`]), and the defect path
+//! (`Topology::yield_delta`), which expresses a `defective-*` zoo device
+//! as a delta of its base.
+
+use std::collections::HashMap;
+
+use crate::graph::{DeviceClass, Topology, TopologyError};
+
+/// Coordinate reconstruction rule for the target device.
+#[derive(Debug, Clone, PartialEq)]
+enum CoordsDelta {
+    /// The target carries no coordinates.
+    None,
+    /// Survivors inherit the base coordinates; the vector holds one
+    /// coordinate per added qubit.
+    Inherit(Vec<(f64, f64)>),
+    /// The full target coordinate list (used when inheritance cannot
+    /// express the target).
+    Explicit(Vec<(f64, f64)>),
+}
+
+/// The difference between a base [`Topology`] and a target [`Topology`].
+///
+/// Qubit correspondence is explicit: `survivors[i]` is the base index of
+/// target qubit `i`; target qubits `survivors.len()..` are new. Edges
+/// split three ways: inherited (present in both, under the survivor
+/// relabeling), removed (`removed_couplers`, base index space), and
+/// added (`added_couplers`, target index space). Reconstruction keeps
+/// the repo-wide derived-device edge order: inherited edges in base
+/// order, added edges appended.
+///
+/// # Examples
+///
+/// ```
+/// use qplacer_topology::{Topology, TopologyDelta};
+/// let base = Topology::eagle127();
+/// let delta = TopologyDelta::drop_couplers(&base, &[base.edges()[0]]).unwrap();
+/// let target = delta.apply(&base).unwrap();
+/// assert_eq!(target.num_qubits(), 127);
+/// assert_eq!(target.num_edges(), base.num_edges() - 1);
+/// assert_eq!(TopologyDelta::diff(&base, &target).removed_couplers(), &[base.edges()[0]]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyDelta {
+    /// Target device name.
+    name: String,
+    /// Target device family.
+    class: DeviceClass,
+    /// Base qubit count the delta was built against (shape check).
+    base_qubits: usize,
+    /// Base edge count the delta was built against (shape check).
+    base_edges: usize,
+    /// Base index of each surviving target qubit, in target order.
+    survivors: Vec<usize>,
+    /// Target qubits appended after the survivors.
+    added_qubits: usize,
+    /// Base edges dropped although both endpoints survive (normalized
+    /// base endpoints, sorted).
+    removed_couplers: Vec<(usize, usize)>,
+    /// Target edges not inherited from the base (normalized target
+    /// endpoints, in target edge order).
+    added_couplers: Vec<(usize, usize)>,
+    /// Coordinate rule for the target.
+    coords: CoordsDelta,
+}
+
+impl TopologyDelta {
+    /// The empty delta: applying it to `base` reproduces `base` exactly
+    /// (same name, qubits, couplers, coordinates).
+    #[must_use]
+    pub fn identity(base: &Topology) -> TopologyDelta {
+        TopologyDelta {
+            name: base.name().to_string(),
+            class: base.class(),
+            base_qubits: base.num_qubits(),
+            base_edges: base.num_edges(),
+            survivors: (0..base.num_qubits()).collect(),
+            added_qubits: 0,
+            removed_couplers: Vec::new(),
+            added_couplers: Vec::new(),
+            coords: match base.coords() {
+                Some(_) => CoordsDelta::Inherit(Vec::new()),
+                None => CoordsDelta::None,
+            },
+        }
+    }
+
+    /// A removal-only delta from an explicit survivor mapping:
+    /// `survivors[i]` is the base index of target qubit `i`, and
+    /// `removed_couplers` lists base edges dropped although both
+    /// endpoints survive (defect path).
+    pub(crate) fn from_survivors(
+        base: &Topology,
+        name: String,
+        survivors: Vec<usize>,
+        mut removed_couplers: Vec<(usize, usize)>,
+    ) -> TopologyDelta {
+        removed_couplers.sort_unstable();
+        removed_couplers.dedup();
+        TopologyDelta {
+            name,
+            class: base.class(),
+            base_qubits: base.num_qubits(),
+            base_edges: base.num_edges(),
+            survivors,
+            added_qubits: 0,
+            removed_couplers,
+            added_couplers: Vec::new(),
+            coords: match base.coords() {
+                Some(_) => CoordsDelta::Inherit(Vec::new()),
+                None => CoordsDelta::None,
+            },
+        }
+    }
+
+    /// The delta from `base` to `target`.
+    ///
+    /// Qubit correspondence is inferred from canonical coordinates when
+    /// both devices carry them (coordinates are copied bit-for-bit along
+    /// every derived-device path, so exact matching is sound); otherwise
+    /// the identity-prefix mapping (target qubit `i` ↔ base qubit `i`)
+    /// is used — which covers the common ECO case of coupler edits on a
+    /// fixed qubit set. When neither correspondence reconstructs the
+    /// target exactly, the diff degrades to a total-replacement delta
+    /// (no survivors — everything dirty), so `diff(a, b).apply(a) == b`
+    /// holds for **any** pair of devices.
+    #[must_use]
+    pub fn diff(base: &Topology, target: &Topology) -> TopologyDelta {
+        let candidate = Self::diff_candidate(base, target);
+        match candidate {
+            Some(delta) if delta.apply(base).as_ref() == Ok(target) => delta,
+            _ => Self::total_replacement(base, target),
+        }
+    }
+
+    /// The structural diff under the best available correspondence;
+    /// `None` when the inferred survivor set is not a usable mapping.
+    fn diff_candidate(base: &Topology, target: &Topology) -> Option<TopologyDelta> {
+        // Correspondence: exact-coordinate matching when possible,
+        // identity prefix otherwise.
+        let (survivors, added_qubits) = match (base.coords(), target.coords()) {
+            (Some(bc), Some(tc)) => {
+                let index: HashMap<(u64, u64), usize> = bc
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &(x, y))| ((x.to_bits(), y.to_bits()), q))
+                    .collect();
+                // Matched qubits must form a prefix of the target
+                // (added qubits are appended), so stop at the first
+                // unmatched coordinate and verify the tail below.
+                let mut survivors = Vec::new();
+                for &(x, y) in tc {
+                    match index.get(&(x.to_bits(), y.to_bits())) {
+                        Some(&b) => survivors.push(b),
+                        None => break,
+                    }
+                }
+                let added = target.num_qubits() - survivors.len();
+                // Every unmatched target qubit must sit after the
+                // survivors (appended), and survivors must be distinct.
+                let mut seen = vec![false; base.num_qubits()];
+                for &s in &survivors {
+                    if std::mem::replace(&mut seen[s], true) {
+                        return None;
+                    }
+                }
+                for &(x, y) in &tc[survivors.len()..] {
+                    if index.contains_key(&(x.to_bits(), y.to_bits())) {
+                        return None;
+                    }
+                }
+                (survivors, added)
+            }
+            _ => {
+                let k = base.num_qubits().min(target.num_qubits());
+                ((0..k).collect(), target.num_qubits() - k)
+            }
+        };
+
+        // Relabeling base -> target.
+        let mut relabel = vec![usize::MAX; base.num_qubits()];
+        for (t, &b) in survivors.iter().enumerate() {
+            relabel[b] = t;
+        }
+
+        // Edge split: a base edge whose endpoints both survive is either
+        // inherited (present in the target) or removed; target edges not
+        // inherited are added.
+        let mut inherited = vec![false; target.num_edges()];
+        let mut removed = Vec::new();
+        for &(a, b) in base.edges() {
+            let (ta, tb) = (relabel[a], relabel[b]);
+            if ta == usize::MAX || tb == usize::MAX {
+                continue; // implicitly removed with an endpoint
+            }
+            match target.edge_index(ta, tb) {
+                Some(e) => inherited[e] = true,
+                None => removed.push((a.min(b), a.max(b))),
+            }
+        }
+        removed.sort_unstable();
+        let added = target
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| !inherited[e])
+            .map(|(_, &edge)| edge)
+            .collect();
+
+        // Coordinates: inherit when the survivor subset reproduces the
+        // target prefix bit-for-bit, else carry the target's list.
+        let coords = match target.coords() {
+            None => CoordsDelta::None,
+            Some(tc) => {
+                let inheritable = base.coords().is_some_and(|bc| {
+                    survivors.iter().zip(tc.iter()).all(|(&b, &t)| {
+                        bc[b].0.to_bits() == t.0.to_bits() && bc[b].1.to_bits() == t.1.to_bits()
+                    })
+                });
+                if inheritable {
+                    CoordsDelta::Inherit(tc[survivors.len()..].to_vec())
+                } else {
+                    CoordsDelta::Explicit(tc.to_vec())
+                }
+            }
+        };
+
+        Some(TopologyDelta {
+            name: target.name().to_string(),
+            class: target.class(),
+            base_qubits: base.num_qubits(),
+            base_edges: base.num_edges(),
+            survivors,
+            added_qubits,
+            removed_couplers: removed,
+            added_couplers: added,
+            coords,
+        })
+    }
+
+    /// The delta that replaces `base` wholesale with `target` (no
+    /// survivors, everything dirty). Always applies exactly.
+    fn total_replacement(base: &Topology, target: &Topology) -> TopologyDelta {
+        TopologyDelta {
+            name: target.name().to_string(),
+            class: target.class(),
+            base_qubits: base.num_qubits(),
+            base_edges: base.num_edges(),
+            survivors: Vec::new(),
+            added_qubits: target.num_qubits(),
+            removed_couplers: Vec::new(),
+            added_couplers: target.edges().to_vec(),
+            coords: match target.coords() {
+                Some(tc) => CoordsDelta::Explicit(tc.to_vec()),
+                None => CoordsDelta::None,
+            },
+        }
+    }
+
+    /// The delta that drops the given couplers from `base` (qubit set
+    /// unchanged). The target is renamed `"<base>-eco"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Invalid`] if a listed coupler does not
+    /// exist in `base`.
+    pub fn drop_couplers(
+        base: &Topology,
+        couplers: &[(usize, usize)],
+    ) -> Result<TopologyDelta, TopologyError> {
+        let mut delta = Self::identity(base);
+        delta.name = format!("{}-eco", base.name());
+        for &(a, b) in couplers {
+            if base.edge_index(a, b).is_none() {
+                return Err(TopologyError::Invalid(format!(
+                    "no coupler ({a}, {b}) in {}",
+                    base.name()
+                )));
+            }
+            let e = (a.min(b), a.max(b));
+            if !delta.removed_couplers.contains(&e) {
+                delta.removed_couplers.push(e);
+            }
+        }
+        delta.removed_couplers.sort_unstable();
+        Ok(delta)
+    }
+
+    /// The delta that drops the given qubits (and every coupler touching
+    /// them) from `base`. The target is renamed `"<base>-eco"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Invalid`] on an out-of-range qubit.
+    pub fn drop_qubits(base: &Topology, qubits: &[usize]) -> Result<TopologyDelta, TopologyError> {
+        for &q in qubits {
+            if q >= base.num_qubits() {
+                return Err(TopologyError::Invalid(format!(
+                    "no qubit {q} in {}",
+                    base.name()
+                )));
+            }
+        }
+        let mut delta = Self::identity(base);
+        delta.name = format!("{}-eco", base.name());
+        delta.survivors = (0..base.num_qubits())
+            .filter(|q| !qubits.contains(q))
+            .collect();
+        Ok(delta)
+    }
+
+    /// Applies the delta to `base`, reconstructing the target device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Invalid`] when `base` does not match the
+    /// shape the delta was built against, or when an added coupler is
+    /// malformed for the target qubit count.
+    pub fn apply(&self, base: &Topology) -> Result<Topology, TopologyError> {
+        if base.num_qubits() != self.base_qubits || base.num_edges() != self.base_edges {
+            return Err(TopologyError::Invalid(format!(
+                "delta built for a {}-qubit/{}-coupler base, applied to {} ({} qubits, {} couplers)",
+                self.base_qubits,
+                self.base_edges,
+                base.name(),
+                base.num_qubits(),
+                base.num_edges()
+            )));
+        }
+        let n = self.survivors.len() + self.added_qubits;
+        let mut relabel = vec![usize::MAX; base.num_qubits()];
+        for (t, &b) in self.survivors.iter().enumerate() {
+            if b >= base.num_qubits() || relabel[b] != usize::MAX {
+                return Err(TopologyError::Invalid(format!(
+                    "bad survivor mapping entry {b}"
+                )));
+            }
+            relabel[b] = t;
+        }
+        // Inherited edges (base order), then added edges.
+        let inherited = base.edges().iter().filter_map(|&(a, b)| {
+            let e = (a.min(b), a.max(b));
+            if self.removed_couplers.binary_search(&e).is_ok() {
+                return None;
+            }
+            match (relabel[a], relabel[b]) {
+                (usize::MAX, _) | (_, usize::MAX) => None,
+                (ta, tb) => Some((ta, tb)),
+            }
+        });
+        let edges = inherited.chain(self.added_couplers.iter().copied());
+        let mut out = Topology::build(self.name.clone(), self.class, n, edges)?;
+        match &self.coords {
+            CoordsDelta::None => {}
+            CoordsDelta::Inherit(added) => {
+                if let Some(bc) = base.coords() {
+                    if added.len() == self.added_qubits {
+                        let coords = self
+                            .survivors
+                            .iter()
+                            .map(|&b| bc[b])
+                            .chain(added.iter().copied())
+                            .collect();
+                        out = out.with_coords(coords);
+                    }
+                }
+            }
+            CoordsDelta::Explicit(coords) => {
+                if coords.len() == n {
+                    out = out.with_coords(coords.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the delta changes nothing structurally: every base qubit
+    /// survives under its own index, and no coupler is added or removed.
+    /// (The name may still differ.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added_qubits == 0
+            && self.removed_couplers.is_empty()
+            && self.added_couplers.is_empty()
+            && self.survivors.len() == self.base_qubits
+            && self.survivors.iter().enumerate().all(|(t, &b)| t == b)
+    }
+
+    /// The target device name the delta reconstructs.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Base index of each surviving target qubit, in target order.
+    #[must_use]
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// Base qubits that do not survive (sorted base indices).
+    #[must_use]
+    pub fn removed_qubits(&self) -> Vec<usize> {
+        let mut alive = vec![false; self.base_qubits];
+        for &s in &self.survivors {
+            alive[s] = true;
+        }
+        (0..self.base_qubits).filter(|&q| !alive[q]).collect()
+    }
+
+    /// Target qubits that are new (appended after the survivors).
+    #[must_use]
+    pub fn added_qubits(&self) -> usize {
+        self.added_qubits
+    }
+
+    /// Base couplers dropped although both endpoints survive.
+    #[must_use]
+    pub fn removed_couplers(&self) -> &[(usize, usize)] {
+        &self.removed_couplers
+    }
+
+    /// Target couplers not inherited from the base.
+    #[must_use]
+    pub fn added_couplers(&self) -> &[(usize, usize)] {
+        &self.added_couplers
+    }
+
+    /// Renames the target device the delta reconstructs.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// For each target qubit, the base qubit it corresponds to (`None`
+    /// for added qubits). Index = target qubit.
+    #[must_use]
+    pub fn qubit_map(&self) -> Vec<Option<usize>> {
+        let n = self.survivors.len() + self.added_qubits;
+        (0..n).map(|t| self.survivors.get(t).copied()).collect()
+    }
+
+    /// For each target edge of `target`, the base edge (resonator) it
+    /// inherits from (`None` for added or rewired couplers). `base` and
+    /// `target` must be the devices the delta maps between.
+    #[must_use]
+    pub fn edge_map(&self, base: &Topology, target: &Topology) -> Vec<Option<usize>> {
+        target
+            .edges()
+            .iter()
+            .map(|&(ta, tb)| {
+                let (ba, bb) = (self.survivors.get(ta), self.survivors.get(tb));
+                match (ba, bb) {
+                    (Some(&ba), Some(&bb)) => base.edge_index(ba, bb),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// The dirty region: a target-indexed mask of the qubits within
+    /// `radius` hops (on the target graph) of any structural change —
+    /// added qubits, endpoints of added couplers, surviving endpoints of
+    /// removed couplers, and survivors that were adjacent (in the base)
+    /// to a removed qubit. The incremental pipeline re-solves exactly
+    /// this set and pins everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`target` do not match the delta's shape.
+    #[must_use]
+    pub fn dirty_qubits(&self, base: &Topology, target: &Topology, radius: usize) -> Vec<bool> {
+        assert_eq!(base.num_qubits(), self.base_qubits, "base mismatch");
+        let n = self.survivors.len() + self.added_qubits;
+        assert_eq!(target.num_qubits(), n, "target mismatch");
+        let mut relabel = vec![usize::MAX; self.base_qubits];
+        for (t, &b) in self.survivors.iter().enumerate() {
+            relabel[b] = t;
+        }
+        let mut dirty = vec![false; n];
+        // Seeds: every structurally touched target qubit.
+        dirty[self.survivors.len()..].fill(true);
+        for &(a, b) in &self.added_couplers {
+            dirty[a] = true;
+            dirty[b] = true;
+        }
+        for &(a, b) in &self.removed_couplers {
+            for q in [a, b] {
+                if relabel[q] != usize::MAX {
+                    dirty[relabel[q]] = true;
+                }
+            }
+        }
+        for q in self.removed_qubits() {
+            for &nb in base.neighbors(q) {
+                if relabel[nb] != usize::MAX {
+                    dirty[relabel[nb]] = true;
+                }
+            }
+        }
+        // Expand `radius` hops on the target graph (multi-source BFS).
+        let mut frontier: Vec<usize> = (0..n).filter(|&q| dirty[q]).collect();
+        for _ in 0..radius {
+            let mut next = Vec::new();
+            for &q in &frontier {
+                for &nb in target.neighbors(q) {
+                    if !dirty[nb] {
+                        dirty[nb] = true;
+                        next.push(nb);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trips_and_is_empty() {
+        for base in [
+            Topology::grid(3, 3),
+            Topology::eagle127(),
+            Topology::ring(8),
+        ] {
+            let delta = TopologyDelta::identity(&base);
+            assert!(delta.is_empty());
+            assert_eq!(delta.apply(&base).unwrap(), base);
+            let dirty = delta.dirty_qubits(&base, &base, 2);
+            assert!(dirty.iter().all(|&d| !d));
+        }
+    }
+
+    #[test]
+    fn drop_coupler_round_trips_and_localizes_dirt() {
+        let base = Topology::grid(5, 5);
+        let edge = base.edges()[10];
+        let delta = TopologyDelta::drop_couplers(&base, &[edge]).unwrap();
+        assert!(!delta.is_empty());
+        let target = delta.apply(&base).unwrap();
+        assert_eq!(target.num_qubits(), 25);
+        assert_eq!(target.num_edges(), base.num_edges() - 1);
+        assert!(!target.are_coupled(edge.0, edge.1));
+
+        let dirty = delta.dirty_qubits(&base, &target, 0);
+        let count = dirty.iter().filter(|&&d| d).count();
+        assert_eq!(count, 2, "radius 0: only the endpoints are dirty");
+        let dirty2 = delta.dirty_qubits(&base, &target, 2);
+        let count2 = dirty2.iter().filter(|&&d| d).count();
+        assert!(
+            count2 > count && count2 < 25,
+            "radius 2 grows but stays local"
+        );
+    }
+
+    #[test]
+    fn drop_qubit_removes_incident_couplers() {
+        let base = Topology::grid(3, 3);
+        let delta = TopologyDelta::drop_qubits(&base, &[4]).unwrap();
+        let target = delta.apply(&base).unwrap();
+        assert_eq!(target.num_qubits(), 8);
+        assert_eq!(target.num_edges(), base.num_edges() - 4);
+        assert_eq!(delta.removed_qubits(), vec![4]);
+        // The ring around the removed center is dirty at radius 1.
+        let dirty = delta.dirty_qubits(&base, &target, 1);
+        assert!(dirty.iter().filter(|&&d| d).count() >= 4);
+    }
+
+    #[test]
+    fn diff_of_defective_device_round_trips() {
+        let base = Topology::eagle127();
+        let target = base.with_yield(90, 7);
+        let delta = TopologyDelta::diff(&base, &target);
+        assert_eq!(delta.apply(&base).unwrap(), target);
+        assert_eq!(delta.name(), target.name());
+        assert!(
+            !delta.survivors().is_empty(),
+            "coords matching found survivors"
+        );
+        assert_eq!(delta.survivors().len(), target.num_qubits());
+    }
+
+    #[test]
+    fn diff_without_coords_uses_identity_prefix() {
+        // Hand-built devices without canonical coordinates fall back to
+        // the identity-prefix correspondence.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let base =
+            Topology::build("bare".into(), DeviceClass::Grid, 4, edges.iter().copied()).unwrap();
+        let target = Topology::build(
+            "bare-eco".into(),
+            DeviceClass::Grid,
+            4,
+            edges[1..].iter().copied(),
+        )
+        .unwrap();
+        let delta = TopologyDelta::diff(&base, &target);
+        assert_eq!(delta.apply(&base).unwrap(), target);
+        assert_eq!(delta.removed_couplers(), &[(0, 1)]);
+        assert_eq!(delta.survivors().len(), 4);
+    }
+
+    #[test]
+    fn diff_of_unrelated_devices_still_round_trips() {
+        let base = Topology::grid(3, 3);
+        let target = Topology::xtree(3, 2, 2);
+        let delta = TopologyDelta::diff(&base, &target);
+        assert_eq!(delta.apply(&base).unwrap(), target);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_base() {
+        let base = Topology::grid(3, 3);
+        let delta = TopologyDelta::identity(&base);
+        assert!(delta.apply(&Topology::grid(4, 4)).is_err());
+    }
+
+    #[test]
+    fn drop_rejects_missing_components() {
+        let base = Topology::grid(2, 2);
+        assert!(TopologyDelta::drop_couplers(&base, &[(0, 3)]).is_err());
+        assert!(TopologyDelta::drop_qubits(&base, &[9]).is_err());
+    }
+
+    #[test]
+    fn qubit_and_edge_maps_follow_the_correspondence() {
+        let base = Topology::grid(3, 3);
+        let delta = TopologyDelta::drop_qubits(&base, &[0]).unwrap();
+        let target = delta.apply(&base).unwrap();
+        let qmap = delta.qubit_map();
+        assert_eq!(qmap.len(), 8);
+        assert_eq!(qmap[0], Some(1), "target 0 is base 1 after removal");
+        let emap = delta.edge_map(&base, &target);
+        assert_eq!(emap.len(), target.num_edges());
+        for (e, &(ta, tb)) in target.edges().iter().enumerate() {
+            let be = emap[e].expect("all target edges inherited");
+            let (ba, bb) = base.edges()[be];
+            assert_eq!((qmap[ta].unwrap(), qmap[tb].unwrap()), (ba, bb));
+        }
+    }
+}

@@ -38,11 +38,13 @@
 
 mod chiplet;
 mod defects;
+mod delta;
 mod generators;
 mod graph;
 mod json;
 mod sampling;
 
 pub use defects::DefectMap;
+pub use delta::TopologyDelta;
 pub use graph::{DeviceClass, Topology, TopologyError};
 pub use sampling::random_connected_subset;

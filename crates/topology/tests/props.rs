@@ -1,7 +1,7 @@
 //! Property-based tests for device topologies.
 
 use proptest::prelude::*;
-use qplacer_topology::{random_connected_subset, Topology};
+use qplacer_topology::{random_connected_subset, Topology, TopologyDelta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -158,6 +158,48 @@ proptest! {
         let da = base.with_yield(yield_pct, seed).to_json();
         let db = base.with_yield(yield_pct, seed).to_json();
         prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn delta_diff_apply_reconstructs_target(
+        w in 2usize..7,
+        h in 2usize..7,
+        yield_pct in 50u32..=100,
+        seed in 0u64..100,
+    ) {
+        // diff(a, b).apply(a) == b, for defect-sampled pairs (coordinate
+        // matching) and for arbitrary cross-family pairs (fallback).
+        let base = Topology::grid(w, h);
+        let target = base.with_yield(yield_pct, seed);
+        let delta = TopologyDelta::diff(&base, &target);
+        prop_assert_eq!(delta.apply(&base).unwrap(), target.clone());
+        // The defect path expressed directly as a delta agrees too.
+        let direct = base.yield_delta(yield_pct, seed);
+        prop_assert_eq!(direct.apply(&base).unwrap(), target);
+        // Unrelated devices still round-trip through the diff.
+        let other = Topology::heavy_hex(3).with_yield(90, seed);
+        let cross = TopologyDelta::diff(&base, &other);
+        prop_assert_eq!(cross.apply(&base).unwrap(), other);
+    }
+
+    #[test]
+    fn delta_coupler_edits_round_trip(edge in 0usize..40, seed in 0u64..50) {
+        // Dropping any single coupler diffs back to exactly that edit,
+        // and the dirty region stays a small neighborhood of it.
+        let base = Topology::grid(5, 5);
+        let e = base.edges()[edge % base.num_edges()];
+        let delta = TopologyDelta::drop_couplers(&base, &[e]).unwrap();
+        let target = delta.apply(&base).unwrap();
+        let rediscovered = TopologyDelta::diff(&base, &target);
+        prop_assert_eq!(rediscovered.apply(&base).unwrap(), target.clone());
+        prop_assert_eq!(rediscovered.removed_couplers(), &[e][..]);
+        let dirty = delta.dirty_qubits(&base, &target, 2);
+        let dirty_count = dirty.iter().filter(|&&d| d).count();
+        prop_assert!(dirty_count >= 2 && dirty_count < base.num_qubits());
+        // And a defect-sampled pair on top of the edited device.
+        let defective = target.with_yield(90, seed);
+        let chained = TopologyDelta::diff(&target, &defective);
+        prop_assert_eq!(chained.apply(&target).unwrap(), defective);
     }
 
     #[test]

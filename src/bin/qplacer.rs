@@ -9,6 +9,8 @@
 //! qplacer sweep    <topology>            # l_b ablation on one device
 //! qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
 //!                  [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+//! qplacer replace  <topology> (--drop-coupler A-B | --drop-qubit N
+//!                  | --yield PCT [--seed S]) [--strategy S] [--fast]
 //! qplacer profile  <topology> [--strategy qplacer|classic] [--levels N]
 //!                  [--fast]
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
@@ -54,7 +56,7 @@ use std::process::ExitCode;
 use qplacer::{
     paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, JsonlTraceSink, NetlistConfig,
     PipelineConfig, PipelineWorkspace, PlaceJob, PlacedLayout, Profile, Qplacer, Runner, Server,
-    ServiceClient, ServiceConfig, Sink, Strategy, Summary, Topology,
+    ServiceClient, ServiceConfig, Sink, Strategy, Summary, Topology, TopologyDelta,
 };
 
 fn main() -> ExitCode {
@@ -70,6 +72,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "e2e" => cmd_e2e(&args[1..]),
+        "replace" => cmd_replace(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
@@ -101,6 +104,8 @@ const USAGE: &str = "usage:
   qplacer sweep    <topology>
   qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
                    [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+  qplacer replace  <topology> (--drop-coupler A-B[,C-D..] | --drop-qubit N[,M..]
+                   | --yield PCT [--seed S]) [--strategy qplacer|classic] [--fast]
   qplacer profile  <topology> [--strategy qplacer|classic] [--levels N] [--fast]
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
                    [--subsets N] [--seeds N] [--threads N] [--fast] [--levels N]
@@ -117,6 +122,8 @@ topologies (device zoo):
   parametric:     grid-WxH heavy-hex-dN ring-N ladder-N
   defect model:   defective-<base>[-yPCT][-sSEED]   (e.g. defective-eagle,
                   defective-heavy-hex-d7-y85-s3; defaults y90 s0)
+  seed ranges:    defective-<base>[-yPCT]-sA..B expands to one suite job
+                  per seed in A..B inclusive (e.g. defective-eagle-s0..4)
   JSON import:    any path ending in .json, or json:<path>
 benchmarks: bv-4 bv-9 bv-16 qaoa-4 qaoa-9 ising-4 qgan-4 qgan-9,
   plus parametric bv-N qaoa-N ising-N qgan-N ghz-N qv-N at any size
@@ -442,6 +449,109 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--drop-coupler A-B[,C-D..]` spelling into qubit pairs.
+fn parse_coupler_list(value: &str) -> Result<Vec<(usize, usize)>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (a, b) = pair
+                .split_once('-')
+                .ok_or_else(|| format!("bad coupler `{pair}` (expected A-B)"))?;
+            let a = a.parse().map_err(|_| format!("bad qubit `{a}`"))?;
+            let b = b.parse().map_err(|_| format!("bad qubit `{b}`"))?;
+            Ok((a, b))
+        })
+        .collect()
+}
+
+/// Incremental (ECO) re-placement: cold-place the base device, apply a
+/// topology edit (dropped couplers, dropped qubits, or the seeded yield
+/// model), then warm-start the whole pipeline from the cold layout and
+/// report how local the edit stayed. Exits nonzero when the warm layout
+/// keeps residual overlaps.
+fn cmd_replace(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("replace needs a topology")?;
+    let base = parse_topology(name)?;
+    let strategy = parse_strategy(flag_value(args, "--strategy").unwrap_or("qplacer"))?;
+    if strategy == Strategy::Human {
+        return Err("replace warm-starts the engine pipeline; use qplacer or classic".into());
+    }
+
+    let mut deltas: Vec<TopologyDelta> = Vec::new();
+    if let Some(list) = flag_value(args, "--drop-coupler") {
+        let pairs = parse_coupler_list(list)?;
+        deltas.push(TopologyDelta::drop_couplers(&base, &pairs).map_err(|e| e.to_string())?);
+    }
+    if let Some(list) = flag_value(args, "--drop-qubit") {
+        let qubits = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|q| q.parse().map_err(|_| format!("bad qubit `{q}`")))
+            .collect::<Result<Vec<usize>, String>>()?;
+        deltas.push(TopologyDelta::drop_qubits(&base, &qubits).map_err(|e| e.to_string())?);
+    }
+    if let Some(pct) = flag_value(args, "--yield") {
+        let yield_pct: u32 = pct.parse().map_err(|_| format!("bad --yield `{pct}`"))?;
+        let seed: u64 = numeric_flag(args, "--seed", 0)?;
+        deltas.push(base.yield_delta(yield_pct, seed));
+    }
+    let delta = match deltas.len() {
+        0 => return Err("replace needs an edit: --drop-coupler, --drop-qubit, or --yield".into()),
+        1 => deltas.pop().expect("one delta"),
+        _ => return Err("pick one edit: --drop-coupler, --drop-qubit, or --yield".into()),
+    };
+
+    let config = if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    let engine = Qplacer::new(config);
+    let mut ws = PipelineWorkspace::new();
+
+    let start = std::time::Instant::now();
+    let cold = engine.place_with(&base, strategy, &mut ws);
+    let cold_s = start.elapsed().as_secs_f64();
+    println!(
+        "cold:    {} ({} qubits, {} instances) in {:.2} s",
+        base.name(),
+        base.num_qubits(),
+        cold.netlist.num_instances(),
+        cold_s
+    );
+
+    let start = std::time::Instant::now();
+    let (warm, report) = engine
+        .replace_with(&base, &cold, &delta, &mut ws)
+        .map_err(|e| e.to_string())?;
+    let warm_s = start.elapsed().as_secs_f64();
+    println!(
+        "replace: {} (-{} qubits, -{} +{} couplers) in {:.3} s ({:.1}x vs cold)",
+        delta.name(),
+        delta.removed_qubits().len(),
+        delta.removed_couplers().len(),
+        delta.added_couplers().len(),
+        warm_s,
+        cold_s / warm_s.max(1e-9),
+    );
+
+    let overlaps = warm.netlist.overlapping_pairs().len();
+    println!(
+        "replace ok: moved {}/{} instances ({} qubits), pinned {}, dirty {} qubits, {} overlaps",
+        report.moved_instances,
+        report.total_instances,
+        warm.netlist.num_qubits(),
+        report.pinned_instances,
+        report.dirty_qubits,
+        overlaps
+    );
+    if overlaps > 0 {
+        return Err(format!("warm layout kept {overlaps} residual overlaps"));
+    }
+    Ok(())
+}
+
 /// Runs one placement with span timing enabled and prints the
 /// aggregated span tree (count, total wall time, share of the parent
 /// span) — the quick "where does the time go" view.
@@ -485,10 +595,15 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
+    // parse_multi so seed-range spellings (defective-eagle-s0..4) fan
+    // out into one job per seed.
     let devices = list_flag(args, "--devices", "grid,falcon,eagle,aspen11,aspenm,xtree")
         .into_iter()
-        .map(DeviceSpec::parse)
-        .collect::<Result<Vec<_>, _>>()?;
+        .map(DeviceSpec::parse_multi)
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>();
     let strategies = list_flag(args, "--strategies", "qplacer,classic,human")
         .into_iter()
         .map(parse_strategy)
@@ -691,6 +806,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         m.cache_entries,
         m.cache_evictions
     );
+    println!("warm placements {}", m.warm_placements);
     for (name, h) in [
         ("assign", &m.assign),
         ("place", &m.place),
@@ -892,6 +1008,47 @@ mod tests {
         assert!(cmd_stats(&args(&[])).is_ok());
         assert!(cmd_shutdown(&args(&[])).is_ok());
         server.join();
+    }
+
+    #[test]
+    fn replace_command_runs_each_edit_kind() {
+        let to_args =
+            |rest: &[&str]| -> Vec<String> { rest.iter().map(|s| s.to_string()).collect() };
+        // Grid 3x3 edge (0,1) exists (row-major rows of 3).
+        assert!(cmd_replace(&to_args(&["grid-3x3", "--drop-coupler", "0-1", "--fast"])).is_ok());
+        assert!(cmd_replace(&to_args(&["grid-3x3", "--drop-qubit", "4", "--fast"])).is_ok());
+        assert!(cmd_replace(&to_args(&[
+            "grid-4x4", "--yield", "90", "--seed", "3", "--fast"
+        ]))
+        .is_ok());
+        // Argument validation: an edit is required, only one edit kind
+        // at a time, couplers must exist, and Human has no warm path.
+        assert!(cmd_replace(&to_args(&["grid-3x3", "--fast"])).is_err());
+        assert!(cmd_replace(&to_args(&[
+            "grid-3x3",
+            "--drop-coupler",
+            "0-1",
+            "--drop-qubit",
+            "4"
+        ]))
+        .is_err());
+        assert!(cmd_replace(&to_args(&["grid-3x3", "--drop-coupler", "0-8"])).is_err());
+        assert!(cmd_replace(&to_args(&[
+            "grid-3x3",
+            "--drop-coupler",
+            "0-1",
+            "--strategy",
+            "human"
+        ]))
+        .is_err());
+        assert!(cmd_replace(&[]).is_err());
+    }
+
+    #[test]
+    fn coupler_list_parsing() {
+        assert_eq!(parse_coupler_list("0-1,4-5").unwrap(), vec![(0, 1), (4, 5)]);
+        assert!(parse_coupler_list("01").is_err());
+        assert!(parse_coupler_list("a-b").is_err());
     }
 
     #[test]

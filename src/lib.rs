@@ -63,7 +63,7 @@
 #![warn(missing_docs)]
 
 pub use qplacer_harness::{
-    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
+    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, ReplaceReport, StageTimings, Strategy,
 };
 
 pub use qplacer_artwork as artwork;
@@ -102,4 +102,4 @@ pub use qplacer_service::{
     MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
     PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
-pub use qplacer_topology::{DefectMap, Topology};
+pub use qplacer_topology::{DefectMap, Topology, TopologyDelta};
