@@ -433,6 +433,29 @@ fn measure(quick: bool) -> BenchDoc {
         entries.push(entry("obs_span_overhead", 1, ns));
     }
 
+    // Observability (PR 9): the same probe with the event timeline on —
+    // each enter/exit additionally appends a Begin and an End record to
+    // the thread-local flight ring. The delta over `obs_span_overhead`
+    // is the per-event recording cost the flight recorder adds to a
+    // served job; the ring stays warm (overwrite-oldest, preallocated),
+    // so the steady state allocates nothing.
+    {
+        qplacer_obs::set_spans_enabled(true);
+        qplacer_obs::set_event_mode(qplacer_obs::EventMode::Flight);
+        let ns = time_op(
+            || {
+                let _span = qplacer_obs::span!("bench_overhead_probe");
+                std::hint::black_box(());
+            },
+            10_000,
+            min_seconds,
+        );
+        qplacer_obs::set_event_mode(qplacer_obs::EventMode::Off);
+        qplacer_obs::set_spans_enabled(false);
+        qplacer_obs::clear_events();
+        entries.push(entry("obs_event_overhead", 1, ns));
+    }
+
     BenchDoc {
         schema: SCHEMA.to_string(),
         threads: rayon::current_num_threads(),

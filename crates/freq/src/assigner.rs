@@ -271,6 +271,7 @@ impl FrequencyAssigner {
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,
             items: out.qubits.len() as u64,
         });
+        qplacer_obs::span_mark!("freq_qubits_colored", items = out.qubits.len());
 
         // Resonators: the line graph is both the soft and the hard graph.
         let phase_start = Instant::now();
@@ -284,6 +285,7 @@ impl FrequencyAssigner {
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,
             items: out.resonators.len() as u64,
         });
+        qplacer_obs::span_mark!("freq_resonators_colored", items = out.resonators.len());
 
         out.detuning_threshold = self.qubit_band.step();
     }

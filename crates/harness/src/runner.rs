@@ -357,6 +357,56 @@ impl Runner {
             records,
         })
     }
+
+    /// Like [`Runner::run`], but captures the full event timeline of
+    /// the run: spans and event capture are enabled for the duration
+    /// (and restored afterwards), the capture buffers are cleared, and
+    /// every job executes under its own fresh trace id so per-job
+    /// events stay separable in the exported timeline.
+    ///
+    /// The returned snapshot feeds the exporters directly
+    /// ([`qplacer_obs::chrome_trace_json`],
+    /// [`qplacer_obs::folded_stacks`]). Records are bit-identical to
+    /// [`Runner::run`] on the same plan — event recording never touches
+    /// the pipeline's arithmetic.
+    ///
+    /// Note the event gate and capture buffers are process-global:
+    /// concurrent runs (or other enabled span sites) interleave into
+    /// the same timeline, distinguishable by trace id.
+    #[must_use]
+    pub fn run_with_events(
+        &self,
+        plan: &ExperimentPlan,
+    ) -> (RunReport, qplacer_obs::EventSnapshot) {
+        let prev_spans = qplacer_obs::spans_enabled();
+        let prev_mode = qplacer_obs::event_mode();
+        qplacer_obs::set_spans_enabled(true);
+        qplacer_obs::set_event_mode(qplacer_obs::EventMode::Capture);
+        qplacer_obs::clear_events();
+        let start = Instant::now();
+        let records: Vec<JobRecord> = self.pool.install(|| {
+            (0..plan.jobs.len())
+                .into_par_iter()
+                .map(|index| {
+                    let _scope = qplacer_obs::adopt_trace_id(qplacer_obs::fresh_trace_id());
+                    execute_job(plan, index)
+                })
+                .collect()
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let snapshot = qplacer_obs::event_snapshot();
+        qplacer_obs::set_event_mode(prev_mode);
+        qplacer_obs::set_spans_enabled(prev_spans);
+        (
+            RunReport {
+                plan: plan.name.clone(),
+                threads: self.threads,
+                wall_ms,
+                records,
+            },
+            snapshot,
+        )
+    }
 }
 
 /// Ring capacity per traced job: comfortably above the paper profile's

@@ -1,0 +1,109 @@
+//! The event-timeline contract for [`Runner::run_with_events`]:
+//!
+//! - results are bit-identical to the untraced [`Runner::run`] (event
+//!   recording never perturbs the pipeline's arithmetic),
+//! - every job runs under its own fresh trace id,
+//! - per-phase durations summed from the event timeline agree with the
+//!   aggregate span counters within 5% — the two views of the same
+//!   clock must tell the same story.
+//!
+//! Own integration binary (separate process): `run_with_events` flips
+//! the process-global span/event gates, and the span counters it is
+//! compared against are process-global too.
+
+use qplacer_harness::{DeviceSpec, ExperimentPlan, JobSpec, Profile, Runner, Strategy};
+use qplacer_obs::EventKind;
+
+fn plan() -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("events").with_profile(Profile::Fast);
+    for width in [4usize, 5] {
+        plan.jobs.push(JobSpec {
+            device: DeviceSpec::Grid { width, height: 4 },
+            strategy: Strategy::FrequencyAware,
+            benchmark: None,
+            subsets: 0,
+            seed: 7,
+            segment_size_mm: None,
+            levels: None,
+        });
+    }
+    plan
+}
+
+#[test]
+fn event_timeline_agrees_with_span_aggregates_and_stays_bit_identical() {
+    let plan = plan();
+    let runner = Runner::new(2);
+
+    // Baseline: untraced run before any gate was ever enabled.
+    let baseline = runner.run(&plan);
+
+    qplacer_obs::reset_spans();
+    let (report, snapshot) = runner.run_with_events(&plan);
+
+    // Tracing must not perturb results: identical deterministic fields.
+    assert_eq!(baseline.records.len(), report.records.len());
+    for (before, after) in baseline.records.iter().zip(&report.records) {
+        let mut before = before.clone();
+        let mut after = after.clone();
+        for record in [&mut before, &mut after] {
+            record.wall_ms = 0.0;
+            record.wall_place_ms = 0.0;
+            record.wall_place_iters_per_sec = 0.0;
+            record.wall_legalize_ms = 0.0;
+            record.wall_assign_ms = 0.0;
+        }
+        assert_eq!(before, after, "traced run must be bit-identical");
+    }
+
+    // The gates are restored to their pre-run state (off).
+    assert!(!qplacer_obs::spans_enabled());
+    assert_eq!(qplacer_obs::event_mode(), qplacer_obs::EventMode::Off);
+
+    // One fresh trace id per job, all distinct and nonzero.
+    let pipeline_ids: std::collections::BTreeSet<u64> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.name == "pipeline" && e.kind == EventKind::Begin)
+        .map(|e| e.trace_id)
+        .collect();
+    assert_eq!(
+        pipeline_ids.len(),
+        plan.jobs.len(),
+        "each job gets its own trace id"
+    );
+    assert!(pipeline_ids.iter().all(|&id| id != 0));
+
+    // Per-phase duration agreement: replaying begin/end pairs from the
+    // timeline must reproduce the aggregate span totals within 5%
+    // (same spans, same monotonic clock; only the per-event read skew
+    // differs). Sub-millisecond phases get an absolute 1 ms floor so
+    // fixed per-entry skew on tiny spans cannot flake the test.
+    let timeline = qplacer_obs::duration_totals_ns(&snapshot.events);
+    let mut compared = 0;
+    for stat in qplacer_obs::span_report() {
+        if stat.count == 0 {
+            continue;
+        }
+        let event_total = *timeline
+            .get(stat.name)
+            .unwrap_or_else(|| panic!("span `{}` missing from the timeline", stat.name));
+        let diff = event_total.abs_diff(stat.total_ns);
+        let tolerance = (stat.total_ns / 20).max(1_000_000);
+        assert!(
+            diff <= tolerance,
+            "span `{}`: timeline {event_total} ns vs aggregate {} ns (diff {diff} > {tolerance})",
+            stat.name,
+            stat.total_ns
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 3,
+        "expected several pipeline phases to compare, got {compared}"
+    );
+
+    // The capture is gone once mode returns to Off *and* cleared.
+    qplacer_obs::clear_events();
+    assert!(qplacer_obs::event_snapshot().events.is_empty());
+}

@@ -200,6 +200,7 @@ impl Legalizer {
             }
         }
         let phase_start = Instant::now();
+        let qubit_span = qplacer_obs::span!("legalize_qubits", qubits = netlist.num_qubits());
         match self.qubit_legalizer {
             // The incremental path has pinned obstacles only the
             // spiral engine understands.
@@ -235,12 +236,17 @@ impl Legalizer {
                 }
             }
         }
+        drop(qubit_span);
         sink.record(&TraceRecord::LegalPhase {
             phase: "qubits",
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,
             items: netlist.num_qubits() as u64,
         });
         let phase_start = Instant::now();
+        let segment_span = qplacer_obs::span!(
+            "legalize_segments",
+            segments = netlist.num_instances() - netlist.num_qubits()
+        );
         legalize_segments_with(
             netlist,
             &mut ws.bitmap,
@@ -250,14 +256,18 @@ impl Legalizer {
             &mut ws.tetris,
             pinned,
         );
+        drop(segment_span);
         sink.record(&TraceRecord::LegalPhase {
             phase: "segments",
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,
             items: (netlist.num_instances() - netlist.num_qubits()) as u64,
         });
         let phase_start = Instant::now();
-        let stats =
-            integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ, pinned);
+        let stats = {
+            let _span =
+                qplacer_obs::span!("legalize_resonators", resonators = netlist.num_resonators());
+            integrate_resonators_with(netlist, &mut ws.bitmap, pitch, &mut ws.integ, pinned)
+        };
         sink.record(&TraceRecord::LegalPhase {
             phase: "resonators",
             elapsed_ns: phase_start.elapsed().as_nanos() as u64,

@@ -120,7 +120,11 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// The smallest bucket upper bound covering `quantile` (0..=1) of
     /// the observations — a coarse percentile readout for dashboards.
-    /// Returns 0 when nothing has been observed (matching `mean_ms`).
+    ///
+    /// **Empty-histogram convention:** with `count == 0` this returns
+    /// exactly `0.0` for every quantile — never NaN and never a bucket
+    /// bound — matching `mean_ms` (dashboards render a flat zero for a
+    /// series with no data, not a gap or a NaN).
     #[must_use]
     pub fn quantile_upper_bound_ms(&self, quantile: f64) -> f64 {
         if self.count == 0 {
@@ -172,6 +176,26 @@ mod tests {
             0.0,
             "no data, no bound"
         );
+    }
+
+    /// Regression: an empty histogram's quantile must be exactly 0.0
+    /// (NaN-free) for *every* quantile, including edge and unclamped
+    /// inputs — `0/0`-style arithmetic must never leak out.
+    #[test]
+    fn empty_histogram_quantile_is_zero_never_nan() {
+        let empty = LatencyHistogram::default().snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0, -3.0, 7.0] {
+            let bound = empty.quantile_upper_bound_ms(q);
+            assert!(!bound.is_nan(), "q={q}: quantile must be NaN-free");
+            assert_eq!(bound, 0.0, "q={q}: empty histogram reads 0.0");
+        }
+        // Still 0.0 after only non-finite (dropped) observations.
+        let h = LatencyHistogram::default();
+        h.observe_ms(f64::NAN);
+        h.observe_ms(f64::INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile_upper_bound_ms(0.5), 0.0);
     }
 
     #[test]

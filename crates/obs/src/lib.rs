@@ -5,12 +5,18 @@
 //! the primitives here, so one registry feeds the CLI, the Prometheus
 //! scrape path, and the self-profile report.
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! - **Spans** ([`span!`], [`span_report`], [`render_span_tree`]) —
 //!   scoped wall-clock timers with thread-local nesting and
 //!   relaxed-atomic aggregation, near-free when disabled (the default)
 //!   and allocation-free when enabled.
+//! - **Events** ([`EventMode`], [`event_snapshot`], [`adopt_trace_id`])
+//!   — a per-thread event timeline fed by the same `span!` sites:
+//!   begin/end/instant events with monotonic timestamps and a
+//!   propagated 64-bit trace id, recorded into an unbounded capture
+//!   buffer or an always-on bounded flight recorder
+//!   (overwrite-oldest ring per thread) for post-mortem dumps.
 //! - **Metrics** ([`Registry`], [`Counter`], [`Gauge`],
 //!   [`LatencyHistogram`]) — named metrics with a process-global
 //!   registry ([`global`]) and a Prometheus text renderer
@@ -22,7 +28,10 @@
 //!   flowing into a pre-sized [`RingTraceSink`] (zero-alloc) or a
 //!   [`JsonlTraceSink`] file.
 //! - **Export** — Prometheus text for scrapes, JSONL for offline
-//!   analysis, and an aggregated span tree for `qplacer profile`.
+//!   analysis, an aggregated span tree for `qplacer profile`, and two
+//!   timeline exporters: Chrome Trace Event JSON
+//!   ([`chrome_trace_json`], loads in Perfetto / `chrome://tracing`)
+//!   and collapsed-stack flamegraph text ([`folded_stacks`]).
 //!
 //! Instrumentation records wall time into observability state only —
 //! never into placement results — so the workspace's determinism
@@ -46,11 +55,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+pub mod export;
 pub mod hist;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use events::{
+    adopt_trace_id, clear_events, current_trace_id, event_mode, event_snapshot, events_enabled,
+    flight_capacity, fresh_trace_id, set_event_mode, set_flight_capacity, Event, EventKind,
+    EventMode, EventSnapshot, TimelineEvent, TraceScope, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use export::{chrome_trace_json, duration_totals_ns, folded_stacks, write_json_string};
 pub use hist::{
     bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, BUCKET_BOUNDS_MS, HISTOGRAM_BUCKETS,
 };

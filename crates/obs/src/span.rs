@@ -103,11 +103,28 @@ fn register(name: &'static str) -> u32 {
         }
     }
     if n >= MAX_SPAN_SITES {
+        // Saturation used to be silent: the site degrades to a no-op
+        // and its time simply vanishes from every report. Surface it
+        // through the global registry so a scrape can alarm on it.
+        // Counted once per dropped *site* (the slot cache keeps this
+        // path from re-running per entry).
+        crate::registry::global()
+            .counter("qplacer_span_sites_dropped_total")
+            .inc();
         return NO_SLOT;
     }
     let _ = SLOTS[n].name.set(name);
     NEXT_SLOT.store(n as u32 + 1, Ordering::Release);
     n as u32
+}
+
+/// The name registered for `slot`, or `"?"` for an invalid slot. Used
+/// by the event layer to resolve site ids at snapshot time.
+pub(crate) fn site_name(slot: u32) -> &'static str {
+    SLOTS
+        .get(slot as usize)
+        .and_then(|s| s.name.get().copied())
+        .unwrap_or("?")
 }
 
 /// One `span!` expansion site. Construct via the [`span!`](crate::span!)
@@ -131,12 +148,24 @@ impl SpanSite {
     /// Enters the span, returning the guard that records elapsed time on
     /// drop. Inert (and nearly free) while spans are disabled.
     pub fn enter(&self) -> SpanGuard {
+        self.enter_impl(None)
+    }
+
+    fn enter_impl(&self, value: Option<u64>) -> SpanGuard {
         if !spans_enabled() {
             return SpanGuard::inert();
         }
         let slot = *self.slot.get_or_init(|| register(self.name));
         if slot == NO_SLOT {
             return SpanGuard::inert();
+        }
+        if let Some(value) = value {
+            SLOTS[slot as usize]
+                .last_value
+                .store(value, Ordering::Relaxed);
+            SLOTS[slot as usize]
+                .has_value
+                .store(true, Ordering::Relaxed);
         }
         let pushed = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -160,6 +189,10 @@ impl SpanSite {
                 false
             }
         });
+        // Timeline hook: one Begin event when a recording mode is
+        // active (a single relaxed load otherwise). The same `span!`
+        // sites feed both the aggregate slots and the event timeline.
+        crate::events::record(slot, crate::events::EventKind::Begin, value.unwrap_or(0));
         SpanGuard {
             slot,
             start: Some(Instant::now()),
@@ -171,12 +204,22 @@ impl SpanSite {
     /// Like [`SpanSite::enter`], but also stamps `value` as the site's
     /// most recent attachment (shown in the span report).
     pub fn enter_with(&self, value: u64) -> SpanGuard {
-        let guard = self.enter();
-        if let Some(slot) = guard.live_slot() {
-            SLOTS[slot].last_value.store(value, Ordering::Relaxed);
-            SLOTS[slot].has_value.store(true, Ordering::Relaxed);
+        self.enter_impl(Some(value))
+    }
+
+    /// Records a zero-duration instant event at this site on the event
+    /// timeline, without touching the aggregate counters. A no-op
+    /// unless spans are enabled *and* an event-recording mode is
+    /// active. Prefer the [`span_mark!`](crate::span_mark!) macro.
+    pub fn mark(&self, value: u64) {
+        if !spans_enabled() || !crate::events::events_enabled() {
+            return;
         }
-        guard
+        let slot = *self.slot.get_or_init(|| register(self.name));
+        if slot == NO_SLOT {
+            return;
+        }
+        crate::events::record(slot, crate::events::EventKind::Instant, value);
     }
 }
 
@@ -200,10 +243,6 @@ impl SpanGuard {
             _not_send: PhantomData,
         }
     }
-
-    fn live_slot(&self) -> Option<usize> {
-        (self.slot != NO_SLOT).then_some(self.slot as usize)
-    }
 }
 
 impl Drop for SpanGuard {
@@ -213,6 +252,7 @@ impl Drop for SpanGuard {
         let slot = &SLOTS[self.slot as usize];
         slot.count.fetch_add(1, Ordering::Relaxed);
         slot.total_ns.fetch_add(ns, Ordering::Relaxed);
+        crate::events::record(self.slot, crate::events::EventKind::End, 0);
         if self.pushed {
             STACK.with(|stack| {
                 let mut stack = stack.borrow_mut();
@@ -246,6 +286,28 @@ macro_rules! span {
     ($name:literal, $key:ident = $value:expr) => {{
         static __QPLACER_SPAN_SITE: $crate::SpanSite = $crate::SpanSite::new($name);
         __QPLACER_SPAN_SITE.enter_with(($value) as u64)
+    }};
+}
+
+/// Records a zero-duration instant marker on the event timeline (e.g.
+/// one solver iteration). Shares the span-site table with [`span!`], so
+/// markers show up by name in Chrome-trace exports; they do not touch
+/// the aggregate span counters. A no-op unless spans are enabled and an
+/// event-recording mode is active.
+///
+/// ```
+/// qplacer_obs::span_mark!("demo_marker");
+/// qplacer_obs::span_mark!("demo_marker", iteration = 7u64);
+/// ```
+#[macro_export]
+macro_rules! span_mark {
+    ($name:literal) => {{
+        static __QPLACER_SPAN_SITE: $crate::SpanSite = $crate::SpanSite::new($name);
+        __QPLACER_SPAN_SITE.mark(0)
+    }};
+    ($name:literal, $key:ident = $value:expr) => {{
+        static __QPLACER_SPAN_SITE: $crate::SpanSite = $crate::SpanSite::new($name);
+        __QPLACER_SPAN_SITE.mark(($value) as u64)
     }};
 }
 

@@ -1,0 +1,63 @@
+//! Span-site saturation must be *visible*: once the fixed 128-slot
+//! table fills, further sites degrade to no-ops — previously silently.
+//! This test lives in its own integration binary because it permanently
+//! saturates the process-global site table.
+
+use qplacer_obs::{global, set_spans_enabled, span_report, SpanSite, MAX_SPAN_SITES};
+
+#[test]
+fn saturating_the_site_table_bumps_the_dropped_counter() {
+    set_spans_enabled(true);
+    let dropped = global().counter("qplacer_span_sites_dropped_total");
+    let before = dropped.get();
+
+    // Register well past the table size. `SpanSite::new` needs
+    // 'static names; leak them (test-only, bounded).
+    let extra = 10usize;
+    for i in 0..MAX_SPAN_SITES + extra {
+        let name: &'static str = Box::leak(format!("saturation_site_{i}").into_boxed_str());
+        let site = SpanSite::new(name);
+        drop(site.enter());
+    }
+
+    let report = span_report();
+    assert_eq!(
+        report.len(),
+        MAX_SPAN_SITES,
+        "table holds exactly its capacity"
+    );
+
+    let after = dropped.get();
+    let newly_dropped = after - before;
+    // At least `extra` sites could not claim a slot (other tests in
+    // this process may have claimed some slots first, so possibly
+    // more). Each dropped *site* counts exactly once.
+    assert!(
+        newly_dropped >= extra as u64,
+        "expected >= {extra} dropped sites, saw {newly_dropped}"
+    );
+
+    // The counter is exported through the global registry, so a
+    // Prometheus scrape can alarm on it.
+    let text = qplacer_obs::render_prometheus(global());
+    assert!(
+        text.contains("qplacer_span_sites_dropped_total"),
+        "dropped-sites counter missing from the scrape:\n{text}"
+    );
+
+    // Re-entering an already-dropped site must not recount: the site
+    // caches its (missing) slot.
+    let name: &'static str = Box::leak("saturation_site_recount".to_string().into_boxed_str());
+    let site = SpanSite::new(name);
+    drop(site.enter());
+    let counted_once = dropped.get();
+    drop(site.enter());
+    drop(site.enter());
+    assert_eq!(
+        dropped.get(),
+        counted_once,
+        "a dropped site is counted once, not per entry"
+    );
+
+    set_spans_enabled(false);
+}

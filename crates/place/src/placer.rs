@@ -493,6 +493,7 @@ impl GlobalPlacer {
                 PlacerWorkspace::unpack(&mut ws.positions, solver.position());
                 checked_overflow = density.overflow_with(netlist, &ws.positions, density_ws);
                 trace.push((iter, checked_overflow));
+                qplacer_obs::span_mark!("place_overflow_check", iter = iter);
                 converged = iter >= cfg.min_iterations && checked_overflow < cfg.target_overflow;
             }
             converged = converged || (iter >= cfg.min_iterations && stalled);

@@ -58,8 +58,24 @@ pub struct PlacedReply {
     pub cached: bool,
     /// Server-side receipt-to-reply wall time (ms).
     pub wall_ms: f64,
+    /// The trace id the job's events were recorded under (the id this
+    /// client supplied, echoed back, or a server-assigned one).
+    pub trace_id: Option<u64>,
     /// The deterministic placement payload.
     pub result: PlacementResult,
+}
+
+/// A flight-recorder dump fetched with
+/// [`ServiceClient::dump_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDumpReply {
+    /// Events in the dump.
+    pub events: u64,
+    /// Events lost to ring overwrites before the dump.
+    pub dropped: u64,
+    /// Chrome Trace Event JSON (loads in Perfetto /
+    /// `chrome://tracing`).
+    pub chrome_json: String,
 }
 
 /// A blocking client over one TCP connection.
@@ -123,25 +139,60 @@ impl ServiceClient {
         }
     }
 
-    /// Runs (or cache-serves) one placement.
+    /// Runs (or cache-serves) one placement under a fresh
+    /// client-generated trace id.
     pub fn place(&mut self, job: &PlaceJob) -> Result<PlacedReply, ServiceError> {
+        self.place_traced(job, qplacer_obs::fresh_trace_id())
+    }
+
+    /// Runs (or cache-serves) one placement under `trace_id`: the
+    /// server's worker adopts the id for the duration of the job, so
+    /// every event in the daemon's timeline for this job carries it.
+    pub fn place_traced(
+        &mut self,
+        job: &PlaceJob,
+        trace_id: u64,
+    ) -> Result<PlacedReply, ServiceError> {
         let id = self.fresh_id();
         match self.call(Request::Place {
             id,
             job: job.clone(),
+            trace_id: Some(trace_id),
         })? {
             Reply::Placed {
                 cached,
                 wall_ms,
+                trace_id,
                 result,
                 ..
             } => Ok(PlacedReply {
                 cached,
                 wall_ms,
+                trace_id,
                 result,
             }),
             Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
             other => Err(unexpected("placed", &other)),
+        }
+    }
+
+    /// Fetches the server's flight recorder as a Chrome-trace dump —
+    /// the post-mortem view of what the daemon's threads were doing.
+    pub fn dump_trace(&mut self) -> Result<TraceDumpReply, ServiceError> {
+        let id = self.fresh_id();
+        match self.call(Request::DumpTrace { id })? {
+            Reply::TraceDump {
+                events,
+                dropped,
+                chrome_json,
+                ..
+            } => Ok(TraceDumpReply {
+                events,
+                dropped,
+                chrome_json,
+            }),
+            Reply::Error { code, message, .. } => Err(ServiceError::Remote { code, message }),
+            other => Err(unexpected("trace-dump", &other)),
         }
     }
 

@@ -61,7 +61,7 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{cache_key, cache_key_with_content, config_fingerprint, ResultCache};
-pub use client::{PlacedReply, ServiceClient, ServiceError};
+pub use client::{PlacedReply, ServiceClient, ServiceError, TraceDumpReply};
 pub use metrics::{
     bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics,
 };

@@ -31,8 +31,10 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// History: 0 = PR 4 baseline; 1 = device-zoo specs (heavy-hex /
 /// ring / ladder / defective / JSON import) + `invalid-device`;
 /// 2 = `metrics` Prometheus-text export + snapshot `uptime_ms` /
-/// `rejected_invalid_device` fields.
-pub const PROTOCOL_MINOR_VERSION: u32 = 2;
+/// `rejected_invalid_device` fields; 3 = trace-context propagation
+/// (`trace_id` on `place`/`placed`) + the `dump-trace` flight-recorder
+/// wire pair.
+pub const PROTOCOL_MINOR_VERSION: u32 = 3;
 
 /// One placement request payload: which device to lay out, with which
 /// strategy, under which pipeline budget.
@@ -114,6 +116,13 @@ pub enum Request {
         id: u64,
         /// What to place.
         job: PlaceJob,
+        /// Client-supplied 64-bit trace id (added in minor 3). The
+        /// worker serving this job adopts it as its trace context, so
+        /// every event the job records — placer, legalizer, assigner —
+        /// carries this id end to end. `None` lets the server assign
+        /// one; it lives on the envelope, **not** in [`PlaceJob`], so
+        /// it never perturbs the result-cache key.
+        trace_id: Option<u64>,
     },
     /// Fetch a [`MetricsSnapshot`].
     Stats {
@@ -128,6 +137,13 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+    /// Dump the server's flight recorder (added in minor 3): the
+    /// last-N-events-per-thread ring, rendered as a Chrome Trace Event
+    /// JSON document — the post-mortem view of a slow or wedged daemon.
+    DumpTrace {
         /// Correlation id, echoed in the reply.
         id: u64,
     },
@@ -149,6 +165,7 @@ impl Request {
             | Request::Stats { id }
             | Request::Metrics { id }
             | Request::Ping { id }
+            | Request::DumpTrace { id }
             | Request::Shutdown { id } => id,
         }
     }
@@ -161,16 +178,23 @@ impl Request {
 
     /// Parses one wire line.
     ///
-    /// Accepts the minor-0 (protocol 1.0) `hello` shape — which
-    /// predates the `minor` field — as `minor: 0`, so old clients can
-    /// still open a session against a 1.1+ server. (The reverse
-    /// direction needs no shim: unknown fields are ignored on parse,
-    /// so a 1.0 client reading a 1.1 `hello` reply simply skips
-    /// `minor`.)
+    /// Two back-compat shims keep older clients working against a
+    /// newer server:
+    ///
+    /// - the minor-0 (protocol 1.0) `hello` shape — which predates the
+    ///   `minor` field — parses as `minor: 0`;
+    /// - the pre-minor-3 `place` shape — which predates `trace_id` —
+    ///   parses as `trace_id: None`.
+    ///
+    /// (The reverse direction needs no shim: unknown fields are
+    /// ignored on parse, so an old client reading a newer message
+    /// simply skips the additions.)
     pub fn parse(line: &str) -> Result<Request, String> {
         match serde_json::from_str(line) {
             Ok(request) => Ok(request),
-            Err(e) => parse_minor0_hello(line).ok_or_else(|| format!("bad request: {e}")),
+            Err(e) => parse_minor0_hello(line)
+                .or_else(|| parse_pre_minor3_place(line))
+                .ok_or_else(|| format!("bad request: {e}")),
         }
     }
 }
@@ -194,6 +218,25 @@ fn parse_minor0_hello(line: &str) -> Option<Request> {
         version,
         minor: 0,
     })
+}
+
+/// The pre-minor-3 `place` wire shape: `{"Place":{"id":…,"job":…}}`
+/// with no `trace_id` field. Patches `trace_id: null` into the parsed
+/// value and re-runs the derived deserializer, so the legacy shape
+/// stays accepted without duplicating the job schema here.
+fn parse_pre_minor3_place(line: &str) -> Option<Request> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    let (tag, inner) = value.as_variant()?;
+    if tag != "Place" {
+        return None;
+    }
+    let fields = inner.as_map()?;
+    if fields.iter().any(|(k, _)| k == "trace_id") {
+        return None; // not the legacy shape — let the strict error stand
+    }
+    let mut patched = fields.to_vec();
+    patched.push(("trace_id".to_string(), serde::Value::Null));
+    Request::from_value(&serde::Value::variant_map("Place", patched)).ok()
 }
 
 /// Machine-readable error class in [`Reply::Error`].
@@ -321,6 +364,11 @@ pub enum Reply {
         cached: bool,
         /// Wall time from receipt to reply (ms). Non-deterministic.
         wall_ms: f64,
+        /// The trace id the job's events were recorded under (added in
+        /// minor 3): the client-supplied id echoed back, or the
+        /// server-assigned one when the request carried none. `None`
+        /// only for cache hits that never ran a pipeline.
+        trace_id: Option<u64>,
         /// The deterministic placement payload.
         result: PlacementResult,
     },
@@ -338,6 +386,18 @@ pub enum Reply {
         id: u64,
         /// Prometheus text exposition payload.
         text: String,
+    },
+    /// Answer to [`Request::DumpTrace`] (added in minor 3).
+    TraceDump {
+        /// Echoed correlation id.
+        id: u64,
+        /// Events in the dump.
+        events: u64,
+        /// Events lost to flight-ring overwrites before the dump.
+        dropped: u64,
+        /// The flight recorder rendered as a Chrome Trace Event JSON
+        /// document (loads in Perfetto / `chrome://tracing`).
+        chrome_json: String,
     },
     /// Answer to [`Request::Ping`].
     Pong {
@@ -369,6 +429,7 @@ impl Reply {
             | Reply::Placed { id, .. }
             | Reply::Stats { id, .. }
             | Reply::MetricsText { id, .. }
+            | Reply::TraceDump { id, .. }
             | Reply::Pong { id }
             | Reply::ShuttingDown { id }
             | Reply::Error { id, .. } => id,
@@ -381,10 +442,31 @@ impl Reply {
         serde_json::to_string(self).expect("protocol messages always serialize")
     }
 
-    /// Parses one wire line.
+    /// Parses one wire line. Accepts the pre-minor-3 `placed` shape
+    /// (no `trace_id` field) as `trace_id: None`, so a newer client can
+    /// still read replies from an older server.
     pub fn parse(line: &str) -> Result<Reply, String> {
-        serde_json::from_str(line).map_err(|e| format!("bad reply: {e}"))
+        match serde_json::from_str(line) {
+            Ok(reply) => Ok(reply),
+            Err(e) => parse_pre_minor3_placed(line).ok_or_else(|| format!("bad reply: {e}")),
+        }
     }
+}
+
+/// The pre-minor-3 `placed` wire shape: no `trace_id` field.
+fn parse_pre_minor3_placed(line: &str) -> Option<Reply> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    let (tag, inner) = value.as_variant()?;
+    if tag != "Placed" {
+        return None;
+    }
+    let fields = inner.as_map()?;
+    if fields.iter().any(|(k, _)| k == "trace_id") {
+        return None;
+    }
+    let mut patched = fields.to_vec();
+    patched.push(("trace_id".to_string(), serde::Value::Null));
+    Reply::from_value(&serde::Value::variant_map("Placed", patched)).ok()
 }
 
 #[cfg(test)]
@@ -396,6 +478,7 @@ mod tests {
         let req = Request::Place {
             id: 7,
             job: PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware),
+            trace_id: Some(0xdead_beef),
         };
         let back = Request::parse(&req.to_line()).unwrap();
         assert_eq!(req, back);
@@ -448,6 +531,75 @@ mod tests {
         // still fail, as does a hello with a malformed `minor`.
         assert!(Request::parse(r#"{"Place":{"id":1}}"#).is_err());
         assert!(Request::parse(r#"{"Hello":{"id":3,"version":1,"minor":"x"}}"#).is_err());
+    }
+
+    #[test]
+    fn pre_minor3_place_is_accepted_without_trace_id() {
+        // The minor-2 wire shape (no `trace_id`) must still parse.
+        let legacy = r#"{"Place":{"id":5,"job":{"device":"Falcon27","strategy":"FrequencyAware","profile":"Fast","segment_size_mm":null,"deadline_ms":null}}}"#;
+        match Request::parse(legacy).unwrap() {
+            Request::Place { id, trace_id, .. } => {
+                assert_eq!(id, 5);
+                assert_eq!(trace_id, None);
+            }
+            other => panic!("expected Place, got {other:?}"),
+        }
+        // The shim only fills a *missing* field: a malformed trace_id
+        // still fails.
+        assert!(
+            Request::parse(
+                r#"{"Place":{"id":5,"trace_id":"x","job":{"device":"Falcon27","strategy":"FrequencyAware","profile":"Fast","segment_size_mm":null,"deadline_ms":null}}}"#
+            )
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn pre_minor3_placed_reply_is_accepted_without_trace_id() {
+        let new = Reply::Placed {
+            id: 8,
+            cached: false,
+            wall_ms: 1.5,
+            trace_id: Some(42),
+            result: PlacementResult {
+                device: "falcon".to_string(),
+                strategy: "qplacer".to_string(),
+                instances: 0,
+                positions: Vec::new(),
+                place_iterations: 0,
+                hpwl_mm: 0.0,
+                mer_area_mm2: 0.0,
+                utilization: 0.0,
+                ph: 0.0,
+                violations: 0,
+                remaining_overlaps: 0,
+            },
+        };
+        // Strip trace_id from the wire line to fake an old server.
+        let line = new.to_line().replace("\"trace_id\":42,", "");
+        assert!(!line.contains("trace_id"));
+        match Reply::parse(&line).unwrap() {
+            Reply::Placed { id, trace_id, .. } => {
+                assert_eq!(id, 8);
+                assert_eq!(trace_id, None);
+            }
+            other => panic!("expected Placed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dump_trace_round_trips() {
+        let req = Request::DumpTrace { id: 21 };
+        assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        let reply = Reply::TraceDump {
+            id: 21,
+            events: 3,
+            dropped: 1,
+            chrome_json: "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}".to_string(),
+        };
+        let back = Reply::parse(&reply.to_line()).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(back.id(), 21);
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct QueuedJob {
     pub job: PlaceJob,
     /// Precomputed cache key ([`crate::cache::cache_key`]).
     pub key: u64,
+    /// Client-supplied trace id (envelope metadata, never part of the
+    /// cache key); the worker adopts it while executing the job.
+    pub trace_id: Option<u64>,
     /// When the job entered the queue (deadline + latency accounting).
     pub enqueued: Instant,
     /// Channel back to the owning connection's writer.
@@ -169,6 +172,7 @@ mod tests {
             id,
             key: id,
             job,
+            trace_id: None,
             enqueued: Instant::now(),
             reply_tx: tx,
         }

@@ -297,7 +297,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.begin_shutdown();
                 Some(Reply::ShuttingDown { id })
             }
-            Ok(Request::Place { id, job }) => handle_place(shared, id, job, &reply_tx),
+            Ok(Request::DumpTrace { id }) => {
+                let snapshot = qplacer_obs::event_snapshot();
+                Some(Reply::TraceDump {
+                    id,
+                    events: snapshot.events.len() as u64,
+                    dropped: snapshot.dropped,
+                    chrome_json: qplacer_obs::chrome_trace_json(&snapshot.events),
+                })
+            }
+            Ok(Request::Place { id, job, trace_id }) => {
+                handle_place(shared, id, job, trace_id, &reply_tx)
+            }
         };
         if let Some(reply) = reply {
             if reply_tx.send(reply).is_err() {
@@ -315,6 +326,7 @@ fn handle_place(
     shared: &Arc<Shared>,
     id: u64,
     job: crate::protocol::PlaceJob,
+    trace_id: Option<u64>,
     reply_tx: &Sender<Reply>,
 ) -> Option<Reply> {
     let received = Instant::now();
@@ -370,10 +382,13 @@ fn handle_place(
     };
     if let Some(result) = shared.cache.get(key) {
         shared.metrics.placed.fetch_add(1, Ordering::Relaxed);
+        // Cache hits never ran a pipeline under this request, so there
+        // is no timeline to correlate: `trace_id` is `None` by design.
         return Some(Reply::Placed {
             id,
             cached: true,
             wall_ms: received.elapsed().as_secs_f64() * 1e3,
+            trace_id: None,
             result: (*result).clone(),
         });
     }
@@ -386,6 +401,7 @@ fn handle_place(
         id,
         job,
         key,
+        trace_id,
         enqueued: received,
         reply_tx: reply_tx.clone(),
     };
@@ -425,6 +441,7 @@ fn handle_place(
 fn serve_warm(
     shared: &Arc<Shared>,
     queued: &QueuedJob,
+    trace_id: u64,
     ws: &mut PipelineWorkspace,
 ) -> Option<Reply> {
     let DeviceSpec::Defective {
@@ -459,6 +476,7 @@ fn serve_warm(
         id: queued.id,
         cached: false,
         wall_ms,
+        trace_id: Some(trace_id),
         result: (*result).clone(),
     })
 }
@@ -535,14 +553,21 @@ fn serve_one(
             id: queued.id,
             cached: true,
             wall_ms: queued.enqueued.elapsed().as_secs_f64() * 1e3,
+            trace_id: None,
             result: (*result).clone(),
         };
     }
+    // Every event the pipeline records below — warm or cold path —
+    // carries the request's trace id (or a server-assigned one when the
+    // client sent none), so one job's placer/legalizer/assigner events
+    // correlate even when sibling workers interleave on the timeline.
+    let trace_id = queued.trace_id.unwrap_or_else(qplacer_obs::fresh_trace_id);
+    let _trace_scope = qplacer_obs::adopt_trace_id(trace_id);
     // Cache miss, but maybe a *near* hit: a defective device whose base
     // was already placed under this exact strategy + configuration
     // warm-starts the whole pipeline from the base layout over the
     // yield delta (ECO re-placement) instead of placing cold.
-    if let Some(reply) = serve_warm(shared, queued, ws) {
+    if let Some(reply) = serve_warm(shared, queued, trace_id, ws) {
         return reply;
     }
     let (record, layout) = execute_job_with(plan, index, ws);
@@ -579,6 +604,7 @@ fn serve_one(
                 id: queued.id,
                 cached: false,
                 wall_ms,
+                trace_id: Some(trace_id),
                 result: (*result).clone(),
             }
         }

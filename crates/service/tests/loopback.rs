@@ -130,6 +130,7 @@ fn shutdown_drains_queued_jobs() {
         let req = Request::Place {
             id: 10 + i as u64,
             job: PlaceJob::fast(device.clone(), Strategy::FrequencyAware),
+            trace_id: None,
         };
         writeln!(stream, "{}", req.to_line()).unwrap();
     }

@@ -94,12 +94,29 @@ fn arb_request() -> impl Strategy<Value = Request> {
             version,
             minor
         }),
-        (id.clone(), arb_job()).prop_map(|(id, job)| Request::Place { id, job }),
+        (id.clone(), arb_job(), arb_trace_id()).prop_map(|(id, job, trace_id)| Request::Place {
+            id,
+            job,
+            trace_id
+        }),
+        id.clone().prop_map(|id| Request::DumpTrace { id }),
         id.clone().prop_map(|id| Request::Stats { id }),
         id.clone().prop_map(|id| Request::Metrics { id }),
         id.clone().prop_map(|id| Request::Ping { id }),
         id.prop_map(|id| Request::Shutdown { id }),
     ]
+}
+
+/// `None` or a spread-out nonzero id — exercises both the legacy
+/// (absent) and the minor-3 (present) envelope shapes.
+fn arb_trace_id() -> impl Strategy<Value = Option<u64>> {
+    (0u64..4).prop_map(|t| {
+        if t == 0 {
+            None
+        } else {
+            Some(t.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+    })
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
@@ -212,12 +229,26 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
             minor,
             server
         }),
-        (id.clone(), 0u32..2, 0.0f64..5e3, arb_result()).prop_map(
-            |(id, cached, wall_ms, result)| Reply::Placed {
+        (
+            id.clone(),
+            0u32..2,
+            0.0f64..5e3,
+            arb_trace_id(),
+            arb_result()
+        )
+            .prop_map(|(id, cached, wall_ms, trace_id, result)| Reply::Placed {
                 id,
                 cached: cached == 1,
                 wall_ms,
+                trace_id,
                 result
+            }),
+        (id.clone(), 0u64..5_000, 0u64..500, arb_message()).prop_map(
+            |(id, events, dropped, chrome_json)| Reply::TraceDump {
+                id,
+                events,
+                dropped,
+                chrome_json
             }
         ),
         (id.clone(), arb_metrics()).prop_map(|(id, metrics)| Reply::Stats { id, metrics }),

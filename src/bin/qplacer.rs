@@ -9,19 +9,21 @@
 //! qplacer sweep    <topology>            # l_b ablation on one device
 //! qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
 //!                  [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+//!                  [--chrome FILE]
 //! qplacer replace  <topology> (--drop-coupler A-B | --drop-qubit N
 //!                  | --yield PCT [--seed S]) [--strategy S] [--fast]
 //! qplacer profile  <topology> [--strategy qplacer|classic] [--levels N]
-//!                  [--fast]
+//!                  [--fast] [--chrome FILE] [--folded FILE]
 //! qplacer suite    [--devices a,b,..] [--strategies s,..]
 //!                  [--benchmarks b,..] [--subsets N] [--seeds N]
 //!                  [--threads N] [--fast] [--levels N]
 //!                  [--jsonl FILE] [--csv FILE]
 //! qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N]
-//!                  [--cache N] [--batch N]
+//!                  [--cache N] [--batch N] [--flight N]
 //! qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
 //!                  [--segment <mm>] [--count N] [--deadline MS]
 //! qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
+//! qplacer dump-trace [--addr HOST:PORT] [--out FILE]
 //! qplacer shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -50,6 +52,15 @@
 //! `profile` runs one placement with span timing enabled and prints the
 //! aggregated span tree; `stats --format prometheus` fetches the
 //! server's metrics in the Prometheus text exposition format.
+//!
+//! Event timelines: `profile --chrome FILE` / `--folded FILE` capture
+//! the placement's begin/end event stream and export it as Chrome
+//! Trace Event JSON (loads in Perfetto / `chrome://tracing`) or
+//! collapsed flamegraph stacks; `e2e --chrome FILE` does the same
+//! across the device list, one trace id per device. `serve` keeps an
+//! always-on bounded flight recorder (`--flight N` events per thread,
+//! overwrite-oldest), and `dump-trace` fetches it from a running
+//! daemon as Chrome-trace JSON — the post-mortem view.
 
 use std::process::ExitCode;
 
@@ -78,6 +89,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "dump-trace" => cmd_dump_trace(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -104,17 +116,20 @@ const USAGE: &str = "usage:
   qplacer sweep    <topology>
   qplacer e2e      [--devices a,b,..] [--strategy qplacer|classic]
                    [--segment <mm>] [--levels N] [--fast] [--trace FILE]
+                   [--chrome FILE]
   qplacer replace  <topology> (--drop-coupler A-B[,C-D..] | --drop-qubit N[,M..]
                    | --yield PCT [--seed S]) [--strategy qplacer|classic] [--fast]
   qplacer profile  <topology> [--strategy qplacer|classic] [--levels N] [--fast]
+                   [--chrome FILE] [--folded FILE]
   qplacer suite    [--devices a,b,..] [--strategies s,..] [--benchmarks b,..]
                    [--subsets N] [--seeds N] [--threads N] [--fast] [--levels N]
                    [--jsonl FILE] [--csv FILE]
   qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                   [--batch N]
+                   [--batch N] [--flight N]
   qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
                    [--segment <mm>] [--count N] [--deadline MS]
   qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
+  qplacer dump-trace [--addr HOST:PORT] [--out FILE]
   qplacer shutdown [--addr HOST:PORT]
 
 topologies (device zoo):
@@ -402,6 +417,12 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     let mut trace = flag_value(args, "--trace")
         .map(|path| JsonlTraceSink::create(path).map_err(|e| format!("create {path}: {e}")))
         .transpose()?;
+    let chrome = flag_value(args, "--chrome");
+    if chrome.is_some() {
+        qplacer::obs::set_spans_enabled(true);
+        qplacer::obs::set_event_mode(qplacer::obs::EventMode::Capture);
+        qplacer::obs::clear_events();
+    }
     let engine = Qplacer::new(config);
     let mut ws = PipelineWorkspace::new();
     println!(
@@ -411,6 +432,10 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     let mut dirty = 0usize;
     for spec in devices {
         let device = spec.try_build().map_err(|e| e.to_string())?;
+        // One trace id per device keeps the exported timeline separable.
+        let _scope = chrome
+            .is_some()
+            .then(|| qplacer::adopt_trace_id(qplacer::fresh_trace_id()));
         let layout = match trace.as_mut() {
             Some(sink) => {
                 sink.set_label(Some(device.name().to_string()));
@@ -442,6 +467,13 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
     if let Some(sink) = trace {
         sink.finish().map_err(|e| format!("writing trace: {e}"))?;
         println!("wrote {}", flag_value(args, "--trace").unwrap_or_default());
+    }
+    if let Some(path) = chrome {
+        let snapshot = qplacer::event_snapshot();
+        qplacer::obs::set_event_mode(qplacer::obs::EventMode::Off);
+        std::fs::write(path, qplacer::chrome_trace_json(&snapshot.events))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} ({} events)", snapshot.events.len());
     }
     if dirty > 0 {
         return Err(format!("{dirty} device(s) kept residual overlaps"));
@@ -554,7 +586,10 @@ fn cmd_replace(args: &[String]) -> Result<(), String> {
 
 /// Runs one placement with span timing enabled and prints the
 /// aggregated span tree (count, total wall time, share of the parent
-/// span) — the quick "where does the time go" view.
+/// span) — the quick "where does the time go" view. With `--chrome` /
+/// `--folded`, additionally captures the event timeline and writes it
+/// as Chrome Trace Event JSON / collapsed flamegraph stacks — the same
+/// spans, event by event instead of aggregated.
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("profile needs a topology")?;
     let device = parse_topology(name)?;
@@ -570,10 +605,18 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     if let Some(levels) = levels_flag(args)? {
         config.placer.levels = levels;
     }
+    let chrome = flag_value(args, "--chrome");
+    let folded = flag_value(args, "--folded");
+    let capture_events = chrome.is_some() || folded.is_some();
     qplacer::obs::set_spans_enabled(true);
     qplacer::obs::reset_spans();
+    if capture_events {
+        qplacer::obs::set_event_mode(qplacer::obs::EventMode::Capture);
+        qplacer::obs::clear_events();
+    }
     let engine = Qplacer::new(config);
     let mut ws = PipelineWorkspace::new();
+    let _scope = qplacer::adopt_trace_id(qplacer::fresh_trace_id());
     let layout = engine.place_with(&device, strategy, &mut ws);
     println!(
         "{} / {}: {} cells, {:.2} s wall",
@@ -583,6 +626,20 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         (layout.timings.assign_ms + layout.timings.place_ms + layout.timings.legalize_ms) / 1e3,
     );
     print!("{}", qplacer::render_span_tree());
+    if capture_events {
+        let snapshot = qplacer::event_snapshot();
+        qplacer::obs::set_event_mode(qplacer::obs::EventMode::Off);
+        if let Some(path) = chrome {
+            std::fs::write(path, qplacer::chrome_trace_json(&snapshot.events))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path} ({} events)", snapshot.events.len());
+        }
+        if let Some(path) = folded {
+            std::fs::write(path, qplacer::folded_stacks(&snapshot.events))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
     // How often the spectral solver fell back to the O(n²) naive DCT:
     // nonzero means some bin-grid length dodged every fast path.
     println!(
@@ -710,7 +767,17 @@ fn connect(args: &[String]) -> Result<ServiceClient, String> {
 }
 
 /// Runs the placement daemon until a `shutdown` request drains it.
+///
+/// The daemon keeps an always-on flight recorder: spans record into
+/// bounded per-thread rings (`--flight N` events per thread,
+/// overwrite-oldest, so memory stays fixed no matter the uptime), and
+/// `qplacer dump-trace` fetches the retained window as Chrome-trace
+/// JSON for post-mortem inspection.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flight: usize = numeric_flag(args, "--flight", qplacer::obs::DEFAULT_FLIGHT_CAPACITY)?;
+    qplacer::obs::set_flight_capacity(flight);
+    qplacer::obs::set_spans_enabled(true);
+    qplacer::set_event_mode(qplacer::EventMode::Flight);
     let config = ServiceConfig {
         addr: service_addr(args).to_string(),
         workers: numeric_flag(args, "--workers", 0usize)?,
@@ -820,6 +887,24 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             h.quantile_upper_bound_ms(0.5),
             h.quantile_upper_bound_ms(0.99),
         );
+    }
+    Ok(())
+}
+
+/// Fetches the daemon's flight recorder as Chrome-trace JSON — what
+/// the server's threads were doing lately, loadable in Perfetto.
+fn cmd_dump_trace(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    let dump = client.dump_trace().map_err(|e| e.to_string())?;
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &dump.chrome_json).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "wrote {path} ({} events, {} overwritten by the ring)",
+                dump.events, dump.dropped
+            );
+        }
+        None => println!("{}", dump.chrome_json),
     }
     Ok(())
 }
@@ -949,7 +1034,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_command_prints_a_span_tree() {
+    fn profile_command_prints_a_span_tree_and_exports_timelines() {
         let args: Vec<String> = ["grid", "--fast"].iter().map(|s| s.to_string()).collect();
         assert!(cmd_profile(&args).is_ok());
         // At least the pipeline root span must have been recorded.
@@ -962,6 +1047,30 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_profile(&bad).is_err());
+
+        // --chrome / --folded capture the event timeline and write the
+        // two export formats. Same test (not a sibling) because profile
+        // toggles the process-global span/event gates.
+        let dir = std::env::temp_dir().join("qplacer-cli-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("trace.json").to_string_lossy().into_owned();
+        let folded = dir.join("stacks.txt").to_string_lossy().into_owned();
+        let args: Vec<String> = ["grid", "--fast", "--chrome", &chrome, "--folded", &folded]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_profile(&args).is_ok());
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid Chrome JSON");
+        let map = value.as_map().expect("top-level object");
+        assert!(map.iter().any(|(k, _)| k == "traceEvents"));
+        assert!(text.contains("\"name\":\"pipeline\""));
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(
+            stacks.lines().any(|l| l.starts_with("pipeline")),
+            "folded stacks must root at the pipeline span: {stacks}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1006,6 +1115,16 @@ mod tests {
         };
         assert!(cmd_submit(&args(&["grid", "--fast", "--count", "2"])).is_ok());
         assert!(cmd_stats(&args(&[])).is_ok());
+        // dump-trace round-trips the flight-recorder wire pair; the
+        // payload is valid Chrome JSON even with recording off.
+        let dir = std::env::temp_dir().join("qplacer-cli-dump-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("dump.json").to_string_lossy().into_owned();
+        assert!(cmd_dump_trace(&args(&["--out", &out])).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid Chrome JSON");
+        assert!(value.as_map().is_some());
+        std::fs::remove_dir_all(&dir).ok();
         assert!(cmd_shutdown(&args(&[])).is_ok());
         server.join();
     }

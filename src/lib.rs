@@ -94,12 +94,15 @@ pub use qplacer_metrics::{
 };
 pub use qplacer_netlist::{CouplingKind, NetlistConfig, QuantumNetlist};
 pub use qplacer_obs::{
-    render_prometheus, render_span_tree, JsonlTraceSink, LatencyHistogram, NullTraceSink, Registry,
-    RingTraceSink, TraceRecord, TraceSink,
+    adopt_trace_id, chrome_trace_json, clear_events, current_trace_id, duration_totals_ns,
+    event_mode, event_snapshot, folded_stacks, fresh_trace_id, render_prometheus, render_span_tree,
+    set_event_mode, set_flight_capacity, EventKind, EventMode, EventSnapshot, JsonlTraceSink,
+    LatencyHistogram, NullTraceSink, Registry, RingTraceSink, TimelineEvent, TraceRecord,
+    TraceScope, TraceSink,
 };
 pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
 pub use qplacer_service::{
     MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
-    PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+    TraceDumpReply, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
 pub use qplacer_topology::{DefectMap, Topology, TopologyDelta};
