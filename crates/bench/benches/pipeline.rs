@@ -13,7 +13,7 @@ use qplacer_circuits::{generators, Router, Schedule};
 use qplacer_freq::FrequencyAssigner;
 use qplacer_metrics::{evaluate_benchmark, AreaMetrics, HotspotConfig, HotspotReport};
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
-use qplacer_place::{GlobalPlacer, PlacerConfig};
+use qplacer_place::{ExecOptions, GlobalPlacer, PlacerConfig};
 use qplacer_topology::Topology;
 
 fn bench_assignment(c: &mut Criterion) {
@@ -46,7 +46,7 @@ fn bench_global_placement(c: &mut Criterion) {
             |b, nl| {
                 b.iter(|| {
                     let mut work = nl.clone();
-                    GlobalPlacer::new(cfg).run(&mut work)
+                    GlobalPlacer::new(cfg).execute(&mut work, ExecOptions::default())
                 })
             },
         );
@@ -62,7 +62,7 @@ fn bench_legalization(c: &mut Criterion) {
         let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
         let mut cfg = PlacerConfig::paper();
         cfg.max_iterations = 150;
-        GlobalPlacer::new(cfg).run(&mut netlist);
+        GlobalPlacer::new(cfg).execute(&mut netlist, ExecOptions::default());
         group.bench_with_input(
             BenchmarkId::from_parameter(device.name().to_string()),
             &netlist,
@@ -83,7 +83,7 @@ fn bench_metrics(c: &mut Criterion) {
     let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
     let mut cfg = PlacerConfig::paper();
     cfg.max_iterations = 150;
-    GlobalPlacer::new(cfg).run(&mut netlist);
+    GlobalPlacer::new(cfg).execute(&mut netlist, ExecOptions::default());
     Legalizer::default().run(&mut netlist);
 
     let mut group = c.benchmark_group("metrics_falcon");

@@ -6,7 +6,7 @@
 //! 4. frequency-assignment conflict radius (1 vs 2 hops),
 //! 5. router policy (greedy shortest-path vs SABRE lookahead).
 
-use qplacer::{FrequencyAssigner, Legalizer, PipelineConfig, Qplacer, Strategy};
+use qplacer::{ExecOptions, FrequencyAssigner, Legalizer, PipelineConfig, Qplacer, Strategy};
 use qplacer_circuits::{generators, Router, SabreRouter};
 use qplacer_freq::Spectrum;
 use qplacer_legal::QubitLegalizerKind;
@@ -22,7 +22,8 @@ fn main() {
         let mut cfg = PipelineConfig::paper();
         cfg.placer.freq_weight = fw;
         cfg.placer.frequency_aware = fw > 0.0;
-        let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+        let layout =
+            Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let hs = layout.hotspots();
         let f = layout
             .evaluate(&device, &generators::bv(9), 20, 0xAB)
@@ -40,7 +41,8 @@ fn main() {
     for margin in [0.0, 0.3] {
         let mut cfg = PipelineConfig::paper();
         cfg.legalizer = Legalizer::default().with_resonant_margin(margin);
-        let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+        let layout =
+            Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let hs = layout.hotspots();
         println!(
             "  margin={margin:<4} Ph={:5.2}% impacted={:2}",
@@ -57,7 +59,8 @@ fn main() {
     ] {
         let mut cfg = PipelineConfig::paper();
         cfg.legalizer = Legalizer::default().with_qubit_legalizer(kind);
-        let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+        let layout =
+            Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let legal = layout.legalization.as_ref().unwrap();
         let hs = layout.hotspots();
         println!(
@@ -78,7 +81,8 @@ fn main() {
             Spectrum::paper_resonator_band(),
             radius,
         );
-        let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+        let layout =
+            Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let hs = layout.hotspots();
         let f = layout
             .evaluate(&device, &generators::bv(9), 20, 0xAB)

@@ -1,5 +1,5 @@
 //! Internal calibration probe: QPlacer vs Classic vs Human on one device.
-use qplacer::{PipelineConfig, Qplacer, Strategy};
+use qplacer::{ExecOptions, PipelineConfig, Qplacer, Strategy};
 use qplacer_circuits::generators;
 use qplacer_topology::Topology;
 
@@ -26,7 +26,7 @@ fn main() {
     let engine = Qplacer::new(config);
     for strategy in [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human] {
         let t0 = std::time::Instant::now();
-        let layout = engine.place(&device, strategy);
+        let layout = engine.execute(&device, strategy, ExecOptions::default());
         let secs = t0.elapsed().as_secs_f64();
         let hs = layout.hotspots();
         let area = layout.area();

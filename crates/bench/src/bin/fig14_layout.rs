@@ -1,12 +1,16 @@
 //! Figure 14: the Falcon layout prototype — frequency plan in, optimized
 //! layout out, artwork exported (SVG = Fig. 14-b, GDS-lite = Fig. 14-c).
 
-use qplacer::{PipelineConfig, Qplacer, Strategy};
+use qplacer::{ExecOptions, PipelineConfig, Qplacer, Strategy};
 use qplacer_topology::Topology;
 
 fn main() {
     let device = Topology::falcon27();
-    let layout = Qplacer::new(PipelineConfig::paper()).place(&device, Strategy::FrequencyAware);
+    let layout = Qplacer::new(PipelineConfig::paper()).execute(
+        &device,
+        Strategy::FrequencyAware,
+        ExecOptions::default(),
+    );
 
     let area = layout.area();
     let hs = layout.hotspots();

@@ -1,7 +1,7 @@
 //! Figure 15: substrate utilization and hotspot proportion P_h for
 //! segment sizes l_b ∈ {0.2, 0.3, 0.4} mm on every topology.
 
-use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy};
+use qplacer::{ExecOptions, NetlistConfig, PipelineConfig, Qplacer, Strategy};
 use qplacer_topology::Topology;
 
 fn main() {
@@ -17,7 +17,11 @@ fn main() {
         for (i, lb) in [0.2, 0.3, 0.4].into_iter().enumerate() {
             let mut cfg = PipelineConfig::paper();
             cfg.netlist = NetlistConfig::with_segment_size(lb);
-            let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+            let layout = Qplacer::new(cfg).execute(
+                &device,
+                Strategy::FrequencyAware,
+                ExecOptions::default(),
+            );
             let util = layout.area().utilization;
             let ph = layout.hotspots().ph * 100.0;
             print!("  util={:.3} Ph={:4.2}", util, ph);

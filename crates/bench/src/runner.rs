@@ -7,7 +7,7 @@
 //! this helper remains for callers that need the placed layouts
 //! themselves (e.g. `fig01` renders geometry from them).
 
-use qplacer::{PipelineConfig, PlacedLayout, Qplacer, Strategy};
+use qplacer::{ExecOptions, PipelineConfig, PlacedLayout, Qplacer, Strategy};
 use qplacer_topology::Topology;
 
 /// One strategy's placed layout plus its runtime.
@@ -29,7 +29,7 @@ pub fn run_all_strategies(device: &Topology, config: PipelineConfig) -> Vec<Stra
         .into_iter()
         .map(|strategy| {
             let start = std::time::Instant::now();
-            let layout = engine.place(device, strategy);
+            let layout = engine.execute(device, strategy, ExecOptions::default());
             StrategyOutcome {
                 strategy,
                 layout,

@@ -12,7 +12,7 @@
 //! `batch_sweep.jsonl`, and prints the per-arm summary table.
 
 use qplacer_harness::{
-    DeviceSpec, ExperimentPlan, JsonlSink, MemorySink, Runner, Strategy, Summary,
+    DeviceSpec, ExperimentPlan, JsonlSink, MemorySink, RunOptions, Runner, Strategy, Summary,
 };
 
 fn main() -> std::io::Result<()> {
@@ -43,7 +43,15 @@ fn main() -> std::io::Result<()> {
 
     let mut jsonl = JsonlSink::create("batch_sweep.jsonl")?;
     let mut memory = MemorySink::new();
-    let report = runner.run_with_sinks(&plan, &mut [&mut jsonl, &mut memory])?;
+    let report = runner
+        .execute(
+            &plan,
+            RunOptions {
+                sinks: vec![&mut jsonl, &mut memory],
+                ..Default::default()
+            },
+        )?
+        .report;
 
     print!("{}", Summary::table(&report.summaries()));
     println!(

@@ -30,7 +30,7 @@
 //!
 //! ```
 //! use qplacer_harness::{
-//!     DeviceSpec, ExperimentPlan, MemorySink, Profile, Runner, Strategy,
+//!     DeviceSpec, ExperimentPlan, MemorySink, Profile, RunOptions, Runner, Strategy,
 //! };
 //!
 //! // A 1-device × 2-strategy × 1-benchmark × 2-seed grid (4 jobs).
@@ -46,8 +46,9 @@
 //!
 //! let mut sink = MemorySink::new();
 //! let report = Runner::new(2)
-//!     .run_with_sinks(&plan, &mut [&mut sink])
-//!     .unwrap();
+//!     .execute(&plan, RunOptions { sinks: vec![&mut sink], ..Default::default() })
+//!     .unwrap()
+//!     .report;
 //!
 //! assert_eq!(report.records.len(), 4);
 //! assert!(report.failures().is_empty());
@@ -69,10 +70,13 @@ pub mod sink;
 pub mod summary;
 
 pub use pipeline::{
-    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
+    ExecOptions, PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
 };
 pub use plan::{DeviceError, DeviceSpec, ExperimentPlan, JobSpec, Profile};
 pub use replace::ReplaceReport;
-pub use runner::{execute_job_traced, execute_job_with, JobRecord, JobStatus, RunReport, Runner};
+pub use runner::{
+    execute_job_traced, execute_job_with, JobRecord, JobStatus, RunOptions, RunOutcome, RunReport,
+    Runner,
+};
 pub use sink::{CsvSink, JsonlSink, MemorySink, Sink};
 pub use summary::{ArmSummary, Summary};

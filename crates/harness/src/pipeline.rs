@@ -14,7 +14,9 @@ use qplacer_metrics::{
 };
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
 use qplacer_obs::{NullTraceSink, TraceSink};
-use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
+use qplacer_place::{
+    ExecOptions as PlacerExecOptions, GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace,
+};
 use qplacer_topology::Topology;
 
 /// Which placement scheme to run (the paper's three comparison arms,
@@ -48,7 +50,7 @@ pub struct PipelineConfig {
     /// Netlist geometry (padding, segment size, utilization target).
     pub netlist: NetlistConfig,
     /// Global placement settings (frequency awareness is overridden by
-    /// the [`Strategy`] passed to [`Qplacer::place`]).
+    /// the [`Strategy`] passed to [`Qplacer::execute`]).
     pub placer: PlacerConfig,
     /// Legalization settings.
     pub legalizer: Legalizer,
@@ -87,14 +89,14 @@ impl Default for PipelineConfig {
 
 /// Reusable buffers for every pipeline stage, mirroring each stage's own
 /// workspace type. One of these threaded through
-/// [`Qplacer::place_with`] makes repeat placements (sweeps, benchmarks)
+/// [`ExecOptions::workspace`] makes repeat placements (sweeps, benchmarks)
 /// reuse the frequency-assignment conflict graphs, the placer's spectral
 /// scratch, and the legalizer's bitmap/grid/candidate buffers.
 #[derive(Debug, Default)]
 pub struct PipelineWorkspace {
     /// Frequency-assignment buffers ([`FrequencyAssigner::assign_with`]).
     pub freq: FreqWorkspace,
-    /// Global-placement buffers ([`GlobalPlacer::run_with`]).
+    /// Global-placement buffers ([`qplacer_place::ExecOptions::workspace`]).
     pub placer: PlacerWorkspace,
     /// Legalization buffers ([`Legalizer::run_with`]).
     pub legal: LegalWorkspace,
@@ -200,6 +202,36 @@ pub struct Qplacer {
     config: PipelineConfig,
 }
 
+/// Options for [`Qplacer::execute`] and [`Qplacer::execute_replace`] —
+/// the single entry points that replaced the `place` / `place_with` /
+/// `place_traced` and `replace` / `replace_with` / `replace_traced`
+/// method families. `Default` is an untraced run with an internal
+/// scratch workspace under the ambient trace context; each field opts
+/// into one capability independently.
+#[derive(Default)]
+pub struct ExecOptions<'a> {
+    /// Caller-owned stage buffers, reused across runs (sweeps reusing
+    /// one workspace per worker pay the buffer build-out once); `None`
+    /// builds a fresh [`PipelineWorkspace`] internally.
+    pub workspace: Option<&'a mut PipelineWorkspace>,
+    /// Convergence-telemetry sink: per-phase
+    /// [`FreqPhase`] records from the assigner, one [`PlaceIteration`]
+    /// record per global-placement iteration, and per-phase
+    /// [`LegalPhase`] records from the legalizer. Telemetry is
+    /// observational only — the returned layout is bit-identical to the
+    /// untraced path.
+    ///
+    /// [`FreqPhase`]: qplacer_obs::TraceRecord::FreqPhase
+    /// [`PlaceIteration`]: qplacer_obs::TraceRecord::PlaceIteration
+    /// [`LegalPhase`]: qplacer_obs::TraceRecord::LegalPhase
+    pub sink: Option<&'a mut dyn TraceSink>,
+    /// Event-capture correlation: adopt this trace-context id on the
+    /// executing thread before the run, so every timeline event the
+    /// pipeline records (see [`qplacer_obs::event_snapshot`]) carries
+    /// it. `None` leaves the thread's current context untouched.
+    pub trace_id: Option<u64>,
+}
+
 impl Qplacer {
     /// Pipeline with the paper's configuration.
     #[must_use]
@@ -225,20 +257,46 @@ impl Qplacer {
         &self.config
     }
 
-    /// Runs the pipeline on `device` with the chosen strategy.
-    ///
-    /// Allocating convenience wrapper around [`Qplacer::place_with`].
+    /// Runs the pipeline (assignment → placement → legalization) on
+    /// `device` with the chosen strategy. The single entry point:
+    /// workspace reuse, convergence telemetry, and event-capture
+    /// correlation are all [`ExecOptions`] fields, each defaulting to
+    /// off. Per-stage wall times land in the returned layout's
+    /// [`StageTimings`].
     #[must_use]
-    pub fn place(&self, device: &Topology, strategy: Strategy) -> PlacedLayout {
-        let mut ws = PipelineWorkspace::new();
-        self.place_with(device, strategy, &mut ws)
+    pub fn execute(
+        &self,
+        device: &Topology,
+        strategy: Strategy,
+        opts: ExecOptions<'_>,
+    ) -> PlacedLayout {
+        let ExecOptions {
+            workspace,
+            sink,
+            trace_id,
+        } = opts;
+        let _trace = trace_id.map(qplacer_obs::adopt_trace_id);
+        let mut scratch;
+        let ws = match workspace {
+            Some(ws) => ws,
+            None => {
+                scratch = PipelineWorkspace::new();
+                &mut scratch
+            }
+        };
+        let mut null = NullTraceSink;
+        self.place_core(device, strategy, ws, sink.unwrap_or(&mut null))
     }
 
-    /// Like [`Qplacer::place`], but threads a persistent
-    /// [`PipelineWorkspace`] through every stage (assignment → placement →
-    /// legalization) and records per-stage wall times in the returned
-    /// layout's [`StageTimings`]. Sweeps reusing one workspace per worker
-    /// pay the buffer build-out once.
+    /// Untraced run with an internal workspace.
+    #[deprecated(note = "use `execute` with `ExecOptions::default()`")]
+    #[must_use]
+    pub fn place(&self, device: &Topology, strategy: Strategy) -> PlacedLayout {
+        self.execute(device, strategy, ExecOptions::default())
+    }
+
+    /// Untraced run reusing a caller-owned workspace.
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, .. }`")]
     #[must_use]
     pub fn place_with(
         &self,
@@ -246,21 +304,38 @@ impl Qplacer {
         strategy: Strategy,
         ws: &mut PipelineWorkspace,
     ) -> PlacedLayout {
-        self.place_traced(device, strategy, ws, &mut NullTraceSink)
+        self.execute(
+            device,
+            strategy,
+            ExecOptions {
+                workspace: Some(ws),
+                ..Default::default()
+            },
+        )
     }
 
-    /// Like [`Qplacer::place_with`], but streams convergence telemetry
-    /// into `sink`: per-phase [`FreqPhase`] records from the assigner,
-    /// one [`PlaceIteration`] record per global-placement iteration, and
-    /// per-phase [`LegalPhase`] records from the legalizer. Telemetry is
-    /// observational only — the returned layout is bit-identical to the
-    /// untraced path.
-    ///
-    /// [`FreqPhase`]: qplacer_obs::TraceRecord::FreqPhase
-    /// [`PlaceIteration`]: qplacer_obs::TraceRecord::PlaceIteration
-    /// [`LegalPhase`]: qplacer_obs::TraceRecord::LegalPhase
+    /// Run with a convergence-telemetry sink.
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, sink, .. }`")]
     #[must_use]
     pub fn place_traced(
+        &self,
+        device: &Topology,
+        strategy: Strategy,
+        ws: &mut PipelineWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> PlacedLayout {
+        self.execute(
+            device,
+            strategy,
+            ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                trace_id: None,
+            },
+        )
+    }
+
+    pub(crate) fn place_core(
         &self,
         device: &Topology,
         strategy: Strategy,
@@ -292,8 +367,14 @@ impl Qplacer {
                 let mut netlist = QuantumNetlist::build(device, &assignment, &self.config.netlist);
                 let mut placer_cfg = self.config.placer;
                 placer_cfg.frequency_aware = strategy == Strategy::FrequencyAware;
-                let placement =
-                    GlobalPlacer::new(placer_cfg).run_traced(&mut netlist, &mut ws.placer, sink);
+                let placement = GlobalPlacer::new(placer_cfg).execute(
+                    &mut netlist,
+                    PlacerExecOptions {
+                        workspace: Some(&mut ws.placer),
+                        sink: Some(sink),
+                        pinned: None,
+                    },
+                );
                 timings.place_ms = placement.elapsed_seconds * 1e3;
                 // The τ-checked (resonance-aware) legalization passes are a
                 // QPlacer contribution (§IV-C2); the Classic arm gets the
@@ -327,7 +408,7 @@ mod tests {
     #[test]
     fn qplacer_strategy_produces_legal_compact_layouts() {
         let device = Topology::grid(3, 3);
-        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, Default::default());
         assert_eq!(layout.strategy, Strategy::FrequencyAware);
         assert!(layout.placement.is_some());
         let legal = layout.legalization.as_ref().unwrap();
@@ -339,7 +420,7 @@ mod tests {
     #[test]
     fn human_strategy_skips_engine() {
         let device = Topology::grid(3, 3);
-        let layout = Qplacer::fast().place(&device, Strategy::Human);
+        let layout = Qplacer::fast().execute(&device, Strategy::Human, Default::default());
         assert!(layout.placement.is_none());
         assert!(layout.legalization.is_none());
         assert_eq!(layout.hotspots().violations.len(), 0);
@@ -349,8 +430,8 @@ mod tests {
     fn qplacer_beats_classic_on_hotspots() {
         let device = Topology::grid(3, 3);
         let engine = Qplacer::fast();
-        let aware = engine.place(&device, Strategy::FrequencyAware);
-        let classic = engine.place(&device, Strategy::Classic);
+        let aware = engine.execute(&device, Strategy::FrequencyAware, Default::default());
+        let classic = engine.execute(&device, Strategy::Classic, Default::default());
         assert!(
             aware.hotspots().ph <= classic.hotspots().ph + 1e-12,
             "aware {} vs classic {}",
@@ -363,8 +444,8 @@ mod tests {
     fn human_layout_is_larger_than_qplacer() {
         let device = Topology::falcon27();
         let engine = Qplacer::fast();
-        let aware = engine.place(&device, Strategy::FrequencyAware);
-        let human = engine.place(&device, Strategy::Human);
+        let aware = engine.execute(&device, Strategy::FrequencyAware, Default::default());
+        let human = engine.execute(&device, Strategy::Human, Default::default());
         assert!(
             human.area().mer_area > aware.area().mer_area,
             "human {} !> qplacer {}",
@@ -376,7 +457,7 @@ mod tests {
     #[test]
     fn evaluation_runs_end_to_end() {
         let device = Topology::grid(3, 3);
-        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, Default::default());
         let eval = layout.evaluate(&device, &qplacer_circuits::generators::bv(4), 3, 1);
         assert_eq!(eval.fidelities.len(), 3);
         for f in &eval.fidelities {
@@ -387,7 +468,7 @@ mod tests {
     #[test]
     fn artwork_exports_work() {
         let device = Topology::grid(2, 2);
-        let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+        let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, Default::default());
         assert!(layout.svg().starts_with("<svg"));
         assert!(layout.gds("TOP").contains("STRNAME TOP"));
     }

@@ -1,7 +1,7 @@
 //! Incremental (ECO-style) re-placement: warm-start the whole pipeline
 //! from a cached [`PlacedLayout`] over a [`TopologyDelta`].
 //!
-//! The flow mirrors a cold [`Qplacer::place_with`] run stage for stage,
+//! The flow mirrors a cold [`Qplacer::execute`] run stage for stage,
 //! but every stage consumes the previous result:
 //!
 //! 1. **Frequencies** — clean qubits/resonators keep their previous
@@ -17,7 +17,7 @@
 //! 3. **Global placement** — instances whose structure *and* frequency
 //!    are untouched are pinned: they contribute to the density and
 //!    frequency fields but never move
-//!    ([`qplacer_place::GlobalPlacer::run_warm_traced`], always the
+//!    ([`qplacer_place::ExecOptions::pinned`], always the
 //!    flat engine with a reduced iteration floor).
 //! 4. **Legalization** — pinned instances are pre-marked into the
 //!    occupancy bitmap and resonance tracker; only unpinned instances
@@ -40,7 +40,9 @@ use qplacer_obs::{NullTraceSink, TraceSink};
 use qplacer_place::GlobalPlacer;
 use qplacer_topology::{Topology, TopologyDelta, TopologyError};
 
-use crate::pipeline::{PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy};
+use crate::pipeline::{
+    ExecOptions, PipelineWorkspace, PlacedLayout, Qplacer, StageTimings, Strategy,
+};
 
 /// Iteration floor for warm global placement: the seed is an
 /// already-legal layout, so the overflow stop may fire almost
@@ -68,29 +70,60 @@ pub struct ReplaceReport {
 
 impl Qplacer {
     /// Re-places `base` after `delta`, warm-starting every stage from
-    /// `prev` (a layout of `base` produced by this pipeline).
-    ///
-    /// Allocating convenience wrapper around [`Qplacer::replace_with`].
+    /// `prev` (a layout of `base` produced by this pipeline). The
+    /// incremental counterpart of [`Qplacer::execute`], taking the same
+    /// [`ExecOptions`]; see the [module docs](crate::replace) for the
+    /// stage-by-stage contract.
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError`] when `delta` does not apply to `base`.
+    pub fn execute_replace(
+        &self,
+        base: &Topology,
+        prev: &PlacedLayout,
+        delta: &TopologyDelta,
+        opts: ExecOptions<'_>,
+    ) -> Result<(PlacedLayout, ReplaceReport), TopologyError> {
+        let ExecOptions {
+            workspace,
+            sink,
+            trace_id,
+        } = opts;
+        let _trace = trace_id.map(qplacer_obs::adopt_trace_id);
+        let mut scratch;
+        let ws = match workspace {
+            Some(ws) => ws,
+            None => {
+                scratch = PipelineWorkspace::new();
+                &mut scratch
+            }
+        };
+        let mut null = NullTraceSink;
+        self.replace_core(base, prev, delta, ws, sink.unwrap_or(&mut null))
+    }
+
+    /// Untraced incremental run with an internal workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when `delta` does not apply to `base`.
+    #[deprecated(note = "use `execute_replace` with `ExecOptions::default()`")]
     pub fn replace(
         &self,
         base: &Topology,
         prev: &PlacedLayout,
         delta: &TopologyDelta,
     ) -> Result<(PlacedLayout, ReplaceReport), TopologyError> {
-        let mut ws = PipelineWorkspace::new();
-        self.replace_with(base, prev, delta, &mut ws)
+        self.execute_replace(base, prev, delta, ExecOptions::default())
     }
 
-    /// Workspace-threaded [`Qplacer::replace`]; see the
-    /// [module docs](crate::replace) for the stage-by-stage contract.
+    /// Untraced incremental run reusing a caller-owned workspace.
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError`] when `delta` does not apply to `base`.
+    #[deprecated(note = "use `execute_replace` with `ExecOptions { workspace, .. }`")]
     pub fn replace_with(
         &self,
         base: &Topology,
@@ -98,16 +131,44 @@ impl Qplacer {
         delta: &TopologyDelta,
         ws: &mut PipelineWorkspace,
     ) -> Result<(PlacedLayout, ReplaceReport), TopologyError> {
-        self.replace_traced(base, prev, delta, ws, &mut NullTraceSink)
+        self.execute_replace(
+            base,
+            prev,
+            delta,
+            ExecOptions {
+                workspace: Some(ws),
+                ..Default::default()
+            },
+        )
     }
 
-    /// Like [`Qplacer::replace_with`], streaming stage telemetry into
-    /// `sink` (same records as [`Qplacer::place_traced`]).
+    /// Incremental run with a convergence-telemetry sink.
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError`] when `delta` does not apply to `base`.
+    #[deprecated(note = "use `execute_replace` with `ExecOptions { workspace, sink, .. }`")]
     pub fn replace_traced(
+        &self,
+        base: &Topology,
+        prev: &PlacedLayout,
+        delta: &TopologyDelta,
+        ws: &mut PipelineWorkspace,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(PlacedLayout, ReplaceReport), TopologyError> {
+        self.execute_replace(
+            base,
+            prev,
+            delta,
+            ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                trace_id: None,
+            },
+        )
+    }
+
+    fn replace_core(
         &self,
         base: &Topology,
         prev: &PlacedLayout,
@@ -121,7 +182,7 @@ impl Qplacer {
         // The Human arm is a deterministic closed-form construction —
         // re-running it *is* the incremental path.
         if prev.strategy == Strategy::Human {
-            let layout = self.place_traced(&target, Strategy::Human, ws, sink);
+            let layout = self.place_core(&target, Strategy::Human, ws, sink);
             let total = layout.netlist.num_instances();
             let report = ReplaceReport {
                 total_instances: total,
@@ -228,11 +289,13 @@ impl Qplacer {
         placer_cfg.frequency_aware = prev.strategy == Strategy::FrequencyAware;
         placer_cfg.levels = 1;
         placer_cfg.min_iterations = placer_cfg.min_iterations.min(WARM_MIN_ITERATIONS);
-        let placement = GlobalPlacer::new(placer_cfg).run_warm_traced(
+        let placement = GlobalPlacer::new(placer_cfg).execute(
             &mut netlist,
-            &mut ws.placer,
-            &pinned,
-            sink,
+            qplacer_place::ExecOptions {
+                workspace: Some(&mut ws.placer),
+                sink: Some(sink),
+                pinned: Some(&pinned),
+            },
         );
         timings.place_ms = placement.elapsed_seconds * 1e3;
 
@@ -277,9 +340,11 @@ mod tests {
     fn empty_delta_reproduces_the_cold_layout_exactly() {
         let base = Topology::grid(3, 3);
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::FrequencyAware);
+        let cold = engine.execute(&base, Strategy::FrequencyAware, Default::default());
         let delta = TopologyDelta::identity(&base);
-        let (warm, report) = engine.replace(&base, &cold, &delta).unwrap();
+        let (warm, report) = engine
+            .execute_replace(&base, &cold, &delta, Default::default())
+            .unwrap();
 
         assert!(report.carried_reports);
         assert_eq!(report.moved_instances, 0);
@@ -303,10 +368,12 @@ mod tests {
     fn dropped_coupler_replace_is_legal_and_local() {
         let base = Topology::grid(4, 4);
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::FrequencyAware);
+        let cold = engine.execute(&base, Strategy::FrequencyAware, Default::default());
         let (a, b) = base.edges()[base.num_edges() / 2];
         let delta = TopologyDelta::drop_couplers(&base, &[(a, b)]).unwrap();
-        let (warm, report) = engine.replace(&base, &cold, &delta).unwrap();
+        let (warm, report) = engine
+            .execute_replace(&base, &cold, &delta, Default::default())
+            .unwrap();
 
         assert!(!report.carried_reports);
         assert_eq!(warm.netlist.num_resonators(), base.num_edges() - 1);
@@ -326,9 +393,11 @@ mod tests {
     fn dropped_qubit_replace_stays_legal() {
         let base = Topology::grid(4, 4);
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::FrequencyAware);
+        let cold = engine.execute(&base, Strategy::FrequencyAware, Default::default());
         let delta = TopologyDelta::drop_qubits(&base, &[5]).unwrap();
-        let (warm, report) = engine.replace(&base, &cold, &delta).unwrap();
+        let (warm, report) = engine
+            .execute_replace(&base, &cold, &delta, Default::default())
+            .unwrap();
 
         assert_eq!(warm.netlist.num_qubits(), base.num_qubits() - 1);
         assert!(warm.netlist.overlapping_pairs().is_empty());
@@ -342,11 +411,13 @@ mod tests {
     fn defective_device_replace_matches_cold_topology() {
         let base = Topology::falcon27();
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::FrequencyAware);
+        let cold = engine.execute(&base, Strategy::FrequencyAware, Default::default());
         let delta = base.yield_delta(90, 7);
         let target = delta.apply(&base).unwrap();
         assert_eq!(target, base.with_yield(90, 7));
-        let (warm, report) = engine.replace(&base, &cold, &delta).unwrap();
+        let (warm, report) = engine
+            .execute_replace(&base, &cold, &delta, Default::default())
+            .unwrap();
         assert_eq!(warm.netlist.num_qubits(), target.num_qubits());
         assert!(warm.netlist.overlapping_pairs().is_empty());
         assert!(report.pinned_instances > 0, "yield edit pinned nothing");
@@ -356,10 +427,12 @@ mod tests {
     fn human_strategy_replaces_by_reconstruction() {
         let base = Topology::grid(3, 3);
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::Human);
+        let cold = engine.execute(&base, Strategy::Human, Default::default());
         let (a, b) = base.edges()[0];
         let delta = TopologyDelta::drop_couplers(&base, &[(a, b)]).unwrap();
-        let (warm, report) = engine.replace(&base, &cold, &delta).unwrap();
+        let (warm, report) = engine
+            .execute_replace(&base, &cold, &delta, Default::default())
+            .unwrap();
         assert_eq!(warm.strategy, Strategy::Human);
         assert!(warm.placement.is_none());
         assert_eq!(report.pinned_instances, 0);

@@ -276,33 +276,128 @@ impl Runner {
         self.threads
     }
 
-    /// Runs the plan, returning records in plan order.
+    /// Runs the plan, returning records in plan order. Zero-options
+    /// convenience for [`Runner::execute`] — equivalent to
+    /// `execute(plan, RunOptions::default())`, which performs no I/O
+    /// and therefore cannot fail.
     #[must_use]
     pub fn run(&self, plan: &ExperimentPlan) -> RunReport {
-        let start = Instant::now();
-        let records: Vec<JobRecord> = self.pool.install(|| {
-            (0..plan.jobs.len())
-                .into_par_iter()
-                .map(|index| execute_job(plan, index))
-                .collect()
-        });
-        RunReport {
-            plan: plan.name.clone(),
-            threads: self.threads,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            records,
-        }
+        self.execute(plan, RunOptions::default())
+            .expect("a run with no sinks and no trace file performs no I/O")
+            .report
     }
 
-    /// Runs the plan to completion, then writes every record (in plan
-    /// order) into each sink, bracketed by [`Sink::begin`] /
-    /// [`Sink::finish`].
+    /// Runs the plan with the given [`RunOptions`] — the single entry
+    /// point that replaced the `run_with_sinks` / `run_with_trace` /
+    /// `run_with_events` method family; sinks, convergence-trace
+    /// capture, and timeline-event capture compose freely.
     ///
-    /// Writing happens after the whole run so record order — and
-    /// therefore sink output — is independent of job scheduling. The
-    /// trade-off: a run killed midway leaves file sinks empty. For
-    /// incremental persistence of very long sweeps, split the plan into
-    /// chunks and call this per chunk.
+    /// Records land in plan order no matter the scheduling; sink and
+    /// trace-file writing happens after the whole run, so file output
+    /// is deterministic in everything but the timing values themselves
+    /// (the trade-off: a run killed midway leaves file sinks empty —
+    /// split very long sweeps into chunked plans for incremental
+    /// persistence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from sinks and the trace file; a run with
+    /// neither cannot fail.
+    pub fn execute(
+        &self,
+        plan: &ExperimentPlan,
+        opts: RunOptions<'_>,
+    ) -> std::io::Result<RunOutcome> {
+        let RunOptions {
+            mut sinks,
+            trace_path,
+            capture_events,
+        } = opts;
+
+        // Event capture brackets the run: gates on, buffers cleared,
+        // previous state restored afterwards. The gate and buffers are
+        // process-global — concurrent runs interleave into the same
+        // timeline, distinguishable by trace id.
+        let saved_gates = capture_events.then(|| {
+            let prev = (qplacer_obs::spans_enabled(), qplacer_obs::event_mode());
+            qplacer_obs::set_spans_enabled(true);
+            qplacer_obs::set_event_mode(qplacer_obs::EventMode::Capture);
+            qplacer_obs::clear_events();
+            prev
+        });
+
+        let start = Instant::now();
+        let mut rings: Option<Vec<RingTraceSink>> = None;
+        let records: Vec<JobRecord> = if trace_path.is_some() {
+            let results: Vec<(JobRecord, RingTraceSink)> = self.pool.install(|| {
+                (0..plan.jobs.len())
+                    .into_par_iter()
+                    .map(|index| {
+                        let _scope = capture_events
+                            .then(|| qplacer_obs::adopt_trace_id(qplacer_obs::fresh_trace_id()));
+                        execute_job_ringed(plan, index)
+                    })
+                    .collect()
+            });
+            let (records, ring_vec): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            rings = Some(ring_vec);
+            records
+        } else {
+            self.pool.install(|| {
+                (0..plan.jobs.len())
+                    .into_par_iter()
+                    .map(|index| {
+                        let _scope = capture_events
+                            .then(|| qplacer_obs::adopt_trace_id(qplacer_obs::fresh_trace_id()));
+                        execute_job(plan, index)
+                    })
+                    .collect()
+            })
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let events = saved_gates.map(|(prev_spans, prev_mode)| {
+            let snapshot = qplacer_obs::event_snapshot();
+            qplacer_obs::set_event_mode(prev_mode);
+            qplacer_obs::set_spans_enabled(prev_spans);
+            snapshot
+        });
+
+        // Convergence-trace sidecar: per-job rings flushed in plan
+        // order, each line labelled `"<plan>/<job index>"`.
+        if let (Some(path), Some(rings)) = (trace_path.as_ref(), rings) {
+            let mut trace = JsonlTraceSink::create(path)?;
+            for (index, ring) in rings.into_iter().enumerate() {
+                trace.set_label(Some(format!("{}/{}", plan.name, index)));
+                for trace_record in ring.records() {
+                    trace.record(&trace_record);
+                }
+            }
+            trace.finish()?;
+        }
+
+        let report = RunReport {
+            plan: plan.name.clone(),
+            threads: self.threads,
+            wall_ms,
+            records,
+        };
+        for sink in sinks.iter_mut() {
+            sink.begin(plan)?;
+            for record in &report.records {
+                sink.record(record)?;
+            }
+            sink.finish()?;
+        }
+        Ok(RunOutcome { report, events })
+    }
+
+    /// Run feeding record sinks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    #[deprecated(note = "use `execute` with `RunOptions { sinks, .. }`")]
     pub fn run_with_sinks(
         &self,
         plan: &ExperimentPlan,
@@ -319,94 +414,84 @@ impl Runner {
         Ok(report)
     }
 
-    /// Like [`Runner::run`], but additionally streams convergence
-    /// telemetry (placer iterations, legalization / frequency phases)
-    /// into a JSONL trace file at `trace_path` — the sidecar meant to
-    /// sit next to a JSONL result sink.
+    /// Run with a JSONL convergence-trace sidecar.
     ///
-    /// Each job records into its own pre-sized in-memory ring while jobs
-    /// run in parallel; the file is written after the whole run in plan
-    /// order, each line labelled `"<plan>/<job index>"`, so trace output
-    /// is deterministic in everything but the timing values themselves.
+    /// # Errors
+    ///
+    /// Propagates trace-file I/O errors.
+    #[deprecated(note = "use `execute` with `RunOptions { trace_path, .. }`")]
     pub fn run_with_trace(
         &self,
         plan: &ExperimentPlan,
         trace_path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<RunReport> {
-        let start = Instant::now();
-        let results: Vec<(JobRecord, RingTraceSink)> = self.pool.install(|| {
-            (0..plan.jobs.len())
-                .into_par_iter()
-                .map(|index| execute_job_ringed(plan, index))
-                .collect()
-        });
-        let mut trace = JsonlTraceSink::create(trace_path)?;
-        let mut records = Vec::with_capacity(results.len());
-        for (index, (record, ring)) in results.into_iter().enumerate() {
-            trace.set_label(Some(format!("{}/{}", plan.name, index)));
-            for trace_record in ring.records() {
-                trace.record(&trace_record);
-            }
-            records.push(record);
-        }
-        trace.finish()?;
-        Ok(RunReport {
-            plan: plan.name.clone(),
-            threads: self.threads,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            records,
-        })
+        self.execute(
+            plan,
+            RunOptions {
+                trace_path: Some(trace_path.as_ref().to_path_buf()),
+                ..Default::default()
+            },
+        )
+        .map(|outcome| outcome.report)
     }
 
-    /// Like [`Runner::run`], but captures the full event timeline of
-    /// the run: spans and event capture are enabled for the duration
-    /// (and restored afterwards), the capture buffers are cleared, and
-    /// every job executes under its own fresh trace id so per-job
-    /// events stay separable in the exported timeline.
-    ///
-    /// The returned snapshot feeds the exporters directly
-    /// ([`qplacer_obs::chrome_trace_json`],
-    /// [`qplacer_obs::folded_stacks`]). Records are bit-identical to
-    /// [`Runner::run`] on the same plan — event recording never touches
-    /// the pipeline's arithmetic.
-    ///
-    /// Note the event gate and capture buffers are process-global:
-    /// concurrent runs (or other enabled span sites) interleave into
-    /// the same timeline, distinguishable by trace id.
+    /// Run capturing the full event timeline.
+    #[deprecated(note = "use `execute` with `RunOptions { capture_events: true, .. }`")]
     #[must_use]
     pub fn run_with_events(
         &self,
         plan: &ExperimentPlan,
     ) -> (RunReport, qplacer_obs::EventSnapshot) {
-        let prev_spans = qplacer_obs::spans_enabled();
-        let prev_mode = qplacer_obs::event_mode();
-        qplacer_obs::set_spans_enabled(true);
-        qplacer_obs::set_event_mode(qplacer_obs::EventMode::Capture);
-        qplacer_obs::clear_events();
-        let start = Instant::now();
-        let records: Vec<JobRecord> = self.pool.install(|| {
-            (0..plan.jobs.len())
-                .into_par_iter()
-                .map(|index| {
-                    let _scope = qplacer_obs::adopt_trace_id(qplacer_obs::fresh_trace_id());
-                    execute_job(plan, index)
-                })
-                .collect()
-        });
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        let snapshot = qplacer_obs::event_snapshot();
-        qplacer_obs::set_event_mode(prev_mode);
-        qplacer_obs::set_spans_enabled(prev_spans);
-        (
-            RunReport {
-                plan: plan.name.clone(),
-                threads: self.threads,
-                wall_ms,
-                records,
-            },
-            snapshot,
-        )
+        let outcome = self
+            .execute(
+                plan,
+                RunOptions {
+                    capture_events: true,
+                    ..Default::default()
+                },
+            )
+            .expect("event capture performs no I/O");
+        let events = outcome
+            .events
+            .expect("capture_events was set, so a snapshot exists");
+        (outcome.report, events)
     }
+}
+
+/// Options for [`Runner::execute`] — the single entry point that
+/// replaced the `run_with_sinks` / `run_with_trace` / `run_with_events`
+/// method family. `Default` is a bare run (no sinks, no trace file, no
+/// event capture); the capabilities compose freely.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Record consumers, each fed every record in plan order bracketed
+    /// by [`Sink::begin`] / [`Sink::finish`] after the run completes.
+    pub sinks: Vec<&'a mut dyn Sink>,
+    /// Streams convergence telemetry (placer iterations, legalization /
+    /// frequency phases) into a JSONL trace file at this path — the
+    /// sidecar meant to sit next to a JSONL result sink. Each job
+    /// records into its own pre-sized in-memory ring while jobs run in
+    /// parallel; the file is written after the whole run in plan order.
+    pub trace_path: Option<std::path::PathBuf>,
+    /// Captures the full event timeline of the run: spans and event
+    /// capture are enabled for the duration (and restored afterwards),
+    /// the capture buffers are cleared, and every job executes under
+    /// its own fresh trace id so per-job events stay separable. The
+    /// snapshot lands in [`RunOutcome::events`] and feeds the exporters
+    /// directly ([`qplacer_obs::chrome_trace_json`],
+    /// [`qplacer_obs::folded_stacks`]). Records are bit-identical
+    /// either way — event recording never touches the pipeline's
+    /// arithmetic.
+    pub capture_events: bool,
+}
+
+/// What [`Runner::execute`] produced.
+pub struct RunOutcome {
+    /// Per-job records and run-level aggregates.
+    pub report: RunReport,
+    /// The captured event timeline when
+    /// [`RunOptions::capture_events`] was set, `None` otherwise.
+    pub events: Option<qplacer_obs::EventSnapshot>,
 }
 
 /// Ring capacity per traced job: comfortably above the paper profile's
@@ -471,8 +556,8 @@ pub fn execute_job_with(
 
 /// Like [`execute_job_with`], but streams the job's convergence
 /// telemetry into `sink` (see
-/// [`Qplacer::place_traced`](crate::Qplacer::place_traced)). The record
-/// and layout are bit-identical to the untraced path.
+/// [`Qplacer::execute`](crate::Qplacer::execute)). The record and
+/// layout are bit-identical to the untraced path.
 #[must_use]
 pub fn execute_job_traced(
     plan: &ExperimentPlan,
@@ -521,7 +606,15 @@ fn run_pipeline_job(
     // failure, never a panic into the placement engine.
     let device = spec.device.try_build().map_err(|e| e.to_string())?;
     let config = spec.pipeline_config(plan.profile);
-    let layout = Qplacer::new(config).place_traced(&device, spec.strategy, ws, sink);
+    let layout = Qplacer::new(config).execute(
+        &device,
+        spec.strategy,
+        crate::pipeline::ExecOptions {
+            workspace: Some(ws),
+            sink: Some(sink),
+            trace_id: None,
+        },
+    );
 
     record.instances = layout.netlist.num_instances();
     record.wall_assign_ms = layout.timings.assign_ms;

@@ -133,7 +133,7 @@ mod tests {
     use super::*;
     use crate::pipeline::Strategy;
     use crate::plan::{DeviceSpec, ExperimentPlan, Profile};
-    use crate::runner::Runner;
+    use crate::runner::{RunOptions, Runner};
 
     #[test]
     fn jsonl_and_csv_sinks_write_one_line_per_record() {
@@ -152,8 +152,15 @@ mod tests {
         let mut csv = CsvSink::new(Vec::new());
         let mut memory = MemorySink::new();
         let report = Runner::new(1)
-            .run_with_sinks(&plan, &mut [&mut jsonl, &mut csv, &mut memory])
-            .unwrap();
+            .execute(
+                &plan,
+                RunOptions {
+                    sinks: vec![&mut jsonl, &mut csv, &mut memory],
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .report;
 
         let jsonl_text = String::from_utf8(jsonl.into_inner()).unwrap();
         assert_eq!(jsonl_text.lines().count(), plan.len());

@@ -2,7 +2,9 @@
 //! and at 1 vs N threads — yields byte-identical JSONL records modulo
 //! the `wall_*` timing fields.
 
-use qplacer_harness::{DeviceSpec, ExperimentPlan, JsonlSink, Profile, Runner, Strategy};
+use qplacer_harness::{
+    DeviceSpec, ExperimentPlan, JsonlSink, Profile, RunOptions, Runner, Strategy,
+};
 use serde_json::Value;
 
 /// Runs `plan` on `threads` workers and returns the JSONL lines with
@@ -10,7 +12,13 @@ use serde_json::Value;
 fn normalized_jsonl(plan: &ExperimentPlan, threads: usize) -> Vec<String> {
     let mut sink = JsonlSink::new(Vec::new());
     Runner::new(threads)
-        .run_with_sinks(plan, &mut [&mut sink])
+        .execute(
+            plan,
+            RunOptions {
+                sinks: vec![&mut sink],
+                ..Default::default()
+            },
+        )
         .expect("in-memory sink cannot fail");
     let text = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
     text.lines()

@@ -1,4 +1,5 @@
-//! The event-timeline contract for [`Runner::run_with_events`]:
+//! The event-timeline contract for [`Runner::execute`] with
+//! [`RunOptions::capture_events`]:
 //!
 //! - results are bit-identical to the untraced [`Runner::run`] (event
 //!   recording never perturbs the pipeline's arithmetic),
@@ -7,11 +8,11 @@
 //!   aggregate span counters within 5% — the two views of the same
 //!   clock must tell the same story.
 //!
-//! Own integration binary (separate process): `run_with_events` flips
-//! the process-global span/event gates, and the span counters it is
+//! Own integration binary (separate process): event capture flips the
+//! process-global span/event gates, and the span counters it is
 //! compared against are process-global too.
 
-use qplacer_harness::{DeviceSpec, ExperimentPlan, JobSpec, Profile, Runner, Strategy};
+use qplacer_harness::{DeviceSpec, ExperimentPlan, JobSpec, Profile, RunOptions, Runner, Strategy};
 use qplacer_obs::EventKind;
 
 fn plan() -> ExperimentPlan {
@@ -39,7 +40,19 @@ fn event_timeline_agrees_with_span_aggregates_and_stays_bit_identical() {
     let baseline = runner.run(&plan);
 
     qplacer_obs::reset_spans();
-    let (report, snapshot) = runner.run_with_events(&plan);
+    let outcome = runner
+        .execute(
+            &plan,
+            RunOptions {
+                capture_events: true,
+                ..Default::default()
+            },
+        )
+        .expect("event capture performs no I/O");
+    let (report, snapshot) = (
+        outcome.report,
+        outcome.events.expect("capture was requested"),
+    );
 
     // Tracing must not perturb results: identical deterministic fields.
     assert_eq!(baseline.records.len(), report.records.len());

@@ -3,7 +3,7 @@
 //! placer iteration indices are contiguous per job, and every job in
 //! the plan contributes records for all three pipeline stages.
 
-use qplacer_harness::{DeviceSpec, ExperimentPlan, JobSpec, Profile, Runner, Strategy};
+use qplacer_harness::{DeviceSpec, ExperimentPlan, JobSpec, Profile, RunOptions, Runner, Strategy};
 
 fn two_job_plan() -> ExperimentPlan {
     let mut plan = ExperimentPlan::new("trace-schema").with_profile(Profile::Fast);
@@ -53,7 +53,16 @@ fn trace_jsonl_schema_is_stable() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("trace.jsonl");
 
-    let report = Runner::new(2).run_with_trace(&plan, &path).unwrap();
+    let report = Runner::new(2)
+        .execute(
+            &plan,
+            RunOptions {
+                trace_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .report;
     assert_eq!(report.records.len(), 2);
 
     let text = std::fs::read_to_string(&path).unwrap();

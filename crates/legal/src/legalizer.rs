@@ -370,7 +370,7 @@ mod tests {
     use qplacer_freq::FrequencyAssigner;
     use qplacer_geometry::Point;
     use qplacer_netlist::NetlistConfig;
-    use qplacer_place::{GlobalPlacer, PlacerConfig};
+    use qplacer_place::{ExecOptions, GlobalPlacer, PlacerConfig};
     use qplacer_topology::Topology;
 
     #[test]
@@ -378,7 +378,7 @@ mod tests {
         let t = Topology::grid(3, 3);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
         let report = Legalizer::default().run(&mut nl);
         assert_eq!(report.remaining_overlaps, 0);
         assert_eq!(report.resonator_count, 12);
@@ -392,7 +392,7 @@ mod tests {
         let t = Topology::grid(2, 2);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut a = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut a);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut a, ExecOptions::default());
         let mut b = a.clone();
         let ra = Legalizer::default().run(&mut a);
         let rb = Legalizer::default().run(&mut b);
@@ -405,7 +405,7 @@ mod tests {
         let t = Topology::grid(3, 3);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut fresh = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut fresh);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut fresh, ExecOptions::default());
         let mut reused = fresh.clone();
 
         let legalizer = Legalizer::default();
@@ -416,7 +416,7 @@ mod tests {
         let t2 = Topology::grid(2, 2);
         let freqs2 = FrequencyAssigner::paper_defaults().assign(&t2);
         let mut warmup = QuantumNetlist::build(&t2, &freqs2, &NetlistConfig::default());
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut warmup);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut warmup, ExecOptions::default());
         let _ = legalizer.run_with(&mut warmup, &mut ws);
         let report_reused = legalizer.run_with(&mut reused, &mut ws);
 
@@ -429,7 +429,7 @@ mod tests {
         let t = Topology::grid(3, 3);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
         let legalizer = Legalizer::default();
         let cold = legalizer.run(&mut nl);
         assert_eq!(cold.remaining_overlaps, 0);
@@ -459,7 +459,7 @@ mod tests {
         let t = Topology::grid(2, 2);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
         let legalizer = Legalizer::default();
         let _ = legalizer.run(&mut nl);
         let before: Vec<Point> = nl.positions().to_vec();
@@ -479,7 +479,7 @@ mod tests {
         let t = Topology::grid(2, 2);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-        GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
         nl.set_position(nl.qubit_instance(0), Point::new(f64::NAN, f64::NAN));
         let report = Legalizer::default().run(&mut nl);
         assert_eq!(report.remaining_overlaps, 0);

@@ -8,14 +8,14 @@
 use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
 use qplacer_legal::{LegalReport, LegalWorkspace, Legalizer};
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
-use qplacer_place::{GlobalPlacer, PlacerConfig};
+use qplacer_place::{ExecOptions, GlobalPlacer, PlacerConfig};
 use qplacer_topology::Topology;
 
 fn placed_netlist() -> QuantumNetlist {
     let t = Topology::falcon27();
     let freqs = FrequencyAssigner::paper_defaults().assign(&t);
     let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-    GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+    GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
     nl
 }
 
@@ -83,7 +83,7 @@ fn workspace_reuse_across_different_devices_is_clean() {
     let t2 = Topology::grid(2, 2);
     let freqs2 = FrequencyAssigner::paper_defaults().assign(&t2);
     let mut other = QuantumNetlist::build(&t2, &freqs2, &NetlistConfig::default());
-    GlobalPlacer::new(PlacerConfig::fast()).run(&mut other);
+    GlobalPlacer::new(PlacerConfig::fast()).execute(&mut other, ExecOptions::default());
     let _ = legalizer.run_with(&mut other, &mut ws);
 
     let mut second = base.clone();

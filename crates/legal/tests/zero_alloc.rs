@@ -44,7 +44,7 @@ fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
 use qplacer_freq::{FreqWorkspace, FrequencyAssigner};
 use qplacer_legal::{LegalWorkspace, Legalizer};
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
-use qplacer_place::{GlobalPlacer, PlacerConfig};
+use qplacer_place::{ExecOptions, GlobalPlacer, PlacerConfig};
 use qplacer_topology::Topology;
 
 #[test]
@@ -52,7 +52,7 @@ fn steady_state_legalization_does_not_allocate() {
     let t = Topology::grid(3, 3);
     let freqs = FrequencyAssigner::paper_defaults().assign(&t);
     let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-    GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+    GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, ExecOptions::default());
     let placed: Vec<_> = nl.positions().to_vec();
 
     let legalizer = Legalizer::default();

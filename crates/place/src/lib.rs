@@ -34,7 +34,8 @@
 //! let device = Topology::grid(2, 2);
 //! let freqs = FrequencyAssigner::paper_defaults().assign(&device);
 //! let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
-//! let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut netlist);
+//! let report =
+//!     GlobalPlacer::new(PlacerConfig::fast()).execute(&mut netlist, Default::default());
 //! assert!(report.iterations > 0);
 //! assert!(report.final_overflow < 0.5);
 //! ```
@@ -50,5 +51,5 @@ mod wirelength;
 
 pub use density::{DensityModel, DensityPhaseNs, DensityWorkspace};
 pub use freqforce::FrequencyForce;
-pub use placer::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
+pub use placer::{ExecOptions, GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
 pub use wirelength::{exact_hpwl, WirelengthModel};

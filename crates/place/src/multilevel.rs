@@ -29,7 +29,7 @@ use qplacer_freq::merge_compatible;
 use qplacer_geometry::Point;
 use qplacer_netlist::QuantumNetlist;
 use qplacer_numeric::next_smooth;
-use qplacer_obs::{NullTraceSink, TraceSink};
+use qplacer_obs::TraceSink;
 
 use crate::{GlobalPlacer, PlacementReport, PlacerConfig, PlacerWorkspace};
 
@@ -236,7 +236,7 @@ fn project(
     }
 }
 
-/// The multilevel V-cycle. Called from [`GlobalPlacer::run_traced`]
+/// The multilevel V-cycle. Called from [`GlobalPlacer::execute`]
 /// when `config.levels > 1`; coarse and intermediate levels run
 /// untraced (`sink` only sees the final full-resolution refinement, so
 /// trace iteration indices stay meaningful).
@@ -280,7 +280,14 @@ pub(crate) fn run_multilevel(
     let flat_cfg = PlacerConfig { levels: 1, ..cfg };
     if netlists.is_empty() {
         // Nothing to coarsen — identical to a flat run.
-        return GlobalPlacer::new(flat_cfg).run_traced(netlist, ws, sink);
+        return GlobalPlacer::new(flat_cfg).execute(
+            netlist,
+            crate::ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                pinned: None,
+            },
+        );
     }
 
     let mut state = ws.multilevel.take().unwrap_or_default();
@@ -315,10 +322,12 @@ pub(crate) fn run_multilevel(
                 "multilevel_level",
                 instances = netlists[level].num_instances() as u64
             );
-            let report = GlobalPlacer::new(level_cfg).run_traced(
+            let report = GlobalPlacer::new(level_cfg).execute(
                 &mut netlists[level],
-                &mut state.workspaces[level],
-                &mut NullTraceSink,
+                crate::ExecOptions {
+                    workspace: Some(&mut state.workspaces[level]),
+                    ..Default::default()
+                },
             );
             total_iterations += report.iterations;
         }
@@ -349,7 +358,14 @@ pub(crate) fn run_multilevel(
             "multilevel_refine",
             instances = netlist.num_instances() as u64
         );
-        GlobalPlacer::new(final_cfg).run_traced(netlist, ws, sink)
+        GlobalPlacer::new(final_cfg).execute(
+            netlist,
+            crate::ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                pinned: None,
+            },
+        )
     };
     ws.multilevel = Some(state);
 
@@ -429,14 +445,14 @@ mod tests {
         let flat_overflow = {
             let mut flat = nl.clone();
             GlobalPlacer::new(PlacerConfig::fast())
-                .run(&mut flat)
+                .execute(&mut flat, Default::default())
                 .final_overflow
         };
         let cfg = PlacerConfig {
             levels: 3,
             ..PlacerConfig::fast()
         };
-        let report = GlobalPlacer::new(cfg).run(&mut nl);
+        let report = GlobalPlacer::new(cfg).execute(&mut nl, Default::default());
         assert!(report.iterations > 0);
         assert!(
             report.final_overflow < flat_overflow * 1.5 + 0.05,
@@ -455,12 +471,12 @@ mod tests {
         let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
         let mut a = build(&t);
         let mut b = a.clone();
-        let flat = GlobalPlacer::new(PlacerConfig::fast()).run(&mut a);
+        let flat = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut a, Default::default());
         let cfg = PlacerConfig {
             levels: 4,
             ..PlacerConfig::fast()
         };
-        let multi = GlobalPlacer::new(cfg).run(&mut b);
+        let multi = GlobalPlacer::new(cfg).execute(&mut b, Default::default());
         // Below MIN_COARSE_INSTANCES no coarsening happens, so the runs
         // are identical.
         assert_eq!(flat.iterations, multi.iterations);

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::density::DensityPhaseNs;
 use crate::{exact_hpwl, DensityModel, DensityWorkspace, FrequencyForce, WirelengthModel};
 
-/// Stall tolerance for warm ([`GlobalPlacer::run_warm`]) runs, as a
+/// Stall tolerance for warm ([`ExecOptions::pinned`]) runs, as a
 /// fraction of the region width: when no coordinate moved at least this
 /// far over one iteration (past the iteration floor), the run stops.
 /// The threshold is deliberately coarse — an order of magnitude below
@@ -24,10 +24,10 @@ const WARM_STALL_FRACTION: f64 = 1e-3;
 /// gradient vectors, per-instance preconditioner data, and the density
 /// kernel's [`DensityWorkspace`].
 ///
-/// [`GlobalPlacer::run`] builds one internally; callers running many
-/// placements (the harness, benchmark sweeps) can hold a single
-/// workspace across runs via [`GlobalPlacer::run_with`] — buffers are
-/// re-sized only when the netlist or bin grid changes shape, so
+/// [`GlobalPlacer::execute`] builds one internally when
+/// [`ExecOptions::workspace`] is `None`; callers running many
+/// placements (the harness, benchmark sweeps) pass their own — buffers
+/// are re-sized only when the netlist or bin grid changes shape, so
 /// steady-state placement iterations perform **zero heap allocations**
 /// in the transform and gradient kernels.
 #[derive(Debug, Clone, Default)]
@@ -228,12 +228,41 @@ pub struct PlacementReport {
 /// let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
 /// let freqs = FrequencyAssigner::paper_defaults().assign(&device);
 /// let mut netlist = QuantumNetlist::build(&device, &freqs, &NetlistConfig::default());
-/// let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut netlist);
+/// let report =
+///     GlobalPlacer::new(PlacerConfig::fast()).execute(&mut netlist, Default::default());
 /// assert!(report.final_overflow.is_finite());
 /// ```
 #[derive(Debug, Clone)]
 pub struct GlobalPlacer {
     config: PlacerConfig,
+}
+
+/// Options for [`GlobalPlacer::execute`] — the single entry point that
+/// replaced the `run` / `run_with` / `run_traced` / `run_warm` /
+/// `run_warm_traced` method family. `Default` is a cold, untraced run
+/// with an internal scratch workspace; each field opts into one
+/// capability independently, so new capabilities no longer multiply the
+/// method count.
+#[derive(Default)]
+pub struct ExecOptions<'a> {
+    /// Caller-owned scratch buffers, reused across runs so steady-state
+    /// iterations allocate nothing; `None` builds a fresh
+    /// [`PlacerWorkspace`] internally.
+    pub workspace: Option<&'a mut PlacerWorkspace>,
+    /// Per-iteration convergence trace
+    /// ([`TraceRecord::PlaceIteration`]); timing flows only into the
+    /// sink, never into the report or the netlist, so traced and
+    /// untraced placements are bit-identical.
+    pub sink: Option<&'a mut dyn TraceSink>,
+    /// Warm-start pin mask for the incremental (ECO) path: the
+    /// netlist's current positions are the starting point and instances
+    /// with `pinned[i]` set never move — they still contribute to the
+    /// wirelength, density, and frequency fields, but their gradient is
+    /// zeroed and their coordinates are restored after every solver
+    /// step. Warm runs always use the flat (single-level) engine: the
+    /// multilevel V-cycle re-clusters globally, which would discard the
+    /// warm seed. Must have exactly `netlist.num_instances()` entries.
+    pub pinned: Option<&'a [bool]>,
 }
 
 impl GlobalPlacer {
@@ -250,62 +279,96 @@ impl GlobalPlacer {
     }
 
     /// Runs global placement, writing optimized positions back into
-    /// `netlist` and returning a [`PlacementReport`].
-    pub fn run(&self, netlist: &mut QuantumNetlist) -> PlacementReport {
-        let mut workspace = PlacerWorkspace::new();
-        self.run_with(netlist, &mut workspace)
+    /// `netlist` and returning a [`PlacementReport`]. The single entry
+    /// point: workspace reuse, per-iteration tracing
+    /// ([`TraceRecord::PlaceIteration`]: iteration index, density
+    /// overflow, wirelength-proxy energy, max force norm, density-phase
+    /// wall times), and warm-start pinning are all [`ExecOptions`]
+    /// fields, each defaulting to off.
+    ///
+    /// When [`PlacerConfig::levels`] is greater than one and no pin
+    /// mask is given, the run goes through the multilevel V-cycle
+    /// (coarsen → place → refine); a trace sink then only sees the
+    /// final full-resolution refinement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin mask is supplied whose length is not
+    /// `netlist.num_instances()`.
+    pub fn execute(&self, netlist: &mut QuantumNetlist, opts: ExecOptions<'_>) -> PlacementReport {
+        let ExecOptions {
+            workspace,
+            sink,
+            pinned,
+        } = opts;
+        let mut scratch;
+        let ws = match workspace {
+            Some(ws) => ws,
+            None => {
+                scratch = PlacerWorkspace::new();
+                &mut scratch
+            }
+        };
+        let mut null = NullTraceSink;
+        let sink = sink.unwrap_or(&mut null);
+        match pinned {
+            Some(pinned) => {
+                assert_eq!(
+                    pinned.len(),
+                    netlist.num_instances(),
+                    "pin mask does not match netlist"
+                );
+                self.run_flat(netlist, ws, sink, Some(pinned))
+            }
+            None if self.config.levels > 1 => {
+                crate::multilevel::run_multilevel(self, netlist, ws, sink)
+            }
+            None => self.run_flat(netlist, ws, sink, None),
+        }
     }
 
-    /// Like [`GlobalPlacer::run`], but reusing a caller-owned
-    /// [`PlacerWorkspace`] so repeated placements (sweeps, the harness)
-    /// skip even the per-run buffer setup. Inside the loop, every
-    /// gradient kernel writes into workspace buffers and the spectral
-    /// solve runs through precomputed plans: steady-state iterations
-    /// allocate nothing on the heap.
+    /// Cold, untraced run with an internal workspace.
+    #[deprecated(note = "use `execute` with `ExecOptions::default()`")]
+    pub fn run(&self, netlist: &mut QuantumNetlist) -> PlacementReport {
+        self.execute(netlist, ExecOptions::default())
+    }
+
+    /// Cold, untraced run reusing a caller-owned workspace.
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, .. }`")]
     pub fn run_with(
         &self,
         netlist: &mut QuantumNetlist,
         ws: &mut PlacerWorkspace,
     ) -> PlacementReport {
-        self.run_traced(netlist, ws, &mut NullTraceSink)
+        self.execute(
+            netlist,
+            ExecOptions {
+                workspace: Some(ws),
+                ..Default::default()
+            },
+        )
     }
 
-    /// Like [`GlobalPlacer::run_with`], but emits one
-    /// [`TraceRecord::PlaceIteration`] per solver iteration into `sink`:
-    /// iteration index, density overflow (from the most recent check),
-    /// wirelength-proxy energy, max force norm, and the wall time of the
-    /// density deposit / Poisson solve / field gather. Timing flows only
-    /// into `sink`, never into the report or the netlist, so traced and
-    /// untraced placements are bit-identical.
-    ///
-    /// When [`PlacerConfig::levels`] is greater than one, the run goes
-    /// through the multilevel V-cycle (coarsen → place → refine); the
-    /// sink then only sees the final full-resolution refinement.
+    /// Cold run with a per-iteration trace sink.
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, sink, .. }`")]
     pub fn run_traced(
         &self,
         netlist: &mut QuantumNetlist,
         ws: &mut PlacerWorkspace,
         sink: &mut dyn TraceSink,
     ) -> PlacementReport {
-        if self.config.levels > 1 {
-            return crate::multilevel::run_multilevel(self, netlist, ws, sink);
-        }
-        self.run_flat(netlist, ws, sink, None)
+        self.execute(
+            netlist,
+            ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                pinned: None,
+            },
+        )
     }
 
-    /// Warm-start placement for the incremental (ECO) path: the
-    /// netlist's current positions are the starting point, and instances
-    /// with `pinned[i]` set never move — they still contribute to the
-    /// wirelength, density, and frequency fields, but their gradient is
-    /// zeroed and their coordinates are restored after every solver
-    /// step. Only the dirty (unpinned) instances are optimized.
-    ///
-    /// Always runs the flat (single-level) engine: the multilevel
-    /// V-cycle re-clusters globally, which would discard the warm seed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pinned.len() != netlist.num_instances()`.
+    /// Warm-start (pinned) run; see [`ExecOptions::pinned`].
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, pinned, .. }`")]
     #[must_use]
     pub fn run_warm(
         &self,
@@ -313,11 +376,18 @@ impl GlobalPlacer {
         ws: &mut PlacerWorkspace,
         pinned: &[bool],
     ) -> PlacementReport {
-        self.run_warm_traced(netlist, ws, pinned, &mut NullTraceSink)
+        self.execute(
+            netlist,
+            ExecOptions {
+                workspace: Some(ws),
+                sink: None,
+                pinned: Some(pinned),
+            },
+        )
     }
 
-    /// Like [`GlobalPlacer::run_warm`], with per-iteration trace records
-    /// (see [`GlobalPlacer::run_traced`] for the tracing contract).
+    /// Warm-start run with a per-iteration trace sink.
+    #[deprecated(note = "use `execute` with `ExecOptions { workspace, sink, pinned }`")]
     pub fn run_warm_traced(
         &self,
         netlist: &mut QuantumNetlist,
@@ -325,12 +395,14 @@ impl GlobalPlacer {
         pinned: &[bool],
         sink: &mut dyn TraceSink,
     ) -> PlacementReport {
-        assert_eq!(
-            pinned.len(),
-            netlist.num_instances(),
-            "pin mask does not match netlist"
-        );
-        self.run_flat(netlist, ws, sink, Some(pinned))
+        self.execute(
+            netlist,
+            ExecOptions {
+                workspace: Some(ws),
+                sink: Some(sink),
+                pinned: Some(pinned),
+            },
+        )
     }
 
     fn run_flat(
@@ -548,14 +620,21 @@ mod tests {
     fn warm_run_never_moves_pinned_instances() {
         let t = Topology::grid(3, 3);
         let mut nl = build(&t);
-        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         let before: Vec<_> = nl.positions().to_vec();
         // Pin the first half of the instances, free the rest.
         let pinned: Vec<bool> = (0..nl.num_instances())
             .map(|i| i < nl.num_instances() / 2)
             .collect();
         let mut ws = PlacerWorkspace::default();
-        let _ = GlobalPlacer::new(PlacerConfig::fast()).run_warm(&mut nl, &mut ws, &pinned);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).execute(
+            &mut nl,
+            ExecOptions {
+                workspace: Some(&mut ws),
+                pinned: Some(&pinned),
+                ..Default::default()
+            },
+        );
         for (i, (&p, &was)) in nl.positions().iter().zip(before.iter()).enumerate() {
             if pinned[i] {
                 assert_eq!((p.x, p.y), (was.x, was.y), "pinned instance {i} moved");
@@ -567,11 +646,18 @@ mod tests {
     fn warm_run_with_all_pinned_is_a_fixed_point() {
         let t = Topology::grid(3, 3);
         let mut nl = build(&t);
-        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         let before: Vec<_> = nl.positions().to_vec();
         let pinned = vec![true; nl.num_instances()];
         let mut ws = PlacerWorkspace::default();
-        let report = GlobalPlacer::new(PlacerConfig::fast()).run_warm(&mut nl, &mut ws, &pinned);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).execute(
+            &mut nl,
+            ExecOptions {
+                workspace: Some(&mut ws),
+                pinned: Some(&pinned),
+                ..Default::default()
+            },
+        );
         assert!(report.iterations >= 1);
         for (&p, &was) in nl.positions().iter().zip(before.iter()) {
             assert_eq!((p.x, p.y), (was.x, was.y));
@@ -584,7 +670,7 @@ mod tests {
         let mut nl = build(&t);
         let density = DensityModel::new(nl.region(), 32, 32);
         let before = density.overflow(&nl, nl.positions());
-        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         assert!(
             report.final_overflow < before * 0.5,
             "overflow {} -> {}",
@@ -597,7 +683,7 @@ mod tests {
     fn instances_stay_inside_region() {
         let t = Topology::grid(3, 3);
         let mut nl = build(&t);
-        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         let region = nl.region();
         for inst in nl.instances() {
             let r = nl.padded_rect(inst.id());
@@ -615,10 +701,10 @@ mod tests {
 
         let mut aware = build(&t);
         let mut classic = aware.clone();
-        let _ = GlobalPlacer::new(PlacerConfig::fast()).run(&mut aware);
+        let _ = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut aware, Default::default());
         let mut cfg = PlacerConfig::fast();
         cfg.frequency_aware = false;
-        let _ = GlobalPlacer::new(cfg).run(&mut classic);
+        let _ = GlobalPlacer::new(cfg).execute(&mut classic, Default::default());
 
         // Average clearance between near-resonant pairs should be larger
         // (or at least not worse) under the frequency-aware engine.
@@ -655,7 +741,7 @@ mod tests {
     fn report_accounting_is_consistent() {
         let t = Topology::from_edges("tri", 3, [(0, 1), (1, 2), (0, 2)]).unwrap();
         let mut nl = build(&t);
-        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         assert!(report.iterations >= 1);
         assert!(report.elapsed_seconds > 0.0);
         assert!(report.seconds_per_iteration <= report.elapsed_seconds);
@@ -668,8 +754,8 @@ mod tests {
         let t = Topology::grid(2, 2);
         let mut a = build(&t);
         let mut b = a.clone();
-        let ra = GlobalPlacer::new(PlacerConfig::fast()).run(&mut a);
-        let rb = GlobalPlacer::new(PlacerConfig::fast()).run(&mut b);
+        let ra = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut a, Default::default());
+        let rb = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut b, Default::default());
         assert_eq!(ra.iterations, rb.iterations);
         assert_eq!(a.positions(), b.positions());
     }
@@ -687,7 +773,7 @@ mod schedule_tests {
         let t = Topology::grid(3, 3);
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
-        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         let trace = &report.overflow_trace;
         assert!(trace.len() >= 2);
         // The penalty schedule must reduce overflow substantially from the
@@ -733,7 +819,7 @@ mod schedule_tests {
         let t = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
         let freqs = FrequencyAssigner::paper_defaults().assign(&t);
         let mut nl = QuantumNetlist::build(&t, &freqs, &NetlistConfig::default());
-        let report = GlobalPlacer::new(PlacerConfig::fast()).run(&mut nl);
+        let report = GlobalPlacer::new(PlacerConfig::fast()).execute(&mut nl, Default::default());
         let json = serde_json::to_string(&report).unwrap();
         let back: PlacementReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report.iterations, back.iterations);

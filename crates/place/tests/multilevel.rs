@@ -51,7 +51,8 @@ use qplacer_freq::FrequencyAssigner;
 use qplacer_geometry::Point;
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
 use qplacer_place::{
-    DensityModel, FrequencyForce, GlobalPlacer, PlacerConfig, PlacerWorkspace, WirelengthModel,
+    DensityModel, ExecOptions, FrequencyForce, GlobalPlacer, PlacerConfig, PlacerWorkspace,
+    WirelengthModel,
 };
 use qplacer_topology::Topology;
 
@@ -77,7 +78,8 @@ fn vcycle_is_byte_identical_across_thread_counts() {
             .num_threads(threads)
             .build()
             .expect("pool builds");
-        let report = pool.install(|| GlobalPlacer::new(multilevel_cfg()).run(&mut nl));
+        let report = pool
+            .install(|| GlobalPlacer::new(multilevel_cfg()).execute(&mut nl, Default::default()));
         (report, nl)
     };
     let (r1, n1) = run_at(1);
@@ -103,7 +105,7 @@ fn vcycle_coarsens_at_least_two_levels_on_falcon() {
     };
     let (before_levels, before_refine) = (count("multilevel_level"), count("multilevel_refine"));
     let mut nl = falcon_netlist();
-    let _ = GlobalPlacer::new(multilevel_cfg()).run(&mut nl);
+    let _ = GlobalPlacer::new(multilevel_cfg()).execute(&mut nl, Default::default());
     let (after_levels, after_refine) = (count("multilevel_level"), count("multilevel_refine"));
     qplacer_obs::set_spans_enabled(false);
     // levels = 3 on Falcon (≈250 instances at l_b = 0.4) coarsens twice:
@@ -125,10 +127,22 @@ fn workspace_reuse_across_vcycles_does_not_change_results() {
     let t = Topology::grid(3, 3);
     let freqs = FrequencyAssigner::paper_defaults().assign(&t);
     let mut other = QuantumNetlist::build(&t, &freqs, &NetlistConfig::with_segment_size(0.4));
-    let _ = placer.run_with(&mut other, &mut ws);
+    let _ = placer.execute(
+        &mut other,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
 
-    let a = placer.run(&mut fresh);
-    let b = placer.run_with(&mut reused, &mut ws);
+    let a = placer.execute(&mut fresh, Default::default());
+    let b = placer.execute(
+        &mut reused,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(fresh.positions(), reused.positions());
 }

@@ -7,7 +7,7 @@
 
 use qplacer_freq::FrequencyAssigner;
 use qplacer_netlist::{NetlistConfig, QuantumNetlist};
-use qplacer_place::{GlobalPlacer, PlacerConfig, PlacerWorkspace};
+use qplacer_place::{ExecOptions, GlobalPlacer, PlacerConfig, PlacerWorkspace};
 use qplacer_topology::Topology;
 
 fn build(t: &Topology) -> QuantumNetlist {
@@ -23,7 +23,8 @@ fn run_at(threads: usize) -> (QuantumNetlist, usize) {
         .build()
         .expect("pool builds");
     // Paper configuration with the auto-picked (power-of-two) bin grid.
-    let report = pool.install(|| GlobalPlacer::new(PlacerConfig::paper()).run(&mut nl));
+    let report = pool
+        .install(|| GlobalPlacer::new(PlacerConfig::paper()).execute(&mut nl, Default::default()));
     (nl, report.iterations)
 }
 
@@ -46,13 +47,25 @@ fn workspace_reuse_does_not_change_results() {
     let mut reused = fresh.clone();
 
     let placer = GlobalPlacer::new(PlacerConfig::fast());
-    let report_fresh = placer.run(&mut fresh);
+    let report_fresh = placer.execute(&mut fresh, Default::default());
 
     // Dirty the workspace on an unrelated run, then reuse it.
     let mut ws = PlacerWorkspace::new();
     let mut warmup = build(&Topology::grid(2, 2));
-    let _ = placer.run_with(&mut warmup, &mut ws);
-    let report_reused = placer.run_with(&mut reused, &mut ws);
+    let _ = placer.execute(
+        &mut warmup,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
+    let report_reused = placer.execute(
+        &mut reused,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
 
     assert_eq!(report_fresh.iterations, report_reused.iterations);
     assert_eq!(fresh.positions(), reused.positions());

@@ -1,35 +1,78 @@
-//! Loopback load generator: start an in-process server, hammer it from
-//! several client threads, and print throughput plus the server's own
-//! metrics snapshot.
+//! Loopback load generator for the placement service, in three modes:
 //!
 //! ```text
 //! cargo run --release -p qplacer-service --example loadgen [threads] [requests]
+//! cargo run --release -p qplacer-service --example loadgen -- --connections 10000
+//! cargo run --release -p qplacer-service --example loadgen -- --shards 4 [--chaos]
 //! ```
 //!
-//! Defaults: 4 threads × 32 requests. All threads submit the same
-//! falcon fast-profile job, so after the first completion the cache
-//! serves everything — the steady-state regime the service optimizes.
+//! - **Default**: `threads` blocking clients × `requests` identical
+//!   falcon fast-profile jobs (4 × 32 unless overridden) — after the
+//!   first completion the cache serves everything, the steady-state
+//!   regime the service optimizes.
+//! - **`--connections N`**: opens N *simultaneous* nonblocking
+//!   connections (client-side mio event loop mirroring the server's
+//!   reactor), pipelines `hello` + one cached `place` on each, and
+//!   holds every socket open until all N replied — the C10K smoke for
+//!   the event-driven wire loop. Prints a greppable
+//!   `connections verdict: …` line.
+//! - **`--shards K`**: starts K in-process daemons behind a
+//!   consistent-hash [`ShardedClient`] and hammers them from 4 client
+//!   threads. With `--chaos`, shard 0 is killed mid-run; every
+//!   placement must still be acked (retried onto survivors) and the
+//!   survivors must serve every key afterwards. Prints a greppable
+//!   `chaos verdict: …` line.
 
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use qplacer_service::{DeviceSpec, PlaceJob, Server, ServiceClient, ServiceConfig, Strategy};
+use mio::{Events, Interest, Poll, Token};
+use qplacer_service::{
+    ClientBuilder, DeviceSpec, PlaceJob, Request, Server, ServiceConfig, ServiceError,
+    ShardedClient, Strategy, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+};
+
+fn falcon_job() -> PlaceJob {
+    PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware)
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if args.iter().any(|a| a == "--serve-internal") {
+        run_serve_internal();
+    } else if let Some(connections) = flag("--connections") {
+        run_connections(connections);
+    } else if let Some(shards) = flag("--shards") {
+        run_sharded(shards, args.iter().any(|a| a == "--chaos"));
+    } else {
+        let positional: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        let threads = positional.first().copied().unwrap_or(4);
+        let requests = positional.get(1).copied().unwrap_or(32);
+        run_threads(threads, requests);
+    }
+}
 
+/// Default mode: blocking clients, cached steady state.
+fn run_threads(threads: usize, requests: usize) {
     let server = Server::start(ServiceConfig::default()).expect("bind loopback");
     let addr = server.local_addr();
     println!("server on {addr}; {threads} clients x {requests} requests");
 
-    let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+    let job = falcon_job();
     let start = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let job = job.clone();
             std::thread::spawn(move || {
-                let mut client = ServiceClient::connect(addr).expect("connect");
+                let mut client = ClientBuilder::new(addr).connect().expect("connect");
                 let mut cached = 0usize;
                 let mut worst_ms = 0.0f64;
                 for _ in 0..requests {
@@ -52,7 +95,9 @@ fn main() {
         total as f64 / elapsed
     );
 
-    let mut client = ServiceClient::connect(addr).expect("connect for stats");
+    let mut client = ClientBuilder::new(addr)
+        .connect()
+        .expect("connect for stats");
     let stats = client.stats().expect("stats");
     println!(
         "server: placed {} ({} fresh batches, {} batched jobs), cache {:.0}% hit ({} entries), \
@@ -67,4 +112,299 @@ fn main() {
     client.shutdown().expect("shutdown");
     server.join();
     println!("server drained and exited");
+}
+
+/// One nonblocking connection's client-side state.
+struct LoadConn {
+    stream: std::net::TcpStream,
+    sent: usize,
+    replies: usize,
+    draining_writes: bool,
+    done: bool,
+}
+
+/// Child-process half of `--connections`: one daemon on an ephemeral
+/// port, address announced on stdout, alive until a client sends
+/// `shutdown`. A separate process because N loopback connections cost
+/// 2×N descriptors when client and server share one fd table.
+fn run_serve_internal() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("bind loopback");
+    println!("ADDR {}", server.local_addr());
+    server.join();
+}
+
+/// C10K smoke: N simultaneous connections, each pipelining
+/// `hello` + one cached `place`, all sockets held open until every
+/// reply arrived.
+fn run_connections(total: usize) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--serve-internal")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn server process");
+    let mut child_out = std::io::BufReader::new(child.stdout.take().expect("child stdout"));
+    let addr: std::net::SocketAddr = {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut child_out, &mut line).expect("read child addr");
+        line.trim()
+            .strip_prefix("ADDR ")
+            .and_then(|a| a.parse().ok())
+            .expect("child announced no address")
+    };
+
+    // Prime the cache: every loadgen place below is then a hit the
+    // reactor answers inline — no worker, no queue, pure wire loop.
+    let job = falcon_job();
+    let mut primer = ClientBuilder::new(addr).connect().expect("connect primer");
+    primer.place(&job).expect("prime cache");
+
+    let request_bytes: Vec<u8> = {
+        let hello = Request::Hello {
+            id: 1,
+            version: PROTOCOL_VERSION,
+            minor: PROTOCOL_MINOR_VERSION,
+        };
+        let place = Request::Place {
+            id: 2,
+            job: job.clone(),
+            trace_id: None,
+        };
+        format!("{}\n{}\n", hello.to_line(), place.to_line()).into_bytes()
+    };
+    const EXPECTED_REPLIES: usize = 2;
+
+    println!("server on {addr}; opening {total} concurrent connections");
+    let start = Instant::now();
+    let mut poll = Poll::new().expect("client poll");
+    let mut conns: Vec<LoadConn> = Vec::with_capacity(total);
+    for i in 0..total {
+        // Loopback connects succeed as fast as the reactor drains its
+        // accept backlog; back off briefly when a burst outruns it.
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        };
+        stream.set_nonblocking(true).expect("nonblocking");
+        poll.register(&stream, Token(i), Interest::READABLE | Interest::WRITABLE)
+            .expect("register");
+        conns.push(LoadConn {
+            stream,
+            sent: 0,
+            replies: 0,
+            draining_writes: true,
+            done: false,
+        });
+        if (i + 1) % 2500 == 0 {
+            println!(
+                "  opened {} in {:.2}s",
+                i + 1,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    let opened = start.elapsed().as_secs_f64();
+
+    let mut events = Events::with_capacity(4096);
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut completed = 0usize;
+    let mut last_report = Instant::now();
+    while completed < total {
+        poll.poll(&mut events, Some(Duration::from_millis(200)))
+            .expect("client poll");
+        if last_report.elapsed() > Duration::from_secs(2) {
+            println!(
+                "  {completed}/{total} replied after {:.2}s",
+                start.elapsed().as_secs_f64()
+            );
+            last_report = Instant::now();
+        }
+        for event in &events {
+            let Token(i) = event.token();
+            let conn = &mut conns[i];
+            if conn.done {
+                continue;
+            }
+            if event.is_writable() && conn.draining_writes {
+                while conn.sent < request_bytes.len() {
+                    match conn.stream.write(&request_bytes[conn.sent..]) {
+                        Ok(n) => conn.sent += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => panic!("connection {i} write failed: {e}"),
+                    }
+                }
+                if conn.sent == request_bytes.len() {
+                    // Stop asking for WRITABLE or level-triggered
+                    // readiness would spin this loop forever.
+                    conn.draining_writes = false;
+                    poll.reregister(Token(i), Interest::READABLE)
+                        .expect("reregister");
+                }
+            }
+            if event.is_readable() {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => panic!("connection {i} closed by server"),
+                        Ok(n) => {
+                            conn.replies += scratch[..n].iter().filter(|&&b| b == b'\n').count();
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => panic!("connection {i} read failed: {e}"),
+                    }
+                }
+                if conn.replies >= EXPECTED_REPLIES {
+                    conn.done = true;
+                    completed += 1;
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Every socket is still open: the server must be holding all of
+    // them (plus the primer) right now.
+    let open_now = primer.stats().expect("stats").open_connections;
+    let verdict = if open_now >= total { "PASS" } else { "FAIL" };
+    println!(
+        "connections verdict: {verdict} (opened={total}, replied={completed}, \
+         server_open={open_now}, open_in={opened:.2}s, total={elapsed:.2}s)"
+    );
+    drop(conns);
+    primer.shutdown().expect("shutdown");
+    let status = child.wait().expect("server process exit");
+    assert!(status.success(), "server process failed: {status}");
+    println!("server drained and exited");
+    assert_eq!(verdict, "PASS");
+}
+
+/// Sharded mode: K daemons behind consistent hashing; with `chaos`,
+/// shard 0 dies mid-run and no acked placement may be lost.
+fn run_sharded(shards: usize, chaos: bool) {
+    const CLIENT_THREADS: usize = 4;
+    const ROUNDS: usize = 24;
+
+    let servers: Vec<Server> = (0..shards)
+        .map(|shard_id| {
+            Server::start(ServiceConfig {
+                workers: 1,
+                shard_id,
+                shards,
+                ..ServiceConfig::default()
+            })
+            .expect("bind shard")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    println!(
+        "{shards} shards on {addrs:?}; {CLIENT_THREADS} clients x {ROUNDS} rounds{}",
+        if chaos { " with chaos" } else { "" }
+    );
+
+    let jobs: Vec<PlaceJob> = (2..10)
+        .map(|width| {
+            PlaceJob::fast(
+                DeviceSpec::Grid { width, height: 2 },
+                Strategy::FrequencyAware,
+            )
+        })
+        .collect();
+    let submitted = Arc::new(AtomicUsize::new(0));
+    let acked = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(CLIENT_THREADS + 1));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            let addrs = addrs.clone();
+            let jobs = jobs.clone();
+            let submitted = Arc::clone(&submitted);
+            let acked = Arc::clone(&acked);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut fleet = ShardedClient::connect(&addrs);
+                // Warm pass: every key placed (and cached) somewhere.
+                for job in &jobs {
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    place_until_acked(&mut fleet, job);
+                    acked.fetch_add(1, Ordering::Relaxed);
+                }
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    for job in &jobs {
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        place_until_acked(&mut fleet, job);
+                        acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let mut servers = servers;
+    if chaos {
+        // Kill shard 0 while the hammer threads are mid-flight: its
+        // connections drain, then close; clients fail over.
+        let victim = servers.remove(0);
+        victim.shutdown();
+        victim.join();
+        println!(
+            "chaos: shard 0 killed after {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Post-run probe: the surviving fleet must still serve every key.
+    let mut probe = ShardedClient::connect(&addrs);
+    for job in &jobs {
+        probe.place(job).expect("survivors must serve every key");
+    }
+    let survivors = probe.live_shards();
+
+    let submitted = submitted.load(Ordering::Relaxed);
+    let acked = acked.load(Ordering::Relaxed);
+    let lost = submitted - acked;
+    let expected_survivors = if chaos { shards - 1 } else { shards };
+    let verdict = if lost == 0 && survivors == expected_survivors {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "{} verdict: {verdict} (submitted={submitted}, acked={acked}, lost={lost}, \
+         survivors={survivors}/{shards}, {:.0} req/s)",
+        if chaos { "chaos" } else { "sharded" },
+        acked as f64 / elapsed
+    );
+
+    probe.shutdown_all();
+    for server in servers {
+        server.join();
+    }
+    println!("fleet drained and exited");
+    assert_eq!(verdict, "PASS");
+}
+
+/// Places `job`, retrying through shutdown rejections (a draining
+/// victim) and transport failover until some shard acks it.
+fn place_until_acked(fleet: &mut ShardedClient, job: &PlaceJob) {
+    loop {
+        match fleet.place(job) {
+            Ok(_) => return,
+            // The victim acks the shutdown of its queue before its
+            // sockets close; retry until failover takes over.
+            Err(ServiceError::Remote { .. }) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => panic!("unrecoverable placement failure: {e}"),
+        }
+    }
 }

@@ -1,28 +1,41 @@
 //! # qplacer-service — placement as a service
 //!
 //! The serving layer the ROADMAP's "heavy traffic" north star asks for:
-//! a multi-threaded TCP daemon that runs the QPlacer pipeline behind a
+//! an event-driven TCP daemon that runs the QPlacer pipeline behind a
 //! versioned JSON-lines protocol, with the production affordances the
 //! batch CLI lacks:
 //!
 //! - **Wire protocol** ([`protocol`]) — one JSON object per line,
 //!   externally tagged, client-correlated ids, explicit
-//!   [`PROTOCOL_VERSION`] handshake.
+//!   [`PROTOCOL_VERSION`] handshake with minor-version negotiation
+//!   (older clients are served with newer features masked).
+//! - **Event-driven I/O** ([`server`]) — one reactor thread multiplexes
+//!   every connection over nonblocking readiness polling (vendored
+//!   `mio`), so thousands of idle connections cost buffers, not
+//!   threads.
 //! - **Bounded queue + backpressure** ([`queue`]) — a full queue answers
-//!   `Busy` instead of stalling sockets; per-request deadlines expire
-//!   stale work before it wastes a worker.
+//!   `Busy` instead of stalling sockets; strict priority lanes serve
+//!   latency-sensitive work first; per-tenant admission quotas keep one
+//!   tenant from starving the rest; per-request deadlines expire stale
+//!   work before it wastes a worker.
 //! - **Content-addressed cache** ([`cache`]) — sharded LRU keyed by a
 //!   stable fingerprint of (device, strategy, resolved
 //!   `PipelineConfig`); identical requests never re-run the pipeline.
+//! - **Durable result store** ([`store`]) — an append-only record log
+//!   replayed into the cache on startup, versioned by the pipeline
+//!   config hash so stale results never survive a config change.
+//! - **Sharding** ([`shard`]) — client-side consistent hashing routes
+//!   each job's cache key to one daemon of a fleet, with failover.
 //! - **Batching** ([`server`]) — workers drain compatible jobs into one
 //!   harness `ExperimentPlan` dispatch.
 //! - **Persistent per-worker workspaces** — each worker owns a
 //!   `PipelineWorkspace`, so steady-state serving rides the PR 2/3
 //!   zero-allocation hot path.
-//! - **Observability** ([`metrics`]) — queue depth, in-flight, cache hit
-//!   rate, uptime, per-error-code rejections, and per-stage latency
-//!   histograms (shared with `qplacer-obs`), served as a structured
-//!   snapshot on `stats` and as Prometheus text on `metrics`.
+//! - **Observability** ([`metrics`]) — queue depth, in-flight, open
+//!   connections, cache hit rate, uptime, per-error-code rejections,
+//!   store replay/append counters, and per-stage latency histograms
+//!   (shared with `qplacer-obs`), served as a structured snapshot on
+//!   `stats` and as Prometheus text on `metrics`.
 //! - **Graceful shutdown** — `shutdown` drains queued and in-flight jobs
 //!   before workers exit.
 //!
@@ -30,7 +43,7 @@
 //!
 //! ```
 //! use qplacer_service::{
-//!     DeviceSpec, PlaceJob, Server, ServiceClient, ServiceConfig, Strategy,
+//!     ClientBuilder, DeviceSpec, PlaceJob, Server, ServiceConfig, Strategy,
 //! };
 //!
 //! let server = Server::start(ServiceConfig {
@@ -38,7 +51,7 @@
 //!     ..ServiceConfig::default() // binds 127.0.0.1:0 (ephemeral)
 //! })
 //! .unwrap();
-//! let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+//! let mut client = ClientBuilder::new(server.local_addr()).connect().unwrap();
 //!
 //! let job = PlaceJob::fast(DeviceSpec::Grid { width: 2, height: 2 }, Strategy::FrequencyAware);
 //! let first = client.place(&job).unwrap();
@@ -59,17 +72,24 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
+pub mod store;
 
 pub use cache::{cache_key, cache_key_with_content, config_fingerprint, ResultCache};
-pub use client::{PlacedReply, ServiceClient, ServiceError, TraceDumpReply};
+pub use client::{
+    ClientBuilder, PlacedReply, ServiceClient, ServiceError, TraceDumpReply, TracePolicy,
+};
 pub use metrics::{
     bucket_bounds_ms, HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceMetrics,
 };
 pub use protocol::{
-    ErrorCode, PlaceJob, PlacementResult, Reply, Request, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+    ErrorCode, PlaceJob, PlacementResult, Priority, Reply, Request, PROTOCOL_MINOR_VERSION,
+    PROTOCOL_VERSION,
 };
-pub use queue::{JobQueue, PushError, QueuedJob};
+pub use queue::{JobQueue, PushError, QueuedJob, ReplyPort, ReplySender};
 pub use server::{Server, ServiceConfig};
+pub use shard::{FleetBatch, ShardedClient};
+pub use store::{store_version, DurableStore, ReplayStats};
 
 // Re-exported so service users can build jobs without importing the
 // harness crate directly.

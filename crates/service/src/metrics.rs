@@ -33,6 +33,9 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Place requests rejected because the queue was full.
     pub rejected_busy: AtomicU64,
+    /// Place requests rejected because the tenant was over its
+    /// admission quota.
+    pub rejected_quota: AtomicU64,
     /// Place requests rejected at admission for an unbuildable
     /// [`DeviceSpec`](qplacer_harness::DeviceSpec).
     pub rejected_invalid_device: AtomicU64,
@@ -44,6 +47,8 @@ pub struct ServiceMetrics {
     pub batched_jobs: AtomicU64,
     /// Jobs currently executing in workers.
     pub in_flight: AtomicUsize,
+    /// Connections currently open on the wire loop.
+    pub open_connections: AtomicUsize,
     /// Frequency-assignment stage latency.
     pub assign: LatencyHistogram,
     /// Global-placement stage latency.
@@ -63,11 +68,13 @@ impl Default for ServiceMetrics {
             warm_placements: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
             rejected_invalid_device: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
+            open_connections: AtomicUsize::new(0),
             assign: LatencyHistogram::default(),
             place: LatencyHistogram::default(),
             legalize: LatencyHistogram::default(),
@@ -104,12 +111,14 @@ impl ServiceMetrics {
             warm_placements: self.warm_placements.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
             rejected_invalid_device: self.rejected_invalid_device.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             queue_depth,
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             cache_entries,
@@ -119,6 +128,10 @@ impl ServiceMetrics {
             } else {
                 0.0
             },
+            shard_id: 0,
+            shards: 1,
+            store_replayed: 0,
+            store_appended: 0,
             assign: self.assign.snapshot(),
             place: self.place.snapshot(),
             legalize: self.legalize.snapshot(),
@@ -143,6 +156,9 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Place requests rejected because the queue was full.
     pub rejected_busy: u64,
+    /// Place requests rejected because the tenant was over its
+    /// admission quota.
+    pub rejected_quota: u64,
     /// Place requests rejected at admission for an unbuildable device.
     pub rejected_invalid_device: u64,
     /// Place requests dropped past their deadline.
@@ -155,6 +171,8 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Jobs executing in workers right now.
     pub in_flight: usize,
+    /// Connections open on the wire loop right now.
+    pub open_connections: usize,
     /// Cache lookups served from cache.
     pub cache_hits: u64,
     /// Cache lookups that missed.
@@ -165,6 +183,16 @@ pub struct MetricsSnapshot {
     pub cache_evictions: u64,
     /// hits / (hits + misses); 0 with no lookups.
     pub cache_hit_rate: f64,
+    /// This daemon's shard index (informational; routing is
+    /// client-side consistent hashing).
+    pub shard_id: u64,
+    /// Total shards in the deployment this daemon believes it is in.
+    pub shards: u64,
+    /// Results recovered from the durable store on startup (0 when the
+    /// server runs without a store).
+    pub store_replayed: u64,
+    /// Results appended to the durable store since startup.
+    pub store_appended: u64,
     /// Frequency-assignment stage latency.
     pub assign: HistogramSnapshot,
     /// Global-placement stage latency.
@@ -194,6 +222,11 @@ impl MetricsSnapshot {
         write_prometheus_counter(&mut out, "qplacer_rejected_busy_total", self.rejected_busy);
         write_prometheus_counter(
             &mut out,
+            "qplacer_rejected_quota_total",
+            self.rejected_quota,
+        );
+        write_prometheus_counter(
+            &mut out,
             "qplacer_rejected_invalid_device_total",
             self.rejected_invalid_device,
         );
@@ -206,6 +239,11 @@ impl MetricsSnapshot {
         write_prometheus_counter(&mut out, "qplacer_batched_jobs_total", self.batched_jobs);
         write_prometheus_gauge(&mut out, "qplacer_queue_depth", self.queue_depth as f64);
         write_prometheus_gauge(&mut out, "qplacer_in_flight", self.in_flight as f64);
+        write_prometheus_gauge(
+            &mut out,
+            "qplacer_open_connections",
+            self.open_connections as f64,
+        );
         write_prometheus_counter(&mut out, "qplacer_cache_hits_total", self.cache_hits);
         write_prometheus_counter(&mut out, "qplacer_cache_misses_total", self.cache_misses);
         write_prometheus_gauge(&mut out, "qplacer_cache_entries", self.cache_entries as f64);
@@ -215,6 +253,18 @@ impl MetricsSnapshot {
             self.cache_evictions,
         );
         write_prometheus_gauge(&mut out, "qplacer_cache_hit_rate", self.cache_hit_rate);
+        write_prometheus_gauge(&mut out, "qplacer_shard_id", self.shard_id as f64);
+        write_prometheus_gauge(&mut out, "qplacer_shards", self.shards as f64);
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_store_replayed_total",
+            self.store_replayed,
+        );
+        write_prometheus_counter(
+            &mut out,
+            "qplacer_store_appended_total",
+            self.store_appended,
+        );
         write_prometheus_histogram(&mut out, "qplacer_assign_latency", &self.assign);
         write_prometheus_histogram(&mut out, "qplacer_place_latency", &self.place);
         write_prometheus_histogram(&mut out, "qplacer_legalize_latency", &self.legalize);

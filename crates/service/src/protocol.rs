@@ -33,8 +33,70 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// 2 = `metrics` Prometheus-text export + snapshot `uptime_ms` /
 /// `rejected_invalid_device` fields; 3 = trace-context propagation
 /// (`trace_id` on `place`/`placed`) + the `dump-trace` flight-recorder
-/// wire pair.
-pub const PROTOCOL_MINOR_VERSION: u32 = 3;
+/// wire pair; 4 = scheduling metadata on [`PlaceJob`] (`priority`
+/// lanes, `tenant` admission quotas) + `quota-exceeded`.
+///
+/// The server accepts any client minor under an equal major and masks
+/// features the client's minor predates (see the negotiation notes on
+/// each message); a newer client degrades gracefully against an older
+/// server because unknown reply fields are ignored on parse.
+pub const PROTOCOL_MINOR_VERSION: u32 = 4;
+
+/// Scheduling lane of a [`PlaceJob`] (added in minor 4). Strict
+/// priority: the queue never pops a lane while a higher one has work.
+/// Priority affects *when* a job runs, never its result — like
+/// deadlines, it stays out of the cache key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Priority {
+    /// Interactive traffic; served before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Batch / backfill traffic; served only when the other lanes are
+    /// empty.
+    Low,
+}
+
+impl Priority {
+    /// Lane index (0 = highest priority), for lane-indexed storage.
+    #[must_use]
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Every lane, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!(
+                "unknown priority `{other}` (expected high | normal | low)"
+            )),
+        }
+    }
+}
 
 /// One placement request payload: which device to lay out, with which
 /// strategy, under which pipeline budget.
@@ -52,6 +114,16 @@ pub struct PlaceJob {
     /// queued past its deadline is answered with
     /// [`ErrorCode::DeadlineExceeded`] instead of running.
     pub deadline_ms: Option<u64>,
+    /// Scheduling lane (added in minor 4). Affects queue order only —
+    /// never the result, so it stays out of the cache key.
+    pub priority: Priority,
+    /// Submitting tenant (added in minor 4), checked against the
+    /// server's per-tenant admission quota: a tenant already holding
+    /// its full share of queue slots is answered with
+    /// [`ErrorCode::QuotaExceeded`] instead of enqueuing. `None` =
+    /// the anonymous tenant (quota still applies, pooled). Stays out
+    /// of the cache key — results are tenant-independent.
+    pub tenant: Option<String>,
 }
 
 impl PlaceJob {
@@ -64,6 +136,8 @@ impl PlaceJob {
             profile: Profile::Paper,
             segment_size_mm: None,
             deadline_ms: None,
+            priority: Priority::default(),
+            tenant: None,
         }
     }
 
@@ -183,8 +257,9 @@ impl Request {
     ///
     /// - the minor-0 (protocol 1.0) `hello` shape — which predates the
     ///   `minor` field — parses as `minor: 0`;
-    /// - the pre-minor-3 `place` shape — which predates `trace_id` —
-    ///   parses as `trace_id: None`.
+    /// - older `place` shapes — missing `trace_id` (pre-minor-3)
+    ///   and/or the job's `priority` / `tenant` (pre-minor-4) — parse
+    ///   with those fields defaulted (`None` / `Normal`).
     ///
     /// (The reverse direction needs no shim: unknown fields are
     /// ignored on parse, so an old client reading a newer message
@@ -193,7 +268,7 @@ impl Request {
         match serde_json::from_str(line) {
             Ok(request) => Ok(request),
             Err(e) => parse_minor0_hello(line)
-                .or_else(|| parse_pre_minor3_place(line))
+                .or_else(|| parse_legacy_place(line))
                 .ok_or_else(|| format!("bad request: {e}")),
         }
     }
@@ -220,23 +295,41 @@ fn parse_minor0_hello(line: &str) -> Option<Request> {
     })
 }
 
-/// The pre-minor-3 `place` wire shape: `{"Place":{"id":…,"job":…}}`
-/// with no `trace_id` field. Patches `trace_id: null` into the parsed
-/// value and re-runs the derived deserializer, so the legacy shape
-/// stays accepted without duplicating the job schema here.
-fn parse_pre_minor3_place(line: &str) -> Option<Request> {
+/// Older `place` wire shapes: missing `trace_id` on the envelope
+/// (pre-minor-3) and/or missing `priority` / `tenant` inside the job
+/// (pre-minor-4). Patches defaults for exactly the *missing* fields
+/// into the parsed value and re-runs the derived deserializer, so
+/// legacy shapes stay accepted without duplicating the job schema here
+/// — while a present-but-malformed field still fails strict.
+fn parse_legacy_place(line: &str) -> Option<Request> {
     let value: serde::Value = serde_json::from_str(line).ok()?;
     let (tag, inner) = value.as_variant()?;
     if tag != "Place" {
         return None;
     }
     let fields = inner.as_map()?;
-    if fields.iter().any(|(k, _)| k == "trace_id") {
-        return None; // not the legacy shape — let the strict error stand
+    let mut patched_any = false;
+    let mut envelope = fields.to_vec();
+    if !envelope.iter().any(|(k, _)| k == "trace_id") {
+        envelope.push(("trace_id".to_string(), serde::Value::Null));
+        patched_any = true;
     }
-    let mut patched = fields.to_vec();
-    patched.push(("trace_id".to_string(), serde::Value::Null));
-    Request::from_value(&serde::Value::variant_map("Place", patched)).ok()
+    if let Some(job_slot) = envelope.iter_mut().find(|(k, _)| k == "job") {
+        let mut job = job_slot.1.as_map()?.to_vec();
+        if !job.iter().any(|(k, _)| k == "priority") {
+            job.push(("priority".to_string(), serde::Value::Str("Normal".into())));
+            patched_any = true;
+        }
+        if !job.iter().any(|(k, _)| k == "tenant") {
+            job.push(("tenant".to_string(), serde::Value::Null));
+            patched_any = true;
+        }
+        job_slot.1 = serde::Value::Map(job);
+    }
+    if !patched_any {
+        return None; // nothing was missing — let the strict error stand
+    }
+    Request::from_value(&serde::Value::variant_map("Place", envelope)).ok()
 }
 
 /// Machine-readable error class in [`Reply::Error`].
@@ -252,6 +345,11 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The job sat queued past its [`PlaceJob::deadline_ms`].
     DeadlineExceeded,
+    /// The submitting tenant already holds its full per-tenant share of
+    /// queue slots (added in minor 4); retry when its in-flight work
+    /// drains. Masked to [`ErrorCode::Busy`] for pre-minor-4 clients,
+    /// which do not know this code.
+    QuotaExceeded,
     /// The job's [`DeviceSpec`] does not describe a placeable device
     /// (bad parameters, unreadable JSON import, disconnected graph);
     /// caught at admission, before the job ever reaches a worker.
@@ -268,6 +366,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
             ErrorCode::InvalidDevice => "invalid-device",
             ErrorCode::PipelineFailed => "pipeline-failed",
         };
@@ -445,12 +544,215 @@ impl Reply {
     /// Parses one wire line. Accepts the pre-minor-3 `placed` shape
     /// (no `trace_id` field) as `trace_id: None`, so a newer client can
     /// still read replies from an older server.
+    ///
+    /// `Placed` replies in the server's canonical encoding take a
+    /// single-pass fast path: they dominate every workload (one per
+    /// placement, carrying a position per instance) and the generic
+    /// parser's intermediate value tree costs more than the rest of the
+    /// round trip combined. Any line the fast path cannot read byte-
+    /// for-byte falls through to the generic parser, so acceptance is
+    /// unchanged — only the canonical shape gets cheaper.
     pub fn parse(line: &str) -> Result<Reply, String> {
+        if let Some(reply) = fast_parse_placed(line) {
+            return Ok(reply);
+        }
         match serde_json::from_str(line) {
             Ok(reply) => Ok(reply),
             Err(e) => parse_pre_minor3_placed(line).ok_or_else(|| format!("bad reply: {e}")),
         }
     }
+}
+
+/// Byte cursor for [`fast_parse_placed`]: every method returns `None`
+/// on the first deviation from the expected bytes, which sends the
+/// whole line to the generic parser.
+struct WireCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl WireCursor<'_> {
+    fn lit(&mut self, s: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn usize_field(&mut self) -> Option<usize> {
+        self.u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' => self.pos += 1,
+                _ => break,
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// An escape-free JSON string: the canonical encoder only escapes
+    /// quotes, backslashes, and control characters, none of which occur
+    /// in device or strategy display names. Any backslash bails to the
+    /// generic parser rather than decoding here.
+    fn string(&mut self) -> Option<String> {
+        if *self.bytes.get(self.pos)? != b'"' {
+            return None;
+        }
+        self.pos += 1;
+        let start = self.pos;
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => break,
+                b'\\' => return None,
+                _ => self.pos += 1,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .to_string();
+        self.pos += 1;
+        Some(s)
+    }
+}
+
+/// Scans the canonical `Place` request envelope —
+/// `{"Place":{"id":N,"job":<json>,"trace_id":null|N}}`, the field
+/// order [`Request::to_line`] emits — and returns `(id, the job's raw
+/// JSON substring)` without parsing the job. Returns `None` for any
+/// other shape (older clients omit `trace_id`; they take the generic
+/// parser). The server's admission memo keys on the job substring to
+/// skip re-parsing and re-fingerprinting repeat submissions.
+///
+/// The `trace_id` tail is located with a reverse search: the envelope's
+/// `,"trace_id":` is the last occurrence on the line (the job object
+/// closes before it), so a job that happens to contain the same text
+/// inside a string cannot truncate the fragment — and the strict
+/// `null`-or-digits check on the tail rejects any leftover ambiguity by
+/// falling back to the generic parser.
+pub(crate) fn scan_place_envelope(line: &str) -> Option<(u64, &str)> {
+    let mut c = WireCursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.lit("{\"Place\":{\"id\":")?;
+    let id = c.u64()?;
+    c.lit(",\"job\":")?;
+    let rest = &line[c.pos..];
+    let rest = rest.strip_suffix("}}")?;
+    let split = rest.rfind(",\"trace_id\":")?;
+    let tail = &rest[split + ",\"trace_id\":".len()..];
+    if tail != "null" && (tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit())) {
+        return None;
+    }
+    let job_json = &rest[..split];
+    (job_json.starts_with('{') && job_json.ends_with('}')).then_some((id, job_json))
+}
+
+/// Single-pass parser for `Placed` replies in the exact canonical
+/// encoding ([`Reply::to_line`]'s output: externally tagged, fields in
+/// declaration order, no interior whitespace). Returns `None` — never
+/// an error — for anything else.
+fn fast_parse_placed(line: &str) -> Option<Reply> {
+    let mut c = WireCursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.lit("{\"Placed\":{\"id\":")?;
+    let id = c.u64()?;
+    c.lit(",\"cached\":")?;
+    let cached = if c.lit("true").is_some() {
+        true
+    } else {
+        c.lit("false")?;
+        false
+    };
+    c.lit(",\"wall_ms\":")?;
+    let wall_ms = c.f64()?;
+    c.lit(",\"trace_id\":")?;
+    let trace_id = if c.lit("null").is_some() {
+        None
+    } else {
+        Some(c.u64()?)
+    };
+    c.lit(",\"result\":{\"device\":")?;
+    let device = c.string()?;
+    c.lit(",\"strategy\":")?;
+    let strategy = c.string()?;
+    c.lit(",\"instances\":")?;
+    let instances = c.usize_field()?;
+    c.lit(",\"positions\":[")?;
+    let mut positions = Vec::with_capacity(instances.min(4096));
+    if c.lit("]").is_none() {
+        loop {
+            c.lit("[")?;
+            let x = c.f64()?;
+            c.lit(",")?;
+            let y = c.f64()?;
+            c.lit("]")?;
+            positions.push((x, y));
+            if c.lit(",").is_none() {
+                break;
+            }
+        }
+        c.lit("]")?;
+    }
+    c.lit(",\"place_iterations\":")?;
+    let place_iterations = c.usize_field()?;
+    c.lit(",\"hpwl_mm\":")?;
+    let hpwl_mm = c.f64()?;
+    c.lit(",\"mer_area_mm2\":")?;
+    let mer_area_mm2 = c.f64()?;
+    c.lit(",\"utilization\":")?;
+    let utilization = c.f64()?;
+    c.lit(",\"ph\":")?;
+    let ph = c.f64()?;
+    c.lit(",\"violations\":")?;
+    let violations = c.usize_field()?;
+    c.lit(",\"remaining_overlaps\":")?;
+    let remaining_overlaps = c.usize_field()?;
+    c.lit("}}}")?;
+    if c.pos != c.bytes.len() {
+        return None;
+    }
+    Some(Reply::Placed {
+        id,
+        cached,
+        wall_ms,
+        trace_id,
+        result: PlacementResult {
+            device,
+            strategy,
+            instances,
+            positions,
+            place_iterations,
+            hpwl_mm,
+            mer_area_mm2,
+            utilization,
+            ph,
+            violations,
+            remaining_overlaps,
+        },
+    })
 }
 
 /// The pre-minor-3 `placed` wire shape: no `trace_id` field.
@@ -508,6 +810,111 @@ mod tests {
     }
 
     #[test]
+    fn place_envelope_scan_matches_canonical_lines() {
+        let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+        let job_json = serde_json::to_string(&job).unwrap();
+        for trace_id in [None, Some(0u64), Some(u64::MAX)] {
+            let line = Request::Place {
+                id: 17,
+                job: job.clone(),
+                trace_id,
+            }
+            .to_line();
+            let (id, fragment) = scan_place_envelope(&line).expect("canonical envelope must scan");
+            assert_eq!(id, 17);
+            assert_eq!(fragment, job_json, "fragment must be the exact job JSON");
+        }
+
+        // A job whose own JSON contains the `,"trace_id":` text (a
+        // device-import path can) must not truncate the fragment: the
+        // reverse search picks the envelope's occurrence.
+        let tricky = PlaceJob::fast(
+            DeviceSpec::FromJson {
+                path: "/tmp/x,\"trace_id\":9.json".to_string(),
+            },
+            Strategy::FrequencyAware,
+        );
+        let line = Request::Place {
+            id: 3,
+            job: tricky.clone(),
+            trace_id: Some(7),
+        }
+        .to_line();
+        let (_, fragment) = scan_place_envelope(&line).expect("tricky envelope must scan");
+        assert_eq!(fragment, serde_json::to_string(&tricky).unwrap());
+
+        // Non-canonical shapes fall through to the generic parser.
+        let legacy = r#"{"Place":{"id":5,"job":{"device":"Falcon27"}}}"#;
+        assert_eq!(scan_place_envelope(legacy), None, "pre-minor-3 shape");
+        let reordered = r#"{"Place":{"id":5,"trace_id":null,"job":{"device":"Falcon27"}}}"#;
+        assert_eq!(scan_place_envelope(reordered), None, "reordered fields");
+        let bad_tail = r#"{"Place":{"id":5,"job":{"a":1},"trace_id":"x"}}"#;
+        assert_eq!(scan_place_envelope(bad_tail), None, "non-numeric trace id");
+    }
+
+    #[test]
+    fn placed_fast_path_matches_generic_parse() {
+        let reply = Reply::Placed {
+            id: u64::MAX,
+            cached: true,
+            wall_ms: 0.0004837,
+            trace_id: Some(42),
+            result: PlacementResult {
+                device: "grid 7x5 (h2)".to_string(),
+                strategy: "frequency-aware".to_string(),
+                instances: 3,
+                positions: vec![(0.0, -0.25), (1e300, 5e-324), (0.30000000000000004, 3.5)],
+                place_iterations: 17,
+                hpwl_mm: 12.5,
+                mer_area_mm2: 104.06249999999999,
+                utilization: 0.6172839506172839,
+                ph: 0.0,
+                violations: 1,
+                remaining_overlaps: 0,
+            },
+        };
+        let line = reply.to_line();
+        // The canonical line takes the fast path; it must agree with the
+        // generic parser byte-for-byte on the decoded value.
+        assert_eq!(fast_parse_placed(&line), Some(reply.clone()));
+        assert_eq!(Reply::parse(&line).unwrap(), reply);
+        let generic: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(generic, reply);
+
+        // Empty positions stay on the fast path.
+        let mut empty = reply.clone();
+        if let Reply::Placed { result, .. } = &mut empty {
+            result.positions.clear();
+            result.instances = 0;
+        }
+        assert_eq!(fast_parse_placed(&empty.to_line()), Some(empty.clone()));
+
+        // Non-canonical but valid encodings bail to the generic parser
+        // and still decode to the same value.
+        let reordered = line.replace(
+            "{\"Placed\":{\"id\":18446744073709551615,\"cached\":true,",
+            "{\"Placed\":{\"cached\":true,\"id\":18446744073709551615,",
+        );
+        assert_ne!(reordered, line);
+        assert_eq!(fast_parse_placed(&reordered), None);
+        assert_eq!(Reply::parse(&reordered).unwrap(), reply);
+
+        // A string the canonical encoder would escape bails, and the
+        // generic parser decodes it.
+        let mut escaped = reply.clone();
+        if let Reply::Placed { result, .. } = &mut escaped {
+            result.device = "dev \"quoted\" \\ name".to_string();
+        }
+        let escaped_line = escaped.to_line();
+        assert_eq!(fast_parse_placed(&escaped_line), None);
+        assert_eq!(Reply::parse(&escaped_line).unwrap(), escaped);
+
+        // Trailing bytes are never silently ignored.
+        assert_eq!(fast_parse_placed(&format!("{line} ")), None);
+        assert_eq!(fast_parse_placed(&format!("{line}x")), None);
+    }
+
+    #[test]
     fn garbage_lines_are_rejected() {
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"Nope\":{}}").is_err());
@@ -535,12 +942,15 @@ mod tests {
 
     #[test]
     fn pre_minor3_place_is_accepted_without_trace_id() {
-        // The minor-2 wire shape (no `trace_id`) must still parse.
+        // The minor-2 wire shape (no `trace_id`, no `priority` /
+        // `tenant`) must still parse with everything defaulted.
         let legacy = r#"{"Place":{"id":5,"job":{"device":"Falcon27","strategy":"FrequencyAware","profile":"Fast","segment_size_mm":null,"deadline_ms":null}}}"#;
         match Request::parse(legacy).unwrap() {
-            Request::Place { id, trace_id, .. } => {
+            Request::Place { id, trace_id, job } => {
                 assert_eq!(id, 5);
                 assert_eq!(trace_id, None);
+                assert_eq!(job.priority, Priority::Normal);
+                assert_eq!(job.tenant, None);
             }
             other => panic!("expected Place, got {other:?}"),
         }
@@ -552,6 +962,56 @@ mod tests {
             )
             .is_err()
         );
+    }
+
+    #[test]
+    fn pre_minor4_place_is_accepted_without_priority_and_tenant() {
+        // The minor-3 wire shape: `trace_id` present on the envelope,
+        // but the job predates `priority` / `tenant`.
+        let legacy = r#"{"Place":{"id":6,"trace_id":77,"job":{"device":"Falcon27","strategy":"FrequencyAware","profile":"Fast","segment_size_mm":null,"deadline_ms":250}}}"#;
+        match Request::parse(legacy).unwrap() {
+            Request::Place { id, trace_id, job } => {
+                assert_eq!(id, 6);
+                assert_eq!(trace_id, Some(77));
+                assert_eq!(job.deadline_ms, Some(250));
+                assert_eq!(job.priority, Priority::Normal);
+                assert_eq!(job.tenant, None);
+            }
+            other => panic!("expected Place, got {other:?}"),
+        }
+        // A present-but-malformed priority still fails strict.
+        assert!(
+            Request::parse(
+                r#"{"Place":{"id":6,"trace_id":null,"job":{"device":"Falcon27","strategy":"FrequencyAware","profile":"Fast","segment_size_mm":null,"deadline_ms":null,"priority":"Urgent","tenant":null}}}"#
+            )
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn priority_and_tenant_round_trip_and_stay_ordered() {
+        let mut job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+        job.priority = Priority::Low;
+        job.tenant = Some("team-a".to_string());
+        let req = Request::Place {
+            id: 12,
+            job,
+            trace_id: None,
+        };
+        let back = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(back, req);
+
+        // Lane order is strict-priority order.
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(
+            Priority::ALL.map(Priority::lane),
+            [0, 1, 2],
+            "lane indices follow ALL order"
+        );
+        assert_eq!("high".parse::<Priority>().unwrap(), Priority::High);
+        assert!("urgent".parse::<Priority>().is_err());
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 
     #[test]

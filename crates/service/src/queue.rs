@@ -1,19 +1,73 @@
-//! A bounded, blocking MPMC job queue with backpressure and batch pops.
+//! A bounded, blocking MPMC job queue with priority lanes, per-tenant
+//! admission quotas, backpressure, and batch pops.
 //!
-//! Producers (connection threads) never block: a full queue rejects the
-//! push so the client gets an immediate `Busy` reply — backpressure
-//! surfaces at the protocol layer instead of stalling the socket.
-//! Consumers (workers) block on a condvar and pop *batches* of
-//! compatible jobs (same [`Profile`](qplacer_harness::Profile), the one
-//! plan-wide knob), so one dequeue can become one harness
-//! `ExperimentPlan` dispatch.
+//! Producers (the wire loop) never block: a full queue rejects the push
+//! so the client gets an immediate `Busy` reply — backpressure surfaces
+//! at the protocol layer instead of stalling the socket — and a tenant
+//! already holding its full share of slots gets `QuotaExceeded` so one
+//! noisy client cannot starve the rest. Consumers (workers) block on a
+//! condvar and pop *batches* of compatible jobs (same
+//! [`Profile`](qplacer_harness::Profile), the one plan-wide knob), so
+//! one dequeue can become one harness `ExperimentPlan` dispatch.
+//!
+//! # Priority lanes
+//!
+//! The queue is three FIFO lanes, one per [`Priority`]. Pops are
+//! strict-priority: a lower lane is never touched while a higher one
+//! has work, and a batch never mixes lanes (lanes may mix profiles, so
+//! batching stays within the popped lane). Starvation of the low lane
+//! under sustained high-priority load is the documented, intended
+//! trade — deadlines (`deadline_ms`) are the pressure valve.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::protocol::{PlaceJob, Reply};
+use crate::protocol::{PlaceJob, Priority, Reply};
+
+/// A shared reply destination: the event-driven server's reactor bus,
+/// behind a trait so the queue stays ignorant of connection bookkeeping.
+/// Implementations enqueue the reply for the owning connection and wake
+/// the wire loop; delivery to a since-closed connection is a no-op.
+pub trait ReplyPort: Send + Sync {
+    /// Delivers one reply toward the submitting connection.
+    fn send(&self, reply: Reply);
+}
+
+/// Where a job's reply goes. Jobs travel from the wire loop through the
+/// queue to a worker; the worker answers through this, never through a
+/// socket it would have to lock.
+#[derive(Clone)]
+pub enum ReplySender {
+    /// An mpsc channel — thread-per-connection writers and tests.
+    Channel(Sender<Reply>),
+    /// A shared reply port — the reactor bus of the event-driven
+    /// server, pre-bound to the submitting connection.
+    Port(Arc<dyn ReplyPort>),
+}
+
+impl ReplySender {
+    /// Sends the reply; delivery failure (connection gone) is dropped —
+    /// the job already ran, there is nobody left to tell.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplySender::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySender::Port(port) => port.send(reply),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplySender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplySender::Channel(_) => "ReplySender::Channel",
+            ReplySender::Port(_) => "ReplySender::Port",
+        })
+    }
+}
 
 /// One accepted placement request waiting for a worker.
 #[derive(Debug)]
@@ -29,8 +83,8 @@ pub struct QueuedJob {
     pub trace_id: Option<u64>,
     /// When the job entered the queue (deadline + latency accounting).
     pub enqueued: Instant,
-    /// Channel back to the owning connection's writer.
-    pub reply_tx: Sender<Reply>,
+    /// Where the reply goes.
+    pub reply: ReplySender,
 }
 
 impl QueuedJob {
@@ -41,6 +95,13 @@ impl QueuedJob {
             .deadline_ms
             .is_some_and(|ms| self.enqueued.elapsed() > std::time::Duration::from_millis(ms))
     }
+
+    /// The admission-accounting key: the tenant name, with `None`
+    /// pooled as the anonymous tenant.
+    #[must_use]
+    pub fn tenant_key(&self) -> &str {
+        self.job.tenant.as_deref().unwrap_or("")
+    }
 }
 
 /// Why a push was refused.
@@ -48,32 +109,57 @@ impl QueuedJob {
 pub enum PushError {
     /// The queue is at capacity.
     Full,
+    /// The submitting tenant already holds its full per-tenant share of
+    /// queue slots.
+    QuotaExceeded,
     /// The queue is closed (server draining for shutdown).
     Closed,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
-    jobs: VecDeque<QueuedJob>,
+    /// One FIFO per [`Priority`], indexed by [`Priority::lane`].
+    lanes: [VecDeque<QueuedJob>; 3],
+    /// Queued jobs per tenant key (admission accounting).
+    tenant_load: HashMap<String, usize>,
     closed: bool,
 }
 
-/// The bounded MPMC queue.
+/// The bounded MPMC queue. See the module docs for the lane and quota
+/// semantics.
 #[derive(Debug)]
 pub struct JobQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
     capacity: usize,
+    tenant_quota: usize,
 }
 
 impl JobQueue {
-    /// A queue holding at most `capacity` waiting jobs (minimum 1).
+    /// A queue holding at most `capacity` waiting jobs (minimum 1),
+    /// with no effective per-tenant quota (every tenant may fill the
+    /// queue).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self::with_tenant_quota(capacity, capacity)
+    }
+
+    /// A queue where no single tenant may hold more than `tenant_quota`
+    /// of the `capacity` slots at once (both minimum 1). Jobs without a
+    /// tenant pool under one anonymous tenant, so the quota applies to
+    /// them collectively too.
+    #[must_use]
+    pub fn with_tenant_quota(capacity: usize, tenant_quota: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                tenant_load: HashMap::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            tenant_quota: tenant_quota.max(1),
         }
     }
 
@@ -83,41 +169,73 @@ impl JobQueue {
         self.capacity
     }
 
-    /// Enqueues a job; a refusal reports why so the caller (which still
-    /// holds the request id and reply channel) can answer the client.
+    /// The configured per-tenant admission quota.
+    #[must_use]
+    pub fn tenant_quota(&self) -> usize {
+        self.tenant_quota
+    }
+
+    /// Enqueues a job into its priority lane; a refusal reports why so
+    /// the caller (which still holds the request id and reply path) can
+    /// answer the client.
     pub fn push(&self, job: QueuedJob) -> Result<(), PushError> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err(PushError::Closed);
         }
-        if inner.jobs.len() >= self.capacity {
+        let queued: usize = inner.lanes.iter().map(VecDeque::len).sum();
+        if queued >= self.capacity {
             return Err(PushError::Full);
         }
-        inner.jobs.push_back(job);
+        let load = inner
+            .tenant_load
+            .get(job.tenant_key())
+            .copied()
+            .unwrap_or(0);
+        if load >= self.tenant_quota {
+            return Err(PushError::QuotaExceeded);
+        }
+        *inner
+            .tenant_load
+            .entry(job.tenant_key().to_string())
+            .or_insert(0) += 1;
+        let lane = job.job.priority.lane();
+        inner.lanes[lane].push_back(job);
         drop(inner);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Blocks until work is available, then pops a batch of up to `max`
-    /// jobs sharing the head job's [`Profile`](qplacer_harness::Profile).
-    /// Returns `None` once the
-    /// queue is closed **and** drained — the worker-exit signal.
+    /// jobs from the highest non-empty priority lane, grouped by the
+    /// lane head's [`Profile`](qplacer_harness::Profile). Returns `None`
+    /// once the queue is closed **and** drained — the worker-exit
+    /// signal.
     #[must_use]
     pub fn pop_batch(&self, max: usize) -> Option<Vec<QueuedJob>> {
         let max = max.max(1);
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(head) = inner.jobs.pop_front() {
+            if let Some(lane) = (0..inner.lanes.len()).find(|&l| !inner.lanes[l].is_empty()) {
+                let head = inner.lanes[lane].pop_front().expect("lane non-empty");
                 let profile = head.job.profile;
                 let mut batch = vec![head];
                 let mut index = 0;
-                while batch.len() < max && index < inner.jobs.len() {
-                    if inner.jobs[index].job.profile == profile {
-                        let job = inner.jobs.remove(index).expect("index in bounds");
+                while batch.len() < max && index < inner.lanes[lane].len() {
+                    if inner.lanes[lane][index].job.profile == profile {
+                        let job = inner.lanes[lane].remove(index).expect("index in bounds");
                         batch.push(job);
                     } else {
                         index += 1;
+                    }
+                }
+                for job in &batch {
+                    let key = job.tenant_key();
+                    if let Some(load) = inner.tenant_load.get_mut(key) {
+                        *load -= 1;
+                        if *load == 0 {
+                            inner.tenant_load.remove(key);
+                        }
                     }
                 }
                 return Some(batch);
@@ -129,16 +247,28 @@ impl JobQueue {
         }
     }
 
-    /// Jobs currently waiting.
+    /// Jobs currently waiting, across all lanes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").jobs.len()
+        self.inner
+            .lock()
+            .expect("queue poisoned")
+            .lanes
+            .iter()
+            .map(VecDeque::len)
+            .sum()
     }
 
     /// Whether no jobs are waiting.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Jobs waiting in the given priority lane.
+    #[must_use]
+    pub fn lane_len(&self, priority: Priority) -> usize {
+        self.inner.lock().expect("queue poisoned").lanes[priority.lane()].len()
     }
 
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
@@ -174,8 +304,15 @@ mod tests {
             job,
             trace_id: None,
             enqueued: Instant::now(),
-            reply_tx: tx,
+            reply: ReplySender::Channel(tx),
         }
+    }
+
+    fn queued_at(id: u64, priority: Priority, tenant: Option<&str>) -> QueuedJob {
+        let mut j = queued(id, Profile::Fast);
+        j.job.priority = priority;
+        j.job.tenant = tenant.map(str::to_string);
+        j
     }
 
     #[test]
@@ -231,5 +368,62 @@ mod tests {
         assert!(j.expired());
         j.job.deadline_ms = Some(60_000);
         assert!(!j.expired());
+    }
+
+    #[test]
+    fn strict_priority_pops_high_before_normal_before_low() {
+        let q = JobQueue::new(8);
+        q.push(queued_at(1, Priority::Low, None)).unwrap();
+        q.push(queued_at(2, Priority::Normal, None)).unwrap();
+        q.push(queued_at(3, Priority::High, None)).unwrap();
+        q.push(queued_at(4, Priority::High, None)).unwrap();
+        let first = q.pop_batch(8).unwrap();
+        assert_eq!(
+            first.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![3, 4],
+            "high lane drains first, in FIFO order, never mixing lanes"
+        );
+        assert_eq!(q.lane_len(Priority::High), 0);
+        assert_eq!(q.pop_batch(8).unwrap()[0].id, 2);
+        assert_eq!(q.pop_batch(8).unwrap()[0].id, 1);
+    }
+
+    #[test]
+    fn batches_never_mix_lanes_even_under_the_cap() {
+        let q = JobQueue::new(8);
+        q.push(queued_at(1, Priority::High, None)).unwrap();
+        q.push(queued_at(2, Priority::Normal, None)).unwrap();
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 1, "one high job; the normal job stays queued");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_the_hog_but_not_the_neighbor() {
+        let q = JobQueue::with_tenant_quota(8, 2);
+        q.push(queued_at(1, Priority::Normal, Some("a"))).unwrap();
+        q.push(queued_at(2, Priority::Normal, Some("a"))).unwrap();
+        assert_eq!(
+            q.push(queued_at(3, Priority::Normal, Some("a"))),
+            Err(PushError::QuotaExceeded),
+            "tenant `a` is at quota"
+        );
+        q.push(queued_at(4, Priority::Normal, Some("b"))).unwrap();
+        q.push(queued_at(5, Priority::Normal, None)).unwrap();
+
+        // Popping releases the quota.
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 4);
+        q.push(queued_at(6, Priority::Normal, Some("a"))).unwrap();
+    }
+
+    #[test]
+    fn anonymous_jobs_pool_under_one_quota() {
+        let q = JobQueue::with_tenant_quota(8, 1);
+        q.push(queued_at(1, Priority::Normal, None)).unwrap();
+        assert_eq!(
+            q.push(queued_at(2, Priority::Normal, None)),
+            Err(PushError::QuotaExceeded)
+        );
     }
 }

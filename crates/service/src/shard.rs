@@ -1,0 +1,442 @@
+//! Client-side consistent-hash sharding over N placement daemons.
+//!
+//! [`ShardedClient`] spreads placements across a fleet of independent
+//! [`Server`](crate::server::Server)s by hashing each job's
+//! [`cache_key`] onto a consistent-hash ring: every shard owns
+//! [`VNODES`] pseudo-random arcs of the 64-bit key space (virtual
+//! nodes keyed by `FNV64("{addr}\x1f{replica}")`), and a job belongs
+//! to the shard owning the first vnode at or clockwise-after its key.
+//!
+//! Why consistent hashing instead of `key % shards`:
+//!
+//! - **Cache affinity** — the cache key *is* the routing key, so every
+//!   repeat of a job lands on the shard that already holds its result
+//!   (and its durable-store record). A fleet of N daemons therefore
+//!   behaves like one cache N× the size, with zero cross-shard
+//!   coordination.
+//! - **Minimal reshuffling** — when a shard dies (or is added), only
+//!   the keys on its arcs move; `key % shards` would remap nearly
+//!   every key and cold-start every cache in the fleet.
+//! - **Balance** — 64 vnodes per shard keeps the expected share of the
+//!   key space within a few percent of `1/N`.
+//!
+//! Failover is built in: a connection-level failure marks the shard
+//! down, removes its vnodes, and retries the job on its successor —
+//! the same shard that consistent hashing would route to if the dead
+//! daemon were removed from the configuration.
+
+use std::collections::BTreeMap;
+
+use crate::cache::cache_key;
+use crate::client::{ClientBuilder, PlacedReply, ServiceClient, ServiceError};
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::PlaceJob;
+
+/// Virtual nodes per shard on the ring.
+pub const VNODES: usize = 64;
+
+/// FNV-1a over `bytes` — the same hash family as the cache key, kept
+/// local so ring placement is independent of cache internals.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The ring position of `addr`'s `replica`-th vnode.
+fn vnode_key(addr: &str, replica: usize) -> u64 {
+    fnv64(format!("{addr}\x1f{replica}").as_bytes())
+}
+
+#[derive(Debug)]
+struct Shard {
+    addr: String,
+    /// Lazily opened on first route; dropped on failure.
+    client: Option<ServiceClient>,
+    down: bool,
+}
+
+/// An in-flight scattered batch: which shard and request id each input
+/// slot was submitted under (`None` for slots whose shard was already
+/// down at submit time — gather re-places those through survivors).
+/// Produced by [`ShardedClient::submit_many`], consumed by
+/// [`ShardedClient::gather`].
+#[derive(Debug)]
+pub struct FleetBatch {
+    routes: Vec<Option<(usize, u64)>>,
+}
+
+impl FleetBatch {
+    /// Jobs in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the batch holds no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// A placement client over a consistent-hash ring of daemons.
+///
+/// ```no_run
+/// use qplacer_service::{
+///     ClientBuilder, DeviceSpec, PlaceJob, ShardedClient, Strategy,
+/// };
+///
+/// let mut fleet = ShardedClient::with_template(
+///     &["127.0.0.1:7878", "127.0.0.1:7879"],
+///     ClientBuilder::new("unused").retry_busy(4),
+/// );
+/// let job = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+/// let placed = fleet.place(&job).unwrap(); // routed by cache key
+/// # let _ = placed;
+/// ```
+#[derive(Debug)]
+pub struct ShardedClient {
+    shards: Vec<Shard>,
+    /// Ring position → shard index.
+    ring: BTreeMap<u64, usize>,
+    template: ClientBuilder,
+}
+
+impl ShardedClient {
+    /// A ring over `addrs` with default [`ClientBuilder`] settings.
+    pub fn connect(addrs: &[impl AsRef<str>]) -> ShardedClient {
+        Self::with_template(addrs, ClientBuilder::new(""))
+    }
+
+    /// A ring over `addrs`, each connection opened from `template`
+    /// (its address is replaced per shard; timeouts, retry policy, and
+    /// trace policy carry over).
+    ///
+    /// Connections are opened lazily on first route, so construction
+    /// never blocks — a shard that is down at construction time is
+    /// discovered (and failed over) on first use.
+    pub fn with_template(addrs: &[impl AsRef<str>], template: ClientBuilder) -> ShardedClient {
+        let shards: Vec<Shard> = addrs
+            .iter()
+            .map(|addr| Shard {
+                addr: addr.as_ref().to_string(),
+                client: None,
+                down: false,
+            })
+            .collect();
+        let mut ring = BTreeMap::new();
+        for (index, shard) in shards.iter().enumerate() {
+            for replica in 0..VNODES {
+                ring.insert(vnode_key(&shard.addr, replica), index);
+            }
+        }
+        ShardedClient {
+            shards,
+            ring,
+            template,
+        }
+    }
+
+    /// Total shards in the configuration (up or down).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards not yet marked down.
+    #[must_use]
+    pub fn live_shards(&self) -> usize {
+        self.shards.iter().filter(|s| !s.down).count()
+    }
+
+    /// The shard index `job` routes to right now (`None` when every
+    /// shard is down).
+    #[must_use]
+    pub fn shard_for(&self, job: &PlaceJob) -> Option<usize> {
+        self.owner(cache_key(job))
+    }
+
+    /// The first vnode at or clockwise-after `key`, wrapping at the
+    /// top of the key space.
+    fn owner(&self, key: u64) -> Option<usize> {
+        self.ring
+            .range(key..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &index)| index)
+    }
+
+    /// Removes a failed shard's vnodes; its keys fall through to the
+    /// clockwise successors.
+    fn mark_down(&mut self, index: usize) {
+        let shard = &mut self.shards[index];
+        shard.down = true;
+        shard.client = None;
+        let addr = shard.addr.clone();
+        for replica in 0..VNODES {
+            self.ring.remove(&vnode_key(&addr, replica));
+        }
+    }
+
+    /// Runs (or cache-serves) one placement on the shard owning the
+    /// job's cache key, failing over clockwise on connection failures.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections ([`ServiceError::Remote`]) surface
+    /// unchanged — only transport failures fail over. When every shard
+    /// is down, returns the last connection error.
+    pub fn place(&mut self, job: &PlaceJob) -> Result<PlacedReply, ServiceError> {
+        let key = cache_key(job);
+        loop {
+            let Some(index) = self.owner(key) else {
+                return Err(ServiceError::Protocol(
+                    "every shard is marked down".to_string(),
+                ));
+            };
+            match self.call_shard(index, |client| client.place(job)) {
+                Ok(reply) => return Ok(reply),
+                Err(FleetError::ShardLost) => continue,
+                Err(FleetError::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Pipelines a batch across the fleet: scatters every job to the
+    /// shard owning its key (all writes first), then gathers the
+    /// replies shard by shard — while one daemon's replies are being
+    /// read, the others are already working their portion of the
+    /// batch. Replies come back in input order.
+    ///
+    /// A shard that fails mid-batch is marked down and its jobs are
+    /// replaced one-by-one through [`place`](Self::place), which
+    /// re-routes them to the clockwise successors.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections surface unchanged, attributed to the
+    /// first failing job in input order; when every shard is down,
+    /// the last connection error.
+    pub fn place_many(&mut self, jobs: &[PlaceJob]) -> Result<Vec<PlacedReply>, ServiceError> {
+        let batch = self.submit_many(jobs)?;
+        self.gather(jobs, batch)
+    }
+
+    /// The scatter half of [`place_many`](Self::place_many): groups the
+    /// batch by owner shard and submits each group as one wire write,
+    /// without reading any reply. The returned [`FleetBatch`] is the
+    /// claim ticket for [`gather`](Self::gather).
+    ///
+    /// Splitting submit from gather lets a caller keep two batches in
+    /// flight (submit N+1, then gather N): the fleet works the next
+    /// batch while the caller is still parsing the previous one, which
+    /// hides a full scatter/gather wakeup cycle per round.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today — a shard lost during submit is recorded in
+    /// the batch and re-placed through survivors during `gather`. The
+    /// `Result` reserves room for fatal submit-side errors.
+    pub fn submit_many(&mut self, jobs: &[PlaceJob]) -> Result<FleetBatch, ServiceError> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (slot, job) in jobs.iter().enumerate() {
+            let Some(index) = self.shard_for(job) else {
+                continue; // gather falls back to `place` (or reports)
+            };
+            match groups.iter_mut().find(|(owner, _)| *owner == index) {
+                Some((_, slots)) => slots.push(slot),
+                None => groups.push((index, vec![slot])),
+            }
+        }
+        let mut routes: Vec<Option<(usize, u64)>> = vec![None; jobs.len()];
+        for (index, slots) in groups {
+            let batch: Vec<PlaceJob> = slots.iter().map(|&slot| jobs[slot].clone()).collect();
+            if let Ok(ids) = self.call_shard(index, |client| client.submit_places(&batch)) {
+                for (&slot, id) in slots.iter().zip(ids) {
+                    routes[slot] = Some((index, id));
+                }
+            }
+        }
+        Ok(FleetBatch { routes })
+    }
+
+    /// The gather half of [`place_many`](Self::place_many): collects
+    /// the replies for a batch previously scattered by
+    /// [`submit_many`](Self::submit_many), in input order. `jobs` must
+    /// be the same slice (content and order) the batch was submitted
+    /// from — it is consulted to re-place jobs whose shard was lost.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections surface unchanged, attributed to the
+    /// first failing job in input order; when every shard is down,
+    /// the last connection error. A `jobs`/batch length mismatch is a
+    /// [`ServiceError::Protocol`].
+    pub fn gather(
+        &mut self,
+        jobs: &[PlaceJob],
+        batch: FleetBatch,
+    ) -> Result<Vec<PlacedReply>, ServiceError> {
+        if jobs.len() != batch.routes.len() {
+            return Err(ServiceError::Protocol(format!(
+                "gather of {} jobs against a batch of {}",
+                jobs.len(),
+                batch.routes.len()
+            )));
+        }
+        // Gather in input order; `pending` buffering inside each
+        // `ServiceClient` reorders within a shard as needed.
+        let mut replies = Vec::with_capacity(jobs.len());
+        for (slot, job) in jobs.iter().enumerate() {
+            let gathered = match batch.routes[slot] {
+                Some((index, id)) => self.call_shard(index, |client| client.await_place(id)),
+                None => Err(FleetError::ShardLost),
+            };
+            match gathered {
+                Ok(reply) => replies.push(reply),
+                // The submit was lost with its shard (or never routed);
+                // the single-job path re-routes across survivors.
+                Err(FleetError::ShardLost) => replies.push(self.place(job)?),
+                Err(FleetError::Fatal(e)) => return Err(e),
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Fetches one shard's metrics snapshot (by configuration index).
+    ///
+    /// # Errors
+    ///
+    /// Fails — without failover, stats are shard-specific — when the
+    /// shard is down or unreachable.
+    pub fn stats(&mut self, index: usize) -> Result<MetricsSnapshot, ServiceError> {
+        match self.call_shard(index, ServiceClient::stats) {
+            Ok(snapshot) => Ok(snapshot),
+            Err(FleetError::ShardLost) => {
+                Err(ServiceError::Protocol(format!("shard {index} is down")))
+            }
+            Err(FleetError::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// Asks every reachable shard to drain and exit.
+    pub fn shutdown_all(&mut self) {
+        for index in 0..self.shards.len() {
+            let _ = self.call_shard(index, ServiceClient::shutdown);
+        }
+    }
+
+    /// Runs `op` on shard `index`, lazily connecting first. Transport
+    /// failures mark the shard down and report [`FleetError::ShardLost`]
+    /// so the caller can re-route.
+    fn call_shard<T>(
+        &mut self,
+        index: usize,
+        op: impl FnOnce(&mut ServiceClient) -> Result<T, ServiceError>,
+    ) -> Result<T, FleetError> {
+        if self.shards[index].down {
+            return Err(FleetError::ShardLost);
+        }
+        if self.shards[index].client.is_none() {
+            let template = self.template.clone().addr(&self.shards[index].addr);
+            match template.connect() {
+                Ok(client) => self.shards[index].client = Some(client),
+                Err(ServiceError::Io(_)) => {
+                    self.mark_down(index);
+                    return Err(FleetError::ShardLost);
+                }
+                Err(e) => return Err(FleetError::Fatal(e)),
+            }
+        }
+        let client = self.shards[index].client.as_mut().expect("connected above");
+        match op(client) {
+            Ok(value) => Ok(value),
+            // A mid-call transport failure (or a torn reply from a
+            // daemon dying mid-line) loses the shard; the job is safe
+            // to re-route because placements are deterministic and
+            // idempotent.
+            Err(ServiceError::Io(_)) | Err(ServiceError::Protocol(_)) => {
+                self.mark_down(index);
+                Err(FleetError::ShardLost)
+            }
+            Err(e) => Err(FleetError::Fatal(e)),
+        }
+    }
+}
+
+/// Internal routing outcome: re-routable loss vs. caller-visible error.
+enum FleetError {
+    ShardLost,
+    Fatal(ServiceError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn ring_covers_every_shard_roughly_evenly() {
+        let fleet = ShardedClient::connect(&addrs(4));
+        let mut counts = [0usize; 4];
+        // Probe the ring at evenly spaced keys; with 64 vnodes per
+        // shard every shard must own a meaningful share.
+        let probes = 4096u64;
+        for i in 0..probes {
+            let key = i.wrapping_mul(u64::MAX / probes);
+            counts[fleet.owner(key).unwrap()] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            let share = count as f64 / probes as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "shard {shard} owns {share:.3} of the key space"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_key_deterministic() {
+        use crate::protocol::PlaceJob;
+        use qplacer_harness::{DeviceSpec, Strategy};
+
+        let fleet_a = ShardedClient::connect(&addrs(4));
+        let fleet_b = ShardedClient::connect(&addrs(4));
+        for qubits in 3..40 {
+            let job = PlaceJob::fast(DeviceSpec::Ring { qubits }, Strategy::FrequencyAware);
+            assert_eq!(fleet_a.shard_for(&job), fleet_b.shard_for(&job));
+        }
+    }
+
+    #[test]
+    fn losing_a_shard_moves_only_its_keys() {
+        use crate::protocol::PlaceJob;
+        use qplacer_harness::{DeviceSpec, Strategy};
+
+        let mut fleet = ShardedClient::connect(&addrs(4));
+        let jobs: Vec<PlaceJob> = (3..60)
+            .map(|qubits| PlaceJob::fast(DeviceSpec::Ring { qubits }, Strategy::FrequencyAware))
+            .collect();
+        let before: Vec<usize> = jobs.iter().map(|j| fleet.shard_for(j).unwrap()).collect();
+        fleet.mark_down(1);
+        assert_eq!(fleet.live_shards(), 3);
+        let mut moved = 0;
+        for (job, &was) in jobs.iter().zip(&before) {
+            let now = fleet.shard_for(job).unwrap();
+            assert_ne!(now, 1, "keys must leave the dead shard");
+            if was != 1 {
+                assert_eq!(now, was, "surviving shards' keys must not move");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the probe set never hit shard 1");
+    }
+}

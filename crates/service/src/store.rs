@@ -1,0 +1,375 @@
+//! Durable on-disk result store: an append-only record log that
+//! survives daemon restarts.
+//!
+//! The in-memory [`ResultCache`](crate::cache::ResultCache) makes
+//! repeated requests cheap *within* one daemon lifetime; the store
+//! extends that across restarts. Every fresh placement appends one
+//! self-describing JSON line to `results.log` in the store directory:
+//!
+//! ```text
+//! {"version":<store version>,"key":<cache key>,"result":{…}}
+//! ```
+//!
+//! On open the log is replayed newest-wins into memory and handed to
+//! the server, which seeds the result cache with it — so a restarted
+//! daemon answers previously-placed jobs from cache, byte-identical to
+//! the replies it served before the restart (results are deterministic
+//! and the vendored serde prints floats in shortest round-trip form).
+//!
+//! # Versioning
+//!
+//! A record is only as durable as the pipeline that produced it: if any
+//! pipeline constant changes between builds, a replayed result would
+//! silently disagree with what the new build computes. Each record
+//! therefore carries the [`store_version`] — a fingerprint folding the
+//! wire protocol version with the canonical serializations of both
+//! budget profiles' full pipeline configurations. Replay skips records
+//! from any other version; a log that contains skipped records (stale
+//! versions, superseded duplicates, torn or corrupt lines) is compacted
+//! in place (write-new + atomic rename) so the garbage is paid for
+//! once, not on every restart.
+//!
+//! # Crash tolerance
+//!
+//! Appends are line-atomic in practice but the process can die
+//! mid-write; replay tolerates a torn final line (it is dropped and
+//! compacted away). Corrupt lines elsewhere are skipped and counted,
+//! never fatal — the store degrades to a smaller warm set, not a
+//! crashed daemon.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use qplacer_harness::{DeviceSpec, Strategy};
+
+use crate::cache::config_fingerprint;
+use crate::protocol::{PlaceJob, PlacementResult, PROTOCOL_VERSION};
+
+/// The fingerprint stamped on every stored record: changes whenever the
+/// wire protocol major or any pipeline-configuration constant changes,
+/// invalidating results the current build would compute differently.
+///
+/// Implementation: FNV over the protocol version and the
+/// [`config_fingerprint`]s of an anchor job (Falcon-27 / frequency-aware)
+/// resolved under both budget profiles. The anchor exercises every
+/// config section (assigner spectra, netlist geometry, placer
+/// hyper-parameters, legalizer, fidelity), so any constant edit moves
+/// at least one fingerprint and with it the store version.
+#[must_use]
+pub fn store_version() -> u64 {
+    let paper = PlaceJob::new(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+    let fast = PlaceJob::fast(DeviceSpec::Falcon27, Strategy::FrequencyAware);
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for word in [
+        u64::from(PROTOCOL_VERSION),
+        config_fingerprint(&paper.device, paper.strategy, &paper.pipeline_config()),
+        config_fingerprint(&fast.device, fast.strategy, &fast.pipeline_config()),
+    ] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One log line: a result, addressed by its cache key, stamped with the
+/// producing build's [`store_version`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreRecord {
+    version: u64,
+    key: u64,
+    result: PlacementResult,
+}
+
+/// Replay statistics from [`DurableStore::open`], surfaced through
+/// stats/metrics so operators can see what a restart recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Live records recovered into the warm set.
+    pub replayed: u64,
+    /// Records skipped for carrying a different [`store_version`].
+    pub stale: u64,
+    /// Lines that did not parse (torn final write, corruption).
+    pub corrupt: u64,
+    /// Whether the log was compacted after replay.
+    pub compacted: bool,
+}
+
+/// The append-only durable result store. See the module docs for the
+/// format and versioning story.
+#[derive(Debug)]
+pub struct DurableStore {
+    version: u64,
+    path: PathBuf,
+    file: Mutex<File>,
+    replayed: Vec<(u64, Arc<PlacementResult>)>,
+    stats: ReplayStats,
+    appended: AtomicU64,
+}
+
+impl DurableStore {
+    /// Name of the record log inside the store directory.
+    pub const LOG_NAME: &'static str = "results.log";
+
+    /// Opens (creating if needed) the store in `dir`, replaying the
+    /// existing log under the current build's [`store_version`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the directory, reading the log,
+    /// or compacting it. Unparseable *lines* are never errors.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with_version(dir, store_version())
+    }
+
+    /// [`DurableStore::open`] pinned to an explicit version — the seam
+    /// tests use to simulate a pipeline-config change between runs
+    /// without editing pipeline constants.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DurableStore::open`].
+    pub fn open_with_version(dir: impl AsRef<Path>, version: u64) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(Self::LOG_NAME);
+
+        let mut live: Vec<(u64, StoreRecord)> = Vec::new();
+        let mut stats = ReplayStats::default();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<StoreRecord>(&line) {
+                    Ok(record) if record.version == version => {
+                        // Newest wins: a re-appended key supersedes the
+                        // earlier record (identical bytes in practice —
+                        // results are deterministic — but replay must
+                        // not depend on that).
+                        if let Some(slot) = live.iter_mut().find(|(k, _)| *k == record.key) {
+                            stats.stale += 1;
+                            slot.1 = record;
+                        } else {
+                            live.push((record.key, record));
+                        }
+                    }
+                    Ok(_) => stats.stale += 1,
+                    Err(_) => stats.corrupt += 1,
+                }
+            }
+        }
+        stats.replayed = live.len() as u64;
+
+        // Compact away anything replay had to skip, so the next restart
+        // reads a clean log. Write-new + rename keeps a crash during
+        // compaction from losing the old log.
+        if stats.stale > 0 || stats.corrupt > 0 {
+            let tmp = dir.join(format!("{}.tmp", Self::LOG_NAME));
+            {
+                let mut out = File::create(&tmp)?;
+                for (_, record) in &live {
+                    writeln!(
+                        out,
+                        "{}",
+                        serde_json::to_string(record).expect("records serialize")
+                    )?;
+                }
+                out.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+            stats.compacted = true;
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(DurableStore {
+            version,
+            path,
+            file: Mutex::new(file),
+            replayed: live
+                .into_iter()
+                .map(|(key, record)| (key, Arc::new(record.result)))
+                .collect(),
+            stats,
+            appended: AtomicU64::new(0),
+        })
+    }
+
+    /// The live records recovered on open, in log order (oldest first),
+    /// ready to seed a result cache.
+    #[must_use]
+    pub fn replayed_entries(&self) -> &[(u64, Arc<PlacementResult>)] {
+        &self.replayed
+    }
+
+    /// What replay found on open.
+    #[must_use]
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Records appended since open.
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// The version records are stamped with.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Path of the record log.
+    #[must_use]
+    pub fn log_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one result under its cache key, flushed to the OS before
+    /// returning (a crash immediately after a reply was sent must not
+    /// lose the record backing that reply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors; the caller (the server) degrades to
+    /// in-memory-only caching rather than failing the placement.
+    pub fn append(&self, key: u64, result: &PlacementResult) -> std::io::Result<()> {
+        let record = StoreRecord {
+            version: self.version,
+            key,
+            result: result.clone(),
+        };
+        let line = serde_json::to_string(&record).expect("records serialize");
+        let mut file = self.file.lock().expect("store file poisoned");
+        writeln!(file, "{line}")?;
+        file.flush()?;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: usize) -> PlacementResult {
+        PlacementResult {
+            device: format!("dev-{tag}"),
+            strategy: "Qplacer".to_string(),
+            instances: tag,
+            positions: vec![(tag as f64 + 0.125, -0.25)],
+            place_iterations: tag,
+            hpwl_mm: 1.5,
+            mer_area_mm2: 2.25,
+            utilization: 0.5,
+            ph: 0.75,
+            violations: 0,
+            remaining_overlaps: 0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qplacer-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_replays_the_same_results() {
+        let dir = temp_dir("replay");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            assert!(store.replayed_entries().is_empty());
+            store.append(11, &result(1)).unwrap();
+            store.append(22, &result(2)).unwrap();
+            assert_eq!(store.appended(), 2);
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        let entries = store.replayed_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 11);
+        assert_eq!(*entries[0].1, result(1));
+        assert_eq!(entries[1].0, 22);
+        assert_eq!(*entries[1].1, result(2));
+        assert_eq!(store.replay_stats().stale, 0);
+        assert!(!store.replay_stats().compacted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_change_invalidates_and_compacts() {
+        let dir = temp_dir("version");
+        {
+            let store = DurableStore::open_with_version(&dir, 1).unwrap();
+            store.append(11, &result(1)).unwrap();
+        }
+        // A "new build": same log, different version. The old record
+        // must not replay, and the log is compacted down to nothing.
+        let store = DurableStore::open_with_version(&dir, 2).unwrap();
+        assert!(store.replayed_entries().is_empty());
+        let stats = store.replay_stats();
+        assert_eq!(stats.stale, 1);
+        assert!(stats.compacted);
+        store.append(33, &result(3)).unwrap();
+        drop(store);
+        // After compaction only the new-version record remains.
+        let store = DurableStore::open_with_version(&dir, 2).unwrap();
+        assert_eq!(store.replayed_entries().len(), 1);
+        assert_eq!(store.replayed_entries()[0].0, 33);
+        assert_eq!(store.replay_stats().stale, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_record_wins_and_torn_tail_is_tolerated() {
+        let dir = temp_dir("torn");
+        {
+            let store = DurableStore::open_with_version(&dir, 7).unwrap();
+            store.append(11, &result(1)).unwrap();
+            store.append(11, &result(9)).unwrap(); // supersedes
+        }
+        // Simulate a crash mid-append: a torn, unparseable final line.
+        let log = dir.join(DurableStore::LOG_NAME);
+        let mut file = OpenOptions::new().append(true).open(&log).unwrap();
+        write!(file, "{{\"version\":7,\"key\":44,\"res").unwrap();
+        drop(file);
+
+        let store = DurableStore::open_with_version(&dir, 7).unwrap();
+        assert_eq!(store.replayed_entries().len(), 1);
+        assert_eq!(*store.replayed_entries()[0].1, result(9), "newest wins");
+        let stats = store.replay_stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.stale, 1, "the superseded duplicate");
+        assert!(stats.compacted);
+        drop(store);
+        // The compacted log replays clean.
+        let store = DurableStore::open_with_version(&dir, 7).unwrap();
+        assert_eq!(
+            store.replay_stats(),
+            ReplayStats {
+                replayed: 1,
+                ..Default::default()
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_version_is_stable_within_a_build() {
+        assert_eq!(store_version(), store_version());
+        assert_ne!(store_version(), 0);
+    }
+}

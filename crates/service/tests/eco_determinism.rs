@@ -1,5 +1,5 @@
 //! The incremental (ECO) determinism contract: replaying an **empty**
-//! `TopologyDelta` through `Qplacer::replace` must reproduce the cold
+//! `TopologyDelta` through `Qplacer::execute_replace` must reproduce the cold
 //! run's derived `PlacementResult` **byte-for-byte**, at any rayon
 //! worker count. Nothing is unpinned, so warm placement and
 //! legalization are skipped entirely and the previous reports are
@@ -8,7 +8,7 @@
 //! envelope, not in `PlacementResult`, which is what the service cache
 //! stores and serves.)
 
-use qplacer_harness::{Qplacer, Strategy};
+use qplacer_harness::{ExecOptions, Qplacer, Strategy};
 use qplacer_service::PlacementResult;
 use qplacer_topology::{Topology, TopologyDelta};
 
@@ -23,10 +23,10 @@ fn cold_and_warm_bytes(threads: usize) -> (String, String) {
     pool.install(|| {
         let base = Topology::grid(3, 3);
         let engine = Qplacer::fast();
-        let cold = engine.place(&base, Strategy::FrequencyAware);
+        let cold = engine.execute(&base, Strategy::FrequencyAware, ExecOptions::default());
         let delta = TopologyDelta::identity(&base);
         let (warm, report) = engine
-            .replace(&base, &cold, &delta)
+            .execute_replace(&base, &cold, &delta, ExecOptions::default())
             .expect("identity applies");
         assert!(report.carried_reports, "empty delta must carry reports");
         assert_eq!(report.moved_instances, 0);

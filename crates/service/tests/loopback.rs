@@ -10,7 +10,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use qplacer_service::{
-    DeviceSpec, ErrorCode, PlaceJob, Reply, Request, Server, ServiceClient, ServiceConfig,
+    ClientBuilder, DeviceSpec, ErrorCode, PlaceJob, Reply, Request, Server, ServiceConfig,
     ServiceError, Strategy, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
 
@@ -39,7 +39,7 @@ fn concurrent_identical_requests_are_deterministic_and_cached() {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|_| {
                 std::thread::spawn(move || {
-                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let mut client = ClientBuilder::new(addr).connect().expect("connect");
                     let reply = client.place(&falcon_job()).expect("place");
                     let json = serde_json::to_string(&reply.result).expect("result serializes");
                     (reply.cached, json)
@@ -67,7 +67,9 @@ fn concurrent_identical_requests_are_deterministic_and_cached() {
         assert!(*cached, "second wave must be served from cache");
     }
 
-    let mut client = ServiceClient::connect(addr).expect("connect for stats");
+    let mut client = ClientBuilder::new(addr)
+        .connect()
+        .expect("connect for stats");
     let stats = client.stats().expect("stats");
     assert!(
         stats.cache_hits > 0,
@@ -201,7 +203,7 @@ fn error_paths_are_typed() {
     }
 
     // A zero deadline always expires before the worker runs it.
-    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut client = ClientBuilder::new(addr).connect().expect("connect");
     let mut job = falcon_job();
     job.deadline_ms = Some(0);
     match client.place(&job) {
@@ -226,7 +228,7 @@ fn error_paths_are_typed() {
 fn defective_requests_warm_start_from_their_placed_base() {
     let server = start(1);
     let addr = server.local_addr();
-    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut client = ClientBuilder::new(addr).connect().expect("connect");
 
     // Cold-place the base; this also stores it as a warm-start entry.
     let base = client.place(&falcon_job()).expect("place base");
@@ -286,7 +288,7 @@ fn defective_requests_warm_start_from_their_placed_base() {
 fn zoo_devices_place_and_invalid_devices_are_rejected() {
     let server = start(1);
     let addr = server.local_addr();
-    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut client = ClientBuilder::new(addr).connect().expect("connect");
 
     // A heavy-hex and a defective device flow end-to-end.
     for device in [
@@ -363,7 +365,7 @@ fn zoo_devices_place_and_invalid_devices_are_rejected() {
 fn draining_server_refuses_new_work() {
     let server = start(1);
     let addr = server.local_addr();
-    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut client = ClientBuilder::new(addr).connect().expect("connect");
     client.place(&falcon_job()).expect("warm placement");
     client.shutdown().expect("shutdown");
     match client.place(&falcon_job()) {

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 
 use qplacer_service::{
     cache_key, config_fingerprint, DeviceSpec, ErrorCode, HistogramSnapshot, MetricsSnapshot,
-    PlaceJob, PlacementResult, Profile, Reply, Request, Strategy as Arm, PROTOCOL_VERSION,
+    PlaceJob, PlacementResult, Priority, Profile, Reply, Request, Strategy as Arm,
+    PROTOCOL_VERSION,
 };
 
 fn arb_device() -> impl Strategy<Value = DeviceSpec> {
@@ -58,21 +59,44 @@ fn arb_profile() -> impl Strategy<Value = Profile> {
     prop_oneof![Just(Profile::Paper), Just(Profile::Fast)]
 }
 
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::High),
+        Just(Priority::Normal),
+        Just(Priority::Low),
+    ]
+}
+
+fn arb_tenant() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("team-a".to_string())),
+        Just(Some("tricky \"tenant\" μ".to_string())),
+    ]
+}
+
 fn arb_job() -> impl Strategy<Value = PlaceJob> {
     (
-        arb_device(),
-        arb_strategy(),
-        arb_profile(),
-        prop_oneof![Just(None), (0.2f64..0.5).prop_map(Some)],
-        prop_oneof![Just(None), (0u64..60_000).prop_map(Some)],
+        (
+            arb_device(),
+            arb_strategy(),
+            arb_profile(),
+            prop_oneof![Just(None), (0.2f64..0.5).prop_map(Some)],
+            prop_oneof![Just(None), (0u64..60_000).prop_map(Some)],
+        ),
+        (arb_priority(), arb_tenant()),
     )
         .prop_map(
-            |(device, strategy, profile, segment_size_mm, deadline_ms)| PlaceJob {
-                device,
-                strategy,
-                profile,
-                segment_size_mm,
-                deadline_ms,
+            |((device, strategy, profile, segment_size_mm, deadline_ms), (priority, tenant))| {
+                PlaceJob {
+                    device,
+                    strategy,
+                    profile,
+                    segment_size_mm,
+                    deadline_ms,
+                    priority,
+                    tenant,
+                }
             },
         )
 }
@@ -128,6 +152,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::DeadlineExceeded),
         Just(ErrorCode::InvalidDevice),
         Just(ErrorCode::PipelineFailed),
+        Just(ErrorCode::QuotaExceeded),
     ]
 }
 
@@ -198,7 +223,9 @@ fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
                 placed,
                 errors,
                 rejected_busy,
+                rejected_quota: rejected_busy % 2,
                 deadline_expired,
+                open_connections: in_flight + 1,
                 batches,
                 batched_jobs,
                 queue_depth,
@@ -212,6 +239,10 @@ fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
                 } else {
                     0.0
                 },
+                shard_id: batches % 4,
+                shards: 4,
+                store_replayed: cache_hits % 7,
+                store_appended: cache_misses % 7,
                 assign,
                 place,
                 legalize,

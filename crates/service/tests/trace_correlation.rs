@@ -7,7 +7,9 @@
 //! event buffers single-owner.
 
 use qplacer_obs::EventKind;
-use qplacer_service::{DeviceSpec, PlaceJob, Server, ServiceClient, ServiceConfig, Strategy};
+use qplacer_service::{
+    ClientBuilder, DeviceSpec, PlaceJob, Server, ServiceConfig, Strategy, TracePolicy,
+};
 
 /// Pipeline phases every fresh placement must record.
 const PHASES: [&str; 3] = ["pipeline", "global_place", "legalize"];
@@ -32,12 +34,15 @@ fn client_trace_ids_correlate_a_jobs_events_and_never_cross_jobs() {
     // concurrently on the two workers, each under its own trace id.
     let spawn = |trace_id: u64, width: usize| {
         std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(addr).expect("connect");
+            let mut client = ClientBuilder::new(addr)
+                .trace_policy(TracePolicy::Fixed(trace_id))
+                .connect()
+                .expect("connect");
             let job = PlaceJob::fast(
                 DeviceSpec::Grid { width, height: 3 },
                 Strategy::FrequencyAware,
             );
-            client.place_traced(&job, trace_id).expect("place")
+            client.place(&job).expect("place")
         })
     };
     let (a, b) = (spawn(ID_A, 3), spawn(ID_B, 4));
@@ -111,7 +116,7 @@ fn client_trace_ids_correlate_a_jobs_events_and_never_cross_jobs() {
 
     // A repeat of job A is a cache hit: no pipeline ran under the
     // request, so the reply deliberately carries no trace id.
-    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut client = ClientBuilder::new(addr).connect().expect("connect");
     let job_a = PlaceJob::fast(
         DeviceSpec::Grid {
             width: 3,
@@ -120,7 +125,7 @@ fn client_trace_ids_correlate_a_jobs_events_and_never_cross_jobs() {
         Strategy::FrequencyAware,
     );
     let cached = client
-        .place_traced(&job_a, 0x00C0_FFEE)
+        .place_with_policy(&job_a, TracePolicy::Fixed(0x00C0_FFEE))
         .expect("cached place");
     assert!(cached.cached);
     assert_eq!(

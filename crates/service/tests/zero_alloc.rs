@@ -9,7 +9,7 @@
 //! - legalization (`Legalizer::run_with`): **zero** allocations,
 //! - the global-placement iteration kernels (wirelength / density /
 //!   frequency gradients, overflow scan): **zero** allocations,
-//! - the full `GlobalPlacer::run_with` envelope: a *constant* per-run
+//! - the full `GlobalPlacer::execute` envelope: a *constant* per-run
 //!   allocation count (model + report construction), independent of
 //!   how many requests the worker already served — i.e. no steady-state
 //!   buffer growth.
@@ -72,7 +72,13 @@ fn steady_state_worker_pipeline_does_not_allocate() {
         let mut assignment = assigner.assign_with(&device, &mut ws.freq);
         let mut netlist = QuantumNetlist::build(&device, &assignment, &config.netlist);
         let placer = GlobalPlacer::new(config.placer);
-        let _ = placer.run_with(&mut netlist, &mut ws.placer);
+        let _ = placer.execute(
+            &mut netlist,
+            qplacer_place::ExecOptions {
+                workspace: Some(&mut ws.placer),
+                ..Default::default()
+            },
+        );
         // Pre-legalization snapshot: every steady-state rerun below
         // replays the stages on this same input.
         let placed: Vec<_> = netlist.positions().to_vec();
@@ -122,13 +128,22 @@ fn steady_state_worker_pipeline_does_not_allocate() {
         // start allocate a constant amount (model + report), proving the
         // workspace buffers stopped growing.
         netlist.set_positions(&placed);
-        let (second, _) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        let run = |netlist: &mut QuantumNetlist, ws: &mut PipelineWorkspace| {
+            placer.execute(
+                netlist,
+                qplacer_place::ExecOptions {
+                    workspace: Some(&mut ws.placer),
+                    ..Default::default()
+                },
+            )
+        };
+        let (second, _) = allocations(|| run(&mut netlist, &mut ws));
         netlist.set_positions(&placed);
-        let (third, report) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        let (third, report) = allocations(|| run(&mut netlist, &mut ws));
         assert!(report.iterations > 0);
         assert_eq!(
             second, third,
-            "run_with must reach an allocation steady state ({second} vs {third})"
+            "execute must reach an allocation steady state ({second} vs {third})"
         );
     });
 }
@@ -159,7 +174,14 @@ fn traced_steady_state_does_not_allocate() {
         let mut assignment = assigner.assign_traced_with(&device, &mut ws.freq, &mut sink);
         let mut netlist = QuantumNetlist::build(&device, &assignment, &config.netlist);
         let placer = GlobalPlacer::new(config.placer);
-        let _ = placer.run_traced(&mut netlist, &mut ws.placer, &mut sink);
+        let _ = placer.execute(
+            &mut netlist,
+            qplacer_place::ExecOptions {
+                workspace: Some(&mut ws.placer),
+                sink: Some(&mut sink),
+                ..Default::default()
+            },
+        );
         let placed: Vec<_> = netlist.positions().to_vec();
         let warm = config
             .legalizer
@@ -185,10 +207,26 @@ fn traced_steady_state_does_not_allocate() {
         // The traced run envelope must match the untraced one: constant
         // allocations (model + report), none from spans or records.
         netlist.set_positions(&placed);
-        let (untraced, _) = allocations(|| placer.run_with(&mut netlist, &mut ws.placer));
+        let (untraced, _) = allocations(|| {
+            placer.execute(
+                &mut netlist,
+                qplacer_place::ExecOptions {
+                    workspace: Some(&mut ws.placer),
+                    ..Default::default()
+                },
+            )
+        });
         netlist.set_positions(&placed);
-        let (traced, report) =
-            allocations(|| placer.run_traced(&mut netlist, &mut ws.placer, &mut sink));
+        let (traced, report) = allocations(|| {
+            placer.execute(
+                &mut netlist,
+                qplacer_place::ExecOptions {
+                    workspace: Some(&mut ws.placer),
+                    sink: Some(&mut sink),
+                    ..Default::default()
+                },
+            )
+        });
         assert!(report.iterations > 0);
         assert_eq!(
             traced, untraced,

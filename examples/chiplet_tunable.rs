@@ -6,7 +6,7 @@
 //! cargo run --release --example chiplet_tunable
 //! ```
 
-use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+use qplacer::{ExecOptions, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
 
 fn main() {
     // --- Extension 1: a 2×2 chiplet array of Falcon dies. -------------
@@ -15,7 +15,7 @@ fn main() {
     println!("chiplet device: {chiplet}");
 
     let engine = Qplacer::paper();
-    let layout = engine.place(&chiplet, Strategy::FrequencyAware);
+    let layout = engine.execute(&chiplet, Strategy::FrequencyAware, ExecOptions::default());
     let area = layout.area();
     let hs = layout.hotspots();
     let legal = layout.legalization.as_ref().unwrap();
@@ -34,8 +34,8 @@ fn main() {
     let mut cfg = PipelineConfig::paper();
     cfg.netlist = NetlistConfig::tunable_coupler(0.3);
     let tunable_engine = Qplacer::new(cfg);
-    let bus = engine.place(&die, Strategy::FrequencyAware);
-    let tunable = tunable_engine.place(&die, Strategy::FrequencyAware);
+    let bus = engine.execute(&die, Strategy::FrequencyAware, ExecOptions::default());
+    let tunable = tunable_engine.execute(&die, Strategy::FrequencyAware, ExecOptions::default());
     println!("\ntunable-coupler Falcon vs bus-resonator Falcon:");
     println!(
         "  instances: {} vs {} (couplers collapse each bus into one element)",

@@ -5,7 +5,7 @@
 //! cargo run --release --example compare_placers [grid|falcon|eagle|aspen11|aspenm|xtree]
 //! ```
 
-use qplacer::{paper_suite, Qplacer, Strategy, Topology};
+use qplacer::{paper_suite, ExecOptions, Qplacer, Strategy, Topology};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
@@ -29,7 +29,7 @@ fn main() {
     );
     for strategy in [Strategy::FrequencyAware, Strategy::Classic, Strategy::Human] {
         let t0 = std::time::Instant::now();
-        let layout = engine.place(&device, strategy);
+        let layout = engine.execute(&device, strategy, ExecOptions::default());
         let secs = t0.elapsed().as_secs_f64();
         let area = layout.area();
         let hs = layout.hotspots();

@@ -8,14 +8,14 @@
 //! cargo run --release --example falcon_layout
 //! ```
 
-use qplacer::{artwork, Qplacer, Strategy, Topology};
+use qplacer::{artwork, ExecOptions, Qplacer, Strategy, Topology};
 
 fn main() {
     let device = Topology::falcon27();
     println!("device: {device}");
 
     let engine = Qplacer::paper();
-    let layout = engine.place(&device, Strategy::FrequencyAware);
+    let layout = engine.execute(&device, Strategy::FrequencyAware, ExecOptions::default());
 
     // Frequency plan (Fig. 14-a): slot histogram for qubits and resonators.
     println!("\nqubit frequency plan:");

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use qplacer::{Qplacer, Strategy, Topology};
+use qplacer::{ExecOptions, Qplacer, Strategy, Topology};
 
 fn main() {
     // 1. Pick a device topology (Table I's QEC-friendly grid).
@@ -16,7 +16,7 @@ fn main() {
     //    resonator partitioning, electrostatic global placement with the
     //    frequency repulsive force, and integration-aware legalization.
     let engine = Qplacer::paper();
-    let layout = engine.place(&device, Strategy::FrequencyAware);
+    let layout = engine.execute(&device, Strategy::FrequencyAware, ExecOptions::default());
 
     // 3. Inspect what came out.
     let placement = layout.placement.as_ref().expect("engine strategy");

@@ -5,7 +5,7 @@
 //! cargo run --release --example segment_sweep [grid|falcon|...]
 //! ```
 
-use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+use qplacer::{ExecOptions, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
@@ -28,7 +28,7 @@ fn main() {
         config.netlist = NetlistConfig::with_segment_size(lb);
         let engine = Qplacer::new(config);
         let t0 = std::time::Instant::now();
-        let layout = engine.place(&device, Strategy::FrequencyAware);
+        let layout = engine.execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let secs = t0.elapsed().as_secs_f64();
         let area = layout.area();
         let hs = layout.hotspots();

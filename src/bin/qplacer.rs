@@ -19,9 +19,11 @@
 //!                  [--threads N] [--fast] [--levels N]
 //!                  [--jsonl FILE] [--csv FILE]
 //! qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N]
-//!                  [--cache N] [--batch N] [--flight N]
+//!                  [--cache N] [--batch N] [--flight N] [--store DIR]
+//!                  [--tenant-quota N] [--shard-id I --shards N]
 //! qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
 //!                  [--segment <mm>] [--count N] [--deadline MS]
+//!                  [--priority high|normal|low] [--tenant NAME]
 //! qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
 //! qplacer dump-trace [--addr HOST:PORT] [--out FILE]
 //! qplacer shutdown [--addr HOST:PORT]
@@ -46,6 +48,11 @@
 //! per-job records stream (in deterministic plan order) to JSONL/CSV.
 //! `serve` starts the [`qplacer_service`] placement daemon; `submit`,
 //! `stats`, and `shutdown` talk to it over the JSON-lines protocol.
+//! `serve --store DIR` makes results durable (an append-only log
+//! replayed into the cache on restart); `--shard-id I --shards N`
+//! labels the daemon as one shard of a consistent-hash fleet; `submit
+//! --priority`/`--tenant` exercise the queue's scheduling lanes and
+//! per-tenant admission quotas.
 //!
 //! Observability (the [`qplacer::obs`] layer): `e2e --trace FILE`
 //! writes per-iteration / per-phase convergence telemetry as JSONL;
@@ -65,9 +72,10 @@
 use std::process::ExitCode;
 
 use qplacer::{
-    paper_suite, CsvSink, DeviceSpec, ExperimentPlan, JsonlSink, JsonlTraceSink, NetlistConfig,
-    PipelineConfig, PipelineWorkspace, PlaceJob, PlacedLayout, Profile, Qplacer, Runner, Server,
-    ServiceClient, ServiceConfig, Sink, Strategy, Summary, Topology, TopologyDelta,
+    paper_suite, ClientBuilder, CsvSink, DeviceSpec, ExecOptions, ExperimentPlan, JsonlSink,
+    JsonlTraceSink, NetlistConfig, PipelineConfig, PipelineWorkspace, PlaceJob, PlacedLayout,
+    Priority, Profile, Qplacer, RunOptions, Runner, Server, ServiceClient, ServiceConfig, Sink,
+    Strategy, Summary, Topology, TopologyDelta,
 };
 
 fn main() -> ExitCode {
@@ -125,9 +133,11 @@ const USAGE: &str = "usage:
                    [--subsets N] [--seeds N] [--threads N] [--fast] [--levels N]
                    [--jsonl FILE] [--csv FILE]
   qplacer serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                   [--batch N] [--flight N]
+                   [--batch N] [--flight N] [--store DIR] [--tenant-quota N]
+                   [--shard-id I --shards N]
   qplacer submit   <topology> [--strategy S] [--addr HOST:PORT] [--fast]
                    [--segment <mm>] [--count N] [--deadline MS]
+                   [--priority high|normal|low] [--tenant NAME]
   qplacer stats    [--addr HOST:PORT] [--format text|prometheus]
   qplacer dump-trace [--addr HOST:PORT] [--out FILE]
   qplacer shutdown [--addr HOST:PORT]
@@ -254,7 +264,7 @@ fn run_pipeline(args: &[String], device: &Topology) -> Result<PlacedLayout, Stri
     if let Some(levels) = levels_flag(args)? {
         config.placer.levels = levels;
     }
-    Ok(Qplacer::new(config).place(device, strategy))
+    Ok(Qplacer::new(config).execute(device, strategy, ExecOptions::default()))
 }
 
 fn cmd_place(args: &[String]) -> Result<(), String> {
@@ -439,9 +449,24 @@ fn cmd_e2e(args: &[String]) -> Result<(), String> {
         let layout = match trace.as_mut() {
             Some(sink) => {
                 sink.set_label(Some(device.name().to_string()));
-                engine.place_traced(&device, strategy, &mut ws, sink)
+                engine.execute(
+                    &device,
+                    strategy,
+                    ExecOptions {
+                        workspace: Some(&mut ws),
+                        sink: Some(sink),
+                        ..Default::default()
+                    },
+                )
             }
-            None => engine.place_with(&device, strategy, &mut ws),
+            None => engine.execute(
+                &device,
+                strategy,
+                ExecOptions {
+                    workspace: Some(&mut ws),
+                    ..Default::default()
+                },
+            ),
         };
         let legal = layout
             .legalization
@@ -543,7 +568,14 @@ fn cmd_replace(args: &[String]) -> Result<(), String> {
     let mut ws = PipelineWorkspace::new();
 
     let start = std::time::Instant::now();
-    let cold = engine.place_with(&base, strategy, &mut ws);
+    let cold = engine.execute(
+        &base,
+        strategy,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
     let cold_s = start.elapsed().as_secs_f64();
     println!(
         "cold:    {} ({} qubits, {} instances) in {:.2} s",
@@ -555,7 +587,15 @@ fn cmd_replace(args: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     let (warm, report) = engine
-        .replace_with(&base, &cold, &delta, &mut ws)
+        .execute_replace(
+            &base,
+            &cold,
+            &delta,
+            ExecOptions {
+                workspace: Some(&mut ws),
+                ..Default::default()
+            },
+        )
         .map_err(|e| e.to_string())?;
     let warm_s = start.elapsed().as_secs_f64();
     println!(
@@ -617,7 +657,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let engine = Qplacer::new(config);
     let mut ws = PipelineWorkspace::new();
     let _scope = qplacer::adopt_trace_id(qplacer::fresh_trace_id());
-    let layout = engine.place_with(&device, strategy, &mut ws);
+    let layout = engine.execute(
+        &device,
+        strategy,
+        ExecOptions {
+            workspace: Some(&mut ws),
+            ..Default::default()
+        },
+    );
     println!(
         "{} / {}: {} cells, {:.2} s wall",
         device.name(),
@@ -712,16 +759,23 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut csv = flag_value(args, "--csv")
         .map(|path| CsvSink::create(path).map_err(|e| format!("create {path}: {e}")))
         .transpose()?;
-    let mut sink_refs: Vec<&mut dyn Sink> = Vec::new();
+    let mut sinks: Vec<&mut dyn Sink> = Vec::new();
     if let Some(sink) = jsonl.as_mut() {
-        sink_refs.push(sink);
+        sinks.push(sink);
     }
     if let Some(sink) = csv.as_mut() {
-        sink_refs.push(sink);
+        sinks.push(sink);
     }
     let report = runner
-        .run_with_sinks(&plan, &mut sink_refs)
-        .map_err(|e| format!("writing results: {e}"))?;
+        .execute(
+            &plan,
+            RunOptions {
+                sinks,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("writing results: {e}"))?
+        .report;
 
     print!("{}", Summary::table(&report.summaries()));
     println!(
@@ -763,7 +817,10 @@ fn service_addr(args: &[String]) -> &str {
 
 fn connect(args: &[String]) -> Result<ServiceClient, String> {
     let addr = service_addr(args);
-    ServiceClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+    ClientBuilder::new(addr)
+        .connect_timeout(std::time::Duration::from_secs(5))
+        .connect()
+        .map_err(|e| format!("connect {addr}: {e}"))
 }
 
 /// Runs the placement daemon until a `shutdown` request drains it.
@@ -778,15 +835,45 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     qplacer::obs::set_flight_capacity(flight);
     qplacer::obs::set_spans_enabled(true);
     qplacer::set_event_mode(qplacer::EventMode::Flight);
+    let shards: usize = numeric_flag(args, "--shards", 1usize)?;
+    let shard_id: usize = numeric_flag(args, "--shard-id", 0usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shard_id >= shards {
+        return Err(format!(
+            "--shard-id {shard_id} out of range for --shards {shards}"
+        ));
+    }
     let config = ServiceConfig {
         addr: service_addr(args).to_string(),
         workers: numeric_flag(args, "--workers", 0usize)?,
         queue_capacity: numeric_flag(args, "--queue", 128usize)?,
         cache_capacity: numeric_flag(args, "--cache", 256usize)?,
         batch_max: numeric_flag(args, "--batch", 8usize)?,
+        store_dir: flag_value(args, "--store").map(std::path::PathBuf::from),
+        tenant_quota: flag_value(args, "--tenant-quota")
+            .map(|v| v.parse().map_err(|_| format!("bad --tenant-quota `{v}`")))
+            .transpose()?,
+        shard_id,
+        shards,
     };
+    let store_dir = config.store_dir.clone();
     let server = Server::start(config).map_err(|e| format!("start server: {e}"))?;
-    println!("qplacer-service listening on {}", server.local_addr());
+    println!(
+        "qplacer-service listening on {} (shard {}/{})",
+        server.local_addr(),
+        shard_id,
+        shards
+    );
+    if let Some(dir) = &store_dir {
+        let stats = server.metrics();
+        println!(
+            "durable store at {} ({} results replayed into cache)",
+            dir.display(),
+            stats.store_replayed
+        );
+    }
     println!("stop with: qplacer shutdown --addr {}", server.local_addr());
     server.join();
     println!("drained; goodbye");
@@ -813,6 +900,14 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     }
     if let Some(ms) = flag_value(args, "--deadline") {
         job.deadline_ms = Some(ms.parse().map_err(|_| format!("bad --deadline `{ms}`"))?);
+    }
+    if let Some(priority) = flag_value(args, "--priority") {
+        job.priority = priority
+            .parse::<Priority>()
+            .map_err(|e| format!("bad --priority `{priority}`: {e}"))?;
+    }
+    if let Some(tenant) = flag_value(args, "--tenant") {
+        job.tenant = Some(tenant.to_string());
     }
 
     let mut client = connect(args)?;

@@ -63,7 +63,8 @@
 #![warn(missing_docs)]
 
 pub use qplacer_harness::{
-    PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, ReplaceReport, StageTimings, Strategy,
+    ExecOptions, PipelineConfig, PipelineWorkspace, PlacedLayout, Qplacer, ReplaceReport,
+    StageTimings, Strategy,
 };
 
 pub use qplacer_artwork as artwork;
@@ -85,7 +86,7 @@ pub use qplacer_circuits::{benchmark_by_name, paper_suite, Benchmark};
 pub use qplacer_freq::{FrequencyAssigner, FrequencyAssignment};
 pub use qplacer_harness::{
     ArmSummary, CsvSink, DeviceError, DeviceSpec, ExperimentPlan, JobRecord, JobSpec, JobStatus,
-    JsonlSink, MemorySink, Profile, RunReport, Runner, Sink, Summary,
+    JsonlSink, MemorySink, Profile, RunOptions, RunOutcome, RunReport, Runner, Sink, Summary,
 };
 pub use qplacer_legal::{LegalReport, Legalizer};
 pub use qplacer_metrics::{
@@ -102,7 +103,8 @@ pub use qplacer_obs::{
 };
 pub use qplacer_place::{GlobalPlacer, PlacementReport, PlacerConfig};
 pub use qplacer_service::{
-    MetricsSnapshot, PlaceJob, PlacementResult, Server, ServiceClient, ServiceConfig, ServiceError,
-    TraceDumpReply, PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
+    ClientBuilder, FleetBatch, MetricsSnapshot, PlaceJob, PlacementResult, Priority, Server,
+    ServiceClient, ServiceConfig, ServiceError, ShardedClient, TraceDumpReply, TracePolicy,
+    PROTOCOL_MINOR_VERSION, PROTOCOL_VERSION,
 };
 pub use qplacer_topology::{DefectMap, Topology, TopologyDelta};

@@ -2,7 +2,7 @@
 //! qualitative claims of the paper's evaluation, asserted at reduced
 //! budgets on Falcon (the paper's flagship small device).
 
-use qplacer::{PipelineConfig, PlacedLayout, Qplacer, Strategy, Topology};
+use qplacer::{ExecOptions, PipelineConfig, PlacedLayout, Qplacer, Strategy, Topology};
 
 fn layouts() -> (Topology, PlacedLayout, PlacedLayout, PlacedLayout) {
     let device = Topology::falcon27();
@@ -11,9 +11,9 @@ fn layouts() -> (Topology, PlacedLayout, PlacedLayout, PlacedLayout) {
     let mut cfg = PipelineConfig::paper();
     cfg.placer.max_iterations = 250;
     let engine = Qplacer::new(cfg);
-    let aware = engine.place(&device, Strategy::FrequencyAware);
-    let classic = engine.place(&device, Strategy::Classic);
-    let human = engine.place(&device, Strategy::Human);
+    let aware = engine.execute(&device, Strategy::FrequencyAware, ExecOptions::default());
+    let classic = engine.execute(&device, Strategy::Classic, ExecOptions::default());
+    let human = engine.execute(&device, Strategy::Human, ExecOptions::default());
     (device, aware, classic, human)
 }
 

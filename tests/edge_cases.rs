@@ -2,13 +2,15 @@
 //! configurations, and over-utilized regions must either work or fail
 //! loudly — never corrupt a layout silently.
 
-use qplacer::{CouplingKind, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+use qplacer::{
+    CouplingKind, ExecOptions, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology,
+};
 
 /// A single isolated qubit: no edges, no resonators, no nets.
 #[test]
 fn single_qubit_device() {
     let device = Topology::from_edges("lonely", 1, std::iter::empty()).unwrap();
-    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     assert_eq!(layout.netlist.num_instances(), 1);
     assert_eq!(layout.netlist.nets().len(), 0);
     assert_eq!(layout.hotspots().violations.len(), 0);
@@ -22,7 +24,7 @@ fn single_qubit_device() {
 fn disconnected_device() {
     let device = Topology::from_edges("split", 4, [(0, 1), (2, 3)]).unwrap();
     assert!(!device.is_connected());
-    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
@@ -33,7 +35,8 @@ fn over_utilized_region_spills_but_stays_legal() {
     let mut cfg = PipelineConfig::fast();
     cfg.netlist.target_utilization = 0.92;
     let device = Topology::grid(3, 3);
-    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    let layout =
+        Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     let legal = layout.legalization.as_ref().unwrap();
     assert_eq!(legal.remaining_overlaps, 0);
     // The layout may exceed the (deliberately undersized) region, but
@@ -53,7 +56,8 @@ fn very_fine_partitioning() {
     let mut cfg = PipelineConfig::fast();
     cfg.netlist = NetlistConfig::with_segment_size(0.15);
     let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
-    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    let layout =
+        Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     // ⌈10.8·0.1/0.0225⌉ ≈ 45+ segments for one resonator.
     assert!(layout.netlist.num_instances() > 40);
     assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
@@ -65,7 +69,8 @@ fn oversized_tunable_couplers() {
     let mut cfg = PipelineConfig::fast();
     cfg.netlist.coupling = CouplingKind::TunableCoupler { size_mm: 0.9 };
     let device = Topology::grid(2, 2);
-    let layout = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    let layout =
+        Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
@@ -74,7 +79,7 @@ fn oversized_tunable_couplers() {
 #[test]
 fn classic_strategy_is_legal_without_tau() {
     let device = Topology::falcon27();
-    let layout = Qplacer::fast().place(&device, Strategy::Classic);
+    let layout = Qplacer::fast().execute(&device, Strategy::Classic, ExecOptions::default());
     assert_eq!(layout.legalization.as_ref().unwrap().remaining_overlaps, 0);
 }
 
@@ -86,7 +91,7 @@ fn classic_strategy_is_legal_without_tau() {
 fn human_fallback_embedding() {
     let device = Topology::from_edges("ring8", 8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
     assert!(device.coords().is_none());
-    let layout = Qplacer::fast().place(&device, Strategy::Human);
+    let layout = Qplacer::fast().execute(&device, Strategy::Human, ExecOptions::default());
     for a in 0..8 {
         for b in a + 1..8 {
             let ra = layout.netlist.padded_rect(layout.netlist.qubit_instance(a));
@@ -102,7 +107,7 @@ fn human_fallback_embedding() {
 #[test]
 fn oversized_benchmark_evaluation_is_graceful() {
     let device = Topology::from_edges("pair", 2, [(0, 1)]).unwrap();
-    let layout = Qplacer::fast().place(&device, Strategy::FrequencyAware);
+    let layout = Qplacer::fast().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     let eval = layout.evaluate(&device, &qplacer::circuits::generators::bv(9), 5, 1);
     assert!(eval.fidelities.is_empty());
     assert_eq!(eval.mean_fidelity, 0.0);

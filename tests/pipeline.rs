@@ -1,6 +1,6 @@
 //! End-to-end pipeline integration tests across crates.
 
-use qplacer::{NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
+use qplacer::{ExecOptions, NetlistConfig, PipelineConfig, Qplacer, Strategy, Topology};
 
 fn fast_engine() -> Qplacer {
     Qplacer::new(PipelineConfig::fast())
@@ -15,7 +15,8 @@ fn pipeline_produces_legal_layouts() {
         Topology::falcon27(),
         Topology::xtree(4, 3, 3),
     ] {
-        let layout = fast_engine().place(&device, Strategy::FrequencyAware);
+        let layout =
+            fast_engine().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
         let legal = layout.legalization.as_ref().unwrap();
         assert_eq!(
             legal.remaining_overlaps,
@@ -58,8 +59,8 @@ fn pipeline_produces_legal_layouts() {
 #[test]
 fn pipeline_is_deterministic() {
     let device = Topology::falcon27();
-    let a = fast_engine().place(&device, Strategy::FrequencyAware);
-    let b = fast_engine().place(&device, Strategy::FrequencyAware);
+    let a = fast_engine().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
+    let b = fast_engine().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     assert_eq!(a.netlist.positions(), b.netlist.positions());
     assert_eq!(a.hotspots().ph, b.hotspots().ph);
     let ea = a.evaluate(&device, &qplacer::circuits::generators::bv(4), 5, 9);
@@ -78,7 +79,7 @@ fn cell_count_orders_by_segment_size() {
             let mut cfg = PipelineConfig::fast();
             cfg.netlist = NetlistConfig::with_segment_size(lb);
             Qplacer::new(cfg)
-                .place(&device, Strategy::Human)
+                .execute(&device, Strategy::Human, ExecOptions::default())
                 .netlist
                 .num_instances()
         })
@@ -99,9 +100,9 @@ fn cell_count_orders_by_segment_size() {
 fn strategy_reports_are_consistent() {
     let device = Topology::grid(3, 3);
     let engine = fast_engine();
-    let aware = engine.place(&device, Strategy::FrequencyAware);
-    let classic = engine.place(&device, Strategy::Classic);
-    let human = engine.place(&device, Strategy::Human);
+    let aware = engine.execute(&device, Strategy::FrequencyAware, ExecOptions::default());
+    let classic = engine.execute(&device, Strategy::Classic, ExecOptions::default());
+    let human = engine.execute(&device, Strategy::Human, ExecOptions::default());
     assert!(aware.placement.is_some() && aware.legalization.is_some());
     assert!(classic.placement.is_some());
     assert!(human.placement.is_none() && human.legalization.is_none());
@@ -117,7 +118,7 @@ fn chiplet_devices_place_end_to_end() {
     let die = Topology::grid(2, 2);
     let chiplet = Topology::chiplet(&die, 1, 2, 1);
     assert_eq!(chiplet.num_qubits(), 8);
-    let layout = fast_engine().place(&chiplet, Strategy::FrequencyAware);
+    let layout = fast_engine().execute(&chiplet, Strategy::FrequencyAware, ExecOptions::default());
     let legal = layout.legalization.as_ref().unwrap();
     assert_eq!(legal.remaining_overlaps, 0);
     assert!(legal.integrated_after * 10 >= legal.resonator_count * 8);
@@ -128,11 +129,12 @@ fn chiplet_devices_place_end_to_end() {
 #[test]
 fn tunable_coupler_mode_shrinks_layouts() {
     let device = Topology::grid(3, 3);
-    let bus = fast_engine().place(&device, Strategy::FrequencyAware);
+    let bus = fast_engine().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
 
     let mut cfg = PipelineConfig::fast();
     cfg.netlist = qplacer::NetlistConfig::tunable_coupler(0.3);
-    let tunable = Qplacer::new(cfg).place(&device, Strategy::FrequencyAware);
+    let tunable =
+        Qplacer::new(cfg).execute(&device, Strategy::FrequencyAware, ExecOptions::default());
 
     // One instance per qubit + one per coupling.
     assert_eq!(
@@ -152,7 +154,7 @@ fn tunable_coupler_mode_shrinks_layouts() {
 #[test]
 fn artwork_roundtrip() {
     let device = Topology::grid(3, 3);
-    let layout = fast_engine().place(&device, Strategy::FrequencyAware);
+    let layout = fast_engine().execute(&device, Strategy::FrequencyAware, ExecOptions::default());
     let svg = layout.svg();
     assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
     let gds = layout.gds("GRID9");

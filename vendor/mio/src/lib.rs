@@ -1,0 +1,568 @@
+//! Offline stand-in for `mio`: a minimal readiness-polling reactor core.
+//!
+//! The build environment has no crates.io access, so this crate shadows
+//! the real `mio` with the subset the qplacer service daemon needs
+//! (same spirit as the `rayon` stand-in):
+//!
+//! - [`Token`] / [`Interest`] — registration identity and readiness
+//!   interest (readable / writable, OR-composable).
+//! - [`Poll`] — registers non-blocking sources and blocks in
+//!   [`Poll::poll`] until at least one is ready or a timeout elapses.
+//! - [`Events`] / [`Event`] — the readiness set of one poll call.
+//!
+//! Deliberate divergences from real mio, in the direction of a smaller
+//! surface:
+//!
+//! - There is no `Registry` indirection: sources register directly on
+//!   [`Poll`], and `reregister` / `deregister` are keyed by [`Token`]
+//!   rather than by source handle.
+//! - Readiness is **level-triggered** (real mio is edge-triggered): a
+//!   source that still has pending bytes keeps showing up. Callers that
+//!   drain to `WouldBlock` — the idiomatic mio loop — behave
+//!   identically under both models.
+//! - `Events::with_capacity` is advisory; a poll may report more ready
+//!   sources than the hint.
+//!
+//! On unix the implementation is a thin wrapper over `poll(2)` via a
+//! direct FFI declaration (libc is always linked into Rust binaries),
+//! rebuilding the `pollfd` array from the registration table each call
+//! — O(n) per wakeup, which for the daemon's target of ~10k mostly-idle
+//! connections costs on the order of 100µs per loop iteration. On
+//! non-unix hosts a degraded portable fallback reports every registered
+//! source ready after a short sleep; combined with non-blocking sockets
+//! (`WouldBlock` tolerated everywhere) that is correct but busy.
+//!
+//! This is the only workspace crate besides the FFI boundary that uses
+//! `unsafe`; the service crate itself stays `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// Identity a caller assigns to a registered source; echoed back on
+/// every [`Event`] for that source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (`|`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (incoming bytes, accepted
+    /// connections, or peer hangup).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness (socket send buffer has room).
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One source's readiness as reported by a single [`Poll::poll`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — includes peer hangup and error conditions, so a
+    /// subsequent `read` observes the EOF/error instead of blocking.
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Writable.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Error or invalid-descriptor condition (`POLLERR`/`POLLNVAL`).
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// The readiness set filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// New event buffer; `capacity` is an advisory sizing hint.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Iterate the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll reported no readiness (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of ready sources reported by the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn push(&mut self, event: Event) {
+        self.inner.push(event);
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Anything registrable with [`Poll`]. On unix this is blanket-derived
+/// from `AsRawFd`; sources must already be in non-blocking mode.
+#[cfg(unix)]
+pub trait Source {
+    /// The raw descriptor to poll.
+    fn raw_fd(&self) -> std::os::unix::io::RawFd;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Anything registrable with [`Poll`] (portable fallback: identity
+/// comes from the registration token alone).
+#[cfg(not(unix))]
+pub trait Source {}
+
+#[cfg(not(unix))]
+impl<T> Source for T {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_short};
+    use std::os::unix::io::RawFd;
+
+    #[cfg(any(target_os = "macos", target_os = "ios"))]
+    pub type NfdsT = std::os::raw::c_uint;
+    #[cfg(not(any(target_os = "macos", target_os = "ios")))]
+    pub type NfdsT = std::os::raw::c_ulong;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// Mirror of the C `struct pollfd` (identical layout on every
+    /// supported unix).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    pub fn make_pollfd(fd: RawFd, readable: bool, writable: bool) -> PollFd {
+        let mut events: c_short = 0;
+        if readable {
+            events |= POLLIN;
+        }
+        if writable {
+            events |= POLLOUT;
+        }
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+/// Re-arm an already-listening socket with a deeper accept backlog.
+///
+/// `std::net::TcpListener::bind` listens with a backlog of 128, which a
+/// connect burst from a same-host client can overflow inside one
+/// scheduler quantum — overflowed SYNs are silently dropped and retried
+/// by the peer's kernel seconds later, which reads as a mysteriously
+/// slow accept loop. On every supported unix, calling `listen(2)` again
+/// on a listening socket just updates the backlog (the kernel still
+/// clamps to `net.core.somaxconn`). On non-unix hosts this is a no-op.
+#[cfg(unix)]
+pub fn set_listen_backlog(listener: &impl Source, backlog: i32) -> io::Result<()> {
+    // SAFETY: `listen` is only handed a live descriptor borrowed from
+    // `listener` and writes nothing to caller memory.
+    let rc = unsafe { sys::listen(listener.raw_fd(), backlog) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Re-arm an already-listening socket with a deeper accept backlog
+/// (portable fallback: no-op).
+#[cfg(not(unix))]
+pub fn set_listen_backlog(_listener: &impl Source, _backlog: i32) -> io::Result<()> {
+    Ok(())
+}
+
+#[cfg(unix)]
+struct Entry {
+    fd: std::os::unix::io::RawFd,
+    token: Token,
+    interest: Interest,
+}
+
+#[cfg(not(unix))]
+struct Entry {
+    token: Token,
+    interest: Interest,
+}
+
+/// The reactor core: a registration table plus a blocking readiness
+/// wait.
+pub struct Poll {
+    entries: Vec<Entry>,
+    /// `token.0 -> entries index`; keeps register/reregister/deregister
+    /// O(1) so a 10k-connection reactor doesn't pay a linear table scan
+    /// on every interest flip.
+    index: std::collections::HashMap<usize, usize>,
+    #[cfg(unix)]
+    pollfds: Vec<sys::PollFd>,
+}
+
+impl Poll {
+    /// New empty poll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            entries: Vec::new(),
+            index: std::collections::HashMap::new(),
+            #[cfg(unix)]
+            pollfds: Vec::new(),
+        })
+    }
+
+    /// Register `source` under `token` with the given interest. The
+    /// token must not already be registered.
+    #[cfg(unix)]
+    pub fn register(
+        &mut self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        if self.index.contains_key(&token.0) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "token already registered",
+            ));
+        }
+        self.index.insert(token.0, self.entries.len());
+        self.entries.push(Entry {
+            fd: source.raw_fd(),
+            token,
+            interest,
+        });
+        Ok(())
+    }
+
+    /// Register `source` under `token` with the given interest
+    /// (portable fallback: readiness is assumed).
+    #[cfg(not(unix))]
+    pub fn register(
+        &mut self,
+        _source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        if self.index.contains_key(&token.0) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "token already registered",
+            ));
+        }
+        self.index.insert(token.0, self.entries.len());
+        self.entries.push(Entry { token, interest });
+        Ok(())
+    }
+
+    /// Change the interest of an already-registered token.
+    pub fn reregister(&mut self, token: Token, interest: Interest) -> io::Result<()> {
+        match self.index.get(&token.0) {
+            Some(&slot) => {
+                self.entries[slot].interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "token not registered",
+            )),
+        }
+    }
+
+    /// Remove a registration; unknown tokens are a no-op (the common
+    /// teardown race: the peer closed while we were deciding to).
+    pub fn deregister(&mut self, token: Token) {
+        let Some(slot) = self.index.remove(&token.0) else {
+            return;
+        };
+        self.entries.swap_remove(slot);
+        if let Some(moved) = self.entries.get(slot) {
+            self.index.insert(moved.token.0, slot);
+        }
+    }
+
+    /// Number of registered sources.
+    pub fn registered(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Block until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `events`. Spurious
+    /// empty wakeups are allowed.
+    #[cfg(unix)]
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.pollfds.clear();
+        for entry in &self.entries {
+            self.pollfds.push(sys::make_pollfd(
+                entry.fd,
+                entry.interest.is_readable(),
+                entry.interest.is_writable(),
+            ));
+        }
+        let timeout_ms: std::os::raw::c_int = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as std::os::raw::c_int,
+        };
+        loop {
+            // SAFETY: `pollfds` is a live, correctly-sized buffer of
+            // `#[repr(C)]` pollfd structs for the duration of the call;
+            // poll(2) only writes within `nfds` entries.
+            let rc = unsafe {
+                sys::poll(
+                    self.pollfds.as_mut_ptr(),
+                    self.pollfds.len() as sys::NfdsT,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            break;
+        }
+        for (pollfd, entry) in self.pollfds.iter().zip(&self.entries) {
+            if pollfd.revents == 0 {
+                continue;
+            }
+            let error = pollfd.revents & (sys::POLLERR | sys::POLLNVAL) != 0;
+            let hangup = pollfd.revents & sys::POLLHUP != 0;
+            events.push(Event {
+                token: entry.token,
+                // Hangups and errors surface as readable so the
+                // caller's next read observes EOF / the error.
+                readable: pollfd.revents & sys::POLLIN != 0 || hangup || error,
+                writable: pollfd.revents & sys::POLLOUT != 0,
+                error,
+            });
+        }
+        Ok(())
+    }
+
+    /// Portable fallback: sleep briefly, then report every registered
+    /// source ready per its interest (correct but busy given
+    /// non-blocking sources).
+    #[cfg(not(unix))]
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let nap = timeout
+            .unwrap_or(Duration::from_millis(1))
+            .min(Duration::from_millis(1));
+        std::thread::sleep(nap);
+        for entry in &self.entries {
+            events.push(Event {
+                token: entry.token,
+                readable: entry.interest.is_readable(),
+                writable: entry.interest.is_writable(),
+                error: false,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn interest_composes() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn duplicate_token_is_rejected_and_deregister_is_idempotent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&listener, Token(1), Interest::READABLE)
+            .unwrap();
+        assert!(poll
+            .register(&listener, Token(1), Interest::READABLE)
+            .is_err());
+        assert_eq!(poll.registered(), 1);
+        poll.deregister(Token(1));
+        poll.deregister(Token(1));
+        assert_eq!(poll.registered(), 0);
+        assert!(poll.reregister(Token(1), Interest::WRITABLE).is_err());
+    }
+
+    #[test]
+    fn deregister_keeps_later_registrations_addressable() {
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| {
+                let l = TcpListener::bind("127.0.0.1:0").unwrap();
+                l.set_nonblocking(true).unwrap();
+                l
+            })
+            .collect();
+        let mut poll = Poll::new().unwrap();
+        for (i, l) in listeners.iter().enumerate() {
+            poll.register(l, Token(i), Interest::READABLE).unwrap();
+        }
+        // Removing the first slot swap-moves the last entry into it;
+        // the moved token must still be reachable by reregister.
+        poll.deregister(Token(0));
+        assert_eq!(poll.registered(), 2);
+        poll.reregister(Token(2), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.reregister(Token(1), Interest::WRITABLE).unwrap();
+        assert!(poll.reregister(Token(0), Interest::READABLE).is_err());
+        assert!(poll
+            .register(&listeners[0], Token(0), Interest::READABLE)
+            .is_ok());
+        assert_eq!(poll.registered(), 3);
+    }
+
+    #[test]
+    fn listen_backlog_can_be_deepened() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        set_listen_backlog(&listener, 4096).unwrap();
+        // The socket still accepts after the re-listen.
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (_conn, _) = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn readiness_flows_through_a_loopback_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.register(&listener, Token(0), Interest::READABLE)
+            .unwrap();
+
+        // A pending connection makes the listener readable.
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(0) && e.is_readable()));
+
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_nonblocking(true).unwrap();
+        poll.register(&conn, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        // A fresh socket is writable; once the client sends, readable.
+        client.write_all(b"ping\n").unwrap();
+        client.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_readable = false;
+        let mut saw_writable = false;
+        while std::time::Instant::now() < deadline && !(saw_readable && saw_writable) {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            for event in &events {
+                if event.token() == Token(1) {
+                    saw_readable |= event.is_readable();
+                    saw_writable |= event.is_writable();
+                }
+            }
+        }
+        assert!(saw_readable && saw_writable);
+        let mut buf = [0u8; 8];
+        let n = conn.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping\n");
+
+        // Peer hangup surfaces as readable (EOF on the next read).
+        drop(client);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_hangup = false;
+        while std::time::Instant::now() < deadline && !saw_hangup {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            saw_hangup = events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_readable());
+        }
+        assert!(saw_hangup);
+        assert_eq!(conn.read(&mut buf).unwrap(), 0);
+    }
+}
